@@ -1,0 +1,99 @@
+// Figure 6: end-to-end latency CDFs under production-like traffic. Functions
+// are sampled at the 50th/65th/75th percentile of popularity from the Azure
+// trace model and replayed as fifteen-minute invocation windows against a
+// platform with a 10-minute idle eviction timeout (the AWS Lambda default the
+// paper cites). Low-popularity windows contain very few requests — the paper
+// calls its 3-request MST window at the 50th percentile "pathological" — so,
+// like the paper's multi-window methodology, we replay a sequence of windows
+// per scenario to populate the CDF.
+
+#include "bench/exhibit_common.h"
+#include "src/trace/trace_generator.h"
+
+namespace pronghorn::bench {
+namespace {
+
+constexpr double kPercentiles[] = {50.0, 65.0, 75.0};
+const char* kBenchmarks[] = {"MST", "Thumbnailer", "HTMLRendering"};
+constexpr int kWindowsPerScenario = 30;
+constexpr int64_t kWindowSeconds = 900;
+
+std::vector<TimePoint> BuildArrivals(double percentile, uint64_t seed) {
+  const AzureTraceModel model;
+  TraceGenerator generator(model, seed);
+  std::vector<TimePoint> arrivals;
+  for (int window = 0; window < kWindowsPerScenario; ++window) {
+    auto window_arrivals =
+        generator.GenerateWindow(percentile, Duration::Seconds(kWindowSeconds));
+    if (!window_arrivals.ok()) {
+      std::fprintf(stderr, "%s\n", window_arrivals.status().ToString().c_str());
+      std::exit(1);
+    }
+    const int64_t base_us = static_cast<int64_t>(window) * kWindowSeconds * 1000000;
+    for (TimePoint t : *window_arrivals) {
+      arrivals.push_back(TimePoint::FromMicros(base_us + t.ToMicros()));
+    }
+  }
+  return arrivals;
+}
+
+void RunScenario(const char* benchmark, double percentile) {
+  const WorkloadProfile& profile = MustFind(benchmark);
+  const std::vector<TimePoint> arrivals =
+      BuildArrivals(percentile, 1000 + static_cast<uint64_t>(percentile));
+  std::printf(" %-14s popularity p%.0f: %zu invocations over %d windows\n", benchmark,
+              percentile, arrivals.size(), kWindowsPerScenario);
+  if (arrivals.empty()) {
+    std::printf("  (window empty -- function too unpopular; paper's pathological "
+                "case)\n");
+    return;
+  }
+
+  double after_first_median = 0.0;
+  for (PolicyKind kind :
+       {PolicyKind::kCold, PolicyKind::kAfterFirst, PolicyKind::kRequestCentric}) {
+    // beta for trace runs: requests expected per worker lifetime; a rough
+    // provider estimate of 4 mirrors the paper's mid eviction rate.
+    const PolicyConfig config = PaperConfig(profile, /*eviction_k=*/4);
+    const auto policy = MakePolicy(kind, config);
+    // Platform behavior: 10-minute idle timeout (AWS Lambda default) plus the
+    // ~20-minute typical worker lifetime from the Azure characterization.
+    IdleTimeoutEviction idle(Duration::Seconds(600));
+    MaxLifetimeEviction lifetime(Duration::Seconds(1200));
+    AnyOfEviction eviction({&idle, &lifetime});
+    SimulationOptions options;
+    options.seed = 7;
+    FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, eviction,
+                           options);
+    auto report = sim.RunTrace(arrivals);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      std::exit(1);
+    }
+    const DistributionSummary summary = report->LatencySummary();
+    PrintPercentileRow(PolicyKindName(kind), summary);
+    if (kind == PolicyKind::kAfterFirst) {
+      after_first_median = summary.Median();
+    } else if (kind == PolicyKind::kRequestCentric) {
+      std::printf("  -> request-centric vs after-1st median: %+.1f%%\n",
+                  (after_first_median - summary.Median()) / after_first_median * 100.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+int main() {
+  std::printf("=== Figure 6: Azure-trace-driven latency CDFs (us) ===\n");
+  std::printf("(paper: Pronghorn superior in 6/9 scenarios, on-par in 2, worse in 1\n"
+              " pathological low-traffic scenario)\n\n");
+  for (double percentile : pronghorn::bench::kPercentiles) {
+    std::printf("--- popularity percentile %.0f ---\n", percentile);
+    for (const char* benchmark : pronghorn::bench::kBenchmarks) {
+      pronghorn::bench::RunScenario(benchmark, percentile);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: per-operation orchestrator overheads of the request-centric
+// strategy versus the checkpoint-after-1st baseline, across the three
+// orchestration components: per worker startup, per request, and per
+// checkpoint. Each benchmark is normalized against the baseline and against
+// the number of relevant operations, exactly as the figure's caption
+// describes. All of these costs are off the request critical path.
+
+#include "bench/exhibit_common.h"
+
+namespace pronghorn::bench {
+namespace {
+
+constexpr uint64_t kRequests = 500;
+constexpr uint32_t kEvictionK = 4;
+
+struct PerOp {
+  double startup_ms = 0.0;
+  double request_ms = 0.0;
+  double checkpoint_ms = 0.0;
+};
+
+PerOp Normalize(const OrchestratorOverheads& overheads) {
+  PerOp out;
+  if (overheads.worker_starts > 0) {
+    out.startup_ms = overheads.total_startup_overhead.ToMillis() /
+                     static_cast<double>(overheads.worker_starts);
+  }
+  if (overheads.requests_served > 0) {
+    out.request_ms = overheads.total_request_overhead.ToMillis() /
+                     static_cast<double>(overheads.requests_served);
+  }
+  if (overheads.checkpoints_taken > 0) {
+    out.checkpoint_ms = overheads.total_checkpoint_overhead.ToMillis() /
+                        static_cast<double>(overheads.checkpoints_taken);
+  }
+  return out;
+}
+
+void Row(const char* benchmark) {
+  const WorkloadProfile& profile = MustFind(benchmark);
+  const SimulationReport rc = RunClosedLoop(profile, PolicyKind::kRequestCentric,
+                                            kEvictionK, kRequests, /*seed=*/3);
+  const SimulationReport baseline = RunClosedLoop(profile, PolicyKind::kAfterFirst,
+                                                  kEvictionK, kRequests, /*seed=*/3);
+  const PerOp rc_ops = Normalize(rc.overheads);
+  const PerOp baseline_ops = Normalize(baseline.overheads);
+
+  auto ratio = [](double ours, double base) {
+    return base > 0.0 ? ours / base : 0.0;
+  };
+  std::printf("  %-14s %6.1f ms (%4.2fx) %8.1f ms (%4.2fx) %8.1f ms (%5.2fx)\n",
+              benchmark, rc_ops.startup_ms, ratio(rc_ops.startup_ms,
+                                                  baseline_ops.startup_ms),
+              rc_ops.request_ms, ratio(rc_ops.request_ms, baseline_ops.request_ms),
+              rc_ops.checkpoint_ms,
+              ratio(rc_ops.checkpoint_ms, baseline_ops.checkpoint_ms));
+}
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+int main() {
+  std::printf("=== Figure 7: per-operation orchestrator overheads ===\n");
+  std::printf("  per-op cost of the request-centric strategy, with the multiple of\n"
+              "  the checkpoint-after-1st baseline in parentheses\n\n");
+  std::printf("  %-14s %-18s %-20s %-18s\n", "benchmark", "startup/worker",
+              "overhead/request", "overhead/checkpoint");
+  for (const char* name :
+       {"BFS", "DFS", "DynamicHTML", "MST", "PageRank", "Compression", "Uploader",
+        "Thumbnailer", "Video", "MatrixMult", "Hash", "HTMLRendering", "WordCount"}) {
+    pronghorn::bench::Row(name);
+  }
+  std::printf("\n(paper: startup overhead below 2.5x/28ms -- the request-centric\n"
+              " policy must pick a snapshot from the pool; per-request on-par;\n"
+              " per-checkpoint below 2x/34ms -- pool bookkeeping in the database.\n"
+              " All off the critical path.)\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks of the orchestration hot paths (google-benchmark). These
+// quantify the in-process cost of the policy's decisions — the paper's
+// Figure 7 overheads are dominated by database round trips, but the CPU cost
+// of softmax selection, EWMA updates, pool pruning, and snapshot codecs is
+// what a production (non-Python) orchestrator implementation would pay.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/exhibit_common.h"
+#include "src/checkpoint/criu_like_engine.h"
+
+namespace pronghorn::bench {
+namespace {
+
+PolicyState PopulatedState(const PolicyConfig& config, size_t pool_size) {
+  PolicyState state(config);
+  Rng rng(1);
+  for (uint64_t i = 1; i < config.WeightVectorLength(); ++i) {
+    state.theta.Update(i, 0.01 + rng.UniformDouble() * 0.1, config.alpha);
+  }
+  for (uint64_t i = 1; i <= pool_size; ++i) {
+    PoolEntry entry;
+    entry.metadata.id = SnapshotId{i};
+    entry.metadata.function = "bench";
+    entry.metadata.request_number = i * (config.max_checkpoint_request / (pool_size + 1));
+    entry.object_key = "snapshots/bench/" + std::to_string(i);
+    if (!state.pool.Add(std::move(entry)).ok()) {
+      std::abort();
+    }
+  }
+  return state;
+}
+
+void BM_PolicyOnWorkerStart(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("DynamicHTML");
+  const PolicyConfig config = PaperConfig(profile, 20);
+  auto policy = RequestCentricPolicy::Create(config);
+  const PolicyState state =
+      PopulatedState(config, static_cast<size_t>(bench_state.range(0)));
+  Rng rng(2);
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(policy->OnWorkerStart(state, rng));
+  }
+}
+BENCHMARK(BM_PolicyOnWorkerStart)->Arg(1)->Arg(6)->Arg(12);
+
+void BM_PolicyOnRequestComplete(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("DynamicHTML");
+  const PolicyConfig config = PaperConfig(profile, 20);
+  auto policy = RequestCentricPolicy::Create(config);
+  PolicyState state = PopulatedState(config, 12);
+  uint64_t request = 1;
+  for (auto _ : bench_state) {
+    policy->OnRequestComplete(state, request, Duration::Millis(10));
+    request = request % 100 + 1;
+  }
+}
+BENCHMARK(BM_PolicyOnRequestComplete);
+
+void BM_PoolPrune(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("DynamicHTML");
+  const PolicyConfig config = PaperConfig(profile, 20);
+  auto policy = RequestCentricPolicy::Create(config);
+  Rng rng(3);
+  for (auto _ : bench_state) {
+    bench_state.PauseTiming();
+    PolicyState state = PopulatedState(config, 13);  // One over capacity.
+    bench_state.ResumeTiming();
+    benchmark::DoNotOptimize(policy->OnSnapshotAdded(state, rng));
+  }
+}
+BENCHMARK(BM_PoolPrune);
+
+void BM_PolicyStateCodec(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("HTMLRendering");  // W = 200.
+  const PolicyConfig config = PaperConfig(profile, 20);
+  const PolicyState state = PopulatedState(config, 12);
+  for (auto _ : bench_state) {
+    const auto encoded = EncodePolicyState(state);
+    auto decoded = DecodePolicyState(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_PolicyStateCodec);
+
+void BM_ProcessExecute(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("BFS");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 4);
+  uint64_t id = 0;
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(process.Execute({id++, 1.0}));
+  }
+}
+BENCHMARK(BM_ProcessExecute);
+
+void BM_SnapshotEncodeDecode(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("BFS");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 5);
+  for (uint64_t i = 0; i < 100; ++i) {
+    process.Execute({i, 1.0});
+  }
+  CriuLikeEngine engine(6);
+  auto checkpoint = engine.Checkpoint(process, SnapshotId{1}, TimePoint());
+  for (auto _ : bench_state) {
+    const auto wire = checkpoint->image.Encode();
+    auto decoded = SnapshotImage::Decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SnapshotEncodeDecode);
+
+void BM_CheckpointRestoreRoundTrip(benchmark::State& bench_state) {
+  const WorkloadProfile& profile = MustFind("DynamicHTML");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 7);
+  for (uint64_t i = 0; i < 50; ++i) {
+    process.Execute({i, 1.0});
+  }
+  CriuLikeEngine engine(8);
+  uint64_t id = 1;
+  for (auto _ : bench_state) {
+    auto checkpoint = engine.Checkpoint(process, SnapshotId{id++}, TimePoint());
+    auto restored = engine.Restore(checkpoint->image, WorkloadRegistry::Default());
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_CheckpointRestoreRoundTrip);
+
+void BM_SimulatedRequestEndToEnd(benchmark::State& bench_state) {
+  // Full-stack cost of one simulated request (execution + DB round trip).
+  const WorkloadProfile& profile = MustFind("DynamicHTML");
+  const PolicyConfig config = PaperConfig(profile, 20);
+  auto policy = RequestCentricPolicy::Create(config);
+  auto eviction = EveryKRequestsEviction::Create(20);
+  SimulationOptions options;
+  options.seed = 9;
+  FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
+                         options);
+  for (auto _ : bench_state) {
+    auto report = sim.RunClosedLoop(1);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SimulatedRequestEndToEnd);
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+BENCHMARK_MAIN();

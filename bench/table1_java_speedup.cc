@@ -1,0 +1,58 @@
+// Table 1: function latency reduction compared with the first request for
+// the Java benchmarks, sampled at requests 200/400/600/800 over a 1000-
+// request run. Different benchmarks peak at different request counts, and
+// the progression is non-monotonic (deoptimizations).
+
+#include "bench/exhibit_common.h"
+#include "src/jit/runtime_process.h"
+
+namespace pronghorn::bench {
+namespace {
+
+constexpr uint64_t kRequests = 1000;
+constexpr uint64_t kSamplePoints[] = {200, 400, 600, 800};
+// Median over a small window around each sample point smooths per-request
+// jitter the way repeated measurement runs would.
+constexpr uint64_t kWindow = 25;
+
+void Row(const char* benchmark) {
+  const WorkloadProfile& profile = MustFind(benchmark);
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, /*seed=*/17);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kRequests);
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    latencies_us.push_back(
+        static_cast<double>(process.Execute({i, 1.0}).latency.ToMicros()));
+  }
+
+  const double first_ms = latencies_us[0] / 1000.0;
+  std::printf("  %-14s %9.0f ms ", benchmark, first_ms);
+  for (uint64_t point : kSamplePoints) {
+    const std::span<const double> window(latencies_us.data() + point - kWindow / 2,
+                                         kWindow);
+    const double speedup = latencies_us[0] / Percentile(window, 50.0);
+    std::printf(" %7.1fx", speedup);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+int main() {
+  std::printf("=== Table 1: Java latency reduction vs first request ===\n");
+  std::printf("  (paper reference -- Hash: 27ms base, peaks ~2.5x; HTML: 650ms base,\n"
+              "   peaks ~5.1x; WordCount: 64ms base, peaks ~3.4x; JSON: 360ms, ~5.9x)\n\n");
+  std::printf("  %-14s %12s  %7s %7s %7s %7s\n", "benchmark", "request #1", "req200",
+              "req400", "req600", "req800");
+  for (const char* name : {"Hash", "HTMLRendering", "WordCount", "JSONParse"}) {
+    pronghorn::bench::Row(name);
+  }
+  std::printf("\nNotes: request #1 includes lazy runtime initialization; later\n"
+              "speedups are non-monotonic because of deoptimization rounds (§2).\n"
+              "Our HTMLRendering is calibrated to Figure 1(b)'s steady-state 75.6%%\n"
+              "latency reduction, so its speedup-vs-request-1 exceeds Table 1's\n"
+              "(the paper's Table-1 HTML run is a different implementation from\n"
+              "its Figure-1 one).\n");
+  return 0;
+}

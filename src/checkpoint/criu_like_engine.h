@@ -1,0 +1,35 @@
+// CRIU-like checkpoint engine.
+//
+// Performs genuine state capture (the full RuntimeProcess serializes into the
+// image payload and restores from it, CRC-verified) and charges simulated
+// checkpoint/restore time drawn from the per-workload cost model calibrated
+// to the paper's Table 4 (CRIU 3.15 measurements).
+
+#ifndef PRONGHORN_SRC_CHECKPOINT_CRIU_LIKE_ENGINE_H_
+#define PRONGHORN_SRC_CHECKPOINT_CRIU_LIKE_ENGINE_H_
+
+#include "src/checkpoint/engine.h"
+#include "src/common/rng.h"
+
+namespace pronghorn {
+
+class CriuLikeEngine : public CheckpointEngine {
+ public:
+  // `seed` drives cost jitter and restore reseeding salts.
+  explicit CriuLikeEngine(uint64_t seed);
+
+  Result<CheckpointOutcome> Checkpoint(const RuntimeProcess& process, SnapshotId id,
+                                       TimePoint now) override;
+  Result<RestoreOutcome> Restore(const SnapshotImage& image,
+                                 const WorkloadRegistry& registry) override;
+
+ private:
+  // Gaussian(mean, sd) clamped to a sane floor; CRIU never completes in 0ms.
+  Duration DrawCost(Duration mean, Duration stddev);
+
+  Rng rng_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CHECKPOINT_CRIU_LIKE_ENGINE_H_

@@ -1,0 +1,72 @@
+// Abstract checkpoint engine interface.
+//
+// Pronghorn is explicitly agnostic to the checkpoint/restore implementation
+// (§4: CRIU is "a stand-in for any Checkpoint Engine"). The orchestrator only
+// needs these two primitives plus their costs.
+
+#ifndef PRONGHORN_SRC_CHECKPOINT_ENGINE_H_
+#define PRONGHORN_SRC_CHECKPOINT_ENGINE_H_
+
+#include "src/checkpoint/snapshot.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/jit/runtime_process.h"
+
+namespace pronghorn {
+
+// Result of checkpointing a live process: the image plus the worker downtime
+// the operation caused (the process is frozen while pages are dumped).
+struct CheckpointOutcome {
+  SnapshotImage image;
+  Duration downtime;
+};
+
+// Result of restoring: an equivalent live process plus the time the restore
+// took (on the critical path of the first request after a hot start).
+struct RestoreOutcome {
+  RestoreOutcome(RuntimeProcess p, Duration d) : process(std::move(p)), restore_time(d) {}
+  RuntimeProcess process;
+  Duration restore_time;
+};
+
+class CheckpointEngine {
+ public:
+  virtual ~CheckpointEngine() = default;
+
+  // Freezes `process` and produces an image. `id` must be globally unique
+  // (allocated from the Database sequence); `now` timestamps the metadata.
+  virtual Result<CheckpointOutcome> Checkpoint(const RuntimeProcess& process,
+                                               SnapshotId id, TimePoint now) = 0;
+
+  // Reconstructs a live process from `image`. The returned process is
+  // re-seeded so that two restores of one image warm up independently.
+  virtual Result<RestoreOutcome> Restore(const SnapshotImage& image,
+                                         const WorkloadRegistry& registry) = 0;
+
+  // Cumulative operation counters, maintained by every implementation.
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  uint64_t restores_performed() const { return restores_performed_; }
+  Duration total_checkpoint_time() const { return total_checkpoint_time_; }
+  Duration total_restore_time() const { return total_restore_time_; }
+
+ protected:
+  // Implementations call these on every successful operation.
+  void RecordCheckpoint(Duration downtime) {
+    checkpoints_taken_ += 1;
+    total_checkpoint_time_ += downtime;
+  }
+  void RecordRestore(Duration restore_time) {
+    restores_performed_ += 1;
+    total_restore_time_ += restore_time;
+  }
+
+ private:
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t restores_performed_ = 0;
+  Duration total_checkpoint_time_;
+  Duration total_restore_time_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CHECKPOINT_ENGINE_H_

@@ -1,0 +1,31 @@
+#include "src/common/clock.h"
+
+#include <cstdio>
+
+namespace pronghorn {
+
+std::string Duration::ToString() const {
+  char buf[48];
+  if (micros_ >= 1000000 || micros_ <= -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds());
+  } else if (micros_ >= 1000 || micros_ <= -1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMillis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+void SimClock::Advance(Duration d) {
+  if (d > Duration::Zero()) {
+    now_ = now_ + d;
+  }
+}
+
+void SimClock::AdvanceTo(TimePoint t) {
+  if (t > now_) {
+    now_ = t;
+  }
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,105 @@
+// Simulated time.
+//
+// All latencies, costs, and arrival times in the simulator are Durations and
+// TimePoints in microseconds. Library code never reads the wall clock; a
+// SimClock owned by the simulation environment is the single source of time.
+
+#ifndef PRONGHORN_SRC_COMMON_CLOCK_H_
+#define PRONGHORN_SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pronghorn {
+
+// A span of simulated time, in microseconds. A thin strong-typedef over
+// int64_t: arithmetic is explicit and unit confusion is a compile error.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t ToMicros() const { return micros_; }
+  constexpr double ToMillis() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(micros_ + other.micros_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(micros_ - other.micros_);
+  }
+  constexpr Duration operator*(double factor) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(micros_) * factor));
+  }
+  Duration& operator+=(Duration other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  // "12.345ms" style rendering for logs and tables.
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t micros) : micros_(micros) {}
+
+  int64_t micros_ = 0;
+};
+
+// An instant of simulated time (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+
+  constexpr int64_t ToMicros() const { return micros_; }
+  constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(micros_ + d.ToMicros());
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::Micros(micros_ - other.micros_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(int64_t micros) : micros_(micros) {}
+
+  int64_t micros_ = 0;
+};
+
+// Monotonic simulated clock. The simulation environment advances it as events
+// complete; components read it to timestamp metadata.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  TimePoint now() const { return now_; }
+
+  // Advances the clock by `d`. Negative advances are clamped to zero so a
+  // buggy cost model can never move time backwards.
+  void Advance(Duration d);
+
+  // Jumps the clock forward to `t` if `t` is in the future; otherwise no-op.
+  void AdvanceTo(TimePoint t);
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_CLOCK_H_

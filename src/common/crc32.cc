@@ -1,0 +1,40 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace pronghorn {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value & 1) ? (0xedb88320u ^ (value >> 1)) : (value >> 1);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  for (uint8_t byte : data) {
+    state = table[(state ^ byte) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Finalize(Crc32Update(kCrc32Init, data));
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial), used to detect snapshot image corruption.
+
+#ifndef PRONGHORN_SRC_COMMON_CRC32_H_
+#define PRONGHORN_SRC_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+namespace pronghorn {
+
+// One-shot CRC-32 of `data`.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental form: seed with kCrc32Init, feed chunks, finalize.
+inline constexpr uint32_t kCrc32Init = 0xffffffffu;
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data);
+inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xffffffffu; }
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_CRC32_H_

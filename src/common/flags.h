@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches
+// (`--verbose`). Unknown flags are an error (catches typos); positional
+// arguments are collected in order.
+
+#ifndef PRONGHORN_SRC_COMMON_FLAGS_H_
+#define PRONGHORN_SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  // Declares a flag. `description` feeds the usage text. Every flag has a
+  // string default; typed getters parse on access.
+  void AddFlag(std::string name, std::string default_value, std::string description);
+  // Declares a boolean switch (present => true).
+  void AddSwitch(std::string name, std::string description);
+
+  // Parses argv (excluding argv[0]). Fails on unknown or malformed flags.
+  Status Parse(int argc, const char* const* argv);
+
+  // Typed access; kInvalidArgument when the value does not parse.
+  Result<std::string> GetString(std::string_view name) const;
+  Result<int64_t> GetInt(std::string_view name) const;
+  Result<double> GetDouble(std::string_view name) const;
+  Result<bool> GetBool(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Formats the flag table for --help output.
+  std::string UsageText(std::string_view program_name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string description;
+    bool is_switch = false;
+  };
+
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_FLAGS_H_

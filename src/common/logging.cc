@@ -1,0 +1,65 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace pronghorn {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+// Trims a path like ".../src/core/policy.cc" to "core/policy.cc".
+const char* ShortFileName(const char* file) {
+  const char* last = file;
+  const char* prev = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      prev = last;
+      last = p + 1;
+    }
+  }
+  return prev;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogImpl(LogLevel level, const char* file, int line, const char* format, ...) {
+  if (static_cast<int>(level) < g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char message[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), ShortFileName(file), line,
+               message);
+}
+
+}  // namespace pronghorn

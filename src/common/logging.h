@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Logging goes to stderr with printf-style formatting. The level is a global
+// setting; benches run at kWarning so exhibit output stays clean, tests may
+// raise verbosity when debugging.
+
+#ifndef PRONGHORN_SRC_COMMON_LOGGING_H_
+#define PRONGHORN_SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace pronghorn {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Logs a printf-formatted line at `level` if the global level permits.
+void LogImpl(LogLevel level, const char* file, int line, const char* format, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace pronghorn
+
+#define PRONGHORN_LOG_DEBUG(...) \
+  ::pronghorn::LogImpl(::pronghorn::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define PRONGHORN_LOG_INFO(...) \
+  ::pronghorn::LogImpl(::pronghorn::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define PRONGHORN_LOG_WARNING(...) \
+  ::pronghorn::LogImpl(::pronghorn::LogLevel::kWarning, __FILE__, __LINE__, __VA_ARGS__)
+#define PRONGHORN_LOG_ERROR(...) \
+  ::pronghorn::LogImpl(::pronghorn::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+#endif  // PRONGHORN_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,43 @@
+// Numeric helpers used by the orchestration policy: numerically stable
+// softmax, EWMA updates, inverse-latency weighting, and summary means.
+
+#ifndef PRONGHORN_SRC_COMMON_MATHUTIL_H_
+#define PRONGHORN_SRC_COMMON_MATHUTIL_H_
+
+#include <span>
+#include <vector>
+
+namespace pronghorn {
+
+// Numerically stable softmax: subtracts the max before exponentiating, so
+// arbitrarily large inverse-latency weights cannot overflow. Returns an empty
+// vector for empty input. `temperature` scales the input logits; 1.0 is the
+// paper's formulation, larger values flatten the distribution.
+std::vector<double> Softmax(std::span<const double> logits, double temperature = 1.0);
+
+// EWMA update used by the policy's knowledge step (Algorithm 1, part 3):
+// new = alpha * sample + (1 - alpha) * old.
+double EwmaUpdate(double old_value, double sample, double alpha);
+
+// Inverse weighting 1 / (value + mu) from the paper's probability map D.
+// `mu` is the tiny positive constant that makes unexplored (zero) entries
+// receive enormous weight.
+double InverseWeight(double value, double mu);
+
+// Geometric mean of strictly positive values; returns 0 for empty input and
+// ignores non-positive entries (they would otherwise poison the log-sum).
+double GeometricMean(std::span<const double> values);
+
+// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> values);
+
+// Clamps `value` to [lo, hi].
+double Clamp(double value, double lo, double hi);
+
+// Inverse CDF of the standard normal distribution (Acklam's rational
+// approximation, |relative error| < 1.15e-9). `p` must be in (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_MATHUTIL_H_

@@ -1,0 +1,160 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pronghorn {
+
+void OnlineStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::min(std::max(q, 0.0), 100.0);
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void DistributionSummary::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void DistributionSummary::AddAll(std::span<const double> values) {
+  samples_.insert(samples_.end(), values.begin(), values.end());
+  sorted_valid_ = false;
+}
+
+void DistributionSummary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double DistributionSummary::Quantile(double q) const {
+  EnsureSorted();
+  return Percentile(sorted_, q);
+}
+
+double DistributionSummary::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : samples_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double DistributionSummary::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double DistributionSummary::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+std::vector<DistributionSummary::CdfPoint> DistributionSummary::Cdf(size_t points) const {
+  std::vector<CdfPoint> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points);
+    const double rank = p * static_cast<double>(sorted_.size() - 1);
+    const size_t idx = static_cast<size_t>(rank);
+    out.push_back(CdfPoint{sorted_[std::min(idx, sorted_.size() - 1)], p});
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double log10_min, double log10_max, size_t bins)
+    : log10_min_(log10_min),
+      log10_max_(log10_max),
+      bins_(bins == 0 ? 1 : bins),
+      buckets_(bins_ + 2, 0) {}
+
+void LogHistogram::Add(double value) {
+  ++total_;
+  if (value <= 0.0) {
+    ++buckets_.front();
+    return;
+  }
+  const double lg = std::log10(value);
+  if (lg < log10_min_) {
+    ++buckets_.front();
+  } else if (lg >= log10_max_) {
+    ++buckets_.back();
+  } else {
+    const double width = (log10_max_ - log10_min_) / static_cast<double>(bins_);
+    size_t idx = static_cast<size_t>((lg - log10_min_) / width);
+    idx = std::min(idx, bins_ - 1);
+    ++buckets_[idx + 1];
+  }
+}
+
+double LogHistogram::BucketLowerBound(size_t i) const {
+  const double width = (log10_max_ - log10_min_) / static_cast<double>(bins_);
+  return std::pow(10.0, log10_min_ + static_cast<double>(i) * width);
+}
+
+std::string LogHistogram::ToAsciiArt(size_t width) const {
+  if (total_ == 0 || width == 0) {
+    return "(empty)";
+  }
+  // Collapse the in-range buckets onto `width` columns.
+  std::string art(width, ' ');
+  static constexpr const char kGlyphs[] = " .:-=+*#%@";
+  size_t max_count = 1;
+  for (size_t i = 1; i + 1 < buckets_.size(); ++i) {
+    max_count = std::max(max_count, buckets_[i]);
+  }
+  for (size_t col = 0; col < width; ++col) {
+    const size_t begin = 1 + col * bins_ / width;
+    const size_t end = std::max(begin + 1, 1 + (col + 1) * bins_ / width);
+    size_t count = 0;
+    for (size_t i = begin; i < end && i + 1 < buckets_.size(); ++i) {
+      count += buckets_[i];
+    }
+    const size_t glyph =
+        count == 0 ? 0 : 1 + count * (sizeof(kGlyphs) - 3) / max_count;
+    art[col] = kGlyphs[std::min(glyph, sizeof(kGlyphs) - 2)];
+  }
+  return art;
+}
+
+}  // namespace pronghorn

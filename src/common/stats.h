@@ -1,0 +1,101 @@
+// Streaming and batch statistics used by the metrics collector and the
+// benchmark harnesses (percentiles, CDFs, summary rows).
+
+#ifndef PRONGHORN_SRC_COMMON_STATS_H_
+#define PRONGHORN_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pronghorn {
+
+// Welford-style streaming moments plus min/max.
+class OnlineStats {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch percentile over a copy of the samples, using linear interpolation
+// between closest ranks. `q` in [0, 100]. Returns 0 for empty input.
+double Percentile(std::span<const double> samples, double q);
+
+// Accumulates samples and renders distribution summaries. The benchmark
+// harnesses use this to print CDF series the way the paper plots them.
+class DistributionSummary {
+ public:
+  void Add(double value);
+  void AddAll(std::span<const double> values);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double Quantile(double q) const;  // q in [0, 100].
+  double Median() const { return Quantile(50.0); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  // CDF sampled at `points` evenly spaced probabilities in (0, 1]; each entry
+  // is {value, cumulative_probability}.
+  struct CdfPoint {
+    double value = 0.0;
+    double probability = 0.0;
+  };
+  std::vector<CdfPoint> Cdf(size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  // Sorted cache; invalidated on Add.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Fixed-bin histogram over log10-spaced bins, matching the log-scale x axes
+// of the paper's CDF figures.
+class LogHistogram {
+ public:
+  // Bins span [10^log10_min, 10^log10_max) split into `bins` equal log-width
+  // buckets, plus an underflow and an overflow bucket.
+  LogHistogram(double log10_min, double log10_max, size_t bins);
+
+  void Add(double value);
+  size_t total() const { return total_; }
+  // Counts per bucket, index 0 = underflow, last = overflow.
+  const std::vector<size_t>& buckets() const { return buckets_; }
+  // Lower bound (in value space) of in-range bucket `i` (0-based).
+  double BucketLowerBound(size_t i) const;
+
+  // Renders a compact ASCII sparkline of the distribution for logs.
+  std::string ToAsciiArt(size_t width = 60) const;
+
+ private:
+  double log10_min_;
+  double log10_max_;
+  size_t bins_;
+  std::vector<size_t> buckets_;
+  size_t total_ = 0;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_STATS_H_

@@ -1,0 +1,49 @@
+// The two comparison policies of the paper's evaluation (§5.1):
+//
+//  * Cold-start: no checkpoint/restore at all; every worker boots cold.
+//  * Checkpoint-after-1st: the state of the art (Catalyzer, Fireworks,
+//    Prebaking, Groundhog, Lambda SnapStart) — snapshot once, right after
+//    the first request completes, and restore every subsequent worker from
+//    that single snapshot.
+
+#ifndef PRONGHORN_SRC_CORE_BASELINE_POLICIES_H_
+#define PRONGHORN_SRC_CORE_BASELINE_POLICIES_H_
+
+#include "src/core/policy.h"
+
+namespace pronghorn {
+
+class ColdStartPolicy : public OrchestrationPolicy {
+ public:
+  explicit ColdStartPolicy(const PolicyConfig& config = PolicyConfig{})
+      : config_(config) {}
+
+  std::string_view name() const override { return "cold-start"; }
+  const PolicyConfig& config() const override { return config_; }
+  StartDecision OnWorkerStart(const PolicyState& state, Rng& rng) const override;
+  void OnRequestComplete(PolicyState& state, uint64_t request_number,
+                         Duration latency) const override;
+  std::vector<PoolEntry> OnSnapshotAdded(PolicyState& state, Rng& rng) const override;
+
+ private:
+  PolicyConfig config_;
+};
+
+class CheckpointAfterFirstPolicy : public OrchestrationPolicy {
+ public:
+  explicit CheckpointAfterFirstPolicy(const PolicyConfig& config) : config_(config) {}
+
+  std::string_view name() const override { return "checkpoint-after-1st"; }
+  const PolicyConfig& config() const override { return config_; }
+  StartDecision OnWorkerStart(const PolicyState& state, Rng& rng) const override;
+  void OnRequestComplete(PolicyState& state, uint64_t request_number,
+                         Duration latency) const override;
+  std::vector<PoolEntry> OnSnapshotAdded(PolicyState& state, Rng& rng) const override;
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CORE_BASELINE_POLICIES_H_

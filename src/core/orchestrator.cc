@@ -1,0 +1,173 @@
+#include "src/core/orchestrator.h"
+
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace pronghorn {
+
+Orchestrator::Orchestrator(const WorkloadProfile& profile,
+                           const WorkloadRegistry& registry,
+                           const OrchestrationPolicy& policy, CheckpointEngine& engine,
+                           ObjectStore& object_store, PolicyStateStore& state_store,
+                           SimClock& clock, uint64_t seed, OrchestratorCostModel costs)
+    : profile_(profile),
+      registry_(registry),
+      policy_(policy),
+      engine_(engine),
+      object_store_(object_store),
+      state_store_(state_store),
+      clock_(clock),
+      rng_(HashCombine(seed, 0x0c4e57ULL)),
+      costs_(costs) {}
+
+Duration Orchestrator::TransferTime(uint64_t logical_bytes) const {
+  const double mb = static_cast<double>(logical_bytes) / (1024.0 * 1024.0);
+  return Duration::Seconds(mb / costs_.object_store_mb_per_sec);
+}
+
+Result<WorkerSession> Orchestrator::StartWorker() {
+  // Workflow step: the Orchestrator queries the Database for the freshest
+  // view of snapshots and their performance before deciding.
+  PRONGHORN_ASSIGN_OR_RETURN(PolicyState state, state_store_.Load());
+  const StartDecision decision = policy_.OnWorkerStart(state, rng_);
+
+  const Duration decision_overhead =
+      costs_.db_read_latency + costs_.decision_base_cost +
+      costs_.decision_per_snapshot_cost * static_cast<double>(state.pool.size());
+
+  WorkerSession session =
+      [&]() -> WorkerSession {
+    if (decision.restore_from.has_value()) {
+      auto entry = state.pool.Find(*decision.restore_from);
+      if (entry.ok()) {
+        auto blob = object_store_.Get((*entry)->object_key);
+        if (blob.ok()) {
+          auto image = SnapshotImage::Decode(blob->bytes);
+          if (image.ok()) {
+            auto restored = engine_.Restore(*image, registry_);
+            if (restored.ok()) {
+              WorkerSession s(std::move(restored->process), next_worker_id_++);
+              s.restored = true;
+              s.restored_from = *decision.restore_from;
+              s.startup_latency =
+                  TransferTime(blob->logical_size) + restored->restore_time;
+              return s;
+            }
+            PRONGHORN_LOG_WARNING("restore of snapshot %llu failed: %s",
+                                  static_cast<unsigned long long>(
+                                      decision.restore_from->value),
+                                  restored.status().ToString().c_str());
+          } else {
+            PRONGHORN_LOG_WARNING("snapshot %llu image corrupt: %s",
+                                  static_cast<unsigned long long>(
+                                      decision.restore_from->value),
+                                  image.status().ToString().c_str());
+          }
+        } else {
+          // Concurrent eviction between our Load and the Get; cold start.
+          PRONGHORN_LOG_DEBUG("snapshot object missing for id %llu; cold start",
+                              static_cast<unsigned long long>(
+                                  decision.restore_from->value));
+        }
+      }
+    }
+    WorkerSession s(RuntimeProcess::ColdStart(profile_, rng_.NextUint64()),
+                    next_worker_id_++);
+    s.startup_latency = profile_.cold_init;
+    return s;
+  }();
+
+  session.checkpoint_at = decision.checkpoint_at_request;
+  session.startup_overhead = decision_overhead;
+
+  overheads_.worker_starts += 1;
+  overheads_.total_startup_overhead += decision_overhead;
+  return session;
+}
+
+Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
+                                                  const FunctionRequest& request) {
+  RequestOutcome outcome;
+
+  const ExecutionResult execution = session.process.Execute(request);
+  outcome.latency = execution.latency;
+  outcome.request_number = session.process.requests_executed();
+
+  // Workflow step 3: pass the end-to-end latency to the policy, which
+  // updates the Database (one knowledge write per request).
+  const uint64_t request_number = outcome.request_number;
+  const Duration latency = outcome.latency;
+  PRONGHORN_RETURN_IF_ERROR(state_store_.Update([&](PolicyState& state) {
+    policy_.OnRequestComplete(state, request_number, latency);
+  }));
+  outcome.request_overhead = costs_.db_write_latency;
+  overheads_.requests_served += 1;
+  overheads_.total_request_overhead += outcome.request_overhead;
+
+  // Workflow steps 5-8: checkpoint when this lifetime's plan fires.
+  if (session.checkpoint_at.has_value() &&
+      session.process.requests_executed() >= *session.checkpoint_at) {
+    PRONGHORN_ASSIGN_OR_RETURN(Duration downtime, TakeCheckpoint(session, outcome));
+    outcome.checkpoint_taken = true;
+    outcome.checkpoint_downtime = downtime;
+    session.checkpoint_at.reset();  // One checkpoint per lifetime plan.
+  }
+  return outcome;
+}
+
+Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
+                                              RequestOutcome& outcome) {
+  PRONGHORN_ASSIGN_OR_RETURN(SnapshotId id, state_store_.AllocateSnapshotId());
+  PRONGHORN_ASSIGN_OR_RETURN(CheckpointOutcome checkpoint,
+                             engine_.Checkpoint(session.process, id, clock_.now()));
+
+  const SnapshotImage& image = checkpoint.image;
+  // Scope the object key by the deployment (the state store's function
+  // scope), not the workload name: two deployments of one workload — e.g.
+  // input-class-specialized orchestrators — must never collide in a shared
+  // object store.
+  const std::string key = "snapshots/" + state_store_.function() + "/" +
+                          std::to_string(image.metadata().id.value);
+  ObjectBlob blob;
+  blob.bytes = image.Encode();
+  blob.logical_size = image.metadata().logical_size_bytes;
+  PRONGHORN_RETURN_IF_ERROR(object_store_.Put(key, std::move(blob)));
+
+  // Record the snapshot and apply the capacity rule atomically. External
+  // deletions happen only after the state update commits; `evicted` is
+  // rebuilt on every CAS retry so the mutator stays idempotent.
+  std::vector<PoolEntry> evicted;
+  size_t pool_size_after = 0;
+  PRONGHORN_RETURN_IF_ERROR(state_store_.Update([&](PolicyState& state) {
+    evicted.clear();
+    if (!state.pool.Contains(image.metadata().id)) {
+      // Add cannot fail after the Contains check.
+      (void)state.pool.Add(PoolEntry{image.metadata(), key});
+    }
+    evicted = policy_.OnSnapshotAdded(state, rng_);
+    pool_size_after = state.pool.size();
+  }));
+  for (const PoolEntry& entry : evicted) {
+    const Status status = object_store_.Delete(entry.object_key);
+    if (!status.ok() && status.code() != StatusCode::kNotFound) {
+      return status;
+    }
+  }
+
+  // Orchestrator bookkeeping (Figure 7's per-checkpoint component): the
+  // metadata write, the pool update (which re-scores every pooled snapshot),
+  // and the eviction deletes. The image upload itself is network transfer,
+  // accounted by the object store, not orchestrator overhead.
+  const Duration overhead =
+      costs_.db_write_latency * 2.0 + costs_.decision_base_cost * 0.5 +
+      costs_.decision_per_snapshot_cost *
+          static_cast<double>(pool_size_after + evicted.size());
+  outcome.checkpoint_overhead = overhead;
+  overheads_.checkpoints_taken += 1;
+  overheads_.total_checkpoint_overhead += overhead;
+  return checkpoint.downtime;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,133 @@
+// Per-worker Orchestrator (paper Figure 2, workflow §3.2).
+//
+// The Orchestrator mediates between the serverless platform and the policy:
+// on worker launch it consults the Database-backed policy state, restores
+// from the chosen snapshot (or cold-starts), and fixes the lifetime's
+// checkpoint plan; on every request it records latency knowledge; when the
+// plan fires it checkpoints the process, uploads the image to the Object
+// Store, and records metadata in the Database, evicting pool overflow.
+
+#ifndef PRONGHORN_SRC_CORE_ORCHESTRATOR_H_
+#define PRONGHORN_SRC_CORE_ORCHESTRATOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/checkpoint/engine.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/core/policy.h"
+#include "src/core/policy_state_store.h"
+#include "src/store/object_store.h"
+
+namespace pronghorn {
+
+// Cost model for the orchestrator's own bookkeeping (Figure 7 accounting).
+// These costs are tracked off the critical path of request processing, as in
+// the paper ("they all occur off the critical path ... not directly observed
+// by the user").
+struct OrchestratorCostModel {
+  // One Database round trip.
+  Duration db_read_latency = Duration::Millis(3);
+  Duration db_write_latency = Duration::Millis(4);
+  // Fixed policy-decision CPU cost at worker startup...
+  Duration decision_base_cost = Duration::Millis(8);
+  // ...plus a per-pool-entry term (weight computation + softmax at startup,
+  // pool re-scoring at checkpoint). Calibrated so a full C=12 pool lands in
+  // the paper's Figure 7 envelope (startup < 2.5x baseline, checkpoint < 2x).
+  Duration decision_per_snapshot_cost = Duration::Millis(1);
+  // Object store transfer bandwidth for snapshot images.
+  double object_store_mb_per_sec = 1000.0;
+};
+
+// A live worker: the restored (or cold-started) process plus this lifetime's
+// orchestration plan.
+struct WorkerSession {
+  WorkerSession(RuntimeProcess p, uint64_t id) : process(std::move(p)), worker_id(id) {}
+
+  RuntimeProcess process;
+  uint64_t worker_id = 0;
+  // Absolute request number at which to checkpoint; nullopt = never.
+  std::optional<uint64_t> checkpoint_at;
+  bool restored = false;
+  SnapshotId restored_from;  // value 0 when cold.
+  // Time to make the worker ready: cold init, or image download + restore.
+  Duration startup_latency;
+  // Orchestrator bookkeeping at startup (DB read + decision).
+  Duration startup_overhead;
+};
+
+// What happened while serving one request.
+struct RequestOutcome {
+  // End-to-end execution latency of the function (the quantity the paper's
+  // CDFs plot; worker startup is off the critical path, see platform docs).
+  Duration latency;
+  // Maturity index of the request just served (1 = first request ever).
+  uint64_t request_number = 0;
+  bool checkpoint_taken = false;
+  // Worker downtime caused by the checkpoint (not user-visible).
+  Duration checkpoint_downtime;
+  // Orchestrator bookkeeping for this request (knowledge write).
+  Duration request_overhead;
+  // Bookkeeping for the checkpoint, when one was taken (uploads, metadata).
+  Duration checkpoint_overhead;
+};
+
+// Cumulative per-operation overhead totals (Figure 7 rows).
+struct OrchestratorOverheads {
+  uint64_t worker_starts = 0;
+  uint64_t requests_served = 0;
+  uint64_t checkpoints_taken = 0;
+  Duration total_startup_overhead;
+  Duration total_request_overhead;
+  Duration total_checkpoint_overhead;
+};
+
+class Orchestrator {
+ public:
+  // All dependencies are borrowed and must outlive the Orchestrator. `seed`
+  // drives policy randomness and process seeds.
+  Orchestrator(const WorkloadProfile& profile, const WorkloadRegistry& registry,
+               const OrchestrationPolicy& policy, CheckpointEngine& engine,
+               ObjectStore& object_store, PolicyStateStore& state_store,
+               SimClock& clock, uint64_t seed,
+               OrchestratorCostModel costs = OrchestratorCostModel{});
+
+  // Launches a new worker according to the policy (workflow steps: query
+  // Database, select snapshot, restore or cold start, plan checkpoint).
+  // If the selected snapshot has vanished (concurrent eviction), falls back
+  // to a cold start rather than failing the launch.
+  Result<WorkerSession> StartWorker();
+
+  // Serves one request: executes it, updates latency knowledge in the
+  // Database (steps 2-4), and checkpoints if this lifetime's plan fires
+  // (steps 5-8).
+  Result<RequestOutcome> ServeRequest(WorkerSession& session,
+                                      const FunctionRequest& request);
+
+  const OrchestratorOverheads& overheads() const { return overheads_; }
+  const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  // Takes a snapshot of the session's process, uploads it, and records it in
+  // the policy state; returns the worker downtime.
+  Result<Duration> TakeCheckpoint(WorkerSession& session, RequestOutcome& outcome);
+
+  Duration TransferTime(uint64_t logical_bytes) const;
+
+  const WorkloadProfile& profile_;
+  const WorkloadRegistry& registry_;
+  const OrchestrationPolicy& policy_;
+  CheckpointEngine& engine_;
+  ObjectStore& object_store_;
+  PolicyStateStore& state_store_;
+  SimClock& clock_;
+  Rng rng_;
+  OrchestratorCostModel costs_;
+  OrchestratorOverheads overheads_;
+  uint64_t next_worker_id_ = 1;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CORE_ORCHESTRATOR_H_

@@ -1,0 +1,117 @@
+#include "src/core/policy_state_store.h"
+
+#include "src/common/bytes.h"
+#include "src/common/logging.h"
+
+namespace pronghorn {
+
+namespace {
+
+constexpr uint32_t kStateFormatVersion = 1;
+// A CAS loop that spins this long indicates a livelock bug, not contention.
+constexpr int kMaxCasAttempts = 1000;
+// Transient (kUnavailable) database failures are retried this many times
+// before surfacing; production stores expose the same retry discipline.
+constexpr int kMaxTransientRetries = 8;
+
+}  // namespace
+
+std::vector<uint8_t> EncodePolicyState(const PolicyState& state) {
+  ByteWriter writer;
+  writer.WriteUint32(kStateFormatVersion);
+  state.theta.Serialize(writer);
+  state.pool.Serialize(writer);
+  return writer.TakeData();
+}
+
+Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  PRONGHORN_ASSIGN_OR_RETURN(uint32_t version, reader.ReadUint32());
+  if (version != kStateFormatVersion) {
+    return DataLossError("unsupported policy state version " + std::to_string(version));
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(WeightVector theta, WeightVector::Deserialize(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(SnapshotPool pool, SnapshotPool::Deserialize(reader));
+  if (!reader.AtEnd()) {
+    return DataLossError("trailing bytes after policy state");
+  }
+  return PolicyState(std::move(theta), std::move(pool));
+}
+
+PolicyStateStore::PolicyStateStore(KvDatabase& db, std::string function,
+                                   const PolicyConfig& config)
+    : db_(db), function_(std::move(function)), config_(config) {}
+
+Result<PolicyState> PolicyStateStore::Load() const {
+  for (int attempt = 0;; ++attempt) {
+    auto blob = db_.Get(StateKey());
+    if (blob.ok()) {
+      return DecodePolicyState(*blob);
+    }
+    if (blob.status().code() == StatusCode::kNotFound) {
+      return PolicyState(config_);
+    }
+    if (blob.status().code() != StatusCode::kUnavailable ||
+        attempt >= kMaxTransientRetries) {
+      return blob.status();
+    }
+    PRONGHORN_LOG_DEBUG("transient load failure for '%s' (attempt %d): %s",
+                        function_.c_str(), attempt + 1,
+                        blob.status().ToString().c_str());
+  }
+}
+
+Status PolicyStateStore::Update(const std::function<void(PolicyState&)>& mutate) {
+  int transient_failures = 0;
+  for (int attempt = 0; attempt < kMaxCasAttempts; ++attempt) {
+    uint64_t version = 0;
+    PolicyState state(config_);
+    auto versioned = db_.GetVersioned(StateKey());
+    if (versioned.ok()) {
+      version = versioned->version;
+      PRONGHORN_ASSIGN_OR_RETURN(state, DecodePolicyState(versioned->value));
+    } else if (versioned.status().code() == StatusCode::kUnavailable) {
+      if (++transient_failures > kMaxTransientRetries) {
+        return versioned.status();
+      }
+      continue;
+    } else if (versioned.status().code() != StatusCode::kNotFound) {
+      return versioned.status();
+    }
+
+    mutate(state);
+
+    Status cas = db_.CompareAndSwap(StateKey(), version, EncodePolicyState(state));
+    if (cas.ok()) {
+      return OkStatus();
+    }
+    if (cas.code() == StatusCode::kUnavailable) {
+      if (++transient_failures > kMaxTransientRetries) {
+        return cas;
+      }
+      continue;
+    }
+    if (cas.code() != StatusCode::kAborted) {
+      return cas;
+    }
+    PRONGHORN_LOG_DEBUG("CAS conflict updating state for '%s' (attempt %d)",
+                        function_.c_str(), attempt + 1);
+  }
+  return InternalError("policy state CAS loop exceeded " +
+                       std::to_string(kMaxCasAttempts) + " attempts for " + function_);
+}
+
+Result<SnapshotId> PolicyStateStore::AllocateSnapshotId() {
+  for (int attempt = 0;; ++attempt) {
+    auto next = db_.Increment(SequenceKey());
+    if (next.ok()) {
+      return SnapshotId{static_cast<uint64_t>(*next)};
+    }
+    if (next.status().code() != StatusCode::kUnavailable ||
+        attempt >= kMaxTransientRetries) {
+      return next.status();
+    }
+  }
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,55 @@
+// Database-backed persistence of the per-function PolicyState.
+//
+// Workflow steps 3, 4, and 8 of §3.2: after every request the orchestrator
+// writes latency knowledge to the Database; before decisions it refreshes its
+// view (other workers may have updated it concurrently); after a checkpoint
+// it records the snapshot's location and metadata. Concurrent updates are
+// serialized with versioned compare-and-swap over the state blob.
+
+#ifndef PRONGHORN_SRC_CORE_POLICY_STATE_STORE_H_
+#define PRONGHORN_SRC_CORE_POLICY_STATE_STORE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/core/policy.h"
+#include "src/store/kv_database.h"
+
+namespace pronghorn {
+
+// Serializes a PolicyState to the Database blob format (versioned, CRC-free:
+// the Database is trusted storage, unlike snapshot images in flight).
+std::vector<uint8_t> EncodePolicyState(const PolicyState& state);
+Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes);
+
+class PolicyStateStore {
+ public:
+  // `function` scopes all keys; `config` sizes fresh weight vectors.
+  PolicyStateStore(KvDatabase& db, std::string function, const PolicyConfig& config);
+
+  // Loads the current state; a function never seen before gets a fresh
+  // zero-initialized state.
+  Result<PolicyState> Load() const;
+
+  // Applies `mutate` atomically via a CAS retry loop. The mutator may be
+  // invoked multiple times (on conflict it re-runs against the fresh state),
+  // so it must be idempotent with respect to external effects.
+  Status Update(const std::function<void(PolicyState&)>& mutate);
+
+  // Allocates a globally unique snapshot id from the Database sequence.
+  Result<SnapshotId> AllocateSnapshotId();
+
+  const std::string& function() const { return function_; }
+
+ private:
+  std::string StateKey() const { return "policy/" + function_ + "/state"; }
+  std::string SequenceKey() const { return "policy/" + function_ + "/next-snapshot-id"; }
+
+  KvDatabase& db_;
+  std::string function_;
+  PolicyConfig config_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CORE_POLICY_STATE_STORE_H_

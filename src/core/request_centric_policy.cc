@@ -1,0 +1,86 @@
+#include "src/core/request_centric_policy.h"
+
+#include <algorithm>
+
+#include "src/common/mathutil.h"
+
+namespace pronghorn {
+
+Result<RequestCentricPolicy> RequestCentricPolicy::Create(const PolicyConfig& config) {
+  PRONGHORN_RETURN_IF_ERROR(config.Validate());
+  return RequestCentricPolicy(config);
+}
+
+std::vector<double> RequestCentricPolicy::SnapshotWeights(const PolicyState& state) const {
+  // GetSnapshotWeights (Algorithm 1, lines 11-18): w[i] is the average
+  // inverse learned latency over the lifetime that would follow a restore
+  // from snapshot i.
+  std::vector<double> weights;
+  weights.reserve(state.pool.size());
+  for (const PoolEntry& entry : state.pool.entries()) {
+    weights.push_back(state.theta.LifetimeWeight(entry.metadata.request_number,
+                                                 config_.beta, config_.mu));
+  }
+  return weights;
+}
+
+std::optional<uint64_t> RequestCentricPolicy::DrawCheckpointRequest(
+    const PolicyState& state, uint64_t start, Rng& rng) const {
+  // OnContainerStart (Algorithm 1, lines 4-10). The paper draws from
+  // [R, R+beta]; we draw from (R, min(R+beta, W)]: checkpointing at R itself
+  // would duplicate the snapshot we just restored (no new JIT progress), and
+  // W bounds the request numbers at which checkpointing is permitted
+  // (Table 2).
+  const uint64_t lo = start + 1;
+  const uint64_t hi =
+      std::min<uint64_t>(start + config_.beta, config_.max_checkpoint_request);
+  if (lo > hi) {
+    return std::nullopt;
+  }
+  const std::vector<double> weights = state.theta.InverseWeights(lo, hi, config_.mu);
+  if (weights.empty()) {
+    return std::nullopt;
+  }
+  const size_t index = rng.WeightedIndex(weights);
+  return lo + index;
+}
+
+StartDecision RequestCentricPolicy::OnWorkerStart(const PolicyState& state,
+                                                  Rng& rng) const {
+  StartDecision decision;
+  uint64_t start_request = 0;
+  if (!state.pool.empty()) {
+    // OnContainerInit (lines 19-23): softmax over snapshot weights, then a
+    // weighted draw. Low-lifetime-latency snapshots dominate, but every
+    // snapshot keeps nonzero probability.
+    const std::vector<double> weights = SnapshotWeights(state);
+    const std::vector<double> probabilities =
+        Softmax(weights, config_.softmax_temperature);
+    const size_t index = rng.WeightedIndex(probabilities);
+    const PoolEntry& chosen = state.pool.entries()[index];
+    decision.restore_from = chosen.metadata.id;
+    start_request = chosen.metadata.request_number;
+  }
+  decision.checkpoint_at_request = DrawCheckpointRequest(state, start_request, rng);
+  return decision;
+}
+
+void RequestCentricPolicy::OnRequestComplete(PolicyState& state, uint64_t request_number,
+                                             Duration latency) const {
+  // OnRequest (lines 24-30): first observation initializes, later ones blend
+  // with proportion alpha (handled inside WeightVector::Update).
+  state.theta.Update(request_number, latency.ToSeconds(), config_.alpha);
+}
+
+std::vector<PoolEntry> RequestCentricPolicy::OnSnapshotAdded(PolicyState& state,
+                                                             Rng& rng) const {
+  // OnCapacityReached (lines 31-36).
+  if (state.pool.size() <= config_.pool_capacity) {
+    return {};
+  }
+  const std::vector<double> weights = SnapshotWeights(state);
+  return state.pool.Prune(weights, config_.retain_top_percent,
+                          config_.retain_random_percent, rng);
+}
+
+}  // namespace pronghorn

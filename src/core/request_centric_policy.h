@@ -1,0 +1,59 @@
+// Pronghorn's request-centric orchestration policy (§3.4, Algorithm 1).
+
+#ifndef PRONGHORN_SRC_CORE_REQUEST_CENTRIC_POLICY_H_
+#define PRONGHORN_SRC_CORE_REQUEST_CENTRIC_POLICY_H_
+
+#include "src/core/policy.h"
+
+namespace pronghorn {
+
+// The paper's contribution. Maintains an EWMA weight vector theta of
+// per-request-number latencies and drives four decisions:
+//
+//  1. When to checkpoint (OnWorkerStart): the target request number is drawn
+//     from the worker's expected lifetime interval with probability inversely
+//     proportional to learned latency — unexplored request numbers (theta=0)
+//     receive enormous weight, so the policy explores the request range
+//     before exploiting low-latency regions. Checkpoints are never planned
+//     beyond W.
+//  2. Which snapshot to restore (OnWorkerStart): each pooled snapshot is
+//     scored by its average inverse lifetime latency, and the restore source
+//     is drawn from softmax(scores) — low-latency snapshots dominate, but
+//     high-latency regions keep nonzero probability (local-optima escape).
+//  3. How to update knowledge (OnRequestComplete): EWMA per request number.
+//  4. What to evict at capacity (OnSnapshotAdded): keep the top-p% by score
+//     plus a random gamma% (hill-climbing), drop the rest.
+class RequestCentricPolicy : public OrchestrationPolicy {
+ public:
+  // `config` must validate; construction with an invalid config is a
+  // programming error checked by the factory below.
+  static Result<RequestCentricPolicy> Create(const PolicyConfig& config);
+
+  std::string_view name() const override { return "request-centric"; }
+
+  StartDecision OnWorkerStart(const PolicyState& state, Rng& rng) const override;
+  void OnRequestComplete(PolicyState& state, uint64_t request_number,
+                         Duration latency) const override;
+  std::vector<PoolEntry> OnSnapshotAdded(PolicyState& state, Rng& rng) const override;
+
+  // Scores all pool entries (GetSnapshotWeights of Algorithm 1): average
+  // inverse lifetime latency per entry, parallel to state.pool.entries().
+  std::vector<double> SnapshotWeights(const PolicyState& state) const;
+
+  const PolicyConfig& config() const override { return config_; }
+
+ private:
+  explicit RequestCentricPolicy(const PolicyConfig& config) : config_(config) {}
+
+  // Draws the checkpoint target for a worker starting at request `start`,
+  // i.e. from the interval (start, min(start + beta, W)]; nullopt when the
+  // interval is empty (worker already at/beyond W).
+  std::optional<uint64_t> DrawCheckpointRequest(const PolicyState& state,
+                                                uint64_t start, Rng& rng) const;
+
+  PolicyConfig config_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CORE_REQUEST_CENTRIC_POLICY_H_

@@ -1,0 +1,61 @@
+// Fixed-capacity snapshot pool with the paper's top-p% + random-gamma%
+// retention policy (Algorithm 1, part 4).
+
+#ifndef PRONGHORN_SRC_CORE_SNAPSHOT_POOL_H_
+#define PRONGHORN_SRC_CORE_SNAPSHOT_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/checkpoint/snapshot.h"
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace pronghorn {
+
+// Pool-resident record of one snapshot: the metadata the policy reasons
+// about plus the object-store key holding the image.
+struct PoolEntry {
+  SnapshotMetadata metadata;
+  std::string object_key;
+
+  bool operator==(const PoolEntry&) const = default;
+};
+
+class SnapshotPool {
+ public:
+  SnapshotPool() = default;
+
+  // Adds an entry; rejects duplicate snapshot ids.
+  Status Add(PoolEntry entry);
+
+  Result<const PoolEntry*> Find(SnapshotId id) const;
+  bool Contains(SnapshotId id) const;
+
+  std::span<const PoolEntry> entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Retention pass (OnCapacityReached): keeps the ceil(p% * size) entries
+  // with the highest `weights` plus gamma% chosen uniformly at random from
+  // the remainder, removes the rest, and returns the removed entries so the
+  // caller can delete their images from the object store. `weights` must be
+  // parallel to entries(). Always retains at least one entry.
+  std::vector<PoolEntry> Prune(std::span<const double> weights, double top_percent,
+                               double random_percent, Rng& rng);
+
+  void Serialize(ByteWriter& writer) const;
+  static Result<SnapshotPool> Deserialize(ByteReader& reader);
+
+  bool operator==(const SnapshotPool& other) const = default;
+
+ private:
+  std::vector<PoolEntry> entries_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CORE_SNAPSHOT_POOL_H_

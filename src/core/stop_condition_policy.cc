@@ -1,0 +1,47 @@
+#include "src/core/stop_condition_policy.h"
+
+namespace pronghorn {
+
+StartDecision StopConditionPolicy::OnWorkerStart(const PolicyState& state,
+                                                 Rng& rng) const {
+  if (!frozen()) {
+    return inner_.OnWorkerStart(state, rng);
+  }
+  // Frozen: deterministically exploit the best-known snapshot, never plan a
+  // checkpoint. "Best" is the lowest learned lifetime latency, i.e. the
+  // highest average inverse lifetime weight — ties broken by recency.
+  StartDecision decision;
+  const PolicyConfig& config = inner_.config();
+  const PoolEntry* best = nullptr;
+  double best_weight = -1.0;
+  for (const PoolEntry& entry : state.pool.entries()) {
+    const double weight =
+        state.theta.LifetimeWeight(entry.metadata.request_number, config.beta,
+                                   config.mu);
+    if (weight > best_weight ||
+        (weight == best_weight && best != nullptr &&
+         entry.metadata.id.value > best->metadata.id.value)) {
+      best = &entry;
+      best_weight = weight;
+    }
+  }
+  if (best != nullptr) {
+    decision.restore_from = best->metadata.id;
+  }
+  return decision;
+}
+
+void StopConditionPolicy::OnRequestComplete(PolicyState& state, uint64_t request_number,
+                                            Duration latency) const {
+  requests_seen_.fetch_add(1, std::memory_order_relaxed);
+  // Knowledge keeps flowing either way; it is cheap and keeps the frozen
+  // best-snapshot choice honest if the provider later resumes exploration.
+  inner_.OnRequestComplete(state, request_number, latency);
+}
+
+std::vector<PoolEntry> StopConditionPolicy::OnSnapshotAdded(PolicyState& state,
+                                                            Rng& rng) const {
+  return inner_.OnSnapshotAdded(state, rng);
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,96 @@
+#include "src/core/weight_vector.h"
+
+#include <algorithm>
+
+#include "src/common/mathutil.h"
+
+namespace pronghorn {
+
+void WeightVector::Update(uint64_t request_number, double latency_seconds, double alpha) {
+  if (request_number >= values_.size() || latency_seconds <= 0.0) {
+    return;
+  }
+  double& entry = values_[request_number];
+  if (entry == 0.0) {
+    entry = latency_seconds;  // First observation initializes (line 26).
+  } else {
+    entry = EwmaUpdate(entry, latency_seconds, alpha);  // Line 28.
+  }
+}
+
+double WeightVector::At(uint64_t request_number) const {
+  if (request_number >= values_.size()) {
+    return 0.0;
+  }
+  return values_[request_number];
+}
+
+uint32_t WeightVector::ExploredCount() const {
+  uint32_t count = 0;
+  for (double v : values_) {
+    if (v > 0.0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<double> WeightVector::InverseWeights(uint64_t lo, uint64_t hi,
+                                                 double mu) const {
+  std::vector<double> weights;
+  if (lo > hi) {
+    return weights;
+  }
+  const uint64_t clamped_hi = std::min<uint64_t>(hi, values_.size() - 1);
+  if (lo > clamped_hi) {
+    return weights;
+  }
+  weights.reserve(clamped_hi - lo + 1);
+  for (uint64_t i = lo; i <= clamped_hi; ++i) {
+    weights.push_back(InverseWeight(values_[i], mu));
+  }
+  return weights;
+}
+
+double WeightVector::LifetimeWeight(uint64_t start, uint32_t beta, double mu) const {
+  // Entries beyond the learned window contribute as unexplored (theta = 0),
+  // keeping the exploration bonus for snapshots near the window's edge.
+  double sum = 0.0;
+  for (uint64_t i = start; i <= start + beta; ++i) {
+    sum += InverseWeight(At(i), mu);
+  }
+  return sum / static_cast<double>(beta);
+}
+
+double WeightVector::LifetimeLatencySum(uint64_t start, uint32_t beta) const {
+  double sum = 0.0;
+  for (uint64_t i = start; i <= start + beta; ++i) {
+    sum += At(i);
+  }
+  return sum;
+}
+
+void WeightVector::Serialize(ByteWriter& writer) const {
+  writer.WriteVarint(values_.size());
+  for (double v : values_) {
+    writer.WriteDouble(v);
+  }
+}
+
+Result<WeightVector> WeightVector::Deserialize(ByteReader& reader) {
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t length, reader.ReadVarint());
+  if (length == 0 || length > (1u << 24)) {
+    return DataLossError("implausible weight vector length");
+  }
+  WeightVector vector(static_cast<uint32_t>(length));
+  for (uint64_t i = 0; i < length; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(double v, reader.ReadDouble());
+    if (v < 0.0) {
+      return DataLossError("negative latency in weight vector");
+    }
+    vector.values_[i] = v;
+  }
+  return vector;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,60 @@
+// The learned per-request-number latency vector theta (Algorithm 1, line 2).
+
+#ifndef PRONGHORN_SRC_CORE_WEIGHT_VECTOR_H_
+#define PRONGHORN_SRC_CORE_WEIGHT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+// theta[i] is the EWMA of end-to-end latencies (in seconds) observed for the
+// i-th request since cold start, across all worker lifetimes of a function.
+// Zero means "never observed" — the policy's inverse weighting turns that
+// into an enormous exploration bonus.
+class WeightVector {
+ public:
+  explicit WeightVector(uint32_t length) : values_(length, 0.0) {}
+
+  uint32_t length() const { return static_cast<uint32_t>(values_.size()); }
+
+  // EWMA update (Algorithm 1, part 3): a first observation initializes the
+  // entry; later observations blend with proportion alpha. Out-of-range
+  // request numbers are ignored (observed beyond the learning window).
+  void Update(uint64_t request_number, double latency_seconds, double alpha);
+
+  // Latency estimate for a request number; 0 when unexplored or out of range.
+  double At(uint64_t request_number) const;
+
+  bool IsExplored(uint64_t request_number) const { return At(request_number) > 0.0; }
+
+  // Number of explored entries in [0, length).
+  uint32_t ExploredCount() const;
+
+  // Inverse weights 1/(theta[i]+mu) for i in [lo, hi] inclusive, clamped to
+  // the vector range (the probability map D of Algorithm 1, recomputed).
+  std::vector<double> InverseWeights(uint64_t lo, uint64_t hi, double mu) const;
+
+  // Average inverse weight over a worker lifetime starting at request
+  // `start`: (1/beta) * sum_{i=start}^{start+beta} 1/(theta[i]+mu)
+  // (Algorithm 1, GetSnapshotWeights line 15).
+  double LifetimeWeight(uint64_t start, uint32_t beta, double mu) const;
+
+  // Sum of learned latencies over a lifetime window, for reporting.
+  double LifetimeLatencySum(uint64_t start, uint32_t beta) const;
+
+  void Serialize(ByteWriter& writer) const;
+  static Result<WeightVector> Deserialize(ByteReader& reader);
+
+  bool operator==(const WeightVector& other) const = default;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_CORE_WEIGHT_VECTOR_H_

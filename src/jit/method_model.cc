@@ -1,0 +1,95 @@
+#include "src/jit/method_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pronghorn {
+
+namespace {
+
+// Fraction of hot methods too large for the optimizing tier.
+constexpr double kOversizedMethodProbability = 0.03;
+
+}  // namespace
+
+void MethodState::Serialize(ByteWriter& writer) const {
+  writer.WriteDouble(weight);
+  writer.WriteUint8(static_cast<uint8_t>(tier));
+  writer.WriteVarint(invocations);
+  writer.WriteVarint(deopt_count);
+  writer.WriteVarint(baseline_threshold);
+  writer.WriteVarint(optimize_threshold);
+  writer.WriteVarint(compile_remaining);
+  writer.WriteUint8(static_cast<uint8_t>(compile_target));
+  writer.WriteUint8(optimizable ? 1 : 0);
+  writer.WriteUint32(specialized_class);
+}
+
+Result<MethodState> MethodState::Deserialize(ByteReader& reader) {
+  MethodState m;
+  PRONGHORN_ASSIGN_OR_RETURN(m.weight, reader.ReadDouble());
+  PRONGHORN_ASSIGN_OR_RETURN(uint8_t tier_raw, reader.ReadUint8());
+  if (tier_raw > static_cast<uint8_t>(CompilationTier::kOptimized)) {
+    return DataLossError("invalid compilation tier");
+  }
+  m.tier = static_cast<CompilationTier>(tier_raw);
+  PRONGHORN_ASSIGN_OR_RETURN(m.invocations, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t deopts, reader.ReadVarint());
+  m.deopt_count = static_cast<uint32_t>(deopts);
+  PRONGHORN_ASSIGN_OR_RETURN(m.baseline_threshold, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(m.optimize_threshold, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t remaining, reader.ReadVarint());
+  m.compile_remaining = static_cast<uint32_t>(remaining);
+  PRONGHORN_ASSIGN_OR_RETURN(uint8_t target_raw, reader.ReadUint8());
+  if (target_raw > static_cast<uint8_t>(CompilationTier::kOptimized)) {
+    return DataLossError("invalid compile target tier");
+  }
+  m.compile_target = static_cast<CompilationTier>(target_raw);
+  PRONGHORN_ASSIGN_OR_RETURN(uint8_t optimizable_raw, reader.ReadUint8());
+  m.optimizable = optimizable_raw != 0;
+  PRONGHORN_ASSIGN_OR_RETURN(m.specialized_class, reader.ReadUint32());
+  return m;
+}
+
+std::vector<MethodState> BuildMethodTable(const WorkloadProfile& profile, Rng& rng) {
+  const size_t count = profile.hot_method_count;
+  std::vector<MethodState> methods(count);
+
+  // Exponential draws normalized to 1 give a realistic skew: a couple of
+  // dominant methods carry most of the compute time.
+  double weight_total = 0.0;
+  for (MethodState& m : methods) {
+    m.weight = rng.Exponential(1.0) + 0.05;
+    weight_total += m.weight;
+  }
+  for (MethodState& m : methods) {
+    m.weight /= weight_total;
+  }
+
+  const double convergence = static_cast<double>(profile.convergence_requests);
+  const double lo = std::max(2.0, convergence / 25.0);
+  for (size_t i = 0; i < count; ++i) {
+    MethodState& m = methods[i];
+    // Baseline compilation triggers within the first handful of invocations
+    // (hot methods are invoked on every request, so counters fill quickly).
+    m.baseline_threshold = static_cast<uint64_t>(rng.UniformInt(1, 3));
+    if (i + 1 == count) {
+      // Pin the slowest method near the profile's convergence point so that
+      // "fully optimized" lands where Figure 1 says it should.
+      m.optimize_threshold =
+          static_cast<uint64_t>(convergence * rng.UniformDouble(0.85, 1.0));
+    } else {
+      const double log_lo = std::log(lo);
+      const double log_hi = std::log(convergence * 0.95);
+      m.optimize_threshold =
+          static_cast<uint64_t>(std::exp(rng.UniformDouble(log_lo, log_hi)));
+    }
+    m.optimize_threshold = std::max(m.optimize_threshold, m.baseline_threshold + 2);
+    // A small fraction of methods exceed the optimizer's method-size limit
+    // and stay at the baseline tier forever.
+    m.optimizable = !rng.Bernoulli(kOversizedMethodProbability);
+  }
+  return methods;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,63 @@
+// Per-method JIT state for the runtime simulator.
+
+#ifndef PRONGHORN_SRC_JIT_METHOD_MODEL_H_
+#define PRONGHORN_SRC_JIT_METHOD_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/jit/tier.h"
+#include "src/workloads/workload_profile.h"
+
+namespace pronghorn {
+
+// Hotness counters, tier, and in-flight compilation for one hot method. The
+// fields mirror what a real tiered VM tracks per method (invocation counter,
+// compile queue entry, deopt history) at the granularity the latency model
+// needs.
+struct MethodState {
+  // Share of the workload's compute time spent in this method; shares over a
+  // process sum to 1.
+  double weight = 0.0;
+  CompilationTier tier = CompilationTier::kInterpreter;
+  uint64_t invocations = 0;
+  uint32_t deopt_count = 0;
+  // Invocation-count thresholds that enqueue tier-up compilations.
+  uint64_t baseline_threshold = 0;
+  uint64_t optimize_threshold = 0;
+  // Remaining requests until the in-flight compilation (if any) finishes;
+  // 0 means no compilation in flight.
+  uint32_t compile_remaining = 0;
+  CompilationTier compile_target = CompilationTier::kInterpreter;
+  // False for methods whose bytecode size exceeds the compiler's inlining /
+  // compilation threshold: they are capped at the baseline tier forever
+  // (§2: "JIT compilers have internal thresholds such as the size of a
+  // method ... that, once hit, may prevent the method from ever be[ing]
+  // selected for optimization").
+  bool optimizable = true;
+  // Input class the optimized code speculates on (kUnspecialized before the
+  // optimizing tier compiles). Requests of a different class hit the
+  // speculation guards and deoptimize far more often — the §6 "distinct
+  // inputs lead to divergent code paths and execution profiles" effect.
+  static constexpr uint32_t kUnspecialized = 0xffffffffu;
+  uint32_t specialized_class = kUnspecialized;
+
+  void Serialize(ByteWriter& writer) const;
+  static Result<MethodState> Deserialize(ByteReader& reader);
+
+  bool operator==(const MethodState& other) const = default;
+};
+
+// Builds the initial method table for a workload: weights drawn from a
+// normalized exponential (a few dominant methods plus a tail), baseline
+// thresholds in the first few dozen invocations, and optimize thresholds
+// log-uniform over [convergence/25, convergence] with the final method pinned
+// near the convergence point so that full optimization lands where the
+// profile says it should (Figure 1 calibration).
+std::vector<MethodState> BuildMethodTable(const WorkloadProfile& profile, Rng& rng);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_JIT_METHOD_MODEL_H_

@@ -1,0 +1,302 @@
+#include "src/jit/runtime_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/mathutil.h"
+
+namespace pronghorn {
+
+namespace {
+
+// Compile-pipeline constants. These are latency-model knobs, not workload
+// calibration: they shape how steppy the warm-up curve is.
+constexpr int64_t kBaselineCompileMinRequests = 1;
+constexpr int64_t kBaselineCompileMaxRequests = 1;
+constexpr int64_t kOptimizedCompileMinRequests = 3;
+constexpr int64_t kOptimizedCompileMaxRequests = 10;
+// Compute-latency overhead per in-flight compilation (compiler threads
+// contend with the application), capped across concurrent compilations.
+constexpr double kCompileInterferencePerJob = 0.02;
+constexpr double kCompileInterferenceCap = 0.10;
+// Environment jitter on the compute part (scheduling, caches).
+constexpr double kEnvironmentNoiseSigma = 0.03;
+// Deopt handling: the faulting request re-executes the method's work
+// interpreted plus pays a reprofile penalty proportional to method weight.
+constexpr double kDeoptPenaltyFactor = 0.5;
+// Requests of additional profiling before a deoptimized method becomes
+// eligible for re-optimization.
+constexpr int64_t kReprofileMinRequests = 30;
+constexpr int64_t kReprofileMaxRequests = 150;
+// Lognormal sigma of the GC pause length around the profile's mean.
+constexpr double kGcPauseSigma = 0.6;
+
+}  // namespace
+
+RuntimeProcess::RuntimeProcess(const WorkloadProfile& profile, Rng rng)
+    : profile_(&profile), rng_(rng) {}
+
+RuntimeProcess RuntimeProcess::ColdStart(const WorkloadProfile& profile, uint64_t seed) {
+  Rng rng(HashCombine(seed, 0x70726f6e67ULL));
+  RuntimeProcess process(profile, rng.Fork(1));
+  Rng table_rng = rng.Fork(2);
+  process.methods_ = BuildMethodTable(profile, table_rng);
+  return process;
+}
+
+double RuntimeProcess::MethodLatencyFactor(const MethodState& method) const {
+  const double speedup = profile_->converged_speedup;
+  switch (method.tier) {
+    case CompilationTier::kInterpreter:
+      return 1.0;
+    case CompilationTier::kBaseline:
+      // The baseline tier removes `baseline_speedup_fraction` of the total
+      // latency reduction the optimizing tier would deliver.
+      return 1.0 - profile_->baseline_speedup_fraction * (1.0 - 1.0 / speedup);
+    case CompilationTier::kOptimized:
+      return 1.0 / speedup;
+  }
+  return 1.0;
+}
+
+void RuntimeProcess::TickCompilationPipeline(ExecutionResult& result) {
+  for (MethodState& method : methods_) {
+    method.invocations += 1;
+
+    // Finish in-flight compilations.
+    if (method.compile_remaining > 0) {
+      method.compile_remaining -= 1;
+      if (method.compile_remaining == 0) {
+        method.tier = method.compile_target;
+        if (method.tier == CompilationTier::kOptimized) {
+          // Fresh optimized code speculates on the input class the profiling
+          // data is dominated by.
+          method.specialized_class = DominantInputClass();
+        }
+        result.compilations_finished += 1;
+      }
+      continue;  // At most one pipeline transition per method per request.
+    }
+
+    // Enqueue tier-up compilations when hotness thresholds are crossed.
+    if (method.tier == CompilationTier::kInterpreter &&
+        method.invocations >= method.baseline_threshold) {
+      method.compile_target = CompilationTier::kBaseline;
+      method.compile_remaining = static_cast<uint32_t>(
+          rng_.UniformInt(kBaselineCompileMinRequests, kBaselineCompileMaxRequests));
+    } else if (method.tier == CompilationTier::kBaseline && method.optimizable &&
+               method.invocations >= method.optimize_threshold) {
+      method.compile_target = CompilationTier::kOptimized;
+      method.compile_remaining = static_cast<uint32_t>(
+          rng_.UniformInt(kOptimizedCompileMinRequests, kOptimizedCompileMaxRequests));
+    }
+  }
+}
+
+ExecutionResult RuntimeProcess::Execute(const FunctionRequest& request) {
+  ExecutionResult result;
+
+  const uint32_t request_class = std::min(request.input_class, kMaxInputClasses - 1);
+  class_counts_[request_class] += 1;
+
+  // --- Deoptimization (speculative optimization invalidated by this input).
+  double deopt_penalty_factor = 0.0;
+  for (MethodState& method : methods_) {
+    if (method.tier != CompilationTier::kOptimized) {
+      continue;
+    }
+    // Re-optimized code covers more paths, so repeat deopts get rarer.
+    double p = profile_->deopt_rate / static_cast<double>(methods_.size()) /
+               (1.0 + static_cast<double>(method.deopt_count));
+    // Code specialized for a different input class trips its speculation
+    // guards far more often (class_sensitivity = 0 disables the effect).
+    // Unlike ordinary deopts, this term does NOT decay with deopt_count:
+    // every recompile re-specializes to the dominant profile, so minority-
+    // class requests keep hitting fresh guards.
+    if (profile_->class_sensitivity > 0.0 &&
+        method.specialized_class != MethodState::kUnspecialized &&
+        method.specialized_class != request_class) {
+      p += profile_->deopt_rate * profile_->class_sensitivity /
+           static_cast<double>(methods_.size());
+    }
+    if (rng_.Bernoulli(p)) {
+      method.tier = CompilationTier::kBaseline;
+      method.deopt_count += 1;
+      method.optimize_threshold =
+          method.invocations +
+          static_cast<uint64_t>(rng_.UniformInt(kReprofileMinRequests,
+                                                kReprofileMaxRequests));
+      deopt_penalty_factor += method.weight * kDeoptPenaltyFactor;
+      result.deopts += 1;
+      total_deopts_ += 1;
+    }
+  }
+
+  // --- Compute part: weighted mix of per-method tier factors.
+  double compute_factor = deopt_penalty_factor;
+  size_t compiles_in_flight = 0;
+  for (const MethodState& method : methods_) {
+    compute_factor += method.weight * MethodLatencyFactor(method);
+    if (method.compile_remaining > 0) {
+      ++compiles_in_flight;
+    }
+  }
+  compute_factor += std::min(
+      kCompileInterferenceCap,
+      kCompileInterferencePerJob * static_cast<double>(compiles_in_flight));
+
+  const double input_factor =
+      std::pow(request.input_scale, profile_->input_scale_exponent);
+  const double env_noise = rng_.LogNormal(0.0, kEnvironmentNoiseSigma);
+  double latency_us = profile_->compute_base.ToSeconds() * 1e6 * compute_factor *
+                      input_factor * env_noise;
+
+  // --- I/O part: JIT-independent, with its own jitter and partial coupling
+  // to input size (bigger files upload/compress slower).
+  if (profile_->io_base > Duration::Zero()) {
+    const double io_noise = rng_.LogNormal(0.0, profile_->io_noise_sigma);
+    const double io_input =
+        std::pow(request.input_scale, profile_->io_input_coupling);
+    latency_us += profile_->io_base.ToSeconds() * 1e6 * io_noise * io_input;
+  }
+
+  // --- Garbage-collection pause: an occasional stop-the-world spike, with
+  // lognormal spread around the profile's mean pause.
+  if (profile_->gc_pause_probability > 0.0 &&
+      rng_.Bernoulli(profile_->gc_pause_probability)) {
+    latency_us += static_cast<double>(profile_->gc_pause_mean.ToMicros()) *
+                  rng_.LogNormal(0.0, kGcPauseSigma);
+  }
+
+  // --- One-off lazy initialization folded into the first request ever.
+  if (!lazy_init_done_) {
+    latency_us += static_cast<double>(profile_->lazy_init_cost.ToMicros());
+    lazy_init_done_ = true;
+  }
+
+  // Advance the JIT pipeline *after* computing this request's latency: code
+  // compiled during a request benefits the next one.
+  TickCompilationPipeline(result);
+
+  requests_executed_ += 1;
+  result.latency = Duration::Micros(static_cast<int64_t>(latency_us));
+  return result;
+}
+
+double RuntimeProcess::MemoryFootprintMb() const {
+  // Base image plus code-cache growth: fully-compiled processes are ~15%
+  // larger than freshly-booted ones (real CRIU images grow similarly).
+  double optimized_weight = 0.0;
+  for (const MethodState& m : methods_) {
+    if (m.tier == CompilationTier::kOptimized) {
+      optimized_weight += m.weight;
+    } else if (m.tier == CompilationTier::kBaseline) {
+      optimized_weight += 0.4 * m.weight;
+    }
+  }
+  return profile_->snapshot_mb * (0.85 + 0.15 * optimized_weight +
+                                  (lazy_init_done_ ? 0.05 : 0.0));
+}
+
+double RuntimeProcess::CurrentComputeFactor() const {
+  double factor = 0.0;
+  for (const MethodState& m : methods_) {
+    factor += m.weight * MethodLatencyFactor(m);
+  }
+  return factor;
+}
+
+size_t RuntimeProcess::CountAtTier(CompilationTier tier) const {
+  size_t count = 0;
+  for (const MethodState& m : methods_) {
+    if (m.tier == tier) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t RuntimeProcess::DominantInputClass() const {
+  uint32_t best = MethodState::kUnspecialized;
+  uint64_t best_count = 0;
+  for (uint32_t c = 0; c < kMaxInputClasses; ++c) {
+    if (class_counts_[c] > best_count) {
+      best = c;
+      best_count = class_counts_[c];
+    }
+  }
+  return best;
+}
+
+void RuntimeProcess::Serialize(ByteWriter& writer) const {
+  writer.WriteString(profile_->name);
+  writer.WriteUint8(static_cast<uint8_t>(profile_->family));
+  writer.WriteVarint(requests_executed_);
+  writer.WriteVarint(total_deopts_);
+  writer.WriteUint8(lazy_init_done_ ? 1 : 0);
+  for (uint64_t count : class_counts_) {
+    writer.WriteVarint(count);
+  }
+  for (uint64_t word : rng_.state()) {
+    writer.WriteUint64(word);
+  }
+  writer.WriteVarint(methods_.size());
+  for (const MethodState& m : methods_) {
+    m.Serialize(writer);
+  }
+}
+
+Result<RuntimeProcess> RuntimeProcess::Deserialize(ByteReader& reader,
+                                                   const WorkloadRegistry& registry) {
+  PRONGHORN_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+  PRONGHORN_ASSIGN_OR_RETURN(uint8_t family_raw, reader.ReadUint8());
+  PRONGHORN_ASSIGN_OR_RETURN(const WorkloadProfile* profile, registry.Find(name));
+  if (static_cast<uint8_t>(profile->family) != family_raw) {
+    return DataLossError("snapshot family does not match registry profile for " + name);
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t requests, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t deopts, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(uint8_t lazy_done, reader.ReadUint8());
+  std::array<uint64_t, kMaxInputClasses> class_counts{};
+  for (uint64_t& count : class_counts) {
+    PRONGHORN_ASSIGN_OR_RETURN(count, reader.ReadVarint());
+  }
+
+  std::array<uint64_t, 4> rng_state{};
+  for (uint64_t& word : rng_state) {
+    PRONGHORN_ASSIGN_OR_RETURN(word, reader.ReadUint64());
+  }
+  Rng rng(0);
+  rng.set_state(rng_state);
+
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t method_count, reader.ReadVarint());
+  if (method_count == 0 || method_count > 4096) {
+    return DataLossError("implausible method count in snapshot");
+  }
+  RuntimeProcess process(*profile, rng);
+  process.requests_executed_ = requests;
+  process.total_deopts_ = deopts;
+  process.lazy_init_done_ = lazy_done != 0;
+  process.class_counts_ = class_counts;
+  process.methods_.reserve(method_count);
+  for (uint64_t i = 0; i < method_count; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(MethodState m, MethodState::Deserialize(reader));
+    process.methods_.push_back(m);
+  }
+  return process;
+}
+
+void RuntimeProcess::ReseedForRestore(uint64_t salt) {
+  rng_ = rng_.Fork(salt);
+}
+
+bool RuntimeProcess::StateEquals(const RuntimeProcess& other) const {
+  return profile_->name == other.profile_->name &&
+         requests_executed_ == other.requests_executed_ &&
+         total_deopts_ == other.total_deopts_ &&
+         lazy_init_done_ == other.lazy_init_done_ &&
+         class_counts_ == other.class_counts_ &&
+         rng_.state() == other.rng_.state() && methods_ == other.methods_;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,126 @@
+// Checkpointable managed-runtime process simulator.
+//
+// A RuntimeProcess stands in for one PyPy/JVM worker process executing a
+// serverless function. It reproduces the latency phenomenology the paper's
+// §2 identifies as essential for checkpoint orchestration:
+//
+//  * slow, stepwise warm-up: methods tier up (interpreter -> baseline ->
+//    optimizing) at stochastic invocation thresholds, with background
+//    compilation latency and compile-thread interference;
+//  * non-monotonicity: speculative optimizations occasionally deoptimize,
+//    temporarily reverting methods to the baseline tier (Observation #3);
+//  * non-determinism: compile timing and deopt events are drawn from the
+//    process's own RNG stream, so two workers never warm up identically;
+//  * full-state checkpointability: the entire process (method table, hotness
+//    counters, RNG) serializes to bytes and restores to an equivalent
+//    process, which is what CRIU does to the real runtimes.
+//
+// JIT maturity is the number of requests the process has executed since cold
+// start; a snapshot taken at request R freezes maturity R, which is the
+// quantity Pronghorn's request-centric policy reasons about.
+
+#ifndef PRONGHORN_SRC_JIT_RUNTIME_PROCESS_H_
+#define PRONGHORN_SRC_JIT_RUNTIME_PROCESS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/jit/method_model.h"
+#include "src/workloads/workload_profile.h"
+
+namespace pronghorn {
+
+// One function invocation as the worker sees it.
+struct FunctionRequest {
+  uint64_t id = 0;
+  // Multiplicative input-size factor drawn by the client-side input model.
+  double input_scale = 1.0;
+  // Input class (request shape / code path selector). Only meaningful for
+  // workloads with class_sensitivity > 0; clamped to kMaxInputClasses - 1.
+  uint32_t input_class = 0;
+};
+
+// Outcome of executing one request, with the latency decomposition the
+// metrics collector records.
+struct ExecutionResult {
+  Duration latency;
+  // Number of methods whose compilation completed during this request.
+  uint32_t compilations_finished = 0;
+  // Number of deoptimization events triggered by this request.
+  uint32_t deopts = 0;
+};
+
+class RuntimeProcess {
+ public:
+  // Distinct input classes the specialization model distinguishes.
+  static constexpr uint32_t kMaxInputClasses = 8;
+
+  // Boots a fresh (cold) process for `profile`. `seed` drives all of the
+  // process's JIT non-determinism.
+  static RuntimeProcess ColdStart(const WorkloadProfile& profile, uint64_t seed);
+
+  // Executes one request, advancing JIT state, and returns its latency.
+  ExecutionResult Execute(const FunctionRequest& request);
+
+  // JIT maturity: requests executed since cold start (across checkpoints).
+  uint64_t requests_executed() const { return requests_executed_; }
+
+  const WorkloadProfile& profile() const { return *profile_; }
+
+  // Modeled resident set, used by the checkpoint engine to size images. The
+  // footprint grows as the code cache fills with compiled methods.
+  double MemoryFootprintMb() const;
+
+  // Effective compute-latency factor at the current JIT state (1.0 =
+  // interpreted, 1/converged_speedup = fully optimized); excludes noise.
+  double CurrentComputeFactor() const;
+
+  // Introspection for tests and exhibits.
+  size_t MethodCount() const { return methods_.size(); }
+  size_t CountAtTier(CompilationTier tier) const;
+  uint64_t total_deopts() const { return total_deopts_; }
+
+  // --- Checkpoint support -------------------------------------------------
+  // Serializes the complete process state (method table, counters, RNG).
+  void Serialize(ByteWriter& writer) const;
+  // Reconstructs a process from serialized state; the workload profile is
+  // rebound by name through `registry`.
+  static Result<RuntimeProcess> Deserialize(ByteReader& reader,
+                                            const WorkloadRegistry& registry);
+  // Called by the checkpoint engine after restore: mixes `salt` into the RNG
+  // so two workers restored from one snapshot warm up differently (real JIT
+  // compilation is not deterministic; §2 "Complex language runtimes").
+  void ReseedForRestore(uint64_t salt);
+
+  bool StateEquals(const RuntimeProcess& other) const;
+
+  // Majority input class observed so far (what fresh optimized code will
+  // specialize on); kUnspecialized while nothing was observed.
+  uint32_t DominantInputClass() const;
+
+ private:
+  RuntimeProcess(const WorkloadProfile& profile, Rng rng);
+
+  // Advances hotness counters and the compile pipeline for one request.
+  void TickCompilationPipeline(ExecutionResult& result);
+  // Latency factor contributed by one method at its current tier.
+  double MethodLatencyFactor(const MethodState& method) const;
+
+  const WorkloadProfile* profile_;  // Borrowed from the registry; never null.
+  Rng rng_;
+  std::vector<MethodState> methods_;
+  // Per-class observation counts feeding optimization specialization.
+  std::array<uint64_t, kMaxInputClasses> class_counts_{};
+  uint64_t requests_executed_ = 0;
+  uint64_t total_deopts_ = 0;
+  bool lazy_init_done_ = false;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_JIT_RUNTIME_PROCESS_H_

@@ -1,0 +1,126 @@
+#include "src/platform/cluster_simulation.h"
+
+#include <algorithm>
+
+namespace pronghorn {
+
+DistributionSummary ClusterReport::LatencySummary() const {
+  DistributionSummary summary;
+  for (const RequestRecord& record : records) {
+    summary.Add(static_cast<double>(record.latency.ToMicros()));
+  }
+  return summary;
+}
+
+ClusterSimulation::ClusterSimulation(const WorkloadProfile& profile,
+                                     const WorkloadRegistry& registry,
+                                     const OrchestrationPolicy& policy,
+                                     const EvictionModel& eviction,
+                                     ClusterOptions options)
+    : profile_(profile),
+      registry_(registry),
+      eviction_(eviction),
+      options_(options),
+      engine_(HashCombine(options.seed, 0xc1e1ULL)),
+      state_store_(db_, profile.name, policy.config()),
+      exploit_policy_(policy, /*explore_requests=*/0),
+      input_model_(profile, options.input_noise),
+      client_rng_(HashCombine(options.seed, 0xc1c1ULL)) {
+  options_.exploring_slots = std::min(options_.exploring_slots, options_.worker_slots);
+  slots_.reserve(options_.worker_slots);
+  for (uint32_t i = 0; i < options_.worker_slots; ++i) {
+    Slot slot;
+    slot.exploring = i < options_.exploring_slots;
+    const OrchestrationPolicy& slot_policy =
+        slot.exploring ? policy
+                       : static_cast<const OrchestrationPolicy&>(exploit_policy_);
+    slot.orchestrator = std::make_unique<Orchestrator>(
+        profile_, registry_, slot_policy, engine_, object_store_, state_store_, clock_,
+        HashCombine(options_.seed, 0x510ULL + i), options_.costs);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+ClusterSimulation::~ClusterSimulation() = default;
+
+Result<ClusterReport> ClusterSimulation::RunClosedLoop(uint64_t request_count) {
+  if (slots_.empty()) {
+    return FailedPreconditionError("cluster has no worker slots");
+  }
+  ClusterReport report;
+  report.records.reserve(request_count);
+
+  for (uint64_t i = 0; i < request_count; ++i) {
+    // Least-loaded dispatch: the slot that frees earliest takes the next
+    // request; its client issues it at that moment (closed loop per slot).
+    Slot* slot = &slots_[0];
+    for (Slot& candidate : slots_) {
+      if (candidate.free_at < slot->free_at) {
+        slot = &candidate;
+      }
+    }
+    const TimePoint arrival = slot->free_at;
+    clock_.AdvanceTo(arrival);
+
+    bool fresh_worker = false;
+    if (!slot->session.has_value()) {
+      PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started,
+                                 slot->orchestrator->StartWorker());
+      slot->session.emplace(std::move(started));
+      slot->requests_in_lifetime = 0;
+      slot->worker_started_at = arrival;
+      fresh_worker = true;
+      report.worker_lifetimes += 1;
+      if (slot->session->restored) {
+        report.restores += 1;
+      } else {
+        report.cold_starts += 1;
+      }
+    }
+
+    FunctionRequest request;
+    request.id = next_request_id_++;
+    request.input_scale = input_model_.NextScale(client_rng_);
+    PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
+                               slot->orchestrator->ServeRequest(*slot->session, request));
+    slot->requests_in_lifetime += 1;
+
+    const Duration latency = outcome.latency;
+    const TimePoint completion = arrival + latency;
+    slot->free_at = completion;
+    clock_.AdvanceTo(completion);
+
+    if (outcome.checkpoint_taken) {
+      report.checkpoints += 1;
+    }
+
+    RequestRecord record;
+    record.global_index = i;
+    record.request_number = outcome.request_number;
+    record.latency = latency;
+    record.first_of_lifetime = fresh_worker;
+    record.cold_start = fresh_worker && !slot->session->restored;
+    record.checkpoint_after = outcome.checkpoint_taken;
+    report.records.push_back(record);
+    if (slot->exploring) {
+      report.exploring_latency.Add(static_cast<double>(latency.ToMicros()));
+    } else {
+      report.exploiting_latency.Add(static_cast<double>(latency.ToMicros()));
+    }
+
+    if (eviction_.ShouldEvict(slot->requests_in_lifetime, slot->worker_started_at,
+                              completion, completion)) {
+      slot->session.reset();
+    }
+  }
+
+  report.object_store = object_store_.accounting();
+  report.database = db_.accounting();
+  return report;
+}
+
+Result<PolicyState> ClusterSimulation::LoadPolicyState() const {
+  return state_store_.Load();
+}
+
+}  // namespace pronghorn

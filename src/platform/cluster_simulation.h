@@ -1,0 +1,113 @@
+// Multi-worker cluster simulation for one function deployment.
+//
+// The paper's deployment story (§3.2, §5.3 "Bounding system costs"): many
+// workers serve one function concurrently behind a load balancer, all
+// coordinating through the global Database and Object Store. "Only a
+// nonempty subset of containers running a given application need to be
+// exploring in order to realize performance benefits — the remaining
+// containers can simply restore from the best snapshots found so far.
+// Exploration overheads can therefore be amortized over many containers."
+//
+// ClusterSimulation models exactly that: `worker_slots` concurrent workers,
+// of which the first `exploring_slots` run the exploring policy and the rest
+// run a frozen exploit-only wrapper over it; all share one Database (latency
+// knowledge + snapshot pool) and one Object Store.
+
+#ifndef PRONGHORN_SRC_PLATFORM_CLUSTER_SIMULATION_H_
+#define PRONGHORN_SRC_PLATFORM_CLUSTER_SIMULATION_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/core/orchestrator.h"
+#include "src/core/stop_condition_policy.h"
+#include "src/platform/eviction.h"
+#include "src/platform/metrics.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+#include "src/workloads/input_model.h"
+
+namespace pronghorn {
+
+struct ClusterOptions {
+  // Concurrent worker slots behind the load balancer.
+  uint32_t worker_slots = 4;
+  // Slots whose orchestrator runs the exploring policy; the remaining slots
+  // exploit only (restore best known snapshot, never checkpoint). Clamped to
+  // worker_slots.
+  uint32_t exploring_slots = 1;
+  uint64_t seed = 1;
+  bool input_noise = true;
+  OrchestratorCostModel costs;
+};
+
+struct ClusterReport {
+  // Per-request records across all slots, in completion order.
+  std::vector<RequestRecord> records;
+  // Split by slot role.
+  DistributionSummary exploring_latency;
+  DistributionSummary exploiting_latency;
+
+  uint64_t worker_lifetimes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t restores = 0;
+  uint64_t cold_starts = 0;
+
+  StoreAccounting object_store;
+  KvAccounting database;
+
+  DistributionSummary LatencySummary() const;
+};
+
+class ClusterSimulation {
+ public:
+  // `policy` is the exploring policy; exploit slots wrap it in a frozen
+  // StopConditionPolicy sharing the same Database state. `eviction` applies
+  // per worker. Both are borrowed.
+  ClusterSimulation(const WorkloadProfile& profile, const WorkloadRegistry& registry,
+                    const OrchestrationPolicy& policy, const EvictionModel& eviction,
+                    ClusterOptions options);
+  ~ClusterSimulation();
+
+  ClusterSimulation(const ClusterSimulation&) = delete;
+  ClusterSimulation& operator=(const ClusterSimulation&) = delete;
+
+  // Closed loop with one outstanding request per worker slot: each slot's
+  // client issues its next request as soon as the previous one completes.
+  // `request_count` is the cluster-wide total.
+  Result<ClusterReport> RunClosedLoop(uint64_t request_count);
+
+  Result<PolicyState> LoadPolicyState() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Orchestrator> orchestrator;
+    std::optional<WorkerSession> session;
+    uint64_t requests_in_lifetime = 0;
+    TimePoint worker_started_at;
+    TimePoint free_at;
+    bool exploring = false;
+  };
+
+  const WorkloadProfile& profile_;
+  const WorkloadRegistry& registry_;
+  const EvictionModel& eviction_;
+  ClusterOptions options_;
+
+  SimClock clock_;
+  InMemoryKvDatabase db_;
+  InMemoryObjectStore object_store_;
+  CriuLikeEngine engine_;
+  PolicyStateStore state_store_;
+  StopConditionPolicy exploit_policy_;
+  InputModel input_model_;
+  Rng client_rng_;
+  std::vector<Slot> slots_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_CLUSTER_SIMULATION_H_

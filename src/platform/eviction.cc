@@ -1,0 +1,71 @@
+#include "src/platform/eviction.h"
+
+namespace pronghorn {
+
+Result<std::unique_ptr<EveryKRequestsEviction>> EveryKRequestsEviction::Create(
+    uint64_t k) {
+  if (k == 0) {
+    return InvalidArgumentError("eviction interval k must be >= 1");
+  }
+  return std::unique_ptr<EveryKRequestsEviction>(new EveryKRequestsEviction(k));
+}
+
+bool EveryKRequestsEviction::ShouldEvict(uint64_t requests_in_lifetime,
+                                         TimePoint started_at, TimePoint now,
+                                         TimePoint next_arrival) const {
+  (void)started_at;
+  (void)now;
+  (void)next_arrival;
+  return requests_in_lifetime >= k_;
+}
+
+bool IdleTimeoutEviction::ShouldEvict(uint64_t requests_in_lifetime,
+                                      TimePoint started_at, TimePoint now,
+                                      TimePoint next_arrival) const {
+  (void)requests_in_lifetime;
+  (void)started_at;
+  if (next_arrival < now) {
+    return false;  // Back-to-back arrivals never idle out.
+  }
+  return next_arrival - now > timeout_;
+}
+
+bool MaxLifetimeEviction::ShouldEvict(uint64_t requests_in_lifetime,
+                                      TimePoint started_at, TimePoint now,
+                                      TimePoint next_arrival) const {
+  (void)requests_in_lifetime;
+  (void)next_arrival;
+  return now - started_at > max_lifetime_;
+}
+
+Result<std::unique_ptr<GeometricEviction>> GeometricEviction::Create(
+    double mean_requests, uint64_t seed) {
+  if (mean_requests < 1.0) {
+    return InvalidArgumentError("geometric eviction mean must be >= 1 request");
+  }
+  return std::unique_ptr<GeometricEviction>(new GeometricEviction(mean_requests, seed));
+}
+
+bool GeometricEviction::ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at,
+                                    TimePoint now, TimePoint next_arrival) const {
+  (void)started_at;
+  (void)now;
+  (void)next_arrival;
+  if (requests_in_lifetime == 0) {
+    return false;
+  }
+  return rng_.Bernoulli(1.0 / mean_requests_);
+}
+
+bool AnyOfEviction::ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at,
+                                TimePoint now, TimePoint next_arrival) const {
+  for (const EvictionModel* model : models_) {
+    if (model != nullptr &&
+        model->ShouldEvict(requests_in_lifetime, started_at, now, next_arrival)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pronghorn

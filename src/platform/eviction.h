@@ -1,0 +1,124 @@
+// Worker eviction models.
+//
+// The paper evaluates fixed eviction rates of 1, 4, and 20 requests per
+// worker (§5.1 "Measurements") and motivates them from Azure trace data:
+// workers typically live ~20 minutes, so these rates correspond to a request
+// every hour, 5 minutes, and 1 minute. Trace-driven runs instead use the
+// platform-style idle timeout.
+
+#ifndef PRONGHORN_SRC_PLATFORM_EVICTION_H_
+#define PRONGHORN_SRC_PLATFORM_EVICTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace pronghorn {
+
+class EvictionModel {
+ public:
+  virtual ~EvictionModel() = default;
+
+  // True when the worker must be torn down after having served
+  // `requests_in_lifetime` requests, the last one completing at `now`, the
+  // worker having been provisioned at `started_at`, with the next arrival
+  // (if known) at `next_arrival`.
+  virtual bool ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at,
+                           TimePoint now, TimePoint next_arrival) const = 0;
+};
+
+// Kills the worker after exactly `k` requests (the paper's 1/4/20 columns).
+class EveryKRequestsEviction : public EvictionModel {
+ public:
+  // `k` must be >= 1.
+  static Result<std::unique_ptr<EveryKRequestsEviction>> Create(uint64_t k);
+
+  bool ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at, TimePoint now,
+                   TimePoint next_arrival) const override;
+
+  uint64_t k() const { return k_; }
+
+ private:
+  explicit EveryKRequestsEviction(uint64_t k) : k_(k) {}
+
+  uint64_t k_;
+};
+
+// Kills the worker when the gap to the next request exceeds the platform
+// idle timeout (e.g. 10 minutes on AWS Lambda; used for trace replay).
+class IdleTimeoutEviction : public EvictionModel {
+ public:
+  explicit IdleTimeoutEviction(Duration timeout) : timeout_(timeout) {}
+
+  bool ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at, TimePoint now,
+                   TimePoint next_arrival) const override;
+
+  Duration timeout() const { return timeout_; }
+
+ private:
+  Duration timeout_;
+};
+
+// Kills the worker once it has been alive longer than `max_lifetime`,
+// whatever its traffic — the Azure characterization's ~20-minute typical
+// worker lifetime [58].
+class MaxLifetimeEviction : public EvictionModel {
+ public:
+  explicit MaxLifetimeEviction(Duration max_lifetime) : max_lifetime_(max_lifetime) {}
+
+  bool ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at, TimePoint now,
+                   TimePoint next_arrival) const override;
+
+  Duration max_lifetime() const { return max_lifetime_; }
+
+ private:
+  Duration max_lifetime_;
+};
+
+// Memoryless randomized lifetime: after each request the worker survives
+// with probability 1 - 1/k, so lifetimes are geometric with mean k requests.
+// This matches the paper's beta being an *average* ("average number of
+// requests handled by a worker before eviction", Table 2) and models real
+// platforms, where eviction timing varies worker to worker.
+class GeometricEviction : public EvictionModel {
+ public:
+  // `mean_requests` must be >= 1; `seed` makes the draw sequence
+  // reproducible.
+  static Result<std::unique_ptr<GeometricEviction>> Create(double mean_requests,
+                                                           uint64_t seed);
+
+  bool ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at, TimePoint now,
+                   TimePoint next_arrival) const override;
+
+  double mean_requests() const { return mean_requests_; }
+
+ private:
+  GeometricEviction(double mean_requests, uint64_t seed)
+      : mean_requests_(mean_requests), rng_(HashCombine(seed, 0x9e0eULL)) {}
+
+  double mean_requests_;
+  mutable Rng rng_;  // ShouldEvict is logically const; the stream is hidden state.
+};
+
+// Evicts when ANY of the composed models says so (e.g. idle timeout OR
+// maximum lifetime, the realistic serverless-platform combination).
+class AnyOfEviction : public EvictionModel {
+ public:
+  // Borrowed models; all must outlive this object.
+  explicit AnyOfEviction(std::vector<const EvictionModel*> models)
+      : models_(std::move(models)) {}
+
+  bool ShouldEvict(uint64_t requests_in_lifetime, TimePoint started_at, TimePoint now,
+                   TimePoint next_arrival) const override;
+
+ private:
+  std::vector<const EvictionModel*> models_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_EVICTION_H_

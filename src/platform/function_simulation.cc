@@ -1,0 +1,155 @@
+#include "src/platform/function_simulation.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/common/logging.h"
+
+namespace pronghorn {
+
+FunctionSimulation::FunctionSimulation(const WorkloadProfile& profile,
+                                       const WorkloadRegistry& registry,
+                                       const OrchestrationPolicy& policy,
+                                       const EvictionModel& eviction,
+                                       SimulationOptions options)
+    : profile_(profile),
+      registry_(registry),
+      policy_(policy),
+      eviction_(eviction),
+      options_(options),
+      engine_(options.engine_kind == EngineKind::kDelta
+                  ? std::unique_ptr<CheckpointEngine>(std::make_unique<
+                        DeltaCheckpointEngine>(HashCombine(options.seed, 0xe1ULL)))
+                  : std::make_unique<CriuLikeEngine>(
+                        HashCombine(options.seed, 0xe1ULL))),
+      state_store_(db_, profile.name, policy.config()),
+      orchestrator_(profile, registry, policy, *engine_, object_store_, state_store_,
+                    clock_, HashCombine(options.seed, 0x0eULL), options.costs),
+      input_model_(profile, options.input_noise),
+      client_rng_(HashCombine(options.seed, 0xc1ULL)) {}
+
+FunctionSimulation::~FunctionSimulation() = default;
+
+Result<SimulationReport> FunctionSimulation::RunClosedLoop(uint64_t request_count) {
+  return Run({}, /*closed_loop=*/true, request_count);
+}
+
+Result<SimulationReport> FunctionSimulation::RunTrace(
+    std::span<const TimePoint> arrivals) {
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] < arrivals[i - 1]) {
+      return InvalidArgumentError("trace arrivals must be non-decreasing");
+    }
+  }
+  return Run(arrivals, /*closed_loop=*/false, arrivals.size());
+}
+
+Result<SimulationReport> FunctionSimulation::Run(std::span<const TimePoint> arrivals,
+                                                 bool closed_loop,
+                                                 uint64_t request_count) {
+  SimulationReport report;
+  report.records.reserve(request_count);
+
+  std::optional<WorkerSession> session;
+  uint64_t requests_in_lifetime = 0;
+  TimePoint worker_started_at = clock_.now();
+  TimePoint worker_free_at = clock_.now();
+
+  for (uint64_t i = 0; i < request_count; ++i) {
+    const TimePoint arrival = closed_loop ? clock_.now() : arrivals[i];
+    clock_.AdvanceTo(arrival);
+
+    // Provision a worker if none is warm (happens off the critical path by
+    // default: the platform restarted it right after the last eviction).
+    bool fresh_worker = false;
+    if (!session.has_value()) {
+      PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started, orchestrator_.StartWorker());
+      session.emplace(std::move(started));
+      fresh_worker = true;
+      requests_in_lifetime = 0;
+      worker_started_at = arrival;
+      report.worker_lifetimes += 1;
+      if (session->restored) {
+        report.restores += 1;
+      } else {
+        report.cold_starts += 1;
+      }
+      report.total_startup_latency += session->startup_latency;
+    }
+
+    FunctionRequest request;
+    request.id = next_request_id_++;
+    request.input_scale = input_model_.NextScale(client_rng_);
+
+    PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
+                               orchestrator_.ServeRequest(*session, request));
+    requests_in_lifetime += 1;
+
+    // User-visible latency: queueing (busy worker) + optional startup +
+    // execution.
+    Duration latency = outcome.latency;
+    if (options_.startup_on_critical_path && fresh_worker) {
+      latency += session->startup_latency;
+    }
+    if (worker_free_at > arrival) {
+      latency += worker_free_at - arrival;
+    }
+    const TimePoint completion = arrival + latency;
+    clock_.AdvanceTo(completion);
+    worker_free_at = completion;
+
+    if (outcome.checkpoint_taken) {
+      report.checkpoints += 1;
+      report.total_checkpoint_downtime += outcome.checkpoint_downtime;
+      if (options_.checkpoint_blocks_requests) {
+        worker_free_at = worker_free_at + outcome.checkpoint_downtime;
+      }
+    }
+
+    RequestRecord record;
+    record.global_index = i;
+    record.request_number = outcome.request_number;
+    record.latency = latency;
+    record.first_of_lifetime = fresh_worker;
+    record.cold_start = fresh_worker && !session->restored;
+    record.checkpoint_after = outcome.checkpoint_taken;
+    report.records.push_back(record);
+
+    // Eviction decision given the next arrival (the last request needs none).
+    const bool has_next = i + 1 < request_count;
+    const TimePoint next_arrival =
+        closed_loop ? completion : (has_next ? arrivals[i + 1] : completion);
+    if (has_next && eviction_.ShouldEvict(requests_in_lifetime, worker_started_at,
+                                          completion, next_arrival)) {
+      // A worker evicted by idle timeout holds its resources until the
+      // timeout fires, not just until its last response.
+      TimePoint evicted_at = completion;
+      if (!closed_loop && next_arrival - completion > Duration::Zero()) {
+        const Duration idle_held =
+            std::min(next_arrival - completion, options_.idle_resource_hold);
+        evicted_at = completion + idle_held;
+      }
+      const Duration alive = evicted_at - worker_started_at;
+      report.total_worker_alive_time += alive;
+      report.worker_memory_time_mb_s +=
+          alive.ToSeconds() * session->process.MemoryFootprintMb();
+      session.reset();
+    }
+  }
+
+  if (session.has_value()) {
+    // Account the final still-warm worker up to the end of the run.
+    const Duration alive = clock_.now() - worker_started_at;
+    report.total_worker_alive_time += alive;
+    report.worker_memory_time_mb_s +=
+        alive.ToSeconds() * session->process.MemoryFootprintMb();
+  }
+
+  report.end_time = clock_.now();
+  report.object_store = object_store_.accounting();
+  report.database = db_.accounting();
+  report.overheads = orchestrator_.overheads();
+  return report;
+}
+
+}  // namespace pronghorn

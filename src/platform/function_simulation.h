@@ -1,0 +1,120 @@
+// Discrete-event simulation of one serverless function deployment.
+//
+// Mirrors the paper's measurement setup (§5.1): a client issues requests
+// against the platform, the platform keeps at most one warm worker for the
+// function, evicts it per the eviction model, and the Orchestrator decides
+// how each fresh worker starts. End-to-end latency is measured from the
+// client's perspective.
+//
+// Worker startup (cold init or snapshot restore) happens off the request
+// critical path by default: like OpenFaaS with a ready pool, the platform
+// re-provisions workers asynchronously after eviction, so the client-side
+// CDFs reflect function execution only — matching the paper's figures, whose
+// latency ranges are far below CRIU restore cost. Setting
+// `startup_on_critical_path` charges startup to the first request of each
+// lifetime instead (used by the ablation bench).
+
+#ifndef PRONGHORN_SRC_PLATFORM_FUNCTION_SIMULATION_H_
+#define PRONGHORN_SRC_PLATFORM_FUNCTION_SIMULATION_H_
+
+#include <memory>
+#include <span>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/checkpoint/delta_engine.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/core/orchestrator.h"
+#include "src/core/policy.h"
+#include "src/platform/eviction.h"
+#include "src/platform/metrics.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+#include "src/workloads/input_model.h"
+#include "src/workloads/workload_profile.h"
+
+namespace pronghorn {
+
+// Which checkpoint engine implementation the simulation instantiates.
+enum class EngineKind {
+  kCriuLike = 0,  // Full-image CRIU-style engine (the paper's setup).
+  kDelta = 1,     // Medes-style deduplicating delta engine (§7 related work).
+};
+
+struct SimulationOptions {
+  // Deterministic experiment seed.
+  uint64_t seed = 1;
+  EngineKind engine_kind = EngineKind::kCriuLike;
+  // Client-side input-size perturbation (§5.1), on by default.
+  bool input_noise = true;
+  // Charge worker startup to the first request of each lifetime.
+  bool startup_on_critical_path = false;
+  // When a checkpoint's downtime overlaps the next arrival, delay it (only
+  // observable with trace-driven arrivals; closed-loop clients wait anyway).
+  bool checkpoint_blocks_requests = false;
+  // How long an idle worker holds its resources before the platform reclaims
+  // them (the idle-eviction timeout). Feeds the worker-occupancy accounting
+  // (memory-time) in trace-driven runs; set it to the eviction model's idle
+  // timeout when comparing keep-alive costs.
+  Duration idle_resource_hold = Duration::Zero();
+  OrchestratorCostModel costs;
+};
+
+// Owns the full per-function stack: Database, Object Store, checkpoint
+// engine, policy state store, and orchestrator. Multiple runs on one
+// FunctionSimulation continue the same learned state (worker fleet over
+// time); construct a new instance for an independent experiment.
+class FunctionSimulation {
+ public:
+  // `policy` and `eviction` are borrowed and must outlive the simulation.
+  FunctionSimulation(const WorkloadProfile& profile, const WorkloadRegistry& registry,
+                     const OrchestrationPolicy& policy, const EvictionModel& eviction,
+                     SimulationOptions options);
+  ~FunctionSimulation();
+
+  FunctionSimulation(const FunctionSimulation&) = delete;
+  FunctionSimulation& operator=(const FunctionSimulation&) = delete;
+
+  // Closed loop: the client issues `request_count` requests back-to-back,
+  // each after the previous response arrives.
+  Result<SimulationReport> RunClosedLoop(uint64_t request_count);
+
+  // Trace-driven: requests arrive at the given absolute times (must be
+  // non-decreasing). Models a single-worker deployment: a request arriving
+  // while the worker is busy queues behind it.
+  Result<SimulationReport> RunTrace(std::span<const TimePoint> arrivals);
+
+  // Read-only access for tests and exhibits.
+  const KvDatabase& database() const { return db_; }
+  const ObjectStore& object_store() const { return object_store_; }
+  const CheckpointEngine& engine() const { return *engine_; }
+  const PolicyStateStore& state_store() const { return state_store_; }
+
+  // Loads the current shared policy state (theta + pool) from the Database.
+  Result<PolicyState> LoadPolicyState() const { return state_store_.Load(); }
+
+ private:
+  // Core loop shared by both run modes.
+  Result<SimulationReport> Run(std::span<const TimePoint> arrivals, bool closed_loop,
+                               uint64_t request_count);
+
+  const WorkloadProfile& profile_;
+  const WorkloadRegistry& registry_;
+  const OrchestrationPolicy& policy_;
+  const EvictionModel& eviction_;
+  SimulationOptions options_;
+
+  SimClock clock_;
+  InMemoryKvDatabase db_;
+  InMemoryObjectStore object_store_;
+  std::unique_ptr<CheckpointEngine> engine_;
+  PolicyStateStore state_store_;
+  Orchestrator orchestrator_;
+  InputModel input_model_;
+  Rng client_rng_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_FUNCTION_SIMULATION_H_

@@ -1,0 +1,26 @@
+#include "src/platform/metrics.h"
+
+namespace pronghorn {
+
+DistributionSummary SimulationReport::LatencySummary() const {
+  DistributionSummary summary;
+  for (const RequestRecord& record : records) {
+    summary.Add(static_cast<double>(record.latency.ToMicros()));
+  }
+  return summary;
+}
+
+DistributionSummary SimulationReport::LatencySummaryForMaturity(uint64_t lo,
+                                                                uint64_t hi) const {
+  DistributionSummary summary;
+  for (const RequestRecord& record : records) {
+    if (record.request_number >= lo && record.request_number <= hi) {
+      summary.Add(static_cast<double>(record.latency.ToMicros()));
+    }
+  }
+  return summary;
+}
+
+double SimulationReport::MedianLatencyUs() const { return LatencySummary().Median(); }
+
+}  // namespace pronghorn

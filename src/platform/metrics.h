@@ -1,0 +1,65 @@
+// Experiment metrics: per-request records plus platform counters.
+
+#ifndef PRONGHORN_SRC_PLATFORM_METRICS_H_
+#define PRONGHORN_SRC_PLATFORM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/stats.h"
+#include "src/core/orchestrator.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+
+namespace pronghorn {
+
+// One row per served request (the raw data behind every figure).
+struct RequestRecord {
+  // 0-based index within the experiment's request stream.
+  uint64_t global_index = 0;
+  // JIT maturity index of the request (1 = first request since cold start).
+  uint64_t request_number = 0;
+  // User-visible end-to-end latency.
+  Duration latency;
+  // True when this request was the first served by a fresh worker.
+  bool first_of_lifetime = false;
+  // True when the fresh worker was a cold start (vs snapshot restore).
+  bool cold_start = false;
+  // True when a checkpoint was taken right after this request.
+  bool checkpoint_after = false;
+};
+
+// Everything a finished simulation reports.
+struct SimulationReport {
+  std::vector<RequestRecord> records;
+
+  uint64_t worker_lifetimes = 0;
+  uint64_t cold_starts = 0;
+  uint64_t restores = 0;
+  uint64_t checkpoints = 0;
+
+  Duration total_checkpoint_downtime;
+  Duration total_startup_latency;  // Cold init + restore + image download.
+  // Wall-clock time workers spent provisioned (start to eviction), and the
+  // memory they held over that time — the provider-side cost that keep-alive
+  // strategies trade against latency (§7 related work).
+  Duration total_worker_alive_time;
+  double worker_memory_time_mb_s = 0.0;
+  TimePoint end_time;
+
+  StoreAccounting object_store;
+  KvAccounting database;
+  OrchestratorOverheads overheads;
+
+  // Latency distribution over all records.
+  DistributionSummary LatencySummary() const;
+  // Latency distribution over records with request_number in [lo, hi].
+  DistributionSummary LatencySummaryForMaturity(uint64_t lo, uint64_t hi) const;
+  // Median latency in microseconds (the paper's headline comparator).
+  double MedianLatencyUs() const;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_METRICS_H_

@@ -1,0 +1,165 @@
+#include "src/platform/platform_simulation.h"
+
+#include <algorithm>
+
+namespace pronghorn {
+
+DistributionSummary PlatformReport::GlobalLatencySummary() const {
+  DistributionSummary summary;
+  for (const auto& [name, report] : per_function) {
+    for (const RequestRecord& record : report.records) {
+      summary.Add(static_cast<double>(record.latency.ToMicros()));
+    }
+  }
+  return summary;
+}
+
+uint64_t PlatformReport::TotalCheckpoints() const {
+  uint64_t total = 0;
+  for (const auto& [name, report] : per_function) {
+    total += report.checkpoints;
+  }
+  return total;
+}
+
+uint64_t PlatformReport::TotalLifetimes() const {
+  uint64_t total = 0;
+  for (const auto& [name, report] : per_function) {
+    total += report.worker_lifetimes;
+  }
+  return total;
+}
+
+PlatformSimulation::PlatformSimulation(const WorkloadRegistry& registry,
+                                       const EvictionModel& eviction,
+                                       PlatformOptions options)
+    : registry_(registry),
+      eviction_(eviction),
+      options_(options),
+      engine_(HashCombine(options.seed, 0x91a7ULL)),
+      client_rng_(HashCombine(options.seed, 0x91c1ULL)) {}
+
+PlatformSimulation::~PlatformSimulation() = default;
+
+Status PlatformSimulation::DeployFunction(const WorkloadProfile& profile,
+                                          const OrchestrationPolicy& policy) {
+  if (deployments_.contains(profile.name)) {
+    return AlreadyExistsError("function '" + profile.name + "' already deployed");
+  }
+  Deployment deployment;
+  deployment.profile = &profile;
+  deployment.state_store =
+      std::make_unique<PolicyStateStore>(db_, profile.name, policy.config());
+  deployment.orchestrator = std::make_unique<Orchestrator>(
+      profile, registry_, policy, engine_, object_store_, *deployment.state_store,
+      clock_, HashCombine(options_.seed, HashCombine(0xde9ULL, deployments_.size())),
+      options_.costs);
+  deployment.input_model =
+      std::make_unique<InputModel>(profile, options_.input_noise);
+  deployments_.emplace(profile.name, std::move(deployment));
+  return OkStatus();
+}
+
+Result<PlatformReport> PlatformSimulation::Replay(const InvocationTrace& trace) {
+  PlatformReport report;
+  for (const auto& [name, deployment] : deployments_) {
+    report.per_function.emplace(name, SimulationReport{});
+  }
+
+  const auto& records = trace.records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& arrival = records[i];
+    auto it = deployments_.find(arrival.function);
+    if (it == deployments_.end()) {
+      return NotFoundError("trace invokes undeployed function '" + arrival.function +
+                           "'");
+    }
+    Deployment& deployment = it->second;
+    SimulationReport& function_report = report.per_function[arrival.function];
+    clock_.AdvanceTo(arrival.arrival);
+
+    bool fresh_worker = false;
+    if (!deployment.session.has_value()) {
+      PRONGHORN_ASSIGN_OR_RETURN(WorkerSession session,
+                                 deployment.orchestrator->StartWorker());
+      deployment.session.emplace(std::move(session));
+      deployment.requests_in_lifetime = 0;
+      deployment.worker_started_at = arrival.arrival;
+      fresh_worker = true;
+      function_report.worker_lifetimes += 1;
+      if (deployment.session->restored) {
+        function_report.restores += 1;
+      } else {
+        function_report.cold_starts += 1;
+      }
+      function_report.total_startup_latency += deployment.session->startup_latency;
+    }
+
+    FunctionRequest request;
+    request.id = next_request_id_++;
+    request.input_scale = deployment.input_model->NextScale(client_rng_);
+    PRONGHORN_ASSIGN_OR_RETURN(
+        RequestOutcome outcome,
+        deployment.orchestrator->ServeRequest(*deployment.session, request));
+    deployment.requests_in_lifetime += 1;
+
+    Duration latency = outcome.latency;
+    if (deployment.free_at > arrival.arrival) {
+      latency += deployment.free_at - arrival.arrival;  // Queued behind busy worker.
+    }
+    const TimePoint completion = arrival.arrival + latency;
+    deployment.free_at = completion;
+    clock_.AdvanceTo(completion);
+
+    if (outcome.checkpoint_taken) {
+      function_report.checkpoints += 1;
+      function_report.total_checkpoint_downtime += outcome.checkpoint_downtime;
+    }
+
+    RequestRecord record;
+    record.global_index = function_report.records.size();
+    record.request_number = outcome.request_number;
+    record.latency = latency;
+    record.first_of_lifetime = fresh_worker;
+    record.cold_start = fresh_worker && !deployment.session->restored;
+    record.checkpoint_after = outcome.checkpoint_taken;
+    function_report.records.push_back(record);
+
+    // Eviction decision: the next arrival *for this function* decides idle
+    // timeouts. Scan ahead (traces are short windows; this stays cheap).
+    TimePoint next_arrival = completion;
+    bool has_next = false;
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      if (records[j].function == arrival.function) {
+        next_arrival = records[j].arrival;
+        has_next = true;
+        break;
+      }
+    }
+    if (has_next &&
+        eviction_.ShouldEvict(deployment.requests_in_lifetime,
+                              deployment.worker_started_at, completion, next_arrival)) {
+      deployment.session.reset();
+    }
+  }
+
+  for (auto& [name, function_report] : report.per_function) {
+    function_report.end_time = clock_.now();
+    function_report.overheads =
+        deployments_.at(name).orchestrator->overheads();
+  }
+  report.object_store = object_store_.accounting();
+  report.database = db_.accounting();
+  return report;
+}
+
+Result<PolicyState> PlatformSimulation::LoadPolicyState(
+    const std::string& function) const {
+  auto it = deployments_.find(function);
+  if (it == deployments_.end()) {
+    return NotFoundError("function '" + function + "' is not deployed");
+  }
+  return it->second.state_store->Load();
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,95 @@
+// Whole-platform simulation: many functions, one control plane.
+//
+// Mirrors the paper's deployment (Figure 2 at platform scale): a single
+// global Database and Object Store serve every function's orchestrators,
+// while each function gets its own worker, policy scope, and snapshot pool.
+// The platform replays a multi-function invocation trace (arrival-ordered),
+// applying a shared eviction regime (idle timeout + max lifetime).
+
+#ifndef PRONGHORN_SRC_PLATFORM_PLATFORM_SIMULATION_H_
+#define PRONGHORN_SRC_PLATFORM_PLATFORM_SIMULATION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/core/orchestrator.h"
+#include "src/platform/eviction.h"
+#include "src/platform/metrics.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+#include "src/trace/trace_file.h"
+#include "src/workloads/input_model.h"
+
+namespace pronghorn {
+
+struct PlatformOptions {
+  uint64_t seed = 1;
+  bool input_noise = true;
+  OrchestratorCostModel costs;
+};
+
+// Per-function results plus platform-wide accounting.
+struct PlatformReport {
+  std::map<std::string, SimulationReport> per_function;
+  StoreAccounting object_store;
+  KvAccounting database;
+
+  // All functions' latencies merged.
+  DistributionSummary GlobalLatencySummary() const;
+  uint64_t TotalCheckpoints() const;
+  uint64_t TotalLifetimes() const;
+};
+
+class PlatformSimulation {
+ public:
+  // `eviction` applies to every function's worker; borrowed.
+  PlatformSimulation(const WorkloadRegistry& registry, const EvictionModel& eviction,
+                     PlatformOptions options);
+  ~PlatformSimulation();
+
+  PlatformSimulation(const PlatformSimulation&) = delete;
+  PlatformSimulation& operator=(const PlatformSimulation&) = delete;
+
+  // Registers a function deployment under `profile.name`. The policy is
+  // borrowed and must outlive the simulation. Fails on duplicate names.
+  Status DeployFunction(const WorkloadProfile& profile,
+                        const OrchestrationPolicy& policy);
+
+  // Replays the trace in arrival order. Every record's function must have
+  // been deployed. May be called repeatedly; state persists across calls.
+  Result<PlatformReport> Replay(const InvocationTrace& trace);
+
+  // Current learned state of one function.
+  Result<PolicyState> LoadPolicyState(const std::string& function) const;
+
+ private:
+  struct Deployment {
+    const WorkloadProfile* profile = nullptr;
+    std::unique_ptr<PolicyStateStore> state_store;
+    std::unique_ptr<Orchestrator> orchestrator;
+    std::unique_ptr<InputModel> input_model;
+    std::optional<WorkerSession> session;
+    uint64_t requests_in_lifetime = 0;
+    TimePoint worker_started_at;
+    TimePoint free_at;
+  };
+
+  const WorkloadRegistry& registry_;
+  const EvictionModel& eviction_;
+  PlatformOptions options_;
+
+  SimClock clock_;
+  InMemoryKvDatabase db_;
+  InMemoryObjectStore object_store_;
+  CriuLikeEngine engine_;
+  Rng client_rng_;
+  std::map<std::string, Deployment> deployments_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_PLATFORM_SIMULATION_H_

@@ -1,0 +1,136 @@
+#include "src/platform/report_io.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pronghorn {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "global_index,request_number,latency_us,first_of_lifetime,cold_start,"
+    "checkpoint_after";
+
+Result<int64_t> ParseField(std::string_view text) {
+  int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return DataLossError("bad CSV field '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string RecordsToCsv(std::span<const RequestRecord> records) {
+  std::string out(kHeader);
+  out += '\n';
+  char line[128];
+  for (const RequestRecord& record : records) {
+    std::snprintf(line, sizeof(line), "%" PRIu64 ",%" PRIu64 ",%" PRId64 ",%d,%d,%d\n",
+                  record.global_index, record.request_number,
+                  record.latency.ToMicros(), record.first_of_lifetime ? 1 : 0,
+                  record.cold_start ? 1 : 0, record.checkpoint_after ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+Status WriteRecordsCsv(const SimulationReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  out << RecordsToCsv(report.records);
+  out.flush();
+  if (!out) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<RequestRecord>> RecordsFromCsv(std::string_view csv) {
+  std::vector<RequestRecord> records;
+  size_t pos = 0;
+  size_t line_number = 0;
+  while (pos < csv.size()) {
+    size_t end = csv.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = csv.size();
+    }
+    const std::string_view line = csv.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (line_number == 1) {
+      if (line != kHeader) {
+        return DataLossError("bad records CSV header");
+      }
+      continue;
+    }
+    // Split into exactly 6 comma-separated fields.
+    int64_t fields[6];
+    size_t field_index = 0;
+    size_t field_start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (field_index >= 6) {
+          return DataLossError("too many fields on records CSV line " +
+                               std::to_string(line_number));
+        }
+        PRONGHORN_ASSIGN_OR_RETURN(fields[field_index],
+                                   ParseField(line.substr(field_start, i - field_start)));
+        ++field_index;
+        field_start = i + 1;
+      }
+    }
+    if (field_index != 6) {
+      return DataLossError("too few fields on records CSV line " +
+                           std::to_string(line_number));
+    }
+    RequestRecord record;
+    record.global_index = static_cast<uint64_t>(fields[0]);
+    record.request_number = static_cast<uint64_t>(fields[1]);
+    record.latency = Duration::Micros(fields[2]);
+    record.first_of_lifetime = fields[3] != 0;
+    record.cold_start = fields[4] != 0;
+    record.checkpoint_after = fields[5] != 0;
+    records.push_back(record);
+  }
+  return records;
+}
+
+Result<std::vector<RequestRecord>> ReadRecordsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open records CSV '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return RecordsFromCsv(buffer.str());
+}
+
+std::string SummarizeReport(const SimulationReport& report) {
+  const DistributionSummary summary = report.LatencySummary();
+  char out[512];
+  std::snprintf(out, sizeof(out),
+                "requests=%zu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%" PRIu64
+                " cold=%" PRIu64 " restores=%" PRIu64 " checkpoints=%" PRIu64
+                " storage_peak_mb=%.1f net_up_mb=%.1f net_down_mb=%.1f",
+                report.records.size(), summary.Quantile(50), summary.Quantile(90),
+                summary.Quantile(99), report.worker_lifetimes, report.cold_starts,
+                report.restores, report.checkpoints,
+                static_cast<double>(report.object_store.peak_logical_bytes) / 1048576.0,
+                static_cast<double>(report.object_store.network_bytes_uploaded) /
+                    1048576.0,
+                static_cast<double>(report.object_store.network_bytes_downloaded) /
+                    1048576.0);
+  return out;
+}
+
+}  // namespace pronghorn

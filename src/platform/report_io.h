@@ -1,0 +1,27 @@
+// CSV persistence of simulation results, mirroring the artifact's results/
+// directory layout: one row per request plus a summary block, so downstream
+// plotting (the paper's Evaluation.ipynb equivalent) can consume the data.
+
+#ifndef PRONGHORN_SRC_PLATFORM_REPORT_IO_H_
+#define PRONGHORN_SRC_PLATFORM_REPORT_IO_H_
+
+#include <string>
+
+#include "src/platform/metrics.h"
+
+namespace pronghorn {
+
+// Per-request records as CSV:
+//   global_index,request_number,latency_us,first_of_lifetime,cold_start,checkpoint_after
+std::string RecordsToCsv(std::span<const RequestRecord> records);
+Status WriteRecordsCsv(const SimulationReport& report, const std::string& path);
+// Parses the format back (round trip for pipelines and tests).
+Result<std::vector<RequestRecord>> RecordsFromCsv(std::string_view csv);
+Result<std::vector<RequestRecord>> ReadRecordsCsv(const std::string& path);
+
+// One-line key=value summary of a report (counters + medians) for logs.
+std::string SummarizeReport(const SimulationReport& report);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_REPORT_IO_H_

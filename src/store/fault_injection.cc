@@ -1,0 +1,68 @@
+#include "src/store/fault_injection.h"
+
+namespace pronghorn {
+
+Status FaultyObjectStore::Put(std::string_view key, ObjectBlob blob) {
+  if (rng_.Bernoulli(plan_.put_failure_rate)) {
+    faults_injected_ += 1;
+    return UnavailableError("injected object-store put failure");
+  }
+  return inner_.Put(key, std::move(blob));
+}
+
+Result<ObjectBlob> FaultyObjectStore::Get(std::string_view key) {
+  if (rng_.Bernoulli(plan_.get_failure_rate)) {
+    faults_injected_ += 1;
+    return UnavailableError("injected object-store get failure");
+  }
+  return inner_.Get(key);
+}
+
+Status FaultyObjectStore::Delete(std::string_view key) {
+  if (rng_.Bernoulli(plan_.delete_failure_rate)) {
+    faults_injected_ += 1;
+    return UnavailableError("injected object-store delete failure");
+  }
+  return inner_.Delete(key);
+}
+
+Status FaultyKvDatabase::MaybeFail(double rate, const char* operation) {
+  if (rng_.Bernoulli(rate)) {
+    faults_injected_ += 1;
+    return UnavailableError(std::string("injected database failure: ") + operation);
+  }
+  return OkStatus();
+}
+
+Status FaultyKvDatabase::Put(std::string_view key, std::vector<uint8_t> value) {
+  PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.put_failure_rate, "put"));
+  return inner_.Put(key, std::move(value));
+}
+
+Result<std::vector<uint8_t>> FaultyKvDatabase::Get(std::string_view key) {
+  PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.get_failure_rate, "get"));
+  return inner_.Get(key);
+}
+
+Result<VersionedValue> FaultyKvDatabase::GetVersioned(std::string_view key) {
+  PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.get_failure_rate, "get-versioned"));
+  return inner_.GetVersioned(key);
+}
+
+Status FaultyKvDatabase::CompareAndSwap(std::string_view key, uint64_t expected_version,
+                                        std::vector<uint8_t> value) {
+  PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.put_failure_rate, "compare-and-swap"));
+  return inner_.CompareAndSwap(key, expected_version, std::move(value));
+}
+
+Status FaultyKvDatabase::Delete(std::string_view key) {
+  PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.delete_failure_rate, "delete"));
+  return inner_.Delete(key);
+}
+
+Result<int64_t> FaultyKvDatabase::Increment(std::string_view key) {
+  PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.put_failure_rate, "increment"));
+  return inner_.Increment(key);
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,83 @@
+// Fault-injecting decorators for the storage layer.
+//
+// Distributed deployments lose object-store reads and database round trips
+// to transient failures. These decorators wrap any ObjectStore/KvDatabase
+// and fail a configurable fraction of operations with kUnavailable, letting
+// tests and benches verify the orchestrator's degradation behavior (restore
+// failures fall back to cold starts; knowledge writes surface errors).
+
+#ifndef PRONGHORN_SRC_STORE_FAULT_INJECTION_H_
+#define PRONGHORN_SRC_STORE_FAULT_INJECTION_H_
+
+#include "src/common/rng.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+
+namespace pronghorn {
+
+struct FaultPlan {
+  // Probability that each operation kind fails with kUnavailable.
+  double get_failure_rate = 0.0;
+  double put_failure_rate = 0.0;
+  double delete_failure_rate = 0.0;
+
+  uint64_t seed = 0;
+};
+
+// ObjectStore decorator. The inner store is borrowed and must outlive this.
+class FaultyObjectStore : public ObjectStore {
+ public:
+  FaultyObjectStore(ObjectStore& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan), rng_(HashCombine(plan.seed, 0xfa17ULL)) {}
+
+  Status Put(std::string_view key, ObjectBlob blob) override;
+  Result<ObjectBlob> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  bool Contains(std::string_view key) const override { return inner_.Contains(key); }
+  std::vector<std::string> ListKeys(std::string_view prefix) const override {
+    return inner_.ListKeys(prefix);
+  }
+  StoreAccounting accounting() const override { return inner_.accounting(); }
+
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  ObjectStore& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t faults_injected_ = 0;
+};
+
+// KvDatabase decorator. Reads and writes fail independently per the plan
+// (CAS counts as a write). The inner database is borrowed.
+class FaultyKvDatabase : public KvDatabase {
+ public:
+  FaultyKvDatabase(KvDatabase& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan), rng_(HashCombine(plan.seed, 0xfadbULL)) {}
+
+  Status Put(std::string_view key, std::vector<uint8_t> value) override;
+  Result<std::vector<uint8_t>> Get(std::string_view key) override;
+  Result<VersionedValue> GetVersioned(std::string_view key) override;
+  Status CompareAndSwap(std::string_view key, uint64_t expected_version,
+                        std::vector<uint8_t> value) override;
+  Status Delete(std::string_view key) override;
+  Result<int64_t> Increment(std::string_view key) override;
+  std::vector<std::string> ListKeys(std::string_view prefix) const override {
+    return inner_.ListKeys(prefix);
+  }
+  KvAccounting accounting() const override { return inner_.accounting(); }
+
+  uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  Status MaybeFail(double rate, const char* operation);
+
+  KvDatabase& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t faults_injected_ = 0;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_STORE_FAULT_INJECTION_H_

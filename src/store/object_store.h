@@ -1,0 +1,104 @@
+// Object store (MinIO stand-in) for snapshot images.
+//
+// The store distinguishes *physical* bytes (the encoded image actually held)
+// from *logical* bytes (the modeled CRIU image size, dominated by heap pages
+// that the simulator does not materialize). All storage and network
+// accounting — the basis of the paper's Table 5 — is in logical bytes.
+
+#ifndef PRONGHORN_SRC_STORE_OBJECT_STORE_H_
+#define PRONGHORN_SRC_STORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+// A stored blob plus its modeled size.
+struct ObjectBlob {
+  std::vector<uint8_t> bytes;
+  uint64_t logical_size = 0;
+};
+
+// Cumulative transfer/storage accounting.
+struct StoreAccounting {
+  uint64_t logical_bytes_stored = 0;    // Current logical footprint.
+  uint64_t peak_logical_bytes = 0;      // High-water mark (Table 5 "max storage").
+  uint64_t network_bytes_uploaded = 0;  // Cumulative Put traffic.
+  uint64_t network_bytes_downloaded = 0;// Cumulative Get traffic.
+  uint64_t put_count = 0;
+  uint64_t get_count = 0;
+  uint64_t delete_count = 0;
+};
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Stores `blob` under `key`, replacing any existing object.
+  virtual Status Put(std::string_view key, ObjectBlob blob) = 0;
+  // Fetches a copy of the object.
+  virtual Result<ObjectBlob> Get(std::string_view key) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+  virtual bool Contains(std::string_view key) const = 0;
+  // Keys in lexicographic order, optionally filtered by prefix.
+  virtual std::vector<std::string> ListKeys(std::string_view prefix = "") const = 0;
+
+  virtual StoreAccounting accounting() const = 0;
+};
+
+// Thread-safe in-memory implementation.
+class InMemoryObjectStore : public ObjectStore {
+ public:
+  InMemoryObjectStore() = default;
+
+  Status Put(std::string_view key, ObjectBlob blob) override;
+  Result<ObjectBlob> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  bool Contains(std::string_view key) const override;
+  std::vector<std::string> ListKeys(std::string_view prefix) const override;
+  StoreAccounting accounting() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ObjectBlob, std::less<>> objects_;
+  StoreAccounting accounting_;
+};
+
+// Durable implementation that persists each object as a file under a root
+// directory ("<root>/<escaped key>"), with logical sizes in a sidecar header.
+// Used by the persistence examples and tests; semantics match the in-memory
+// store.
+class FileBackedObjectStore : public ObjectStore {
+ public:
+  // Creates the root directory if needed. Fails if it cannot be created.
+  static Result<std::unique_ptr<FileBackedObjectStore>> Open(std::string root_dir);
+
+  Status Put(std::string_view key, ObjectBlob blob) override;
+  Result<ObjectBlob> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  bool Contains(std::string_view key) const override;
+  std::vector<std::string> ListKeys(std::string_view prefix) const override;
+  StoreAccounting accounting() const override;
+
+ private:
+  explicit FileBackedObjectStore(std::string root_dir);
+
+  std::string PathForKey(std::string_view key) const;
+  static std::string EscapeKey(std::string_view key);
+  static Result<std::string> UnescapeKey(std::string_view file_name);
+
+  mutable std::mutex mutex_;
+  std::string root_dir_;
+  StoreAccounting accounting_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_STORE_OBJECT_STORE_H_

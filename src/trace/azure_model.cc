@@ -1,0 +1,25 @@
+#include "src/trace/azure_model.h"
+
+#include <cmath>
+
+#include "src/common/mathutil.h"
+
+namespace pronghorn {
+
+AzureTraceModel::AzureTraceModel(AzureTraceModelParams params) : params_(params) {}
+
+Result<double> AzureTraceModel::DailyInvocationsAtPercentile(double percentile) const {
+  if (percentile <= 0.0 || percentile >= 100.0) {
+    return InvalidArgumentError("percentile must be in (0, 100)");
+  }
+  const double z = NormalQuantile(percentile / 100.0);
+  return std::pow(10.0, params_.log10_daily_mu + params_.log10_daily_sigma * z);
+}
+
+Result<double> AzureTraceModel::ExpectedArrivalsInWindow(double percentile,
+                                                         Duration window) const {
+  PRONGHORN_ASSIGN_OR_RETURN(double daily, DailyInvocationsAtPercentile(percentile));
+  return daily * window.ToSeconds() / 86400.0;
+}
+
+}  // namespace pronghorn

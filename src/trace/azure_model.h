@@ -1,0 +1,53 @@
+// Statistical model of the Azure Functions production traces.
+//
+// The paper's trace analysis (Figure 6) samples functions by popularity
+// percentile (invocations per day) from the Shahrad et al. [58]
+// characterization and replays all invocations of one function over a
+// fifteen-minute window. The actual trace files are proprietary-scale data we
+// do not have; this model regenerates statistically equivalent windows: the
+// per-function daily invocation count distribution is heavy-tailed
+// (log-normal across functions), and arrivals within a window are Poisson
+// with optional burstiness.
+
+#ifndef PRONGHORN_SRC_TRACE_AZURE_MODEL_H_
+#define PRONGHORN_SRC_TRACE_AZURE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace pronghorn {
+
+struct AzureTraceModelParams {
+  // log10 of daily invocations across functions is ~ Normal(mu, sigma).
+  // Defaults put the median function at ~316 invocations/day (≈3 per 15 min,
+  // matching the paper's observation for its 50th-percentile sample).
+  double log10_daily_mu = 2.5;
+  double log10_daily_sigma = 1.5;
+  // Short-timescale burstiness: arrival gaps are exponential scaled by a
+  // lognormal(0, burstiness) modulation factor redrawn per gap.
+  double burstiness = 0.4;
+};
+
+class AzureTraceModel {
+ public:
+  explicit AzureTraceModel(AzureTraceModelParams params = AzureTraceModelParams{});
+
+  // Expected invocations/day for a function at the given popularity
+  // percentile (0 < percentile < 100).
+  Result<double> DailyInvocationsAtPercentile(double percentile) const;
+
+  // Mean arrivals expected in `window` at the given percentile.
+  Result<double> ExpectedArrivalsInWindow(double percentile, Duration window) const;
+
+  const AzureTraceModelParams& params() const { return params_; }
+
+ private:
+  AzureTraceModelParams params_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_TRACE_AZURE_MODEL_H_

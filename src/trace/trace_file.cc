@@ -1,0 +1,126 @@
+#include "src/trace/trace_file.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace pronghorn {
+
+Status InvocationTrace::Append(TraceRecord record) {
+  if (record.function.empty()) {
+    return InvalidArgumentError("trace record needs a function name");
+  }
+  if (record.function.find(',') != std::string::npos ||
+      record.function.find('\n') != std::string::npos) {
+    return InvalidArgumentError("function name must not contain ',' or newline");
+  }
+  if (!records_.empty() && record.arrival < records_.back().arrival) {
+    return FailedPreconditionError("trace records must be appended in arrival order");
+  }
+  records_.push_back(std::move(record));
+  return OkStatus();
+}
+
+std::vector<TimePoint> InvocationTrace::ArrivalsFor(std::string_view function) const {
+  std::vector<TimePoint> arrivals;
+  for (const TraceRecord& record : records_) {
+    if (record.function == function) {
+      arrivals.push_back(record.arrival);
+    }
+  }
+  return arrivals;
+}
+
+std::vector<std::string> InvocationTrace::Functions() const {
+  std::vector<std::string> names;
+  for (const TraceRecord& record : records_) {
+    bool seen = false;
+    for (const std::string& name : names) {
+      if (name == record.function) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      names.push_back(record.function);
+    }
+  }
+  return names;
+}
+
+std::string InvocationTrace::ToCsv() const {
+  std::string out = "function,arrival_us\n";
+  for (const TraceRecord& record : records_) {
+    out += record.function;
+    out += ',';
+    out += std::to_string(record.arrival.ToMicros());
+    out += '\n';
+  }
+  return out;
+}
+
+Result<InvocationTrace> InvocationTrace::FromCsv(std::string_view csv) {
+  InvocationTrace trace;
+  size_t pos = 0;
+  size_t line_number = 0;
+  while (pos < csv.size()) {
+    size_t end = csv.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = csv.size();
+    }
+    const std::string_view line = csv.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (line_number == 1) {
+      if (line != "function,arrival_us") {
+        return DataLossError("bad trace CSV header: '" + std::string(line) + "'");
+      }
+      continue;
+    }
+    const size_t comma = line.rfind(',');
+    if (comma == std::string_view::npos || comma == 0) {
+      return DataLossError("malformed trace CSV line " + std::to_string(line_number));
+    }
+    TraceRecord record;
+    record.function = std::string(line.substr(0, comma));
+    const std::string_view number = line.substr(comma + 1);
+    int64_t arrival_us = 0;
+    const auto [ptr, ec] =
+        std::from_chars(number.data(), number.data() + number.size(), arrival_us);
+    if (ec != std::errc() || ptr != number.data() + number.size()) {
+      return DataLossError("bad arrival time on trace CSV line " +
+                           std::to_string(line_number));
+    }
+    record.arrival = TimePoint::FromMicros(arrival_us);
+    PRONGHORN_RETURN_IF_ERROR(trace.Append(std::move(record)));
+  }
+  return trace;
+}
+
+Status InvocationTrace::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  out << ToCsv();
+  out.flush();
+  if (!out) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+Result<InvocationTrace> InvocationTrace::ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open trace file '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromCsv(buffer.str());
+}
+
+}  // namespace pronghorn

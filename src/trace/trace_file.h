@@ -1,0 +1,57 @@
+// Invocation trace records and CSV persistence.
+//
+// Format (one invocation per line, header required):
+//   function,arrival_us
+//   MST,1250000
+//   MST,3417221
+
+#ifndef PRONGHORN_SRC_TRACE_TRACE_FILE_H_
+#define PRONGHORN_SRC_TRACE_TRACE_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+struct TraceRecord {
+  std::string function;
+  TimePoint arrival;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+// A trace: invocation records sorted by arrival time.
+class InvocationTrace {
+ public:
+  InvocationTrace() = default;
+
+  // Records must be appended in non-decreasing arrival order.
+  Status Append(TraceRecord record);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  // Arrival times of all records for `function`.
+  std::vector<TimePoint> ArrivalsFor(std::string_view function) const;
+  // Distinct function names, in first-appearance order.
+  std::vector<std::string> Functions() const;
+
+  // CSV round trip.
+  Status WriteCsv(const std::string& path) const;
+  static Result<InvocationTrace> ReadCsv(const std::string& path);
+  // In-memory CSV (for tests and piping).
+  std::string ToCsv() const;
+  static Result<InvocationTrace> FromCsv(std::string_view csv);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_TRACE_TRACE_FILE_H_

@@ -1,0 +1,61 @@
+#include "src/trace/trace_generator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pronghorn {
+
+TraceGenerator::TraceGenerator(const AzureTraceModel& model, uint64_t seed)
+    : model_(model), rng_(HashCombine(seed, 0x7247ULL)) {}
+
+Result<std::vector<TimePoint>> TraceGenerator::GenerateWindow(double percentile,
+                                                              Duration window) {
+  PRONGHORN_ASSIGN_OR_RETURN(double daily,
+                             model_.DailyInvocationsAtPercentile(percentile));
+  const double rate_per_second = daily / 86400.0;
+  if (rate_per_second <= 0.0) {
+    return std::vector<TimePoint>{};
+  }
+
+  std::vector<TimePoint> arrivals;
+  double t_seconds = 0.0;
+  const double horizon = window.ToSeconds();
+  while (true) {
+    // Exponential gap modulated by a lognormal burstiness factor: clusters
+    // of near-simultaneous invocations separated by long quiet stretches,
+    // as the Azure characterization reports.
+    const double modulation =
+        model_.params().burstiness > 0.0
+            ? rng_.LogNormal(0.0, model_.params().burstiness)
+            : 1.0;
+    t_seconds += rng_.Exponential(rate_per_second) * modulation;
+    if (t_seconds >= horizon) {
+      break;
+    }
+    arrivals.push_back(TimePoint::FromMicros(static_cast<int64_t>(t_seconds * 1e6)));
+  }
+  return arrivals;
+}
+
+Result<InvocationTrace> TraceGenerator::GenerateTrace(
+    const std::vector<std::pair<std::string, double>>& functions, Duration window) {
+  std::vector<TraceRecord> merged;
+  for (const auto& [name, percentile] : functions) {
+    PRONGHORN_ASSIGN_OR_RETURN(std::vector<TimePoint> arrivals,
+                               GenerateWindow(percentile, window));
+    for (TimePoint arrival : arrivals) {
+      merged.push_back(TraceRecord{name, arrival});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.arrival < b.arrival;
+                   });
+  InvocationTrace trace;
+  for (TraceRecord& record : merged) {
+    PRONGHORN_RETURN_IF_ERROR(trace.Append(std::move(record)));
+  }
+  return trace;
+}
+
+}  // namespace pronghorn

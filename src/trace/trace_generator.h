@@ -1,0 +1,37 @@
+// Synthetic trace generation from the Azure model.
+
+#ifndef PRONGHORN_SRC_TRACE_TRACE_GENERATOR_H_
+#define PRONGHORN_SRC_TRACE_TRACE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/azure_model.h"
+#include "src/trace/trace_file.h"
+
+namespace pronghorn {
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const AzureTraceModel& model, uint64_t seed);
+
+  // Arrival times of one function sampled at the given popularity percentile
+  // over [0, window): bursty-Poisson arrivals at the percentile's mean rate.
+  // May legitimately return an empty vector for unpopular functions (the
+  // paper's "pathological" MST window had only 3 requests).
+  Result<std::vector<TimePoint>> GenerateWindow(double percentile, Duration window);
+
+  // Full multi-function trace: one window per (function, percentile) pair,
+  // merged into arrival order.
+  Result<InvocationTrace> GenerateTrace(
+      const std::vector<std::pair<std::string, double>>& functions, Duration window);
+
+ private:
+  const AzureTraceModel& model_;
+  Rng rng_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_TRACE_TRACE_GENERATOR_H_

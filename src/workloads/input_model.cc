@@ -1,0 +1,17 @@
+#include "src/workloads/input_model.h"
+
+#include "src/common/mathutil.h"
+
+namespace pronghorn {
+
+InputModel::InputModel(const WorkloadProfile& profile, bool enable_noise)
+    : sigma_(profile.input_noise_sigma), enabled_(enable_noise) {}
+
+double InputModel::NextScale(Rng& rng) const {
+  if (!enabled_ || sigma_ <= 0.0) {
+    return 1.0;
+  }
+  return Clamp(rng.LogNormal(0.0, sigma_), kMinScale, kMaxScale);
+}
+
+}  // namespace pronghorn

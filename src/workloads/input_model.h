@@ -1,0 +1,35 @@
+// Client-side input perturbation model (§5.1 "Benchmarks"): zero-mean
+// Gaussian noise in the log of input sizes, up to an order of magnitude.
+
+#ifndef PRONGHORN_SRC_WORKLOADS_INPUT_MODEL_H_
+#define PRONGHORN_SRC_WORKLOADS_INPUT_MODEL_H_
+
+#include "src/common/rng.h"
+#include "src/workloads/workload_profile.h"
+
+namespace pronghorn {
+
+// Draws multiplicative input-size factors for requests against a workload.
+// The factor is lognormal(0, sigma) clipped to [kMinScale, kMaxScale], so a
+// pathological draw can never produce a zero-cost or unbounded request.
+class InputModel {
+ public:
+  // `enable_noise` off yields a constant factor of 1 (used by warm-up-curve
+  // exhibits where the paper plots noiseless convergence).
+  InputModel(const WorkloadProfile& profile, bool enable_noise);
+
+  // Input-size factor for the next request, drawn from `rng` (the load
+  // generator's stream, so server-side JIT randomness stays independent).
+  double NextScale(Rng& rng) const;
+
+  static constexpr double kMinScale = 0.08;
+  static constexpr double kMaxScale = 12.0;
+
+ private:
+  double sigma_;
+  bool enabled_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_WORKLOADS_INPUT_MODEL_H_

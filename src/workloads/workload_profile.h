@@ -1,0 +1,136 @@
+// Workload profiles for the 13 serverless benchmarks of the paper (Table 3).
+//
+// The paper's benchmarks enter the evaluation only through (a) their
+// end-to-end latency as a function of JIT maturity, (b) their input-size
+// variance, and (c) their checkpoint/restore costs and snapshot sizes. A
+// WorkloadProfile captures exactly those quantities, calibrated to the
+// paper's Figure 1 (warm-up curves), Table 1 (Java speedups), Figure 4/5
+// (latency ranges) and Table 4 (checkpoint/restore/snapshot costs).
+
+#ifndef PRONGHORN_SRC_WORKLOADS_WORKLOAD_PROFILE_H_
+#define PRONGHORN_SRC_WORKLOADS_WORKLOAD_PROFILE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+// The two optimizing runtimes the paper evaluates (§5.1).
+enum class RuntimeFamily : uint8_t {
+  kJvm = 0,   // OpenJDK HotSpot 17: slower warm-up, larger converged speedup.
+  kPyPy = 1,  // PyPy 3.7: faster warm-up, smaller snapshots? (larger, per Table 4).
+};
+
+std::string_view RuntimeFamilyName(RuntimeFamily family);
+
+// Static description of one benchmark. All latencies are noiseless baselines;
+// the JIT simulator and the load generator layer stochastic effects on top.
+struct WorkloadProfile {
+  std::string name;
+  RuntimeFamily family = RuntimeFamily::kPyPy;
+
+  // --- Latency structure -----------------------------------------------
+  // Compute part of one request when fully interpreted (JIT maturity 0).
+  Duration compute_base;
+  // Compute speedup at full JIT convergence: converged compute latency is
+  // compute_base / converged_speedup.
+  double converged_speedup = 1.0;
+  // JIT-independent I/O part (network, disk, native libraries).
+  Duration io_base;
+  // Lognormal sigma of run-to-run I/O jitter.
+  double io_noise_sigma = 0.1;
+  // Lognormal sigma of the client-side input-size perturbation (§5.1: up to
+  // an order of magnitude); applied by the load generator.
+  double input_noise_sigma = 0.3;
+  // Compute latency scales as input_scale ^ input_scale_exponent.
+  double input_scale_exponent = 1.0;
+  // Fraction of the input scale that also affects the I/O part (file sizes).
+  double io_input_coupling = 0.0;
+
+  // --- Warm-up shape ----------------------------------------------------
+  // Requests until the optimizing tier has compiled every hot method
+  // (Figure 1: ~1000 for PyPy, ~2500 for JVM on DynamicHTML).
+  uint32_t convergence_requests = 1000;
+  // Number of hot methods the tiered-compilation model tracks.
+  uint32_t hot_method_count = 12;
+  // Fraction of the converged speedup granted by the cheap baseline tier
+  // (reached within the first few dozen requests).
+  double baseline_speedup_fraction = 0.55;
+  // Per-request probability of a deoptimization event once optimized.
+  double deopt_rate = 0.002;
+  // Garbage-collection pause model: per-request pause probability and the
+  // mean pause length (lognormal-distributed around it). Contributes the
+  // occasional latency spike real managed runtimes exhibit.
+  double gc_pause_probability = 0.0;
+  Duration gc_pause_mean;
+  // Input-class sensitivity of speculative optimizations (§6 workload- and
+  // input-awareness). Optimized code specializes to the input class it was
+  // profiled on; serving a request of a different class multiplies that
+  // method's deopt probability by (1 + class_sensitivity). 0 = the workload's
+  // code paths do not depend on the input class (the Table 3 default).
+  double class_sensitivity = 0.0;
+
+  // --- Cost model (Table 4) ----------------------------------------------
+  // Runtime cold-start initialization (process spawn + runtime boot).
+  Duration cold_init;
+  // Extra one-off cost folded into the very first request (lazy init of
+  // interpreter / JIT data structures, §5.1 Orchestration policies note).
+  Duration lazy_init_cost;
+  Duration checkpoint_mean;
+  Duration checkpoint_stddev;
+  Duration restore_mean;
+  Duration restore_stddev;
+  // Uncompressed snapshot image size.
+  double snapshot_mb = 50.0;
+
+  // True when the workload is dominated by I/O (Compression, Uploader,
+  // Thumbnailer, Video) — used by harness summaries, not by the policy.
+  bool io_bound = false;
+
+  // True for profiles outside the paper's 13-benchmark evaluation set of
+  // Table 3 (e.g. the JSON parser of Table 1, which comes from the authors'
+  // earlier HotOS paper [23]). Auxiliary profiles are available by name but
+  // excluded from "all benchmarks" sweeps.
+  bool auxiliary = false;
+
+  // Converged noiseless end-to-end latency (io + compute/speedup).
+  Duration ConvergedLatency() const;
+  // Interpreted noiseless end-to-end latency (io + compute).
+  Duration InterpretedLatency() const;
+};
+
+// Immutable registry of benchmark profiles keyed by name. The default
+// registry carries the paper's 13 benchmarks; tests may build custom ones.
+class WorkloadRegistry {
+ public:
+  // Builds the 13-benchmark registry of Table 3.
+  static const WorkloadRegistry& Default();
+
+  // Registry from an explicit profile list (names must be unique).
+  static Result<WorkloadRegistry> Create(std::vector<WorkloadProfile> profiles);
+
+  Result<const WorkloadProfile*> Find(std::string_view name) const;
+  std::span<const WorkloadProfile> profiles() const { return profiles_; }
+
+  // The paper's Table 3 evaluation set (profiles not marked auxiliary).
+  std::vector<const WorkloadProfile*> EvaluationSet() const;
+
+  // Names of all non-auxiliary profiles for a runtime family, in registry
+  // order.
+  std::vector<std::string> NamesForFamily(RuntimeFamily family) const;
+
+ private:
+  WorkloadRegistry() = default;
+
+  std::vector<WorkloadProfile> profiles_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_WORKLOADS_WORKLOAD_PROFILE_H_

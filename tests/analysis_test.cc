@@ -1,0 +1,122 @@
+#include "src/platform/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+RequestRecord Record(uint64_t index, uint64_t request_number, int64_t latency_us) {
+  RequestRecord record;
+  record.global_index = index;
+  record.request_number = request_number;
+  record.latency = Duration::Micros(latency_us);
+  return record;
+}
+
+std::vector<RequestRecord> DecayingSeries(size_t count, int64_t start_us,
+                                          int64_t floor_us, size_t settle_at) {
+  std::vector<RequestRecord> records;
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t latency =
+        i >= settle_at
+            ? floor_us
+            : start_us - static_cast<int64_t>(i) * (start_us - floor_us) /
+                             static_cast<int64_t>(settle_at);
+    records.push_back(Record(i, i + 1, latency));
+  }
+  return records;
+}
+
+TEST(ConvergenceRequestTest, FindsSettlePoint) {
+  const auto records = DecayingSeries(400, 100000, 10000, 200);
+  const auto convergence = ConvergenceRequest(records, 20, 0.02);
+  ASSERT_TRUE(convergence.has_value());
+  // The first window whose median is within 2% of the final median starts
+  // near the settle point (a bit before it, as the ramp closes in).
+  EXPECT_GE(*convergence, 180u);
+  EXPECT_LE(*convergence, 205u);
+}
+
+TEST(ConvergenceRequestTest, ImmediateForFlatSeries) {
+  std::vector<RequestRecord> records;
+  for (size_t i = 0; i < 100; ++i) {
+    records.push_back(Record(i, i + 1, 5000));
+  }
+  const auto convergence = ConvergenceRequest(records, 20, 0.02);
+  ASSERT_TRUE(convergence.has_value());
+  EXPECT_EQ(*convergence, 0u);
+}
+
+TEST(ConvergenceRequestTest, NulloptWhenTooFewRecords) {
+  const auto records = DecayingSeries(10, 1000, 100, 5);
+  EXPECT_FALSE(ConvergenceRequest(records, 20, 0.02).has_value());
+  EXPECT_FALSE(ConvergenceRequest(records, 0, 0.02).has_value());
+}
+
+TEST(ConvergenceRequestTest, ToleranceWidensAcceptance) {
+  const auto records = DecayingSeries(400, 100000, 10000, 200);
+  const auto tight = ConvergenceRequest(records, 20, 0.01);
+  const auto loose = ConvergenceRequest(records, 20, 0.50);
+  ASSERT_TRUE(tight.has_value());
+  ASSERT_TRUE(loose.has_value());
+  EXPECT_LT(*loose, *tight);
+}
+
+TEST(LatencyByMaturityTest, AggregatesAcrossLifetimes) {
+  std::vector<RequestRecord> records;
+  // Two lifetimes of 3 requests: maturities 1,2,3 each seen twice.
+  records.push_back(Record(0, 1, 100));
+  records.push_back(Record(1, 2, 80));
+  records.push_back(Record(2, 3, 60));
+  records.push_back(Record(3, 1, 120));
+  records.push_back(Record(4, 2, 90));
+  records.push_back(Record(5, 3, 70));
+
+  const auto rows = LatencyByMaturity(records);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].request_number, 1u);
+  EXPECT_EQ(rows[0].samples, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].median_latency_us, 110.0);
+  EXPECT_DOUBLE_EQ(rows[1].median_latency_us, 85.0);
+  EXPECT_DOUBLE_EQ(rows[2].median_latency_us, 65.0);
+}
+
+TEST(LatencyByMaturityTest, EmptyInput) {
+  EXPECT_TRUE(LatencyByMaturity({}).empty());
+}
+
+TEST(MedianImprovementPercentTest, PositiveWhenOursFaster) {
+  SimulationReport baseline;
+  SimulationReport ours;
+  for (int i = 0; i < 10; ++i) {
+    baseline.records.push_back(Record(static_cast<uint64_t>(i), 1, 1000));
+    ours.records.push_back(Record(static_cast<uint64_t>(i), 1, 600));
+  }
+  EXPECT_NEAR(MedianImprovementPercent(baseline, ours), 40.0, 1e-9);
+  EXPECT_NEAR(MedianImprovementPercent(ours, baseline), -66.67, 0.01);
+}
+
+TEST(MedianImprovementPercentTest, ZeroBaselineYieldsZero) {
+  SimulationReport baseline;
+  SimulationReport ours;
+  ours.records.push_back(Record(0, 1, 500));
+  EXPECT_DOUBLE_EQ(MedianImprovementPercent(baseline, ours), 0.0);
+}
+
+TEST(SimulationReportTest, MaturityFilteredSummary) {
+  SimulationReport report;
+  report.records.push_back(Record(0, 1, 1000));
+  report.records.push_back(Record(1, 2, 2000));
+  report.records.push_back(Record(2, 50, 100));
+  report.records.push_back(Record(3, 51, 200));
+  const auto early = report.LatencySummaryForMaturity(1, 2);
+  const auto late = report.LatencySummaryForMaturity(50, 100);
+  EXPECT_EQ(early.count(), 2u);
+  EXPECT_EQ(late.count(), 2u);
+  EXPECT_DOUBLE_EQ(early.Median(), 1500.0);
+  EXPECT_DOUBLE_EQ(late.Median(), 150.0);
+  EXPECT_DOUBLE_EQ(report.MedianLatencyUs(), 600.0);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,79 @@
+#include "src/core/baseline_policies.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+PoolEntry Entry(uint64_t id, uint64_t request_number) {
+  PoolEntry entry;
+  entry.metadata.id = SnapshotId{id};
+  entry.metadata.function = "f";
+  entry.metadata.request_number = request_number;
+  entry.object_key = "snapshots/f/" + std::to_string(id);
+  return entry;
+}
+
+TEST(ColdStartPolicyTest, NeverRestoresNeverCheckpoints) {
+  const ColdStartPolicy policy;
+  PolicyState state(policy.config());
+  ASSERT_TRUE(state.pool.Add(Entry(1, 5)).ok());  // Even with snapshots around.
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const StartDecision decision = policy.OnWorkerStart(state, rng);
+    EXPECT_FALSE(decision.restore_from.has_value());
+    EXPECT_FALSE(decision.checkpoint_at_request.has_value());
+  }
+  EXPECT_EQ(policy.name(), "cold-start");
+}
+
+TEST(ColdStartPolicyTest, IgnoresLatencyKnowledge) {
+  const ColdStartPolicy policy;
+  PolicyState state(policy.config());
+  policy.OnRequestComplete(state, 3, Duration::Millis(100));
+  EXPECT_EQ(state.theta.ExploredCount(), 0u);
+}
+
+TEST(ColdStartPolicyTest, NeverEvicts) {
+  const ColdStartPolicy policy;
+  PolicyState state(policy.config());
+  Rng rng(2);
+  EXPECT_TRUE(policy.OnSnapshotAdded(state, rng).empty());
+}
+
+TEST(CheckpointAfterFirstPolicyTest, FirstWorkerColdAndCheckpointsAtOne) {
+  const CheckpointAfterFirstPolicy policy{PolicyConfig{}};
+  PolicyState state(policy.config());
+  Rng rng(3);
+  const StartDecision decision = policy.OnWorkerStart(state, rng);
+  EXPECT_FALSE(decision.restore_from.has_value());
+  ASSERT_TRUE(decision.checkpoint_at_request.has_value());
+  EXPECT_EQ(*decision.checkpoint_at_request, 1u);
+  EXPECT_EQ(policy.name(), "checkpoint-after-1st");
+}
+
+TEST(CheckpointAfterFirstPolicyTest, AlwaysRestoresTheOneSnapshot) {
+  const CheckpointAfterFirstPolicy policy{PolicyConfig{}};
+  PolicyState state(policy.config());
+  ASSERT_TRUE(state.pool.Add(Entry(9, 1)).ok());
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const StartDecision decision = policy.OnWorkerStart(state, rng);
+    ASSERT_TRUE(decision.restore_from.has_value());
+    EXPECT_EQ(decision.restore_from->value, 9u);
+    // Never checkpoints again — the defining limitation the paper attacks.
+    EXPECT_FALSE(decision.checkpoint_at_request.has_value());
+  }
+}
+
+TEST(CheckpointAfterFirstPolicyTest, RecordsLatenciesButNeverEvicts) {
+  const CheckpointAfterFirstPolicy policy{PolicyConfig{}};
+  PolicyState state(policy.config());
+  policy.OnRequestComplete(state, 2, Duration::Millis(80));
+  EXPECT_DOUBLE_EQ(state.theta.At(2), 0.080);
+  Rng rng(5);
+  EXPECT_TRUE(policy.OnSnapshotAdded(state, rng).empty());
+}
+
+}  // namespace
+}  // namespace pronghorn

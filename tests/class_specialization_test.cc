@@ -1,0 +1,132 @@
+// Tests of the input-class specialization model (§6 "Workload and
+// input-awareness"): optimized code speculates on the input class it was
+// profiled against, and cross-class traffic trips the speculation guards.
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/jit/runtime_process.h"
+
+namespace pronghorn {
+namespace {
+
+WorkloadProfile SensitiveProfile(double sensitivity) {
+  WorkloadProfile p;
+  p.name = "ClassSensitive";
+  p.family = RuntimeFamily::kPyPy;
+  p.compute_base = Duration::Millis(50);
+  p.converged_speedup = 3.0;
+  p.convergence_requests = 200;
+  p.hot_method_count = 12;
+  p.baseline_speedup_fraction = 0.6;
+  p.deopt_rate = 0.01;
+  p.class_sensitivity = sensitivity;
+  return p;
+}
+
+uint64_t DeoptsUnderTraffic(const WorkloadProfile& profile, double minority_share,
+                            uint64_t seed) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, seed);
+  Rng traffic(seed + 1000);
+  // Warm up on class 0 only, then serve the mixed phase.
+  for (uint64_t i = 0; i < 400; ++i) {
+    process.Execute({i, 1.0, 0});
+  }
+  const uint64_t warm_deopts = process.total_deopts();
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const uint32_t cls = traffic.Bernoulli(minority_share) ? 1u : 0u;
+    process.Execute({400 + i, 1.0, cls});
+  }
+  return process.total_deopts() - warm_deopts;
+}
+
+TEST(ClassSpecializationTest, OptimizedCodeSpecializesToDominantClass) {
+  const WorkloadProfile profile = SensitiveProfile(50.0);
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 1);
+  for (uint64_t i = 0; i < 500; ++i) {
+    process.Execute({i, 1.0, 3});
+  }
+  EXPECT_EQ(process.DominantInputClass(), 3u);
+}
+
+TEST(ClassSpecializationTest, DominantClassTracksMajority) {
+  const WorkloadProfile profile = SensitiveProfile(50.0);
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 2);
+  for (uint64_t i = 0; i < 30; ++i) {
+    process.Execute({i, 1.0, 1});
+  }
+  for (uint64_t i = 0; i < 80; ++i) {
+    process.Execute({100 + i, 1.0, 2});
+  }
+  EXPECT_EQ(process.DominantInputClass(), 2u);
+}
+
+TEST(ClassSpecializationTest, UnspecializedBeforeAnyRequest) {
+  const WorkloadProfile profile = SensitiveProfile(50.0);
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 3);
+  EXPECT_EQ(process.DominantInputClass(), MethodState::kUnspecialized);
+}
+
+TEST(ClassSpecializationTest, CrossClassTrafficCausesMoreDeopts) {
+  const WorkloadProfile profile = SensitiveProfile(80.0);
+  uint64_t uniform_total = 0;
+  uint64_t mixed_total = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    uniform_total += DeoptsUnderTraffic(profile, /*minority_share=*/0.0, seed);
+    mixed_total += DeoptsUnderTraffic(profile, /*minority_share=*/0.4, seed);
+  }
+  EXPECT_GT(mixed_total, uniform_total * 3);
+}
+
+TEST(ClassSpecializationTest, InsensitiveWorkloadsIgnoreClasses) {
+  const WorkloadProfile profile = SensitiveProfile(0.0);
+  uint64_t uniform_total = 0;
+  uint64_t mixed_total = 0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    uniform_total += DeoptsUnderTraffic(profile, 0.0, seed);
+    mixed_total += DeoptsUnderTraffic(profile, 0.4, seed);
+  }
+  // Without sensitivity the deopt processes are statistically identical.
+  const double ratio = static_cast<double>(mixed_total + 1) /
+                       static_cast<double>(uniform_total + 1);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(ClassSpecializationTest, Table3ProfilesAreClassInsensitive) {
+  // The paper's benchmarks do not model per-class code paths; the default
+  // registry must keep the extension disabled so calibration is unaffected.
+  for (const WorkloadProfile& p : WorkloadRegistry::Default().profiles()) {
+    EXPECT_DOUBLE_EQ(p.class_sensitivity, 0.0) << p.name;
+  }
+}
+
+TEST(ClassSpecializationTest, ClassCountsSurviveCheckpointRoundTrip) {
+  const WorkloadProfile profile = SensitiveProfile(50.0);
+  auto registry = WorkloadRegistry::Create({profile});
+  ASSERT_TRUE(registry.ok());
+  RuntimeProcess process =
+      RuntimeProcess::ColdStart(*registry->Find("ClassSensitive").value(), 4);
+  for (uint64_t i = 0; i < 120; ++i) {
+    process.Execute({i, 1.0, i % 2 == 0 ? 5u : 1u});
+  }
+  ByteWriter writer;
+  process.Serialize(writer);
+  ByteReader reader(writer.data());
+  auto restored = RuntimeProcess::Deserialize(reader, *registry);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(process.StateEquals(*restored));
+  EXPECT_EQ(restored->DominantInputClass(), process.DominantInputClass());
+}
+
+TEST(ClassSpecializationTest, OutOfRangeClassClamped) {
+  const WorkloadProfile profile = SensitiveProfile(50.0);
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 5);
+  for (uint64_t i = 0; i < 50; ++i) {
+    process.Execute({i, 1.0, 1000000});  // Clamps to kMaxInputClasses - 1.
+  }
+  EXPECT_EQ(process.DominantInputClass(), RuntimeProcess::kMaxInputClasses - 1);
+}
+
+}  // namespace
+}  // namespace pronghorn

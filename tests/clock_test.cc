@@ -1,0 +1,89 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::Micros(1500).ToMicros(), 1500);
+  EXPECT_EQ(Duration::Millis(2).ToMicros(), 2000);
+  EXPECT_EQ(Duration::Seconds(0.5).ToMicros(), 500000);
+  EXPECT_EQ(Duration::Zero().ToMicros(), 0);
+}
+
+TEST(DurationTest, Conversions) {
+  const Duration d = Duration::Micros(1234567);
+  EXPECT_DOUBLE_EQ(d.ToMillis(), 1234.567);
+  EXPECT_DOUBLE_EQ(d.ToSeconds(), 1.234567);
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Millis(3);
+  const Duration b = Duration::Millis(1);
+  EXPECT_EQ((a + b).ToMicros(), 4000);
+  EXPECT_EQ((a - b).ToMicros(), 2000);
+  EXPECT_EQ((a * 2.5).ToMicros(), 7500);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.ToMicros(), 4000);
+  c -= b;
+  EXPECT_EQ(c.ToMicros(), 3000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Millis(1), Duration::Micros(1000));
+  EXPECT_GT(Duration::Seconds(1), Duration::Millis(999));
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::Micros(12).ToString(), "12us");
+  EXPECT_EQ(Duration::Micros(1500).ToString(), "1.500ms");
+  EXPECT_EQ(Duration::Seconds(2.25).ToString(), "2.250s");
+}
+
+TEST(TimePointTest, ArithmeticWithDuration) {
+  const TimePoint t = TimePoint::FromMicros(1000);
+  const TimePoint later = t + Duration::Micros(500);
+  EXPECT_EQ(later.ToMicros(), 1500);
+  EXPECT_EQ((later - t).ToMicros(), 500);
+  EXPECT_DOUBLE_EQ(later.ToSeconds(), 0.0015);
+}
+
+TEST(TimePointTest, Ordering) {
+  EXPECT_LT(TimePoint::FromMicros(1), TimePoint::FromMicros(2));
+  EXPECT_EQ(TimePoint::FromMicros(5), TimePoint::FromMicros(5));
+}
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().ToMicros(), 0);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(Duration::Millis(5));
+  clock.Advance(Duration::Micros(250));
+  EXPECT_EQ(clock.now().ToMicros(), 5250);
+}
+
+TEST(SimClockTest, NegativeAdvanceIsClamped) {
+  SimClock clock;
+  clock.Advance(Duration::Millis(1));
+  clock.Advance(Duration::Micros(-500));
+  EXPECT_EQ(clock.now().ToMicros(), 1000);
+}
+
+TEST(SimClockTest, AdvanceToNeverMovesBackwards) {
+  SimClock clock;
+  clock.AdvanceTo(TimePoint::FromMicros(100));
+  EXPECT_EQ(clock.now().ToMicros(), 100);
+  clock.AdvanceTo(TimePoint::FromMicros(50));
+  EXPECT_EQ(clock.now().ToMicros(), 100);
+  clock.AdvanceTo(TimePoint::FromMicros(200));
+  EXPECT_EQ(clock.now().ToMicros(), 200);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,172 @@
+#include "src/platform/cluster_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/request_centric_policy.h"
+
+namespace pronghorn {
+namespace {
+
+const WorkloadProfile& Profile(const char* name) {
+  auto result = WorkloadRegistry::Default().Find(name);
+  EXPECT_TRUE(result.ok());
+  return **result;
+}
+
+PolicyConfig TestConfig() {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 12;
+  config.max_checkpoint_request = 100;
+  return config;
+}
+
+TEST(ClusterSimulationTest, ServesAllRequestsAcrossSlots) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  ClusterOptions options;
+  options.worker_slots = 4;
+  options.exploring_slots = 1;
+  options.seed = 2;
+  ClusterSimulation cluster(Profile("DynamicHTML"), WorkloadRegistry::Default(),
+                            *policy, **eviction, options);
+  auto report = cluster.RunClosedLoop(400);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 400u);
+  // With 4 balanced slots, both roles served requests.
+  EXPECT_GT(report->exploring_latency.count(), 0u);
+  EXPECT_GT(report->exploiting_latency.count(), 0u);
+  EXPECT_EQ(report->exploring_latency.count() + report->exploiting_latency.count(),
+            400u);
+}
+
+TEST(ClusterSimulationTest, OnlyExploringSlotsCheckpoint) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+
+  ClusterOptions options;
+  options.worker_slots = 4;
+  options.exploring_slots = 0;  // Nobody explores: no snapshots ever.
+  options.seed = 3;
+  ClusterSimulation cluster(Profile("DynamicHTML"), WorkloadRegistry::Default(),
+                            *policy, **eviction, options);
+  auto report = cluster.RunClosedLoop(200);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->checkpoints, 0u);
+  EXPECT_EQ(report->restores, 0u);  // Empty pool: all cold starts.
+}
+
+TEST(ClusterSimulationTest, ExploitersBenefitFromSharedPool) {
+  // §5.3: non-exploring workers restore from the snapshots the exploring
+  // subset publishes through the shared Database/Object Store.
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+
+  ClusterOptions options;
+  options.worker_slots = 4;
+  options.exploring_slots = 1;
+  options.seed = 4;
+  ClusterSimulation cluster(Profile("BFS"), WorkloadRegistry::Default(), *policy,
+                            **eviction, options);
+  auto report = cluster.RunClosedLoop(600);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->checkpoints, 0u);
+  EXPECT_GT(report->restores, 0u);
+
+  // Exploit slots restored snapshots they never created: restores far exceed
+  // what one exploring slot's lifetimes could account for.
+  auto state = cluster.LoadPolicyState();
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state->pool.empty());
+
+  // Exploiters' later requests run at elevated JIT maturity.
+  uint64_t late_maturity = 0;
+  uint64_t late_count = 0;
+  for (size_t i = report->records.size() - 100; i < report->records.size(); ++i) {
+    late_maturity += report->records[i].request_number;
+    ++late_count;
+  }
+  EXPECT_GT(late_maturity / late_count, 10u);
+}
+
+TEST(ClusterSimulationTest, AmortizationReducesCheckpointCount) {
+  // More exploit slots => fewer checkpoints for similar served volume.
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+
+  uint64_t checkpoints_all_exploring = 0;
+  uint64_t checkpoints_one_exploring = 0;
+  for (uint32_t exploring : {4u, 1u}) {
+    ClusterOptions options;
+    options.worker_slots = 4;
+    options.exploring_slots = exploring;
+    options.seed = 5;
+    ClusterSimulation cluster(Profile("MST"), WorkloadRegistry::Default(), *policy,
+                              **eviction, options);
+    auto report = cluster.RunClosedLoop(400);
+    ASSERT_TRUE(report.ok());
+    if (exploring == 4) {
+      checkpoints_all_exploring = report->checkpoints;
+    } else {
+      checkpoints_one_exploring = report->checkpoints;
+    }
+  }
+  EXPECT_LT(checkpoints_one_exploring, checkpoints_all_exploring / 2);
+  EXPECT_GT(checkpoints_one_exploring, 0u);
+}
+
+TEST(ClusterSimulationTest, DeterministicForSeed) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  ClusterOptions options;
+  options.worker_slots = 3;
+  options.exploring_slots = 2;
+  options.seed = 6;
+
+  std::vector<int64_t> first_run;
+  for (int run = 0; run < 2; ++run) {
+    ClusterSimulation cluster(Profile("Hash"), WorkloadRegistry::Default(), *policy,
+                              **eviction, options);
+    auto report = cluster.RunClosedLoop(150);
+    ASSERT_TRUE(report.ok());
+    if (run == 0) {
+      for (const RequestRecord& record : report->records) {
+        first_run.push_back(record.latency.ToMicros());
+      }
+    } else {
+      ASSERT_EQ(report->records.size(), first_run.size());
+      for (size_t i = 0; i < first_run.size(); ++i) {
+        EXPECT_EQ(report->records[i].latency.ToMicros(), first_run[i]) << i;
+      }
+    }
+  }
+}
+
+TEST(ClusterSimulationTest, ExploringSlotsClampedToWorkerSlots) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  ClusterOptions options;
+  options.worker_slots = 2;
+  options.exploring_slots = 99;
+  options.seed = 7;
+  ClusterSimulation cluster(Profile("DFS"), WorkloadRegistry::Default(), *policy,
+                            **eviction, options);
+  auto report = cluster.RunClosedLoop(50);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->exploiting_latency.count(), 0u);  // Everyone explores.
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,53 @@
+#include "src/common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace pronghorn {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Reference values for the IEEE 802.3 polynomial.
+  EXPECT_EQ(Crc32(Bytes("")), 0x00000000u);
+  EXPECT_EQ(Crc32(Bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(Crc32(Bytes("The quick brown fox jumps over the lazy dog")),
+            0x414fa339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::vector<uint8_t> data = Bytes("hello, checkpoint world");
+  uint32_t state = kCrc32Init;
+  state = Crc32Update(state, std::span<const uint8_t>(data.data(), 5));
+  state = Crc32Update(state,
+                      std::span<const uint8_t>(data.data() + 5, data.size() - 5));
+  EXPECT_EQ(Crc32Finalize(state), Crc32(data));
+}
+
+TEST(Crc32Test, SingleBitFlipChangesChecksum) {
+  std::vector<uint8_t> data = Bytes("snapshot payload");
+  const uint32_t original = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(data), original) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(Crc32Test, EmptyChunksAreNoOps) {
+  uint32_t state = kCrc32Init;
+  state = Crc32Update(state, {});
+  EXPECT_EQ(Crc32Finalize(state), Crc32({}));
+}
+
+TEST(Crc32Test, DifferentLengthsDiffer) {
+  EXPECT_NE(Crc32(Bytes("aa")), Crc32(Bytes("aaa")));
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,133 @@
+#include "src/platform/eviction.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+const TimePoint kT0 = TimePoint::FromMicros(0);
+
+TEST(EveryKRequestsEvictionTest, RejectsZero) {
+  EXPECT_EQ(EveryKRequestsEviction::Create(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EveryKRequestsEvictionTest, EvictsExactlyAtK) {
+  auto model = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE((*model)->ShouldEvict(3, kT0, kT0, kT0));
+  EXPECT_TRUE((*model)->ShouldEvict(4, kT0, kT0, kT0));
+  EXPECT_TRUE((*model)->ShouldEvict(5, kT0, kT0, kT0));
+  EXPECT_EQ((*model)->k(), 4u);
+}
+
+TEST(EveryKRequestsEvictionTest, OneRequestPerWorker) {
+  auto model = EveryKRequestsEviction::Create(1);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE((*model)->ShouldEvict(1, kT0, kT0, kT0));
+  EXPECT_FALSE((*model)->ShouldEvict(0, kT0, kT0, kT0));
+}
+
+TEST(IdleTimeoutEvictionTest, EvictsWhenGapExceedsTimeout) {
+  IdleTimeoutEviction model(Duration::Seconds(600));  // 10-minute Lambda-style.
+  EXPECT_FALSE(model.ShouldEvict(1, kT0, kT0, kT0 + Duration::Seconds(599)));
+  EXPECT_FALSE(model.ShouldEvict(1, kT0, kT0, kT0 + Duration::Seconds(600)));
+  EXPECT_TRUE(model.ShouldEvict(1, kT0, kT0, kT0 + Duration::Seconds(601)));
+  EXPECT_EQ(model.timeout(), Duration::Seconds(600));
+}
+
+TEST(IdleTimeoutEvictionTest, PastArrivalNeverEvicts) {
+  IdleTimeoutEviction model(Duration::Seconds(1));
+  const TimePoint now = TimePoint::FromMicros(5000000);
+  EXPECT_FALSE(model.ShouldEvict(1, kT0, now, TimePoint::FromMicros(0)));
+}
+
+TEST(IdleTimeoutEvictionTest, IgnoresRequestCountAndAge) {
+  IdleTimeoutEviction model(Duration::Seconds(10));
+  const TimePoint later = kT0 + Duration::Seconds(20);
+  EXPECT_TRUE(model.ShouldEvict(0, kT0, kT0, later));
+  EXPECT_TRUE(model.ShouldEvict(1000000, kT0, kT0, later));
+}
+
+TEST(MaxLifetimeEvictionTest, EvictsOldWorkers) {
+  MaxLifetimeEviction model(Duration::Seconds(1200));  // ~20-minute workers.
+  EXPECT_FALSE(model.ShouldEvict(5, kT0, kT0 + Duration::Seconds(1200), kT0));
+  EXPECT_TRUE(model.ShouldEvict(5, kT0, kT0 + Duration::Seconds(1201), kT0));
+  EXPECT_EQ(model.max_lifetime(), Duration::Seconds(1200));
+}
+
+TEST(MaxLifetimeEvictionTest, AgeIsRelativeToStart) {
+  MaxLifetimeEviction model(Duration::Seconds(100));
+  const TimePoint started = TimePoint::FromMicros(500 * 1000000LL);
+  EXPECT_FALSE(model.ShouldEvict(1, started, started + Duration::Seconds(50), kT0));
+  EXPECT_TRUE(model.ShouldEvict(1, started, started + Duration::Seconds(150), kT0));
+}
+
+TEST(GeometricEvictionTest, RejectsMeanBelowOne) {
+  EXPECT_EQ(GeometricEviction::Create(0.5, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GeometricEvictionTest, NeverEvictsBeforeFirstRequest) {
+  auto model = GeometricEviction::Create(2.0, 1);
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE((*model)->ShouldEvict(0, kT0, kT0, kT0));
+  }
+}
+
+TEST(GeometricEvictionTest, MeanLifetimeMatches) {
+  auto model = GeometricEviction::Create(8.0, 2);
+  ASSERT_TRUE(model.ok());
+  uint64_t total_requests = 0;
+  const int lifetimes = 3000;
+  for (int l = 0; l < lifetimes; ++l) {
+    uint64_t served = 0;
+    do {
+      ++served;
+    } while (!(*model)->ShouldEvict(served, kT0, kT0, kT0));
+    total_requests += served;
+  }
+  const double mean = static_cast<double>(total_requests) / lifetimes;
+  EXPECT_NEAR(mean, 8.0, 0.5);
+  EXPECT_EQ((*model)->mean_requests(), 8.0);
+}
+
+TEST(GeometricEvictionTest, MeanOneEvictsEveryRequest) {
+  auto model = GeometricEviction::Create(1.0, 3);
+  ASSERT_TRUE(model.ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE((*model)->ShouldEvict(1, kT0, kT0, kT0));
+  }
+}
+
+TEST(AnyOfEvictionTest, TriggersWhenAnyChildDoes) {
+  IdleTimeoutEviction idle(Duration::Seconds(600));
+  MaxLifetimeEviction lifetime(Duration::Seconds(1200));
+  AnyOfEviction any({&idle, &lifetime});
+
+  // Neither fires.
+  EXPECT_FALSE(any.ShouldEvict(1, kT0, kT0 + Duration::Seconds(60),
+                               kT0 + Duration::Seconds(120)));
+  // Idle gap fires.
+  EXPECT_TRUE(any.ShouldEvict(1, kT0, kT0 + Duration::Seconds(60),
+                              kT0 + Duration::Seconds(60 + 601)));
+  // Old age fires.
+  EXPECT_TRUE(any.ShouldEvict(1, kT0, kT0 + Duration::Seconds(1300),
+                              kT0 + Duration::Seconds(1310)));
+}
+
+TEST(AnyOfEvictionTest, EmptyNeverEvicts) {
+  AnyOfEviction any({});
+  EXPECT_FALSE(any.ShouldEvict(1000, kT0, kT0 + Duration::Seconds(9999),
+                               kT0 + Duration::Seconds(99999)));
+}
+
+TEST(AnyOfEvictionTest, ToleratesNullChildren) {
+  IdleTimeoutEviction idle(Duration::Seconds(1));
+  AnyOfEviction any({nullptr, &idle});
+  EXPECT_TRUE(any.ShouldEvict(1, kT0, kT0, kT0 + Duration::Seconds(2)));
+}
+
+}  // namespace
+}  // namespace pronghorn

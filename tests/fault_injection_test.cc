@@ -1,0 +1,151 @@
+#include "src/store/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/core/orchestrator.h"
+#include "src/core/request_centric_policy.h"
+
+namespace pronghorn {
+namespace {
+
+ObjectBlob Blob(std::string_view text) {
+  ObjectBlob blob;
+  blob.bytes.assign(text.begin(), text.end());
+  blob.logical_size = text.size();
+  return blob;
+}
+
+TEST(FaultyObjectStoreTest, ZeroRateIsTransparent) {
+  InMemoryObjectStore inner;
+  FaultyObjectStore store(inner, FaultPlan{});
+  ASSERT_TRUE(store.Put("k", Blob("v")).ok());
+  ASSERT_TRUE(store.Get("k").ok());
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(store.faults_injected(), 0u);
+}
+
+TEST(FaultyObjectStoreTest, InjectsAtConfiguredRate) {
+  InMemoryObjectStore inner;
+  ASSERT_TRUE(inner.Put("k", Blob("v")).ok());
+  FaultPlan plan;
+  plan.get_failure_rate = 0.5;
+  plan.seed = 1;
+  FaultyObjectStore store(inner, plan);
+  int failures = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    auto got = store.Get("k");
+    if (!got.ok()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+      ++failures;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / trials, 0.5, 0.05);
+  EXPECT_EQ(store.faults_injected(), static_cast<uint64_t>(failures));
+}
+
+TEST(FaultyObjectStoreTest, AlwaysFailMode) {
+  InMemoryObjectStore inner;
+  FaultPlan plan;
+  plan.put_failure_rate = 1.0;
+  FaultyObjectStore store(inner, plan);
+  EXPECT_EQ(store.Put("k", Blob("v")).code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(inner.Contains("k"));  // Nothing reached the inner store.
+}
+
+TEST(FaultyKvDatabaseTest, ReadsAndWritesFailIndependently) {
+  InMemoryKvDatabase inner;
+  FaultPlan plan;
+  plan.get_failure_rate = 1.0;
+  plan.put_failure_rate = 0.0;
+  FaultyKvDatabase db(inner, plan);
+  ASSERT_TRUE(db.Put("k", {1}).ok());
+  EXPECT_EQ(db.Get("k").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(db.GetVersioned("k").status().code(), StatusCode::kUnavailable);
+  // Increment counts as a write.
+  EXPECT_TRUE(db.Increment("counter").ok());
+}
+
+TEST(FaultyKvDatabaseTest, CasCountsAsWrite) {
+  InMemoryKvDatabase inner;
+  FaultPlan plan;
+  plan.put_failure_rate = 1.0;
+  FaultyKvDatabase db(inner, plan);
+  EXPECT_EQ(db.CompareAndSwap("k", 0, {1}).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(db.Increment("k").status().code(), StatusCode::kUnavailable);
+}
+
+TEST(PolicyStateStoreResilienceTest, RetriesTransientDatabaseFailures) {
+  InMemoryKvDatabase inner;
+  FaultPlan plan;
+  plan.get_failure_rate = 0.3;
+  plan.put_failure_rate = 0.3;
+  plan.seed = 2;
+  FaultyKvDatabase db(inner, plan);
+  PolicyStateStore store(db, "fn", PolicyConfig{});
+
+  // With 30% fault rates and bounded retries, updates still succeed reliably.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store
+                    .Update([i](PolicyState& state) {
+                      state.theta.Update(static_cast<uint64_t>(i % 20) + 1, 0.1, 0.3);
+                    })
+                    .ok())
+        << "update " << i;
+    ASSERT_TRUE(store.AllocateSnapshotId().ok());
+  }
+  auto state = store.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->theta.ExploredCount(), 20u);
+  EXPECT_GT(db.faults_injected(), 0u);  // Faults actually fired.
+}
+
+TEST(PolicyStateStoreResilienceTest, PersistentOutageSurfaces) {
+  InMemoryKvDatabase inner;
+  FaultPlan plan;
+  plan.get_failure_rate = 1.0;
+  plan.put_failure_rate = 1.0;
+  FaultyKvDatabase db(inner, plan);
+  PolicyStateStore store(db, "fn", PolicyConfig{});
+  EXPECT_EQ(store.Load().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.Update([](PolicyState&) {}).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.AllocateSnapshotId().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(OrchestratorResilienceTest, RestoreFaultsFallBackToColdStart) {
+  // An orchestrator whose object store drops every read must still launch
+  // workers: restore failures degrade to cold starts, never to errors.
+  const auto profile = WorkloadRegistry::Default().Find("DynamicHTML");
+  ASSERT_TRUE(profile.ok());
+  PolicyConfig config;
+  config.beta = 2;
+  config.pool_capacity = 4;
+  config.max_checkpoint_request = 20;
+  const auto policy = RequestCentricPolicy::Create(config);
+  ASSERT_TRUE(policy.ok());
+
+  SimClock clock;
+  InMemoryKvDatabase db;
+  InMemoryObjectStore inner_store;
+  FaultPlan plan;
+  plan.get_failure_rate = 1.0;  // Every snapshot download fails.
+  FaultyObjectStore object_store(inner_store, plan);
+  CriuLikeEngine engine(3);
+  PolicyStateStore state_store(db, (*profile)->name, config);
+  Orchestrator orchestrator(**profile, WorkloadRegistry::Default(), *policy, engine,
+                            object_store, state_store, clock, /*seed=*/9);
+
+  for (int lifetime = 0; lifetime < 5; ++lifetime) {
+    auto session = orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_FALSE(session->restored);  // Downloads always fail -> cold.
+    for (uint64_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(orchestrator.ServeRequest(*session, {i, 1.0}).ok());
+    }
+  }
+  EXPECT_GT(object_store.faults_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace pronghorn

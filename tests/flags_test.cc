@@ -1,0 +1,119 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser;
+  parser.AddFlag("name", "default", "a string flag");
+  parser.AddFlag("count", "7", "an int flag");
+  parser.AddFlag("rate", "0.5", "a double flag");
+  parser.AddSwitch("verbose", "a switch");
+  return parser;
+}
+
+Status ParseArgs(FlagParser& parser, std::vector<const char*> args) {
+  return parser.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, DefaultsApplyWithoutArgs) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {}).ok());
+  EXPECT_EQ(*parser.GetString("name"), "default");
+  EXPECT_EQ(*parser.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(*parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValues) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--name", "widget", "--count", "42"}).ok());
+  EXPECT_EQ(*parser.GetString("name"), "widget");
+  EXPECT_EQ(*parser.GetInt("count"), 42);
+}
+
+TEST(FlagParserTest, EqualsSeparatedValues) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--name=gadget", "--rate=2.25"}).ok());
+  EXPECT_EQ(*parser.GetString("name"), "gadget");
+  EXPECT_DOUBLE_EQ(*parser.GetDouble("rate"), 2.25);
+}
+
+TEST(FlagParserTest, SwitchForms) {
+  {
+    FlagParser parser = MakeParser();
+    ASSERT_TRUE(ParseArgs(parser, {"--verbose"}).ok());
+    EXPECT_TRUE(*parser.GetBool("verbose"));
+  }
+  {
+    FlagParser parser = MakeParser();
+    ASSERT_TRUE(ParseArgs(parser, {"--verbose=false"}).ok());
+    EXPECT_FALSE(*parser.GetBool("verbose"));
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_FALSE(ParseArgs(parser, {"--verbose=maybe"}).ok());
+  }
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser = MakeParser();
+  const Status status = ParseArgs(parser, {"--nmae", "typo"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser, {"--name"}).ok());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"alpha", "--count", "3", "beta"}).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "alpha");
+  EXPECT_EQ(parser.positional()[1], "beta");
+}
+
+TEST(FlagParserTest, TypeErrorsSurface) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count", "twelve", "--rate", "fast"}).ok());
+  EXPECT_FALSE(parser.GetInt("count").ok());
+  EXPECT_FALSE(parser.GetDouble("rate").ok());
+}
+
+TEST(FlagParserTest, UndeclaredGetRejected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {}).ok());
+  EXPECT_FALSE(parser.GetString("ghost").ok());
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count=1", "--count=2"}).ok());
+  EXPECT_EQ(*parser.GetInt("count"), 2);
+}
+
+TEST(FlagParserTest, UsageMentionsEveryFlag) {
+  FlagParser parser = MakeParser();
+  const std::string usage = parser.UsageText("tool");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+TEST(FlagParserTest, NegativeAndBooleanNumericValues) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count", "-5"}).ok());
+  EXPECT_EQ(*parser.GetInt("count"), -5);
+  FlagParser parser2;
+  parser2.AddFlag("flagged", "1", "numeric bool");
+  ASSERT_TRUE(parser2.Parse(0, nullptr).ok());
+  EXPECT_TRUE(*parser2.GetBool("flagged"));
+}
+
+}  // namespace
+}  // namespace pronghorn

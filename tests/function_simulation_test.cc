@@ -1,0 +1,376 @@
+#include "src/platform/function_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baseline_policies.h"
+#include "src/core/request_centric_policy.h"
+
+namespace pronghorn {
+namespace {
+
+const WorkloadProfile& Profile(const char* name) {
+  auto result = WorkloadRegistry::Default().Find(name);
+  EXPECT_TRUE(result.ok());
+  return **result;
+}
+
+PolicyConfig TestConfig(uint32_t beta) {
+  PolicyConfig config;
+  config.beta = beta;
+  config.pool_capacity = 12;
+  config.max_checkpoint_request = 100;
+  return config;
+}
+
+TEST(FunctionSimulationTest, ClosedLoopProducesOneRecordPerRequest) {
+  const ColdStartPolicy policy;
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
+                         **eviction, SimulationOptions{});
+  auto report = sim.RunClosedLoop(100);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->records.size(), 100u);
+  for (size_t i = 0; i < report->records.size(); ++i) {
+    EXPECT_EQ(report->records[i].global_index, i);
+    EXPECT_GT(report->records[i].latency, Duration::Zero());
+  }
+}
+
+TEST(FunctionSimulationTest, EvictionEveryKBoundsLifetimes) {
+  const ColdStartPolicy policy;
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
+                         **eviction, SimulationOptions{});
+  auto report = sim.RunClosedLoop(100);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->worker_lifetimes, 25u);
+  EXPECT_EQ(report->cold_starts, 25u);  // Cold policy never restores.
+  EXPECT_EQ(report->restores, 0u);
+  // Every 4th record begins a new lifetime.
+  for (size_t i = 0; i < report->records.size(); ++i) {
+    EXPECT_EQ(report->records[i].first_of_lifetime, i % 4 == 0) << i;
+  }
+}
+
+TEST(FunctionSimulationTest, ColdPolicyMaturityResetsPerLifetime) {
+  const ColdStartPolicy policy;
+  auto eviction = EveryKRequestsEviction::Create(3);
+  ASSERT_TRUE(eviction.ok());
+  FunctionSimulation sim(Profile("Hash"), WorkloadRegistry::Default(), policy,
+                         **eviction, SimulationOptions{});
+  auto report = sim.RunClosedLoop(30);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 0; i < report->records.size(); ++i) {
+    EXPECT_EQ(report->records[i].request_number, i % 3 + 1) << i;
+  }
+}
+
+TEST(FunctionSimulationTest, AfterFirstPolicyPinsMaturity) {
+  const CheckpointAfterFirstPolicy policy{TestConfig(1)};
+  auto eviction = EveryKRequestsEviction::Create(1);
+  ASSERT_TRUE(eviction.ok());
+  FunctionSimulation sim(Profile("Hash"), WorkloadRegistry::Default(), policy,
+                         **eviction, SimulationOptions{});
+  auto report = sim.RunClosedLoop(50);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->checkpoints, 1u);
+  EXPECT_EQ(report->cold_starts, 1u);
+  EXPECT_EQ(report->restores, 49u);
+  // Every post-snapshot request executes at maturity 2, forever.
+  for (size_t i = 1; i < report->records.size(); ++i) {
+    EXPECT_EQ(report->records[i].request_number, 2u) << i;
+  }
+}
+
+TEST(FunctionSimulationTest, RequestCentricMaturityGrowsOverTime) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig(1));
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(1);
+  ASSERT_TRUE(eviction.ok());
+  FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), *policy,
+                         **eviction, SimulationOptions{});
+  auto report = sim.RunClosedLoop(400);
+  ASSERT_TRUE(report.ok());
+  // The request-number chain must reach the W boundary through exploration.
+  uint64_t max_maturity = 0;
+  for (const RequestRecord& record : report->records) {
+    max_maturity = std::max(max_maturity, record.request_number);
+  }
+  EXPECT_GE(max_maturity, 100u);
+  // And late requests should mostly run at high maturity.
+  uint64_t late_sum = 0;
+  for (size_t i = 350; i < 400; ++i) {
+    late_sum += report->records[i].request_number;
+  }
+  EXPECT_GT(late_sum / 50, 60u);
+}
+
+TEST(FunctionSimulationTest, DeterministicAcrossRuns) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig(4));
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  SimulationOptions options;
+  options.seed = 1234;
+
+  FunctionSimulation sim_a(Profile("MST"), WorkloadRegistry::Default(), *policy,
+                           **eviction, options);
+  FunctionSimulation sim_b(Profile("MST"), WorkloadRegistry::Default(), *policy,
+                           **eviction, options);
+  auto report_a = sim_a.RunClosedLoop(150);
+  auto report_b = sim_b.RunClosedLoop(150);
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_b.ok());
+  ASSERT_EQ(report_a->records.size(), report_b->records.size());
+  for (size_t i = 0; i < report_a->records.size(); ++i) {
+    EXPECT_EQ(report_a->records[i].latency, report_b->records[i].latency) << i;
+    EXPECT_EQ(report_a->records[i].request_number, report_b->records[i].request_number);
+  }
+}
+
+TEST(FunctionSimulationTest, SeedsChangeOutcomes) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig(4));
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  SimulationOptions a;
+  a.seed = 1;
+  SimulationOptions b;
+  b.seed = 2;
+  FunctionSimulation sim_a(Profile("MST"), WorkloadRegistry::Default(), *policy,
+                           **eviction, a);
+  FunctionSimulation sim_b(Profile("MST"), WorkloadRegistry::Default(), *policy,
+                           **eviction, b);
+  auto report_a = sim_a.RunClosedLoop(50);
+  auto report_b = sim_b.RunClosedLoop(50);
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_b.ok());
+  bool any_difference = false;
+  for (size_t i = 0; i < 50; ++i) {
+    any_difference |= report_a->records[i].latency != report_b->records[i].latency;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FunctionSimulationTest, StartupOnCriticalPathInflatesFirstRequests) {
+  const ColdStartPolicy policy;
+  auto eviction = EveryKRequestsEviction::Create(5);
+  ASSERT_TRUE(eviction.ok());
+
+  SimulationOptions off_path;
+  off_path.seed = 9;
+  off_path.input_noise = false;
+  SimulationOptions on_path = off_path;
+  on_path.startup_on_critical_path = true;
+
+  FunctionSimulation sim_off(Profile("Hash"), WorkloadRegistry::Default(), policy,
+                             **eviction, off_path);
+  FunctionSimulation sim_on(Profile("Hash"), WorkloadRegistry::Default(), policy,
+                            **eviction, on_path);
+  auto report_off = sim_off.RunClosedLoop(20);
+  auto report_on = sim_on.RunClosedLoop(20);
+  ASSERT_TRUE(report_off.ok());
+  ASSERT_TRUE(report_on.ok());
+
+  const Duration cold_init = Profile("Hash").cold_init;
+  for (size_t i = 0; i < 20; ++i) {
+    const Duration off_latency = report_off->records[i].latency;
+    const Duration on_latency = report_on->records[i].latency;
+    if (report_on->records[i].first_of_lifetime) {
+      EXPECT_GE(on_latency, cold_init);
+      EXPECT_EQ(on_latency, off_latency + cold_init);
+    } else {
+      EXPECT_EQ(on_latency, off_latency);
+    }
+  }
+}
+
+TEST(FunctionSimulationTest, TraceRejectsUnsortedArrivals) {
+  const ColdStartPolicy policy;
+  IdleTimeoutEviction eviction(Duration::Seconds(600));
+  FunctionSimulation sim(Profile("MST"), WorkloadRegistry::Default(), policy, eviction,
+                         SimulationOptions{});
+  const std::vector<TimePoint> arrivals = {TimePoint::FromMicros(100),
+                                           TimePoint::FromMicros(50)};
+  EXPECT_EQ(sim.RunTrace(arrivals).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FunctionSimulationTest, TraceIdleTimeoutEvicts) {
+  const ColdStartPolicy policy;
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  SimulationOptions options;
+  options.input_noise = false;
+  FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
+                         eviction, options);
+  // Three bursts separated by gaps beyond the 60s timeout.
+  std::vector<TimePoint> arrivals;
+  for (int burst = 0; burst < 3; ++burst) {
+    const int64_t base = burst * 300 * 1000000LL;
+    for (int i = 0; i < 4; ++i) {
+      arrivals.push_back(TimePoint::FromMicros(base + i * 1000000LL));
+    }
+  }
+  auto report = sim.RunTrace(arrivals);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->worker_lifetimes, 3u);
+  EXPECT_EQ(report->records.size(), 12u);
+}
+
+TEST(FunctionSimulationTest, TraceQueueingDelaysBackToBackArrivals) {
+  const ColdStartPolicy policy;
+  IdleTimeoutEviction eviction(Duration::Seconds(600));
+  SimulationOptions options;
+  options.input_noise = false;
+  FunctionSimulation sim(Profile("Video"), WorkloadRegistry::Default(), policy,
+                         eviction, options);
+  // Two arrivals 1ms apart; Video takes seconds, so the second queues.
+  const std::vector<TimePoint> arrivals = {TimePoint::FromMicros(0),
+                                           TimePoint::FromMicros(1000)};
+  auto report = sim.RunTrace(arrivals);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->records.size(), 2u);
+  EXPECT_GT(report->records[1].latency,
+            report->records[0].latency - Duration::Millis(500));
+}
+
+TEST(FunctionSimulationTest, ReportAccountingIsConsistent) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig(4));
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  FunctionSimulation sim(Profile("BFS"), WorkloadRegistry::Default(), *policy,
+                         **eviction, SimulationOptions{});
+  auto report = sim.RunClosedLoop(200);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->worker_lifetimes, report->cold_starts + report->restores);
+  EXPECT_EQ(report->overheads.requests_served, 200u);
+  EXPECT_EQ(report->overheads.worker_starts, report->worker_lifetimes);
+  EXPECT_EQ(report->overheads.checkpoints_taken, report->checkpoints);
+  EXPECT_EQ(report->checkpoints, sim.engine().checkpoints_taken());
+  EXPECT_EQ(report->restores, sim.engine().restores_performed());
+  // Uploads happened for every checkpoint; pool bounded by C.
+  EXPECT_EQ(report->object_store.put_count, report->checkpoints);
+  auto state = sim.LoadPolicyState();
+  ASSERT_TRUE(state.ok());
+  EXPECT_LE(state->pool.size(), 12u);
+  EXPECT_GT(report->end_time.ToMicros(), 0);
+}
+
+TEST(FunctionSimulationTest, CheckpointBlockingDelaysQueuedArrival) {
+  // With checkpoint_blocks_requests, a request arriving during the
+  // checkpoint downtime waits for it; otherwise checkpointing is invisible.
+  const auto policy = RequestCentricPolicy::Create(TestConfig(2));
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(100);
+  ASSERT_TRUE(eviction.ok());
+
+  // Two arrivals 1ms apart: the first triggers a checkpoint (cold worker
+  // plans one within beta=2... may land on request 1 or 2), the second
+  // queues right behind it.
+  const std::vector<TimePoint> arrivals = {TimePoint::FromMicros(0),
+                                           TimePoint::FromMicros(1000)};
+  Duration latency_no_block;
+  Duration latency_block;
+  for (bool blocks : {false, true}) {
+    SimulationOptions options;
+    options.seed = 99;
+    options.input_noise = false;
+    options.checkpoint_blocks_requests = blocks;
+    FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(),
+                           *policy, **eviction, options);
+    auto report = sim.RunTrace(arrivals);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->records.size(), 2u);
+    // Only meaningful when the checkpoint fired on the first request.
+    if (!report->records[0].checkpoint_after) {
+      return;  // Plan landed on request 2; nothing to compare this seed.
+    }
+    (blocks ? latency_block : latency_no_block) = report->records[1].latency;
+  }
+  // CRIU downtime is ~75ms for DynamicHTML; the blocked arrival pays it.
+  EXPECT_GT(latency_block, latency_no_block + Duration::Millis(30));
+}
+
+TEST(FunctionSimulationTest, WorkerOccupancyAccounting) {
+  const ColdStartPolicy policy;
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  SimulationOptions options;
+  options.input_noise = false;
+  options.idle_resource_hold = eviction.timeout();
+  FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
+                         eviction, options);
+  // Two bursts of 3 back-to-back requests separated by a 10-minute gap: the
+  // worker is evicted once (holding memory for the 60s idle hold) and the
+  // final worker is accounted up to the end of the run.
+  std::vector<TimePoint> arrivals;
+  for (int burst = 0; burst < 2; ++burst) {
+    const int64_t base = burst * 600 * 1000000LL;
+    for (int i = 0; i < 3; ++i) {
+      arrivals.push_back(TimePoint::FromMicros(base + i * 100000LL));
+    }
+  }
+  auto report = sim.RunTrace(arrivals);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->worker_lifetimes, 2u);
+  // First worker: ~0.3s serving + 60s idle hold; second: ~0.3s to run end.
+  const double alive_s = report->total_worker_alive_time.ToSeconds();
+  EXPECT_GT(alive_s, 60.0);
+  EXPECT_LT(alive_s, 75.0);
+  // Memory-time is alive time weighted by the ~52 MB footprint.
+  EXPECT_NEAR(report->worker_memory_time_mb_s / alive_s, 52.0, 6.0);
+}
+
+TEST(FunctionSimulationTest, OccupancyScalesWithIdleHold) {
+  const ColdStartPolicy policy;
+  IdleTimeoutEviction eviction(Duration::Seconds(300));
+  std::vector<TimePoint> arrivals;
+  for (int i = 0; i < 5; ++i) {
+    arrivals.push_back(TimePoint::FromMicros(i * 600 * 1000000LL));  // 10-min gaps.
+  }
+  double memory_time[2];
+  int idx = 0;
+  for (int64_t hold_s : {0, 300}) {
+    SimulationOptions options;
+    options.input_noise = false;
+    options.idle_resource_hold = Duration::Seconds(static_cast<double>(hold_s));
+    FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
+                           eviction, options);
+    auto report = sim.RunTrace(arrivals);
+    ASSERT_TRUE(report.ok());
+    memory_time[idx++] = report->worker_memory_time_mb_s;
+  }
+  EXPECT_GT(memory_time[1], memory_time[0] * 10);
+}
+
+TEST(FunctionSimulationTest, InputNoiseWidensDistribution) {
+  const ColdStartPolicy policy;
+  auto eviction = EveryKRequestsEviction::Create(20);
+  ASSERT_TRUE(eviction.ok());
+  SimulationOptions noisy;
+  noisy.seed = 5;
+  SimulationOptions quiet = noisy;
+  quiet.input_noise = false;
+
+  FunctionSimulation sim_noisy(Profile("PageRank"), WorkloadRegistry::Default(), policy,
+                               **eviction, noisy);
+  FunctionSimulation sim_quiet(Profile("PageRank"), WorkloadRegistry::Default(), policy,
+                               **eviction, quiet);
+  auto report_noisy = sim_noisy.RunClosedLoop(300);
+  auto report_quiet = sim_quiet.RunClosedLoop(300);
+  ASSERT_TRUE(report_noisy.ok());
+  ASSERT_TRUE(report_quiet.ok());
+
+  const auto noisy_summary = report_noisy->LatencySummary();
+  const auto quiet_summary = report_quiet->LatencySummary();
+  const double noisy_iqr = noisy_summary.Quantile(75) / noisy_summary.Quantile(25);
+  const double quiet_iqr = quiet_summary.Quantile(75) / quiet_summary.Quantile(25);
+  EXPECT_GT(noisy_iqr, quiet_iqr * 2.0);
+  // Footnote 4: compute-bound IQR spans over an order of magnitude.
+  EXPECT_GT(noisy_iqr, 5.0);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,149 @@
+#include "src/store/kv_database.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+namespace pronghorn {
+namespace {
+
+std::vector<uint8_t> Value(std::string_view text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+std::string AsString(const std::vector<uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TEST(KvDatabaseTest, PutGetRoundTrip) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("key", Value("hello")).ok());
+  auto got = db.Get("key");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(AsString(*got), "hello");
+}
+
+TEST(KvDatabaseTest, GetMissingIsNotFound) {
+  InMemoryKvDatabase db;
+  EXPECT_EQ(db.Get("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvDatabaseTest, EmptyKeyRejected) {
+  InMemoryKvDatabase db;
+  EXPECT_EQ(db.Put("", Value("x")).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.Increment("").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KvDatabaseTest, VersionsIncreaseOnWrite) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("v1")).ok());
+  auto v1 = db.GetVersioned("k");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->version, 1u);
+
+  ASSERT_TRUE(db.Put("k", Value("v2")).ok());
+  auto v2 = db.GetVersioned("k");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(AsString(v2->value), "v2");
+}
+
+TEST(KvDatabaseTest, CasCreatesWithVersionZero) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.CompareAndSwap("k", 0, Value("created")).ok());
+  auto got = db.GetVersioned("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->version, 1u);
+  EXPECT_EQ(AsString(got->value), "created");
+}
+
+TEST(KvDatabaseTest, CasSucceedsOnMatchingVersion) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("v1")).ok());
+  ASSERT_TRUE(db.CompareAndSwap("k", 1, Value("v2")).ok());
+  EXPECT_EQ(AsString(*db.Get("k")), "v2");
+}
+
+TEST(KvDatabaseTest, CasConflictsOnStaleVersion) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("v1")).ok());
+  ASSERT_TRUE(db.Put("k", Value("v2")).ok());
+  // A writer holding version 1 must lose.
+  EXPECT_EQ(db.CompareAndSwap("k", 1, Value("stale")).code(), StatusCode::kAborted);
+  EXPECT_EQ(AsString(*db.Get("k")), "v2");
+}
+
+TEST(KvDatabaseTest, CasOnMissingKeyWithNonZeroVersionConflicts) {
+  InMemoryKvDatabase db;
+  EXPECT_EQ(db.CompareAndSwap("ghost", 3, Value("x")).code(), StatusCode::kAborted);
+}
+
+TEST(KvDatabaseTest, DeleteRemovesAndReportsMissing) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("v")).ok());
+  ASSERT_TRUE(db.Delete("k").ok());
+  EXPECT_EQ(db.Get("k").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.Delete("k").code(), StatusCode::kNotFound);
+}
+
+TEST(KvDatabaseTest, DeleteThenPutResetsVersion) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("a")).ok());
+  ASSERT_TRUE(db.Delete("k").ok());
+  ASSERT_TRUE(db.Put("k", Value("b")).ok());
+  EXPECT_EQ(db.GetVersioned("k")->version, 1u);
+}
+
+TEST(KvDatabaseTest, IncrementStartsAtOne) {
+  InMemoryKvDatabase db;
+  auto first = db.Increment("counter");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1);
+  EXPECT_EQ(*db.Increment("counter"), 2);
+  EXPECT_EQ(*db.Increment("counter"), 3);
+  EXPECT_EQ(*db.Increment("other"), 1);
+}
+
+TEST(KvDatabaseTest, IncrementRejectsNonCounterValue) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("short")).ok());  // 5 bytes, not an int64.
+  EXPECT_FALSE(db.Increment("k").ok());
+}
+
+TEST(KvDatabaseTest, ListKeysWithPrefix) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("policy/f1/state", Value("a")).ok());
+  ASSERT_TRUE(db.Put("policy/f2/state", Value("b")).ok());
+  ASSERT_TRUE(db.Put("other", Value("c")).ok());
+  EXPECT_EQ(db.ListKeys("policy/").size(), 2u);
+  EXPECT_EQ(db.ListKeys("").size(), 3u);
+  EXPECT_TRUE(db.ListKeys("zzz").empty());
+}
+
+TEST(KvDatabaseTest, AccountingCounts) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("k", Value("v")).ok());
+  ASSERT_TRUE(db.Get("k").ok());
+  ASSERT_TRUE(db.GetVersioned("k").ok());
+  ASSERT_TRUE(db.CompareAndSwap("k", 1, Value("v2")).ok());
+  EXPECT_EQ(db.CompareAndSwap("k", 1, Value("v3")).code(), StatusCode::kAborted);
+
+  const KvAccounting acc = db.accounting();
+  EXPECT_EQ(acc.writes, 1u);
+  EXPECT_EQ(acc.reads, 2u);
+  EXPECT_EQ(acc.cas_attempts, 2u);
+  EXPECT_EQ(acc.cas_conflicts, 1u);
+}
+
+TEST(KvDatabaseTest, ValuesAreIndependentCopies) {
+  InMemoryKvDatabase db;
+  std::vector<uint8_t> original = Value("abc");
+  ASSERT_TRUE(db.Put("k", original).ok());
+  auto got = db.Get("k");
+  ASSERT_TRUE(got.ok());
+  (*got)[0] = 'X';  // Mutating the returned copy must not affect the store.
+  EXPECT_EQ(AsString(*db.Get("k")), "abc");
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,66 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+// Restores the global level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_level_); }
+
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError, LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotCrash) {
+  SetLogLevel(LogLevel::kOff);
+  // Nothing should be emitted (and nothing should blow up) at any level.
+  PRONGHORN_LOG_DEBUG("debug %d", 1);
+  PRONGHORN_LOG_INFO("info %s", "x");
+  PRONGHORN_LOG_WARNING("warning %f", 2.5);
+  PRONGHORN_LOG_ERROR("error");
+}
+
+TEST_F(LoggingTest, EnabledLevelsFormatSafely) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  PRONGHORN_LOG_INFO("value=%d name=%s", 42, "widget");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("value=42 name=widget"), std::string::npos);
+  EXPECT_NE(out.find("[I"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LongMessagesAreTruncatedNotOverflowed) {
+  SetLogLevel(LogLevel::kError);
+  std::string huge(5000, 'x');
+  ::testing::internal::CaptureStderr();
+  PRONGHORN_LOG_ERROR("%s", huge.c_str());
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(out.empty());
+  EXPECT_LT(out.size(), 1200u);  // vsnprintf truncation at the 1 KiB buffer.
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  PRONGHORN_LOG_DEBUG("should not appear");
+  PRONGHORN_LOG_INFO("should not appear either");
+  PRONGHORN_LOG_WARNING("warning shows");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("warning shows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,150 @@
+#include "src/common/mathutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pronghorn {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) {
+    s += x;
+  }
+  return s;
+}
+
+TEST(SoftmaxTest, SumsToOne) {
+  const std::vector<double> logits = {1.0, 2.0, 3.0};
+  const auto probs = Softmax(logits);
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_NEAR(Sum(probs), 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, MonotoneInLogits) {
+  const auto probs = Softmax(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(SoftmaxTest, UniformForEqualLogits) {
+  const auto probs = Softmax(std::vector<double>{5.0, 5.0, 5.0, 5.0});
+  for (double p : probs) {
+    EXPECT_NEAR(p, 0.25, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, StableForHugeLogits) {
+  // The policy feeds inverse-latency weights that can reach 1/mu = 1e6;
+  // naive exp() would overflow.
+  const auto probs = Softmax(std::vector<double>{1e6, 1e6 - 1.0, 10.0});
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_NEAR(Sum(probs), 1.0, 1e-12);
+  EXPECT_GT(probs[0], probs[1]);
+  EXPECT_NEAR(probs[2], 0.0, 1e-9);
+}
+
+TEST(SoftmaxTest, EveryElementStrictlyPositive) {
+  const auto probs = Softmax(std::vector<double>{100.0, 0.0, -50.0});
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(SoftmaxTest, TemperatureFlattens) {
+  const std::vector<double> logits = {1.0, 3.0};
+  const auto sharp = Softmax(logits, 0.5);
+  const auto flat = Softmax(logits, 10.0);
+  EXPECT_GT(sharp[1] - sharp[0], flat[1] - flat[0]);
+}
+
+TEST(SoftmaxTest, NonPositiveTemperatureFallsBackToOne) {
+  const std::vector<double> logits = {1.0, 2.0};
+  EXPECT_EQ(Softmax(logits, -1.0), Softmax(logits, 1.0));
+}
+
+TEST(SoftmaxTest, EmptyInput) { EXPECT_TRUE(Softmax({}).empty()); }
+
+TEST(SoftmaxTest, SingleElementIsCertain) {
+  const auto probs = Softmax(std::vector<double>{42.0});
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+}
+
+TEST(EwmaTest, BlendsWithAlpha) {
+  EXPECT_DOUBLE_EQ(EwmaUpdate(10.0, 20.0, 0.3), 0.3 * 20.0 + 0.7 * 10.0);
+}
+
+TEST(EwmaTest, AlphaOneReplaces) { EXPECT_DOUBLE_EQ(EwmaUpdate(10.0, 20.0, 1.0), 20.0); }
+
+TEST(EwmaTest, ConvergesToConstantSignal) {
+  double value = 100.0;
+  for (int i = 0; i < 200; ++i) {
+    value = EwmaUpdate(value, 5.0, 0.3);
+  }
+  EXPECT_NEAR(value, 5.0, 1e-6);
+}
+
+TEST(InverseWeightTest, UnexploredDominates) {
+  const double mu = 1e-6;
+  EXPECT_GT(InverseWeight(0.0, mu), InverseWeight(0.001, mu) * 100);
+}
+
+TEST(InverseWeightTest, DecreasingInValue) {
+  EXPECT_GT(InverseWeight(0.1, 1e-6), InverseWeight(0.2, 1e-6));
+}
+
+TEST(GeometricMeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(GeometricMean(std::vector<double>{4.0, 9.0}), 6.0);
+  EXPECT_DOUBLE_EQ(GeometricMean(std::vector<double>{7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(GeometricMeanTest, IgnoresNonPositive) {
+  EXPECT_DOUBLE_EQ(GeometricMean(std::vector<double>{4.0, 9.0, 0.0, -3.0}), 6.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(15.0, 0.0, 10.0), 10.0);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.8413447), 1.0, 1e-4);
+}
+
+TEST(NormalQuantileTest, SymmetricAroundMedian) {
+  for (double p : {0.6, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(NormalQuantileTest, MonotoneIncreasing) {
+  double prev = NormalQuantile(0.001);
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormalQuantileTest, ExtremesAreFinite) {
+  EXPECT_TRUE(std::isfinite(NormalQuantile(0.0)));
+  EXPECT_TRUE(std::isfinite(NormalQuantile(1.0)));
+  EXPECT_LT(NormalQuantile(1e-10), -6.0);
+  EXPECT_GT(NormalQuantile(1.0 - 1e-10), 6.0);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,364 @@
+#include "src/core/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/core/baseline_policies.h"
+#include "src/core/request_centric_policy.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+
+namespace pronghorn {
+namespace {
+
+PolicyConfig TestConfig() {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 3;
+  config.max_checkpoint_request = 30;
+  return config;
+}
+
+// Bundles the per-function stack the orchestrator needs.
+struct Harness {
+  explicit Harness(const OrchestrationPolicy& policy_in,
+                   const char* benchmark = "DynamicHTML")
+      : profile(**WorkloadRegistry::Default().Find(benchmark)),
+        policy(policy_in),
+        engine(1),
+        state_store(db, profile.name, policy.config()),
+        orchestrator(profile, WorkloadRegistry::Default(), policy, engine, object_store,
+                     state_store, clock, /*seed=*/7) {}
+
+  const WorkloadProfile& profile;
+  const OrchestrationPolicy& policy;
+  SimClock clock;
+  InMemoryKvDatabase db;
+  InMemoryObjectStore object_store;
+  CriuLikeEngine engine;
+  PolicyStateStore state_store;
+  Orchestrator orchestrator;
+
+  // Serves `count` requests on one session, returning the last outcome.
+  RequestOutcome ServeMany(WorkerSession& session, uint64_t count) {
+    RequestOutcome last;
+    for (uint64_t i = 0; i < count; ++i) {
+      auto outcome = orchestrator.ServeRequest(session, {i, 1.0});
+      EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+      last = *outcome;
+    }
+    return last;
+  }
+};
+
+TEST(OrchestratorTest, FirstWorkerIsColdWithPlan) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->restored);
+  EXPECT_EQ(session->startup_latency, h.profile.cold_init);
+  ASSERT_TRUE(session->checkpoint_at.has_value());
+  EXPECT_GE(*session->checkpoint_at, 1u);
+  EXPECT_LE(*session->checkpoint_at, 4u);
+  EXPECT_GT(session->startup_overhead, Duration::Zero());
+}
+
+TEST(OrchestratorTest, CheckpointFiresAtPlannedRequest) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  const uint64_t planned = *session->checkpoint_at;
+
+  for (uint64_t i = 1; i <= 4; ++i) {
+    auto outcome = h.orchestrator.ServeRequest(*session, {i, 1.0});
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->checkpoint_taken, i == planned) << "request " << i;
+    if (outcome->checkpoint_taken) {
+      EXPECT_GT(outcome->checkpoint_downtime, Duration::Zero());
+      EXPECT_GT(outcome->checkpoint_overhead, Duration::Zero());
+    }
+  }
+
+  // Snapshot landed in the pool and the object store.
+  auto state = h.state_store.Load();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->pool.size(), 1u);
+  EXPECT_EQ(state->pool.entries()[0].metadata.request_number, planned);
+  EXPECT_TRUE(h.object_store.Contains(state->pool.entries()[0].object_key));
+}
+
+TEST(OrchestratorTest, RequestsUpdateThetaInDatabase) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  h.ServeMany(*session, 3);
+
+  auto state = h.state_store.Load();
+  ASSERT_TRUE(state.ok());
+  for (uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(state->theta.IsExplored(i)) << i;
+  }
+}
+
+TEST(OrchestratorTest, SecondWorkerRestoresFromSnapshot) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    h.ServeMany(*session, 4);  // Guarantees the planned checkpoint fired.
+  }
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->restored);
+  EXPECT_GT(session->restored_from.value, 0u);
+  // Restored maturity matches the snapshot's request number.
+  auto state = h.state_store.Load();
+  ASSERT_TRUE(state.ok());
+  const auto entry = state->pool.Find(session->restored_from);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(session->process.requests_executed(), (*entry)->metadata.request_number);
+  // Restore latency includes engine restore plus image transfer.
+  EXPECT_GT(session->startup_latency, Duration::Millis(30));
+}
+
+TEST(OrchestratorTest, PoolEvictionDeletesObjects) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());  // C = 3.
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  // Run enough lifetimes to exceed pool capacity.
+  for (int lifetime = 0; lifetime < 8; ++lifetime) {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    h.ServeMany(*session, 4);
+  }
+  auto state = h.state_store.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_LE(state->pool.size(), 3u);
+  // Object store holds exactly the pooled snapshots (evictions deleted).
+  const auto keys = h.object_store.ListKeys("snapshots/");
+  EXPECT_EQ(keys.size(), state->pool.size());
+  for (const PoolEntry& entry : state->pool.entries()) {
+    EXPECT_TRUE(h.object_store.Contains(entry.object_key));
+  }
+}
+
+TEST(OrchestratorTest, FallsBackToColdWhenSnapshotObjectMissing) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    h.ServeMany(*session, 4);
+  }
+  // Simulate a concurrent eviction deleting the image under our feet.
+  for (const std::string& key : h.object_store.ListKeys("snapshots/")) {
+    ASSERT_TRUE(h.object_store.Delete(key).ok());
+  }
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->restored);
+  EXPECT_EQ(session->process.requests_executed(), 0u);
+}
+
+TEST(OrchestratorTest, FallsBackToColdWhenImageCorrupt) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    h.ServeMany(*session, 4);
+  }
+  for (const std::string& key : h.object_store.ListKeys("snapshots/")) {
+    auto blob = h.object_store.Get(key);
+    ASSERT_TRUE(blob.ok());
+    blob->bytes[blob->bytes.size() / 2] ^= 0xff;
+    ASSERT_TRUE(h.object_store.Put(key, *std::move(blob)).ok());
+  }
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session->restored);  // CRC check rejected the image.
+}
+
+TEST(OrchestratorTest, AfterFirstPolicyTakesExactlyOneCheckpoint) {
+  const CheckpointAfterFirstPolicy policy{TestConfig()};
+  Harness h(policy);
+  for (int lifetime = 0; lifetime < 6; ++lifetime) {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    h.ServeMany(*session, 4);
+  }
+  EXPECT_EQ(h.engine.checkpoints_taken(), 1u);
+  auto state = h.state_store.Load();
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->pool.size(), 1u);
+  EXPECT_EQ(state->pool.entries()[0].metadata.request_number, 1u);
+}
+
+TEST(OrchestratorTest, ColdPolicyNeverTouchesStores) {
+  const ColdStartPolicy policy{TestConfig()};
+  Harness h(policy);
+  for (int lifetime = 0; lifetime < 3; ++lifetime) {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    EXPECT_FALSE(session->restored);
+    h.ServeMany(*session, 4);
+  }
+  EXPECT_EQ(h.engine.checkpoints_taken(), 0u);
+  EXPECT_EQ(h.object_store.accounting().put_count, 0u);
+}
+
+TEST(OrchestratorTest, OverheadAccountingCounts) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  for (int lifetime = 0; lifetime < 3; ++lifetime) {
+    auto session = h.orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    h.ServeMany(*session, 4);
+  }
+  const OrchestratorOverheads& overheads = h.orchestrator.overheads();
+  EXPECT_EQ(overheads.worker_starts, 3u);
+  EXPECT_EQ(overheads.requests_served, 12u);
+  EXPECT_EQ(overheads.checkpoints_taken, h.engine.checkpoints_taken());
+  EXPECT_GT(overheads.total_startup_overhead, Duration::Zero());
+  EXPECT_GT(overheads.total_request_overhead, Duration::Zero());
+  EXPECT_GT(overheads.total_checkpoint_overhead, Duration::Zero());
+}
+
+TEST(OrchestratorTest, CostModelDrivesOverheadAccounting) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile& profile = **WorkloadRegistry::Default().Find("Hash");
+
+  OrchestratorCostModel costs;
+  costs.db_read_latency = Duration::Millis(10);
+  costs.db_write_latency = Duration::Millis(20);
+  costs.decision_base_cost = Duration::Millis(5);
+  costs.decision_per_snapshot_cost = Duration::Zero();
+
+  SimClock clock;
+  InMemoryKvDatabase db;
+  InMemoryObjectStore object_store;
+  CriuLikeEngine engine(8);
+  PolicyStateStore state_store(db, profile.name, policy->config());
+  Orchestrator orchestrator(profile, WorkloadRegistry::Default(), *policy, engine,
+                            object_store, state_store, clock, /*seed=*/4, costs);
+
+  auto session = orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  // Startup = read + base decision (pool empty, no per-entry cost).
+  EXPECT_EQ(session->startup_overhead, Duration::Millis(15));
+  auto outcome = orchestrator.ServeRequest(*session, {1, 1.0});
+  ASSERT_TRUE(outcome.ok());
+  // Per-request knowledge write.
+  EXPECT_EQ(outcome->request_overhead, Duration::Millis(20));
+  const OrchestratorOverheads& overheads = orchestrator.overheads();
+  EXPECT_EQ(overheads.total_startup_overhead, Duration::Millis(15));
+  EXPECT_EQ(overheads.total_request_overhead, Duration::Millis(20));
+}
+
+TEST(OrchestratorTest, FasterObjectStoreBandwidthShrinksRestoreLatency) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile& profile = **WorkloadRegistry::Default().Find("BFS");
+
+  Duration startup_latency[2];
+  int idx = 0;
+  for (double mb_per_sec : {100.0, 100000.0}) {
+    OrchestratorCostModel costs;
+    costs.object_store_mb_per_sec = mb_per_sec;
+    SimClock clock;
+    InMemoryKvDatabase db;
+    InMemoryObjectStore object_store;
+    CriuLikeEngine engine(9);
+    PolicyStateStore state_store(db, profile.name, policy->config());
+    Orchestrator orchestrator(profile, WorkloadRegistry::Default(), *policy, engine,
+                              object_store, state_store, clock, /*seed=*/4, costs);
+    {
+      auto session = orchestrator.StartWorker();
+      ASSERT_TRUE(session.ok());
+      for (uint64_t i = 1; i <= 4; ++i) {
+        ASSERT_TRUE(orchestrator.ServeRequest(*session, {i, 1.0}).ok());
+      }
+    }
+    auto session = orchestrator.StartWorker();
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session->restored);
+    startup_latency[idx++] = session->startup_latency;
+  }
+  // A ~53 MB BFS snapshot takes ~530ms at 100 MB/s vs ~0 at 100 GB/s.
+  EXPECT_GT(startup_latency[0], startup_latency[1] + Duration::Millis(300));
+}
+
+TEST(OrchestratorTest, DeploymentsOfOneWorkloadDoNotCollideInSharedStore) {
+  // Two deployments (distinct Database scopes) of the same workload sharing
+  // one object store: their per-scope snapshot id sequences both start at 1,
+  // so keys must be scoped by deployment, not workload name.
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile& profile = **WorkloadRegistry::Default().Find("DynamicHTML");
+
+  SimClock clock;
+  InMemoryKvDatabase db;
+  InMemoryObjectStore object_store;
+  CriuLikeEngine engine(5);
+  PolicyStateStore store_a(db, "fn#classA", policy->config());
+  PolicyStateStore store_b(db, "fn#classB", policy->config());
+  Orchestrator orch_a(profile, WorkloadRegistry::Default(), *policy, engine,
+                      object_store, store_a, clock, 1);
+  Orchestrator orch_b(profile, WorkloadRegistry::Default(), *policy, engine,
+                      object_store, store_b, clock, 2);
+
+  for (Orchestrator* orch : {&orch_a, &orch_b}) {
+    auto session = orch->StartWorker();
+    ASSERT_TRUE(session.ok());
+    for (uint64_t i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(orch->ServeRequest(*session, {i, 1.0}).ok());
+    }
+  }
+  // Both deployments checkpointed (snapshot id 1 each); both objects exist.
+  EXPECT_EQ(object_store.ListKeys("snapshots/fn#classA/").size(), 1u);
+  EXPECT_EQ(object_store.ListKeys("snapshots/fn#classB/").size(), 1u);
+
+  // And both can restore their own snapshot.
+  auto session_a = orch_a.StartWorker();
+  auto session_b = orch_b.StartWorker();
+  ASSERT_TRUE(session_a.ok());
+  ASSERT_TRUE(session_b.ok());
+  EXPECT_TRUE(session_a->restored);
+  EXPECT_TRUE(session_b->restored);
+}
+
+TEST(OrchestratorTest, MaturityIndexingIsContiguous) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  Harness h(*policy);
+  auto session = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session.ok());
+  for (uint64_t i = 1; i <= 4; ++i) {
+    auto outcome = h.orchestrator.ServeRequest(*session, {i, 1.0});
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->request_number, i);
+  }
+  // Second lifetime continues from the restored snapshot's request number.
+  auto session2 = h.orchestrator.StartWorker();
+  ASSERT_TRUE(session2.ok());
+  ASSERT_TRUE(session2->restored);
+  const uint64_t start = session2->process.requests_executed();
+  auto outcome = h.orchestrator.ServeRequest(*session2, {99, 1.0});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->request_number, start + 1);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,161 @@
+#include "src/platform/platform_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/baseline_policies.h"
+#include "src/core/request_centric_policy.h"
+#include "src/trace/trace_generator.h"
+
+namespace pronghorn {
+namespace {
+
+const WorkloadProfile& Profile(const char* name) {
+  auto result = WorkloadRegistry::Default().Find(name);
+  EXPECT_TRUE(result.ok());
+  return **result;
+}
+
+PolicyConfig TestConfig() {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 12;
+  config.max_checkpoint_request = 100;
+  return config;
+}
+
+InvocationTrace MakeTrace() {
+  InvocationTrace trace;
+  // Interleaved invocations of two functions, 1s apart, with a long gap in
+  // the middle that exceeds a 60s idle timeout.
+  int64_t t = 0;
+  for (int burst = 0; burst < 2; ++burst) {
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_TRUE(
+          trace.Append({i % 2 == 0 ? "MST" : "DynamicHTML", TimePoint::FromMicros(t)})
+              .ok());
+      t += 1000000;
+    }
+    t += 120 * 1000000LL;  // 2-minute gap.
+  }
+  return trace;
+}
+
+TEST(PlatformSimulationTest, RejectsDuplicateDeployments) {
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction,
+                              PlatformOptions{});
+  const ColdStartPolicy policy;
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), policy).ok());
+  EXPECT_EQ(platform.DeployFunction(Profile("MST"), policy).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PlatformSimulationTest, RejectsUndeployedFunctionInTrace) {
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction,
+                              PlatformOptions{});
+  const ColdStartPolicy policy;
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), policy).ok());
+  const InvocationTrace trace = MakeTrace();  // Also invokes DynamicHTML.
+  EXPECT_EQ(platform.Replay(trace).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlatformSimulationTest, ReplaysMultiFunctionTrace) {
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  PlatformOptions options;
+  options.seed = 3;
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), *policy).ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("DynamicHTML"), *policy).ok());
+
+  auto report = platform.Replay(MakeTrace());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->per_function.size(), 2u);
+  EXPECT_EQ(report->per_function.at("MST").records.size(), 6u);
+  EXPECT_EQ(report->per_function.at("DynamicHTML").records.size(), 6u);
+  EXPECT_EQ(report->GlobalLatencySummary().count(), 12u);
+  // The 2-minute gap evicted both workers once.
+  EXPECT_EQ(report->per_function.at("MST").worker_lifetimes, 2u);
+  EXPECT_EQ(report->per_function.at("DynamicHTML").worker_lifetimes, 2u);
+  EXPECT_EQ(report->TotalLifetimes(), 4u);
+}
+
+TEST(PlatformSimulationTest, FunctionsShareStoresButNotState) {
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  PlatformOptions options;
+  options.seed = 4;
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), *policy).ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("DynamicHTML"), *policy).ok());
+
+  auto report = platform.Replay(MakeTrace());
+  ASSERT_TRUE(report.ok());
+
+  auto mst_state = platform.LoadPolicyState("MST");
+  auto html_state = platform.LoadPolicyState("DynamicHTML");
+  ASSERT_TRUE(mst_state.ok());
+  ASSERT_TRUE(html_state.ok());
+  // Each function learned its own latencies (they differ by ~5x scale).
+  EXPECT_GT(mst_state->theta.ExploredCount(), 0u);
+  EXPECT_GT(html_state->theta.ExploredCount(), 0u);
+  EXPECT_GT(mst_state->theta.At(2), html_state->theta.At(2) * 2);
+  // Pools are per-function.
+  for (const PoolEntry& entry : mst_state->pool.entries()) {
+    EXPECT_EQ(entry.metadata.function, "MST");
+  }
+  EXPECT_EQ(platform.LoadPolicyState("Ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlatformSimulationTest, StatePersistsAcrossReplays) {
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  PlatformOptions options;
+  options.seed = 5;
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), *policy).ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("DynamicHTML"), *policy).ok());
+
+  ASSERT_TRUE(platform.Replay(MakeTrace()).ok());
+  auto first = platform.LoadPolicyState("MST");
+  ASSERT_TRUE(first.ok());
+  const uint32_t explored_after_first = first->theta.ExploredCount();
+
+  ASSERT_TRUE(platform.Replay(MakeTrace()).ok());
+  auto second = platform.LoadPolicyState("MST");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->theta.ExploredCount(), explored_after_first);
+}
+
+TEST(PlatformSimulationTest, GeneratedTraceEndToEnd) {
+  // Full pipeline: Azure model -> trace -> platform replay.
+  const AzureTraceModel model;
+  TraceGenerator generator(model, 6);
+  auto trace = generator.GenerateTrace(
+      {{"MST", 85.0}, {"Thumbnailer", 80.0}}, Duration::Seconds(900));
+  ASSERT_TRUE(trace.ok());
+  ASSERT_FALSE(trace->empty());
+
+  IdleTimeoutEviction idle(Duration::Seconds(600));
+  MaxLifetimeEviction lifetime(Duration::Seconds(1200));
+  AnyOfEviction eviction({&idle, &lifetime});
+  PlatformOptions options;
+  options.seed = 7;
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), *policy).ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("Thumbnailer"), *policy).ok());
+
+  auto report = platform.Replay(*trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->GlobalLatencySummary().count(), trace->size());
+  EXPECT_GT(report->object_store.put_count, 0u);  // Checkpoints were uploaded.
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,175 @@
+#include "src/core/policy_state_store.h"
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+PolicyConfig TestConfig() {
+  PolicyConfig config;
+  config.beta = 5;
+  config.max_checkpoint_request = 20;
+  return config;
+}
+
+PoolEntry Entry(uint64_t id, uint64_t request_number) {
+  PoolEntry entry;
+  entry.metadata.id = SnapshotId{id};
+  entry.metadata.function = "f";
+  entry.metadata.request_number = request_number;
+  entry.object_key = "snapshots/f/" + std::to_string(id);
+  return entry;
+}
+
+TEST(PolicyStateCodecTest, RoundTrip) {
+  PolicyState state(TestConfig());
+  state.theta.Update(3, 0.05, 0.3);
+  ASSERT_TRUE(state.pool.Add(Entry(1, 3)).ok());
+
+  const auto encoded = EncodePolicyState(state);
+  auto decoded = DecodePolicyState(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, state);
+}
+
+TEST(PolicyStateCodecTest, RejectsBadVersion) {
+  PolicyState state(TestConfig());
+  auto encoded = EncodePolicyState(state);
+  encoded[0] = 0xfe;  // Clobber the format version.
+  EXPECT_EQ(DecodePolicyState(encoded).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PolicyStateCodecTest, RejectsTrailingBytes) {
+  PolicyState state(TestConfig());
+  auto encoded = EncodePolicyState(state);
+  encoded.push_back(0x00);
+  EXPECT_FALSE(DecodePolicyState(encoded).ok());
+}
+
+TEST(PolicyStateStoreTest, LoadFreshStateWhenAbsent) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "fn", TestConfig());
+  auto state = store.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->theta.length(), TestConfig().WeightVectorLength());
+  EXPECT_TRUE(state->pool.empty());
+}
+
+TEST(PolicyStateStoreTest, UpdatePersistsMutation) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "fn", TestConfig());
+  ASSERT_TRUE(store
+                  .Update([](PolicyState& state) {
+                    state.theta.Update(2, 0.5, 0.3);
+                  })
+                  .ok());
+  auto state = store.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_DOUBLE_EQ(state->theta.At(2), 0.5);
+}
+
+TEST(PolicyStateStoreTest, UpdatesAccumulate) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "fn", TestConfig());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store
+                    .Update([i](PolicyState& state) {
+                      state.theta.Update(static_cast<uint64_t>(i), 0.1, 0.3);
+                    })
+                    .ok());
+  }
+  auto state = store.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->theta.ExploredCount(), 10u);
+}
+
+TEST(PolicyStateStoreTest, FunctionsAreIsolated) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store_a(db, "fn-a", TestConfig());
+  PolicyStateStore store_b(db, "fn-b", TestConfig());
+  ASSERT_TRUE(
+      store_a.Update([](PolicyState& state) { state.theta.Update(1, 0.7, 0.3); }).ok());
+  auto state_b = store_b.Load();
+  ASSERT_TRUE(state_b.ok());
+  EXPECT_EQ(state_b->theta.ExploredCount(), 0u);
+}
+
+TEST(PolicyStateStoreTest, CasRetryHandlesConcurrentWriter) {
+  // Two stores over one database: each applies many increments to disjoint
+  // theta entries; interleaved CAS retries must not lose updates.
+  InMemoryKvDatabase db;
+  PolicyStateStore store_a(db, "fn", TestConfig());
+  PolicyStateStore store_b(db, "fn", TestConfig());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        store_a.Update([](PolicyState& state) { state.theta.Update(1, 0.1, 1.0); })
+            .ok());
+    ASSERT_TRUE(
+        store_b.Update([](PolicyState& state) { state.theta.Update(2, 0.2, 1.0); })
+            .ok());
+  }
+  auto state = store_a.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_DOUBLE_EQ(state->theta.At(1), 0.1);
+  EXPECT_DOUBLE_EQ(state->theta.At(2), 0.2);
+}
+
+TEST(PolicyStateStoreTest, MutatorRerunsAgainstFreshStateOnConflict) {
+  // Simulate a conflicting write landing between a reader's Load and CAS by
+  // mutating through a second store inside the first mutation's first run.
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "fn", TestConfig());
+  PolicyStateStore rival(db, "fn", TestConfig());
+  int runs = 0;
+  ASSERT_TRUE(store
+                  .Update([&](PolicyState& state) {
+                    ++runs;
+                    if (runs == 1) {
+                      // Interleave a rival write -> our CAS must conflict.
+                      ASSERT_TRUE(rival
+                                      .Update([](PolicyState& s) {
+                                        s.theta.Update(5, 0.9, 1.0);
+                                      })
+                                      .ok());
+                    }
+                    state.theta.Update(6, 0.4, 1.0);
+                  })
+                  .ok());
+  EXPECT_EQ(runs, 2);  // First run conflicted, second committed.
+  auto state = store.Load();
+  ASSERT_TRUE(state.ok());
+  EXPECT_DOUBLE_EQ(state->theta.At(5), 0.9);  // Rival update survived.
+  EXPECT_DOUBLE_EQ(state->theta.At(6), 0.4);
+  EXPECT_GE(db.accounting().cas_conflicts, 1u);
+}
+
+TEST(PolicyStateStoreTest, SnapshotIdsAreUniqueAndMonotonic) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "fn", TestConfig());
+  uint64_t previous = 0;
+  for (int i = 0; i < 25; ++i) {
+    auto id = store.AllocateSnapshotId();
+    ASSERT_TRUE(id.ok());
+    EXPECT_GT(id->value, previous);
+    previous = id->value;
+  }
+}
+
+TEST(PolicyStateStoreTest, IdSequencesArePerFunction) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store_a(db, "fn-a", TestConfig());
+  PolicyStateStore store_b(db, "fn-b", TestConfig());
+  EXPECT_EQ(store_a.AllocateSnapshotId()->value, 1u);
+  EXPECT_EQ(store_a.AllocateSnapshotId()->value, 2u);
+  EXPECT_EQ(store_b.AllocateSnapshotId()->value, 1u);
+}
+
+TEST(PolicyStateStoreTest, CorruptBlobSurfacesDataLoss) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("policy/fn/state", {0x01, 0x02}).ok());
+  PolicyStateStore store(db, "fn", TestConfig());
+  EXPECT_FALSE(store.Load().ok());
+}
+
+}  // namespace
+}  // namespace pronghorn

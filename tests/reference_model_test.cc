@@ -1,0 +1,208 @@
+// Differential tests: drive random operation sequences against a component
+// and a trivially-correct reference model in lockstep, asserting equivalent
+// observable behavior. Catches whole classes of state-machine bugs that
+// example-based tests miss.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/core/weight_vector.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+
+namespace pronghorn {
+namespace {
+
+// --- WeightVector vs. a plain map ------------------------------------------
+
+class WeightVectorDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WeightVectorDifferential, MatchesReferenceMap) {
+  Rng rng(GetParam());
+  constexpr uint32_t kLength = 64;
+  constexpr double kAlpha = 0.3;
+  WeightVector vector(kLength);
+  std::map<uint64_t, double> reference;
+
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t index = rng.UniformUint64(kLength + 8);  // Some out of range.
+    const double latency = rng.UniformDouble(-0.1, 2.0);    // Some non-positive.
+    vector.Update(index, latency, kAlpha);
+    if (index < kLength && latency > 0.0) {
+      auto it = reference.find(index);
+      if (it == reference.end()) {
+        reference[index] = latency;
+      } else {
+        it->second = kAlpha * latency + (1.0 - kAlpha) * it->second;
+      }
+    }
+    if (op % 50 == 0) {
+      for (uint64_t i = 0; i < kLength; ++i) {
+        const auto it = reference.find(i);
+        EXPECT_DOUBLE_EQ(vector.At(i), it == reference.end() ? 0.0 : it->second)
+            << "index " << i << " after op " << op;
+      }
+      EXPECT_EQ(vector.ExploredCount(), reference.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightVectorDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- KvDatabase vs. a map of versioned values -------------------------------
+
+class KvDatabaseDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvDatabaseDifferential, MatchesReferenceStore) {
+  Rng rng(GetParam() + 100);
+  InMemoryKvDatabase db;
+  struct RefEntry {
+    std::vector<uint8_t> value;
+    uint64_t version = 0;
+  };
+  std::map<std::string, RefEntry> reference;
+
+  const std::vector<std::string> keys = {"a", "b", "c", "d"};
+  for (int op = 0; op < 3000; ++op) {
+    const std::string& key = keys[rng.UniformUint64(keys.size())];
+    const uint64_t kind = rng.UniformUint64(5);
+    std::vector<uint8_t> value = {static_cast<uint8_t>(rng.UniformUint64(256))};
+    switch (kind) {
+      case 0: {  // Put.
+        ASSERT_TRUE(db.Put(key, value).ok());
+        auto& entry = reference[key];
+        entry.value = value;
+        entry.version += 1;
+        break;
+      }
+      case 1: {  // Get.
+        auto got = db.Get(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+        } else {
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(*got, it->second.value);
+        }
+        break;
+      }
+      case 2: {  // CAS with a randomly right-or-wrong expected version.
+        const auto it = reference.find(key);
+        const uint64_t current = it == reference.end() ? 0 : it->second.version;
+        const uint64_t expected =
+            rng.Bernoulli(0.5) ? current : current + 1 + rng.UniformUint64(3);
+        const Status status = db.CompareAndSwap(key, expected, value);
+        if (expected == current) {
+          ASSERT_TRUE(status.ok());
+          auto& entry = reference[key];
+          entry.value = value;
+          entry.version += 1;
+        } else {
+          EXPECT_EQ(status.code(), StatusCode::kAborted);
+        }
+        break;
+      }
+      case 3: {  // Delete.
+        const Status status = db.Delete(key);
+        if (reference.erase(key) > 0) {
+          EXPECT_TRUE(status.ok());
+        } else {
+          EXPECT_EQ(status.code(), StatusCode::kNotFound);
+        }
+        break;
+      }
+      case 4: {  // GetVersioned.
+        auto got = db.GetVersioned(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(got.ok());
+        } else {
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(got->version, it->second.version);
+          EXPECT_EQ(got->value, it->second.value);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(db.ListKeys("").size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvDatabaseDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- ObjectStore vs. a map with accounting ----------------------------------
+
+class ObjectStoreDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObjectStoreDifferential, MatchesReferenceStoreAndAccounting) {
+  Rng rng(GetParam() + 500);
+  InMemoryObjectStore store;
+  std::map<std::string, uint64_t> reference;  // key -> logical size.
+  uint64_t expected_stored = 0;
+  uint64_t expected_peak = 0;
+  uint64_t expected_uploaded = 0;
+  uint64_t expected_downloaded = 0;
+
+  const std::vector<std::string> keys = {"s/1", "s/2", "s/3"};
+  for (int op = 0; op < 3000; ++op) {
+    const std::string& key = keys[rng.UniformUint64(keys.size())];
+    switch (rng.UniformUint64(3)) {
+      case 0: {  // Put.
+        ObjectBlob blob;
+        blob.logical_size = 1 + rng.UniformUint64(1000);
+        blob.bytes = {1, 2, 3};
+        const uint64_t logical = blob.logical_size;
+        ASSERT_TRUE(store.Put(key, std::move(blob)).ok());
+        auto it = reference.find(key);
+        expected_stored -= it == reference.end() ? 0 : it->second;
+        expected_stored += logical;
+        expected_peak = std::max(expected_peak, expected_stored);
+        expected_uploaded += logical;
+        reference[key] = logical;
+        break;
+      }
+      case 1: {  // Get.
+        auto got = store.Get(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_FALSE(got.ok());
+        } else {
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(got->logical_size, it->second);
+          expected_downloaded += it->second;
+        }
+        break;
+      }
+      case 2: {  // Delete.
+        const Status status = store.Delete(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(status.code(), StatusCode::kNotFound);
+        } else {
+          EXPECT_TRUE(status.ok());
+          expected_stored -= it->second;
+          reference.erase(it);
+        }
+        break;
+      }
+    }
+  }
+
+  const StoreAccounting acc = store.accounting();
+  EXPECT_EQ(acc.logical_bytes_stored, expected_stored);
+  EXPECT_EQ(acc.peak_logical_bytes, expected_peak);
+  EXPECT_EQ(acc.network_bytes_uploaded, expected_uploaded);
+  EXPECT_EQ(acc.network_bytes_downloaded, expected_downloaded);
+  EXPECT_EQ(store.ListKeys("").size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectStoreDifferential,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,261 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pronghorn {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 42;
+  const uint64_t first = SplitMix64(s);
+  const uint64_t second = SplitMix64(s);
+  EXPECT_NE(first, second);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashCombineTest, Deterministic) {
+  EXPECT_EQ(HashCombine(123, 456), HashCombine(123, 456));
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  Rng child1_again = parent.Fork(1);
+  EXPECT_EQ(child1.NextUint64(), child1_again.NextUint64());
+  EXPECT_NE(child1.NextUint64(), child2.NextUint64());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.Fork(3);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+  EXPECT_EQ(rng.UniformUint64(1), 0u);
+  EXPECT_EQ(rng.UniformUint64(0), 0u);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All 7 values should appear in 2000 draws.
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(5);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Gaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexHonorsWeights) {
+  Rng rng(11);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.WeightedIndex(weights)] += 1;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(12);
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) {
+    counts[rng.WeightedIndex(weights)] += 1;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 8000.0, 0.25, 0.05);
+  }
+}
+
+TEST(RngTest, WeightedIndexNegativeTreatedAsZero) {
+  Rng rng(13);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedIndexSingleElement) {
+  Rng rng(14);
+  const std::vector<double> weights = {0.7};
+  EXPECT_EQ(rng.WeightedIndex(weights), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, original);
+}
+
+TEST(RngTest, ShuffleChangesOrderEventually) {
+  Rng rng(16);
+  std::vector<int> values(20);
+  for (int i = 0; i < 20; ++i) {
+    values[static_cast<size_t>(i)] = i;
+  }
+  std::vector<int> original = values;
+  rng.Shuffle(values);
+  EXPECT_NE(values, original);  // 1/20! chance of spurious failure.
+}
+
+TEST(RngTest, StateRoundTripResumesStream) {
+  Rng a(17);
+  (void)a.NextUint64();
+  const auto saved = a.state();
+  const uint64_t expected = a.NextUint64();
+  Rng b(0);
+  b.set_state(saved);
+  EXPECT_EQ(b.NextUint64(), expected);
+}
+
+// Property sweep: every distribution helper stays in its documented domain
+// across a spread of seeds.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, DomainsHold) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.UniformUint64(100), 100u);
+    const double u = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    EXPECT_GT(rng.LogNormal(0.0, 0.5), 0.0);
+    EXPECT_GE(rng.Exponential(1.0), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0u, 1u, 2u, 42u, 1337u, 0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,341 @@
+#include "src/jit/runtime_process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/stats.h"
+#include "src/jit/method_model.h"
+
+namespace pronghorn {
+namespace {
+
+const WorkloadProfile& Profile(const char* name) {
+  auto result = WorkloadRegistry::Default().Find(name);
+  EXPECT_TRUE(result.ok());
+  return **result;
+}
+
+FunctionRequest Req(uint64_t id) { return FunctionRequest{id, 1.0}; }
+
+// Runs `count` requests with unit input scale and returns the latencies.
+std::vector<Duration> Drive(RuntimeProcess& process, uint64_t count) {
+  std::vector<Duration> latencies;
+  latencies.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    latencies.push_back(process.Execute(Req(i)).latency);
+  }
+  return latencies;
+}
+
+double MeanMicros(std::span<const Duration> window) {
+  double sum = 0;
+  for (Duration d : window) {
+    sum += static_cast<double>(d.ToMicros());
+  }
+  return sum / static_cast<double>(window.size());
+}
+
+TEST(RuntimeProcessTest, ColdStartBeginsInterpreted) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(Profile("BFS"), 1);
+  EXPECT_EQ(process.requests_executed(), 0u);
+  EXPECT_EQ(process.CountAtTier(CompilationTier::kInterpreter), process.MethodCount());
+  EXPECT_NEAR(process.CurrentComputeFactor(), 1.0, 1e-9);
+}
+
+TEST(RuntimeProcessTest, WarmUpReducesLatency) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(Profile("BFS"), 2);
+  const auto latencies = Drive(process, 1200);
+  const double early = MeanMicros(std::span(latencies).subspan(1, 5));
+  const double late = MeanMicros(std::span(latencies).subspan(1100, 100));
+  EXPECT_LT(late, early * 0.5);  // BFS converged speedup is 3.5x.
+}
+
+TEST(RuntimeProcessTest, ConvergedSpeedupMatchesProfile) {
+  const WorkloadProfile& profile = Profile("PageRank");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 3);
+  Drive(process, profile.convergence_requests + 300);
+  // All methods optimized modulo an occasional in-flight deopt.
+  EXPECT_GE(process.CountAtTier(CompilationTier::kOptimized),
+            process.MethodCount() - 2);
+  EXPECT_NEAR(process.CurrentComputeFactor(), 1.0 / profile.converged_speedup, 0.08);
+}
+
+TEST(RuntimeProcessTest, ConvergenceNotReachedTooEarly) {
+  const WorkloadProfile& profile = Profile("HTMLRendering");  // JVM, 2500 requests.
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 4);
+  Drive(process, 300);
+  // At ~12% of the convergence horizon some methods must still be
+  // unoptimized (Observation #2: thousands of invocations to converge).
+  EXPECT_LT(process.CountAtTier(CompilationTier::kOptimized), process.MethodCount());
+  EXPECT_GT(process.CurrentComputeFactor(), 1.0 / profile.converged_speedup + 0.02);
+}
+
+TEST(RuntimeProcessTest, FirstRequestCarriesLazyInit) {
+  const WorkloadProfile& profile = Profile("HTMLRendering");
+  RuntimeProcess a = RuntimeProcess::ColdStart(profile, 5);
+  const Duration first = a.Execute(Req(1)).latency;
+  const Duration second = a.Execute(Req(2)).latency;
+  // HTMLRendering's lazy init is 500ms on a ~140ms body (Table 1's 650ms
+  // first request).
+  EXPECT_GT(first, second + Duration::Millis(300));
+  EXPECT_GT(first, Duration::Millis(550));
+}
+
+TEST(RuntimeProcessTest, InputScaleScalesCompute) {
+  const WorkloadProfile& profile = Profile("MST");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 6);
+  Drive(process, 50);  // Past lazy init and early compiles.
+  double small_sum = 0;
+  double large_sum = 0;
+  for (int i = 0; i < 30; ++i) {
+    small_sum +=
+        static_cast<double>(process.Execute({100, 0.5}).latency.ToMicros());
+    large_sum +=
+        static_cast<double>(process.Execute({101, 5.0}).latency.ToMicros());
+  }
+  EXPECT_GT(large_sum, small_sum * 5.0);
+}
+
+TEST(RuntimeProcessTest, SameSeedSameBehavior) {
+  RuntimeProcess a = RuntimeProcess::ColdStart(Profile("DFS"), 42);
+  RuntimeProcess b = RuntimeProcess::ColdStart(Profile("DFS"), 42);
+  for (uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Execute(Req(i)).latency, b.Execute(Req(i)).latency);
+  }
+  EXPECT_TRUE(a.StateEquals(b));
+}
+
+TEST(RuntimeProcessTest, DifferentSeedsDiverge) {
+  RuntimeProcess a = RuntimeProcess::ColdStart(Profile("DFS"), 1);
+  RuntimeProcess b = RuntimeProcess::ColdStart(Profile("DFS"), 2);
+  Drive(a, 50);
+  Drive(b, 50);
+  EXPECT_FALSE(a.StateEquals(b));
+}
+
+TEST(RuntimeProcessTest, SerializationRoundTripPreservesState) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(Profile("DynamicHTML"), 7);
+  Drive(process, 137);
+
+  ByteWriter writer;
+  process.Serialize(writer);
+  ByteReader reader(writer.data());
+  auto restored = RuntimeProcess::Deserialize(reader, WorkloadRegistry::Default());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(process.StateEquals(*restored));
+  EXPECT_EQ(restored->requests_executed(), 137u);
+}
+
+TEST(RuntimeProcessTest, RestoredProcessContinuesIdentically) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(Profile("Hash"), 8);
+  Drive(process, 60);
+
+  ByteWriter writer;
+  process.Serialize(writer);
+  ByteReader reader(writer.data());
+  auto restored = RuntimeProcess::Deserialize(reader, WorkloadRegistry::Default());
+  ASSERT_TRUE(restored.ok());
+
+  // Without reseeding, a restored process replays the exact same future.
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(process.Execute(Req(i)).latency, restored->Execute(Req(i)).latency);
+  }
+}
+
+TEST(RuntimeProcessTest, ReseedForRestoreDiverges) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(Profile("Hash"), 9);
+  Drive(process, 60);
+
+  ByteWriter writer;
+  process.Serialize(writer);
+  ByteReader reader(writer.data());
+  auto restored = RuntimeProcess::Deserialize(reader, WorkloadRegistry::Default());
+  ASSERT_TRUE(restored.ok());
+  restored->ReseedForRestore(12345);
+
+  bool any_difference = false;
+  for (uint64_t i = 0; i < 100; ++i) {
+    if (process.Execute(Req(i)).latency != restored->Execute(Req(i)).latency) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+  // Maturity still advances in lockstep regardless of noise.
+  EXPECT_EQ(process.requests_executed(), restored->requests_executed());
+}
+
+TEST(RuntimeProcessTest, DeserializeRejectsUnknownWorkload) {
+  WorkloadProfile custom;
+  custom.name = "Ghost";
+  custom.converged_speedup = 2.0;
+  custom.hot_method_count = 4;
+  custom.convergence_requests = 50;
+  custom.compute_base = Duration::Millis(1);
+  auto registry = WorkloadRegistry::Create({custom});
+  ASSERT_TRUE(registry.ok());
+
+  RuntimeProcess process = RuntimeProcess::ColdStart(*registry->Find("Ghost").value(), 1);
+  ByteWriter writer;
+  process.Serialize(writer);
+  ByteReader reader(writer.data());
+  auto restored = RuntimeProcess::Deserialize(reader, WorkloadRegistry::Default());
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RuntimeProcessTest, DeserializeRejectsTruncation) {
+  RuntimeProcess process = RuntimeProcess::ColdStart(Profile("MST"), 10);
+  Drive(process, 10);
+  ByteWriter writer;
+  process.Serialize(writer);
+  const auto& bytes = writer.data();
+  // Every strict prefix must fail cleanly.
+  for (size_t keep : {size_t{0}, size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    ByteReader reader(std::span<const uint8_t>(bytes.data(), keep));
+    EXPECT_FALSE(RuntimeProcess::Deserialize(reader, WorkloadRegistry::Default()).ok())
+        << "prefix " << keep;
+  }
+}
+
+TEST(RuntimeProcessTest, MemoryFootprintGrowsWithWarmup) {
+  const WorkloadProfile& profile = Profile("BFS");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 11);
+  const double cold_mb = process.MemoryFootprintMb();
+  Drive(process, profile.convergence_requests + 200);
+  const double warm_mb = process.MemoryFootprintMb();
+  EXPECT_GT(warm_mb, cold_mb);
+  // Calibration: the warm footprint approximates Table 4's snapshot size.
+  EXPECT_NEAR(warm_mb, profile.snapshot_mb, profile.snapshot_mb * 0.1);
+}
+
+TEST(RuntimeProcessTest, OversizedMethodsNeverOptimize) {
+  // §2: method-size thresholds prevent some methods from ever being
+  // optimized. With ~3% oversized probability and 20 methods per JVM
+  // workload, a long enough scan of seeds must find capped methods, and a
+  // fully-converged process keeps them at the baseline tier.
+  const WorkloadProfile& profile = Profile("HTMLRendering");
+  bool found_capped = false;
+  for (uint64_t seed = 0; seed < 40 && !found_capped; ++seed) {
+    RuntimeProcess process = RuntimeProcess::ColdStart(profile, seed);
+    Drive(process, profile.convergence_requests + 500);
+    const size_t baseline = process.CountAtTier(CompilationTier::kBaseline);
+    if (baseline > 0) {
+      found_capped = true;
+      // Capped methods are stable: more requests never promote them.
+      Drive(process, 500);
+      EXPECT_GE(process.CountAtTier(CompilationTier::kBaseline), baseline);
+    }
+  }
+  EXPECT_TRUE(found_capped);
+}
+
+TEST(RuntimeProcessTest, GcPausesProduceTailSpikes) {
+  const WorkloadProfile& profile = Profile("Hash");  // JVM: 1.2% x ~15ms.
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 13);
+  Drive(process, 200);  // Warm up past the steep region.
+  std::vector<double> latencies;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    latencies.push_back(
+        static_cast<double>(process.Execute({i, 1.0}).latency.ToMicros()));
+  }
+  const double p50 = Percentile(latencies, 50.0);
+  const double p999 = Percentile(latencies, 99.9);
+  // The tail carries GC spikes well above the median.
+  EXPECT_GT(p999, p50 + 8000.0);
+}
+
+TEST(RuntimeProcessTest, DeoptsOccurOverLongRuns) {
+  const WorkloadProfile& profile = Profile("PageRank");
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 12);
+  Drive(process, 4000);
+  EXPECT_GT(process.total_deopts(), 0u);  // Observation #3: non-monotonicity.
+}
+
+TEST(MethodModelTest, WeightsAreNormalized) {
+  Rng rng(1);
+  const auto methods = BuildMethodTable(Profile("BFS"), rng);
+  double total = 0;
+  for (const MethodState& m : methods) {
+    EXPECT_GT(m.weight, 0.0);
+    total += m.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MethodModelTest, ThresholdsAreOrdered) {
+  Rng rng(2);
+  for (const MethodState& m : BuildMethodTable(Profile("HTMLRendering"), rng)) {
+    EXPECT_GE(m.baseline_threshold, 1u);
+    EXPECT_GT(m.optimize_threshold, m.baseline_threshold);
+  }
+}
+
+TEST(MethodModelTest, SlowestMethodPinnedNearConvergence) {
+  const WorkloadProfile& profile = Profile("DynamicHTML");
+  Rng rng(3);
+  const auto methods = BuildMethodTable(profile, rng);
+  uint64_t max_threshold = 0;
+  for (const MethodState& m : methods) {
+    max_threshold = std::max(max_threshold, m.optimize_threshold);
+  }
+  EXPECT_GE(max_threshold, static_cast<uint64_t>(profile.convergence_requests * 0.85));
+  EXPECT_LE(max_threshold, profile.convergence_requests);
+}
+
+TEST(MethodModelTest, SerializationRoundTrip) {
+  Rng rng(4);
+  const auto methods = BuildMethodTable(Profile("MST"), rng);
+  for (const MethodState& m : methods) {
+    ByteWriter writer;
+    m.Serialize(writer);
+    ByteReader reader(writer.data());
+    auto restored = MethodState::Deserialize(reader);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, m);
+  }
+}
+
+TEST(MethodModelTest, DeserializeRejectsBadTier) {
+  MethodState m;
+  m.weight = 0.5;
+  ByteWriter writer;
+  m.Serialize(writer);
+  auto bytes = writer.data();
+  bytes[8] = 99;  // Tier byte follows the 8-byte weight.
+  ByteReader reader(bytes);
+  EXPECT_EQ(MethodState::Deserialize(reader).status().code(), StatusCode::kDataLoss);
+}
+
+// Property sweep: warm-up monotonicity-in-the-large holds for every
+// benchmark (median of late window below median of early window for
+// compute-bound profiles).
+class WarmupSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WarmupSweep, LateWindowFasterThanEarly) {
+  const WorkloadProfile& profile = Profile(GetParam());
+  RuntimeProcess process = RuntimeProcess::ColdStart(profile, 77);
+  const double cold_factor = process.CurrentComputeFactor();
+  const auto latencies = Drive(process, profile.convergence_requests + 100);
+  // The JIT state always improves (deterministic check, noise-free).
+  EXPECT_LT(process.CurrentComputeFactor(), cold_factor);
+  EXPECT_NEAR(process.CurrentComputeFactor(), 1.0 / profile.converged_speedup, 0.1);
+  if (!profile.io_bound) {
+    // For compute-bound profiles the improvement dominates the noise.
+    const double early = MeanMicros(std::span(latencies).subspan(1, 10));
+    const double late =
+        MeanMicros(std::span(latencies).subspan(latencies.size() - 50, 50));
+    EXPECT_LT(late, early);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WarmupSweep,
+                         ::testing::Values("HTMLRendering", "MatrixMult", "Hash",
+                                           "WordCount", "BFS", "DFS", "MST",
+                                           "DynamicHTML", "PageRank", "Uploader",
+                                           "Thumbnailer", "Video", "Compression",
+                                           "JSONParse"));
+
+}  // namespace
+}  // namespace pronghorn

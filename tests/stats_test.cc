@@ -1,0 +1,185 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace pronghorn {
+namespace {
+
+TEST(OnlineStatsTest, Empty) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.Add(7.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.0);
+}
+
+TEST(OnlineStatsTest, MatchesBatchComputation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats stats;
+  for (double v : values) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, NegativeValues) {
+  OnlineStats stats;
+  stats.Add(-5.0);
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -5.0);
+}
+
+TEST(PercentileTest, Empty) { EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0); }
+
+TEST(PercentileTest, MedianOfOddCount) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  const std::vector<double> v = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 12.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+}
+
+TEST(PercentileTest, OutOfRangeQClamped) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 110.0), 2.0);
+}
+
+TEST(DistributionSummaryTest, QuantilesOnKnownData) {
+  DistributionSummary summary;
+  for (int i = 1; i <= 100; ++i) {
+    summary.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(summary.count(), 100u);
+  EXPECT_NEAR(summary.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(summary.Quantile(90), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(summary.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(summary.Mean(), 50.5);
+}
+
+TEST(DistributionSummaryTest, AddAllMatchesAdd) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.0, 5.0};
+  DistributionSummary a;
+  DistributionSummary b;
+  for (double v : values) {
+    a.Add(v);
+  }
+  b.AddAll(values);
+  EXPECT_DOUBLE_EQ(a.Median(), b.Median());
+  EXPECT_EQ(a.count(), b.count());
+}
+
+TEST(DistributionSummaryTest, CdfIsMonotone) {
+  DistributionSummary summary;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    summary.Add(rng.LogNormal(0.0, 1.0));
+  }
+  const auto cdf = summary.Cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].probability, cdf[i - 1].probability);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, summary.Max());
+}
+
+TEST(DistributionSummaryTest, CdfOfEmptyIsEmpty) {
+  DistributionSummary summary;
+  EXPECT_TRUE(summary.Cdf(10).empty());
+}
+
+TEST(DistributionSummaryTest, QuantileAfterInterleavedAdds) {
+  DistributionSummary summary;
+  summary.Add(10.0);
+  EXPECT_DOUBLE_EQ(summary.Median(), 10.0);
+  summary.Add(20.0);  // Must invalidate the sorted cache.
+  EXPECT_DOUBLE_EQ(summary.Median(), 15.0);
+}
+
+TEST(LogHistogramTest, BucketsCoverRange) {
+  LogHistogram hist(1.0, 4.0, 3);  // Decades: [10,100), [100,1000), [1000,10000).
+  hist.Add(50.0);
+  hist.Add(500.0);
+  hist.Add(5000.0);
+  hist.Add(5.0);       // Underflow.
+  hist.Add(50000.0);   // Overflow.
+  hist.Add(0.0);       // Non-positive -> underflow.
+  EXPECT_EQ(hist.total(), 6u);
+  const auto& buckets = hist.buckets();
+  ASSERT_EQ(buckets.size(), 5u);
+  EXPECT_EQ(buckets[0], 2u);  // Underflow.
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(buckets[4], 1u);  // Overflow.
+}
+
+TEST(LogHistogramTest, BucketLowerBounds) {
+  LogHistogram hist(1.0, 4.0, 3);
+  EXPECT_NEAR(hist.BucketLowerBound(0), 10.0, 1e-9);
+  EXPECT_NEAR(hist.BucketLowerBound(1), 100.0, 1e-9);
+  EXPECT_NEAR(hist.BucketLowerBound(2), 1000.0, 1e-9);
+}
+
+TEST(LogHistogramTest, BoundaryValuesLandInCorrectBucket) {
+  LogHistogram hist(0.0, 2.0, 2);  // [1,10), [10,100).
+  hist.Add(1.0);
+  hist.Add(10.0);
+  hist.Add(99.999);
+  hist.Add(100.0);  // Exactly the upper edge -> overflow.
+  const auto& buckets = hist.buckets();
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(LogHistogramTest, AsciiArtNonEmpty) {
+  LogHistogram hist(0.0, 3.0, 30);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    hist.Add(rng.LogNormal(3.0, 0.8));
+  }
+  const std::string art = hist.ToAsciiArt(40);
+  EXPECT_EQ(art.size(), 40u);
+  EXPECT_NE(art.find_first_not_of(' '), std::string::npos);
+}
+
+TEST(LogHistogramTest, EmptyAscii) {
+  LogHistogram hist(0.0, 3.0, 30);
+  EXPECT_EQ(hist.ToAsciiArt(), "(empty)");
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/trace/azure_model.h"
+#include "src/trace/trace_file.h"
+#include "src/trace/trace_generator.h"
+
+namespace pronghorn {
+namespace {
+
+TEST(AzureTraceModelTest, PercentileMonotoneInPopularity) {
+  const AzureTraceModel model;
+  double previous = 0.0;
+  for (double percentile : {10.0, 25.0, 50.0, 65.0, 75.0, 90.0, 99.0}) {
+    auto daily = model.DailyInvocationsAtPercentile(percentile);
+    ASSERT_TRUE(daily.ok()) << percentile;
+    EXPECT_GT(*daily, previous);
+    previous = *daily;
+  }
+}
+
+TEST(AzureTraceModelTest, MedianMatchesCalibration) {
+  const AzureTraceModel model;
+  auto daily = model.DailyInvocationsAtPercentile(50.0);
+  ASSERT_TRUE(daily.ok());
+  // Median function ~316/day => ~3.3 invocations per 15 minutes, matching
+  // the paper's pathological 50th-percentile MST window (3 requests).
+  EXPECT_NEAR(*daily, 316.0, 10.0);
+  auto in_window = model.ExpectedArrivalsInWindow(50.0, Duration::Seconds(900));
+  ASSERT_TRUE(in_window.ok());
+  EXPECT_NEAR(*in_window, 3.3, 0.2);
+}
+
+TEST(AzureTraceModelTest, RejectsDegeneratePercentiles) {
+  const AzureTraceModel model;
+  EXPECT_FALSE(model.DailyInvocationsAtPercentile(0.0).ok());
+  EXPECT_FALSE(model.DailyInvocationsAtPercentile(100.0).ok());
+  EXPECT_FALSE(model.DailyInvocationsAtPercentile(-5.0).ok());
+}
+
+TEST(TraceGeneratorTest, ArrivalsSortedAndInWindow) {
+  const AzureTraceModel model;
+  TraceGenerator generator(model, 1);
+  const Duration window = Duration::Seconds(900);
+  auto arrivals = generator.GenerateWindow(90.0, window);
+  ASSERT_TRUE(arrivals.ok());
+  EXPECT_FALSE(arrivals->empty());
+  TimePoint previous = TimePoint::FromMicros(0);
+  for (TimePoint arrival : *arrivals) {
+    EXPECT_GE(arrival, previous);
+    EXPECT_LT(arrival.ToSeconds(), window.ToSeconds());
+    previous = arrival;
+  }
+}
+
+TEST(TraceGeneratorTest, PopularFunctionsGetMoreArrivals) {
+  const AzureTraceModel model;
+  TraceGenerator generator(model, 2);
+  const Duration window = Duration::Seconds(900);
+  size_t rare_total = 0;
+  size_t popular_total = 0;
+  for (int i = 0; i < 10; ++i) {
+    rare_total += generator.GenerateWindow(50.0, window)->size();
+    popular_total += generator.GenerateWindow(90.0, window)->size();
+  }
+  EXPECT_GT(popular_total, rare_total * 5);
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  const AzureTraceModel model;
+  TraceGenerator a(model, 7);
+  TraceGenerator b(model, 7);
+  auto wa = a.GenerateWindow(75.0, Duration::Seconds(900));
+  auto wb = b.GenerateWindow(75.0, Duration::Seconds(900));
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  EXPECT_EQ(*wa, *wb);
+}
+
+TEST(TraceGeneratorTest, MultiFunctionTraceIsMerged) {
+  const AzureTraceModel model;
+  TraceGenerator generator(model, 3);
+  auto trace = generator.GenerateTrace(
+      {{"MST", 75.0}, {"Thumbnailer", 75.0}}, Duration::Seconds(900));
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->empty());
+  const auto functions = trace->Functions();
+  EXPECT_EQ(functions.size(), 2u);
+  // Merged ordering is globally sorted.
+  for (size_t i = 1; i < trace->records().size(); ++i) {
+    EXPECT_GE(trace->records()[i].arrival, trace->records()[i - 1].arrival);
+  }
+  // Per-function extraction covers everything.
+  EXPECT_EQ(trace->ArrivalsFor("MST").size() +
+                trace->ArrivalsFor("Thumbnailer").size(),
+            trace->size());
+}
+
+TEST(InvocationTraceTest, AppendValidations) {
+  InvocationTrace trace;
+  EXPECT_EQ(trace.Append({"", TimePoint::FromMicros(1)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(trace.Append({"a,b", TimePoint::FromMicros(1)}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(trace.Append({"f", TimePoint::FromMicros(10)}).ok());
+  EXPECT_EQ(trace.Append({"f", TimePoint::FromMicros(5)}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InvocationTraceTest, CsvRoundTripInMemory) {
+  InvocationTrace trace;
+  ASSERT_TRUE(trace.Append({"MST", TimePoint::FromMicros(100)}).ok());
+  ASSERT_TRUE(trace.Append({"Thumbnailer", TimePoint::FromMicros(250)}).ok());
+  ASSERT_TRUE(trace.Append({"MST", TimePoint::FromMicros(900)}).ok());
+
+  auto parsed = InvocationTrace::FromCsv(trace.ToCsv());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->records(), trace.records());
+}
+
+TEST(InvocationTraceTest, CsvRoundTripThroughFile) {
+  InvocationTrace trace;
+  ASSERT_TRUE(trace.Append({"f", TimePoint::FromMicros(42)}).ok());
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pronghorn_trace_test.csv").string();
+  ASSERT_TRUE(trace.WriteCsv(path).ok());
+  auto loaded = InvocationTrace::ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records(), trace.records());
+  std::filesystem::remove(path);
+}
+
+TEST(InvocationTraceTest, ReadMissingFileIsNotFound) {
+  EXPECT_EQ(InvocationTrace::ReadCsv("/no/such/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(InvocationTraceTest, MalformedCsvRejected) {
+  EXPECT_FALSE(InvocationTrace::FromCsv("wrong,header\nf,1\n").ok());
+  EXPECT_FALSE(InvocationTrace::FromCsv("function,arrival_us\nno_comma\n").ok());
+  EXPECT_FALSE(InvocationTrace::FromCsv("function,arrival_us\nf,notanumber\n").ok());
+  EXPECT_FALSE(InvocationTrace::FromCsv("function,arrival_us\nf,12junk\n").ok());
+}
+
+TEST(InvocationTraceTest, EmptyCsvBody) {
+  auto trace = InvocationTrace::FromCsv("function,arrival_us\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->empty());
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,161 @@
+#include "src/core/weight_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+
+namespace pronghorn {
+namespace {
+
+constexpr double kMu = 1e-6;
+
+TEST(WeightVectorTest, StartsUnexplored) {
+  WeightVector theta(50);
+  EXPECT_EQ(theta.length(), 50u);
+  EXPECT_EQ(theta.ExploredCount(), 0u);
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(theta.At(i), 0.0);
+    EXPECT_FALSE(theta.IsExplored(i));
+  }
+}
+
+TEST(WeightVectorTest, FirstObservationInitializes) {
+  WeightVector theta(10);
+  theta.Update(3, 0.25, /*alpha=*/0.3);
+  // Algorithm 1, line 26: the first sample is stored verbatim, not blended
+  // with the zero initialization.
+  EXPECT_DOUBLE_EQ(theta.At(3), 0.25);
+  EXPECT_TRUE(theta.IsExplored(3));
+  EXPECT_EQ(theta.ExploredCount(), 1u);
+}
+
+TEST(WeightVectorTest, SubsequentObservationsUseEwma) {
+  WeightVector theta(10);
+  theta.Update(3, 1.0, 0.3);
+  theta.Update(3, 2.0, 0.3);
+  EXPECT_DOUBLE_EQ(theta.At(3), 0.3 * 2.0 + 0.7 * 1.0);
+}
+
+TEST(WeightVectorTest, OutOfRangeUpdateIgnored) {
+  WeightVector theta(10);
+  theta.Update(10, 1.0, 0.3);
+  theta.Update(10000, 1.0, 0.3);
+  EXPECT_EQ(theta.ExploredCount(), 0u);
+}
+
+TEST(WeightVectorTest, NonPositiveLatencyIgnored) {
+  WeightVector theta(10);
+  theta.Update(3, 0.0, 0.3);
+  theta.Update(3, -1.0, 0.3);
+  EXPECT_FALSE(theta.IsExplored(3));
+}
+
+TEST(WeightVectorTest, InverseWeightsFavorLowLatency) {
+  WeightVector theta(10);
+  theta.Update(1, 0.100, 0.3);  // 100 ms.
+  theta.Update(2, 0.010, 0.3);  // 10 ms.
+  const auto weights = theta.InverseWeights(1, 2, kMu);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights[1], weights[0] * 9.0);
+}
+
+TEST(WeightVectorTest, UnexploredGetsEnormousWeight) {
+  WeightVector theta(10);
+  theta.Update(1, 0.010, 0.3);
+  const auto weights = theta.InverseWeights(1, 2, kMu);
+  // theta[2] is unexplored -> weight 1/mu = 1e6 vs 100 for the explored one.
+  EXPECT_GT(weights[1], weights[0] * 1000.0);
+}
+
+TEST(WeightVectorTest, InverseWeightsClampToRange) {
+  WeightVector theta(5);
+  EXPECT_EQ(theta.InverseWeights(3, 100, kMu).size(), 2u);  // Indices 3, 4.
+  EXPECT_TRUE(theta.InverseWeights(7, 9, kMu).empty());
+  EXPECT_TRUE(theta.InverseWeights(4, 2, kMu).empty());
+}
+
+TEST(WeightVectorTest, LifetimeWeightAveragesInverse) {
+  WeightVector theta(20);
+  for (uint64_t i = 0; i <= 10; ++i) {
+    theta.Update(i, 0.1, 0.3);  // Uniform 100ms.
+  }
+  const double weight = theta.LifetimeWeight(0, 10, kMu);
+  // (1/beta) * sum of 11 entries of ~10 -> ~11.
+  EXPECT_NEAR(weight, 11.0 * (1.0 / (0.1 + kMu)) / 10.0, 1e-6);
+}
+
+TEST(WeightVectorTest, LifetimeWeightPrefersFasterRegions) {
+  WeightVector theta(40);
+  for (uint64_t i = 0; i <= 30; ++i) {
+    theta.Update(i, i < 15 ? 0.2 : 0.02, 0.3);
+  }
+  EXPECT_GT(theta.LifetimeWeight(16, 10, kMu), theta.LifetimeWeight(0, 10, kMu) * 5);
+}
+
+TEST(WeightVectorTest, LifetimeWeightBeyondEndTreatsAsUnexplored) {
+  WeightVector theta(10);
+  for (uint64_t i = 0; i < 10; ++i) {
+    theta.Update(i, 0.1, 0.3);
+  }
+  // Window [8, 8+5] runs past the end; the out-of-range part counts as
+  // unexplored and boosts the weight.
+  EXPECT_GT(theta.LifetimeWeight(8, 5, kMu), theta.LifetimeWeight(0, 5, kMu) * 10);
+}
+
+TEST(WeightVectorTest, LifetimeLatencySum) {
+  WeightVector theta(10);
+  theta.Update(2, 0.5, 0.3);
+  theta.Update(3, 0.25, 0.3);
+  EXPECT_DOUBLE_EQ(theta.LifetimeLatencySum(2, 1), 0.75);
+  EXPECT_DOUBLE_EQ(theta.LifetimeLatencySum(5, 3), 0.0);
+}
+
+TEST(WeightVectorTest, SerializationRoundTrip) {
+  WeightVector theta(30);
+  theta.Update(0, 0.1, 0.3);
+  theta.Update(7, 0.05, 0.3);
+  theta.Update(29, 1.5, 0.3);
+
+  ByteWriter writer;
+  theta.Serialize(writer);
+  ByteReader reader(writer.data());
+  auto restored = WeightVector::Deserialize(reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, theta);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(WeightVectorTest, DeserializeRejectsNegativeLatency) {
+  ByteWriter writer;
+  writer.WriteVarint(2);
+  writer.WriteDouble(0.5);
+  writer.WriteDouble(-0.5);
+  ByteReader reader(writer.data());
+  EXPECT_EQ(WeightVector::Deserialize(reader).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WeightVectorTest, DeserializeRejectsImplausibleLength) {
+  ByteWriter writer;
+  writer.WriteVarint(1ULL << 40);
+  ByteReader reader(writer.data());
+  EXPECT_EQ(WeightVector::Deserialize(reader).status().code(), StatusCode::kDataLoss);
+}
+
+// Property: repeated EWMA updates converge to a steady signal for any alpha.
+class EwmaConvergenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EwmaConvergenceSweep, ConvergesToSteadySignal) {
+  const double alpha = GetParam();
+  WeightVector theta(4);
+  theta.Update(1, 10.0, alpha);
+  for (int i = 0; i < 500; ++i) {
+    theta.Update(1, 0.5, alpha);
+  }
+  EXPECT_NEAR(theta.At(1), 0.5, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EwmaConvergenceSweep,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace pronghorn

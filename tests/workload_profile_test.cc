@@ -1,0 +1,216 @@
+#include "src/workloads/workload_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/workloads/input_model.h"
+
+namespace pronghorn {
+namespace {
+
+TEST(WorkloadRegistryTest, EvaluationSetHasThirteenBenchmarks) {
+  const auto& registry = WorkloadRegistry::Default();
+  // Table 3's evaluation set plus the auxiliary Table-1 JSON parser.
+  EXPECT_EQ(registry.EvaluationSet().size(), 13u);
+  EXPECT_EQ(registry.profiles().size(), 14u);
+  for (const WorkloadProfile* p : registry.EvaluationSet()) {
+    EXPECT_FALSE(p->auxiliary) << p->name;
+  }
+}
+
+TEST(WorkloadRegistryTest, JsonParserIsAuxiliary) {
+  const auto profile = WorkloadRegistry::Default().Find("JSONParse");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE((*profile)->auxiliary);
+  EXPECT_EQ((*profile)->family, RuntimeFamily::kJvm);
+  // Table 1: 360 ms first request (lazy init + interpreted body).
+  EXPECT_NEAR(((*profile)->lazy_init_cost + (*profile)->compute_base).ToMillis(), 360.0,
+              1.0);
+}
+
+TEST(WorkloadRegistryTest, PaperBenchmarkNamesPresent) {
+  const auto& registry = WorkloadRegistry::Default();
+  // Table 3 of the paper.
+  for (const char* name :
+       {"HTMLRendering", "MatrixMult", "Hash", "WordCount", "BFS", "DFS", "MST",
+        "DynamicHTML", "PageRank", "Uploader", "Thumbnailer", "Video", "Compression"}) {
+    EXPECT_TRUE(registry.Find(name).ok()) << name;
+  }
+}
+
+TEST(WorkloadRegistryTest, FamiliesMatchTable3) {
+  const auto& registry = WorkloadRegistry::Default();
+  // NamesForFamily covers the evaluation set only (auxiliary excluded).
+  EXPECT_EQ(registry.NamesForFamily(RuntimeFamily::kJvm).size(), 4u);
+  EXPECT_EQ(registry.NamesForFamily(RuntimeFamily::kPyPy).size(), 9u);
+  EXPECT_EQ((*registry.Find("Hash"))->family, RuntimeFamily::kJvm);
+  EXPECT_EQ((*registry.Find("BFS"))->family, RuntimeFamily::kPyPy);
+}
+
+TEST(WorkloadRegistryTest, IoBoundFlagsMatchPaper) {
+  const auto& registry = WorkloadRegistry::Default();
+  for (const char* name : {"Uploader", "Thumbnailer", "Video", "Compression"}) {
+    EXPECT_TRUE((*registry.Find(name))->io_bound) << name;
+  }
+  for (const char* name : {"BFS", "DynamicHTML", "Hash", "MatrixMult"}) {
+    EXPECT_FALSE((*registry.Find(name))->io_bound) << name;
+  }
+}
+
+TEST(WorkloadRegistryTest, FindUnknownFails) {
+  const auto result = WorkloadRegistry::Default().Find("NoSuchBenchmark");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WorkloadRegistryTest, SnapshotSizesMatchTable4Scale) {
+  const auto& registry = WorkloadRegistry::Default();
+  // Java snapshots are ~10-14 MB, Python ~54-64 MB (Table 4).
+  for (const WorkloadProfile& p : registry.profiles()) {
+    if (p.family == RuntimeFamily::kJvm) {
+      EXPECT_GE(p.snapshot_mb, 10.0) << p.name;
+      EXPECT_LE(p.snapshot_mb, 14.0) << p.name;
+    } else {
+      EXPECT_GE(p.snapshot_mb, 50.0) << p.name;
+      EXPECT_LE(p.snapshot_mb, 65.0) << p.name;
+    }
+  }
+}
+
+TEST(WorkloadRegistryTest, CheckpointCostsMatchTable4Scale) {
+  // Table 4: checkpoint 60-105 ms, restore 30-81 ms.
+  for (const WorkloadProfile& p : WorkloadRegistry::Default().profiles()) {
+    EXPECT_GE(p.checkpoint_mean, Duration::Millis(60)) << p.name;
+    EXPECT_LE(p.checkpoint_mean, Duration::Millis(106)) << p.name;
+    EXPECT_GE(p.restore_mean, Duration::Millis(30)) << p.name;
+    EXPECT_LE(p.restore_mean, Duration::Millis(81)) << p.name;
+  }
+}
+
+TEST(WorkloadRegistryTest, ConvergenceScalesMatchFigure1) {
+  const auto& registry = WorkloadRegistry::Default();
+  // PyPy converges around 1000 requests, the JVM takes roughly twice as long.
+  EXPECT_EQ((*registry.Find("DynamicHTML"))->convergence_requests, 1000u);
+  EXPECT_EQ((*registry.Find("HTMLRendering"))->convergence_requests, 2500u);
+  for (const WorkloadProfile& p : registry.profiles()) {
+    if (p.family == RuntimeFamily::kJvm) {
+      EXPECT_GE(p.convergence_requests, 1500u) << p.name;
+    } else {
+      EXPECT_LE(p.convergence_requests, 1100u) << p.name;
+    }
+  }
+}
+
+TEST(WorkloadProfileTest, LatencyHelpers) {
+  WorkloadProfile p;
+  p.compute_base = Duration::Millis(100);
+  p.converged_speedup = 4.0;
+  p.io_base = Duration::Millis(10);
+  EXPECT_EQ(p.InterpretedLatency(), Duration::Millis(110));
+  EXPECT_EQ(p.ConvergedLatency(), Duration::Millis(35));
+}
+
+TEST(WorkloadRegistryCreateTest, RejectsEmptyName) {
+  WorkloadProfile p;
+  p.name = "";
+  p.converged_speedup = 2.0;
+  const auto result = WorkloadRegistry::Create({p});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadRegistryCreateTest, RejectsSpeedupBelowOne) {
+  WorkloadProfile p;
+  p.name = "X";
+  p.converged_speedup = 0.5;
+  const auto result = WorkloadRegistry::Create({p});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadRegistryCreateTest, RejectsDuplicates) {
+  WorkloadProfile p;
+  p.name = "X";
+  p.converged_speedup = 2.0;
+  const auto result = WorkloadRegistry::Create({p, p});
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(WorkloadRegistryCreateTest, RejectsDegenerateWarmup) {
+  WorkloadProfile p;
+  p.name = "X";
+  p.converged_speedup = 2.0;
+  p.hot_method_count = 0;
+  EXPECT_FALSE(WorkloadRegistry::Create({p}).ok());
+  p.hot_method_count = 4;
+  p.convergence_requests = 0;
+  EXPECT_FALSE(WorkloadRegistry::Create({p}).ok());
+}
+
+TEST(WorkloadRegistryCreateTest, AcceptsValidCustomProfile) {
+  WorkloadProfile p;
+  p.name = "Custom";
+  p.converged_speedup = 3.0;
+  p.hot_method_count = 4;
+  p.convergence_requests = 100;
+  const auto registry = WorkloadRegistry::Create({p});
+  ASSERT_TRUE(registry.ok());
+  EXPECT_TRUE(registry->Find("Custom").ok());
+}
+
+TEST(RuntimeFamilyTest, Names) {
+  EXPECT_EQ(RuntimeFamilyName(RuntimeFamily::kJvm), "JVM");
+  EXPECT_EQ(RuntimeFamilyName(RuntimeFamily::kPyPy), "PyPy");
+}
+
+// --- InputModel ---------------------------------------------------------
+
+TEST(InputModelTest, DisabledYieldsUnitScale) {
+  const auto profile = WorkloadRegistry::Default().Find("BFS");
+  InputModel model(**profile, /*enable_noise=*/false);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.NextScale(rng), 1.0);
+  }
+}
+
+TEST(InputModelTest, ScalesStayClipped) {
+  const auto profile = WorkloadRegistry::Default().Find("BFS");
+  InputModel model(**profile, /*enable_noise=*/true);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double scale = model.NextScale(rng);
+    EXPECT_GE(scale, InputModel::kMinScale);
+    EXPECT_LE(scale, InputModel::kMaxScale);
+  }
+}
+
+TEST(InputModelTest, GraphBenchmarksSpanOrderOfMagnitude) {
+  // Footnote 4 of the paper: the IQR of compute-bound benchmark latencies
+  // spans over an order of magnitude; input scale drives that spread.
+  const auto profile = WorkloadRegistry::Default().Find("PageRank");
+  InputModel model(**profile, /*enable_noise=*/true);
+  Rng rng(3);
+  std::vector<double> scales;
+  for (int i = 0; i < 4000; ++i) {
+    scales.push_back(model.NextScale(rng));
+  }
+  std::sort(scales.begin(), scales.end());
+  const double q10 = scales[400];
+  const double q90 = scales[3600];
+  EXPECT_GT(q90 / q10, 8.0);
+}
+
+TEST(InputModelTest, MedianNearOne) {
+  const auto profile = WorkloadRegistry::Default().Find("MST");
+  InputModel model(**profile, /*enable_noise=*/true);
+  Rng rng(4);
+  std::vector<double> scales;
+  for (int i = 0; i < 4001; ++i) {
+    scales.push_back(model.NextScale(rng));
+  }
+  std::sort(scales.begin(), scales.end());
+  EXPECT_NEAR(scales[2000], 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -1,0 +1,180 @@
+// pronghorn_sim: command-line driver for the simulator.
+//
+// Runs one benchmark under one policy and eviction regime, prints a summary,
+// and optionally exports the per-request records as CSV (the artifact's
+// results/ format) for external plotting.
+//
+//   pronghorn_sim --benchmark DynamicHTML --policy request-centric \
+//                 --eviction 1 --requests 500 --seed 42 --csv out.csv
+//
+// Policies: cold | after-first | request-centric | stop-condition
+// Eviction: integer k (every-k), "geometric:<mean>", or "idle:<seconds>".
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/core/baseline_policies.h"
+#include "src/core/request_centric_policy.h"
+#include "src/core/stop_condition_policy.h"
+#include "src/platform/function_simulation.h"
+#include "src/platform/report_io.h"
+
+using namespace pronghorn;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<std::unique_ptr<EvictionModel>> MakeEviction(const std::string& spec,
+                                                    uint64_t seed) {
+  if (spec.rfind("geometric:", 0) == 0) {
+    const double mean = std::strtod(spec.c_str() + 10, nullptr);
+    PRONGHORN_ASSIGN_OR_RETURN(auto model, GeometricEviction::Create(mean, seed));
+    return std::unique_ptr<EvictionModel>(std::move(model));
+  }
+  if (spec.rfind("idle:", 0) == 0) {
+    const double seconds = std::strtod(spec.c_str() + 5, nullptr);
+    if (seconds <= 0) {
+      return InvalidArgumentError("idle timeout must be positive");
+    }
+    return std::unique_ptr<EvictionModel>(
+        std::make_unique<IdleTimeoutEviction>(Duration::Seconds(seconds)));
+  }
+  const uint64_t k = std::strtoull(spec.c_str(), nullptr, 10);
+  PRONGHORN_ASSIGN_OR_RETURN(auto model, EveryKRequestsEviction::Create(k));
+  return std::unique_ptr<EvictionModel>(std::move(model));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.AddFlag("benchmark", "DynamicHTML", "workload name (see --list)");
+  flags.AddFlag("policy", "request-centric",
+                "cold | after-first | request-centric | stop-condition");
+  flags.AddFlag("eviction", "1", "k | geometric:<mean> | idle:<seconds>");
+  flags.AddFlag("requests", "500", "number of invocations");
+  flags.AddFlag("seed", "42", "experiment seed");
+  flags.AddFlag("beta", "0", "policy beta (0 = derive from eviction k)");
+  flags.AddFlag("pool", "12", "snapshot pool capacity C");
+  flags.AddFlag("w", "0", "max checkpoint request W (0 = per-family default)");
+  flags.AddFlag("explore-budget", "0",
+                "stop-condition: freeze after this many requests (0 = W+100)");
+  flags.AddFlag("engine", "criu", "checkpoint engine: criu | delta");
+  flags.AddFlag("csv", "", "write per-request records to this CSV file");
+  flags.AddSwitch("no-noise", "disable client input-size noise");
+  flags.AddSwitch("list", "list benchmarks and exit");
+  flags.AddSwitch("help", "show usage");
+
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.UsageText("pronghorn_sim").c_str());
+    return 2;
+  }
+  if (flags.GetBool("help").value_or(false)) {
+    std::printf("%s", flags.UsageText("pronghorn_sim").c_str());
+    return 0;
+  }
+  if (flags.GetBool("list").value_or(false)) {
+    for (const auto& p : WorkloadRegistry::Default().profiles()) {
+      std::printf("%-14s %-5s %s%s\n", p.name.c_str(),
+                  std::string(RuntimeFamilyName(p.family)).c_str(),
+                  p.io_bound ? "io-bound" : "compute-bound",
+                  p.auxiliary ? " (auxiliary)" : "");
+    }
+    return 0;
+  }
+
+  const std::string benchmark = *flags.GetString("benchmark");
+  auto profile = WorkloadRegistry::Default().Find(benchmark);
+  if (!profile.ok()) {
+    return Fail(profile.status());
+  }
+
+  auto requests = flags.GetInt("requests");
+  auto seed = flags.GetInt("seed");
+  if (!requests.ok() || !seed.ok() || *requests <= 0) {
+    return Fail(InvalidArgumentError("--requests and --seed must be positive ints"));
+  }
+
+  const std::string eviction_spec = *flags.GetString("eviction");
+  auto eviction = MakeEviction(eviction_spec, static_cast<uint64_t>(*seed));
+  if (!eviction.ok()) {
+    return Fail(eviction.status());
+  }
+
+  PolicyConfig config;
+  const uint64_t eviction_k = std::strtoull(eviction_spec.c_str(), nullptr, 10);
+  config.beta = static_cast<uint32_t>(*flags.GetInt("beta"));
+  if (config.beta == 0) {
+    config.beta = eviction_k > 0 ? static_cast<uint32_t>(eviction_k) : 4;
+  }
+  config.pool_capacity = static_cast<uint32_t>(*flags.GetInt("pool"));
+  config.max_checkpoint_request = static_cast<uint32_t>(*flags.GetInt("w"));
+  if (config.max_checkpoint_request == 0) {
+    config.max_checkpoint_request =
+        (*profile)->family == RuntimeFamily::kJvm ? 200 : 100;
+  }
+  if (Status s = config.Validate(); !s.ok()) {
+    return Fail(s);
+  }
+
+  const std::string policy_name = *flags.GetString("policy");
+  std::unique_ptr<OrchestrationPolicy> owned_policy;
+  std::unique_ptr<RequestCentricPolicy> inner_policy;
+  if (policy_name == "cold") {
+    owned_policy = std::make_unique<ColdStartPolicy>(config);
+  } else if (policy_name == "after-first") {
+    owned_policy = std::make_unique<CheckpointAfterFirstPolicy>(config);
+  } else if (policy_name == "request-centric" || policy_name == "stop-condition") {
+    auto rc = RequestCentricPolicy::Create(config);
+    if (!rc.ok()) {
+      return Fail(rc.status());
+    }
+    if (policy_name == "request-centric") {
+      owned_policy = std::make_unique<RequestCentricPolicy>(*std::move(rc));
+    } else {
+      inner_policy = std::make_unique<RequestCentricPolicy>(*std::move(rc));
+      uint64_t budget = static_cast<uint64_t>(*flags.GetInt("explore-budget"));
+      if (budget == 0) {
+        budget = config.max_checkpoint_request + 100;  // The paper's bound.
+      }
+      owned_policy = std::make_unique<StopConditionPolicy>(*inner_policy, budget);
+    }
+  } else {
+    return Fail(InvalidArgumentError("unknown policy '" + policy_name + "'"));
+  }
+
+  SimulationOptions options;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.input_noise = !flags.GetBool("no-noise").value_or(false);
+  const std::string engine_name = *flags.GetString("engine");
+  if (engine_name == "delta") {
+    options.engine_kind = EngineKind::kDelta;
+  } else if (engine_name != "criu") {
+    return Fail(InvalidArgumentError("unknown engine '" + engine_name + "'"));
+  }
+  FunctionSimulation sim(**profile, WorkloadRegistry::Default(), *owned_policy,
+                         **eviction, options);
+  auto report = sim.RunClosedLoop(static_cast<uint64_t>(*requests));
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+
+  std::printf("%s policy=%s eviction=%s\n%s\n", benchmark.c_str(), policy_name.c_str(),
+              eviction_spec.c_str(), SummarizeReport(*report).c_str());
+
+  const std::string csv_path = *flags.GetString("csv");
+  if (!csv_path.empty()) {
+    if (Status s = WriteRecordsCsv(*report, csv_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %zu records to %s\n", report->records.size(), csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "src/platform/fleet_simulation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "src/common/crc32.h"
+#include "src/common/thread_pool.h"
+#include "src/platform/report_io.h"
+
+namespace pronghorn {
+
+namespace {
+
+// FNV-1a over the deployment name: a stable, platform-independent string
+// hash, folded with the fleet seed below. (std::hash is not portable across
+// standard libraries, which would break cross-platform reproducibility.)
+uint64_t StableNameHash(std::string_view name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EvictionModel>> FleetEvictionSpec::Instantiate(
+    uint64_t function_seed) const {
+  switch (kind) {
+    case Kind::kEveryK: {
+      PRONGHORN_ASSIGN_OR_RETURN(auto model, EveryKRequestsEviction::Create(k));
+      return std::unique_ptr<EvictionModel>(std::move(model));
+    }
+    case Kind::kGeometric: {
+      PRONGHORN_ASSIGN_OR_RETURN(
+          auto model, GeometricEviction::Create(mean_requests, function_seed));
+      return std::unique_ptr<EvictionModel>(std::move(model));
+    }
+    case Kind::kIdleTimeout:
+      if (idle_timeout <= Duration::Zero()) {
+        return InvalidArgumentError("idle timeout must be positive");
+      }
+      return std::unique_ptr<EvictionModel>(
+          std::make_unique<IdleTimeoutEviction>(idle_timeout));
+  }
+  return InvalidArgumentError("unknown eviction kind");
+}
+
+uint64_t FleetSimulation::FunctionSeed(uint64_t fleet_seed, std::string_view name) {
+  return HashCombine(fleet_seed, HashCombine(0xf1ee7ULL, StableNameHash(name)));
+}
+
+uint32_t FleetReport::Digest() const {
+  ByteWriter writer;
+  for (const FleetFunctionResult& result : per_function) {
+    writer.WriteString(result.function);
+    SerializeClusterReport(result.report, writer);
+  }
+  return Crc32(writer.data());
+}
+
+const ClusterReport* FleetReport::Find(std::string_view name) const {
+  for (const FleetFunctionResult& result : per_function) {
+    if (result.function == name) {
+      return &result.report;
+    }
+  }
+  return nullptr;
+}
+
+FleetSimulation::FleetSimulation(const WorkloadRegistry& registry, FleetOptions options)
+    : registry_(registry), options_(options) {}
+
+Status FleetSimulation::AddFunction(FleetFunctionSpec spec) {
+  if (spec.name.empty()) {
+    return InvalidArgumentError("deployment name must be non-empty");
+  }
+  if (spec.profile == nullptr || spec.policy == nullptr) {
+    return InvalidArgumentError("deployment '" + spec.name +
+                                "' needs a profile and a policy");
+  }
+  if (spec.requests == 0) {
+    return InvalidArgumentError("deployment '" + spec.name +
+                                "' needs a positive request count");
+  }
+  for (const FleetFunctionSpec& existing : functions_) {
+    if (existing.name == spec.name) {
+      return AlreadyExistsError("deployment '" + spec.name + "' already in fleet");
+    }
+  }
+  functions_.push_back(std::move(spec));
+  return OkStatus();
+}
+
+Result<ClusterReport> FleetSimulation::RunShard(const FleetFunctionSpec& spec) const {
+  // All shard randomness keys off (fleet seed, deployment name) — never off
+  // the thread or shard index — so results are schedule-independent.
+  const uint64_t function_seed = FunctionSeed(options_.seed, spec.name);
+  PRONGHORN_ASSIGN_OR_RETURN(std::unique_ptr<EvictionModel> eviction,
+                             options_.eviction.Instantiate(function_seed));
+  ClusterOptions cluster_options;
+  cluster_options.worker_slots = spec.worker_slots;
+  cluster_options.exploring_slots = spec.exploring_slots;
+  cluster_options.seed = function_seed;
+  cluster_options.input_noise = options_.input_noise;
+  cluster_options.costs = options_.costs;
+  ClusterSimulation cluster(*spec.profile, registry_, *spec.policy, *eviction,
+                            cluster_options);
+  return cluster.RunClosedLoop(spec.requests);
+}
+
+Result<FleetReport> FleetSimulation::Run() const {
+  if (functions_.empty()) {
+    return FailedPreconditionError("fleet has no deployments");
+  }
+
+  // Phase 1 — sharded execution. One task per deployment; the pool's
+  // work-stealing balances wildly uneven shard runtimes. Each slot is written
+  // by exactly one task, so the vector needs no lock.
+  std::vector<std::optional<Result<ClusterReport>>> shard_results(functions_.size());
+  const uint32_t threads =
+      options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
+  if (threads <= 1 || functions_.size() == 1) {
+    for (size_t i = 0; i < functions_.size(); ++i) {
+      shard_results[i].emplace(RunShard(functions_[i]));
+    }
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(functions_.size(), [this, &shard_results](size_t i) {
+      shard_results[i].emplace(RunShard(functions_[i]));
+    });
+  }
+
+  // Phase 2 — canonical merge: results are visited in deployment-name order,
+  // whatever order the shards finished in.
+  std::vector<size_t> order(functions_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return functions_[a].name < functions_[b].name;
+  });
+
+  FleetReport fleet;
+  fleet.per_function.reserve(functions_.size());
+  for (const size_t index : order) {
+    Result<ClusterReport>& shard = *shard_results[index];
+    if (!shard.ok()) {
+      return Status(shard.status().code(), "deployment '" + functions_[index].name +
+                                               "': " + shard.status().message());
+    }
+    ClusterReport& report = *shard;
+    for (const RequestRecord& record : report.records) {
+      fleet.fleet_latency.Add(static_cast<double>(record.latency.ToMicros()));
+    }
+    fleet.worker_lifetimes += report.worker_lifetimes;
+    fleet.checkpoints += report.checkpoints;
+    fleet.restores += report.restores;
+    fleet.cold_starts += report.cold_starts;
+    MergeAccounting(fleet.object_store, report.object_store);
+    MergeAccounting(fleet.database, report.database);
+    fleet.per_function.push_back(
+        FleetFunctionResult{functions_[index].name, std::move(report)});
+  }
+  return fleet;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,138 @@
+// Sharded, multi-threaded fleet simulation: many independent function
+// deployments, one merged report.
+//
+// The paper's §5.3 cost argument is fleet-scale: exploration overhead is
+// amortized because "only a nonempty subset of containers running a given
+// application need to be exploring". Trace-scale experiments therefore
+// simulate hundreds of function deployments, each a full ClusterSimulation
+// with its own Database, Object Store, snapshot pool, and policy scope.
+// Those deployments share nothing, so FleetSimulation partitions them into
+// shards and runs each on a work-stealing thread pool — no locks anywhere on
+// a request critical path.
+//
+// Determinism guarantee: the merged FleetReport is bit-identical for any
+// thread count. Two rules make that hold:
+//   1. Every RNG substream is derived per *function* (from the fleet seed and
+//      the deployment name via Rng-style hashing), never per thread, so a
+//      shard's event sequence does not depend on which thread runs it or on
+//      what else runs concurrently.
+//   2. The merge step orders per-function results canonically (by deployment
+//      name), independent of shard completion order.
+
+#ifndef PRONGHORN_SRC_PLATFORM_FLEET_SIMULATION_H_
+#define PRONGHORN_SRC_PLATFORM_FLEET_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/platform/cluster_simulation.h"
+
+namespace pronghorn {
+
+// How each deployment's eviction model is instantiated. Models with hidden
+// RNG state (geometric) must be per-function — sharing one across shards
+// would both race and couple the shards' draw sequences — so the fleet holds
+// a spec and instantiates one model per deployment from its function seed.
+struct FleetEvictionSpec {
+  enum class Kind {
+    kEveryK = 0,
+    kGeometric = 1,
+    kIdleTimeout = 2,
+  };
+  Kind kind = Kind::kEveryK;
+  uint64_t k = 4;                 // kEveryK
+  double mean_requests = 4.0;     // kGeometric
+  Duration idle_timeout = Duration::Seconds(600);  // kIdleTimeout
+
+  Result<std::unique_ptr<EvictionModel>> Instantiate(uint64_t function_seed) const;
+};
+
+// One function deployment in the fleet. `profile` and `policy` are borrowed
+// and must outlive the simulation. The policy must be stateless per call
+// (true of every policy in src/core except a live StopConditionPolicy's
+// request counter); give stateful policies one instance per deployment.
+struct FleetFunctionSpec {
+  std::string name;  // Unique deployment name; also keys the RNG substream.
+  const WorkloadProfile* profile = nullptr;
+  const OrchestrationPolicy* policy = nullptr;
+  uint64_t requests = 500;  // Closed-loop request count for this deployment.
+  uint32_t worker_slots = 4;
+  uint32_t exploring_slots = 1;
+};
+
+struct FleetOptions {
+  uint64_t seed = 1;
+  // Worker threads for the shard pool; 0 = ThreadPool::DefaultThreadCount().
+  uint32_t threads = 0;
+  bool input_noise = true;
+  FleetEvictionSpec eviction;
+  OrchestratorCostModel costs;
+};
+
+struct FleetFunctionResult {
+  std::string function;
+  ClusterReport report;
+};
+
+// Canonically merged fleet results: per_function is sorted by deployment
+// name and every aggregate is accumulated in that order, so the report is
+// byte-identical however the shards were scheduled.
+struct FleetReport {
+  std::vector<FleetFunctionResult> per_function;
+
+  // All functions' per-request latencies, merged in canonical order.
+  DistributionSummary fleet_latency;
+
+  uint64_t worker_lifetimes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t restores = 0;
+  uint64_t cold_starts = 0;
+
+  // Field-wise sums over the shard-local stores. Peaks sum because the
+  // deployments' stores coexist in time: the fleet's footprint bound is the
+  // sum of each store's high-water mark.
+  StoreAccounting object_store;
+  KvAccounting database;
+
+  // CRC32 over the canonical serialization of every per-function
+  // ClusterReport (report_io's SerializeClusterReport), in name order. Equal
+  // digests mean bit-identical fleet results.
+  uint32_t Digest() const;
+
+  // Per-function lookup; nullptr when `name` is not in the fleet.
+  const ClusterReport* Find(std::string_view name) const;
+};
+
+class FleetSimulation {
+ public:
+  FleetSimulation(const WorkloadRegistry& registry, FleetOptions options);
+
+  // Registers one deployment. Fails on a duplicate or empty name, or a null
+  // profile/policy.
+  Status AddFunction(FleetFunctionSpec spec);
+
+  size_t function_count() const { return functions_.size(); }
+
+  // Runs every deployment's closed loop across the shard pool and merges the
+  // results. Each call is an independent experiment: shards are constructed
+  // fresh, so learned state does not persist across calls.
+  Result<FleetReport> Run() const;
+
+  // The RNG substream seed for a deployment: HashCombine of the fleet seed
+  // with a stable hash of the deployment name. Depends only on (seed, name) —
+  // not on thread count, fleet composition, or registration order.
+  static uint64_t FunctionSeed(uint64_t fleet_seed, std::string_view name);
+
+ private:
+  Result<ClusterReport> RunShard(const FleetFunctionSpec& spec) const;
+
+  const WorkloadRegistry& registry_;
+  FleetOptions options_;
+  std::vector<FleetFunctionSpec> functions_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_FLEET_SIMULATION_H_

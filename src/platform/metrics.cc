@@ -23,4 +23,21 @@ DistributionSummary SimulationReport::LatencySummaryForMaturity(uint64_t lo,
 
 double SimulationReport::MedianLatencyUs() const { return LatencySummary().Median(); }
 
+void MergeAccounting(StoreAccounting& into, const StoreAccounting& from) {
+  into.logical_bytes_stored += from.logical_bytes_stored;
+  into.peak_logical_bytes += from.peak_logical_bytes;
+  into.network_bytes_uploaded += from.network_bytes_uploaded;
+  into.network_bytes_downloaded += from.network_bytes_downloaded;
+  into.put_count += from.put_count;
+  into.get_count += from.get_count;
+  into.delete_count += from.delete_count;
+}
+
+void MergeAccounting(KvAccounting& into, const KvAccounting& from) {
+  into.reads += from.reads;
+  into.writes += from.writes;
+  into.cas_attempts += from.cas_attempts;
+  into.cas_conflicts += from.cas_conflicts;
+}
+
 }  // namespace pronghorn

@@ -60,6 +60,14 @@ struct SimulationReport {
   double MedianLatencyUs() const;
 };
 
+// Accounting merges for sharded runs. Every field is a sum — including the
+// store peak, because shard-local stores coexist in time, so the fleet's
+// footprint bound is the sum of per-store high-water marks. Sums commute, so
+// folding shard accountings in any order yields the same totals; the fleet
+// merge still folds in canonical (name) order for bit-stable reports.
+void MergeAccounting(StoreAccounting& into, const StoreAccounting& from);
+void MergeAccounting(KvAccounting& into, const KvAccounting& from);
+
 }  // namespace pronghorn
 
 #endif  // PRONGHORN_SRC_PLATFORM_METRICS_H_

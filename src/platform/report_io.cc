@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/crc32.h"
+
 namespace pronghorn {
 
 namespace {
@@ -113,6 +115,62 @@ Result<std::vector<RequestRecord>> ReadRecordsCsv(const std::string& path) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   return RecordsFromCsv(buffer.str());
+}
+
+namespace {
+
+void SerializeSummary(const DistributionSummary& summary, ByteWriter& writer) {
+  writer.WriteVarint(summary.count());
+  for (const double sample : summary.samples()) {
+    writer.WriteDouble(sample);
+  }
+}
+
+void SerializeStoreAccounting(const StoreAccounting& accounting, ByteWriter& writer) {
+  writer.WriteUint64(accounting.logical_bytes_stored);
+  writer.WriteUint64(accounting.peak_logical_bytes);
+  writer.WriteUint64(accounting.network_bytes_uploaded);
+  writer.WriteUint64(accounting.network_bytes_downloaded);
+  writer.WriteUint64(accounting.put_count);
+  writer.WriteUint64(accounting.get_count);
+  writer.WriteUint64(accounting.delete_count);
+}
+
+void SerializeKvAccounting(const KvAccounting& accounting, ByteWriter& writer) {
+  writer.WriteUint64(accounting.reads);
+  writer.WriteUint64(accounting.writes);
+  writer.WriteUint64(accounting.cas_attempts);
+  writer.WriteUint64(accounting.cas_conflicts);
+}
+
+}  // namespace
+
+void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
+  writer.WriteVarint(report.records.size());
+  for (const RequestRecord& record : report.records) {
+    writer.WriteVarint(record.global_index);
+    writer.WriteVarint(record.request_number);
+    writer.WriteInt64(record.latency.ToMicros());
+    const uint8_t flags = static_cast<uint8_t>((record.first_of_lifetime ? 1 : 0) |
+                                               (record.cold_start ? 2 : 0) |
+                                               (record.checkpoint_after ? 4 : 0));
+    writer.WriteUint8(flags);
+  }
+  SerializeSummary(report.exploring_latency, writer);
+  SerializeSummary(report.exploiting_latency, writer);
+  writer.WriteUint64(report.worker_lifetimes);
+  writer.WriteUint64(report.checkpoints);
+  writer.WriteUint64(report.restores);
+  writer.WriteUint64(report.cold_starts);
+  SerializeStoreAccounting(report.object_store, writer);
+  SerializeKvAccounting(report.database, writer);
+}
+
+uint32_t ClusterReportCrc32(const ClusterReport& report) {
+  ByteWriter writer;
+  writer.Reserve(report.records.size() * 12);
+  SerializeClusterReport(report, writer);
+  return Crc32(writer.data());
 }
 
 std::string SummarizeReport(const SimulationReport& report) {

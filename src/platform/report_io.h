@@ -7,6 +7,8 @@
 
 #include <string>
 
+#include "src/common/bytes.h"
+#include "src/platform/cluster_simulation.h"
 #include "src/platform/metrics.h"
 
 namespace pronghorn {
@@ -21,6 +23,16 @@ Result<std::vector<RequestRecord>> ReadRecordsCsv(const std::string& path);
 
 // One-line key=value summary of a report (counters + medians) for logs.
 std::string SummarizeReport(const SimulationReport& report);
+
+// Canonical binary serialization of a ClusterReport: every record field,
+// both role-split latency distributions (samples in recorded order), all
+// counters, and both accountings. Two reports serialize to the same bytes
+// iff the simulations behind them took identical decisions, which is what
+// the fleet determinism guarantee (and its test) hashes.
+void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer);
+
+// CRC32 over SerializeClusterReport's bytes.
+uint32_t ClusterReportCrc32(const ClusterReport& report);
 
 }  // namespace pronghorn
 

@@ -1,0 +1,230 @@
+// Golden determinism tests for the sharded fleet simulation: the merged
+// fleet report must be bit-identical whatever the thread count and whatever
+// order deployments were registered or shards finished in. Bitwise equality
+// is asserted via CRC32 over the canonical ClusterReport serialization.
+
+#include "src/platform/fleet_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/request_centric_policy.h"
+#include "src/platform/report_io.h"
+
+namespace pronghorn {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+constexpr size_t kFunctions = 6;
+constexpr uint64_t kRequestsPerFunction = 120;
+
+PolicyConfig SmallConfig() {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 6;
+  config.max_checkpoint_request = 30;
+  return config;
+}
+
+RequestCentricPolicy MakePolicy() {
+  auto policy = RequestCentricPolicy::Create(SmallConfig());
+  EXPECT_TRUE(policy.ok());
+  return *std::move(policy);
+}
+
+std::vector<const WorkloadProfile*> TestProfiles() {
+  const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
+  std::vector<const WorkloadProfile*> profiles;
+  for (size_t i = 0; i < kFunctions; ++i) {
+    profiles.push_back(evaluation[i % evaluation.size()]);
+  }
+  return profiles;
+}
+
+FleetReport MustRun(const OrchestrationPolicy& policy, uint32_t threads,
+                    bool reverse_registration = false,
+                    FleetEvictionSpec eviction = FleetEvictionSpec{}) {
+  FleetOptions options;
+  options.seed = kSeed;
+  options.threads = threads;
+  options.eviction = eviction;
+  FleetSimulation fleet(WorkloadRegistry::Default(), options);
+
+  const auto profiles = TestProfiles();
+  std::vector<size_t> order(profiles.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = reverse_registration ? order.size() - 1 - i : i;
+  }
+  for (const size_t i : order) {
+    FleetFunctionSpec spec;
+    spec.name = "fn" + std::to_string(i) + "-" + profiles[i]->name;
+    spec.profile = profiles[i];
+    spec.policy = &policy;
+    spec.requests = kRequestsPerFunction;
+    spec.worker_slots = 3;
+    spec.exploring_slots = 1;
+    EXPECT_TRUE(fleet.AddFunction(std::move(spec)).ok());
+  }
+  auto report = fleet.Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *std::move(report);
+}
+
+TEST(FleetSimulationTest, MergedReportBitIdenticalAcrossThreadCounts) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const FleetReport one = MustRun(policy, 1);
+  const FleetReport two = MustRun(policy, 2);
+  const FleetReport eight = MustRun(policy, 8);
+
+  // The headline guarantee: one CRC32 over every serialized ClusterReport.
+  EXPECT_EQ(one.Digest(), two.Digest());
+  EXPECT_EQ(one.Digest(), eight.Digest());
+
+  // And the per-function summaries behind it, function by function.
+  ASSERT_EQ(one.per_function.size(), kFunctions);
+  ASSERT_EQ(eight.per_function.size(), kFunctions);
+  for (size_t i = 0; i < kFunctions; ++i) {
+    const auto& [name_a, report_a] = one.per_function[i];
+    const auto& [name_b, report_b] = eight.per_function[i];
+    EXPECT_EQ(name_a, name_b);
+    EXPECT_EQ(ClusterReportCrc32(report_a), ClusterReportCrc32(report_b));
+    EXPECT_EQ(report_a.records.size(), report_b.records.size());
+    EXPECT_EQ(report_a.checkpoints, report_b.checkpoints);
+    EXPECT_EQ(report_a.restores, report_b.restores);
+    EXPECT_EQ(report_a.LatencySummary().Median(), report_b.LatencySummary().Median());
+  }
+
+  // Fleet-level aggregates are derived from the same bytes.
+  EXPECT_EQ(one.fleet_latency.count(), eight.fleet_latency.count());
+  EXPECT_EQ(one.fleet_latency.Quantile(50), eight.fleet_latency.Quantile(50));
+  EXPECT_EQ(one.checkpoints, eight.checkpoints);
+  EXPECT_EQ(one.database.reads, eight.database.reads);
+  EXPECT_EQ(one.object_store.network_bytes_uploaded,
+            eight.object_store.network_bytes_uploaded);
+}
+
+TEST(FleetSimulationTest, RegistrationOrderDoesNotChangeTheMergedReport) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const FleetReport forward = MustRun(policy, 4, /*reverse_registration=*/false);
+  const FleetReport reversed = MustRun(policy, 4, /*reverse_registration=*/true);
+  EXPECT_EQ(forward.Digest(), reversed.Digest());
+}
+
+TEST(FleetSimulationTest, GeometricEvictionStaysDeterministicAcrossThreads) {
+  // Geometric eviction draws from hidden RNG state; the fleet instantiates
+  // one model per function from the function seed, so thread scheduling must
+  // not leak into the draw sequences.
+  const RequestCentricPolicy policy = MakePolicy();
+  FleetEvictionSpec eviction;
+  eviction.kind = FleetEvictionSpec::Kind::kGeometric;
+  eviction.mean_requests = 4.0;
+  const FleetReport one = MustRun(policy, 1, false, eviction);
+  const FleetReport four = MustRun(policy, 4, false, eviction);
+  EXPECT_EQ(one.Digest(), four.Digest());
+}
+
+TEST(FleetSimulationTest, FleetCountersAreSumsOfPerFunctionCounters) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const FleetReport report = MustRun(policy, 2);
+  uint64_t lifetimes = 0, checkpoints = 0, restores = 0, cold = 0, records = 0;
+  uint64_t kv_reads = 0;
+  for (const auto& [name, cluster] : report.per_function) {
+    lifetimes += cluster.worker_lifetimes;
+    checkpoints += cluster.checkpoints;
+    restores += cluster.restores;
+    cold += cluster.cold_starts;
+    records += cluster.records.size();
+    kv_reads += cluster.database.reads;
+  }
+  EXPECT_EQ(report.worker_lifetimes, lifetimes);
+  EXPECT_EQ(report.checkpoints, checkpoints);
+  EXPECT_EQ(report.restores, restores);
+  EXPECT_EQ(report.cold_starts, cold);
+  EXPECT_EQ(report.fleet_latency.count(), records);
+  EXPECT_EQ(report.fleet_latency.count(), kFunctions * kRequestsPerFunction);
+  EXPECT_EQ(report.database.reads, kv_reads);
+}
+
+TEST(FleetSimulationTest, PerFunctionResultsSortedByNameAndFindable) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const FleetReport report = MustRun(policy, 2);
+  ASSERT_EQ(report.per_function.size(), kFunctions);
+  EXPECT_TRUE(std::is_sorted(
+      report.per_function.begin(), report.per_function.end(),
+      [](const auto& a, const auto& b) { return a.function < b.function; }));
+  const auto profiles = TestProfiles();
+  const std::string name = "fn0-" + profiles[0]->name;
+  ASSERT_NE(report.Find(name), nullptr);
+  EXPECT_EQ(report.Find(name)->records.size(), kRequestsPerFunction);
+  EXPECT_EQ(report.Find("no-such-deployment"), nullptr);
+}
+
+TEST(FleetSimulationTest, FunctionSeedDependsOnSeedAndNameOnly) {
+  EXPECT_EQ(FleetSimulation::FunctionSeed(1, "alpha"),
+            FleetSimulation::FunctionSeed(1, "alpha"));
+  EXPECT_NE(FleetSimulation::FunctionSeed(1, "alpha"),
+            FleetSimulation::FunctionSeed(1, "beta"));
+  EXPECT_NE(FleetSimulation::FunctionSeed(1, "alpha"),
+            FleetSimulation::FunctionSeed(2, "alpha"));
+}
+
+TEST(FleetSimulationTest, RejectsInvalidDeployments) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const auto profiles = TestProfiles();
+  FleetSimulation fleet(WorkloadRegistry::Default(), FleetOptions{});
+
+  FleetFunctionSpec good;
+  good.name = "fn";
+  good.profile = profiles[0];
+  good.policy = &policy;
+  EXPECT_TRUE(fleet.AddFunction(good).ok());
+  EXPECT_EQ(fleet.AddFunction(good).code(), StatusCode::kAlreadyExists);
+
+  FleetFunctionSpec unnamed = good;
+  unnamed.name.clear();
+  EXPECT_EQ(fleet.AddFunction(unnamed).code(), StatusCode::kInvalidArgument);
+
+  FleetFunctionSpec no_profile = good;
+  no_profile.name = "fn2";
+  no_profile.profile = nullptr;
+  EXPECT_EQ(fleet.AddFunction(no_profile).code(), StatusCode::kInvalidArgument);
+
+  FleetFunctionSpec no_requests = good;
+  no_requests.name = "fn3";
+  no_requests.requests = 0;
+  EXPECT_EQ(fleet.AddFunction(no_requests).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FleetSimulationTest, EmptyFleetFailsToRun) {
+  FleetSimulation fleet(WorkloadRegistry::Default(), FleetOptions{});
+  EXPECT_EQ(fleet.Run().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FleetSimulationTest, DistinctSeedsProduceDistinctFleets) {
+  const RequestCentricPolicy policy = MakePolicy();
+  FleetOptions options_a;
+  options_a.seed = 7;
+  FleetOptions options_b;
+  options_b.seed = 8;
+  std::set<uint32_t> digests;
+  for (const FleetOptions& options : {options_a, options_b}) {
+    FleetSimulation fleet(WorkloadRegistry::Default(), options);
+    FleetFunctionSpec spec;
+    spec.name = "fn";
+    spec.profile = TestProfiles()[0];
+    spec.policy = &policy;
+    spec.requests = 60;
+    ASSERT_TRUE(fleet.AddFunction(std::move(spec)).ok());
+    auto report = fleet.Run();
+    ASSERT_TRUE(report.ok());
+    digests.insert(report->Digest());
+  }
+  EXPECT_EQ(digests.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -4,6 +4,9 @@
 
 #include <map>
 #include <set>
+#include <vector>
+
+#include "src/common/mathutil.h"
 
 namespace pronghorn {
 namespace {
@@ -306,6 +309,81 @@ INSTANTIATE_TEST_SUITE_P(Bounds, CheckpointPlanBounds,
                                            PlanBoundsCase{20, 200, 0},
                                            PlanBoundsCase{20, 200, 199},
                                            PlanBoundsCase{20, 200, 200}));
+
+// Property: for ANY learned state — unexplored, partially explored, fully
+// explored — softmax over the snapshot weights is a valid probability
+// distribution: one entry per pool snapshot, every entry non-negative,
+// entries summing to 1. This is the restore-selection soundness the policy's
+// weighted draw relies on.
+TEST(RequestCentricPolicyPropertyTest, SoftmaxRestoreWeightsFormADistribution) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const PolicyConfig& config = policy.config();
+  Rng rng(0xd15717);
+  for (int trial = 0; trial < 200; ++trial) {
+    PolicyState state(config);
+
+    // Random pool: 1..pool_capacity snapshots at random request numbers.
+    const size_t pool_size =
+        1 + static_cast<size_t>(rng.UniformUint64(config.pool_capacity));
+    for (size_t i = 0; i < pool_size; ++i) {
+      PoolEntry entry = Entry(i + 1, rng.UniformUint64(config.max_checkpoint_request));
+      // Duplicate request numbers are fine; duplicate ids are not.
+      ASSERT_TRUE(state.pool.Add(entry).ok());
+    }
+
+    // Random theta. Trial 0 keeps it all-zero (nothing explored yet); other
+    // trials explore a random subset, so unexplored holes remain common.
+    if (trial != 0) {
+      const uint32_t length = state.theta.length();
+      for (uint32_t i = 0; i < length; ++i) {
+        if (rng.Bernoulli(0.5)) {
+          state.theta.Update(i, rng.UniformDouble(1e-4, 3.0), config.alpha);
+        }
+      }
+    }
+
+    const std::vector<double> weights = policy.SnapshotWeights(state);
+    const std::vector<double> probabilities =
+        Softmax(weights, config.softmax_temperature);
+    ASSERT_EQ(probabilities.size(), pool_size);
+    double sum = 0.0;
+    for (const double p : probabilities) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "trial " << trial;
+  }
+}
+
+// Property: the policy's knowledge update matches the scalar EWMA reference
+// theta[R] <- alpha * L + (1 - alpha) * theta[R] (with a first observation
+// initializing the entry) over a long fuzzed (R, L) sequence.
+TEST(RequestCentricPolicyPropertyTest, EwmaUpdateMatchesScalarReference) {
+  const RequestCentricPolicy policy = MakePolicy();
+  const PolicyConfig& config = policy.config();
+  PolicyState state(config);
+  const uint32_t length = state.theta.length();
+  std::vector<double> reference(length, 0.0);
+
+  Rng rng(0xe33a);
+  for (int step = 0; step < 1000; ++step) {
+    const uint64_t request_number = rng.UniformUint64(length);
+    // Integral microseconds, so Duration round-trips exactly and the
+    // reference sees the same sample value the policy does.
+    const int64_t latency_us = rng.UniformInt(1, 5000000);
+    policy.OnRequestComplete(state, request_number, Duration::Micros(latency_us));
+
+    const double sample = static_cast<double>(latency_us) / 1e6;
+    double& entry = reference[request_number];
+    entry = entry == 0.0 ? sample : config.alpha * sample + (1 - config.alpha) * entry;
+
+    ASSERT_DOUBLE_EQ(state.theta.At(request_number), entry) << "step " << step;
+  }
+  for (uint32_t i = 0; i < length; ++i) {
+    EXPECT_DOUBLE_EQ(state.theta.At(i), reference[i]) << "theta[" << i << "]";
+  }
+}
 
 }  // namespace
 }  // namespace pronghorn

@@ -1,0 +1,158 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pronghorn {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, ExplicitThreadCountHonored) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> forty_two = pool.Submit([]() { return 42; });
+  std::future<std::string> text = pool.Submit([]() { return std::string("shard"); });
+  EXPECT_EQ(forty_two.get(), 42);
+  EXPECT_EQ(text.get(), "shard");
+}
+
+TEST(ThreadPoolTest, SubmitVoidTaskRuns) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran]() { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future =
+      pool.Submit([]() -> int { throw std::runtime_error("shard failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FailedTaskDoesNotPoisonLaterTasks) {
+  ThreadPool pool(1);
+  std::future<int> bad = pool.Submit([]() -> int { throw std::logic_error("bad"); });
+  std::future<int> good = pool.Submit([]() { return 7; });
+  EXPECT_THROW(bad.get(), std::logic_error);
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 500;
+  std::vector<std::atomic<int>> visits(kTasks);
+  pool.ParallelFor(kTasks, [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAfterAllTasksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&completed](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("unlucky");
+                                  }
+                                  completed.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // Every non-throwing task still ran: one failure does not cancel the batch.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, UnevenTasksAllCompleteAcrossQueues) {
+  // Round-robin placement puts the slow tasks on a subset of queues; the
+  // other workers must steal the remaining fast tasks rather than idle.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  constexpr size_t kTasks = 64;
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([i, &done]() {
+      if (i % 4 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      done.fetch_add(1);
+    }));
+  }
+  for (auto& future : futures) {
+    future.get();
+  }
+  EXPECT_EQ(done.load(), static_cast<int>(kTasks));
+}
+
+TEST(ThreadPoolTest, NoTaskLossUnderConcurrentSubmission) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 250;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<void>>> futures(kSubmitters);
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter, &futures, s]() {
+      futures[static_cast<size_t>(s)].reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures[static_cast<size_t>(s)].push_back(
+            pool.Submit([&counter]() { counter.fetch_add(1); }));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) {
+    submitter.join();
+  }
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      future.get();
+    }
+  }
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      // The first tasks sleep briefly so a backlog builds up behind them;
+      // the destructor must run that backlog, not drop it.
+      pool.Submit([i, &executed]() {
+        if (i < 4) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        executed.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletesEverything) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(100, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace pronghorn

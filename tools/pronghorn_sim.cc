@@ -1,23 +1,35 @@
 // pronghorn_sim: command-line driver for the simulator.
 //
-// Runs one benchmark under one policy and eviction regime, prints a summary,
-// and optionally exports the per-request records as CSV (the artifact's
-// results/ format) for external plotting.
+// Single-function mode runs one benchmark under one policy and eviction
+// regime, prints a summary, and optionally exports the per-request records as
+// CSV (the artifact's results/ format) for external plotting.
 //
-//   pronghorn_sim --benchmark DynamicHTML --policy request-centric \
+//   pronghorn_sim --benchmark DynamicHTML --policy request-centric
 //                 --eviction 1 --requests 500 --seed 42 --csv out.csv
+//
+// Fleet mode (--fleet N) deploys N functions cycling through the paper's
+// evaluation set and runs them as independent shards on a work-stealing
+// thread pool (--threads, default hardware concurrency). The merged report
+// is bit-identical for any thread count; the printed digest makes that
+// checkable from the shell:
+//
+//   pronghorn_sim --fleet 100 --requests 200 --threads 8 --seed 42
 //
 // Policies: cold | after-first | request-centric | stop-condition
 // Eviction: integer k (every-k), "geometric:<mean>", or "idle:<seconds>".
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/thread_pool.h"
 #include "src/core/baseline_policies.h"
 #include "src/core/request_centric_policy.h"
 #include "src/core/stop_condition_policy.h"
+#include "src/platform/fleet_simulation.h"
 #include "src/platform/function_simulation.h"
 #include "src/platform/report_io.h"
 
@@ -50,6 +62,199 @@ Result<std::unique_ptr<EvictionModel>> MakeEviction(const std::string& spec,
   return std::unique_ptr<EvictionModel>(std::move(model));
 }
 
+// The same spec grammar for fleet mode, where each deployment instantiates
+// its own model from its function seed.
+Result<FleetEvictionSpec> ParseFleetEviction(const std::string& spec) {
+  FleetEvictionSpec parsed;
+  if (spec.rfind("geometric:", 0) == 0) {
+    parsed.kind = FleetEvictionSpec::Kind::kGeometric;
+    parsed.mean_requests = std::strtod(spec.c_str() + 10, nullptr);
+    if (parsed.mean_requests < 1.0) {
+      return InvalidArgumentError("geometric mean must be >= 1");
+    }
+    return parsed;
+  }
+  if (spec.rfind("idle:", 0) == 0) {
+    const double seconds = std::strtod(spec.c_str() + 5, nullptr);
+    if (seconds <= 0) {
+      return InvalidArgumentError("idle timeout must be positive");
+    }
+    parsed.kind = FleetEvictionSpec::Kind::kIdleTimeout;
+    parsed.idle_timeout = Duration::Seconds(seconds);
+    return parsed;
+  }
+  parsed.kind = FleetEvictionSpec::Kind::kEveryK;
+  parsed.k = std::strtoull(spec.c_str(), nullptr, 10);
+  if (parsed.k == 0) {
+    return InvalidArgumentError("eviction k must be >= 1");
+  }
+  return parsed;
+}
+
+Result<PolicyConfig> MakeConfig(const WorkloadProfile& profile, const FlagParser& flags,
+                                uint64_t eviction_k) {
+  PolicyConfig config;
+  config.beta = static_cast<uint32_t>(*flags.GetInt("beta"));
+  if (config.beta == 0) {
+    config.beta = eviction_k > 0 ? static_cast<uint32_t>(eviction_k) : 4;
+  }
+  config.pool_capacity = static_cast<uint32_t>(*flags.GetInt("pool"));
+  config.max_checkpoint_request = static_cast<uint32_t>(*flags.GetInt("w"));
+  if (config.max_checkpoint_request == 0) {
+    config.max_checkpoint_request = profile.family == RuntimeFamily::kJvm ? 200 : 100;
+  }
+  PRONGHORN_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+// A policy plus whatever inner policy it wraps (stop-condition keeps per-
+// instance exploration state, so fleet mode builds one pair per deployment).
+struct OwnedPolicy {
+  std::unique_ptr<OrchestrationPolicy> policy;
+  std::unique_ptr<RequestCentricPolicy> inner;
+};
+
+Result<OwnedPolicy> BuildPolicy(const std::string& name, const PolicyConfig& config,
+                                uint64_t explore_budget) {
+  OwnedPolicy owned;
+  if (name == "cold") {
+    owned.policy = std::make_unique<ColdStartPolicy>(config);
+  } else if (name == "after-first") {
+    owned.policy = std::make_unique<CheckpointAfterFirstPolicy>(config);
+  } else if (name == "request-centric" || name == "stop-condition") {
+    PRONGHORN_ASSIGN_OR_RETURN(auto rc, RequestCentricPolicy::Create(config));
+    if (name == "request-centric") {
+      owned.policy = std::make_unique<RequestCentricPolicy>(std::move(rc));
+    } else {
+      owned.inner = std::make_unique<RequestCentricPolicy>(std::move(rc));
+      uint64_t budget = explore_budget;
+      if (budget == 0) {
+        budget = config.max_checkpoint_request + 100;  // The paper's bound.
+      }
+      owned.policy = std::make_unique<StopConditionPolicy>(*owned.inner, budget);
+    }
+  } else {
+    return InvalidArgumentError("unknown policy '" + name + "'");
+  }
+  return owned;
+}
+
+int RunFleet(const FlagParser& flags, uint64_t seed, uint64_t requests) {
+  const int64_t fleet_size = *flags.GetInt("fleet");
+  const int64_t threads = *flags.GetInt("threads");
+  const int64_t slots = *flags.GetInt("slots");
+  const int64_t exploring = *flags.GetInt("exploring");
+  if (threads < 0 || threads > ThreadPool::kMaxThreads) {
+    return Fail(InvalidArgumentError("--threads must be in [0, " +
+                                     std::to_string(ThreadPool::kMaxThreads) + "]"));
+  }
+  if (slots <= 0 || exploring < 0) {
+    return Fail(InvalidArgumentError("--slots must be > 0 and --exploring >= 0"));
+  }
+  const std::string eviction_spec = *flags.GetString("eviction");
+  auto eviction = ParseFleetEviction(eviction_spec);
+  if (!eviction.ok()) {
+    return Fail(eviction.status());
+  }
+  const uint64_t eviction_k =
+      eviction->kind == FleetEvictionSpec::Kind::kEveryK ? eviction->k : 0;
+
+  FleetOptions options;
+  options.seed = seed;
+  options.threads = static_cast<uint32_t>(threads);
+  options.input_noise = !flags.GetBool("no-noise").value_or(false);
+  options.eviction = *eviction;
+  if (*flags.GetString("engine") == "delta") {
+    std::fprintf(stderr, "note: fleet mode always uses the criu engine\n");
+  }
+
+  const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
+  FleetSimulation fleet(WorkloadRegistry::Default(), options);
+  std::vector<OwnedPolicy> policies;
+  policies.reserve(static_cast<size_t>(fleet_size));
+  const std::string policy_name = *flags.GetString("policy");
+  for (int64_t i = 0; i < fleet_size; ++i) {
+    const WorkloadProfile& profile =
+        *evaluation[static_cast<size_t>(i) % evaluation.size()];
+    auto config = MakeConfig(profile, flags, eviction_k);
+    if (!config.ok()) {
+      return Fail(config.status());
+    }
+    auto policy = BuildPolicy(policy_name, *config,
+                              static_cast<uint64_t>(*flags.GetInt("explore-budget")));
+    if (!policy.ok()) {
+      return Fail(policy.status());
+    }
+    policies.push_back(std::move(*policy));
+
+    char name[64];
+    std::snprintf(name, sizeof(name), "f%04lld-%s", static_cast<long long>(i),
+                  profile.name.c_str());
+    FleetFunctionSpec spec;
+    spec.name = name;
+    spec.profile = &profile;
+    spec.policy = policies.back().policy.get();
+    spec.requests = requests;
+    spec.worker_slots = static_cast<uint32_t>(slots);
+    spec.exploring_slots = static_cast<uint32_t>(exploring);
+    if (Status s = fleet.AddFunction(std::move(spec)); !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  auto report = fleet.Run();
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  const uint32_t effective_threads =
+      options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads;
+  std::printf("fleet=%lld policy=%s eviction=%s threads=%u\n",
+              static_cast<long long>(fleet_size), policy_name.c_str(),
+              eviction_spec.c_str(), effective_threads);
+  std::printf("requests=%zu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%llu "
+              "cold=%llu restores=%llu checkpoints=%llu digest=%08x\n",
+              report->fleet_latency.count(), report->fleet_latency.Quantile(50),
+              report->fleet_latency.Quantile(90), report->fleet_latency.Quantile(99),
+              static_cast<unsigned long long>(report->worker_lifetimes),
+              static_cast<unsigned long long>(report->cold_starts),
+              static_cast<unsigned long long>(report->restores),
+              static_cast<unsigned long long>(report->checkpoints),
+              report->Digest());
+
+  const size_t shown = std::min<size_t>(report->per_function.size(), 8);
+  for (size_t i = 0; i < shown; ++i) {
+    const auto& [function, cluster] = report->per_function[i];
+    std::printf("  %-24s p50_us=%9.0f checkpoints=%4llu restores=%4llu\n",
+                function.c_str(), cluster.LatencySummary().Median(),
+                static_cast<unsigned long long>(cluster.checkpoints),
+                static_cast<unsigned long long>(cluster.restores));
+  }
+  if (report->per_function.size() > shown) {
+    std::printf("  ... %zu more deployments\n", report->per_function.size() - shown);
+  }
+
+  const std::string csv_path = *flags.GetString("csv");
+  if (!csv_path.empty()) {
+    // Merged records in canonical (name) order, renumbered globally.
+    std::vector<RequestRecord> merged;
+    merged.reserve(report->fleet_latency.count());
+    for (const auto& [function, cluster] : report->per_function) {
+      for (RequestRecord record : cluster.records) {
+        record.global_index = merged.size();
+        merged.push_back(record);
+      }
+    }
+    SimulationReport csv_report;
+    csv_report.records = std::move(merged);
+    if (Status s = WriteRecordsCsv(csv_report, csv_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %zu records to %s\n", csv_report.records.size(),
+                csv_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,7 +263,7 @@ int main(int argc, char** argv) {
   flags.AddFlag("policy", "request-centric",
                 "cold | after-first | request-centric | stop-condition");
   flags.AddFlag("eviction", "1", "k | geometric:<mean> | idle:<seconds>");
-  flags.AddFlag("requests", "500", "number of invocations");
+  flags.AddFlag("requests", "500", "number of invocations (per function in fleet mode)");
   flags.AddFlag("seed", "42", "experiment seed");
   flags.AddFlag("beta", "0", "policy beta (0 = derive from eviction k)");
   flags.AddFlag("pool", "12", "snapshot pool capacity C");
@@ -66,6 +271,14 @@ int main(int argc, char** argv) {
   flags.AddFlag("explore-budget", "0",
                 "stop-condition: freeze after this many requests (0 = W+100)");
   flags.AddFlag("engine", "criu", "checkpoint engine: criu | delta");
+  flags.AddFlag("fleet", "0",
+                "deploy this many functions (cycling the evaluation set) and run "
+                "them as parallel shards; 0 = single-function mode");
+  flags.AddFlag("threads", "0",
+                "fleet shard threads (0 = hardware concurrency); results are "
+                "bit-identical for any value");
+  flags.AddFlag("slots", "4", "fleet: worker slots per function");
+  flags.AddFlag("exploring", "1", "fleet: exploring slots per function");
   flags.AddFlag("csv", "", "write per-request records to this CSV file");
   flags.AddSwitch("no-noise", "disable client input-size noise");
   flags.AddSwitch("list", "list benchmarks and exit");
@@ -90,16 +303,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::string benchmark = *flags.GetString("benchmark");
-  auto profile = WorkloadRegistry::Default().Find(benchmark);
-  if (!profile.ok()) {
-    return Fail(profile.status());
-  }
-
   auto requests = flags.GetInt("requests");
   auto seed = flags.GetInt("seed");
   if (!requests.ok() || !seed.ok() || *requests <= 0) {
     return Fail(InvalidArgumentError("--requests and --seed must be positive ints"));
+  }
+
+  auto fleet_size = flags.GetInt("fleet");
+  if (!fleet_size.ok() || *fleet_size < 0) {
+    return Fail(InvalidArgumentError("--fleet must be a non-negative int"));
+  }
+  if (*fleet_size > 0) {
+    return RunFleet(flags, static_cast<uint64_t>(*seed),
+                    static_cast<uint64_t>(*requests));
+  }
+
+  const std::string benchmark = *flags.GetString("benchmark");
+  auto profile = WorkloadRegistry::Default().Find(benchmark);
+  if (!profile.ok()) {
+    return Fail(profile.status());
   }
 
   const std::string eviction_spec = *flags.GetString("eviction");
@@ -108,46 +330,18 @@ int main(int argc, char** argv) {
     return Fail(eviction.status());
   }
 
-  PolicyConfig config;
   const uint64_t eviction_k = std::strtoull(eviction_spec.c_str(), nullptr, 10);
-  config.beta = static_cast<uint32_t>(*flags.GetInt("beta"));
-  if (config.beta == 0) {
-    config.beta = eviction_k > 0 ? static_cast<uint32_t>(eviction_k) : 4;
-  }
-  config.pool_capacity = static_cast<uint32_t>(*flags.GetInt("pool"));
-  config.max_checkpoint_request = static_cast<uint32_t>(*flags.GetInt("w"));
-  if (config.max_checkpoint_request == 0) {
-    config.max_checkpoint_request =
-        (*profile)->family == RuntimeFamily::kJvm ? 200 : 100;
-  }
-  if (Status s = config.Validate(); !s.ok()) {
-    return Fail(s);
+  auto config = MakeConfig(**profile, flags, eviction_k);
+  if (!config.ok()) {
+    return Fail(config.status());
   }
 
   const std::string policy_name = *flags.GetString("policy");
-  std::unique_ptr<OrchestrationPolicy> owned_policy;
-  std::unique_ptr<RequestCentricPolicy> inner_policy;
-  if (policy_name == "cold") {
-    owned_policy = std::make_unique<ColdStartPolicy>(config);
-  } else if (policy_name == "after-first") {
-    owned_policy = std::make_unique<CheckpointAfterFirstPolicy>(config);
-  } else if (policy_name == "request-centric" || policy_name == "stop-condition") {
-    auto rc = RequestCentricPolicy::Create(config);
-    if (!rc.ok()) {
-      return Fail(rc.status());
-    }
-    if (policy_name == "request-centric") {
-      owned_policy = std::make_unique<RequestCentricPolicy>(*std::move(rc));
-    } else {
-      inner_policy = std::make_unique<RequestCentricPolicy>(*std::move(rc));
-      uint64_t budget = static_cast<uint64_t>(*flags.GetInt("explore-budget"));
-      if (budget == 0) {
-        budget = config.max_checkpoint_request + 100;  // The paper's bound.
-      }
-      owned_policy = std::make_unique<StopConditionPolicy>(*inner_policy, budget);
-    }
-  } else {
-    return Fail(InvalidArgumentError("unknown policy '" + policy_name + "'"));
+  auto owned_policy =
+      BuildPolicy(policy_name, *config,
+                  static_cast<uint64_t>(*flags.GetInt("explore-budget")));
+  if (!owned_policy.ok()) {
+    return Fail(owned_policy.status());
   }
 
   SimulationOptions options;
@@ -159,8 +353,8 @@ int main(int argc, char** argv) {
   } else if (engine_name != "criu") {
     return Fail(InvalidArgumentError("unknown engine '" + engine_name + "'"));
   }
-  FunctionSimulation sim(**profile, WorkloadRegistry::Default(), *owned_policy,
-                         **eviction, options);
+  FunctionSimulation sim(**profile, WorkloadRegistry::Default(),
+                         *owned_policy->policy, **eviction, options);
   auto report = sim.RunClosedLoop(static_cast<uint64_t>(*requests));
   if (!report.ok()) {
     return Fail(report.status());

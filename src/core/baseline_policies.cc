@@ -36,6 +36,7 @@ StartDecision CheckpointAfterFirstPolicy::OnWorkerStart(const PolicyState& state
   } else {
     // Always resume from the one-and-only snapshot.
     decision.restore_from = state.pool.entries().front().metadata.id;
+    decision.restore_candidates = {*decision.restore_from};
   }
   return decision;
 }

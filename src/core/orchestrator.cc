@@ -1,6 +1,9 @@
 #include "src/core/orchestrator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -11,7 +14,8 @@ Orchestrator::Orchestrator(const WorkloadProfile& profile,
                            const WorkloadRegistry& registry,
                            const OrchestrationPolicy& policy, CheckpointEngine& engine,
                            ObjectStore& object_store, PolicyStateStore& state_store,
-                           SimClock& clock, uint64_t seed, OrchestratorCostModel costs)
+                           SimClock& clock, uint64_t seed, OrchestratorCostModel costs,
+                           RecoveryOptions recovery)
     : profile_(profile),
       registry_(registry),
       policy_(policy),
@@ -20,71 +24,198 @@ Orchestrator::Orchestrator(const WorkloadProfile& profile,
       state_store_(state_store),
       clock_(clock),
       rng_(HashCombine(seed, 0x0c4e57ULL)),
-      costs_(costs) {}
+      costs_(costs),
+      recovery_options_(recovery) {}
 
 Duration Orchestrator::TransferTime(uint64_t logical_bytes) const {
   const double mb = static_cast<double>(logical_bytes) / (1024.0 * 1024.0);
   return Duration::Seconds(mb / costs_.object_store_mb_per_sec);
 }
 
+void Orchestrator::Backoff(int retry_index) {
+  const double scale =
+      std::pow(recovery_options_.backoff_multiplier, static_cast<double>(retry_index));
+  Duration delay = recovery_options_.backoff_base * scale;
+  delay = std::min(delay, recovery_options_.backoff_cap);
+  // Deterministic jitter in [50%, 100%]. The draw only happens on a fault, so
+  // fault-free trajectories consume exactly the same RNG stream as before.
+  delay = delay * (0.5 + 0.5 * rng_.UniformDouble());
+  recovery_.total_retry_backoff += delay;
+  clock_.Advance(delay);
+}
+
+Result<ObjectBlob> Orchestrator::GetWithRetry(const std::string& key) {
+  for (int attempt = 0;; ++attempt) {
+    auto blob = object_store_.Get(key);
+    if (blob.ok() || blob.status().code() != StatusCode::kUnavailable ||
+        attempt >= recovery_options_.max_transient_retries) {
+      return blob;
+    }
+    recovery_.restore_transient_retries += 1;
+    Backoff(attempt);
+  }
+}
+
+Status Orchestrator::PutWithRetry(const std::string& key, ObjectBlob blob) {
+  for (int attempt = 0;; ++attempt) {
+    ObjectBlob copy = blob;  // Put consumes its argument; keep one for retries.
+    const Status status = object_store_.Put(key, std::move(copy));
+    if (status.ok() || status.code() != StatusCode::kUnavailable ||
+        attempt >= recovery_options_.max_transient_retries) {
+      return status;
+    }
+    recovery_.restore_transient_retries += 1;
+    Backoff(attempt);
+  }
+}
+
+void Orchestrator::RecordRestoreFailure(SnapshotId id, const std::string& object_key) {
+  // Best effort: if the Database is unreachable the ledger write is simply
+  // lost — the snapshot gets another chance next lifetime.
+  bool quarantined = false;
+  const Status status = state_store_.Update([&](PolicyState& state) {
+    quarantined = false;  // Mutator may re-run on CAS conflict.
+    const uint32_t count = ++state.restore_failures[id.value];
+    if (count >= recovery_options_.quarantine_threshold) {
+      state.pool.Remove(id);
+      state.restore_failures.erase(id.value);
+      quarantined = true;
+    }
+  });
+  if (!status.ok()) {
+    PRONGHORN_LOG_DEBUG("restore-failure ledger write lost for snapshot %llu: %s",
+                        static_cast<unsigned long long>(id.value),
+                        status.ToString().c_str());
+    return;
+  }
+  if (quarantined) {
+    recovery_.snapshots_quarantined += 1;
+    PRONGHORN_LOG_WARNING("snapshot %llu quarantined after repeated restore failures",
+                          static_cast<unsigned long long>(id.value));
+    const Status deleted = object_store_.Delete(object_key);
+    if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
+      recovery_.eviction_deletes_deferred += 1;
+    }
+  }
+}
+
+void Orchestrator::PruneStaleEntry(SnapshotId id) {
+  const Status status = state_store_.Update([&](PolicyState& state) {
+    state.pool.Remove(id);
+    state.restore_failures.erase(id.value);
+  });
+  if (status.ok()) {
+    recovery_.stale_entries_pruned += 1;
+  }
+}
+
 Result<WorkerSession> Orchestrator::StartWorker() {
   // Workflow step: the Orchestrator queries the Database for the freshest
   // view of snapshots and their performance before deciding.
-  PRONGHORN_ASSIGN_OR_RETURN(PolicyState state, state_store_.Load());
+  auto loaded = state_store_.Load();
+  if (!loaded.ok()) {
+    if (loaded.status().code() == StatusCode::kUnavailable) {
+      // Database outage at launch: the worker must still come up, so degrade
+      // to a local cold start with no checkpoint plan. Latency observations
+      // are buffered and replayed once the Database recovers.
+      WorkerSession session(RuntimeProcess::ColdStart(profile_, rng_.NextUint64()),
+                            next_worker_id_++);
+      session.degraded = true;
+      session.startup_latency = profile_.cold_init;
+      session.startup_overhead = costs_.db_read_latency;
+      recovery_.degraded_starts += 1;
+      overheads_.worker_starts += 1;
+      overheads_.total_startup_overhead += session.startup_overhead;
+      PRONGHORN_LOG_WARNING("database unavailable at worker launch for '%s'; "
+                            "degraded cold start",
+                            state_store_.function().c_str());
+      return session;
+    }
+    return loaded.status();
+  }
+  PolicyState state = *std::move(loaded);
   const StartDecision decision = policy_.OnWorkerStart(state, rng_);
 
   const Duration decision_overhead =
       costs_.db_read_latency + costs_.decision_base_cost +
       costs_.decision_per_snapshot_cost * static_cast<double>(state.pool.size());
 
-  WorkerSession session =
-      [&]() -> WorkerSession {
-    if (decision.restore_from.has_value()) {
-      auto entry = state.pool.Find(*decision.restore_from);
-      if (entry.ok()) {
-        auto blob = object_store_.Get((*entry)->object_key);
-        if (blob.ok()) {
-          auto image = SnapshotImage::Decode(blob->bytes);
-          if (image.ok()) {
-            auto restored = engine_.Restore(*image, registry_);
-            if (restored.ok()) {
-              WorkerSession s(std::move(restored->process), next_worker_id_++);
-              s.restored = true;
-              s.restored_from = *decision.restore_from;
-              s.startup_latency =
-                  TransferTime(blob->logical_size) + restored->restore_time;
-              return s;
-            }
-            PRONGHORN_LOG_WARNING("restore of snapshot %llu failed: %s",
-                                  static_cast<unsigned long long>(
-                                      decision.restore_from->value),
-                                  restored.status().ToString().c_str());
-          } else {
-            PRONGHORN_LOG_WARNING("snapshot %llu image corrupt: %s",
-                                  static_cast<unsigned long long>(
-                                      decision.restore_from->value),
-                                  image.status().ToString().c_str());
-          }
-        } else {
-          // Concurrent eviction between our Load and the Get; cold start.
-          PRONGHORN_LOG_DEBUG("snapshot object missing for id %llu; cold start",
-                              static_cast<unsigned long long>(
-                                  decision.restore_from->value));
-        }
-      }
-    }
-    WorkerSession s(RuntimeProcess::ColdStart(profile_, rng_.NextUint64()),
-                    next_worker_id_++);
-    s.startup_latency = profile_.cold_init;
-    return s;
-  }();
+  // Walk the policy's ranked candidates (best first) until one restores.
+  std::vector<SnapshotId> candidates = decision.restore_candidates;
+  if (candidates.empty() && decision.restore_from.has_value()) {
+    candidates.push_back(*decision.restore_from);
+  }
+  if (candidates.size() > recovery_options_.max_restore_candidates) {
+    candidates.resize(recovery_options_.max_restore_candidates);
+  }
 
-  session.checkpoint_at = decision.checkpoint_at_request;
-  session.startup_overhead = decision_overhead;
+  std::optional<WorkerSession> session;
+  for (size_t rank = 0; rank < candidates.size() && !session.has_value(); ++rank) {
+    const SnapshotId id = candidates[rank];
+    auto entry = state.pool.Find(id);
+    if (!entry.ok()) {
+      continue;
+    }
+    const std::string key = (*entry)->object_key;
+    auto blob = GetWithRetry(key);
+    if (!blob.ok()) {
+      if (blob.status().code() == StatusCode::kNotFound) {
+        // Concurrent eviction between our Load and the Get: the pool entry
+        // points at a blob that no longer exists. Drop it so later lifetimes
+        // stop drawing it.
+        PRONGHORN_LOG_DEBUG("snapshot object missing for id %llu; pruning entry",
+                            static_cast<unsigned long long>(id.value));
+        PruneStaleEntry(id);
+      } else {
+        recovery_.restore_attempt_failures += 1;
+      }
+      continue;
+    }
+    auto image = SnapshotImage::Decode(blob->bytes);
+    if (!image.ok()) {
+      PRONGHORN_LOG_WARNING("snapshot %llu image corrupt: %s",
+                            static_cast<unsigned long long>(id.value),
+                            image.status().ToString().c_str());
+      recovery_.restore_attempt_failures += 1;
+      RecordRestoreFailure(id, key);
+      continue;
+    }
+    auto restored = engine_.Restore(*image, registry_);
+    if (!restored.ok()) {
+      PRONGHORN_LOG_WARNING("restore of snapshot %llu failed: %s",
+                            static_cast<unsigned long long>(id.value),
+                            restored.status().ToString().c_str());
+      recovery_.restore_attempt_failures += 1;
+      RecordRestoreFailure(id, key);
+      continue;
+    }
+    WorkerSession s(std::move(restored->process), next_worker_id_++);
+    s.restored = true;
+    s.restored_from = id;
+    s.startup_latency = TransferTime(blob->logical_size) + restored->restore_time;
+    if (rank > 0) {
+      recovery_.restore_fallbacks += 1;
+    }
+    if (state.restore_failures.count(id.value) > 0) {
+      // The snapshot proved healthy after all; clear its strikes (best
+      // effort — a lost write just leaves stale strikes to age out).
+      (void)state_store_.Update(
+          [&](PolicyState& st) { st.restore_failures.erase(id.value); });
+    }
+    session.emplace(std::move(s));
+  }
+  if (!session.has_value()) {
+    session.emplace(RuntimeProcess::ColdStart(profile_, rng_.NextUint64()),
+                    next_worker_id_++);
+    session->startup_latency = profile_.cold_init;
+  }
+
+  session->checkpoint_at = decision.checkpoint_at_request;
+  session->startup_overhead = decision_overhead;
 
   overheads_.worker_starts += 1;
   overheads_.total_startup_overhead += decision_overhead;
-  return session;
+  return *std::move(session);
 }
 
 Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
@@ -96,23 +227,52 @@ Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
   outcome.request_number = session.process.requests_executed();
 
   // Workflow step 3: pass the end-to-end latency to the policy, which
-  // updates the Database (one knowledge write per request).
-  const uint64_t request_number = outcome.request_number;
-  const Duration latency = outcome.latency;
-  PRONGHORN_RETURN_IF_ERROR(state_store_.Update([&](PolicyState& state) {
-    policy_.OnRequestComplete(state, request_number, latency);
-  }));
-  outcome.request_overhead = costs_.db_write_latency;
+  // updates the Database (one knowledge write per request). Writes that hit
+  // a Database outage are buffered locally and replayed with a later
+  // request; the mutator flushes the whole buffer, which is safe to re-run
+  // because a failed Update never commits.
+  pending_observations_.push_back({outcome.request_number, outcome.latency});
+  if (pending_observations_.size() > recovery_options_.max_buffered_observations) {
+    pending_observations_.pop_front();
+    recovery_.observations_dropped += 1;
+  }
+  const uint64_t backlog = pending_observations_.size() - 1;
+  const Status update = state_store_.Update([&](PolicyState& state) {
+    for (const PendingObservation& observation : pending_observations_) {
+      policy_.OnRequestComplete(state, observation.request_number,
+                                observation.latency);
+    }
+  });
   overheads_.requests_served += 1;
-  overheads_.total_request_overhead += outcome.request_overhead;
+  if (update.ok()) {
+    recovery_.observations_replayed += backlog;
+    pending_observations_.clear();
+    outcome.request_overhead = costs_.db_write_latency;
+    overheads_.total_request_overhead += outcome.request_overhead;
+  } else if (update.code() == StatusCode::kUnavailable) {
+    recovery_.observations_buffered += 1;
+  } else {
+    return update;
+  }
 
-  // Workflow steps 5-8: checkpoint when this lifetime's plan fires.
+  // Workflow steps 5-8: checkpoint when this lifetime's plan fires. A plan
+  // that hits a transient fault is consumed (counted, not retried): the next
+  // lifetime will draw a fresh plan.
   if (session.checkpoint_at.has_value() &&
       session.process.requests_executed() >= *session.checkpoint_at) {
-    PRONGHORN_ASSIGN_OR_RETURN(Duration downtime, TakeCheckpoint(session, outcome));
-    outcome.checkpoint_taken = true;
-    outcome.checkpoint_downtime = downtime;
     session.checkpoint_at.reset();  // One checkpoint per lifetime plan.
+    auto downtime = TakeCheckpoint(session, outcome);
+    if (downtime.ok()) {
+      outcome.checkpoint_taken = true;
+      outcome.checkpoint_downtime = *downtime;
+    } else if (downtime.status().code() == StatusCode::kUnavailable) {
+      recovery_.checkpoints_skipped += 1;
+      PRONGHORN_LOG_DEBUG("checkpoint skipped for '%s': %s",
+                          state_store_.function().c_str(),
+                          downtime.status().ToString().c_str());
+    } else {
+      return downtime.status();
+    }
   }
   return outcome;
 }
@@ -133,14 +293,14 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
   ObjectBlob blob;
   blob.bytes = image.Encode();
   blob.logical_size = image.metadata().logical_size_bytes;
-  PRONGHORN_RETURN_IF_ERROR(object_store_.Put(key, std::move(blob)));
+  PRONGHORN_RETURN_IF_ERROR(PutWithRetry(key, std::move(blob)));
 
   // Record the snapshot and apply the capacity rule atomically. External
   // deletions happen only after the state update commits; `evicted` is
   // rebuilt on every CAS retry so the mutator stays idempotent.
   std::vector<PoolEntry> evicted;
   size_t pool_size_after = 0;
-  PRONGHORN_RETURN_IF_ERROR(state_store_.Update([&](PolicyState& state) {
+  const Status update = state_store_.Update([&](PolicyState& state) {
     evicted.clear();
     if (!state.pool.Contains(image.metadata().id)) {
       // Add cannot fail after the Contains check.
@@ -148,12 +308,25 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
     }
     evicted = policy_.OnSnapshotAdded(state, rng_);
     pool_size_after = state.pool.size();
-  }));
+  });
+  if (!update.ok()) {
+    // The blob landed but its metadata never committed: delete it so it does
+    // not linger as an orphan (best effort; GC sweeps whatever remains).
+    (void)object_store_.Delete(key);
+    return update;
+  }
   for (const PoolEntry& entry : evicted) {
     const Status status = object_store_.Delete(entry.object_key);
-    if (!status.ok() && status.code() != StatusCode::kNotFound) {
-      return status;
+    if (status.ok() || status.code() == StatusCode::kNotFound) {
+      continue;
     }
+    if (status.code() == StatusCode::kUnavailable) {
+      // The pool entry is already gone; the blob becomes an orphan that
+      // CollectOrphanedObjects reclaims.
+      recovery_.eviction_deletes_deferred += 1;
+      continue;
+    }
+    return status;
   }
 
   // Orchestrator bookkeeping (Figure 7's per-checkpoint component): the
@@ -168,6 +341,31 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
   overheads_.checkpoints_taken += 1;
   overheads_.total_checkpoint_overhead += overhead;
   return checkpoint.downtime;
+}
+
+Result<uint64_t> Orchestrator::CollectOrphanedObjects() {
+  PRONGHORN_ASSIGN_OR_RETURN(PolicyState state, state_store_.Load());
+  const std::string prefix = "snapshots/" + state_store_.function() + "/";
+  const std::vector<std::string> keys = object_store_.ListKeys(prefix);
+  uint64_t collected = 0;
+  for (const std::string& key : keys) {
+    bool referenced = false;
+    for (const PoolEntry& entry : state.pool.entries()) {
+      if (entry.object_key == key) {
+        referenced = true;
+        break;
+      }
+    }
+    if (referenced) {
+      continue;
+    }
+    const Status status = object_store_.Delete(key);
+    if (status.ok() || status.code() == StatusCode::kNotFound) {
+      collected += 1;
+    }
+  }
+  recovery_.orphans_collected += collected;
+  return collected;
 }
 
 }  // namespace pronghorn

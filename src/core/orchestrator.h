@@ -6,12 +6,22 @@
 // checkpoint plan; on every request it records latency knowledge; when the
 // plan fires it checkpoints the process, uploads the image to the Object
 // Store, and records metadata in the Database, evicting pool overflow.
+//
+// Failure recovery (the control plane is distributed, so every hop can
+// fail): transient object-store reads retry with exponential backoff in
+// simulated time; a failed restore falls back to the policy's next-best
+// candidate before cold-starting; snapshots that repeatedly fail to
+// decode/restore are quarantined (evicted + blob deleted); when the
+// Database is down at launch the worker degrades to a local cold start and
+// buffers latency observations for replay once the Database recovers.
 
 #ifndef PRONGHORN_SRC_CORE_ORCHESTRATOR_H_
 #define PRONGHORN_SRC_CORE_ORCHESTRATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <string>
 
 #include "src/checkpoint/engine.h"
 #include "src/common/clock.h"
@@ -40,6 +50,42 @@ struct OrchestratorCostModel {
   double object_store_mb_per_sec = 1000.0;
 };
 
+// Bounds of the orchestrator's failure-recovery machinery.
+struct RecoveryOptions {
+  // Transient (kUnavailable) object-store ops are retried this many times
+  // per attempt, with exponential backoff in simulated time.
+  int max_transient_retries = 3;
+  Duration backoff_base = Duration::Millis(5);
+  double backoff_multiplier = 2.0;
+  Duration backoff_cap = Duration::Millis(200);
+  // How many ranked pool candidates StartWorker tries before cold-starting.
+  size_t max_restore_candidates = 3;
+  // A snapshot whose image fails to decode/restore this many times is
+  // quarantined: evicted from the pool, its failure ledger cleared, and its
+  // blob deleted from the object store.
+  uint32_t quarantine_threshold = 3;
+  // Latency observations held locally while the Database is unavailable;
+  // the oldest is dropped when the buffer is full.
+  size_t max_buffered_observations = 1024;
+};
+
+// Counters for everything the recovery machinery did (report material).
+struct RecoveryStats {
+  uint64_t restore_transient_retries = 0;  // Backed-off object-store retries.
+  uint64_t restore_attempt_failures = 0;   // Candidate attempts that failed.
+  uint64_t restore_fallbacks = 0;          // Restores that used a non-first candidate.
+  uint64_t snapshots_quarantined = 0;
+  uint64_t stale_entries_pruned = 0;  // Pool entries whose object had vanished.
+  uint64_t degraded_starts = 0;       // Database down at launch -> local cold start.
+  uint64_t observations_buffered = 0;
+  uint64_t observations_replayed = 0;
+  uint64_t observations_dropped = 0;
+  uint64_t checkpoints_skipped = 0;          // Checkpoint plans consumed by faults.
+  uint64_t eviction_deletes_deferred = 0;    // Delete failed -> orphan until GC.
+  uint64_t orphans_collected = 0;
+  Duration total_retry_backoff;
+};
+
 // A live worker: the restored (or cold-started) process plus this lifetime's
 // orchestration plan.
 struct WorkerSession {
@@ -51,6 +97,9 @@ struct WorkerSession {
   std::optional<uint64_t> checkpoint_at;
   bool restored = false;
   SnapshotId restored_from;  // value 0 when cold.
+  // Launched while the Database was unreachable: cold start under the local
+  // degraded policy, no checkpoint plan, observations buffered for replay.
+  bool degraded = false;
   // Time to make the worker ready: cold init, or image download + restore.
   Duration startup_latency;
   // Orchestrator bookkeeping at startup (DB read + decision).
@@ -91,27 +140,58 @@ class Orchestrator {
                const OrchestrationPolicy& policy, CheckpointEngine& engine,
                ObjectStore& object_store, PolicyStateStore& state_store,
                SimClock& clock, uint64_t seed,
-               OrchestratorCostModel costs = OrchestratorCostModel{});
+               OrchestratorCostModel costs = OrchestratorCostModel{},
+               RecoveryOptions recovery = RecoveryOptions{});
 
   // Launches a new worker according to the policy (workflow steps: query
   // Database, select snapshot, restore or cold start, plan checkpoint).
-  // If the selected snapshot has vanished (concurrent eviction), falls back
-  // to a cold start rather than failing the launch.
+  // Failed restore attempts walk the policy's ranked candidates before
+  // falling back to a cold start; a Database outage yields a degraded cold
+  // session rather than an error.
   Result<WorkerSession> StartWorker();
 
   // Serves one request: executes it, updates latency knowledge in the
   // Database (steps 2-4), and checkpoints if this lifetime's plan fires
-  // (steps 5-8).
+  // (steps 5-8). Knowledge writes that hit a Database outage are buffered
+  // and replayed with a later request; checkpoint plans that hit faults are
+  // consumed and counted, not surfaced as errors.
   Result<RequestOutcome> ServeRequest(WorkerSession& session,
                                       const FunctionRequest& request);
 
+  // Garbage-collects object-store blobs under this deployment's snapshot
+  // prefix that no pool entry references (left by torn writes, failed
+  // metadata commits, or deferred eviction deletes). Returns how many blobs
+  // were deleted.
+  Result<uint64_t> CollectOrphanedObjects();
+
   const OrchestratorOverheads& overheads() const { return overheads_; }
+  const RecoveryStats& recovery_stats() const { return recovery_; }
   const WorkloadProfile& profile() const { return profile_; }
 
  private:
+  struct PendingObservation {
+    uint64_t request_number = 0;
+    Duration latency;
+  };
+
   // Takes a snapshot of the session's process, uploads it, and records it in
   // the policy state; returns the worker downtime.
   Result<Duration> TakeCheckpoint(WorkerSession& session, RequestOutcome& outcome);
+
+  // Object-store ops with bounded retry + backoff for transient failures.
+  Result<ObjectBlob> GetWithRetry(const std::string& key);
+  Status PutWithRetry(const std::string& key, ObjectBlob blob);
+
+  // Advances simulated time for the nth backoff of one operation.
+  void Backoff(int retry_index);
+
+  // Records one decode/restore failure for `id` in the shared ledger and
+  // quarantines the snapshot at the threshold (best-effort; Database faults
+  // only defer the bookkeeping).
+  void RecordRestoreFailure(SnapshotId id, const std::string& object_key);
+
+  // Drops a pool entry whose object has vanished (concurrent eviction).
+  void PruneStaleEntry(SnapshotId id);
 
   Duration TransferTime(uint64_t logical_bytes) const;
 
@@ -124,7 +204,10 @@ class Orchestrator {
   SimClock& clock_;
   Rng rng_;
   OrchestratorCostModel costs_;
+  RecoveryOptions recovery_options_;
   OrchestratorOverheads overheads_;
+  RecoveryStats recovery_;
+  std::deque<PendingObservation> pending_observations_;
   uint64_t next_worker_id_ = 1;
 };
 

@@ -9,6 +9,7 @@
 #define PRONGHORN_SRC_CORE_POLICY_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,11 @@ struct PolicyState {
 
   WeightVector theta;
   SnapshotPool pool;
+  // Restore-failure counts per snapshot id — the poisoned-snapshot ledger.
+  // Incremented when a pooled snapshot fails to decode/restore, cleared on a
+  // later success; a snapshot reaching the orchestrator's quarantine
+  // threshold is evicted from the pool and its blob deleted.
+  std::map<uint64_t, uint32_t> restore_failures;
 
   bool operator==(const PolicyState&) const = default;
 };
@@ -40,6 +46,10 @@ struct PolicyState {
 struct StartDecision {
   // Snapshot to restore from; nullopt means cold start.
   std::optional<SnapshotId> restore_from;
+  // Ranked fallback candidates, best first; when non-empty the front entry
+  // equals restore_from. The orchestrator walks this list when a restore
+  // attempt fails (missing object, corrupt image) before cold-starting.
+  std::vector<SnapshotId> restore_candidates;
   // Absolute request number (JIT maturity) at which to checkpoint this
   // worker; nullopt means never.
   std::optional<uint64_t> checkpoint_at_request;

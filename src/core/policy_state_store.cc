@@ -1,5 +1,8 @@
 #include "src/core/policy_state_store.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/bytes.h"
 #include "src/common/logging.h"
 
@@ -7,12 +10,19 @@ namespace pronghorn {
 
 namespace {
 
-constexpr uint32_t kStateFormatVersion = 1;
-// A CAS loop that spins this long indicates a livelock bug, not contention.
-constexpr int kMaxCasAttempts = 1000;
-// Transient (kUnavailable) database failures are retried this many times
-// before surfacing; production stores expose the same retry discipline.
-constexpr int kMaxTransientRetries = 8;
+// Version 2 appends the restore-failure ledger to the v1 theta+pool layout.
+constexpr uint32_t kStateFormatVersion = 2;
+
+// FNV-1a over the function name: a stable seed for the per-store jitter
+// stream (std::hash is not portable across standard libraries).
+uint64_t StableNameHash(std::string_view name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
 
 }  // namespace
 
@@ -21,6 +31,11 @@ std::vector<uint8_t> EncodePolicyState(const PolicyState& state) {
   writer.WriteUint32(kStateFormatVersion);
   state.theta.Serialize(writer);
   state.pool.Serialize(writer);
+  writer.WriteVarint(state.restore_failures.size());
+  for (const auto& [id, count] : state.restore_failures) {
+    writer.WriteVarint(id);
+    writer.WriteVarint(count);
+  }
   return writer.TakeData();
 }
 
@@ -32,17 +47,45 @@ Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes) {
   }
   PRONGHORN_ASSIGN_OR_RETURN(WeightVector theta, WeightVector::Deserialize(reader));
   PRONGHORN_ASSIGN_OR_RETURN(SnapshotPool pool, SnapshotPool::Deserialize(reader));
+  PolicyState state(std::move(theta), std::move(pool));
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t failures, reader.ReadVarint());
+  for (uint64_t i = 0; i < failures; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
+    PRONGHORN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    state.restore_failures[id] = static_cast<uint32_t>(count);
+  }
   if (!reader.AtEnd()) {
     return DataLossError("trailing bytes after policy state");
   }
-  return PolicyState(std::move(theta), std::move(pool));
+  return state;
 }
 
 PolicyStateStore::PolicyStateStore(KvDatabase& db, std::string function,
-                                   const PolicyConfig& config)
-    : db_(db), function_(std::move(function)), config_(config) {}
+                                   const PolicyConfig& config, SimClock* clock,
+                                   StateStoreRetryPolicy retry)
+    : db_(db),
+      function_(std::move(function)),
+      config_(config),
+      clock_(clock),
+      retry_(retry),
+      jitter_rng_(HashCombine(0xbac0ffULL, StableNameHash(function_))) {}
+
+void PolicyStateStore::Backoff(int retry_index) const {
+  const double scale =
+      std::pow(retry_.backoff_multiplier, static_cast<double>(retry_index));
+  Duration delay = retry_.backoff_base * scale;
+  delay = std::min(delay, retry_.backoff_cap);
+  // Deterministic jitter in [50%, 100%] de-synchronizes contending workers
+  // without sacrificing reproducibility.
+  delay = delay * (0.5 + 0.5 * jitter_rng_.UniformDouble());
+  stats_.total_backoff += delay;
+  if (clock_ != nullptr) {
+    clock_->Advance(delay);
+  }
+}
 
 Result<PolicyState> PolicyStateStore::Load() const {
+  stats_.loads += 1;
   for (int attempt = 0;; ++attempt) {
     auto blob = db_.Get(StateKey());
     if (blob.ok()) {
@@ -52,9 +95,11 @@ Result<PolicyState> PolicyStateStore::Load() const {
       return PolicyState(config_);
     }
     if (blob.status().code() != StatusCode::kUnavailable ||
-        attempt >= kMaxTransientRetries) {
+        attempt >= retry_.max_transient_retries) {
       return blob.status();
     }
+    stats_.transient_retries += 1;
+    Backoff(attempt);
     PRONGHORN_LOG_DEBUG("transient load failure for '%s' (attempt %d): %s",
                         function_.c_str(), attempt + 1,
                         blob.status().ToString().c_str());
@@ -62,8 +107,10 @@ Result<PolicyState> PolicyStateStore::Load() const {
 }
 
 Status PolicyStateStore::Update(const std::function<void(PolicyState&)>& mutate) {
+  stats_.updates += 1;
   int transient_failures = 0;
-  for (int attempt = 0; attempt < kMaxCasAttempts; ++attempt) {
+  int conflicts = 0;
+  for (int attempt = 0; attempt < retry_.max_cas_attempts; ++attempt) {
     uint64_t version = 0;
     PolicyState state(config_);
     auto versioned = db_.GetVersioned(StateKey());
@@ -71,9 +118,11 @@ Status PolicyStateStore::Update(const std::function<void(PolicyState&)>& mutate)
       version = versioned->version;
       PRONGHORN_ASSIGN_OR_RETURN(state, DecodePolicyState(versioned->value));
     } else if (versioned.status().code() == StatusCode::kUnavailable) {
-      if (++transient_failures > kMaxTransientRetries) {
+      if (++transient_failures > retry_.max_transient_retries) {
         return versioned.status();
       }
+      stats_.transient_retries += 1;
+      Backoff(transient_failures - 1);
       continue;
     } else if (versioned.status().code() != StatusCode::kNotFound) {
       return versioned.status();
@@ -81,24 +130,30 @@ Status PolicyStateStore::Update(const std::function<void(PolicyState&)>& mutate)
 
     mutate(state);
 
+    stats_.cas_attempts += 1;
     Status cas = db_.CompareAndSwap(StateKey(), version, EncodePolicyState(state));
     if (cas.ok()) {
       return OkStatus();
     }
     if (cas.code() == StatusCode::kUnavailable) {
-      if (++transient_failures > kMaxTransientRetries) {
+      if (++transient_failures > retry_.max_transient_retries) {
         return cas;
       }
+      stats_.transient_retries += 1;
+      Backoff(transient_failures - 1);
       continue;
     }
     if (cas.code() != StatusCode::kAborted) {
       return cas;
     }
+    stats_.cas_conflicts += 1;
+    Backoff(conflicts++);
     PRONGHORN_LOG_DEBUG("CAS conflict updating state for '%s' (attempt %d)",
                         function_.c_str(), attempt + 1);
   }
   return InternalError("policy state CAS loop exceeded " +
-                       std::to_string(kMaxCasAttempts) + " attempts for " + function_);
+                       std::to_string(retry_.max_cas_attempts) + " attempts for " +
+                       function_);
 }
 
 Result<SnapshotId> PolicyStateStore::AllocateSnapshotId() {
@@ -108,9 +163,11 @@ Result<SnapshotId> PolicyStateStore::AllocateSnapshotId() {
       return SnapshotId{static_cast<uint64_t>(*next)};
     }
     if (next.status().code() != StatusCode::kUnavailable ||
-        attempt >= kMaxTransientRetries) {
+        attempt >= retry_.max_transient_retries) {
       return next.status();
     }
+    stats_.transient_retries += 1;
+    Backoff(attempt);
   }
 }
 

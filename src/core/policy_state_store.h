@@ -5,6 +5,12 @@
 // view (other workers may have updated it concurrently); after a checkpoint
 // it records the snapshot's location and metadata. Concurrent updates are
 // serialized with versioned compare-and-swap over the state blob.
+//
+// Retry discipline: CAS conflicts and transient (kUnavailable) failures are
+// retried with capped exponential backoff plus deterministic jitter, paid in
+// *simulated* time when the store holds a clock. The jitter stream is seeded
+// from the function name, so retry schedules are bit-reproducible and
+// independent of thread scheduling.
 
 #ifndef PRONGHORN_SRC_CORE_POLICY_STATE_STORE_H_
 #define PRONGHORN_SRC_CORE_POLICY_STATE_STORE_H_
@@ -12,6 +18,8 @@
 #include <functional>
 #include <string>
 
+#include "src/common/clock.h"
+#include "src/common/rng.h"
 #include "src/core/policy.h"
 #include "src/store/kv_database.h"
 
@@ -22,10 +30,39 @@ namespace pronghorn {
 std::vector<uint8_t> EncodePolicyState(const PolicyState& state);
 Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes);
 
+// Bounds and shape of the store's retry loops.
+struct StateStoreRetryPolicy {
+  // A CAS loop this long under backoff indicates a livelock bug, not
+  // contention.
+  int max_cas_attempts = 64;
+  // Transient (kUnavailable) failures retried per operation before
+  // surfacing.
+  int max_transient_retries = 8;
+  // Exponential backoff: base * multiplier^n, capped, jittered to
+  // [50%, 100%] of the nominal delay.
+  Duration backoff_base = Duration::Millis(2);
+  double backoff_multiplier = 2.0;
+  Duration backoff_cap = Duration::Millis(250);
+};
+
+// Cumulative operation accounting (attempt/conflict/retry counts surface in
+// the platform's fault-recovery reports).
+struct StateStoreStats {
+  uint64_t loads = 0;
+  uint64_t updates = 0;
+  uint64_t cas_attempts = 0;
+  uint64_t cas_conflicts = 0;
+  uint64_t transient_retries = 0;
+  Duration total_backoff;
+};
+
 class PolicyStateStore {
  public:
-  // `function` scopes all keys; `config` sizes fresh weight vectors.
-  PolicyStateStore(KvDatabase& db, std::string function, const PolicyConfig& config);
+  // `function` scopes all keys; `config` sizes fresh weight vectors. `clock`
+  // (borrowed, may be null) receives backoff delays in simulated time.
+  PolicyStateStore(KvDatabase& db, std::string function, const PolicyConfig& config,
+                   SimClock* clock = nullptr,
+                   StateStoreRetryPolicy retry = StateStoreRetryPolicy{});
 
   // Loads the current state; a function never seen before gets a fresh
   // zero-initialized state.
@@ -40,14 +77,23 @@ class PolicyStateStore {
   Result<SnapshotId> AllocateSnapshotId();
 
   const std::string& function() const { return function_; }
+  const StateStoreStats& stats() const { return stats_; }
 
  private:
   std::string StateKey() const { return "policy/" + function_ + "/state"; }
   std::string SequenceKey() const { return "policy/" + function_ + "/next-snapshot-id"; }
 
+  // Sleeps the simulated clock for the nth backoff of one operation and
+  // accounts it. Safe without a clock (still counts, no time passes).
+  void Backoff(int retry_index) const;
+
   KvDatabase& db_;
   std::string function_;
   PolicyConfig config_;
+  SimClock* clock_;
+  StateStoreRetryPolicy retry_;
+  mutable Rng jitter_rng_;
+  mutable StateStoreStats stats_;
 };
 
 }  // namespace pronghorn

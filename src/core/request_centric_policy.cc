@@ -1,6 +1,7 @@
 #include "src/core/request_centric_policy.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/common/mathutil.h"
 
@@ -52,12 +53,33 @@ StartDecision RequestCentricPolicy::OnWorkerStart(const PolicyState& state,
   if (!state.pool.empty()) {
     // OnContainerInit (lines 19-23): softmax over snapshot weights, then a
     // weighted draw. Low-lifetime-latency snapshots dominate, but every
-    // snapshot keeps nonzero probability.
+    // snapshot keeps nonzero probability. The single draw is the paper's
+    // restore choice; the remaining entries are ranked by probability
+    // (descending, ties by recency) to give the orchestrator a deterministic
+    // fallback order when a restore attempt fails (missing or corrupt
+    // image). Ranking consumes no randomness, so fault-free trajectories are
+    // identical to a policy without fallback candidates.
     const std::vector<double> weights = SnapshotWeights(state);
     const std::vector<double> probabilities =
         Softmax(weights, config_.softmax_temperature);
-    const size_t index = rng.WeightedIndex(probabilities);
-    const PoolEntry& chosen = state.pool.entries()[index];
+    const size_t first_index = rng.WeightedIndex(probabilities);
+    const auto entries = state.pool.entries();
+    std::vector<size_t> order(entries.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (a == first_index || b == first_index) {
+        return a == first_index;
+      }
+      if (probabilities[a] != probabilities[b]) {
+        return probabilities[a] > probabilities[b];
+      }
+      return entries[a].metadata.id.value > entries[b].metadata.id.value;
+    });
+    decision.restore_candidates.reserve(order.size());
+    for (const size_t index : order) {
+      decision.restore_candidates.push_back(entries[index].metadata.id);
+    }
+    const PoolEntry& chosen = entries[first_index];
     decision.restore_from = chosen.metadata.id;
     start_request = chosen.metadata.request_number;
   }

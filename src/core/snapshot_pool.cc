@@ -29,6 +29,16 @@ bool SnapshotPool::Contains(SnapshotId id) const {
                      [id](const PoolEntry& e) { return e.metadata.id == id; });
 }
 
+bool SnapshotPool::Remove(SnapshotId id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [id](const PoolEntry& e) { return e.metadata.id == id; });
+  if (it == entries_.end()) {
+    return false;
+  }
+  entries_.erase(it);
+  return true;
+}
+
 std::vector<PoolEntry> SnapshotPool::Prune(std::span<const double> weights,
                                            double top_percent, double random_percent,
                                            Rng& rng) {

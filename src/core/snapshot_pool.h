@@ -35,6 +35,10 @@ class SnapshotPool {
   Result<const PoolEntry*> Find(SnapshotId id) const;
   bool Contains(SnapshotId id) const;
 
+  // Removes the entry with `id` if present; returns whether one was removed
+  // (quarantine/GC path — unlike Prune, this may empty the pool).
+  bool Remove(SnapshotId id);
+
   std::span<const PoolEntry> entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

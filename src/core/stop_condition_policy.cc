@@ -1,5 +1,8 @@
 #include "src/core/stop_condition_policy.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace pronghorn {
 
 StartDecision StopConditionPolicy::OnWorkerStart(const PolicyState& state,
@@ -12,22 +15,32 @@ StartDecision StopConditionPolicy::OnWorkerStart(const PolicyState& state,
   // highest average inverse lifetime weight — ties broken by recency.
   StartDecision decision;
   const PolicyConfig& config = inner_.config();
-  const PoolEntry* best = nullptr;
-  double best_weight = -1.0;
-  for (const PoolEntry& entry : state.pool.entries()) {
-    const double weight =
-        state.theta.LifetimeWeight(entry.metadata.request_number, config.beta,
-                                   config.mu);
-    if (weight > best_weight ||
-        (weight == best_weight && best != nullptr &&
-         entry.metadata.id.value > best->metadata.id.value)) {
-      best = &entry;
-      best_weight = weight;
+  const auto entries = state.pool.entries();
+  if (entries.empty()) {
+    return decision;
+  }
+  // Rank the full pool by learned lifetime weight (descending), ties broken
+  // by recency, so restore failures fall back to the second-best snapshot
+  // rather than straight to a cold start.
+  std::vector<double> weights;
+  weights.reserve(entries.size());
+  for (const PoolEntry& entry : entries) {
+    weights.push_back(state.theta.LifetimeWeight(entry.metadata.request_number,
+                                                 config.beta, config.mu));
+  }
+  std::vector<size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (weights[a] != weights[b]) {
+      return weights[a] > weights[b];
     }
+    return entries[a].metadata.id.value > entries[b].metadata.id.value;
+  });
+  decision.restore_candidates.reserve(order.size());
+  for (const size_t index : order) {
+    decision.restore_candidates.push_back(entries[index].metadata.id);
   }
-  if (best != nullptr) {
-    decision.restore_from = best->metadata.id;
-  }
+  decision.restore_from = decision.restore_candidates.front();
   return decision;
 }
 

@@ -4,6 +4,17 @@
 
 namespace pronghorn {
 
+namespace {
+
+// Mirrors FunctionSimulation's plan scoping (see function_simulation.cc).
+FaultPlan ScopeClusterPlan(const FaultPlan& base, uint64_t sim_seed, uint64_t salt) {
+  FaultPlan plan = base;
+  plan.seed = HashCombine(sim_seed, HashCombine(salt, base.seed));
+  return plan;
+}
+
+}  // namespace
+
 DistributionSummary ClusterReport::LatencySummary() const {
   DistributionSummary summary;
   for (const RequestRecord& record : records) {
@@ -21,12 +32,29 @@ ClusterSimulation::ClusterSimulation(const WorkloadProfile& profile,
       registry_(registry),
       eviction_(eviction),
       options_(options),
+      faulty_db_(options.faults.Active()
+                     ? std::optional<FaultyKvDatabase>(
+                           std::in_place, db_,
+                           ScopeClusterPlan(options.faults, options.seed, 0xdbULL),
+                           &clock_)
+                     : std::nullopt),
+      faulty_object_store_(
+          options.faults.Active()
+              ? std::optional<FaultyObjectStore>(
+                    std::in_place, object_store_,
+                    ScopeClusterPlan(options.faults, options.seed, 0x0bULL), &clock_)
+              : std::nullopt),
       engine_(HashCombine(options.seed, 0xc1e1ULL)),
-      state_store_(db_, profile.name, policy.config()),
+      state_store_(faulty_db_.has_value() ? static_cast<KvDatabase&>(*faulty_db_)
+                                          : static_cast<KvDatabase&>(db_),
+                   profile.name, policy.config(), &clock_),
       exploit_policy_(policy, /*explore_requests=*/0),
       input_model_(profile, options.input_noise),
       client_rng_(HashCombine(options.seed, 0xc1c1ULL)) {
   options_.exploring_slots = std::min(options_.exploring_slots, options_.worker_slots);
+  ObjectStore& slot_store = faulty_object_store_.has_value()
+                                ? static_cast<ObjectStore&>(*faulty_object_store_)
+                                : static_cast<ObjectStore&>(object_store_);
   slots_.reserve(options_.worker_slots);
   for (uint32_t i = 0; i < options_.worker_slots; ++i) {
     Slot slot;
@@ -35,8 +63,8 @@ ClusterSimulation::ClusterSimulation(const WorkloadProfile& profile,
         slot.exploring ? policy
                        : static_cast<const OrchestrationPolicy&>(exploit_policy_);
     slot.orchestrator = std::make_unique<Orchestrator>(
-        profile_, registry_, slot_policy, engine_, object_store_, state_store_, clock_,
-        HashCombine(options_.seed, 0x510ULL + i), options_.costs);
+        profile_, registry_, slot_policy, engine_, slot_store, state_store_, clock_,
+        HashCombine(options_.seed, 0x510ULL + i), options_.costs, options_.recovery);
     slots_.push_back(std::move(slot));
   }
 }
@@ -116,6 +144,16 @@ Result<ClusterReport> ClusterSimulation::RunClosedLoop(uint64_t request_count) {
 
   report.object_store = object_store_.accounting();
   report.database = db_.accounting();
+  for (const Slot& slot : slots_) {
+    AccumulateRecovery(report.faults, slot.orchestrator->recovery_stats());
+  }
+  AccumulateStateStore(report.faults, state_store_.stats());
+  if (faulty_object_store_.has_value()) {
+    AccumulateStoreFaults(report.faults, faulty_object_store_->stats());
+  }
+  if (faulty_db_.has_value()) {
+    AccumulateDatabaseFaults(report.faults, faulty_db_->stats());
+  }
   return report;
 }
 

@@ -25,6 +25,7 @@
 #include "src/core/stop_condition_policy.h"
 #include "src/platform/eviction.h"
 #include "src/platform/metrics.h"
+#include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
 #include "src/workloads/input_model.h"
@@ -41,6 +42,10 @@ struct ClusterOptions {
   uint64_t seed = 1;
   bool input_noise = true;
   OrchestratorCostModel costs;
+  // Chaos layer: when active, the shared Database and Object Store are
+  // wrapped in seeded fault decorators (see SimulationOptions::faults).
+  FaultPlan faults;
+  RecoveryOptions recovery;
 };
 
 struct ClusterReport {
@@ -57,6 +62,7 @@ struct ClusterReport {
 
   StoreAccounting object_store;
   KvAccounting database;
+  FaultRecoveryStats faults;
 
   DistributionSummary LatencySummary() const;
 };
@@ -99,6 +105,9 @@ class ClusterSimulation {
   SimClock clock_;
   InMemoryKvDatabase db_;
   InMemoryObjectStore object_store_;
+  // Engaged only when options.faults is active (see FunctionSimulation).
+  std::optional<FaultyKvDatabase> faulty_db_;
+  std::optional<FaultyObjectStore> faulty_object_store_;
   CriuLikeEngine engine_;
   PolicyStateStore state_store_;
   StopConditionPolicy exploit_policy_;

@@ -106,6 +106,8 @@ Result<ClusterReport> FleetSimulation::RunShard(const FleetFunctionSpec& spec) c
   cluster_options.seed = function_seed;
   cluster_options.input_noise = options_.input_noise;
   cluster_options.costs = options_.costs;
+  cluster_options.faults = options_.faults;
+  cluster_options.recovery = options_.recovery;
   ClusterSimulation cluster(*spec.profile, registry_, *spec.policy, *eviction,
                             cluster_options);
   return cluster.RunClosedLoop(spec.requests);
@@ -159,6 +161,7 @@ Result<FleetReport> FleetSimulation::Run() const {
     fleet.cold_starts += report.cold_starts;
     MergeAccounting(fleet.object_store, report.object_store);
     MergeAccounting(fleet.database, report.database);
+    MergeFaultRecoveryStats(fleet.faults, report.faults);
     fleet.per_function.push_back(
         FleetFunctionResult{functions_[index].name, std::move(report)});
   }

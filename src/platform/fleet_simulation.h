@@ -69,6 +69,11 @@ struct FleetOptions {
   bool input_noise = true;
   FleetEvictionSpec eviction;
   OrchestratorCostModel costs;
+  // Chaos layer, applied to every deployment. Each shard scopes the plan to
+  // its function seed, so fault draws are per-function and the determinism
+  // guarantee above extends to faulty runs.
+  FaultPlan faults;
+  RecoveryOptions recovery;
 };
 
 struct FleetFunctionResult {
@@ -95,6 +100,7 @@ struct FleetReport {
   // sum of each store's high-water mark.
   StoreAccounting object_store;
   KvAccounting database;
+  FaultRecoveryStats faults;
 
   // CRC32 over the canonical serialization of every per-function
   // ClusterReport (report_io's SerializeClusterReport), in name order. Equal

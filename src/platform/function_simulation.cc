@@ -7,6 +7,19 @@
 
 namespace pronghorn {
 
+namespace {
+
+// Scopes a user-supplied fault plan to one simulation: combining the plan
+// seed with the simulation seed and a per-store salt keeps the two
+// decorators' fault streams independent and experiment-specific.
+FaultPlan ScopePlan(const FaultPlan& base, uint64_t sim_seed, uint64_t salt) {
+  FaultPlan plan = base;
+  plan.seed = HashCombine(sim_seed, HashCombine(salt, base.seed));
+  return plan;
+}
+
+}  // namespace
+
 FunctionSimulation::FunctionSimulation(const WorkloadProfile& profile,
                                        const WorkloadRegistry& registry,
                                        const OrchestrationPolicy& policy,
@@ -17,14 +30,31 @@ FunctionSimulation::FunctionSimulation(const WorkloadProfile& profile,
       policy_(policy),
       eviction_(eviction),
       options_(options),
+      faulty_db_(options.faults.Active()
+                     ? std::optional<FaultyKvDatabase>(
+                           std::in_place, db_,
+                           ScopePlan(options.faults, options.seed, 0xdbULL), &clock_)
+                     : std::nullopt),
+      faulty_object_store_(options.faults.Active()
+                               ? std::optional<FaultyObjectStore>(
+                                     std::in_place, object_store_,
+                                     ScopePlan(options.faults, options.seed, 0x0bULL),
+                                     &clock_)
+                               : std::nullopt),
       engine_(options.engine_kind == EngineKind::kDelta
                   ? std::unique_ptr<CheckpointEngine>(std::make_unique<
                         DeltaCheckpointEngine>(HashCombine(options.seed, 0xe1ULL)))
                   : std::make_unique<CriuLikeEngine>(
                         HashCombine(options.seed, 0xe1ULL))),
-      state_store_(db_, profile.name, policy.config()),
-      orchestrator_(profile, registry, policy, *engine_, object_store_, state_store_,
-                    clock_, HashCombine(options.seed, 0x0eULL), options.costs),
+      state_store_(faulty_db_.has_value() ? static_cast<KvDatabase&>(*faulty_db_)
+                                          : static_cast<KvDatabase&>(db_),
+                   profile.name, policy.config(), &clock_),
+      orchestrator_(profile, registry, policy, *engine_,
+                    faulty_object_store_.has_value()
+                        ? static_cast<ObjectStore&>(*faulty_object_store_)
+                        : static_cast<ObjectStore&>(object_store_),
+                    state_store_, clock_, HashCombine(options.seed, 0x0eULL),
+                    options.costs, options.recovery),
       input_model_(profile, options.input_noise),
       client_rng_(HashCombine(options.seed, 0xc1ULL)) {}
 
@@ -149,6 +179,14 @@ Result<SimulationReport> FunctionSimulation::Run(std::span<const TimePoint> arri
   report.object_store = object_store_.accounting();
   report.database = db_.accounting();
   report.overheads = orchestrator_.overheads();
+  AccumulateRecovery(report.faults, orchestrator_.recovery_stats());
+  AccumulateStateStore(report.faults, state_store_.stats());
+  if (faulty_object_store_.has_value()) {
+    AccumulateStoreFaults(report.faults, faulty_object_store_->stats());
+  }
+  if (faulty_db_.has_value()) {
+    AccumulateDatabaseFaults(report.faults, faulty_db_->stats());
+  }
   return report;
 }
 

@@ -18,6 +18,7 @@
 #define PRONGHORN_SRC_PLATFORM_FUNCTION_SIMULATION_H_
 
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "src/checkpoint/criu_like_engine.h"
@@ -28,6 +29,7 @@
 #include "src/core/policy.h"
 #include "src/platform/eviction.h"
 #include "src/platform/metrics.h"
+#include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
 #include "src/workloads/input_model.h"
@@ -58,6 +60,12 @@ struct SimulationOptions {
   // timeout when comparing keep-alive costs.
   Duration idle_resource_hold = Duration::Zero();
   OrchestratorCostModel costs;
+  // Chaos layer: when the plan is active, both stores are wrapped in fault
+  // decorators driven by the simulated clock. The plan's seed is combined
+  // with the simulation seed, so distinct experiments draw distinct faults.
+  FaultPlan faults;
+  // Bounds for the orchestrator's retry/fallback/quarantine machinery.
+  RecoveryOptions recovery;
 };
 
 // Owns the full per-function stack: Database, Object Store, checkpoint
@@ -89,6 +97,8 @@ class FunctionSimulation {
   const ObjectStore& object_store() const { return object_store_; }
   const CheckpointEngine& engine() const { return *engine_; }
   const PolicyStateStore& state_store() const { return state_store_; }
+  Orchestrator& orchestrator() { return orchestrator_; }
+  SimClock& clock() { return clock_; }
 
   // Loads the current shared policy state (theta + pool) from the Database.
   Result<PolicyState> LoadPolicyState() const { return state_store_.Load(); }
@@ -107,6 +117,10 @@ class FunctionSimulation {
   SimClock clock_;
   InMemoryKvDatabase db_;
   InMemoryObjectStore object_store_;
+  // Engaged only when options.faults is active; the state store and
+  // orchestrator then talk to the stores through these decorators.
+  std::optional<FaultyKvDatabase> faulty_db_;
+  std::optional<FaultyObjectStore> faulty_object_store_;
   std::unique_ptr<CheckpointEngine> engine_;
   PolicyStateStore state_store_;
   Orchestrator orchestrator_;

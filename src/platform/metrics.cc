@@ -40,4 +40,60 @@ void MergeAccounting(KvAccounting& into, const KvAccounting& from) {
   into.cas_conflicts += from.cas_conflicts;
 }
 
+void MergeFaultRecoveryStats(FaultRecoveryStats& into, const FaultRecoveryStats& from) {
+  into.store_faults += from.store_faults;
+  into.db_faults += from.db_faults;
+  into.corrupted_puts += from.corrupted_puts;
+  into.torn_puts += from.torn_puts;
+  into.latency_injections += from.latency_injections;
+  into.restore_retries += from.restore_retries;
+  into.restore_failures += from.restore_failures;
+  into.restore_fallbacks += from.restore_fallbacks;
+  into.snapshots_quarantined += from.snapshots_quarantined;
+  into.stale_entries_pruned += from.stale_entries_pruned;
+  into.degraded_starts += from.degraded_starts;
+  into.observations_buffered += from.observations_buffered;
+  into.observations_replayed += from.observations_replayed;
+  into.observations_dropped += from.observations_dropped;
+  into.checkpoints_skipped += from.checkpoints_skipped;
+  into.eviction_deletes_deferred += from.eviction_deletes_deferred;
+  into.orphans_collected += from.orphans_collected;
+  into.cas_attempts += from.cas_attempts;
+  into.cas_conflicts += from.cas_conflicts;
+  into.db_transient_retries += from.db_transient_retries;
+}
+
+void AccumulateStoreFaults(FaultRecoveryStats& into, const FaultInjectionStats& from) {
+  into.store_faults += from.faults_injected;
+  into.corrupted_puts += from.corrupted_puts;
+  into.torn_puts += from.torn_puts;
+  into.latency_injections += from.latency_injections;
+}
+
+void AccumulateDatabaseFaults(FaultRecoveryStats& into, const FaultInjectionStats& from) {
+  into.db_faults += from.faults_injected;
+  into.latency_injections += from.latency_injections;
+}
+
+void AccumulateRecovery(FaultRecoveryStats& into, const RecoveryStats& from) {
+  into.restore_retries += from.restore_transient_retries;
+  into.restore_failures += from.restore_attempt_failures;
+  into.restore_fallbacks += from.restore_fallbacks;
+  into.snapshots_quarantined += from.snapshots_quarantined;
+  into.stale_entries_pruned += from.stale_entries_pruned;
+  into.degraded_starts += from.degraded_starts;
+  into.observations_buffered += from.observations_buffered;
+  into.observations_replayed += from.observations_replayed;
+  into.observations_dropped += from.observations_dropped;
+  into.checkpoints_skipped += from.checkpoints_skipped;
+  into.eviction_deletes_deferred += from.eviction_deletes_deferred;
+  into.orphans_collected += from.orphans_collected;
+}
+
+void AccumulateStateStore(FaultRecoveryStats& into, const StateStoreStats& from) {
+  into.cas_attempts += from.cas_attempts;
+  into.cas_conflicts += from.cas_conflicts;
+  into.db_transient_retries += from.transient_retries;
+}
+
 }  // namespace pronghorn

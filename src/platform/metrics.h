@@ -9,10 +9,48 @@
 #include "src/common/clock.h"
 #include "src/common/stats.h"
 #include "src/core/orchestrator.h"
+#include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
 
 namespace pronghorn {
+
+// Flattened fault-and-recovery accounting for one deployment (or a merged
+// fleet): what the chaos layer injected and what the recovery machinery did
+// about it. All fields are sums, so shard merges commute.
+struct FaultRecoveryStats {
+  // Injected by the fault layer.
+  uint64_t store_faults = 0;  // Object-store ops failed (coin flip or outage).
+  uint64_t db_faults = 0;     // Database ops failed.
+  uint64_t corrupted_puts = 0;
+  uint64_t torn_puts = 0;
+  uint64_t latency_injections = 0;
+  // Recovery behavior (orchestrator side).
+  uint64_t restore_retries = 0;
+  uint64_t restore_failures = 0;
+  uint64_t restore_fallbacks = 0;
+  uint64_t snapshots_quarantined = 0;
+  uint64_t stale_entries_pruned = 0;
+  uint64_t degraded_starts = 0;
+  uint64_t observations_buffered = 0;
+  uint64_t observations_replayed = 0;
+  uint64_t observations_dropped = 0;
+  uint64_t checkpoints_skipped = 0;
+  uint64_t eviction_deletes_deferred = 0;
+  uint64_t orphans_collected = 0;
+  // Recovery behavior (state-store side).
+  uint64_t cas_attempts = 0;
+  uint64_t cas_conflicts = 0;
+  uint64_t db_transient_retries = 0;
+};
+
+void MergeFaultRecoveryStats(FaultRecoveryStats& into, const FaultRecoveryStats& from);
+
+// Fold one component's counters into the flattened report row.
+void AccumulateStoreFaults(FaultRecoveryStats& into, const FaultInjectionStats& from);
+void AccumulateDatabaseFaults(FaultRecoveryStats& into, const FaultInjectionStats& from);
+void AccumulateRecovery(FaultRecoveryStats& into, const RecoveryStats& from);
+void AccumulateStateStore(FaultRecoveryStats& into, const StateStoreStats& from);
 
 // One row per served request (the raw data behind every figure).
 struct RequestRecord {
@@ -51,6 +89,7 @@ struct SimulationReport {
   StoreAccounting object_store;
   KvAccounting database;
   OrchestratorOverheads overheads;
+  FaultRecoveryStats faults;
 
   // Latency distribution over all records.
   DistributionSummary LatencySummary() const;

@@ -143,6 +143,29 @@ void SerializeKvAccounting(const KvAccounting& accounting, ByteWriter& writer) {
   writer.WriteUint64(accounting.cas_conflicts);
 }
 
+void SerializeFaultRecoveryStats(const FaultRecoveryStats& stats, ByteWriter& writer) {
+  writer.WriteUint64(stats.store_faults);
+  writer.WriteUint64(stats.db_faults);
+  writer.WriteUint64(stats.corrupted_puts);
+  writer.WriteUint64(stats.torn_puts);
+  writer.WriteUint64(stats.latency_injections);
+  writer.WriteUint64(stats.restore_retries);
+  writer.WriteUint64(stats.restore_failures);
+  writer.WriteUint64(stats.restore_fallbacks);
+  writer.WriteUint64(stats.snapshots_quarantined);
+  writer.WriteUint64(stats.stale_entries_pruned);
+  writer.WriteUint64(stats.degraded_starts);
+  writer.WriteUint64(stats.observations_buffered);
+  writer.WriteUint64(stats.observations_replayed);
+  writer.WriteUint64(stats.observations_dropped);
+  writer.WriteUint64(stats.checkpoints_skipped);
+  writer.WriteUint64(stats.eviction_deletes_deferred);
+  writer.WriteUint64(stats.orphans_collected);
+  writer.WriteUint64(stats.cas_attempts);
+  writer.WriteUint64(stats.cas_conflicts);
+  writer.WriteUint64(stats.db_transient_retries);
+}
+
 }  // namespace
 
 void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
@@ -164,6 +187,9 @@ void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
   writer.WriteUint64(report.cold_starts);
   SerializeStoreAccounting(report.object_store, writer);
   SerializeKvAccounting(report.database, writer);
+  // Covering the fault/recovery counters means the fleet digest certifies
+  // that chaos runs — not just fault-free ones — are schedule-independent.
+  SerializeFaultRecoveryStats(report.faults, writer);
 }
 
 uint32_t ClusterReportCrc32(const ClusterReport& report) {
@@ -188,7 +214,84 @@ std::string SummarizeReport(const SimulationReport& report) {
                     1048576.0,
                 static_cast<double>(report.object_store.network_bytes_downloaded) /
                     1048576.0);
-  return out;
+  std::string summary_line(out);
+  const FaultRecoveryStats& faults = report.faults;
+  if (faults.store_faults + faults.db_faults + faults.restore_fallbacks +
+          faults.degraded_starts + faults.snapshots_quarantined >
+      0) {
+    std::snprintf(out, sizeof(out),
+                  " store_faults=%" PRIu64 " db_faults=%" PRIu64
+                  " restore_fallbacks=%" PRIu64 " quarantined=%" PRIu64
+                  " degraded_starts=%" PRIu64 " obs_replayed=%" PRIu64
+                  " checkpoints_skipped=%" PRIu64,
+                  faults.store_faults, faults.db_faults, faults.restore_fallbacks,
+                  faults.snapshots_quarantined, faults.degraded_starts,
+                  faults.observations_replayed, faults.checkpoints_skipped);
+    summary_line += out;
+  }
+  return summary_line;
+}
+
+std::string SummaryToCsv(const SimulationReport& report) {
+  const DistributionSummary summary = report.LatencySummary();
+  std::string csv("key,value\n");
+  char line[128];
+  const auto add_u64 = [&](const char* key, uint64_t value) {
+    std::snprintf(line, sizeof(line), "%s,%" PRIu64 "\n", key, value);
+    csv += line;
+  };
+  const auto add_f64 = [&](const char* key, double value) {
+    std::snprintf(line, sizeof(line), "%s,%.3f\n", key, value);
+    csv += line;
+  };
+  add_u64("requests", report.records.size());
+  add_f64("p50_us", summary.Quantile(50));
+  add_f64("p90_us", summary.Quantile(90));
+  add_f64("p99_us", summary.Quantile(99));
+  add_u64("worker_lifetimes", report.worker_lifetimes);
+  add_u64("cold_starts", report.cold_starts);
+  add_u64("restores", report.restores);
+  add_u64("checkpoints", report.checkpoints);
+  add_u64("object_store_peak_bytes", report.object_store.peak_logical_bytes);
+  add_u64("object_store_puts", report.object_store.put_count);
+  add_u64("object_store_gets", report.object_store.get_count);
+  add_u64("database_reads", report.database.reads);
+  add_u64("database_writes", report.database.writes);
+  const FaultRecoveryStats& faults = report.faults;
+  add_u64("store_faults", faults.store_faults);
+  add_u64("db_faults", faults.db_faults);
+  add_u64("corrupted_puts", faults.corrupted_puts);
+  add_u64("torn_puts", faults.torn_puts);
+  add_u64("latency_injections", faults.latency_injections);
+  add_u64("restore_retries", faults.restore_retries);
+  add_u64("restore_failures", faults.restore_failures);
+  add_u64("restore_fallbacks", faults.restore_fallbacks);
+  add_u64("snapshots_quarantined", faults.snapshots_quarantined);
+  add_u64("stale_entries_pruned", faults.stale_entries_pruned);
+  add_u64("degraded_starts", faults.degraded_starts);
+  add_u64("observations_buffered", faults.observations_buffered);
+  add_u64("observations_replayed", faults.observations_replayed);
+  add_u64("observations_dropped", faults.observations_dropped);
+  add_u64("checkpoints_skipped", faults.checkpoints_skipped);
+  add_u64("eviction_deletes_deferred", faults.eviction_deletes_deferred);
+  add_u64("orphans_collected", faults.orphans_collected);
+  add_u64("state_cas_attempts", faults.cas_attempts);
+  add_u64("state_cas_conflicts", faults.cas_conflicts);
+  add_u64("db_transient_retries", faults.db_transient_retries);
+  return csv;
+}
+
+Status WriteSummaryCsv(const SimulationReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  out << SummaryToCsv(report);
+  out.flush();
+  if (!out) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
 }
 
 }  // namespace pronghorn

@@ -22,7 +22,15 @@ Result<std::vector<RequestRecord>> RecordsFromCsv(std::string_view csv);
 Result<std::vector<RequestRecord>> ReadRecordsCsv(const std::string& path);
 
 // One-line key=value summary of a report (counters + medians) for logs.
+// When fault/recovery counters are nonzero, a `faults=... recovered=...`
+// block is appended.
 std::string SummarizeReport(const SimulationReport& report);
+
+// Key,value CSV of a report's scalar summary: latency percentiles, platform
+// counters, store accountings, and every fault/recovery counter. The rows a
+// results/ directory wants next to the per-request records.
+std::string SummaryToCsv(const SimulationReport& report);
+Status WriteSummaryCsv(const SimulationReport& report, const std::string& path);
 
 // Canonical binary serialization of a ClusterReport: every record field,
 // both role-split latency distributions (samples in recorded order), all

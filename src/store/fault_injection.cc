@@ -2,33 +2,130 @@
 
 namespace pronghorn {
 
+namespace {
+
+// Applies the plan's scheduled windows at the clock's current instant:
+// advances the clock through any active latency window and reports whether
+// an outage window covers the op. Windows are evaluated against one snapshot
+// of `now` so an injected delay cannot silently end the window mid-check.
+bool InOutage(const FaultPlan& plan, SimClock* clock, FaultDomain domain,
+              FaultInjectionStats& stats) {
+  if (clock == nullptr || plan.windows.empty()) {
+    return false;
+  }
+  const TimePoint now = clock->now();
+  bool outage = false;
+  for (const FaultWindow& window : plan.windows) {
+    if (!window.AppliesTo(domain) || !window.Covers(now)) {
+      continue;
+    }
+    if (window.kind == FaultWindow::Kind::kLatency) {
+      clock->Advance(window.extra_latency);
+      stats.latency_injections += 1;
+    } else {
+      outage = true;
+    }
+  }
+  return outage;
+}
+
+}  // namespace
+
+bool FaultPlan::Active() const {
+  return get_failure_rate > 0.0 || put_failure_rate > 0.0 ||
+         delete_failure_rate > 0.0 || metadata_failure_rate > 0.0 ||
+         corruption_rate > 0.0 || torn_write_rate > 0.0 || !windows.empty();
+}
+
+// --- FaultyObjectStore -------------------------------------------------------
+
+bool FaultyObjectStore::ShouldFail(double rate) const {
+  if (InOutage(plan_, clock_, FaultDomain::kObjectStore, stats_)) {
+    stats_.faults_injected += 1;
+    stats_.outage_faults += 1;
+    return true;
+  }
+  if (rng_.Bernoulli(rate)) {
+    stats_.faults_injected += 1;
+    return true;
+  }
+  return false;
+}
+
 Status FaultyObjectStore::Put(std::string_view key, ObjectBlob blob) {
-  if (rng_.Bernoulli(plan_.put_failure_rate)) {
-    faults_injected_ += 1;
+  if (ShouldFail(plan_.put_failure_rate)) {
     return UnavailableError("injected object-store put failure");
+  }
+  if (rng_.Bernoulli(plan_.torn_write_rate) && !blob.bytes.empty()) {
+    // Partial upload: half the payload lands, the call still fails. The
+    // stored garbage is an orphan until GC (or a successful rewrite) reaps it.
+    ObjectBlob torn;
+    torn.bytes.assign(blob.bytes.begin(),
+                      blob.bytes.begin() +
+                          static_cast<std::ptrdiff_t>(blob.bytes.size() / 2));
+    torn.logical_size = blob.logical_size / 2;
+    stats_.torn_puts += 1;
+    stats_.faults_injected += 1;
+    (void)inner_.Put(key, std::move(torn));
+    return UnavailableError("injected torn object-store put");
+  }
+  if (rng_.Bernoulli(plan_.corruption_rate) && !blob.bytes.empty()) {
+    // Silent bit rot: flip one bit and report success. Only the snapshot
+    // image CRC can catch this, at restore time.
+    const uint64_t bit = rng_.UniformUint64(blob.bytes.size() * 8);
+    blob.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    stats_.corrupted_puts += 1;
   }
   return inner_.Put(key, std::move(blob));
 }
 
 Result<ObjectBlob> FaultyObjectStore::Get(std::string_view key) {
-  if (rng_.Bernoulli(plan_.get_failure_rate)) {
-    faults_injected_ += 1;
+  if (ShouldFail(plan_.get_failure_rate)) {
     return UnavailableError("injected object-store get failure");
   }
   return inner_.Get(key);
 }
 
 Status FaultyObjectStore::Delete(std::string_view key) {
-  if (rng_.Bernoulli(plan_.delete_failure_rate)) {
-    faults_injected_ += 1;
+  if (ShouldFail(plan_.delete_failure_rate)) {
     return UnavailableError("injected object-store delete failure");
   }
   return inner_.Delete(key);
 }
 
-Status FaultyKvDatabase::MaybeFail(double rate, const char* operation) {
+bool FaultyObjectStore::Contains(std::string_view key) const {
+  if (ShouldFail(plan_.metadata_failure_rate)) {
+    stats_.metadata_faults += 1;
+    return false;  // The metadata index is unreachable.
+  }
+  return inner_.Contains(key);
+}
+
+std::vector<std::string> FaultyObjectStore::ListKeys(std::string_view prefix) const {
+  if (ShouldFail(plan_.metadata_failure_rate)) {
+    stats_.metadata_faults += 1;
+    return {};
+  }
+  return inner_.ListKeys(prefix);
+}
+
+// --- FaultyKvDatabase --------------------------------------------------------
+
+bool FaultyKvDatabase::ShouldFail(double rate) const {
+  if (InOutage(plan_, clock_, FaultDomain::kDatabase, stats_)) {
+    stats_.faults_injected += 1;
+    stats_.outage_faults += 1;
+    return true;
+  }
   if (rng_.Bernoulli(rate)) {
-    faults_injected_ += 1;
+    stats_.faults_injected += 1;
+    return true;
+  }
+  return false;
+}
+
+Status FaultyKvDatabase::MaybeFail(double rate, const char* operation) {
+  if (ShouldFail(rate)) {
     return UnavailableError(std::string("injected database failure: ") + operation);
   }
   return OkStatus();
@@ -63,6 +160,14 @@ Status FaultyKvDatabase::Delete(std::string_view key) {
 Result<int64_t> FaultyKvDatabase::Increment(std::string_view key) {
   PRONGHORN_RETURN_IF_ERROR(MaybeFail(plan_.put_failure_rate, "increment"));
   return inner_.Increment(key);
+}
+
+std::vector<std::string> FaultyKvDatabase::ListKeys(std::string_view prefix) const {
+  if (ShouldFail(plan_.metadata_failure_rate)) {
+    stats_.metadata_faults += 1;
+    return {};
+  }
+  return inner_.ListKeys(prefix);
 }
 
 }  // namespace pronghorn

@@ -1,59 +1,144 @@
-// Fault-injecting decorators for the storage layer.
+// Deterministic fault schedules for the storage layer.
 //
 // Distributed deployments lose object-store reads and database round trips
-// to transient failures. These decorators wrap any ObjectStore/KvDatabase
-// and fail a configurable fraction of operations with kUnavailable, letting
-// tests and benches verify the orchestrator's degradation behavior (restore
-// failures fall back to cold starts; knowledge writes surface errors).
+// to transient failures, partial uploads, and flipped bits. These decorators
+// wrap any ObjectStore/KvDatabase and inject faults from a seeded FaultPlan,
+// letting tests and benches verify the orchestrator's degradation behavior
+// (restore failures fall back to the next-best snapshot; knowledge writes
+// are buffered through outages; corrupt images are quarantined).
+//
+// Faults come in two flavors:
+//   - Per-operation rates: each op kind fails with kUnavailable with a fixed
+//     probability, drawn from a seeded Rng (bit-reproducible across runs).
+//   - Scheduled windows: [start, end) intervals of *simulated* time during
+//     which a whole domain (object store, database, or both) is down
+//     (kOutage) or slow (kLatency adds a fixed delay to every op). Windows
+//     require the decorator to hold the simulation's clock; without a clock
+//     they are ignored.
+//
+// Object-store writes additionally support two data-integrity faults:
+//   - corruption_rate: the stored image gets one bit flipped. The write
+//     "succeeds"; the damage is only caught later by the snapshot CRC.
+//   - torn_write_rate: a truncated prefix lands in the store and the call
+//     still fails with kUnavailable — a partial upload whose garbage blob
+//     must eventually be garbage-collected.
 
 #ifndef PRONGHORN_SRC_STORE_FAULT_INJECTION_H_
 #define PRONGHORN_SRC_STORE_FAULT_INJECTION_H_
 
+#include <vector>
+
+#include "src/common/clock.h"
 #include "src/common/rng.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
 
 namespace pronghorn {
 
+// Which storage service a scheduled fault window hits.
+enum class FaultDomain {
+  kObjectStore = 0,
+  kDatabase = 1,
+  kBoth = 2,
+};
+
+// One scheduled fault interval in simulated time, half-open [start, end).
+struct FaultWindow {
+  enum class Kind {
+    kOutage = 0,   // Every op in the domain fails with kUnavailable.
+    kLatency = 1,  // Every op in the domain takes extra_latency longer.
+  };
+
+  Kind kind = Kind::kOutage;
+  FaultDomain domain = FaultDomain::kBoth;
+  TimePoint start;
+  TimePoint end;
+  Duration extra_latency;  // kLatency only.
+
+  bool Covers(TimePoint t) const { return t >= start && t < end; }
+  bool AppliesTo(FaultDomain domain_in) const {
+    return domain == FaultDomain::kBoth || domain == domain_in;
+  }
+};
+
 struct FaultPlan {
   // Probability that each operation kind fails with kUnavailable.
   double get_failure_rate = 0.0;
   double put_failure_rate = 0.0;
   double delete_failure_rate = 0.0;
+  // Metadata/list operations (ObjectStore Contains/ListKeys, KvDatabase
+  // ListKeys). These interfaces cannot return a Status, so a metadata fault
+  // models an unreachable index: Contains reports false, ListKeys reports
+  // nothing.
+  double metadata_failure_rate = 0.0;
+  // Object-store Put bit-flip corruption (stored image is damaged, write
+  // reports success).
+  double corruption_rate = 0.0;
+  // Object-store Put torn write (truncated blob stored, write reports
+  // kUnavailable).
+  double torn_write_rate = 0.0;
+
+  // Scheduled outage/latency windows (simulated time; need a clock).
+  std::vector<FaultWindow> windows;
 
   uint64_t seed = 0;
+
+  // True when any fault can ever fire (a zero plan lets simulations skip the
+  // decorators entirely, preserving byte-identical no-fault baselines).
+  bool Active() const;
+};
+
+// What a decorator injected so far (mirrored into the platform reports).
+struct FaultInjectionStats {
+  uint64_t faults_injected = 0;  // Ops failed with kUnavailable (rate + outage).
+  uint64_t outage_faults = 0;    // Subset of faults_injected from kOutage windows.
+  uint64_t metadata_faults = 0;  // Contains/ListKeys deflections (also counted above).
+  uint64_t corrupted_puts = 0;
+  uint64_t torn_puts = 0;
+  uint64_t latency_injections = 0;
 };
 
 // ObjectStore decorator. The inner store is borrowed and must outlive this.
+// `clock` (borrowed, may be null) enables scheduled windows and receives the
+// injected latency of kLatency windows.
 class FaultyObjectStore : public ObjectStore {
  public:
-  FaultyObjectStore(ObjectStore& inner, FaultPlan plan)
-      : inner_(inner), plan_(plan), rng_(HashCombine(plan.seed, 0xfa17ULL)) {}
+  FaultyObjectStore(ObjectStore& inner, FaultPlan plan, SimClock* clock = nullptr)
+      : inner_(inner),
+        plan_(std::move(plan)),
+        clock_(clock),
+        rng_(HashCombine(plan_.seed, 0xfa17ULL)) {}
 
   Status Put(std::string_view key, ObjectBlob blob) override;
   Result<ObjectBlob> Get(std::string_view key) override;
   Status Delete(std::string_view key) override;
-  bool Contains(std::string_view key) const override { return inner_.Contains(key); }
-  std::vector<std::string> ListKeys(std::string_view prefix) const override {
-    return inner_.ListKeys(prefix);
-  }
+  bool Contains(std::string_view key) const override;
+  std::vector<std::string> ListKeys(std::string_view prefix) const override;
   StoreAccounting accounting() const override { return inner_.accounting(); }
 
-  uint64_t faults_injected() const { return faults_injected_; }
+  const FaultInjectionStats& stats() const { return stats_; }
+  uint64_t faults_injected() const { return stats_.faults_injected; }
 
  private:
+  // Applies windows and the per-op rate; true means the op must fail.
+  bool ShouldFail(double rate) const;
+
   ObjectStore& inner_;
   FaultPlan plan_;
-  Rng rng_;
-  uint64_t faults_injected_ = 0;
+  SimClock* clock_;
+  mutable Rng rng_;
+  mutable FaultInjectionStats stats_;
 };
 
 // KvDatabase decorator. Reads and writes fail independently per the plan
-// (CAS counts as a write). The inner database is borrowed.
+// (CAS and Increment count as writes). The inner database is borrowed.
 class FaultyKvDatabase : public KvDatabase {
  public:
-  FaultyKvDatabase(KvDatabase& inner, FaultPlan plan)
-      : inner_(inner), plan_(plan), rng_(HashCombine(plan.seed, 0xfadbULL)) {}
+  FaultyKvDatabase(KvDatabase& inner, FaultPlan plan, SimClock* clock = nullptr)
+      : inner_(inner),
+        plan_(std::move(plan)),
+        clock_(clock),
+        rng_(HashCombine(plan_.seed, 0xfadbULL)) {}
 
   Status Put(std::string_view key, std::vector<uint8_t> value) override;
   Result<std::vector<uint8_t>> Get(std::string_view key) override;
@@ -62,20 +147,21 @@ class FaultyKvDatabase : public KvDatabase {
                         std::vector<uint8_t> value) override;
   Status Delete(std::string_view key) override;
   Result<int64_t> Increment(std::string_view key) override;
-  std::vector<std::string> ListKeys(std::string_view prefix) const override {
-    return inner_.ListKeys(prefix);
-  }
+  std::vector<std::string> ListKeys(std::string_view prefix) const override;
   KvAccounting accounting() const override { return inner_.accounting(); }
 
-  uint64_t faults_injected() const { return faults_injected_; }
+  const FaultInjectionStats& stats() const { return stats_; }
+  uint64_t faults_injected() const { return stats_.faults_injected; }
 
  private:
+  bool ShouldFail(double rate) const;
   Status MaybeFail(double rate, const char* operation);
 
   KvDatabase& inner_;
   FaultPlan plan_;
-  Rng rng_;
-  uint64_t faults_injected_ = 0;
+  SimClock* clock_;
+  mutable Rng rng_;
+  mutable FaultInjectionStats stats_;
 };
 
 }  // namespace pronghorn

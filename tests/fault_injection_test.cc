@@ -54,6 +54,153 @@ TEST(FaultyObjectStoreTest, AlwaysFailMode) {
   EXPECT_FALSE(inner.Contains("k"));  // Nothing reached the inner store.
 }
 
+TEST(FaultyObjectStoreTest, MetadataFaultsHideKeys) {
+  InMemoryObjectStore inner;
+  ASSERT_TRUE(inner.Put("snapshots/a", Blob("v")).ok());
+  FaultPlan plan;
+  plan.metadata_failure_rate = 1.0;
+  FaultyObjectStore store(inner, plan);
+  EXPECT_FALSE(store.Contains("snapshots/a"));
+  EXPECT_TRUE(store.ListKeys("snapshots/").empty());
+  EXPECT_EQ(store.stats().metadata_faults, 2u);
+  // The data path is untouched: the blob is still readable.
+  EXPECT_TRUE(store.Get("snapshots/a").ok());
+}
+
+TEST(FaultyObjectStoreTest, TornWriteStoresTruncatedPrefixAndFails) {
+  InMemoryObjectStore inner;
+  FaultPlan plan;
+  plan.torn_write_rate = 1.0;
+  FaultyObjectStore store(inner, plan);
+  EXPECT_EQ(store.Put("k", Blob("0123456789")).code(), StatusCode::kUnavailable);
+  // Half the payload landed anyway — the partial-upload garbage GC must clean.
+  auto stored = inner.Get("k");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->bytes.size(), 5u);
+  EXPECT_EQ(store.stats().torn_puts, 1u);
+}
+
+TEST(FaultyObjectStoreTest, CorruptionFlipsOneBitAndReportsSuccess) {
+  InMemoryObjectStore inner;
+  FaultPlan plan;
+  plan.corruption_rate = 1.0;
+  plan.seed = 3;
+  FaultyObjectStore store(inner, plan);
+  const ObjectBlob original = Blob("snapshot-image-payload");
+  ASSERT_TRUE(store.Put("k", original).ok());  // The write "succeeds".
+  auto stored = inner.Get("k");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_EQ(stored->bytes.size(), original.bytes.size());
+  size_t flipped_bits = 0;
+  for (size_t i = 0; i < stored->bytes.size(); ++i) {
+    uint8_t diff = static_cast<uint8_t>(stored->bytes[i] ^ original.bytes[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1u;
+      diff = static_cast<uint8_t>(diff >> 1);
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1u);
+  EXPECT_EQ(store.stats().corrupted_puts, 1u);
+}
+
+TEST(FaultyObjectStoreTest, OutageWindowFailsEveryOpWhileOpen) {
+  SimClock clock;
+  InMemoryObjectStore inner;
+  ASSERT_TRUE(inner.Put("k", Blob("v")).ok());
+  FaultPlan plan;
+  FaultWindow window;
+  window.kind = FaultWindow::Kind::kOutage;
+  window.domain = FaultDomain::kObjectStore;
+  window.start = TimePoint() + Duration::Seconds(10);
+  window.end = TimePoint() + Duration::Seconds(20);
+  plan.windows.push_back(window);
+  FaultyObjectStore store(inner, plan, &clock);
+
+  EXPECT_TRUE(store.Get("k").ok());  // Before the window.
+  clock.Advance(Duration::Seconds(15));
+  EXPECT_EQ(store.Get("k").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.Put("k2", Blob("v")).code(), StatusCode::kUnavailable);
+  clock.Advance(Duration::Seconds(10));
+  EXPECT_TRUE(store.Get("k").ok());  // After the window.
+  EXPECT_EQ(store.stats().outage_faults, 2u);
+}
+
+TEST(FaultyObjectStoreTest, OutageWindowScopedToOtherDomainIsIgnored) {
+  SimClock clock;
+  InMemoryObjectStore inner;
+  ASSERT_TRUE(inner.Put("k", Blob("v")).ok());
+  FaultPlan plan;
+  FaultWindow window;
+  window.domain = FaultDomain::kDatabase;  // Database-only outage.
+  window.start = TimePoint();
+  window.end = TimePoint() + Duration::Seconds(100);
+  plan.windows.push_back(window);
+  FaultyObjectStore store(inner, plan, &clock);
+  clock.Advance(Duration::Seconds(5));
+  EXPECT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(store.faults_injected(), 0u);
+}
+
+TEST(FaultyObjectStoreTest, LatencyWindowAdvancesClock) {
+  SimClock clock;
+  InMemoryObjectStore inner;
+  ASSERT_TRUE(inner.Put("k", Blob("v")).ok());
+  FaultPlan plan;
+  FaultWindow window;
+  window.kind = FaultWindow::Kind::kLatency;
+  window.start = TimePoint();
+  window.end = TimePoint() + Duration::Seconds(10);
+  window.extra_latency = Duration::Millis(250);
+  plan.windows.push_back(window);
+  FaultyObjectStore store(inner, plan, &clock);
+
+  const TimePoint before = clock.now();
+  EXPECT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(clock.now() - before, Duration::Millis(250));
+  EXPECT_EQ(store.stats().latency_injections, 1u);
+  // Outside the window the op is full speed again.
+  clock.AdvanceTo(TimePoint() + Duration::Seconds(11));
+  const TimePoint after = clock.now();
+  EXPECT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(clock.now(), after);
+}
+
+TEST(FaultyKvDatabaseTest, MetadataFaultsHideKeys) {
+  InMemoryKvDatabase inner;
+  ASSERT_TRUE(inner.Put("state/fn", {1}).ok());
+  FaultPlan plan;
+  plan.metadata_failure_rate = 1.0;
+  FaultyKvDatabase db(inner, plan);
+  EXPECT_TRUE(db.ListKeys("state/").empty());
+  EXPECT_EQ(db.stats().metadata_faults, 1u);
+}
+
+TEST(FaultyKvDatabaseTest, OutageWindowCoversDatabaseDomain) {
+  SimClock clock;
+  InMemoryKvDatabase inner;
+  ASSERT_TRUE(inner.Put("k", {1}).ok());
+  FaultPlan plan;
+  FaultWindow window;
+  window.domain = FaultDomain::kDatabase;
+  window.start = TimePoint();
+  window.end = TimePoint() + Duration::Seconds(2);
+  plan.windows.push_back(window);
+  FaultyKvDatabase db(inner, plan, &clock);
+  EXPECT_EQ(db.Get("k").status().code(), StatusCode::kUnavailable);
+  clock.Advance(Duration::Seconds(3));
+  EXPECT_TRUE(db.Get("k").ok());
+}
+
+TEST(FaultPlanTest, ActiveDetectsAnyFaultSource) {
+  EXPECT_FALSE(FaultPlan{}.Active());
+  FaultPlan rates;
+  rates.torn_write_rate = 0.01;
+  EXPECT_TRUE(rates.Active());
+  FaultPlan windows;
+  windows.windows.push_back(FaultWindow{});
+  EXPECT_TRUE(windows.Active());
+}
+
 TEST(FaultyKvDatabaseTest, ReadsAndWritesFailIndependently) {
   InMemoryKvDatabase inner;
   FaultPlan plan;

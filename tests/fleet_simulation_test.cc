@@ -47,11 +47,13 @@ std::vector<const WorkloadProfile*> TestProfiles() {
 
 FleetReport MustRun(const OrchestrationPolicy& policy, uint32_t threads,
                     bool reverse_registration = false,
-                    FleetEvictionSpec eviction = FleetEvictionSpec{}) {
+                    FleetEvictionSpec eviction = FleetEvictionSpec{},
+                    FaultPlan faults = FaultPlan{}) {
   FleetOptions options;
   options.seed = kSeed;
   options.threads = threads;
   options.eviction = eviction;
+  options.faults = faults;
   FleetSimulation fleet(WorkloadRegistry::Default(), options);
 
   const auto profiles = TestProfiles();
@@ -125,6 +127,35 @@ TEST(FleetSimulationTest, GeometricEvictionStaysDeterministicAcrossThreads) {
   const FleetReport one = MustRun(policy, 1, false, eviction);
   const FleetReport four = MustRun(policy, 4, false, eviction);
   EXPECT_EQ(one.Digest(), four.Digest());
+}
+
+TEST(FleetSimulationTest, FaultPlanStaysBitIdenticalAcrossThreadCounts) {
+  // The chaos layer must not break the fleet's determinism guarantee: fault
+  // draws come from per-function scoped seeds and backoff jitter from the
+  // per-orchestrator Rng, so thread scheduling cannot leak into them. The
+  // digest covers the merged FaultRecoveryStats, so this also pins the
+  // recovery counters, not just the latency records.
+  const RequestCentricPolicy policy = MakePolicy();
+  FaultPlan faults;
+  faults.get_failure_rate = 0.10;
+  faults.put_failure_rate = 0.10;
+  faults.delete_failure_rate = 0.10;
+  faults.metadata_failure_rate = 0.10;
+  faults.corruption_rate = 0.02;
+  const FleetReport one = MustRun(policy, 1, false, FleetEvictionSpec{}, faults);
+  const FleetReport two = MustRun(policy, 2, false, FleetEvictionSpec{}, faults);
+  const FleetReport eight = MustRun(policy, 8, false, FleetEvictionSpec{}, faults);
+
+  // Faults really fired (otherwise this test is vacuous)...
+  EXPECT_GT(one.faults.store_faults + one.faults.db_faults, 0u);
+  // ...and the merged report is byte-identical whatever the thread count.
+  EXPECT_EQ(one.Digest(), two.Digest());
+  EXPECT_EQ(one.Digest(), eight.Digest());
+
+  // A fault plan must also change behavior relative to the healthy fleet.
+  const FleetReport healthy = MustRun(policy, 2);
+  EXPECT_NE(one.Digest(), healthy.Digest());
+  EXPECT_EQ(healthy.faults.store_faults + healthy.faults.db_faults, 0u);
 }
 
 TEST(FleetSimulationTest, FleetCountersAreSumsOfPerFunctionCounters) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/store/fault_injection.h"
+
 namespace pronghorn {
 namespace {
 
@@ -169,6 +171,82 @@ TEST(PolicyStateStoreTest, CorruptBlobSurfacesDataLoss) {
   ASSERT_TRUE(db.Put("policy/fn/state", {0x01, 0x02}).ok());
   PolicyStateStore store(db, "fn", TestConfig());
   EXPECT_FALSE(store.Load().ok());
+}
+
+TEST(PolicyStateCodecTest, RoundTripsRestoreFailureLedger) {
+  // v2 of the blob format appends the restore-failure strike ledger.
+  PolicyState state(TestConfig());
+  state.theta.Update(3, 0.05, 0.3);
+  ASSERT_TRUE(state.pool.Add(Entry(1, 3)).ok());
+  state.restore_failures[1] = 2;
+  state.restore_failures[9] = 1;
+
+  const auto encoded = EncodePolicyState(state);
+  auto decoded = DecodePolicyState(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, state);
+  EXPECT_EQ(decoded->restore_failures.size(), 2u);
+  EXPECT_EQ(decoded->restore_failures.at(1), 2u);
+  EXPECT_EQ(decoded->restore_failures.at(9), 1u);
+}
+
+TEST(PolicyStateStoreTest, StatsCountLoadsUpdatesAndCasAttempts) {
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "fn", TestConfig());
+  ASSERT_TRUE(store.Load().ok());
+  ASSERT_TRUE(
+      store.Update([](PolicyState& state) { state.theta.Update(1, 0.1, 0.3); }).ok());
+  const StateStoreStats& stats = store.stats();
+  // Update reads the versioned blob directly; only Load() counts as a load.
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.cas_attempts, 1u);
+  EXPECT_EQ(stats.cas_conflicts, 0u);
+  EXPECT_EQ(stats.transient_retries, 0u);
+}
+
+TEST(PolicyStateStoreTest, TransientFailuresRetryWithBackoffInSimulatedTime) {
+  // A database-domain outage that ends mid-retry: the first attempts fail,
+  // backoff advances the simulated clock past the window's end, and the
+  // operation then succeeds without surfacing an error.
+  SimClock clock;
+  InMemoryKvDatabase inner;
+  FaultPlan plan;
+  FaultWindow window;
+  window.domain = FaultDomain::kDatabase;
+  window.start = TimePoint();
+  window.end = TimePoint() + Duration::Millis(5);
+  plan.windows.push_back(window);
+  FaultyKvDatabase db(inner, plan, &clock);
+
+  PolicyStateStore store(db, "fn", TestConfig(), &clock);
+  ASSERT_TRUE(
+      store.Update([](PolicyState& state) { state.theta.Update(1, 0.1, 0.3); }).ok());
+  const StateStoreStats& stats = store.stats();
+  EXPECT_GE(stats.transient_retries, 1u);
+  EXPECT_GT(stats.total_backoff, Duration::Zero());
+  EXPECT_EQ(clock.now(), TimePoint() + stats.total_backoff);
+}
+
+TEST(PolicyStateStoreTest, ExhaustedTransientRetriesSurfaceUnavailable) {
+  // Under a permanent outage every retry burns out and the caller sees
+  // kUnavailable (which the orchestrator turns into a degraded start).
+  SimClock clock;
+  InMemoryKvDatabase inner;
+  FaultPlan plan;
+  FaultWindow window;
+  window.domain = FaultDomain::kDatabase;
+  window.start = TimePoint();
+  window.end = TimePoint() + Duration::Seconds(3600);
+  plan.windows.push_back(window);
+  FaultyKvDatabase db(inner, plan, &clock);
+
+  StateStoreRetryPolicy retry;
+  retry.max_transient_retries = 3;
+  PolicyStateStore store(db, "fn", TestConfig(), &clock, retry);
+  EXPECT_EQ(store.Load().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.stats().transient_retries, 3u);
+  EXPECT_GT(clock.now(), TimePoint());  // Backoff happened in simulated time.
 }
 
 }  // namespace

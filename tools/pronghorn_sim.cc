@@ -107,6 +107,130 @@ Result<PolicyConfig> MakeConfig(const WorkloadProfile& profile, const FlagParser
   return config;
 }
 
+// Grammar: "start:end" (seconds) with an optional "@store" / "@db" domain
+// suffix, comma-separated. Example: --fault-outage 10:12@db,30:31
+Result<std::vector<FaultWindow>> ParseOutageWindows(const std::string& spec) {
+  std::vector<FaultWindow> windows;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    FaultWindow window;
+    window.kind = FaultWindow::Kind::kOutage;
+    const size_t at = item.find('@');
+    if (at != std::string::npos) {
+      const std::string domain = item.substr(at + 1);
+      if (domain == "store") {
+        window.domain = FaultDomain::kObjectStore;
+      } else if (domain == "db") {
+        window.domain = FaultDomain::kDatabase;
+      } else {
+        return InvalidArgumentError("outage domain must be 'store' or 'db', got '" +
+                                    domain + "'");
+      }
+      item = item.substr(0, at);
+    }
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgumentError("outage window needs start:end, got '" + item + "'");
+    }
+    const double start = std::strtod(item.c_str(), nullptr);
+    const double stop = std::strtod(item.c_str() + colon + 1, nullptr);
+    if (stop <= start) {
+      return InvalidArgumentError("outage window end must be after start");
+    }
+    window.start = TimePoint() + Duration::Seconds(start);
+    window.end = TimePoint() + Duration::Seconds(stop);
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+// Grammar: "start:end:extra_ms" (seconds, seconds, milliseconds),
+// comma-separated. Example: --fault-latency 5:8:250
+Result<std::vector<FaultWindow>> ParseLatencyWindows(const std::string& spec) {
+  std::vector<FaultWindow> windows;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const size_t first = item.find(':');
+    const size_t second = first == std::string::npos ? std::string::npos
+                                                     : item.find(':', first + 1);
+    if (second == std::string::npos) {
+      return InvalidArgumentError("latency window needs start:end:ms, got '" + item +
+                                  "'");
+    }
+    const double start = std::strtod(item.c_str(), nullptr);
+    const double stop = std::strtod(item.c_str() + first + 1, nullptr);
+    const double extra_ms = std::strtod(item.c_str() + second + 1, nullptr);
+    if (stop <= start || extra_ms <= 0) {
+      return InvalidArgumentError("latency window needs end > start and ms > 0");
+    }
+    FaultWindow window;
+    window.kind = FaultWindow::Kind::kLatency;
+    window.start = TimePoint() + Duration::Seconds(start);
+    window.end = TimePoint() + Duration::Seconds(stop);
+    window.extra_latency = Duration::Millis(static_cast<int64_t>(extra_ms));
+    windows.push_back(window);
+  }
+  return windows;
+}
+
+Result<FaultPlan> ParseFaultPlan(const FlagParser& flags) {
+  FaultPlan plan;
+  PRONGHORN_ASSIGN_OR_RETURN(const double rate, flags.GetDouble("fault-rate"));
+  PRONGHORN_ASSIGN_OR_RETURN(const double corrupt, flags.GetDouble("fault-corrupt"));
+  PRONGHORN_ASSIGN_OR_RETURN(const double torn, flags.GetDouble("fault-torn"));
+  if (rate < 0 || rate > 1 || corrupt < 0 || corrupt > 1 || torn < 0 || torn > 1) {
+    return InvalidArgumentError("fault rates must be in [0, 1]");
+  }
+  plan.get_failure_rate = rate;
+  plan.put_failure_rate = rate;
+  plan.delete_failure_rate = rate;
+  plan.metadata_failure_rate = rate;
+  plan.corruption_rate = corrupt;
+  plan.torn_write_rate = torn;
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t fault_seed, flags.GetInt("fault-seed"));
+  plan.seed = static_cast<uint64_t>(fault_seed);
+  PRONGHORN_ASSIGN_OR_RETURN(auto outages,
+                             ParseOutageWindows(*flags.GetString("fault-outage")));
+  PRONGHORN_ASSIGN_OR_RETURN(auto spikes,
+                             ParseLatencyWindows(*flags.GetString("fault-latency")));
+  plan.windows = std::move(outages);
+  plan.windows.insert(plan.windows.end(), spikes.begin(), spikes.end());
+  return plan;
+}
+
+void PrintFaultLine(const FaultRecoveryStats& faults) {
+  std::printf("faults: store=%llu db=%llu corrupted=%llu torn=%llu "
+              "fallbacks=%llu quarantined=%llu degraded=%llu replayed=%llu "
+              "ckpt_skipped=%llu\n",
+              static_cast<unsigned long long>(faults.store_faults),
+              static_cast<unsigned long long>(faults.db_faults),
+              static_cast<unsigned long long>(faults.corrupted_puts),
+              static_cast<unsigned long long>(faults.torn_puts),
+              static_cast<unsigned long long>(faults.restore_fallbacks),
+              static_cast<unsigned long long>(faults.snapshots_quarantined),
+              static_cast<unsigned long long>(faults.degraded_starts),
+              static_cast<unsigned long long>(faults.observations_replayed),
+              static_cast<unsigned long long>(faults.checkpoints_skipped));
+}
+
 // A policy plus whatever inner policy it wraps (stop-condition keeps per-
 // instance exploration state, so fleet mode builds one pair per deployment).
 struct OwnedPolicy {
@@ -164,6 +288,11 @@ int RunFleet(const FlagParser& flags, uint64_t seed, uint64_t requests) {
   options.threads = static_cast<uint32_t>(threads);
   options.input_noise = !flags.GetBool("no-noise").value_or(false);
   options.eviction = *eviction;
+  auto faults = ParseFaultPlan(flags);
+  if (!faults.ok()) {
+    return Fail(faults.status());
+  }
+  options.faults = *faults;
   if (*flags.GetString("engine") == "delta") {
     std::fprintf(stderr, "note: fleet mode always uses the criu engine\n");
   }
@@ -220,6 +349,9 @@ int RunFleet(const FlagParser& flags, uint64_t seed, uint64_t requests) {
               static_cast<unsigned long long>(report->restores),
               static_cast<unsigned long long>(report->checkpoints),
               report->Digest());
+  if (options.faults.Active()) {
+    PrintFaultLine(report->faults);
+  }
 
   const size_t shown = std::min<size_t>(report->per_function.size(), 8);
   for (size_t i = 0; i < shown; ++i) {
@@ -280,6 +412,20 @@ int main(int argc, char** argv) {
   flags.AddFlag("slots", "4", "fleet: worker slots per function");
   flags.AddFlag("exploring", "1", "fleet: exploring slots per function");
   flags.AddFlag("csv", "", "write per-request records to this CSV file");
+  flags.AddFlag("summary-csv", "",
+                "single mode: write key,value summary (incl. fault/recovery "
+                "counters) to this CSV file");
+  flags.AddFlag("fault-rate", "0",
+                "transient failure probability per store/db op, in [0,1]");
+  flags.AddFlag("fault-corrupt", "0",
+                "probability a stored blob gets one bit flipped, in [0,1]");
+  flags.AddFlag("fault-torn", "0",
+                "probability a put is torn (half-written + failed), in [0,1]");
+  flags.AddFlag("fault-outage", "",
+                "outage windows 'start:end[@store|db]' in seconds, comma-separated");
+  flags.AddFlag("fault-latency", "",
+                "latency spikes 'start:end:ms' (seconds, extra ms), comma-separated");
+  flags.AddFlag("fault-seed", "0", "extra seed folded into the fault streams");
   flags.AddSwitch("no-noise", "disable client input-size noise");
   flags.AddSwitch("list", "list benchmarks and exit");
   flags.AddSwitch("help", "show usage");
@@ -347,6 +493,11 @@ int main(int argc, char** argv) {
   SimulationOptions options;
   options.seed = static_cast<uint64_t>(*seed);
   options.input_noise = !flags.GetBool("no-noise").value_or(false);
+  auto faults = ParseFaultPlan(flags);
+  if (!faults.ok()) {
+    return Fail(faults.status());
+  }
+  options.faults = *faults;
   const std::string engine_name = *flags.GetString("engine");
   if (engine_name == "delta") {
     options.engine_kind = EngineKind::kDelta;
@@ -369,6 +520,13 @@ int main(int argc, char** argv) {
       return Fail(s);
     }
     std::printf("wrote %zu records to %s\n", report->records.size(), csv_path.c_str());
+  }
+  const std::string summary_path = *flags.GetString("summary-csv");
+  if (!summary_path.empty()) {
+    if (Status s = WriteSummaryCsv(*report, summary_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote summary to %s\n", summary_path.c_str());
   }
   return 0;
 }

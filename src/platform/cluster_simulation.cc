@@ -1,164 +1,43 @@
 #include "src/platform/cluster_simulation.h"
 
-#include <algorithm>
-
 namespace pronghorn {
 
 namespace {
 
-// Mirrors FunctionSimulation's plan scoping (see function_simulation.cc).
-FaultPlan ScopeClusterPlan(const FaultPlan& base, uint64_t sim_seed, uint64_t salt) {
-  FaultPlan plan = base;
-  plan.seed = HashCombine(sim_seed, HashCombine(salt, base.seed));
-  return plan;
+EnvironmentOptions ToEnvironmentOptions(const ClusterOptions& options) {
+  EnvironmentOptions env;
+  env.seed = options.seed;
+  env.engine_kind = options.engine_kind;
+  env.input_noise = options.input_noise;
+  env.costs = options.costs;
+  env.faults = options.faults;
+  env.recovery = options.recovery;
+  return env;
 }
 
 }  // namespace
-
-DistributionSummary ClusterReport::LatencySummary() const {
-  DistributionSummary summary;
-  for (const RequestRecord& record : records) {
-    summary.Add(static_cast<double>(record.latency.ToMicros()));
-  }
-  return summary;
-}
 
 ClusterSimulation::ClusterSimulation(const WorkloadProfile& profile,
                                      const WorkloadRegistry& registry,
                                      const OrchestrationPolicy& policy,
                                      const EvictionModel& eviction,
                                      ClusterOptions options)
-    : profile_(profile),
-      registry_(registry),
-      eviction_(eviction),
-      options_(options),
-      faulty_db_(options.faults.Active()
-                     ? std::optional<FaultyKvDatabase>(
-                           std::in_place, db_,
-                           ScopeClusterPlan(options.faults, options.seed, 0xdbULL),
-                           &clock_)
-                     : std::nullopt),
-      faulty_object_store_(
-          options.faults.Active()
-              ? std::optional<FaultyObjectStore>(
-                    std::in_place, object_store_,
-                    ScopeClusterPlan(options.faults, options.seed, 0x0bULL), &clock_)
-              : std::nullopt),
-      engine_(HashCombine(options.seed, 0xc1e1ULL)),
-      state_store_(faulty_db_.has_value() ? static_cast<KvDatabase&>(*faulty_db_)
-                                          : static_cast<KvDatabase&>(db_),
-                   profile.name, policy.config(), &clock_),
-      exploit_policy_(policy, /*explore_requests=*/0),
-      input_model_(profile, options.input_noise),
-      client_rng_(HashCombine(options.seed, 0xc1c1ULL)) {
-  options_.exploring_slots = std::min(options_.exploring_slots, options_.worker_slots);
-  ObjectStore& slot_store = faulty_object_store_.has_value()
-                                ? static_cast<ObjectStore&>(*faulty_object_store_)
-                                : static_cast<ObjectStore&>(object_store_);
-  slots_.reserve(options_.worker_slots);
-  for (uint32_t i = 0; i < options_.worker_slots; ++i) {
-    Slot slot;
-    slot.exploring = i < options_.exploring_slots;
-    const OrchestrationPolicy& slot_policy =
-        slot.exploring ? policy
-                       : static_cast<const OrchestrationPolicy&>(exploit_policy_);
-    slot.orchestrator = std::make_unique<Orchestrator>(
-        profile_, registry_, slot_policy, engine_, slot_store, state_store_, clock_,
-        HashCombine(options_.seed, 0x510ULL + i), options_.costs, options_.recovery);
-    slots_.push_back(std::move(slot));
-  }
-}
+    : env_(registry, ToEnvironmentOptions(options)),
+      init_(env_.AddDeployment(profile.name, profile, policy, eviction,
+                               options.worker_slots, options.exploring_slots,
+                               /*sub_seed=*/options.seed)) {}
 
 ClusterSimulation::~ClusterSimulation() = default;
 
 Result<ClusterReport> ClusterSimulation::RunClosedLoop(uint64_t request_count) {
-  if (slots_.empty()) {
-    return FailedPreconditionError("cluster has no worker slots");
-  }
-  ClusterReport report;
-  report.records.reserve(request_count);
-
-  for (uint64_t i = 0; i < request_count; ++i) {
-    // Least-loaded dispatch: the slot that frees earliest takes the next
-    // request; its client issues it at that moment (closed loop per slot).
-    Slot* slot = &slots_[0];
-    for (Slot& candidate : slots_) {
-      if (candidate.free_at < slot->free_at) {
-        slot = &candidate;
-      }
-    }
-    const TimePoint arrival = slot->free_at;
-    clock_.AdvanceTo(arrival);
-
-    bool fresh_worker = false;
-    if (!slot->session.has_value()) {
-      PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started,
-                                 slot->orchestrator->StartWorker());
-      slot->session.emplace(std::move(started));
-      slot->requests_in_lifetime = 0;
-      slot->worker_started_at = arrival;
-      fresh_worker = true;
-      report.worker_lifetimes += 1;
-      if (slot->session->restored) {
-        report.restores += 1;
-      } else {
-        report.cold_starts += 1;
-      }
-    }
-
-    FunctionRequest request;
-    request.id = next_request_id_++;
-    request.input_scale = input_model_.NextScale(client_rng_);
-    PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
-                               slot->orchestrator->ServeRequest(*slot->session, request));
-    slot->requests_in_lifetime += 1;
-
-    const Duration latency = outcome.latency;
-    const TimePoint completion = arrival + latency;
-    slot->free_at = completion;
-    clock_.AdvanceTo(completion);
-
-    if (outcome.checkpoint_taken) {
-      report.checkpoints += 1;
-    }
-
-    RequestRecord record;
-    record.global_index = i;
-    record.request_number = outcome.request_number;
-    record.latency = latency;
-    record.first_of_lifetime = fresh_worker;
-    record.cold_start = fresh_worker && !slot->session->restored;
-    record.checkpoint_after = outcome.checkpoint_taken;
-    report.records.push_back(record);
-    if (slot->exploring) {
-      report.exploring_latency.Add(static_cast<double>(latency.ToMicros()));
-    } else {
-      report.exploiting_latency.Add(static_cast<double>(latency.ToMicros()));
-    }
-
-    if (eviction_.ShouldEvict(slot->requests_in_lifetime, slot->worker_started_at,
-                              completion, completion)) {
-      slot->session.reset();
-    }
-  }
-
-  report.object_store = object_store_.accounting();
-  report.database = db_.accounting();
-  for (const Slot& slot : slots_) {
-    AccumulateRecovery(report.faults, slot.orchestrator->recovery_stats());
-  }
-  AccumulateStateStore(report.faults, state_store_.stats());
-  if (faulty_object_store_.has_value()) {
-    AccumulateStoreFaults(report.faults, faulty_object_store_->stats());
-  }
-  if (faulty_db_.has_value()) {
-    AccumulateDatabaseFaults(report.faults, faulty_db_->stats());
-  }
-  return report;
+  PRONGHORN_RETURN_IF_ERROR(init_);
+  PRONGHORN_RETURN_IF_ERROR(env_.RunClosedLoop(request_count));
+  env_.RetireAllWorkers();
+  return env_.TakeFlatReport();
 }
 
 Result<PolicyState> ClusterSimulation::LoadPolicyState() const {
-  return state_store_.Load();
+  return env_.LoadPolicyState(0);
 }
 
 }  // namespace pronghorn

@@ -11,24 +11,14 @@
 // ClusterSimulation models exactly that: `worker_slots` concurrent workers,
 // of which the first `exploring_slots` run the exploring policy and the rest
 // run a frozen exploit-only wrapper over it; all share one Database (latency
-// knowledge + snapshot pool) and one Object Store.
+// knowledge + snapshot pool) and one Object Store. It is the multi-slot
+// configuration of the shared kernel: one SimEnvironment, one deployment,
+// `worker_slots` SimCore slots.
 
 #ifndef PRONGHORN_SRC_PLATFORM_CLUSTER_SIMULATION_H_
 #define PRONGHORN_SRC_PLATFORM_CLUSTER_SIMULATION_H_
 
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "src/checkpoint/criu_like_engine.h"
-#include "src/core/orchestrator.h"
-#include "src/core/stop_condition_policy.h"
-#include "src/platform/eviction.h"
-#include "src/platform/metrics.h"
-#include "src/store/fault_injection.h"
-#include "src/store/kv_database.h"
-#include "src/store/object_store.h"
-#include "src/workloads/input_model.h"
+#include "src/platform/sim_environment.h"
 
 namespace pronghorn {
 
@@ -40,6 +30,7 @@ struct ClusterOptions {
   // worker_slots.
   uint32_t exploring_slots = 1;
   uint64_t seed = 1;
+  EngineKind engine_kind = EngineKind::kCriuLike;
   bool input_noise = true;
   OrchestratorCostModel costs;
   // Chaos layer: when active, the shared Database and Object Store are
@@ -48,24 +39,10 @@ struct ClusterOptions {
   RecoveryOptions recovery;
 };
 
-struct ClusterReport {
-  // Per-request records across all slots, in completion order.
-  std::vector<RequestRecord> records;
-  // Split by slot role.
-  DistributionSummary exploring_latency;
-  DistributionSummary exploiting_latency;
-
-  uint64_t worker_lifetimes = 0;
-  uint64_t checkpoints = 0;
-  uint64_t restores = 0;
-  uint64_t cold_starts = 0;
-
-  StoreAccounting object_store;
-  KvAccounting database;
-  FaultRecoveryStats faults;
-
-  DistributionSummary LatencySummary() const;
-};
+// A cluster run produces the same flattened report as every other driver:
+// per-request records (global_index in completion order), role-split latency
+// summaries, lifecycle counters, and the environment-wide accountings.
+using ClusterReport = SimulationReport;
 
 class ClusterSimulation {
  public:
@@ -88,33 +65,8 @@ class ClusterSimulation {
   Result<PolicyState> LoadPolicyState() const;
 
  private:
-  struct Slot {
-    std::unique_ptr<Orchestrator> orchestrator;
-    std::optional<WorkerSession> session;
-    uint64_t requests_in_lifetime = 0;
-    TimePoint worker_started_at;
-    TimePoint free_at;
-    bool exploring = false;
-  };
-
-  const WorkloadProfile& profile_;
-  const WorkloadRegistry& registry_;
-  const EvictionModel& eviction_;
-  ClusterOptions options_;
-
-  SimClock clock_;
-  InMemoryKvDatabase db_;
-  InMemoryObjectStore object_store_;
-  // Engaged only when options.faults is active (see FunctionSimulation).
-  std::optional<FaultyKvDatabase> faulty_db_;
-  std::optional<FaultyObjectStore> faulty_object_store_;
-  CriuLikeEngine engine_;
-  PolicyStateStore state_store_;
-  StopConditionPolicy exploit_policy_;
-  InputModel input_model_;
-  Rng client_rng_;
-  std::vector<Slot> slots_;
-  uint64_t next_request_id_ = 1;
+  SimEnvironment env_;
+  Status init_;
 };
 
 }  // namespace pronghorn

@@ -10,22 +10,6 @@
 
 namespace pronghorn {
 
-namespace {
-
-// FNV-1a over the deployment name: a stable, platform-independent string
-// hash, folded with the fleet seed below. (std::hash is not portable across
-// standard libraries, which would break cross-platform reproducibility.)
-uint64_t StableNameHash(std::string_view name) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : name) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-}  // namespace
-
 Result<std::unique_ptr<EvictionModel>> FleetEvictionSpec::Instantiate(
     uint64_t function_seed) const {
   switch (kind) {
@@ -49,15 +33,18 @@ Result<std::unique_ptr<EvictionModel>> FleetEvictionSpec::Instantiate(
 }
 
 uint64_t FleetSimulation::FunctionSeed(uint64_t fleet_seed, std::string_view name) {
-  return HashCombine(fleet_seed, HashCombine(0xf1ee7ULL, StableNameHash(name)));
+  return SimEnvironment::DeploymentSeed(fleet_seed, name);
 }
 
 uint32_t FleetReport::Digest() const {
   ByteWriter writer;
   for (const FleetFunctionResult& result : per_function) {
     writer.WriteString(result.function);
-    SerializeClusterReport(result.report, writer);
+    SerializeFunctionReport(result.report, writer);
   }
+  SerializeStoreAccounting(object_store, writer);
+  SerializeKvAccounting(database, writer);
+  SerializeFaultRecoveryStats(faults, writer);
   return Crc32(writer.data());
 }
 
@@ -104,6 +91,7 @@ Result<ClusterReport> FleetSimulation::RunShard(const FleetFunctionSpec& spec) c
   cluster_options.worker_slots = spec.worker_slots;
   cluster_options.exploring_slots = spec.exploring_slots;
   cluster_options.seed = function_seed;
+  cluster_options.engine_kind = options_.engine_kind;
   cluster_options.input_noise = options_.input_noise;
   cluster_options.costs = options_.costs;
   cluster_options.faults = options_.faults;

@@ -66,6 +66,7 @@ struct FleetOptions {
   uint64_t seed = 1;
   // Worker threads for the shard pool; 0 = ThreadPool::DefaultThreadCount().
   uint32_t threads = 0;
+  EngineKind engine_kind = EngineKind::kCriuLike;
   bool input_noise = true;
   FleetEvictionSpec eviction;
   OrchestratorCostModel costs;
@@ -102,9 +103,11 @@ struct FleetReport {
   KvAccounting database;
   FaultRecoveryStats faults;
 
-  // CRC32 over the canonical serialization of every per-function
-  // ClusterReport (report_io's SerializeClusterReport), in name order. Equal
-  // digests mean bit-identical fleet results.
+  // CRC32 over the canonical serialization: every per-function report
+  // (report_io's SerializeFunctionReport) in name order, followed by the
+  // merged store accountings and fault stats. Equal digests mean
+  // bit-identical fleet results. The layout matches PlatformReport::Digest(),
+  // so a one-shard fleet and a one-function platform hash identically.
   uint32_t Digest() const;
 
   // Per-function lookup; nullptr when `name` is not in the fleet.
@@ -126,9 +129,10 @@ class FleetSimulation {
   // fresh, so learned state does not persist across calls.
   Result<FleetReport> Run() const;
 
-  // The RNG substream seed for a deployment: HashCombine of the fleet seed
-  // with a stable hash of the deployment name. Depends only on (seed, name) —
-  // not on thread count, fleet composition, or registration order.
+  // The RNG substream seed for a deployment (SimEnvironment::DeploymentSeed):
+  // HashCombine of the fleet seed with a stable hash of the deployment name.
+  // Depends only on (seed, name) — not on thread count, fleet composition, or
+  // registration order.
   static uint64_t FunctionSeed(uint64_t fleet_seed, std::string_view name);
 
  private:

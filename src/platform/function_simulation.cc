@@ -1,21 +1,23 @@
 #include "src/platform/function_simulation.h"
 
-#include <algorithm>
-#include <optional>
-
-#include "src/common/logging.h"
+#include <vector>
 
 namespace pronghorn {
 
 namespace {
 
-// Scopes a user-supplied fault plan to one simulation: combining the plan
-// seed with the simulation seed and a per-store salt keeps the two
-// decorators' fault streams independent and experiment-specific.
-FaultPlan ScopePlan(const FaultPlan& base, uint64_t sim_seed, uint64_t salt) {
-  FaultPlan plan = base;
-  plan.seed = HashCombine(sim_seed, HashCombine(salt, base.seed));
-  return plan;
+EnvironmentOptions ToEnvironmentOptions(const SimulationOptions& options) {
+  EnvironmentOptions env;
+  env.seed = options.seed;
+  env.engine_kind = options.engine_kind;
+  env.input_noise = options.input_noise;
+  env.lifecycle.startup_on_critical_path = options.startup_on_critical_path;
+  env.lifecycle.checkpoint_blocks_requests = options.checkpoint_blocks_requests;
+  env.lifecycle.idle_resource_hold = options.idle_resource_hold;
+  env.costs = options.costs;
+  env.faults = options.faults;
+  env.recovery = options.recovery;
+  return env;
 }
 
 }  // namespace
@@ -25,169 +27,36 @@ FunctionSimulation::FunctionSimulation(const WorkloadProfile& profile,
                                        const OrchestrationPolicy& policy,
                                        const EvictionModel& eviction,
                                        SimulationOptions options)
-    : profile_(profile),
-      registry_(registry),
-      policy_(policy),
-      eviction_(eviction),
-      options_(options),
-      faulty_db_(options.faults.Active()
-                     ? std::optional<FaultyKvDatabase>(
-                           std::in_place, db_,
-                           ScopePlan(options.faults, options.seed, 0xdbULL), &clock_)
-                     : std::nullopt),
-      faulty_object_store_(options.faults.Active()
-                               ? std::optional<FaultyObjectStore>(
-                                     std::in_place, object_store_,
-                                     ScopePlan(options.faults, options.seed, 0x0bULL),
-                                     &clock_)
-                               : std::nullopt),
-      engine_(options.engine_kind == EngineKind::kDelta
-                  ? std::unique_ptr<CheckpointEngine>(std::make_unique<
-                        DeltaCheckpointEngine>(HashCombine(options.seed, 0xe1ULL)))
-                  : std::make_unique<CriuLikeEngine>(
-                        HashCombine(options.seed, 0xe1ULL))),
-      state_store_(faulty_db_.has_value() ? static_cast<KvDatabase&>(*faulty_db_)
-                                          : static_cast<KvDatabase&>(db_),
-                   profile.name, policy.config(), &clock_),
-      orchestrator_(profile, registry, policy, *engine_,
-                    faulty_object_store_.has_value()
-                        ? static_cast<ObjectStore&>(*faulty_object_store_)
-                        : static_cast<ObjectStore&>(object_store_),
-                    state_store_, clock_, HashCombine(options.seed, 0x0eULL),
-                    options.costs, options.recovery),
-      input_model_(profile, options.input_noise),
-      client_rng_(HashCombine(options.seed, 0xc1ULL)) {}
+    : env_(registry, ToEnvironmentOptions(options)),
+      init_(env_.AddDeployment(profile.name, profile, policy, eviction,
+                               /*worker_slots=*/1, /*exploring_slots=*/1,
+                               /*sub_seed=*/options.seed)) {}
 
 FunctionSimulation::~FunctionSimulation() = default;
 
 Result<SimulationReport> FunctionSimulation::RunClosedLoop(uint64_t request_count) {
-  return Run({}, /*closed_loop=*/true, request_count);
+  PRONGHORN_RETURN_IF_ERROR(init_);
+  PRONGHORN_RETURN_IF_ERROR(env_.RunClosedLoop(request_count));
+  env_.RetireAllWorkers();
+  return env_.TakeFlatReport();
 }
 
 Result<SimulationReport> FunctionSimulation::RunTrace(
     std::span<const TimePoint> arrivals) {
+  PRONGHORN_RETURN_IF_ERROR(init_);
   for (size_t i = 1; i < arrivals.size(); ++i) {
     if (arrivals[i] < arrivals[i - 1]) {
       return InvalidArgumentError("trace arrivals must be non-decreasing");
     }
   }
-  return Run(arrivals, /*closed_loop=*/false, arrivals.size());
-}
-
-Result<SimulationReport> FunctionSimulation::Run(std::span<const TimePoint> arrivals,
-                                                 bool closed_loop,
-                                                 uint64_t request_count) {
-  SimulationReport report;
-  report.records.reserve(request_count);
-
-  std::optional<WorkerSession> session;
-  uint64_t requests_in_lifetime = 0;
-  TimePoint worker_started_at = clock_.now();
-  TimePoint worker_free_at = clock_.now();
-
-  for (uint64_t i = 0; i < request_count; ++i) {
-    const TimePoint arrival = closed_loop ? clock_.now() : arrivals[i];
-    clock_.AdvanceTo(arrival);
-
-    // Provision a worker if none is warm (happens off the critical path by
-    // default: the platform restarted it right after the last eviction).
-    bool fresh_worker = false;
-    if (!session.has_value()) {
-      PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started, orchestrator_.StartWorker());
-      session.emplace(std::move(started));
-      fresh_worker = true;
-      requests_in_lifetime = 0;
-      worker_started_at = arrival;
-      report.worker_lifetimes += 1;
-      if (session->restored) {
-        report.restores += 1;
-      } else {
-        report.cold_starts += 1;
-      }
-      report.total_startup_latency += session->startup_latency;
-    }
-
-    FunctionRequest request;
-    request.id = next_request_id_++;
-    request.input_scale = input_model_.NextScale(client_rng_);
-
-    PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
-                               orchestrator_.ServeRequest(*session, request));
-    requests_in_lifetime += 1;
-
-    // User-visible latency: queueing (busy worker) + optional startup +
-    // execution.
-    Duration latency = outcome.latency;
-    if (options_.startup_on_critical_path && fresh_worker) {
-      latency += session->startup_latency;
-    }
-    if (worker_free_at > arrival) {
-      latency += worker_free_at - arrival;
-    }
-    const TimePoint completion = arrival + latency;
-    clock_.AdvanceTo(completion);
-    worker_free_at = completion;
-
-    if (outcome.checkpoint_taken) {
-      report.checkpoints += 1;
-      report.total_checkpoint_downtime += outcome.checkpoint_downtime;
-      if (options_.checkpoint_blocks_requests) {
-        worker_free_at = worker_free_at + outcome.checkpoint_downtime;
-      }
-    }
-
-    RequestRecord record;
-    record.global_index = i;
-    record.request_number = outcome.request_number;
-    record.latency = latency;
-    record.first_of_lifetime = fresh_worker;
-    record.cold_start = fresh_worker && !session->restored;
-    record.checkpoint_after = outcome.checkpoint_taken;
-    report.records.push_back(record);
-
-    // Eviction decision given the next arrival (the last request needs none).
-    const bool has_next = i + 1 < request_count;
-    const TimePoint next_arrival =
-        closed_loop ? completion : (has_next ? arrivals[i + 1] : completion);
-    if (has_next && eviction_.ShouldEvict(requests_in_lifetime, worker_started_at,
-                                          completion, next_arrival)) {
-      // A worker evicted by idle timeout holds its resources until the
-      // timeout fires, not just until its last response.
-      TimePoint evicted_at = completion;
-      if (!closed_loop && next_arrival - completion > Duration::Zero()) {
-        const Duration idle_held =
-            std::min(next_arrival - completion, options_.idle_resource_hold);
-        evicted_at = completion + idle_held;
-      }
-      const Duration alive = evicted_at - worker_started_at;
-      report.total_worker_alive_time += alive;
-      report.worker_memory_time_mb_s +=
-          alive.ToSeconds() * session->process.MemoryFootprintMb();
-      session.reset();
-    }
+  std::vector<SimEnvironment::Arrival> events;
+  events.reserve(arrivals.size());
+  for (const TimePoint arrival : arrivals) {
+    events.push_back(SimEnvironment::Arrival{0, arrival});
   }
-
-  if (session.has_value()) {
-    // Account the final still-warm worker up to the end of the run.
-    const Duration alive = clock_.now() - worker_started_at;
-    report.total_worker_alive_time += alive;
-    report.worker_memory_time_mb_s +=
-        alive.ToSeconds() * session->process.MemoryFootprintMb();
-  }
-
-  report.end_time = clock_.now();
-  report.object_store = object_store_.accounting();
-  report.database = db_.accounting();
-  report.overheads = orchestrator_.overheads();
-  AccumulateRecovery(report.faults, orchestrator_.recovery_stats());
-  AccumulateStateStore(report.faults, state_store_.stats());
-  if (faulty_object_store_.has_value()) {
-    AccumulateStoreFaults(report.faults, faulty_object_store_->stats());
-  }
-  if (faulty_db_.has_value()) {
-    AccumulateDatabaseFaults(report.faults, faulty_db_->stats());
-  }
-  return report;
+  PRONGHORN_RETURN_IF_ERROR(env_.RunArrivals(events));
+  env_.RetireAllWorkers();
+  return env_.TakeFlatReport();
 }
 
 }  // namespace pronghorn

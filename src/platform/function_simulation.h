@@ -13,35 +13,18 @@
 // latency ranges are far below CRIU restore cost. Setting
 // `startup_on_critical_path` charges startup to the first request of each
 // lifetime instead (used by the ablation bench).
+//
+// This driver is the single-slot configuration of the shared kernel: one
+// SimEnvironment holding one deployment with one SimCore worker slot.
 
 #ifndef PRONGHORN_SRC_PLATFORM_FUNCTION_SIMULATION_H_
 #define PRONGHORN_SRC_PLATFORM_FUNCTION_SIMULATION_H_
 
-#include <memory>
-#include <optional>
 #include <span>
 
-#include "src/checkpoint/criu_like_engine.h"
-#include "src/checkpoint/delta_engine.h"
-#include "src/common/clock.h"
-#include "src/common/rng.h"
-#include "src/core/orchestrator.h"
-#include "src/core/policy.h"
-#include "src/platform/eviction.h"
-#include "src/platform/metrics.h"
-#include "src/store/fault_injection.h"
-#include "src/store/kv_database.h"
-#include "src/store/object_store.h"
-#include "src/workloads/input_model.h"
-#include "src/workloads/workload_profile.h"
+#include "src/platform/sim_environment.h"
 
 namespace pronghorn {
-
-// Which checkpoint engine implementation the simulation instantiates.
-enum class EngineKind {
-  kCriuLike = 0,  // Full-image CRIU-style engine (the paper's setup).
-  kDelta = 1,     // Medes-style deduplicating delta engine (§7 related work).
-};
 
 struct SimulationOptions {
   // Deterministic experiment seed.
@@ -68,10 +51,10 @@ struct SimulationOptions {
   RecoveryOptions recovery;
 };
 
-// Owns the full per-function stack: Database, Object Store, checkpoint
-// engine, policy state store, and orchestrator. Multiple runs on one
-// FunctionSimulation continue the same learned state (worker fleet over
-// time); construct a new instance for an independent experiment.
+// Owns the full per-function stack (via SimEnvironment): Database, Object
+// Store, checkpoint engine, policy state store, and orchestrator. Multiple
+// runs on one FunctionSimulation continue the same learned state (worker
+// fleet over time); construct a new instance for an independent experiment.
 class FunctionSimulation {
  public:
   // `policy` and `eviction` are borrowed and must outlive the simulation.
@@ -93,40 +76,19 @@ class FunctionSimulation {
   Result<SimulationReport> RunTrace(std::span<const TimePoint> arrivals);
 
   // Read-only access for tests and exhibits.
-  const KvDatabase& database() const { return db_; }
-  const ObjectStore& object_store() const { return object_store_; }
-  const CheckpointEngine& engine() const { return *engine_; }
-  const PolicyStateStore& state_store() const { return state_store_; }
-  Orchestrator& orchestrator() { return orchestrator_; }
-  SimClock& clock() { return clock_; }
+  const KvDatabase& database() const { return env_.raw_database(); }
+  const ObjectStore& object_store() const { return env_.raw_object_store(); }
+  const CheckpointEngine& engine() const { return env_.engine(0); }
+  const PolicyStateStore& state_store() const { return env_.state_store(0); }
+  Orchestrator& orchestrator() { return env_.orchestrator(0, 0); }
+  SimClock& clock() { return env_.clock(); }
 
   // Loads the current shared policy state (theta + pool) from the Database.
-  Result<PolicyState> LoadPolicyState() const { return state_store_.Load(); }
+  Result<PolicyState> LoadPolicyState() const { return env_.LoadPolicyState(0); }
 
  private:
-  // Core loop shared by both run modes.
-  Result<SimulationReport> Run(std::span<const TimePoint> arrivals, bool closed_loop,
-                               uint64_t request_count);
-
-  const WorkloadProfile& profile_;
-  const WorkloadRegistry& registry_;
-  const OrchestrationPolicy& policy_;
-  const EvictionModel& eviction_;
-  SimulationOptions options_;
-
-  SimClock clock_;
-  InMemoryKvDatabase db_;
-  InMemoryObjectStore object_store_;
-  // Engaged only when options.faults is active; the state store and
-  // orchestrator then talk to the stores through these decorators.
-  std::optional<FaultyKvDatabase> faulty_db_;
-  std::optional<FaultyObjectStore> faulty_object_store_;
-  std::unique_ptr<CheckpointEngine> engine_;
-  PolicyStateStore state_store_;
-  Orchestrator orchestrator_;
-  InputModel input_model_;
-  Rng client_rng_;
-  uint64_t next_request_id_ = 1;
+  SimEnvironment env_;
+  Status init_;
 };
 
 }  // namespace pronghorn

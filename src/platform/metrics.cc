@@ -40,6 +40,15 @@ void MergeAccounting(KvAccounting& into, const KvAccounting& from) {
   into.cas_conflicts += from.cas_conflicts;
 }
 
+void MergeOverheads(OrchestratorOverheads& into, const OrchestratorOverheads& from) {
+  into.worker_starts += from.worker_starts;
+  into.requests_served += from.requests_served;
+  into.checkpoints_taken += from.checkpoints_taken;
+  into.total_startup_overhead += from.total_startup_overhead;
+  into.total_request_overhead += from.total_request_overhead;
+  into.total_checkpoint_overhead += from.total_checkpoint_overhead;
+}
+
 void MergeFaultRecoveryStats(FaultRecoveryStats& into, const FaultRecoveryStats& from) {
   into.store_faults += from.store_faults;
   into.db_faults += from.db_faults;

@@ -68,9 +68,17 @@ struct RequestRecord {
   bool checkpoint_after = false;
 };
 
-// Everything a finished simulation reports.
+// Everything a finished simulation reports. One struct serves every driver:
+// a single-slot function run, a multi-slot cluster, one function of a
+// platform replay, or one shard of a fleet — they all accumulate the same
+// rows through the shared kernel (sim_core.h).
 struct SimulationReport {
   std::vector<RequestRecord> records;
+  // Latency split by slot role (§5.3 amortization): samples from exploring
+  // slots vs frozen exploit-only slots. Single-slot runs put everything in
+  // exploring_latency.
+  DistributionSummary exploring_latency;
+  DistributionSummary exploiting_latency;
 
   uint64_t worker_lifetimes = 0;
   uint64_t cold_starts = 0;
@@ -106,6 +114,10 @@ struct SimulationReport {
 // merge still folds in canonical (name) order for bit-stable reports.
 void MergeAccounting(StoreAccounting& into, const StoreAccounting& from);
 void MergeAccounting(KvAccounting& into, const KvAccounting& from);
+
+// Sums one orchestrator's control-plane overheads into a report row; used to
+// fold a deployment's worker slots into its SimulationReport.
+void MergeOverheads(OrchestratorOverheads& into, const OrchestratorOverheads& from);
 
 }  // namespace pronghorn
 

@@ -1,8 +1,36 @@
 #include "src/platform/platform_simulation.h"
 
-#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/platform/report_io.h"
 
 namespace pronghorn {
+
+namespace {
+
+EnvironmentOptions ToEnvironmentOptions(const PlatformOptions& options) {
+  EnvironmentOptions env;
+  env.seed = options.seed;
+  env.engine_kind = options.engine_kind;
+  env.input_noise = options.input_noise;
+  env.costs = options.costs;
+  env.faults = options.faults;
+  env.recovery = options.recovery;
+  return env;
+}
+
+PlatformReport ToPlatformReport(EnvironmentReport env) {
+  PlatformReport report;
+  report.per_function = std::move(env.per_function);
+  report.object_store = env.object_store;
+  report.database = env.database;
+  report.faults = env.faults;
+  return report;
+}
+
+}  // namespace
 
 DistributionSummary PlatformReport::GlobalLatencySummary() const {
   DistributionSummary summary;
@@ -30,136 +58,68 @@ uint64_t PlatformReport::TotalLifetimes() const {
   return total;
 }
 
+uint32_t PlatformReport::Digest() const {
+  ByteWriter writer;
+  for (const auto& [name, report] : per_function) {
+    writer.WriteString(name);
+    SerializeFunctionReport(report, writer);
+  }
+  SerializeStoreAccounting(object_store, writer);
+  SerializeKvAccounting(database, writer);
+  SerializeFaultRecoveryStats(faults, writer);
+  return Crc32(writer.data());
+}
+
 PlatformSimulation::PlatformSimulation(const WorkloadRegistry& registry,
                                        const EvictionModel& eviction,
                                        PlatformOptions options)
-    : registry_(registry),
-      eviction_(eviction),
-      options_(options),
-      engine_(HashCombine(options.seed, 0x91a7ULL)),
-      client_rng_(HashCombine(options.seed, 0x91c1ULL)) {}
+    : eviction_(eviction),
+      seed_(options.seed),
+      env_(registry, ToEnvironmentOptions(options)) {}
 
 PlatformSimulation::~PlatformSimulation() = default;
 
 Status PlatformSimulation::DeployFunction(const WorkloadProfile& profile,
                                           const OrchestrationPolicy& policy) {
-  if (deployments_.contains(profile.name)) {
+  if (env_.DeploymentIndex(profile.name).ok()) {
     return AlreadyExistsError("function '" + profile.name + "' already deployed");
   }
-  Deployment deployment;
-  deployment.profile = &profile;
-  deployment.state_store =
-      std::make_unique<PolicyStateStore>(db_, profile.name, policy.config());
-  deployment.orchestrator = std::make_unique<Orchestrator>(
-      profile, registry_, policy, engine_, object_store_, *deployment.state_store,
-      clock_, HashCombine(options_.seed, HashCombine(0xde9ULL, deployments_.size())),
-      options_.costs);
-  deployment.input_model =
-      std::make_unique<InputModel>(profile, options_.input_noise);
-  deployments_.emplace(profile.name, std::move(deployment));
-  return OkStatus();
+  return env_.AddDeployment(
+      profile.name, profile, policy, eviction_, /*worker_slots=*/1,
+      /*exploring_slots=*/1,
+      SimEnvironment::DeploymentSeed(seed_, profile.name));
 }
 
 Result<PlatformReport> PlatformSimulation::Replay(const InvocationTrace& trace) {
-  PlatformReport report;
-  for (const auto& [name, deployment] : deployments_) {
-    report.per_function.emplace(name, SimulationReport{});
-  }
-
   const auto& records = trace.records();
-  for (size_t i = 0; i < records.size(); ++i) {
-    const TraceRecord& arrival = records[i];
-    auto it = deployments_.find(arrival.function);
-    if (it == deployments_.end()) {
-      return NotFoundError("trace invokes undeployed function '" + arrival.function +
+  std::vector<SimEnvironment::Arrival> arrivals;
+  arrivals.reserve(records.size());
+  for (const TraceRecord& record : records) {
+    const Result<size_t> index = env_.DeploymentIndex(record.function);
+    if (!index.ok()) {
+      return NotFoundError("trace invokes undeployed function '" + record.function +
                            "'");
     }
-    Deployment& deployment = it->second;
-    SimulationReport& function_report = report.per_function[arrival.function];
-    clock_.AdvanceTo(arrival.arrival);
-
-    bool fresh_worker = false;
-    if (!deployment.session.has_value()) {
-      PRONGHORN_ASSIGN_OR_RETURN(WorkerSession session,
-                                 deployment.orchestrator->StartWorker());
-      deployment.session.emplace(std::move(session));
-      deployment.requests_in_lifetime = 0;
-      deployment.worker_started_at = arrival.arrival;
-      fresh_worker = true;
-      function_report.worker_lifetimes += 1;
-      if (deployment.session->restored) {
-        function_report.restores += 1;
-      } else {
-        function_report.cold_starts += 1;
-      }
-      function_report.total_startup_latency += deployment.session->startup_latency;
-    }
-
-    FunctionRequest request;
-    request.id = next_request_id_++;
-    request.input_scale = deployment.input_model->NextScale(client_rng_);
-    PRONGHORN_ASSIGN_OR_RETURN(
-        RequestOutcome outcome,
-        deployment.orchestrator->ServeRequest(*deployment.session, request));
-    deployment.requests_in_lifetime += 1;
-
-    Duration latency = outcome.latency;
-    if (deployment.free_at > arrival.arrival) {
-      latency += deployment.free_at - arrival.arrival;  // Queued behind busy worker.
-    }
-    const TimePoint completion = arrival.arrival + latency;
-    deployment.free_at = completion;
-    clock_.AdvanceTo(completion);
-
-    if (outcome.checkpoint_taken) {
-      function_report.checkpoints += 1;
-      function_report.total_checkpoint_downtime += outcome.checkpoint_downtime;
-    }
-
-    RequestRecord record;
-    record.global_index = function_report.records.size();
-    record.request_number = outcome.request_number;
-    record.latency = latency;
-    record.first_of_lifetime = fresh_worker;
-    record.cold_start = fresh_worker && !deployment.session->restored;
-    record.checkpoint_after = outcome.checkpoint_taken;
-    function_report.records.push_back(record);
-
-    // Eviction decision: the next arrival *for this function* decides idle
-    // timeouts. Scan ahead (traces are short windows; this stays cheap).
-    TimePoint next_arrival = completion;
-    bool has_next = false;
-    for (size_t j = i + 1; j < records.size(); ++j) {
-      if (records[j].function == arrival.function) {
-        next_arrival = records[j].arrival;
-        has_next = true;
-        break;
-      }
-    }
-    if (has_next &&
-        eviction_.ShouldEvict(deployment.requests_in_lifetime,
-                              deployment.worker_started_at, completion, next_arrival)) {
-      deployment.session.reset();
-    }
+    arrivals.push_back(SimEnvironment::Arrival{*index, record.arrival});
   }
+  PRONGHORN_RETURN_IF_ERROR(env_.RunArrivals(arrivals));
+  // Sessions deliberately stay warm: repeated replays continue the platform.
+  return ToPlatformReport(env_.TakeReport());
+}
 
-  for (auto& [name, function_report] : report.per_function) {
-    function_report.end_time = clock_.now();
-    function_report.overheads =
-        deployments_.at(name).orchestrator->overheads();
-  }
-  report.object_store = object_store_.accounting();
-  report.database = db_.accounting();
-  return report;
+Result<PlatformReport> PlatformSimulation::RunClosedLoop(uint64_t request_count) {
+  PRONGHORN_RETURN_IF_ERROR(env_.RunClosedLoop(request_count));
+  env_.RetireAllWorkers();
+  return ToPlatformReport(env_.TakeReport());
 }
 
 Result<PolicyState> PlatformSimulation::LoadPolicyState(
     const std::string& function) const {
-  auto it = deployments_.find(function);
-  if (it == deployments_.end()) {
+  const Result<size_t> index = env_.DeploymentIndex(function);
+  if (!index.ok()) {
     return NotFoundError("function '" + function + "' is not deployed");
   }
-  return it->second.state_store->Load();
+  return env_.LoadPolicyState(*index);
 }
 
 }  // namespace pronghorn

@@ -2,45 +2,58 @@
 //
 // Mirrors the paper's deployment (Figure 2 at platform scale): a single
 // global Database and Object Store serve every function's orchestrators,
-// while each function gets its own worker, policy scope, and snapshot pool.
-// The platform replays a multi-function invocation trace (arrival-ordered),
-// applying a shared eviction regime (idle timeout + max lifetime).
+// while each function gets its own worker, policy scope, checkpoint engine,
+// and snapshot pool. The platform replays a multi-function invocation trace
+// (arrival-ordered), applying a shared eviction regime (idle timeout + max
+// lifetime), or drives a closed loop across all deployments.
+//
+// This driver is the multi-deployment configuration of the shared kernel:
+// one SimEnvironment, one single-slot deployment per function, everything
+// sharing the stores and the clock. Each deployment's RNG substreams key off
+// SimEnvironment::DeploymentSeed(seed, name), so results depend only on the
+// experiment seed and the function names — not registration order.
 
 #ifndef PRONGHORN_SRC_PLATFORM_PLATFORM_SIMULATION_H_
 #define PRONGHORN_SRC_PLATFORM_PLATFORM_SIMULATION_H_
 
 #include <map>
-#include <memory>
-#include <optional>
 #include <string>
 
-#include "src/checkpoint/criu_like_engine.h"
-#include "src/core/orchestrator.h"
-#include "src/platform/eviction.h"
-#include "src/platform/metrics.h"
-#include "src/store/kv_database.h"
-#include "src/store/object_store.h"
+#include "src/platform/sim_environment.h"
 #include "src/trace/trace_file.h"
-#include "src/workloads/input_model.h"
 
 namespace pronghorn {
 
 struct PlatformOptions {
   uint64_t seed = 1;
+  EngineKind engine_kind = EngineKind::kCriuLike;
   bool input_noise = true;
   OrchestratorCostModel costs;
+  // Chaos layer: when active, the platform-wide Database and Object Store
+  // are wrapped in seeded fault decorators shared by every function.
+  FaultPlan faults;
+  RecoveryOptions recovery;
 };
 
-// Per-function results plus platform-wide accounting.
+// Per-function results plus platform-wide accounting. Per-function `faults`
+// cover that function's orchestrator and state store; the platform-level
+// `faults` additionally fold in the shared store/database decorators.
 struct PlatformReport {
   std::map<std::string, SimulationReport> per_function;
   StoreAccounting object_store;
   KvAccounting database;
+  FaultRecoveryStats faults;
 
   // All functions' latencies merged.
   DistributionSummary GlobalLatencySummary() const;
   uint64_t TotalCheckpoints() const;
   uint64_t TotalLifetimes() const;
+
+  // CRC32 over the canonical serialization: per-function reports in name
+  // order (report_io's SerializeFunctionReport) followed by the shared-store
+  // accountings and fault stats. Comparable with FleetReport::Digest(): a
+  // one-function fleet and a one-function platform produce identical bytes.
+  uint32_t Digest() const;
 };
 
 class PlatformSimulation {
@@ -59,35 +72,22 @@ class PlatformSimulation {
                         const OrchestrationPolicy& policy);
 
   // Replays the trace in arrival order. Every record's function must have
-  // been deployed. May be called repeatedly; state persists across calls.
+  // been deployed. May be called repeatedly; state persists across calls
+  // (still-warm workers stay warm between replays).
   Result<PlatformReport> Replay(const InvocationTrace& trace);
+
+  // Closed loop across all deployments: each request goes to the function
+  // whose worker frees earliest (deployment order breaks ties). Still-warm
+  // workers are retired at the end of the run.
+  Result<PlatformReport> RunClosedLoop(uint64_t request_count);
 
   // Current learned state of one function.
   Result<PolicyState> LoadPolicyState(const std::string& function) const;
 
  private:
-  struct Deployment {
-    const WorkloadProfile* profile = nullptr;
-    std::unique_ptr<PolicyStateStore> state_store;
-    std::unique_ptr<Orchestrator> orchestrator;
-    std::unique_ptr<InputModel> input_model;
-    std::optional<WorkerSession> session;
-    uint64_t requests_in_lifetime = 0;
-    TimePoint worker_started_at;
-    TimePoint free_at;
-  };
-
-  const WorkloadRegistry& registry_;
   const EvictionModel& eviction_;
-  PlatformOptions options_;
-
-  SimClock clock_;
-  InMemoryKvDatabase db_;
-  InMemoryObjectStore object_store_;
-  CriuLikeEngine engine_;
-  Rng client_rng_;
-  std::map<std::string, Deployment> deployments_;
-  uint64_t next_request_id_ = 1;
+  uint64_t seed_;
+  SimEnvironment env_;
 };
 
 }  // namespace pronghorn

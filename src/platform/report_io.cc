@@ -126,6 +126,8 @@ void SerializeSummary(const DistributionSummary& summary, ByteWriter& writer) {
   }
 }
 
+}  // namespace
+
 void SerializeStoreAccounting(const StoreAccounting& accounting, ByteWriter& writer) {
   writer.WriteUint64(accounting.logical_bytes_stored);
   writer.WriteUint64(accounting.peak_logical_bytes);
@@ -166,9 +168,7 @@ void SerializeFaultRecoveryStats(const FaultRecoveryStats& stats, ByteWriter& wr
   writer.WriteUint64(stats.db_transient_retries);
 }
 
-}  // namespace
-
-void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
+void SerializeFunctionReport(const SimulationReport& report, ByteWriter& writer) {
   writer.WriteVarint(report.records.size());
   for (const RequestRecord& record : report.records) {
     writer.WriteVarint(record.global_index);
@@ -185,11 +185,26 @@ void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
   writer.WriteUint64(report.checkpoints);
   writer.WriteUint64(report.restores);
   writer.WriteUint64(report.cold_starts);
-  SerializeStoreAccounting(report.object_store, writer);
-  SerializeKvAccounting(report.database, writer);
+  writer.WriteInt64(report.total_checkpoint_downtime.ToMicros());
+  writer.WriteInt64(report.total_startup_latency.ToMicros());
+  writer.WriteInt64(report.total_worker_alive_time.ToMicros());
+  writer.WriteDouble(report.worker_memory_time_mb_s);
+  writer.WriteInt64(report.end_time.ToMicros());
+  writer.WriteUint64(report.overheads.worker_starts);
+  writer.WriteUint64(report.overheads.requests_served);
+  writer.WriteUint64(report.overheads.checkpoints_taken);
+  writer.WriteInt64(report.overheads.total_startup_overhead.ToMicros());
+  writer.WriteInt64(report.overheads.total_request_overhead.ToMicros());
+  writer.WriteInt64(report.overheads.total_checkpoint_overhead.ToMicros());
   // Covering the fault/recovery counters means the fleet digest certifies
   // that chaos runs — not just fault-free ones — are schedule-independent.
   SerializeFaultRecoveryStats(report.faults, writer);
+}
+
+void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
+  SerializeFunctionReport(report, writer);
+  SerializeStoreAccounting(report.object_store, writer);
+  SerializeKvAccounting(report.database, writer);
 }
 
 uint32_t ClusterReportCrc32(const ClusterReport& report) {

@@ -32,11 +32,26 @@ std::string SummarizeReport(const SimulationReport& report);
 std::string SummaryToCsv(const SimulationReport& report);
 Status WriteSummaryCsv(const SimulationReport& report, const std::string& path);
 
-// Canonical binary serialization of a ClusterReport: every record field,
-// both role-split latency distributions (samples in recorded order), all
-// counters, and both accountings. Two reports serialize to the same bytes
-// iff the simulations behind them took identical decisions, which is what
-// the fleet determinism guarantee (and its test) hashes.
+// Canonical binary serialization of one deployment's SimulationReport: every
+// record field, both role-split latency distributions (samples in recorded
+// order), all lifecycle counters and durations, the control-plane overheads,
+// and the fault/recovery stats. Deliberately excludes the store/database
+// accountings, which belong to the environment (shared across functions in a
+// platform run); digests serialize those once at the top level, which is what
+// makes a one-function fleet digest comparable to a one-function platform
+// digest. Two reports serialize to the same bytes iff the simulations behind
+// them took identical decisions.
+void SerializeFunctionReport(const SimulationReport& report, ByteWriter& writer);
+
+// Building blocks for environment-level digests.
+void SerializeStoreAccounting(const StoreAccounting& accounting, ByteWriter& writer);
+void SerializeKvAccounting(const KvAccounting& accounting, ByteWriter& writer);
+void SerializeFaultRecoveryStats(const FaultRecoveryStats& stats, ByteWriter& writer);
+
+// Full flattened serialization of a single-environment report (a cluster or
+// function run): SerializeFunctionReport plus the store accountings folded
+// into the flat report. What the fleet determinism guarantee (and its test)
+// hashes per function.
 void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer);
 
 // CRC32 over SerializeClusterReport's bytes.

@@ -1,0 +1,116 @@
+#include "src/platform/sim_core.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pronghorn {
+
+SimCore::SimCore(std::unique_ptr<Orchestrator> orchestrator,
+                 const EvictionModel* eviction, SimClock* clock,
+                 LifecycleOptions lifecycle, bool exploring)
+    : orchestrator_(std::move(orchestrator)),
+      eviction_(eviction),
+      clock_(clock),
+      lifecycle_(lifecycle),
+      exploring_(exploring) {}
+
+Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
+                      SimulationReport& report) {
+  clock_->AdvanceTo(arrival);
+
+  // Provision a worker if none is warm (happens off the critical path by
+  // default: the platform restarted it right after the last eviction).
+  bool fresh_worker = false;
+  if (!session_.has_value()) {
+    PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started, orchestrator_->StartWorker());
+    session_.emplace(std::move(started));
+    fresh_worker = true;
+    requests_in_lifetime_ = 0;
+    worker_started_at_ = arrival;
+    report.worker_lifetimes += 1;
+    if (session_->restored) {
+      report.restores += 1;
+    } else {
+      report.cold_starts += 1;
+    }
+    report.total_startup_latency += session_->startup_latency;
+  }
+
+  PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
+                             orchestrator_->ServeRequest(*session_, request));
+  requests_in_lifetime_ += 1;
+
+  // User-visible latency: queueing (busy worker) + optional startup +
+  // execution.
+  Duration latency = outcome.latency;
+  if (lifecycle_.startup_on_critical_path && fresh_worker) {
+    latency += session_->startup_latency;
+  }
+  if (free_at_ > arrival) {
+    latency += free_at_ - arrival;
+  }
+  const TimePoint completion = arrival + latency;
+  clock_->AdvanceTo(completion);
+  last_completion_ = completion;
+  free_at_ = completion;
+
+  if (outcome.checkpoint_taken) {
+    report.checkpoints += 1;
+    report.total_checkpoint_downtime += outcome.checkpoint_downtime;
+    if (lifecycle_.checkpoint_blocks_requests) {
+      free_at_ = free_at_ + outcome.checkpoint_downtime;
+    }
+  }
+
+  RequestRecord record;
+  record.global_index = report.records.size();
+  record.request_number = outcome.request_number;
+  record.latency = latency;
+  record.first_of_lifetime = fresh_worker;
+  record.cold_start = fresh_worker && !session_->restored;
+  record.checkpoint_after = outcome.checkpoint_taken;
+  report.records.push_back(record);
+  if (exploring_) {
+    report.exploring_latency.Add(static_cast<double>(latency.ToMicros()));
+  } else {
+    report.exploiting_latency.Add(static_cast<double>(latency.ToMicros()));
+  }
+  return OkStatus();
+}
+
+void SimCore::MaybeEvict(bool has_next, TimePoint next_arrival,
+                         SimulationReport& report) {
+  if (!has_next || !session_.has_value()) {
+    return;
+  }
+  if (!eviction_->ShouldEvict(requests_in_lifetime_, worker_started_at_,
+                              last_completion_, next_arrival)) {
+    return;
+  }
+  // A worker evicted by idle timeout holds its resources until the timeout
+  // fires, not just until its last response.
+  TimePoint evicted_at = last_completion_;
+  if (next_arrival - last_completion_ > Duration::Zero()) {
+    const Duration idle_held =
+        std::min(next_arrival - last_completion_, lifecycle_.idle_resource_hold);
+    evicted_at = last_completion_ + idle_held;
+  }
+  const Duration alive = evicted_at - worker_started_at_;
+  report.total_worker_alive_time += alive;
+  report.worker_memory_time_mb_s +=
+      alive.ToSeconds() * session_->process.MemoryFootprintMb();
+  session_.reset();
+}
+
+void SimCore::RetireWorker(TimePoint end, SimulationReport& report) {
+  if (!session_.has_value()) {
+    return;
+  }
+  const Duration alive = end - worker_started_at_;
+  report.total_worker_alive_time += alive;
+  report.worker_memory_time_mb_s +=
+      alive.ToSeconds() * session_->process.MemoryFootprintMb();
+  session_.reset();
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,105 @@
+// The shared worker-lifecycle kernel behind every simulation driver.
+//
+// All four drivers (function / cluster / platform / fleet) used to carry
+// their own copy of the same state machine: provision a worker when none is
+// warm (restore, cold start, or degraded start — the Orchestrator decides),
+// serve the request, account an optional checkpoint, and evict per the
+// eviction model. SimCore is that state machine, extracted once: one warm
+// slot driven by the simulated clock, writing into a SimulationReport.
+// Drivers differ only in how many cores they instantiate and how requests
+// are dispatched onto them (see sim_environment.h).
+
+#ifndef PRONGHORN_SRC_PLATFORM_SIM_CORE_H_
+#define PRONGHORN_SRC_PLATFORM_SIM_CORE_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/clock.h"
+#include "src/core/orchestrator.h"
+#include "src/platform/eviction.h"
+#include "src/platform/metrics.h"
+
+namespace pronghorn {
+
+// Knobs that change how a lifetime's costs appear in client-visible latency
+// and in the provider-side occupancy accounting. Defaults mirror the paper's
+// measurement setup (§5.1): startup happens off the critical path and
+// checkpoints never delay the next request.
+struct LifecycleOptions {
+  // Charge worker startup to the first request of each lifetime.
+  bool startup_on_critical_path = false;
+  // When a checkpoint's downtime overlaps the next arrival, delay it (only
+  // observable with trace-driven arrivals; closed-loop clients wait anyway).
+  bool checkpoint_blocks_requests = false;
+  // How long an idle worker holds its resources before the platform reclaims
+  // them; feeds the memory-time accounting in trace-driven runs.
+  Duration idle_resource_hold = Duration::Zero();
+};
+
+// One worker slot: owns its Orchestrator and the session state of the
+// currently-warm worker (if any). Movable so environments can keep slots in
+// plain vectors; not copyable.
+class SimCore {
+ public:
+  // `eviction` and `clock` are borrowed and must outlive the core.
+  SimCore(std::unique_ptr<Orchestrator> orchestrator, const EvictionModel* eviction,
+          SimClock* clock, LifecycleOptions lifecycle, bool exploring);
+
+  SimCore(SimCore&&) = default;
+  SimCore& operator=(SimCore&&) = default;
+  SimCore(const SimCore&) = delete;
+  SimCore& operator=(const SimCore&) = delete;
+
+  // Serves one request arriving at `arrival`: provisions a worker if none is
+  // warm, runs the request through the Orchestrator, advances the clock to
+  // the completion, and appends a RequestRecord (plus lifecycle counters and
+  // checkpoint accounting) to `report`. The record's global_index is the
+  // report's record count, so per-report indices stay dense whatever slot
+  // served the request.
+  Status Serve(const FunctionRequest& request, TimePoint arrival,
+               SimulationReport& report);
+
+  // Applies the eviction model after a completed request. `next_arrival` is
+  // the next request this slot's deployment will see (equal to the completion
+  // time in closed-loop runs); when `has_next` is false the decision is
+  // skipped — the final worker is retired by RetireWorker instead. An evicted
+  // worker's alive time and memory-time are folded into `report`, including
+  // the idle_resource_hold tail it occupies after its last response.
+  void MaybeEvict(bool has_next, TimePoint next_arrival, SimulationReport& report);
+
+  // Retires a still-warm worker at `end`, accounting its occupancy up to that
+  // instant. No-op when the slot is empty.
+  void RetireWorker(TimePoint end, SimulationReport& report);
+
+  // When this slot's worker frees up (busy-until, including any blocking
+  // checkpoint downtime). Dispatchers pick the slot with the earliest value.
+  TimePoint free_at() const { return free_at_; }
+  // When this slot's closed-loop client issues its next request: the last
+  // response's arrival at the client, which excludes checkpoint downtime —
+  // a blocking checkpoint then shows up as queueing on the next request.
+  TimePoint dispatch_at() const { return last_completion_; }
+  TimePoint last_completion() const { return last_completion_; }
+
+  bool has_session() const { return session_.has_value(); }
+  bool exploring() const { return exploring_; }
+  Orchestrator& orchestrator() { return *orchestrator_; }
+  const Orchestrator& orchestrator() const { return *orchestrator_; }
+
+ private:
+  std::unique_ptr<Orchestrator> orchestrator_;
+  const EvictionModel* eviction_;
+  SimClock* clock_;
+  LifecycleOptions lifecycle_;
+  bool exploring_;
+
+  std::optional<WorkerSession> session_;
+  uint64_t requests_in_lifetime_ = 0;
+  TimePoint worker_started_at_;
+  TimePoint free_at_;
+  TimePoint last_completion_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_SIM_CORE_H_

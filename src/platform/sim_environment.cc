@@ -1,0 +1,270 @@
+#include "src/platform/sim_environment.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pronghorn {
+
+namespace {
+
+// Scopes a user-supplied fault plan to one environment: combining the plan
+// seed with the environment seed and a per-store salt keeps the two
+// decorators' fault streams independent and experiment-specific.
+FaultPlan ScopePlan(const FaultPlan& base, uint64_t env_seed, uint64_t salt) {
+  FaultPlan plan = base;
+  plan.seed = HashCombine(env_seed, HashCombine(salt, base.seed));
+  return plan;
+}
+
+// FNV-1a over the deployment name: a stable, platform-independent string
+// hash, folded with the environment seed below. (std::hash is not portable
+// across standard libraries, which would break cross-platform
+// reproducibility.)
+uint64_t StableNameHash(std::string_view name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::unique_ptr<CheckpointEngine> MakeEngine(EngineKind kind, uint64_t seed) {
+  if (kind == EngineKind::kDelta) {
+    return std::make_unique<DeltaCheckpointEngine>(seed);
+  }
+  return std::make_unique<CriuLikeEngine>(seed);
+}
+
+}  // namespace
+
+SimEnvironment::SimEnvironment(const WorkloadRegistry& registry,
+                               EnvironmentOptions options)
+    : registry_(registry),
+      options_(options),
+      faulty_db_(options.faults.Active()
+                     ? std::optional<FaultyKvDatabase>(
+                           std::in_place, db_,
+                           ScopePlan(options.faults, options.seed, 0xdbULL), &clock_)
+                     : std::nullopt),
+      faulty_object_store_(options.faults.Active()
+                               ? std::optional<FaultyObjectStore>(
+                                     std::in_place, object_store_,
+                                     ScopePlan(options.faults, options.seed, 0x0bULL),
+                                     &clock_)
+                               : std::nullopt) {}
+
+SimEnvironment::~SimEnvironment() = default;
+
+uint64_t SimEnvironment::DeploymentSeed(uint64_t seed, std::string_view name) {
+  return HashCombine(seed, HashCombine(0xf1ee7ULL, StableNameHash(name)));
+}
+
+KvDatabase& SimEnvironment::active_database() {
+  return faulty_db_.has_value() ? static_cast<KvDatabase&>(*faulty_db_)
+                                : static_cast<KvDatabase&>(db_);
+}
+
+ObjectStore& SimEnvironment::active_object_store() {
+  return faulty_object_store_.has_value()
+             ? static_cast<ObjectStore&>(*faulty_object_store_)
+             : static_cast<ObjectStore&>(object_store_);
+}
+
+Status SimEnvironment::AddDeployment(std::string name, const WorkloadProfile& profile,
+                                     const OrchestrationPolicy& policy,
+                                     const EvictionModel& eviction,
+                                     uint32_t worker_slots, uint32_t exploring_slots,
+                                     uint64_t sub_seed) {
+  if (name.empty()) {
+    return InvalidArgumentError("deployment name must be non-empty");
+  }
+  for (const Deployment& existing : deployments_) {
+    if (existing.name == name) {
+      return AlreadyExistsError("deployment '" + name + "' already exists");
+    }
+  }
+  exploring_slots = std::min(exploring_slots, worker_slots);
+
+  Deployment deployment;
+  deployment.name = std::move(name);
+  deployment.profile = &profile;
+  deployment.exploit_policy =
+      std::make_unique<StopConditionPolicy>(policy, /*explore_requests=*/0);
+  deployment.engine = MakeEngine(options_.engine_kind, HashCombine(sub_seed, 0xe1ULL));
+  deployment.state_store = std::make_unique<PolicyStateStore>(
+      active_database(), deployment.name, policy.config(), &clock_);
+  deployment.input_model = std::make_unique<InputModel>(profile, options_.input_noise);
+  deployment.client_rng = Rng(HashCombine(sub_seed, 0xc1ULL));
+
+  deployment.slots.reserve(worker_slots);
+  for (uint32_t i = 0; i < worker_slots; ++i) {
+    const bool exploring = i < exploring_slots;
+    const OrchestrationPolicy& slot_policy =
+        exploring ? policy
+                  : static_cast<const OrchestrationPolicy&>(*deployment.exploit_policy);
+    // Slot 0 keeps the historical single-worker substream so single-slot
+    // environments replay bit-identically to the pre-kernel drivers.
+    const uint64_t slot_seed =
+        i == 0 ? HashCombine(sub_seed, 0x0eULL)
+               : HashCombine(sub_seed, HashCombine(0x0eULL, i));
+    auto orchestrator = std::make_unique<Orchestrator>(
+        profile, registry_, slot_policy, *deployment.engine, active_object_store(),
+        *deployment.state_store, clock_, slot_seed, options_.costs,
+        options_.recovery);
+    deployment.slots.emplace_back(std::move(orchestrator), &eviction, &clock_,
+                                  options_.lifecycle, exploring);
+  }
+  deployments_.push_back(std::move(deployment));
+  return OkStatus();
+}
+
+Status SimEnvironment::Dispatch(Deployment& deployment, SimCore& slot,
+                                TimePoint arrival) {
+  FunctionRequest request;
+  request.id = next_request_id_++;
+  request.input_scale = deployment.input_model->NextScale(deployment.client_rng);
+  return slot.Serve(request, arrival, deployment.report);
+}
+
+Status SimEnvironment::RunClosedLoop(uint64_t request_count) {
+  size_t total_slots = 0;
+  for (const Deployment& deployment : deployments_) {
+    total_slots += deployment.slots.size();
+  }
+  if (total_slots == 0) {
+    return FailedPreconditionError("environment has no worker slots");
+  }
+
+  for (uint64_t i = 0; i < request_count; ++i) {
+    // Least-loaded dispatch: the slot that frees earliest (first in
+    // deployment-major order on ties) takes the next request; its client
+    // issues it the moment the previous response arrived.
+    Deployment* best_deployment = nullptr;
+    SimCore* best = nullptr;
+    for (Deployment& deployment : deployments_) {
+      for (SimCore& slot : deployment.slots) {
+        if (best == nullptr || slot.free_at() < best->free_at()) {
+          best_deployment = &deployment;
+          best = &slot;
+        }
+      }
+    }
+    PRONGHORN_RETURN_IF_ERROR(Dispatch(*best_deployment, *best, best->dispatch_at()));
+    // Closed-loop eviction sees the completion itself as the next arrival;
+    // the run's final worker is retired by RetireAllWorkers instead.
+    best->MaybeEvict(i + 1 < request_count, best->last_completion(),
+                     best_deployment->report);
+  }
+  return OkStatus();
+}
+
+Status SimEnvironment::RunArrivals(std::span<const Arrival> arrivals) {
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    if (arrivals[i].deployment >= deployments_.size()) {
+      return InvalidArgumentError("arrival references an unknown deployment");
+    }
+    if (deployments_[arrivals[i].deployment].slots.empty()) {
+      return FailedPreconditionError("deployment '" +
+                                     deployments_[arrivals[i].deployment].name +
+                                     "' has no worker slots");
+    }
+    if (i > 0 && arrivals[i].arrival < arrivals[i - 1].arrival) {
+      return InvalidArgumentError("trace arrivals must be non-decreasing");
+    }
+  }
+
+  // Precompute each event's next arrival for the same deployment, so idle
+  // timeouts decide eviction in O(1) per event.
+  std::vector<TimePoint> next_arrival(arrivals.size());
+  std::vector<char> has_next(arrivals.size(), 0);
+  std::vector<size_t> last_seen(deployments_.size(), arrivals.size());
+  for (size_t i = arrivals.size(); i-- > 0;) {
+    const size_t d = arrivals[i].deployment;
+    if (last_seen[d] != arrivals.size()) {
+      has_next[i] = 1;
+      next_arrival[i] = arrivals[last_seen[d]].arrival;
+    }
+    last_seen[d] = i;
+  }
+
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    Deployment& deployment = deployments_[arrivals[i].deployment];
+    // Least-loaded slot within the deployment; with every slot busy the
+    // request queues behind the earliest-free one.
+    SimCore* slot = &deployment.slots[0];
+    for (SimCore& candidate : deployment.slots) {
+      if (candidate.free_at() < slot->free_at()) {
+        slot = &candidate;
+      }
+    }
+    PRONGHORN_RETURN_IF_ERROR(Dispatch(deployment, *slot, arrivals[i].arrival));
+    slot->MaybeEvict(has_next[i] != 0, next_arrival[i], deployment.report);
+  }
+  return OkStatus();
+}
+
+void SimEnvironment::RetireAllWorkers() {
+  for (Deployment& deployment : deployments_) {
+    for (SimCore& slot : deployment.slots) {
+      slot.RetireWorker(clock_.now(), deployment.report);
+    }
+  }
+}
+
+void SimEnvironment::FinishReport(Deployment& deployment, SimulationReport& report) {
+  report.end_time = clock_.now();
+  report.overheads = OrchestratorOverheads{};
+  for (SimCore& slot : deployment.slots) {
+    MergeOverheads(report.overheads, slot.orchestrator().overheads());
+    AccumulateRecovery(report.faults, slot.orchestrator().recovery_stats());
+  }
+  AccumulateStateStore(report.faults, deployment.state_store->stats());
+}
+
+EnvironmentReport SimEnvironment::TakeReport() {
+  EnvironmentReport out;
+  for (Deployment& deployment : deployments_) {
+    SimulationReport report = std::move(deployment.report);
+    deployment.report = SimulationReport{};
+    FinishReport(deployment, report);
+    MergeFaultRecoveryStats(out.faults, report.faults);
+    out.per_function.emplace(deployment.name, std::move(report));
+  }
+  out.object_store = object_store_.accounting();
+  out.database = db_.accounting();
+  if (faulty_object_store_.has_value()) {
+    AccumulateStoreFaults(out.faults, faulty_object_store_->stats());
+  }
+  if (faulty_db_.has_value()) {
+    AccumulateDatabaseFaults(out.faults, faulty_db_->stats());
+  }
+  return out;
+}
+
+SimulationReport SimEnvironment::TakeFlatReport() {
+  Deployment& deployment = deployments_.front();
+  SimulationReport report = std::move(deployment.report);
+  deployment.report = SimulationReport{};
+  FinishReport(deployment, report);
+  report.object_store = object_store_.accounting();
+  report.database = db_.accounting();
+  if (faulty_object_store_.has_value()) {
+    AccumulateStoreFaults(report.faults, faulty_object_store_->stats());
+  }
+  if (faulty_db_.has_value()) {
+    AccumulateDatabaseFaults(report.faults, faulty_db_->stats());
+  }
+  return report;
+}
+
+Result<size_t> SimEnvironment::DeploymentIndex(std::string_view name) const {
+  for (size_t i = 0; i < deployments_.size(); ++i) {
+    if (deployments_[i].name == name) {
+      return i;
+    }
+  }
+  return NotFoundError("deployment '" + std::string(name) + "' is not registered");
+}
+
+}  // namespace pronghorn

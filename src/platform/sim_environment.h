@@ -1,0 +1,206 @@
+// The shared simulation environment behind every driver: one control plane.
+//
+// A SimEnvironment owns the global stores (Database + Object Store), the
+// optional fault decorators around them, the simulated clock, and any number
+// of function deployments. Each deployment owns its checkpoint engine,
+// policy-state scope, input model, client RNG, and a row of SimCore worker
+// slots (the first `exploring_slots` run the exploring policy, the rest a
+// frozen exploit-only wrapper). The four public drivers are thin
+// configurations of this class:
+//
+//   FunctionSimulation  — one deployment, one slot
+//   ClusterSimulation   — one deployment, many slots
+//   PlatformSimulation  — many deployments, shared stores, one slot each
+//   FleetSimulation     — one single-deployment environment per shard,
+//                         merged canonically across a thread pool
+//
+// Determinism contract: every RNG substream keys off the deployment's
+// sub-seed (engine = HashCombine(sub_seed, 0xe1), client = 0xc1, slot 0's
+// orchestrator = 0x0e, slot i>0 = HashCombine(0x0e, i)), and DeploymentSeed
+// derives sub-seeds from (environment seed, deployment name) only — never
+// from registration order, thread, or shard index.
+
+#ifndef PRONGHORN_SRC_PLATFORM_SIM_ENVIRONMENT_H_
+#define PRONGHORN_SRC_PLATFORM_SIM_ENVIRONMENT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/checkpoint/delta_engine.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/core/orchestrator.h"
+#include "src/core/policy.h"
+#include "src/core/stop_condition_policy.h"
+#include "src/platform/eviction.h"
+#include "src/platform/metrics.h"
+#include "src/platform/sim_core.h"
+#include "src/store/fault_injection.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+#include "src/workloads/input_model.h"
+#include "src/workloads/workload_profile.h"
+
+namespace pronghorn {
+
+// Which checkpoint engine implementation each deployment instantiates.
+enum class EngineKind {
+  kCriuLike = 0,  // Full-image CRIU-style engine (the paper's setup).
+  kDelta = 1,     // Medes-style deduplicating delta engine (§7 related work).
+};
+
+struct EnvironmentOptions {
+  // Deterministic experiment seed; deployment sub-seeds derive from it.
+  uint64_t seed = 1;
+  EngineKind engine_kind = EngineKind::kCriuLike;
+  // Client-side input-size perturbation (§5.1), on by default.
+  bool input_noise = true;
+  LifecycleOptions lifecycle;
+  OrchestratorCostModel costs;
+  // Chaos layer: when the plan is active, both stores are wrapped in fault
+  // decorators driven by the simulated clock. The plan's seed is combined
+  // with the environment seed, so distinct experiments draw distinct faults.
+  FaultPlan faults;
+  // Bounds for the orchestrators' retry/fallback/quarantine machinery.
+  RecoveryOptions recovery;
+};
+
+// Multi-deployment results: per-function reports plus environment-wide
+// accounting over the shared stores. Per-function `faults` cover that
+// deployment's orchestrators and state store; the environment-level `faults`
+// additionally fold in the shared store/database decorators, which cannot be
+// attributed to a single function.
+struct EnvironmentReport {
+  std::map<std::string, SimulationReport> per_function;
+  StoreAccounting object_store;
+  KvAccounting database;
+  FaultRecoveryStats faults;
+};
+
+class SimEnvironment {
+ public:
+  // One request arrival in a trace-driven run, resolved to a deployment.
+  struct Arrival {
+    size_t deployment = 0;
+    TimePoint arrival;
+  };
+
+  SimEnvironment(const WorkloadRegistry& registry, EnvironmentOptions options);
+  ~SimEnvironment();
+
+  SimEnvironment(const SimEnvironment&) = delete;
+  SimEnvironment& operator=(const SimEnvironment&) = delete;
+
+  // The RNG sub-seed for a deployment: HashCombine of the environment seed
+  // with a stable (FNV-1a) hash of the deployment name. Depends only on
+  // (seed, name) — not on thread count, composition, or registration order.
+  static uint64_t DeploymentSeed(uint64_t seed, std::string_view name);
+
+  // Registers a deployment with `worker_slots` slots, of which the first
+  // `exploring_slots` (clamped to worker_slots) run `policy` and the rest a
+  // frozen exploit-only wrapper over it. `profile`, `policy`, and `eviction`
+  // are borrowed and must outlive the environment. `sub_seed` scopes every
+  // RNG substream of the deployment; single-deployment drivers pass their
+  // experiment seed, multi-deployment drivers pass DeploymentSeed(seed, name).
+  Status AddDeployment(std::string name, const WorkloadProfile& profile,
+                       const OrchestrationPolicy& policy,
+                       const EvictionModel& eviction, uint32_t worker_slots,
+                       uint32_t exploring_slots, uint64_t sub_seed);
+
+  // Closed loop with one outstanding request per slot: each request goes to
+  // the slot (across all deployments) that frees earliest, and is issued the
+  // moment that slot's previous response reached its client. `request_count`
+  // is the environment-wide total.
+  Status RunClosedLoop(uint64_t request_count);
+
+  // Trace-driven: serves `arrivals` in order (must be non-decreasing), each
+  // on the least-loaded slot of its deployment; a request arriving while
+  // every slot is busy queues behind the earliest-free one.
+  Status RunArrivals(std::span<const Arrival> arrivals);
+
+  // Retires every still-warm worker at the current simulated time, folding
+  // occupancy accounting into the per-deployment reports. Closed-loop drivers
+  // call this at the end of a run; trace replays that keep sessions warm
+  // across calls (PlatformSimulation::Replay) do not.
+  void RetireAllWorkers();
+
+  // Harvests results accumulated since the previous Take*. Records and
+  // lifecycle counters are per-epoch; store accounting, overheads, faults,
+  // and end_time are cumulative snapshots of the environment (matching the
+  // drivers' historical semantics for repeated runs).
+  EnvironmentReport TakeReport();
+  // Single-deployment flattening: the per-function report with the
+  // environment-wide store accounting and decorator fault stats folded in.
+  // Requires exactly one deployment.
+  SimulationReport TakeFlatReport();
+
+  size_t deployment_count() const { return deployments_.size(); }
+  // Deployment index by name; kNotFound for unknown names.
+  Result<size_t> DeploymentIndex(std::string_view name) const;
+  const std::string& deployment_name(size_t index) const {
+    return deployments_[index].name;
+  }
+
+  // Read-only store access for tests and exhibits (the raw in-memory stores,
+  // not the fault decorators).
+  const KvDatabase& raw_database() const { return db_; }
+  const ObjectStore& raw_object_store() const { return object_store_; }
+  SimClock& clock() { return clock_; }
+
+  // Per-deployment handles.
+  const CheckpointEngine& engine(size_t deployment) const {
+    return *deployments_[deployment].engine;
+  }
+  const PolicyStateStore& state_store(size_t deployment) const {
+    return *deployments_[deployment].state_store;
+  }
+  Orchestrator& orchestrator(size_t deployment, size_t slot) {
+    return deployments_[deployment].slots[slot].orchestrator();
+  }
+  Result<PolicyState> LoadPolicyState(size_t deployment) const {
+    return deployments_[deployment].state_store->Load();
+  }
+
+ private:
+  struct Deployment {
+    std::string name;
+    const WorkloadProfile* profile = nullptr;
+    std::unique_ptr<StopConditionPolicy> exploit_policy;
+    std::unique_ptr<CheckpointEngine> engine;
+    std::unique_ptr<PolicyStateStore> state_store;
+    std::unique_ptr<InputModel> input_model;
+    Rng client_rng{0};
+    std::vector<SimCore> slots;
+    SimulationReport report;
+  };
+
+  KvDatabase& active_database();
+  ObjectStore& active_object_store();
+  // Builds the request, draws its input scale, and serves it on `slot`.
+  Status Dispatch(Deployment& deployment, SimCore& slot, TimePoint arrival);
+  // Folds cumulative orchestrator/state-store stats into an epoch report.
+  void FinishReport(Deployment& deployment, SimulationReport& report);
+
+  const WorkloadRegistry& registry_;
+  EnvironmentOptions options_;
+
+  SimClock clock_;
+  InMemoryKvDatabase db_;
+  InMemoryObjectStore object_store_;
+  // Engaged only when options.faults is active; deployments then talk to the
+  // stores through these decorators.
+  std::optional<FaultyKvDatabase> faulty_db_;
+  std::optional<FaultyObjectStore> faulty_object_store_;
+  std::vector<Deployment> deployments_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_SIM_ENVIRONMENT_H_

@@ -1,0 +1,168 @@
+// Cross-driver equivalence: the four drivers are thin configurations of one
+// shared kernel (SimCore + SimEnvironment), so the degenerate configurations
+// must coincide exactly. A single-slot cluster replays the same seed to
+// bit-identical records as a function simulation, and a one-shard fleet
+// hashes to the same digest as a one-function platform.
+
+#include <gtest/gtest.h>
+
+#include "src/core/request_centric_policy.h"
+#include "src/platform/cluster_simulation.h"
+#include "src/platform/fleet_simulation.h"
+#include "src/platform/function_simulation.h"
+#include "src/platform/platform_simulation.h"
+#include "src/platform/report_io.h"
+
+namespace pronghorn {
+namespace {
+
+const WorkloadProfile& Profile(const char* name) {
+  auto result = WorkloadRegistry::Default().Find(name);
+  EXPECT_TRUE(result.ok());
+  return **result;
+}
+
+PolicyConfig TestConfig() {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 12;
+  config.max_checkpoint_request = 100;
+  return config;
+}
+
+void ExpectIdenticalRecords(const SimulationReport& function_report,
+                            const ClusterReport& cluster_report) {
+  ASSERT_EQ(function_report.records.size(), cluster_report.records.size());
+  for (size_t i = 0; i < function_report.records.size(); ++i) {
+    const RequestRecord& lhs = function_report.records[i];
+    const RequestRecord& rhs = cluster_report.records[i];
+    EXPECT_EQ(lhs.global_index, rhs.global_index) << i;
+    EXPECT_EQ(lhs.request_number, rhs.request_number) << i;
+    EXPECT_EQ(lhs.latency.ToMicros(), rhs.latency.ToMicros()) << i;
+    EXPECT_EQ(lhs.first_of_lifetime, rhs.first_of_lifetime) << i;
+    EXPECT_EQ(lhs.cold_start, rhs.cold_start) << i;
+    EXPECT_EQ(lhs.checkpoint_after, rhs.checkpoint_after) << i;
+  }
+  EXPECT_EQ(ClusterReportCrc32(function_report), ClusterReportCrc32(cluster_report));
+}
+
+// Runs both single-deployment drivers with identical options and asserts the
+// full flattened reports hash identically.
+void CheckFunctionVsSingleSlotCluster(EngineKind engine_kind,
+                                      const FaultPlan& faults) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+
+  SimulationOptions function_options;
+  function_options.seed = 11;
+  function_options.engine_kind = engine_kind;
+  function_options.faults = faults;
+  FunctionSimulation function(Profile("BFS"), WorkloadRegistry::Default(), *policy,
+                              **eviction, function_options);
+  auto function_report = function.RunClosedLoop(200);
+  ASSERT_TRUE(function_report.ok()) << function_report.status().ToString();
+
+  ClusterOptions cluster_options;
+  cluster_options.worker_slots = 1;
+  cluster_options.exploring_slots = 1;
+  cluster_options.seed = 11;
+  cluster_options.engine_kind = engine_kind;
+  cluster_options.faults = faults;
+  ClusterSimulation cluster(Profile("BFS"), WorkloadRegistry::Default(), *policy,
+                            **eviction, cluster_options);
+  auto cluster_report = cluster.RunClosedLoop(200);
+  ASSERT_TRUE(cluster_report.ok()) << cluster_report.status().ToString();
+
+  ExpectIdenticalRecords(*function_report, *cluster_report);
+}
+
+TEST(DriverEquivalenceTest, FunctionMatchesSingleSlotCluster) {
+  CheckFunctionVsSingleSlotCluster(EngineKind::kCriuLike, FaultPlan{});
+}
+
+TEST(DriverEquivalenceTest, FunctionMatchesSingleSlotClusterWithDeltaEngine) {
+  CheckFunctionVsSingleSlotCluster(EngineKind::kDelta, FaultPlan{});
+}
+
+TEST(DriverEquivalenceTest, FunctionMatchesSingleSlotClusterUnderFaults) {
+  FaultPlan faults;
+  faults.get_failure_rate = 0.08;
+  faults.put_failure_rate = 0.08;
+  faults.corruption_rate = 0.02;
+  faults.seed = 99;
+  CheckFunctionVsSingleSlotCluster(EngineKind::kCriuLike, faults);
+}
+
+TEST(DriverEquivalenceTest, EngineKindChangesTheOutcome) {
+  // Sanity check that the engine selection actually reaches the kernel: the
+  // two engines must not replay to the same bytes.
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+
+  uint32_t digests[2] = {0, 0};
+  for (const EngineKind kind : {EngineKind::kCriuLike, EngineKind::kDelta}) {
+    SimulationOptions options;
+    options.seed = 12;
+    options.engine_kind = kind;
+    FunctionSimulation simulation(Profile("MST"), WorkloadRegistry::Default(),
+                                  *policy, **eviction, options);
+    auto report = simulation.RunClosedLoop(150);
+    ASSERT_TRUE(report.ok());
+    digests[kind == EngineKind::kDelta ? 1 : 0] = ClusterReportCrc32(*report);
+  }
+  EXPECT_NE(digests[0], digests[1]);
+}
+
+TEST(DriverEquivalenceTest, OneShardFleetMatchesOneFunctionPlatform) {
+  // Both sides derive the deployment's sub-seed from (seed, name), so a
+  // single-deployment fleet and a single-deployment platform walk identical
+  // event sequences and their digests share one canonical layout.
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile& profile = Profile("DynamicHTML");
+  constexpr uint64_t kSeed = 21;
+  constexpr uint64_t kRequests = 300;
+
+  FleetOptions fleet_options;
+  fleet_options.seed = kSeed;
+  fleet_options.threads = 1;
+  fleet_options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  fleet_options.eviction.k = 4;
+  FleetSimulation fleet(WorkloadRegistry::Default(), fleet_options);
+  FleetFunctionSpec spec;
+  spec.name = profile.name;
+  spec.profile = &profile;
+  spec.policy = &*policy;
+  spec.requests = kRequests;
+  spec.worker_slots = 1;
+  spec.exploring_slots = 1;
+  ASSERT_TRUE(fleet.AddFunction(spec).ok());
+  auto fleet_report = fleet.Run();
+  ASSERT_TRUE(fleet_report.ok()) << fleet_report.status().ToString();
+
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  PlatformOptions platform_options;
+  platform_options.seed = kSeed;
+  PlatformSimulation platform(WorkloadRegistry::Default(), **eviction,
+                              platform_options);
+  ASSERT_TRUE(platform.DeployFunction(profile, *policy).ok());
+  auto platform_report = platform.RunClosedLoop(kRequests);
+  ASSERT_TRUE(platform_report.ok()) << platform_report.status().ToString();
+
+  ASSERT_EQ(platform_report->per_function.size(), 1u);
+  const SimulationReport& platform_function =
+      platform_report->per_function.at(profile.name);
+  const ClusterReport* fleet_function = fleet_report->Find(profile.name);
+  ASSERT_NE(fleet_function, nullptr);
+  EXPECT_EQ(platform_function.records.size(), kRequests);
+  EXPECT_EQ(fleet_function->records.size(), kRequests);
+  EXPECT_EQ(fleet_report->Digest(), platform_report->Digest());
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -131,6 +131,40 @@ TEST(PlatformSimulationTest, StatePersistsAcrossReplays) {
   EXPECT_GE(second->theta.ExploredCount(), explored_after_first);
 }
 
+TEST(PlatformSimulationTest, FaultPlanProducesRecoveryStats) {
+  // Regression: the platform driver must actually wire its FaultPlan into the
+  // shared stores and surface FaultRecoveryStats in the report, like the
+  // single-function and fleet drivers do.
+  IdleTimeoutEviction eviction(Duration::Seconds(60));
+  PlatformOptions options;
+  options.seed = 9;
+  options.faults.get_failure_rate = 0.15;
+  options.faults.put_failure_rate = 0.15;
+  options.faults.seed = 77;
+  PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("MST"), *policy).ok());
+  ASSERT_TRUE(platform.DeployFunction(Profile("DynamicHTML"), *policy).ok());
+
+  auto report = platform.RunClosedLoop(400);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->GlobalLatencySummary().count(), 400u);
+  // With 15% store failure rates over hundreds of operations, the injected
+  // faults must be visible in the platform-level recovery stats.
+  EXPECT_GT(report->faults.store_faults + report->faults.db_faults, 0u);
+
+  // A fault-free run of the same platform reports zero injected faults.
+  PlatformOptions clean_options;
+  clean_options.seed = 9;
+  PlatformSimulation clean(WorkloadRegistry::Default(), eviction, clean_options);
+  ASSERT_TRUE(clean.DeployFunction(Profile("MST"), *policy).ok());
+  ASSERT_TRUE(clean.DeployFunction(Profile("DynamicHTML"), *policy).ok());
+  auto clean_report = clean.RunClosedLoop(400);
+  ASSERT_TRUE(clean_report.ok());
+  EXPECT_EQ(clean_report->faults.store_faults + clean_report->faults.db_faults, 0u);
+}
+
 TEST(PlatformSimulationTest, GeneratedTraceEndToEnd) {
   // Full pipeline: Azure model -> trace -> platform replay.
   const AzureTraceModel model;

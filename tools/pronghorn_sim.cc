@@ -15,6 +15,16 @@
 //
 //   pronghorn_sim --fleet 100 --requests 200 --threads 8 --seed 42
 //
+// Platform mode (--platform N) deploys N functions from the evaluation set
+// into one shared control plane (one Database + Object Store for everyone)
+// and drives a closed loop across all of them; the printed digest is
+// comparable with a one-function fleet digest:
+//
+//   pronghorn_sim --platform 4 --requests 200 --seed 42
+//
+// The --seed/--engine/--no-noise/--fault-* flags mean the same thing in all
+// three modes and are parsed once (ParseCommonSimOptions).
+//
 // Policies: cold | after-first | request-centric | stop-condition
 // Eviction: integer k (every-k), "geometric:<mean>", or "idle:<seconds>".
 
@@ -31,6 +41,7 @@
 #include "src/core/stop_condition_policy.h"
 #include "src/platform/fleet_simulation.h"
 #include "src/platform/function_simulation.h"
+#include "src/platform/platform_simulation.h"
 #include "src/platform/report_io.h"
 
 using namespace pronghorn;
@@ -216,6 +227,40 @@ Result<FaultPlan> ParseFaultPlan(const FlagParser& flags) {
   return plan;
 }
 
+// The flags every mode shares: --seed, --engine, --no-noise, and the whole
+// --fault-* family. Parsed once so single, fleet, and platform runs cannot
+// drift apart in how they interpret them.
+struct CommonSimOptions {
+  uint64_t seed = 1;
+  EngineKind engine_kind = EngineKind::kCriuLike;
+  bool input_noise = true;
+  FaultPlan faults;
+};
+
+Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
+  CommonSimOptions common;
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed"));
+  common.seed = static_cast<uint64_t>(seed);
+  const std::string engine_name = *flags.GetString("engine");
+  if (engine_name == "delta") {
+    common.engine_kind = EngineKind::kDelta;
+  } else if (engine_name != "criu") {
+    return InvalidArgumentError("unknown engine '" + engine_name + "'");
+  }
+  common.input_noise = !flags.GetBool("no-noise").value_or(false);
+  PRONGHORN_ASSIGN_OR_RETURN(common.faults, ParseFaultPlan(flags));
+  return common;
+}
+
+Result<uint32_t> ParseThreads(const FlagParser& flags) {
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t threads, flags.GetInt("threads"));
+  if (threads < 0 || threads > ThreadPool::kMaxThreads) {
+    return InvalidArgumentError("--threads must be in [0, " +
+                                std::to_string(ThreadPool::kMaxThreads) + "]");
+  }
+  return static_cast<uint32_t>(threads);
+}
+
 void PrintFaultLine(const FaultRecoveryStats& faults) {
   std::printf("faults: store=%llu db=%llu corrupted=%llu torn=%llu "
               "fallbacks=%llu quarantined=%llu degraded=%llu replayed=%llu "
@@ -263,14 +308,14 @@ Result<OwnedPolicy> BuildPolicy(const std::string& name, const PolicyConfig& con
   return owned;
 }
 
-int RunFleet(const FlagParser& flags, uint64_t seed, uint64_t requests) {
+int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
+             uint64_t requests) {
   const int64_t fleet_size = *flags.GetInt("fleet");
-  const int64_t threads = *flags.GetInt("threads");
   const int64_t slots = *flags.GetInt("slots");
   const int64_t exploring = *flags.GetInt("exploring");
-  if (threads < 0 || threads > ThreadPool::kMaxThreads) {
-    return Fail(InvalidArgumentError("--threads must be in [0, " +
-                                     std::to_string(ThreadPool::kMaxThreads) + "]"));
+  auto threads = ParseThreads(flags);
+  if (!threads.ok()) {
+    return Fail(threads.status());
   }
   if (slots <= 0 || exploring < 0) {
     return Fail(InvalidArgumentError("--slots must be > 0 and --exploring >= 0"));
@@ -284,18 +329,12 @@ int RunFleet(const FlagParser& flags, uint64_t seed, uint64_t requests) {
       eviction->kind == FleetEvictionSpec::Kind::kEveryK ? eviction->k : 0;
 
   FleetOptions options;
-  options.seed = seed;
-  options.threads = static_cast<uint32_t>(threads);
-  options.input_noise = !flags.GetBool("no-noise").value_or(false);
+  options.seed = common.seed;
+  options.threads = *threads;
+  options.engine_kind = common.engine_kind;
+  options.input_noise = common.input_noise;
   options.eviction = *eviction;
-  auto faults = ParseFaultPlan(flags);
-  if (!faults.ok()) {
-    return Fail(faults.status());
-  }
-  options.faults = *faults;
-  if (*flags.GetString("engine") == "delta") {
-    std::fprintf(stderr, "note: fleet mode always uses the criu engine\n");
-  }
+  options.faults = common.faults;
 
   const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
   FleetSimulation fleet(WorkloadRegistry::Default(), options);
@@ -387,6 +426,80 @@ int RunFleet(const FlagParser& flags, uint64_t seed, uint64_t requests) {
   return 0;
 }
 
+int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
+                uint64_t requests) {
+  const int64_t platform_size = *flags.GetInt("platform");
+  const std::string eviction_spec = *flags.GetString("eviction");
+  auto eviction = MakeEviction(eviction_spec, common.seed);
+  if (!eviction.ok()) {
+    return Fail(eviction.status());
+  }
+  const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
+  if (platform_size > static_cast<int64_t>(evaluation.size())) {
+    // Platform deployments are keyed by profile name, so each evaluation
+    // function can be deployed at most once.
+    return Fail(InvalidArgumentError(
+        "--platform must be <= " + std::to_string(evaluation.size()) +
+        " (the evaluation set; deployments are keyed by function name)"));
+  }
+
+  PlatformOptions options;
+  options.seed = common.seed;
+  options.engine_kind = common.engine_kind;
+  options.input_noise = common.input_noise;
+  options.faults = common.faults;
+  PlatformSimulation platform(WorkloadRegistry::Default(), **eviction, options);
+
+  const uint64_t eviction_k = std::strtoull(eviction_spec.c_str(), nullptr, 10);
+  const std::string policy_name = *flags.GetString("policy");
+  std::vector<OwnedPolicy> policies;
+  policies.reserve(static_cast<size_t>(platform_size));
+  for (int64_t i = 0; i < platform_size; ++i) {
+    const WorkloadProfile& profile = *evaluation[static_cast<size_t>(i)];
+    auto config = MakeConfig(profile, flags, eviction_k);
+    if (!config.ok()) {
+      return Fail(config.status());
+    }
+    auto policy = BuildPolicy(policy_name, *config,
+                              static_cast<uint64_t>(*flags.GetInt("explore-budget")));
+    if (!policy.ok()) {
+      return Fail(policy.status());
+    }
+    policies.push_back(std::move(*policy));
+    if (Status s = platform.DeployFunction(profile, *policies.back().policy);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  auto report =
+      platform.RunClosedLoop(requests * static_cast<uint64_t>(platform_size));
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  const DistributionSummary summary = report->GlobalLatencySummary();
+  std::printf("platform=%lld policy=%s eviction=%s\n",
+              static_cast<long long>(platform_size), policy_name.c_str(),
+              eviction_spec.c_str());
+  std::printf("requests=%zu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%llu "
+              "checkpoints=%llu digest=%08x\n",
+              summary.count(), summary.Quantile(50), summary.Quantile(90),
+              summary.Quantile(99),
+              static_cast<unsigned long long>(report->TotalLifetimes()),
+              static_cast<unsigned long long>(report->TotalCheckpoints()),
+              report->Digest());
+  if (common.faults.Active()) {
+    PrintFaultLine(report->faults);
+  }
+  for (const auto& [function, function_report] : report->per_function) {
+    std::printf("  %-24s p50_us=%9.0f checkpoints=%4llu restores=%4llu\n",
+                function.c_str(), function_report.LatencySummary().Median(),
+                static_cast<unsigned long long>(function_report.checkpoints),
+                static_cast<unsigned long long>(function_report.restores));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,6 +519,9 @@ int main(int argc, char** argv) {
   flags.AddFlag("fleet", "0",
                 "deploy this many functions (cycling the evaluation set) and run "
                 "them as parallel shards; 0 = single-function mode");
+  flags.AddFlag("platform", "0",
+                "deploy this many evaluation functions into one shared control "
+                "plane and run a closed loop; 0 = single-function mode");
   flags.AddFlag("threads", "0",
                 "fleet shard threads (0 = hardware concurrency); results are "
                 "bit-identical for any value");
@@ -454,14 +570,25 @@ int main(int argc, char** argv) {
   if (!requests.ok() || !seed.ok() || *requests <= 0) {
     return Fail(InvalidArgumentError("--requests and --seed must be positive ints"));
   }
+  auto common = ParseCommonSimOptions(flags);
+  if (!common.ok()) {
+    return Fail(common.status());
+  }
 
   auto fleet_size = flags.GetInt("fleet");
-  if (!fleet_size.ok() || *fleet_size < 0) {
-    return Fail(InvalidArgumentError("--fleet must be a non-negative int"));
+  auto platform_size = flags.GetInt("platform");
+  if (!fleet_size.ok() || *fleet_size < 0 || !platform_size.ok() ||
+      *platform_size < 0) {
+    return Fail(InvalidArgumentError("--fleet and --platform must be non-negative"));
+  }
+  if (*fleet_size > 0 && *platform_size > 0) {
+    return Fail(InvalidArgumentError("--fleet and --platform are mutually exclusive"));
   }
   if (*fleet_size > 0) {
-    return RunFleet(flags, static_cast<uint64_t>(*seed),
-                    static_cast<uint64_t>(*requests));
+    return RunFleet(flags, *common, static_cast<uint64_t>(*requests));
+  }
+  if (*platform_size > 0) {
+    return RunPlatform(flags, *common, static_cast<uint64_t>(*requests));
   }
 
   const std::string benchmark = *flags.GetString("benchmark");
@@ -491,19 +618,10 @@ int main(int argc, char** argv) {
   }
 
   SimulationOptions options;
-  options.seed = static_cast<uint64_t>(*seed);
-  options.input_noise = !flags.GetBool("no-noise").value_or(false);
-  auto faults = ParseFaultPlan(flags);
-  if (!faults.ok()) {
-    return Fail(faults.status());
-  }
-  options.faults = *faults;
-  const std::string engine_name = *flags.GetString("engine");
-  if (engine_name == "delta") {
-    options.engine_kind = EngineKind::kDelta;
-  } else if (engine_name != "criu") {
-    return Fail(InvalidArgumentError("unknown engine '" + engine_name + "'"));
-  }
+  options.seed = common->seed;
+  options.engine_kind = common->engine_kind;
+  options.input_noise = common->input_noise;
+  options.faults = common->faults;
   FunctionSimulation sim(**profile, WorkloadRegistry::Default(),
                          *owned_policy->policy, **eviction, options);
   auto report = sim.RunClosedLoop(static_cast<uint64_t>(*requests));

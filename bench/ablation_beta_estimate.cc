@@ -13,6 +13,7 @@
 // them will regularly reach the predicted lifetime").
 
 #include "bench/exhibit_common.h"
+#include "src/platform/function_simulation.h"
 
 namespace pronghorn::bench {
 namespace {

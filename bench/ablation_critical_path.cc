@@ -24,18 +24,25 @@ void Section(const char* benchmark, uint32_t eviction_k) {
          {PolicyKind::kCold, PolicyKind::kAfterFirst, PolicyKind::kRequestCentric}) {
       const PolicyConfig config = PaperConfig(profile, eviction_k);
       const auto policy = MakePolicy(kind, config);
-      auto eviction = EveryKRequestsEviction::Create(eviction_k);
-      SimulationOptions options;
+      SimOptions options;
       options.seed = 303;
-      options.startup_on_critical_path = on_path;
-      FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
-                             options);
-      auto report = sim.RunClosedLoop(kRequests);
+      options.worker_slots = 1;
+      options.exploring_slots = 1;
+      options.lifecycle.startup_on_critical_path = on_path;
+      options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+      options.eviction.k = eviction_k;
+      SimFunctionSpec spec;
+      spec.name = profile.name;
+      spec.profile = &profile;
+      spec.policy = policy.get();
+      spec.requests = kRequests;
+      auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                             std::span<const SimFunctionSpec>(&spec, 1), options);
       if (!report.ok()) {
         std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
         std::exit(1);
       }
-      const DistributionSummary summary = report->LatencySummary();
+      const DistributionSummary summary = report->flat().LatencySummary();
       std::printf("    %-22s median %9.0f us   p99 %9.0f us\n", PolicyKindName(kind),
                   summary.Median(), summary.Quantile(99));
     }

@@ -5,6 +5,7 @@
 // function's first snapshot is a full image.
 
 #include "bench/exhibit_common.h"
+#include "src/platform/function_simulation.h"
 
 namespace pronghorn::bench {
 namespace {

@@ -6,7 +6,6 @@
 // cluster-wide median latency against the checkpointing cost incurred.
 
 #include "bench/exhibit_common.h"
-#include "src/platform/cluster_simulation.h"
 
 namespace pronghorn::bench {
 namespace {
@@ -21,29 +20,32 @@ void Row(const WorkloadProfile& profile, uint32_t exploring_slots) {
   if (!policy.ok()) {
     std::exit(1);
   }
-  auto eviction = EveryKRequestsEviction::Create(kEvictionK);
-  if (!eviction.ok()) {
-    std::exit(1);
-  }
-  ClusterOptions options;
+  SimOptions options;
   options.worker_slots = kWorkerSlots;
   options.exploring_slots = exploring_slots;
   options.seed = 21;
-  ClusterSimulation cluster(profile, WorkloadRegistry::Default(), *policy, **eviction,
-                            options);
-  auto report = cluster.RunClosedLoop(kRequests);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = kEvictionK;
+  SimFunctionSpec spec;
+  spec.name = profile.name;
+  spec.profile = &profile;
+  spec.policy = &*policy;
+  spec.requests = kRequests;
+  auto result = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     std::exit(1);
   }
-  const double cluster_median = report->LatencySummary().Median();
-  const double exploit_median = report->exploiting_latency.empty()
+  const SimulationReport& report = result->flat();
+  const double cluster_median = report.LatencySummary().Median();
+  const double exploit_median = report.exploiting_latency.empty()
                                     ? 0.0
-                                    : report->exploiting_latency.Median();
+                                    : report.exploiting_latency.Median();
   std::printf("  exploring %u/%u   cluster median %9.0f us   exploit-only median "
               "%9.0f us   checkpoints %4llu\n",
               exploring_slots, kWorkerSlots, cluster_median, exploit_median,
-              static_cast<unsigned long long>(report->checkpoints));
+              static_cast<unsigned long long>(report.checkpoints));
 }
 
 }  // namespace

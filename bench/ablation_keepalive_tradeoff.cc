@@ -10,6 +10,7 @@
 // provider-side occupancy.
 
 #include "bench/exhibit_common.h"
+#include "src/platform/function_simulation.h"
 #include "src/trace/trace_generator.h"
 
 namespace pronghorn::bench {
@@ -34,7 +35,7 @@ void Row(const WorkloadProfile& profile, PolicyKind kind, int64_t idle_timeout_s
   IdleTimeoutEviction eviction(Duration::Seconds(static_cast<double>(idle_timeout_s)));
   SimulationOptions options;
   options.seed = 42;
-  options.idle_resource_hold = eviction.timeout();
+  options.lifecycle.idle_resource_hold = eviction.timeout();
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, eviction,
                          options);
   const std::vector<TimePoint> arrivals = SparseArrivals(9);

@@ -14,17 +14,24 @@ constexpr uint64_t kRequests = 500;
 double MedianFor(const WorkloadProfile& profile, const PolicyConfig& config,
                  uint64_t seed) {
   const auto policy = MakePolicy(PolicyKind::kRequestCentric, config);
-  auto eviction = EveryKRequestsEviction::Create(kEvictionK);
-  SimulationOptions options;
+  SimOptions options;
   options.seed = seed;
-  FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
-                         options);
-  auto report = sim.RunClosedLoop(kRequests);
+  options.worker_slots = 1;
+  options.exploring_slots = 1;
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = kEvictionK;
+  SimFunctionSpec spec;
+  spec.name = profile.name;
+  spec.profile = &profile;
+  spec.policy = policy.get();
+  spec.requests = kRequests;
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     std::exit(1);
   }
-  return report->MedianLatencyUs();
+  return report->flat().MedianLatencyUs();
 }
 
 }  // namespace

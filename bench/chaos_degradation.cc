@@ -29,13 +29,13 @@ constexpr double kConvergenceTolerance = 0.02;
 void Row(const WorkloadProfile& profile, double fault_rate) {
   const PolicyConfig config = PaperConfig(profile, kEvictionK);
   const auto policy = MakePolicy(PolicyKind::kRequestCentric, config);
-  auto eviction = EveryKRequestsEviction::Create(kEvictionK);
-  if (!eviction.ok()) {
-    std::exit(1);
-  }
 
-  SimulationOptions options;
+  SimOptions options;
   options.seed = kSeed;
+  options.worker_slots = 1;
+  options.exploring_slots = 1;
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = kEvictionK;
   options.faults.get_failure_rate = fault_rate;
   options.faults.put_failure_rate = fault_rate;
   options.faults.delete_failure_rate = fault_rate;
@@ -44,13 +44,18 @@ void Row(const WorkloadProfile& profile, double fault_rate) {
   // transient unavailability but is the failure the CRC + quarantine path
   // exists for.
   options.faults.corruption_rate = fault_rate / 5.0;
-  FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
-                         options);
-  auto report = sim.RunClosedLoop(kRequests);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+  SimFunctionSpec spec;
+  spec.name = profile.name;
+  spec.profile = &profile;
+  spec.policy = policy.get();
+  spec.requests = kRequests;
+  auto result = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     std::exit(1);
   }
+  const SimulationReport* report = &result->flat();
 
   const auto convergence =
       ConvergenceRequest(report->records, kConvergenceWindow, kConvergenceTolerance);

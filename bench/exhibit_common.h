@@ -17,7 +17,7 @@
 #include "src/core/baseline_policies.h"
 #include "src/core/request_centric_policy.h"
 #include "src/platform/analysis.h"
-#include "src/platform/function_simulation.h"
+#include "src/platform/simulate.h"
 
 namespace pronghorn::bench {
 
@@ -78,28 +78,33 @@ inline std::unique_ptr<OrchestrationPolicy> MakePolicy(PolicyKind kind,
   return nullptr;
 }
 
-// Runs one closed-loop experiment (the §5.1 measurement protocol).
+// Runs one closed-loop experiment (the §5.1 measurement protocol) through
+// the unified Simulate() entry point in its single-function configuration
+// (one worker slot, sub-seed = seed — the historical FunctionSimulation).
 inline SimulationReport RunClosedLoop(const WorkloadProfile& profile, PolicyKind kind,
                                       uint32_t eviction_k, uint64_t requests,
                                       uint64_t seed, bool input_noise = true) {
   const PolicyConfig config = PaperConfig(profile, eviction_k);
   const auto policy = MakePolicy(kind, config);
-  auto eviction = EveryKRequestsEviction::Create(eviction_k);
-  if (!eviction.ok()) {
-    std::fprintf(stderr, "%s\n", eviction.status().ToString().c_str());
-    std::exit(1);
-  }
-  SimulationOptions options;
+  SimOptions options;
   options.seed = seed;
   options.input_noise = input_noise;
-  FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
-                         options);
-  auto report = sim.RunClosedLoop(requests);
+  options.worker_slots = 1;
+  options.exploring_slots = 1;
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = eviction_k;
+  SimFunctionSpec spec;
+  spec.name = profile.name;
+  spec.profile = &profile;
+  spec.policy = policy.get();
+  spec.requests = requests;
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options);
   if (!report.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n", report.status().ToString().c_str());
     std::exit(1);
   }
-  return *std::move(report);
+  return std::move(report->per_function.front().report);
 }
 
 // Prints a percentile row of a latency distribution in microseconds.

@@ -8,6 +8,7 @@
 // per scenario to populate the CDF.
 
 #include "bench/exhibit_common.h"
+#include "src/platform/function_simulation.h"
 #include "src/trace/trace_generator.h"
 
 namespace pronghorn::bench {

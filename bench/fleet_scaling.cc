@@ -13,7 +13,6 @@
 
 #include "bench/exhibit_common.h"
 #include "src/common/thread_pool.h"
-#include "src/platform/fleet_simulation.h"
 
 namespace pronghorn::bench {
 namespace {
@@ -32,30 +31,29 @@ struct FleetRun {
 
 FleetRun RunOnce(uint32_t threads, const std::vector<const WorkloadProfile*>& profiles,
                  const std::vector<std::unique_ptr<OrchestrationPolicy>>& policies) {
-  FleetOptions options;
+  SimOptions options;
   options.seed = kSeed;
   options.threads = threads;
+  options.worker_slots = kWorkerSlots;
+  options.exploring_slots = 1;
   options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
   options.eviction.k = kEvictionK;
-  FleetSimulation fleet(WorkloadRegistry::Default(), options);
+  std::vector<SimFunctionSpec> specs;
+  specs.reserve(kFleetSize);
   for (size_t i = 0; i < kFleetSize; ++i) {
-    FleetFunctionSpec spec;
+    SimFunctionSpec spec;
     char name[48];
     std::snprintf(name, sizeof(name), "f%03zu-%s", i, profiles[i]->name.c_str());
     spec.name = name;
     spec.profile = profiles[i];
     spec.policy = policies[i].get();
     spec.requests = kRequestsPerFunction;
-    spec.worker_slots = kWorkerSlots;
-    spec.exploring_slots = 1;
-    if (Status s = fleet.AddFunction(std::move(spec)); !s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      std::exit(1);
-    }
+    specs.push_back(std::move(spec));
   }
 
   const auto start = std::chrono::steady_clock::now();
-  auto report = fleet.Run();
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kFleet, specs,
+                         options);
   const auto end = std::chrono::steady_clock::now();
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
@@ -64,7 +62,7 @@ FleetRun RunOnce(uint32_t threads, const std::vector<const WorkloadProfile*>& pr
   FleetRun run;
   run.wall_seconds = std::chrono::duration<double>(end - start).count();
   run.digest = report->Digest();
-  run.fleet_p50_us = report->fleet_latency.Quantile(50);
+  run.fleet_p50_us = report->latency.Quantile(50);
   return run;
 }
 

@@ -8,6 +8,7 @@
 
 #include "bench/exhibit_common.h"
 #include "src/checkpoint/criu_like_engine.h"
+#include "src/platform/function_simulation.h"
 
 namespace pronghorn::bench {
 namespace {

@@ -11,6 +11,7 @@
 #include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/jit/runtime_process.h"
+#include "src/obs/sink.h"
 
 namespace pronghorn {
 
@@ -49,15 +50,26 @@ class CheckpointEngine {
   Duration total_checkpoint_time() const { return total_checkpoint_time_; }
   Duration total_restore_time() const { return total_restore_time_; }
 
+  // Borrowed observability sink; null disables engine metrics.
+  void set_obs(ObsSink* obs) { obs_ = obs; }
+
  protected:
   // Implementations call these on every successful operation.
   void RecordCheckpoint(Duration downtime) {
     checkpoints_taken_ += 1;
     total_checkpoint_time_ += downtime;
+    if (obs_ != nullptr) {
+      obs_->Counter("engine.checkpoints", 1);
+      obs_->Observe("engine.checkpoint_downtime_us", downtime);
+    }
   }
   void RecordRestore(Duration restore_time) {
     restores_performed_ += 1;
     total_restore_time_ += restore_time;
+    if (obs_ != nullptr) {
+      obs_->Counter("engine.restores", 1);
+      obs_->Observe("engine.restore_time_us", restore_time);
+    }
   }
 
  private:
@@ -65,6 +77,7 @@ class CheckpointEngine {
   uint64_t restores_performed_ = 0;
   Duration total_checkpoint_time_;
   Duration total_restore_time_;
+  ObsSink* obs_ = nullptr;
 };
 
 }  // namespace pronghorn

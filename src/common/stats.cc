@@ -95,9 +95,13 @@ std::vector<DistributionSummary::CdfPoint> DistributionSummary::Cdf(size_t point
   out.reserve(points);
   for (size_t i = 1; i <= points; ++i) {
     const double p = static_cast<double>(i) / static_cast<double>(points);
+    // Hyndman & Fan type 7, matching Quantile(): interpolate between the two
+    // order statistics around the fractional rank instead of flooring.
     const double rank = p * static_cast<double>(sorted_.size() - 1);
-    const size_t idx = static_cast<size_t>(rank);
-    out.push_back(CdfPoint{sorted_[std::min(idx, sorted_.size() - 1)], p});
+    const size_t lo = std::min(static_cast<size_t>(rank), sorted_.size() - 1);
+    const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    out.push_back(CdfPoint{sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac, p});
   }
   return out;
 }
@@ -130,6 +134,41 @@ void LogHistogram::Add(double value) {
 double LogHistogram::BucketLowerBound(size_t i) const {
   const double width = (log10_max_ - log10_min_) / static_cast<double>(bins_);
   return std::pow(10.0, log10_min_ + static_cast<double>(i) * width);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 100.0);
+  const double rank = q / 100.0 * static_cast<double>(total_ - 1);
+  size_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double first_rank = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (rank >= static_cast<double>(seen)) {
+      continue;
+    }
+    if (i == 0) {
+      return 0.0;  // Underflow: below the histogram floor.
+    }
+    if (i + 1 == buckets_.size()) {
+      return BucketLowerBound(bins_);  // Overflow: the ceiling is all we know.
+    }
+    const double lo = BucketLowerBound(i - 1);
+    const double hi = BucketLowerBound(i);
+    if (buckets_[i] == 1 || hi <= lo) {
+      return lo;
+    }
+    // Spread the bucket's occupants evenly over its value span.
+    const double within =
+        (rank - first_rank) / static_cast<double>(buckets_[i] - 1);
+    return lo + (hi - lo) * std::min(within, 1.0);
+  }
+  return BucketLowerBound(bins_);
 }
 
 std::string LogHistogram::ToAsciiArt(size_t width) const {

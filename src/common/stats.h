@@ -32,8 +32,17 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
-// Batch percentile over a copy of the samples, using linear interpolation
-// between closest ranks. `q` in [0, 100]. Returns 0 for empty input.
+// Batch percentile over a copy of the samples. `q` in [0, 100]. Returns 0
+// for empty input.
+//
+// Quantile convention (repo-wide): Hyndman & Fan type 7 — the target sits at
+// fractional rank q/100 * (n - 1) in the sorted sample and is linearly
+// interpolated between the two closest order statistics (numpy/R default).
+// DistributionSummary::Quantile/Cdf, LogHistogram::Quantile, and the obs
+// layer's LatencyHistogram::Quantile all use this same definition, so
+// summaries computed from raw samples and from histogram buckets agree up to
+// bucket resolution (they previously disagreed at small sample counts, where
+// nearest-rank flooring and interpolation diverge most).
 double Percentile(std::span<const double> samples, double q);
 
 // Accumulates samples and renders distribution summaries. The benchmark
@@ -52,7 +61,9 @@ class DistributionSummary {
   double Max() const;
 
   // CDF sampled at `points` evenly spaced probabilities in (0, 1]; each entry
-  // is {value, cumulative_probability}.
+  // is {value, cumulative_probability}. Values follow the same Hyndman & Fan
+  // type 7 interpolation as Quantile(), so Cdf(k) and Quantile(q) agree
+  // wherever their grids coincide.
   struct CdfPoint {
     double value = 0.0;
     double probability = 0.0;
@@ -84,6 +95,15 @@ class LogHistogram {
   const std::vector<size_t>& buckets() const { return buckets_; }
   // Lower bound (in value space) of in-range bucket `i` (0-based).
   double BucketLowerBound(size_t i) const;
+
+  // Approximate quantile from the bucket counts, `q` in [0, 100], using the
+  // repo-wide Hyndman & Fan type 7 convention (see Percentile): the target
+  // rank is q/100 * (n - 1) and occupants are spread evenly across their
+  // bucket's value span. Ranks landing in the underflow bucket report 0
+  // (values below the floor are indistinguishable); ranks in the overflow
+  // bucket report the overflow lower edge. Agrees with Percentile() over the
+  // same samples up to bucket resolution. Returns 0 when empty.
+  double Quantile(double q) const;
 
   // Renders a compact ASCII sparkline of the distribution for logs.
   std::string ToAsciiArt(size_t width = 60) const;

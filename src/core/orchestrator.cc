@@ -41,6 +41,11 @@ void Orchestrator::Backoff(int retry_index) {
   // fault-free trajectories consume exactly the same RNG stream as before.
   delay = delay * (0.5 + 0.5 * rng_.UniformDouble());
   recovery_.total_retry_backoff += delay;
+  if (obs_ != nullptr) {
+    obs_->Counter("recovery.backoffs", 1);
+    obs_->Observe("recovery.backoff_us", delay);
+    obs_->Instant(obs_track_, "backoff", "recovery", clock_.now());
+  }
   clock_.Advance(delay);
 }
 
@@ -52,6 +57,10 @@ Result<ObjectBlob> Orchestrator::GetWithRetry(const std::string& key) {
       return blob;
     }
     recovery_.restore_transient_retries += 1;
+    if (obs_ != nullptr) {
+      obs_->Counter("recovery.transient_retries", 1);
+      obs_->Instant(obs_track_, "retry", "recovery", clock_.now());
+    }
     Backoff(attempt);
   }
 }
@@ -65,6 +74,10 @@ Status Orchestrator::PutWithRetry(const std::string& key, ObjectBlob blob) {
       return status;
     }
     recovery_.restore_transient_retries += 1;
+    if (obs_ != nullptr) {
+      obs_->Counter("recovery.transient_retries", 1);
+      obs_->Instant(obs_track_, "retry", "recovery", clock_.now());
+    }
     Backoff(attempt);
   }
 }
@@ -90,6 +103,10 @@ void Orchestrator::RecordRestoreFailure(SnapshotId id, const std::string& object
   }
   if (quarantined) {
     recovery_.snapshots_quarantined += 1;
+    if (obs_ != nullptr) {
+      obs_->Counter("recovery.quarantines", 1);
+      obs_->Instant(obs_track_, "quarantine", "recovery", clock_.now());
+    }
     PRONGHORN_LOG_WARNING("snapshot %llu quarantined after repeated restore failures",
                           static_cast<unsigned long long>(id.value));
     const Status deleted = object_store_.Delete(object_key);
@@ -126,6 +143,11 @@ Result<WorkerSession> Orchestrator::StartWorker() {
       recovery_.degraded_starts += 1;
       overheads_.worker_starts += 1;
       overheads_.total_startup_overhead += session.startup_overhead;
+      if (obs_ != nullptr) {
+        obs_->Counter("orchestrator.degraded_starts", 1);
+        obs_->Instant(obs_track_, "decision:degraded_start", "orchestrator",
+                      clock_.now());
+      }
       PRONGHORN_LOG_WARNING("database unavailable at worker launch for '%s'; "
                             "degraded cold start",
                             state_store_.function().c_str());
@@ -195,6 +217,10 @@ Result<WorkerSession> Orchestrator::StartWorker() {
     s.startup_latency = TransferTime(blob->logical_size) + restored->restore_time;
     if (rank > 0) {
       recovery_.restore_fallbacks += 1;
+      if (obs_ != nullptr) {
+        obs_->Counter("recovery.restore_fallbacks", 1);
+        obs_->Instant(obs_track_, "restore_fallback", "recovery", clock_.now());
+      }
     }
     if (state.restore_failures.count(id.value) > 0) {
       // The snapshot proved healthy after all; clear its strikes (best
@@ -215,6 +241,14 @@ Result<WorkerSession> Orchestrator::StartWorker() {
 
   overheads_.worker_starts += 1;
   overheads_.total_startup_overhead += decision_overhead;
+  if (obs_ != nullptr) {
+    obs_->Counter(session->restored ? "orchestrator.restore_decisions"
+                                    : "orchestrator.cold_start_decisions",
+                  1);
+    obs_->Instant(obs_track_,
+                  session->restored ? "decision:restore" : "decision:cold_start",
+                  "orchestrator", clock_.now());
+  }
   return *std::move(session);
 }
 

@@ -28,6 +28,7 @@
 #include "src/common/rng.h"
 #include "src/core/policy.h"
 #include "src/core/policy_state_store.h"
+#include "src/obs/sink.h"
 #include "src/store/object_store.h"
 
 namespace pronghorn {
@@ -168,6 +169,13 @@ class Orchestrator {
   const RecoveryStats& recovery_stats() const { return recovery_; }
   const WorkloadProfile& profile() const { return profile_; }
 
+  // Borrowed observability sink; null disables all emission. Decision and
+  // retry/backoff events land on `track` (the owning slot's lifecycle lane).
+  void set_obs(ObsSink* obs, ObsTrack track) {
+    obs_ = obs;
+    obs_track_ = track;
+  }
+
  private:
   struct PendingObservation {
     uint64_t request_number = 0;
@@ -209,6 +217,8 @@ class Orchestrator {
   RecoveryStats recovery_;
   std::deque<PendingObservation> pending_observations_;
   uint64_t next_worker_id_ = 1;
+  ObsSink* obs_ = nullptr;
+  ObsTrack obs_track_;
 };
 
 }  // namespace pronghorn

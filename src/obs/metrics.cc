@@ -1,0 +1,264 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace pronghorn {
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<size_t>(value);
+  }
+  int high_bit =
+      static_cast<int>(std::bit_width(value)) - 1;  // >= kSubBucketBits here.
+  if (high_bit > 61) {
+    high_bit = 61;  // Saturate: everything >= 2^62 lands in the top octave.
+    value = (uint64_t{1} << 62) - 1;
+  }
+  const int shift = high_bit - kSubBucketBits;
+  const size_t sub = static_cast<size_t>((value >> shift) & (kSubBuckets - 1));
+  return static_cast<size_t>(high_bit - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  if (index < static_cast<size_t>(kSubBuckets)) {
+    return index;
+  }
+  const int high_bit = static_cast<int>(index / kSubBuckets) + kSubBucketBits - 1;
+  const uint64_t sub = index % kSubBuckets;
+  return (static_cast<uint64_t>(kSubBuckets) + sub) << (high_bit - kSubBucketBits);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < static_cast<size_t>(kSubBuckets)) {
+    return index + 1;
+  }
+  const int high_bit = static_cast<int>(index / kSubBuckets) + kSubBucketBits - 1;
+  return BucketLowerBound(index) + (uint64_t{1} << (high_bit - kSubBucketBits));
+}
+
+void LatencyHistogram::AddCount(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  buckets_[BucketIndex(value)] += count;
+  if (total_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ += count;
+  sum_ += value * count;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 100.0);
+  // Hyndman & Fan type 7 (the stats.h convention): the target sits at
+  // fractional rank q/100 * (n - 1) in the sorted sample; locate that rank in
+  // the cumulative bucket counts and interpolate linearly inside the bucket.
+  const double rank = q / 100.0 * static_cast<double>(total_ - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double first_rank = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (rank >= static_cast<double>(seen)) {
+      continue;
+    }
+    const double lo = static_cast<double>(std::max(BucketLowerBound(i), min_));
+    const double hi =
+        static_cast<double>(std::min(BucketUpperBound(i) - 1, max_));
+    if (buckets_[i] == 1 || hi <= lo) {
+      return lo;
+    }
+    // Spread the bucket's occupants evenly over its clamped span.
+    const double within =
+        (rank - first_rank) / static_cast<double>(buckets_[i] - 1);
+    return lo + (hi - lo) * std::min(within, 1.0);
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LatencyHistogram::ToAsciiArt(size_t width) const {
+  if (total_ == 0 || width == 0) {
+    return "(empty)";
+  }
+  const size_t first = BucketIndex(min_);
+  const size_t last = BucketIndex(max_);
+  const size_t span = last - first + 1;
+  std::string art(width, ' ');
+  static constexpr const char kGlyphs[] = " .:-=+*#%@";
+  uint64_t max_count = 1;
+  for (size_t i = first; i <= last; ++i) {
+    max_count = std::max(max_count, buckets_[i]);
+  }
+  for (size_t col = 0; col < width; ++col) {
+    const size_t begin = first + col * span / width;
+    const size_t end = std::max(begin + 1, first + (col + 1) * span / width);
+    uint64_t count = 0;
+    for (size_t i = begin; i < end && i <= last; ++i) {
+      count += buckets_[i];
+    }
+    const size_t glyph =
+        count == 0 ? 0
+                   : 1 + static_cast<size_t>(count * (sizeof(kGlyphs) - 3) /
+                                             max_count);
+    art[col] = kGlyphs[std::min(glyph, sizeof(kGlyphs) - 2)];
+  }
+  return art;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] = value;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].Merge(histogram);
+  }
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[160];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    std::snprintf(buf, sizeof(buf), ": %" PRIu64, value);
+    out += buf;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    std::snprintf(buf, sizeof(buf), ": %.6g", value);
+    out += buf;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    std::snprintf(buf, sizeof(buf),
+                  ": {\"count\": %" PRIu64 ", \"min\": %" PRIu64
+                  ", \"max\": %" PRIu64
+                  ", \"mean\": %.3f, \"p50\": %.1f, \"p90\": %.1f, \"p99\": "
+                  "%.1f, \"buckets\": [",
+                  histogram.count(), histogram.min(), histogram.max(),
+                  histogram.mean(), histogram.Quantile(50),
+                  histogram.Quantile(90), histogram.Quantile(99));
+    out += buf;
+    bool first_bucket = true;
+    for (size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      if (histogram.buckets()[i] == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 ", %" PRIu64 "]",
+                    first_bucket ? "" : ", ",
+                    LatencyHistogram::BucketLowerBound(i),
+                    histogram.buckets()[i]);
+      first_bucket = false;
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::IncrementCounter(std::string_view name, uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.gauges[std::string(name)] = value;
+}
+
+void MetricsRegistry::ObserveLatency(std::string_view histogram,
+                                     uint64_t value_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.histograms[std::string(histogram)].Add(value_us);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+}  // namespace pronghorn

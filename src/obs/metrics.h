@@ -1,0 +1,122 @@
+// Observability metrics: named counters, gauges, and exact-merge latency
+// histograms.
+//
+// The paper's evaluation (§4) is entirely about latency *distributions* and
+// per-phase orchestration overheads, so the kernel needs a way to accumulate
+// them that (a) costs nothing when disabled, (b) merges exactly across fleet
+// shards, and (c) never perturbs the simulation's determinism contract.
+//
+// LatencyHistogram uses a fixed log-linear bucket layout computed with pure
+// integer arithmetic (HDR-histogram style): every histogram ever constructed
+// has the same bucket boundaries, so merging is element-wise addition —
+// exact, commutative, and associative. A fleet report's histograms are
+// therefore bit-identical at any --threads, for any shard completion order.
+//
+// Quantile() follows the same convention as Percentile() in
+// src/common/stats.h (linear interpolation between closest ranks, Hyndman &
+// Fan type 7), applied at bucket granularity: the rank is located in the
+// cumulative bucket counts and interpolated linearly inside the bucket span.
+
+#ifndef PRONGHORN_SRC_OBS_METRICS_H_
+#define PRONGHORN_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace pronghorn {
+
+// Fixed-layout log-linear histogram of non-negative integer values
+// (microseconds by convention). Values 0..15 get exact unit buckets; above
+// that, each power-of-two octave is split into 16 equal sub-buckets, up to a
+// saturation cap of 2^62 (values beyond land in the top bucket).
+class LatencyHistogram {
+ public:
+  // 16 unit buckets + 16 sub-buckets for each octave [2^4, 2^62).
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  static constexpr int kOctaves = 62 - kSubBucketBits;     // 58
+  static constexpr size_t kBucketCount =
+      static_cast<size_t>(kSubBuckets) * (kOctaves + 1);
+
+  // The bucket index of `value`; identical on every platform (integer-only).
+  static size_t BucketIndex(uint64_t value);
+  // Inclusive lower bound of bucket `index` in value space.
+  static uint64_t BucketLowerBound(size_t index);
+  // Exclusive upper bound of bucket `index` in value space.
+  static uint64_t BucketUpperBound(size_t index);
+
+  void Add(uint64_t value) { AddCount(value, 1); }
+  void AddCount(uint64_t value, uint64_t count);
+
+  // Element-wise bucket addition: exact, order-insensitive, and associative,
+  // because every histogram shares one fixed layout.
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  uint64_t max() const { return total_ == 0 ? 0 : max_; }
+  double mean() const;
+
+  // Quantile in [0, 100] under the codebase-wide convention (stats.h):
+  // linear interpolation between closest ranks, evaluated on the bucket
+  // cumulative counts and interpolated within the winning bucket's span.
+  // Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  const std::array<uint64_t, kBucketCount>& buckets() const { return buckets_; }
+
+  // Compact ASCII sparkline between min and max for logs.
+  std::string ToAsciiArt(size_t width = 60) const;
+
+  bool operator==(const LatencyHistogram& other) const = default;
+
+ private:
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// A point-in-time copy of a registry's contents. Plain maps so callers can
+// serialize, diff, or merge snapshots without holding any lock. Merging sums
+// counters and histograms and keeps the last-written gauge per key.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, LatencyHistogram> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
+  // max, mean, p50, p90, p99, buckets: [[lower_bound, count], ...]}}}.
+  std::string ToJson() const;
+};
+
+// Thread-safe named-metric accumulator. Instrumentation sites pay one mutex
+// acquisition per emission; simulations that do not enable observability
+// never construct one (the ObsSink pointer is null and sites skip the call).
+class MetricsRegistry {
+ public:
+  void IncrementCounter(std::string_view name, uint64_t delta);
+  void SetGauge(std::string_view name, double value);
+  void ObserveLatency(std::string_view histogram, uint64_t value_us);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_OBS_METRICS_H_

@@ -1,0 +1,79 @@
+#include "src/obs/sink.h"
+
+namespace pronghorn {
+
+StandardObs::StandardObs() : StandardObs(Options()) {}
+
+StandardObs::StandardObs(Options options)
+    : options_(options),
+      trace_(options.trace ? options.trace_capacity : 1) {}
+
+uint32_t StandardObs::RegisterProcess(std::string_view name) {
+  const uint32_t pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace) {
+    trace_.RegisterProcess(pid, std::string(name));
+  }
+  return pid;
+}
+
+void StandardObs::RegisterThread(ObsTrack track, std::string_view name) {
+  if (options_.trace) {
+    trace_.RegisterThread(track.pid, track.tid, std::string(name));
+  }
+}
+
+void StandardObs::Counter(std::string_view name, uint64_t delta) {
+  if (options_.metrics) {
+    metrics_.IncrementCounter(name, delta);
+  }
+}
+
+void StandardObs::Gauge(std::string_view name, double value) {
+  if (options_.metrics) {
+    metrics_.SetGauge(name, value);
+  }
+}
+
+void StandardObs::Observe(std::string_view histogram, Duration value) {
+  if (options_.metrics) {
+    const int64_t micros = value.ToMicros();
+    metrics_.ObserveLatency(histogram,
+                            micros < 0 ? 0 : static_cast<uint64_t>(micros));
+  }
+}
+
+void StandardObs::Span(ObsTrack track, std::string_view name,
+                       std::string_view category, TimePoint begin,
+                       Duration duration) {
+  if (!options_.trace) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'X';
+  event.pid = track.pid;
+  event.tid = track.tid;
+  event.ts_us = begin.ToMicros();
+  event.dur_us = duration.ToMicros();
+  event.wall_ns = trace_.WallNanosNow();
+  trace_.Record(std::move(event));
+}
+
+void StandardObs::Instant(ObsTrack track, std::string_view name,
+                         std::string_view category, TimePoint at) {
+  if (!options_.trace) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'i';
+  event.pid = track.pid;
+  event.tid = track.tid;
+  event.ts_us = at.ToMicros();
+  event.wall_ns = trace_.WallNanosNow();
+  trace_.Record(std::move(event));
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,468 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <utility>
+
+namespace pronghorn {
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::WallNanosNow() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  recorded_ += 1;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+}
+
+void TraceRecorder::RegisterProcess(uint32_t pid, std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::RegisterThread(uint32_t pid, uint32_t tid, std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring has wrapped, `next_` points at the oldest.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::map<uint32_t, std::string> process_names;
+  std::map<std::pair<uint32_t, uint32_t>, std::string> thread_names;
+  uint64_t dropped_count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    process_names = process_names_;
+    thread_names = thread_names_;
+    dropped_count = recorded_ - ring_.size();
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"droppedEvents\": ";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped_count);
+  out += buf;
+  out += ", \"traceEvents\": [\n";
+  bool first = true;
+  const auto separator = [&] {
+    out += first ? "  " : ",\n  ";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names) {
+    separator();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %u, "
+                  "\"tid\": 0, \"args\": {\"name\": ",
+                  pid);
+    out += buf;
+    AppendJsonString(out, name);
+    out += "}}";
+  }
+  for (const auto& [track, name] : thread_names) {
+    separator();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": %u, "
+                  "\"tid\": %u, \"args\": {\"name\": ",
+                  track.first, track.second);
+    out += buf;
+    AppendJsonString(out, name);
+    out += "}}";
+  }
+  for (const TraceEvent& event : events) {
+    separator();
+    out += "{\"ph\": \"";
+    out += event.phase;
+    out += "\", \"name\": ";
+    AppendJsonString(out, event.name);
+    out += ", \"cat\": ";
+    AppendJsonString(out, event.category);
+    std::snprintf(buf, sizeof(buf), ", \"pid\": %u, \"tid\": %u, \"ts\": %" PRId64,
+                  event.pid, event.tid, event.ts_us);
+    out += buf;
+    if (event.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), ", \"dur\": %" PRId64, event.dur_us);
+      out += buf;
+    }
+    if (event.phase == 'i') {
+      out += ", \"s\": \"t\"";
+    }
+    std::snprintf(buf, sizeof(buf), ", \"args\": {\"wall_ns\": %" PRId64 "}}",
+                  event.wall_ns);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  out << ToChromeJson();
+  out.flush();
+  if (!out) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+namespace {
+
+// Minimal recursive-descent JSON reader for the subset ToChromeJson emits.
+// Values become one of: string, double, object (map), array (vector).
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  struct Value;
+  using Object = std::map<std::string, Value>;
+  using Array = std::vector<Value>;
+
+  struct Value {
+    // Exactly one of these is meaningful, keyed by `kind`.
+    enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray } kind =
+        Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::shared_ptr<Object> object;
+    std::shared_ptr<Array> array;
+  };
+
+  Result<Value> Parse() {
+    PRONGHORN_ASSIGN_OR_RETURN(Value value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return DataLossError("trailing bytes after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return DataLossError("unexpected end of JSON");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      Value value;
+      value.kind = Value::Kind::kString;
+      PRONGHORN_ASSIGN_OR_RETURN(value.text, ParseString());
+      return value;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      Value value;
+      value.kind = Value::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      Value value;
+      value.kind = Value::Kind::kBool;
+      return value;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Value{};
+    }
+    return ParseNumber();
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return DataLossError("expected '\"' in JSON");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return DataLossError("truncated \\u escape in JSON string");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return DataLossError("bad \\u escape in JSON string");
+            }
+          }
+          // ToChromeJson only emits \u for control characters.
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          out += escape;  // \" \\ \/ and friends.
+      }
+    }
+    return DataLossError("unterminated JSON string");
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return DataLossError("expected JSON number");
+    }
+    Value value;
+    value.kind = Value::Kind::kNumber;
+    value.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                               nullptr);
+    return value;
+  }
+
+  Result<Value> ParseObject() {
+    if (!Consume('{')) {
+      return DataLossError("expected '{' in JSON");
+    }
+    Value value;
+    value.kind = Value::Kind::kObject;
+    value.object = std::make_shared<Object>();
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      PRONGHORN_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) {
+        return DataLossError("expected ':' in JSON object");
+      }
+      PRONGHORN_ASSIGN_OR_RETURN(Value member, ParseValue());
+      value.object->emplace(std::move(key), std::move(member));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return DataLossError("expected ',' or '}' in JSON object");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    if (!Consume('[')) {
+      return DataLossError("expected '[' in JSON");
+    }
+    Value value;
+    value.kind = Value::Kind::kArray;
+    value.array = std::make_shared<Array>();
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      PRONGHORN_ASSIGN_OR_RETURN(Value element, ParseValue());
+      value.array->push_back(std::move(element));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return DataLossError("expected ',' or ']' in JSON array");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+double NumberField(const JsonReader::Object& object, const char* key) {
+  const auto it = object.find(key);
+  if (it == object.end() || it->second.kind != JsonReader::Value::Kind::kNumber) {
+    return 0.0;
+  }
+  return it->second.number;
+}
+
+std::string StringField(const JsonReader::Object& object, const char* key) {
+  const auto it = object.find(key);
+  if (it == object.end() || it->second.kind != JsonReader::Value::Kind::kString) {
+    return {};
+  }
+  return it->second.text;
+}
+
+}  // namespace
+
+Result<ChromeTrace> ParseChromeTrace(std::string_view json) {
+  JsonReader reader(json);
+  PRONGHORN_ASSIGN_OR_RETURN(JsonReader::Value root, reader.Parse());
+  if (root.kind != JsonReader::Value::Kind::kObject) {
+    return DataLossError("trace JSON root must be an object");
+  }
+  const auto events_it = root.object->find("traceEvents");
+  if (events_it == root.object->end() ||
+      events_it->second.kind != JsonReader::Value::Kind::kArray) {
+    return DataLossError("trace JSON has no traceEvents array");
+  }
+
+  ChromeTrace trace;
+  for (const JsonReader::Value& entry : *events_it->second.array) {
+    if (entry.kind != JsonReader::Value::Kind::kObject) {
+      return DataLossError("trace event is not an object");
+    }
+    const JsonReader::Object& object = *entry.object;
+    const std::string phase = StringField(object, "ph");
+    if (phase.empty()) {
+      return DataLossError("trace event has no ph");
+    }
+    const uint32_t pid = static_cast<uint32_t>(NumberField(object, "pid"));
+    const uint32_t tid = static_cast<uint32_t>(NumberField(object, "tid"));
+    if (phase == "M") {
+      const auto args_it = object.find("args");
+      if (args_it == object.end() ||
+          args_it->second.kind != JsonReader::Value::Kind::kObject) {
+        continue;
+      }
+      const std::string track_name = StringField(*args_it->second.object, "name");
+      if (StringField(object, "name") == "process_name") {
+        trace.process_names[pid] = track_name;
+      } else if (StringField(object, "name") == "thread_name") {
+        trace.thread_names[{pid, tid}] = track_name;
+      }
+      continue;
+    }
+    TraceEvent event;
+    event.phase = phase[0];
+    event.name = StringField(object, "name");
+    event.category = StringField(object, "cat");
+    event.pid = pid;
+    event.tid = tid;
+    event.ts_us = static_cast<int64_t>(NumberField(object, "ts"));
+    event.dur_us = static_cast<int64_t>(NumberField(object, "dur"));
+    const auto args_it = object.find("args");
+    if (args_it != object.end() &&
+        args_it->second.kind == JsonReader::Value::Kind::kObject) {
+      event.wall_ns = static_cast<int64_t>(
+          NumberField(*args_it->second.object, "wall_ns"));
+    }
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
+}
+
+}  // namespace pronghorn

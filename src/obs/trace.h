@@ -1,0 +1,105 @@
+// Lifecycle tracing: a bounded in-memory recorder emitting Chrome
+// trace_event JSON.
+//
+// Every span carries two timelines: `ts_us` is *simulated* time (the
+// SimClock instant the event describes) and `wall_ns` is wall-clock
+// nanoseconds since the recorder was constructed (where the host actually
+// spent its time). The simulated timeline is what chrome://tracing and
+// Perfetto render; the wall timeline rides along in each event's args so
+// host-side profiling stays available without a second file.
+//
+// The recorder is a fixed-capacity ring buffer: at fleet scale a run can
+// emit millions of spans, and tracing must never grow without bound or
+// perturb the simulation. When the ring wraps, the oldest events are
+// dropped and counted; `dropped()` makes the truncation visible instead of
+// silent.
+//
+// Wall-clock reads happen ONLY here (and nowhere else in the simulator —
+// the determinism contract in src/common/clock.h). Trace output is
+// observability, never digest input, so the wall timestamps cannot leak
+// into reproducible results.
+
+#ifndef PRONGHORN_SRC_OBS_TRACE_H_
+#define PRONGHORN_SRC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+// One Chrome trace_event. Phase 'X' is a complete span (ts + dur), 'i' an
+// instant. Track identity follows the trace_event model: pid groups tracks
+// (one per deployment), tid separates lanes within a group.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  uint32_t pid = 0;
+  uint32_t tid = 0;
+  int64_t ts_us = 0;   // Simulated time.
+  int64_t dur_us = 0;  // 'X' only.
+  int64_t wall_ns = 0; // Wall clock, relative to recorder construction.
+};
+
+// A parsed trace: events plus the track-naming metadata.
+struct ChromeTrace {
+  std::vector<TraceEvent> events;
+  std::map<uint32_t, std::string> process_names;
+  std::map<std::pair<uint32_t, uint32_t>, std::string> thread_names;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  // Appends one event; when the ring is full the oldest event is dropped.
+  void Record(TraceEvent event);
+
+  void RegisterProcess(uint32_t pid, std::string name);
+  void RegisterThread(uint32_t pid, uint32_t tid, std::string name);
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+  // Wall-clock nanoseconds since this recorder was constructed. The only
+  // wall-clock read in the simulator.
+  int64_t WallNanosNow() const;
+
+  // Chrome trace_event JSON ({"displayTimeUnit": ..., "traceEvents": [...]})
+  // with metadata events naming every registered track. Loadable in
+  // chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        // Ring write cursor once full.
+  uint64_t recorded_ = 0;  // Total Record() calls.
+  std::map<uint32_t, std::string> process_names_;
+  std::map<std::pair<uint32_t, uint32_t>, std::string> thread_names_;
+};
+
+// Parses the subset of Chrome trace JSON that ToChromeJson emits (used by
+// the schema round-trip test and offline tooling). Unknown keys are ignored;
+// metadata events populate the name maps instead of `events`.
+Result<ChromeTrace> ParseChromeTrace(std::string_view json);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_OBS_TRACE_H_

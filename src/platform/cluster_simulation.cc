@@ -2,27 +2,12 @@
 
 namespace pronghorn {
 
-namespace {
-
-EnvironmentOptions ToEnvironmentOptions(const ClusterOptions& options) {
-  EnvironmentOptions env;
-  env.seed = options.seed;
-  env.engine_kind = options.engine_kind;
-  env.input_noise = options.input_noise;
-  env.costs = options.costs;
-  env.faults = options.faults;
-  env.recovery = options.recovery;
-  return env;
-}
-
-}  // namespace
-
 ClusterSimulation::ClusterSimulation(const WorkloadProfile& profile,
                                      const WorkloadRegistry& registry,
                                      const OrchestrationPolicy& policy,
                                      const EvictionModel& eviction,
                                      ClusterOptions options)
-    : env_(registry, ToEnvironmentOptions(options)),
+    : env_(registry, options),
       init_(env_.AddDeployment(profile.name, profile, policy, eviction,
                                options.worker_slots, options.exploring_slots,
                                /*sub_seed=*/options.seed)) {}

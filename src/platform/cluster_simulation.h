@@ -22,23 +22,6 @@
 
 namespace pronghorn {
 
-struct ClusterOptions {
-  // Concurrent worker slots behind the load balancer.
-  uint32_t worker_slots = 4;
-  // Slots whose orchestrator runs the exploring policy; the remaining slots
-  // exploit only (restore best known snapshot, never checkpoint). Clamped to
-  // worker_slots.
-  uint32_t exploring_slots = 1;
-  uint64_t seed = 1;
-  EngineKind engine_kind = EngineKind::kCriuLike;
-  bool input_noise = true;
-  OrchestratorCostModel costs;
-  // Chaos layer: when active, the shared Database and Object Store are
-  // wrapped in seeded fault decorators (see SimulationOptions::faults).
-  FaultPlan faults;
-  RecoveryOptions recovery;
-};
-
 // A cluster run produces the same flattened report as every other driver:
 // per-request records (global_index in completion order), role-split latency
 // summaries, lifecycle counters, and the environment-wide accountings.

@@ -10,42 +10,17 @@
 
 namespace pronghorn {
 
-Result<std::unique_ptr<EvictionModel>> FleetEvictionSpec::Instantiate(
-    uint64_t function_seed) const {
-  switch (kind) {
-    case Kind::kEveryK: {
-      PRONGHORN_ASSIGN_OR_RETURN(auto model, EveryKRequestsEviction::Create(k));
-      return std::unique_ptr<EvictionModel>(std::move(model));
-    }
-    case Kind::kGeometric: {
-      PRONGHORN_ASSIGN_OR_RETURN(
-          auto model, GeometricEviction::Create(mean_requests, function_seed));
-      return std::unique_ptr<EvictionModel>(std::move(model));
-    }
-    case Kind::kIdleTimeout:
-      if (idle_timeout <= Duration::Zero()) {
-        return InvalidArgumentError("idle timeout must be positive");
-      }
-      return std::unique_ptr<EvictionModel>(
-          std::make_unique<IdleTimeoutEviction>(idle_timeout));
-  }
-  return InvalidArgumentError("unknown eviction kind");
-}
-
 uint64_t FleetSimulation::FunctionSeed(uint64_t fleet_seed, std::string_view name) {
   return SimEnvironment::DeploymentSeed(fleet_seed, name);
 }
 
 uint32_t FleetReport::Digest() const {
-  ByteWriter writer;
+  std::vector<NamedReportRef> rows;
+  rows.reserve(per_function.size());
   for (const FleetFunctionResult& result : per_function) {
-    writer.WriteString(result.function);
-    SerializeFunctionReport(result.report, writer);
+    rows.push_back(NamedReportRef{result.function, &result.report});
   }
-  SerializeStoreAccounting(object_store, writer);
-  SerializeKvAccounting(database, writer);
-  SerializeFaultRecoveryStats(faults, writer);
-  return Crc32(writer.data());
+  return ReportDigest(rows, *this);
 }
 
 const ClusterReport* FleetReport::Find(std::string_view name) const {
@@ -87,15 +62,12 @@ Result<ClusterReport> FleetSimulation::RunShard(const FleetFunctionSpec& spec) c
   const uint64_t function_seed = FunctionSeed(options_.seed, spec.name);
   PRONGHORN_ASSIGN_OR_RETURN(std::unique_ptr<EvictionModel> eviction,
                              options_.eviction.Instantiate(function_seed));
-  ClusterOptions cluster_options;
+  // The shard inherits the fleet's options wholesale (including the obs sink,
+  // which is thread-safe) and overrides only its own identity and topology.
+  ClusterOptions cluster_options = options_;
+  cluster_options.seed = function_seed;
   cluster_options.worker_slots = spec.worker_slots;
   cluster_options.exploring_slots = spec.exploring_slots;
-  cluster_options.seed = function_seed;
-  cluster_options.engine_kind = options_.engine_kind;
-  cluster_options.input_noise = options_.input_noise;
-  cluster_options.costs = options_.costs;
-  cluster_options.faults = options_.faults;
-  cluster_options.recovery = options_.recovery;
   ClusterSimulation cluster(*spec.profile, registry_, *spec.policy, *eviction,
                             cluster_options);
   return cluster.RunClosedLoop(spec.requests);
@@ -147,9 +119,7 @@ Result<FleetReport> FleetSimulation::Run() const {
     fleet.checkpoints += report.checkpoints;
     fleet.restores += report.restores;
     fleet.cold_starts += report.cold_starts;
-    MergeAccounting(fleet.object_store, report.object_store);
-    MergeAccounting(fleet.database, report.database);
-    MergeFaultRecoveryStats(fleet.faults, report.faults);
+    MergeReportCore(fleet, report);
     fleet.per_function.push_back(
         FleetFunctionResult{functions_[index].name, std::move(report)});
   }

@@ -31,24 +31,6 @@
 
 namespace pronghorn {
 
-// How each deployment's eviction model is instantiated. Models with hidden
-// RNG state (geometric) must be per-function — sharing one across shards
-// would both race and couple the shards' draw sequences — so the fleet holds
-// a spec and instantiates one model per deployment from its function seed.
-struct FleetEvictionSpec {
-  enum class Kind {
-    kEveryK = 0,
-    kGeometric = 1,
-    kIdleTimeout = 2,
-  };
-  Kind kind = Kind::kEveryK;
-  uint64_t k = 4;                 // kEveryK
-  double mean_requests = 4.0;     // kGeometric
-  Duration idle_timeout = Duration::Seconds(600);  // kIdleTimeout
-
-  Result<std::unique_ptr<EvictionModel>> Instantiate(uint64_t function_seed) const;
-};
-
 // One function deployment in the fleet. `profile` and `policy` are borrowed
 // and must outlive the simulation. The policy must be stateless per call
 // (true of every policy in src/core except a live StopConditionPolicy's
@@ -62,21 +44,6 @@ struct FleetFunctionSpec {
   uint32_t exploring_slots = 1;
 };
 
-struct FleetOptions {
-  uint64_t seed = 1;
-  // Worker threads for the shard pool; 0 = ThreadPool::DefaultThreadCount().
-  uint32_t threads = 0;
-  EngineKind engine_kind = EngineKind::kCriuLike;
-  bool input_noise = true;
-  FleetEvictionSpec eviction;
-  OrchestratorCostModel costs;
-  // Chaos layer, applied to every deployment. Each shard scopes the plan to
-  // its function seed, so fault draws are per-function and the determinism
-  // guarantee above extends to faulty runs.
-  FaultPlan faults;
-  RecoveryOptions recovery;
-};
-
 struct FleetFunctionResult {
   std::string function;
   ClusterReport report;
@@ -85,7 +52,11 @@ struct FleetFunctionResult {
 // Canonically merged fleet results: per_function is sorted by deployment
 // name and every aggregate is accumulated in that order, so the report is
 // byte-identical however the shards were scheduled.
-struct FleetReport {
+// The inherited ReportCore accountings are field-wise sums over the
+// shard-local stores. Peaks sum because the deployments' stores coexist in
+// time: the fleet's footprint bound is the sum of each store's high-water
+// mark.
+struct FleetReport : ReportCore {
   std::vector<FleetFunctionResult> per_function;
 
   // All functions' per-request latencies, merged in canonical order.
@@ -95,13 +66,6 @@ struct FleetReport {
   uint64_t checkpoints = 0;
   uint64_t restores = 0;
   uint64_t cold_starts = 0;
-
-  // Field-wise sums over the shard-local stores. Peaks sum because the
-  // deployments' stores coexist in time: the fleet's footprint bound is the
-  // sum of each store's high-water mark.
-  StoreAccounting object_store;
-  KvAccounting database;
-  FaultRecoveryStats faults;
 
   // CRC32 over the canonical serialization: every per-function report
   // (report_io's SerializeFunctionReport) in name order, followed by the

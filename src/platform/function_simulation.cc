@@ -4,30 +4,12 @@
 
 namespace pronghorn {
 
-namespace {
-
-EnvironmentOptions ToEnvironmentOptions(const SimulationOptions& options) {
-  EnvironmentOptions env;
-  env.seed = options.seed;
-  env.engine_kind = options.engine_kind;
-  env.input_noise = options.input_noise;
-  env.lifecycle.startup_on_critical_path = options.startup_on_critical_path;
-  env.lifecycle.checkpoint_blocks_requests = options.checkpoint_blocks_requests;
-  env.lifecycle.idle_resource_hold = options.idle_resource_hold;
-  env.costs = options.costs;
-  env.faults = options.faults;
-  env.recovery = options.recovery;
-  return env;
-}
-
-}  // namespace
-
 FunctionSimulation::FunctionSimulation(const WorkloadProfile& profile,
                                        const WorkloadRegistry& registry,
                                        const OrchestrationPolicy& policy,
                                        const EvictionModel& eviction,
                                        SimulationOptions options)
-    : env_(registry, ToEnvironmentOptions(options)),
+    : env_(registry, options),
       init_(env_.AddDeployment(profile.name, profile, policy, eviction,
                                /*worker_slots=*/1, /*exploring_slots=*/1,
                                /*sub_seed=*/options.seed)) {}

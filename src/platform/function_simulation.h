@@ -26,31 +26,6 @@
 
 namespace pronghorn {
 
-struct SimulationOptions {
-  // Deterministic experiment seed.
-  uint64_t seed = 1;
-  EngineKind engine_kind = EngineKind::kCriuLike;
-  // Client-side input-size perturbation (§5.1), on by default.
-  bool input_noise = true;
-  // Charge worker startup to the first request of each lifetime.
-  bool startup_on_critical_path = false;
-  // When a checkpoint's downtime overlaps the next arrival, delay it (only
-  // observable with trace-driven arrivals; closed-loop clients wait anyway).
-  bool checkpoint_blocks_requests = false;
-  // How long an idle worker holds its resources before the platform reclaims
-  // them (the idle-eviction timeout). Feeds the worker-occupancy accounting
-  // (memory-time) in trace-driven runs; set it to the eviction model's idle
-  // timeout when comparing keep-alive costs.
-  Duration idle_resource_hold = Duration::Zero();
-  OrchestratorCostModel costs;
-  // Chaos layer: when the plan is active, both stores are wrapped in fault
-  // decorators driven by the simulated clock. The plan's seed is combined
-  // with the simulation seed, so distinct experiments draw distinct faults.
-  FaultPlan faults;
-  // Bounds for the orchestrator's retry/fallback/quarantine machinery.
-  RecoveryOptions recovery;
-};
-
 // Owns the full per-function stack (via SimEnvironment): Database, Object
 // Store, checkpoint engine, policy state store, and orchestrator. Multiple
 // runs on one FunctionSimulation continue the same learned state (worker

@@ -68,11 +68,23 @@ struct RequestRecord {
   bool checkpoint_after = false;
 };
 
+// The environment-level accounting shared by every report type: what the
+// stores did and what the chaos layer injected. Single-environment reports
+// (function/cluster) fold it into the flat report; multi-deployment reports
+// (environment/platform/fleet) carry it once next to their per-function rows.
+// Serialization, digest, and merge helpers for this core live in report_io so
+// they are defined exactly once.
+struct ReportCore {
+  StoreAccounting object_store;
+  KvAccounting database;
+  FaultRecoveryStats faults;
+};
+
 // Everything a finished simulation reports. One struct serves every driver:
 // a single-slot function run, a multi-slot cluster, one function of a
 // platform replay, or one shard of a fleet — they all accumulate the same
 // rows through the shared kernel (sim_core.h).
-struct SimulationReport {
+struct SimulationReport : ReportCore {
   std::vector<RequestRecord> records;
   // Latency split by slot role (§5.3 amortization): samples from exploring
   // slots vs frozen exploit-only slots. Single-slot runs put everything in
@@ -94,10 +106,7 @@ struct SimulationReport {
   double worker_memory_time_mb_s = 0.0;
   TimePoint end_time;
 
-  StoreAccounting object_store;
-  KvAccounting database;
   OrchestratorOverheads overheads;
-  FaultRecoveryStats faults;
 
   // Latency distribution over all records.
   DistributionSummary LatencySummary() const;

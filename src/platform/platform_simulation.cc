@@ -10,17 +10,6 @@ namespace pronghorn {
 
 namespace {
 
-EnvironmentOptions ToEnvironmentOptions(const PlatformOptions& options) {
-  EnvironmentOptions env;
-  env.seed = options.seed;
-  env.engine_kind = options.engine_kind;
-  env.input_noise = options.input_noise;
-  env.costs = options.costs;
-  env.faults = options.faults;
-  env.recovery = options.recovery;
-  return env;
-}
-
 PlatformReport ToPlatformReport(EnvironmentReport env) {
   PlatformReport report;
   report.per_function = std::move(env.per_function);
@@ -59,15 +48,12 @@ uint64_t PlatformReport::TotalLifetimes() const {
 }
 
 uint32_t PlatformReport::Digest() const {
-  ByteWriter writer;
+  std::vector<NamedReportRef> rows;
+  rows.reserve(per_function.size());
   for (const auto& [name, report] : per_function) {
-    writer.WriteString(name);
-    SerializeFunctionReport(report, writer);
+    rows.push_back(NamedReportRef{name, &report});
   }
-  SerializeStoreAccounting(object_store, writer);
-  SerializeKvAccounting(database, writer);
-  SerializeFaultRecoveryStats(faults, writer);
-  return Crc32(writer.data());
+  return ReportDigest(rows, *this);
 }
 
 PlatformSimulation::PlatformSimulation(const WorkloadRegistry& registry,
@@ -75,7 +61,7 @@ PlatformSimulation::PlatformSimulation(const WorkloadRegistry& registry,
                                        PlatformOptions options)
     : eviction_(eviction),
       seed_(options.seed),
-      env_(registry, ToEnvironmentOptions(options)) {}
+      env_(registry, options) {}
 
 PlatformSimulation::~PlatformSimulation() = default;
 

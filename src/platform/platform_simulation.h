@@ -24,25 +24,11 @@
 
 namespace pronghorn {
 
-struct PlatformOptions {
-  uint64_t seed = 1;
-  EngineKind engine_kind = EngineKind::kCriuLike;
-  bool input_noise = true;
-  OrchestratorCostModel costs;
-  // Chaos layer: when active, the platform-wide Database and Object Store
-  // are wrapped in seeded fault decorators shared by every function.
-  FaultPlan faults;
-  RecoveryOptions recovery;
-};
-
 // Per-function results plus platform-wide accounting. Per-function `faults`
 // cover that function's orchestrator and state store; the platform-level
 // `faults` additionally fold in the shared store/database decorators.
-struct PlatformReport {
+struct PlatformReport : ReportCore {
   std::map<std::string, SimulationReport> per_function;
-  StoreAccounting object_store;
-  KvAccounting database;
-  FaultRecoveryStats faults;
 
   // All functions' latencies merged.
   DistributionSummary GlobalLatencySummary() const;

@@ -201,6 +201,29 @@ void SerializeFunctionReport(const SimulationReport& report, ByteWriter& writer)
   SerializeFaultRecoveryStats(report.faults, writer);
 }
 
+void SerializeReportCore(const ReportCore& core, ByteWriter& writer) {
+  SerializeStoreAccounting(core.object_store, writer);
+  SerializeKvAccounting(core.database, writer);
+  SerializeFaultRecoveryStats(core.faults, writer);
+}
+
+void MergeReportCore(ReportCore& into, const ReportCore& from) {
+  MergeAccounting(into.object_store, from.object_store);
+  MergeAccounting(into.database, from.database);
+  MergeFaultRecoveryStats(into.faults, from.faults);
+}
+
+uint32_t ReportDigest(std::span<const NamedReportRef> per_function,
+                      const ReportCore& core) {
+  ByteWriter writer;
+  for (const NamedReportRef& row : per_function) {
+    writer.WriteString(row.name);
+    SerializeFunctionReport(*row.report, writer);
+  }
+  SerializeReportCore(core, writer);
+  return Crc32(writer.data());
+}
+
 void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer) {
   SerializeFunctionReport(report, writer);
   SerializeStoreAccounting(report.object_store, writer);

@@ -5,7 +5,9 @@
 #ifndef PRONGHORN_SRC_PLATFORM_REPORT_IO_H_
 #define PRONGHORN_SRC_PLATFORM_REPORT_IO_H_
 
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "src/common/bytes.h"
 #include "src/platform/cluster_simulation.h"
@@ -47,6 +49,28 @@ void SerializeFunctionReport(const SimulationReport& report, ByteWriter& writer)
 void SerializeStoreAccounting(const StoreAccounting& accounting, ByteWriter& writer);
 void SerializeKvAccounting(const KvAccounting& accounting, ByteWriter& writer);
 void SerializeFaultRecoveryStats(const FaultRecoveryStats& stats, ByteWriter& writer);
+
+// The shared environment-level core, in the canonical digest order
+// (object store, database, faults).
+void SerializeReportCore(const ReportCore& core, ByteWriter& writer);
+
+// Field-wise fold of one core into another (store/database accountings sum,
+// fault counters sum). The one merge every multi-deployment driver uses.
+void MergeReportCore(ReportCore& into, const ReportCore& from);
+
+// One named per-function row of a multi-deployment digest.
+struct NamedReportRef {
+  std::string_view name;
+  const SimulationReport* report = nullptr;
+};
+
+// CRC32 over the canonical multi-deployment serialization: every per-function
+// report (name + SerializeFunctionReport) in the order given — callers pass
+// name-sorted rows — followed by the shared core. PlatformReport::Digest(),
+// FleetReport::Digest(), and SimReport::Digest() are all this function, which
+// is what makes their digests directly comparable.
+uint32_t ReportDigest(std::span<const NamedReportRef> per_function,
+                      const ReportCore& core);
 
 // Full flattened serialization of a single-environment report (a cluster or
 // function run): SerializeFunctionReport plus the store accountings folded

@@ -14,6 +14,13 @@ SimCore::SimCore(std::unique_ptr<Orchestrator> orchestrator,
       lifecycle_(lifecycle),
       exploring_(exploring) {}
 
+void SimCore::set_obs(ObsSink* obs, ObsTrack serve_track, ObsTrack lifecycle_track) {
+  obs_ = obs;
+  serve_track_ = serve_track;
+  lifecycle_track_ = lifecycle_track;
+  orchestrator_->set_obs(obs, lifecycle_track);
+}
+
 Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
                       SimulationReport& report) {
   clock_->AdvanceTo(arrival);
@@ -34,6 +41,20 @@ Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
       report.cold_starts += 1;
     }
     report.total_startup_latency += session_->startup_latency;
+    if (obs_ != nullptr) {
+      // The provision span covers making the worker ready (download + restore
+      // or cold init); the nested span names which path the Orchestrator
+      // chose. Both sit on the lifecycle lane so they never overlap serving.
+      obs_->Span(lifecycle_track_, "provision", "lifecycle", arrival,
+                 session_->startup_latency);
+      const char* path = session_->degraded  ? "degraded_start"
+                         : session_->restored ? "restore"
+                                              : "cold_start";
+      obs_->Span(lifecycle_track_, path, "lifecycle", arrival,
+                 session_->startup_latency);
+      obs_->Counter("lifecycle.provisions", 1);
+      obs_->Observe("lifecycle.startup_us", session_->startup_latency);
+    }
   }
 
   PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
@@ -60,6 +81,13 @@ Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
     if (lifecycle_.checkpoint_blocks_requests) {
       free_at_ = free_at_ + outcome.checkpoint_downtime;
     }
+    if (obs_ != nullptr) {
+      obs_->Span(lifecycle_track_, "checkpoint", "lifecycle", completion,
+                 outcome.checkpoint_downtime);
+      obs_->Counter("lifecycle.checkpoints", 1);
+      obs_->Observe("lifecycle.checkpoint_downtime_us",
+                    outcome.checkpoint_downtime);
+    }
   }
 
   RequestRecord record;
@@ -74,6 +102,14 @@ Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
     report.exploring_latency.Add(static_cast<double>(latency.ToMicros()));
   } else {
     report.exploiting_latency.Add(static_cast<double>(latency.ToMicros()));
+  }
+  if (obs_ != nullptr) {
+    obs_->Span(serve_track_, "serve", "lifecycle", arrival, latency);
+    obs_->Counter("lifecycle.requests", 1);
+    obs_->Observe("lifecycle.serve_latency_us", latency);
+    obs_->Observe(exploring_ ? "lifecycle.exploring_latency_us"
+                             : "lifecycle.exploiting_latency_us",
+                  latency);
   }
   return OkStatus();
 }
@@ -99,6 +135,7 @@ void SimCore::MaybeEvict(bool has_next, TimePoint next_arrival,
   report.total_worker_alive_time += alive;
   report.worker_memory_time_mb_s +=
       alive.ToSeconds() * session_->process.MemoryFootprintMb();
+  ObserveWorkerEnd("evict", last_completion_, evicted_at);
   session_.reset();
 }
 
@@ -110,7 +147,19 @@ void SimCore::RetireWorker(TimePoint end, SimulationReport& report) {
   report.total_worker_alive_time += alive;
   report.worker_memory_time_mb_s +=
       alive.ToSeconds() * session_->process.MemoryFootprintMb();
+  ObserveWorkerEnd("evict", end, end);
   session_.reset();
+}
+
+void SimCore::ObserveWorkerEnd(const char* name, TimePoint begin, TimePoint end) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  // The evict span covers the idle tail the worker occupies after its last
+  // response (zero-length when retired at shutdown).
+  obs_->Span(lifecycle_track_, name, "lifecycle", begin, end - begin);
+  obs_->Counter("lifecycle.evictions", 1);
+  obs_->Observe("lifecycle.worker_alive_us", end - worker_started_at_);
 }
 
 }  // namespace pronghorn

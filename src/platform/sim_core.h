@@ -19,23 +19,9 @@
 #include "src/core/orchestrator.h"
 #include "src/platform/eviction.h"
 #include "src/platform/metrics.h"
+#include "src/platform/sim_options.h"
 
 namespace pronghorn {
-
-// Knobs that change how a lifetime's costs appear in client-visible latency
-// and in the provider-side occupancy accounting. Defaults mirror the paper's
-// measurement setup (§5.1): startup happens off the critical path and
-// checkpoints never delay the next request.
-struct LifecycleOptions {
-  // Charge worker startup to the first request of each lifetime.
-  bool startup_on_critical_path = false;
-  // When a checkpoint's downtime overlaps the next arrival, delay it (only
-  // observable with trace-driven arrivals; closed-loop clients wait anyway).
-  bool checkpoint_blocks_requests = false;
-  // How long an idle worker holds its resources before the platform reclaims
-  // them; feeds the memory-time accounting in trace-driven runs.
-  Duration idle_resource_hold = Duration::Zero();
-};
 
 // One worker slot: owns its Orchestrator and the session state of the
 // currently-warm worker (if any). Movable so environments can keep slots in
@@ -86,6 +72,11 @@ class SimCore {
   Orchestrator& orchestrator() { return *orchestrator_; }
   const Orchestrator& orchestrator() const { return *orchestrator_; }
 
+  // Borrowed observability sink; null disables all emission. Serve spans land
+  // on `serve_track`, provision/checkpoint/evict spans (and the
+  // orchestrator's decision and retry events) on `lifecycle_track`.
+  void set_obs(ObsSink* obs, ObsTrack serve_track, ObsTrack lifecycle_track);
+
  private:
   std::unique_ptr<Orchestrator> orchestrator_;
   const EvictionModel* eviction_;
@@ -93,11 +84,19 @@ class SimCore {
   LifecycleOptions lifecycle_;
   bool exploring_;
 
+  // Emits the evict/retire span for the current worker (ends its lifetime on
+  // the trace) plus the occupancy metrics.
+  void ObserveWorkerEnd(const char* name, TimePoint begin, TimePoint end);
+
   std::optional<WorkerSession> session_;
   uint64_t requests_in_lifetime_ = 0;
   TimePoint worker_started_at_;
   TimePoint free_at_;
   TimePoint last_completion_;
+
+  ObsSink* obs_ = nullptr;
+  ObsTrack serve_track_;
+  ObsTrack lifecycle_track_;
 };
 
 }  // namespace pronghorn

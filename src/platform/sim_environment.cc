@@ -52,7 +52,26 @@ SimEnvironment::SimEnvironment(const WorkloadRegistry& registry,
                                      std::in_place, object_store_,
                                      ScopePlan(options.faults, options.seed, 0x0bULL),
                                      &clock_)
-                               : std::nullopt) {}
+                               : std::nullopt) {
+  // Fault events from the shared stores cannot be attributed to one
+  // deployment, so the decorators get their own trace process with a lane
+  // per store. Obs data is write-only for the kernel: nothing here feeds
+  // back into simulation state or digests.
+  if (options_.obs != nullptr &&
+      (faulty_db_.has_value() || faulty_object_store_.has_value())) {
+    const uint32_t pid = options_.obs->RegisterProcess("stores");
+    if (faulty_object_store_.has_value()) {
+      const ObsTrack track{pid, 0};
+      options_.obs->RegisterThread(track, "object store");
+      faulty_object_store_->set_obs(options_.obs, track);
+    }
+    if (faulty_db_.has_value()) {
+      const ObsTrack track{pid, 1};
+      options_.obs->RegisterThread(track, "database");
+      faulty_db_->set_obs(options_.obs, track);
+    }
+  }
+}
 
 SimEnvironment::~SimEnvironment() = default;
 
@@ -114,6 +133,23 @@ Status SimEnvironment::AddDeployment(std::string name, const WorkloadProfile& pr
         options_.recovery);
     deployment.slots.emplace_back(std::move(orchestrator), &eviction, &clock_,
                                   options_.lifecycle, exploring);
+  }
+  if (options_.obs != nullptr) {
+    // One trace process per deployment; each slot gets a serve lane (even
+    // tid) and a lifecycle lane (odd tid) so serve spans never overlap the
+    // provision/checkpoint/evict spans Chrome would otherwise mis-nest.
+    const uint32_t pid = options_.obs->RegisterProcess(deployment.name);
+    for (uint32_t i = 0; i < worker_slots; ++i) {
+      const ObsTrack serve_track{pid, 2 * i};
+      const ObsTrack lifecycle_track{pid, 2 * i + 1};
+      const std::string label =
+          "slot " + std::to_string(i) +
+          (deployment.slots[i].exploring() ? " (exploring)" : "");
+      options_.obs->RegisterThread(serve_track, label + " serve");
+      options_.obs->RegisterThread(lifecycle_track, label + " lifecycle");
+      deployment.slots[i].set_obs(options_.obs, serve_track, lifecycle_track);
+    }
+    deployment.engine->set_obs(options_.obs);
   }
   deployments_.push_back(std::move(deployment));
   return OkStatus();

@@ -41,6 +41,7 @@
 #include "src/platform/eviction.h"
 #include "src/platform/metrics.h"
 #include "src/platform/sim_core.h"
+#include "src/platform/sim_options.h"
 #include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
@@ -49,38 +50,13 @@
 
 namespace pronghorn {
 
-// Which checkpoint engine implementation each deployment instantiates.
-enum class EngineKind {
-  kCriuLike = 0,  // Full-image CRIU-style engine (the paper's setup).
-  kDelta = 1,     // Medes-style deduplicating delta engine (§7 related work).
-};
-
-struct EnvironmentOptions {
-  // Deterministic experiment seed; deployment sub-seeds derive from it.
-  uint64_t seed = 1;
-  EngineKind engine_kind = EngineKind::kCriuLike;
-  // Client-side input-size perturbation (§5.1), on by default.
-  bool input_noise = true;
-  LifecycleOptions lifecycle;
-  OrchestratorCostModel costs;
-  // Chaos layer: when the plan is active, both stores are wrapped in fault
-  // decorators driven by the simulated clock. The plan's seed is combined
-  // with the environment seed, so distinct experiments draw distinct faults.
-  FaultPlan faults;
-  // Bounds for the orchestrators' retry/fallback/quarantine machinery.
-  RecoveryOptions recovery;
-};
-
 // Multi-deployment results: per-function reports plus environment-wide
 // accounting over the shared stores. Per-function `faults` cover that
 // deployment's orchestrators and state store; the environment-level `faults`
 // additionally fold in the shared store/database decorators, which cannot be
 // attributed to a single function.
-struct EnvironmentReport {
+struct EnvironmentReport : ReportCore {
   std::map<std::string, SimulationReport> per_function;
-  StoreAccounting object_store;
-  KvAccounting database;
-  FaultRecoveryStats faults;
 };
 
 class SimEnvironment {

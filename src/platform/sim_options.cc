@@ -1,0 +1,27 @@
+#include "src/platform/sim_options.h"
+
+namespace pronghorn {
+
+Result<std::unique_ptr<EvictionModel>> FleetEvictionSpec::Instantiate(
+    uint64_t function_seed) const {
+  switch (kind) {
+    case Kind::kEveryK: {
+      PRONGHORN_ASSIGN_OR_RETURN(auto model, EveryKRequestsEviction::Create(k));
+      return std::unique_ptr<EvictionModel>(std::move(model));
+    }
+    case Kind::kGeometric: {
+      PRONGHORN_ASSIGN_OR_RETURN(
+          auto model, GeometricEviction::Create(mean_requests, function_seed));
+      return std::unique_ptr<EvictionModel>(std::move(model));
+    }
+    case Kind::kIdleTimeout:
+      if (idle_timeout <= Duration::Zero()) {
+        return InvalidArgumentError("idle timeout must be positive");
+      }
+      return std::unique_ptr<EvictionModel>(
+          std::make_unique<IdleTimeoutEviction>(idle_timeout));
+  }
+  return InvalidArgumentError("unknown eviction kind");
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,140 @@
+// SimOptions: the one options surface shared by every simulation driver.
+//
+// Before this header the four drivers and the shared environment each carried
+// a near-duplicate options struct (SimulationOptions / ClusterOptions /
+// PlatformOptions / FleetOptions / EnvironmentOptions) whose fields drifted
+// independently. They are now thin aliases of one composite: drivers read
+// the fields they understand and ignore the rest (FunctionSimulation and
+// PlatformSimulation always run one slot per deployment; only FleetSimulation
+// reads `threads` and `eviction`).
+//
+// The composite groups the knobs the way the kernel consumes them:
+//   - experiment identity:   seed, engine_kind, input_noise
+//   - topology:              worker_slots, exploring_slots, threads
+//   - lifecycle accounting:  lifecycle (LifecycleOptions)
+//   - cost model:            costs (OrchestratorCostModel)
+//   - chaos layer:           faults (FaultPlan) + recovery (RecoveryOptions)
+//   - observability:         obs (borrowed ObsSink*, null = disabled)
+//
+// The `obs` sink is deliberately a raw borrowed pointer: instrumentation
+// sites null-check it, so a simulation without observability pays one pointer
+// compare per site and nothing else. Obs data never feeds back into
+// digest-covered state (see src/obs/sink.h).
+
+#ifndef PRONGHORN_SRC_PLATFORM_SIM_OPTIONS_H_
+#define PRONGHORN_SRC_PLATFORM_SIM_OPTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/core/orchestrator.h"
+#include "src/platform/eviction.h"
+#include "src/store/fault_injection.h"
+
+namespace pronghorn {
+
+class ObsSink;  // src/obs/sink.h; forward-declared to keep this header light.
+
+// Which checkpoint engine implementation each deployment instantiates.
+enum class EngineKind {
+  kCriuLike = 0,  // Full-image CRIU-style engine (the paper's setup).
+  kDelta = 1,     // Medes-style deduplicating delta engine (§7 related work).
+};
+
+// Knobs that change how a lifetime's costs appear in client-visible latency
+// and in the provider-side occupancy accounting. Defaults mirror the paper's
+// measurement setup (§5.1): startup happens off the critical path and
+// checkpoints never delay the next request.
+struct LifecycleOptions {
+  // Charge worker startup to the first request of each lifetime.
+  bool startup_on_critical_path = false;
+  // When a checkpoint's downtime overlaps the next arrival, delay it (only
+  // observable with trace-driven arrivals; closed-loop clients wait anyway).
+  bool checkpoint_blocks_requests = false;
+  // How long an idle worker holds its resources before the platform reclaims
+  // them; feeds the memory-time accounting in trace-driven runs.
+  Duration idle_resource_hold = Duration::Zero();
+};
+
+// How each fleet deployment's eviction model is instantiated. Models with
+// hidden RNG state (geometric) must be per-function — sharing one across
+// shards would both race and couple the shards' draw sequences — so the fleet
+// holds a spec and instantiates one model per deployment from its function
+// seed. Only FleetSimulation consumes this; the other drivers take a borrowed
+// EvictionModel directly.
+struct FleetEvictionSpec {
+  enum class Kind {
+    kEveryK = 0,
+    kGeometric = 1,
+    kIdleTimeout = 2,
+  };
+  Kind kind = Kind::kEveryK;
+  uint64_t k = 4;                 // kEveryK
+  double mean_requests = 4.0;     // kGeometric
+  Duration idle_timeout = Duration::Seconds(600);  // kIdleTimeout
+
+  Result<std::unique_ptr<EvictionModel>> Instantiate(uint64_t function_seed) const;
+};
+
+struct SimOptions {
+  // Deterministic experiment seed; multi-deployment drivers derive
+  // per-deployment sub-seeds from it via SimEnvironment::DeploymentSeed.
+  uint64_t seed = 1;
+  EngineKind engine_kind = EngineKind::kCriuLike;
+  // Client-side input-size perturbation (§5.1), on by default.
+  bool input_noise = true;
+
+  // Topology. Single-slot drivers (function, platform) ignore the slot
+  // counts; only the fleet driver reads `threads` (0 = one per hardware
+  // thread) and `eviction`.
+  uint32_t worker_slots = 4;
+  uint32_t exploring_slots = 1;
+  uint32_t threads = 0;
+  FleetEvictionSpec eviction;
+
+  LifecycleOptions lifecycle;
+  OrchestratorCostModel costs;
+
+  // Chaos layer: when the plan is active, the stores are wrapped in fault
+  // decorators driven by the simulated clock. The plan's seed is combined
+  // with the experiment seed, so distinct experiments draw distinct faults.
+  FaultPlan faults;
+  // Bounds for the orchestrators' retry/fallback/quarantine machinery.
+  RecoveryOptions recovery;
+
+  // Borrowed observability sink; null (the default) disables all
+  // instrumentation at zero cost. Never owned, never read by digest-covered
+  // code paths.
+  ObsSink* obs = nullptr;
+};
+
+// The legacy per-driver names are aliases of the composite for one release;
+// new code should say SimOptions. Field parity with the structs they replace
+// is pinned by the static_asserts below: if a field a legacy caller relies on
+// changes type or disappears, the build breaks here instead of at the call
+// site.
+using SimulationOptions = SimOptions;   // FunctionSimulation
+using ClusterOptions = SimOptions;      // ClusterSimulation
+using PlatformOptions = SimOptions;     // PlatformSimulation
+using FleetOptions = SimOptions;        // FleetSimulation
+using EnvironmentOptions = SimOptions;  // SimEnvironment
+
+static_assert(std::is_same_v<decltype(SimOptions::seed), uint64_t>);
+static_assert(std::is_same_v<decltype(SimOptions::engine_kind), EngineKind>);
+static_assert(std::is_same_v<decltype(SimOptions::input_noise), bool>);
+static_assert(std::is_same_v<decltype(SimOptions::worker_slots), uint32_t>);
+static_assert(std::is_same_v<decltype(SimOptions::exploring_slots), uint32_t>);
+static_assert(std::is_same_v<decltype(SimOptions::threads), uint32_t>);
+static_assert(std::is_same_v<decltype(SimOptions::eviction), FleetEvictionSpec>);
+static_assert(std::is_same_v<decltype(SimOptions::lifecycle), LifecycleOptions>);
+static_assert(std::is_same_v<decltype(SimOptions::costs), OrchestratorCostModel>);
+static_assert(std::is_same_v<decltype(SimOptions::faults), FaultPlan>);
+static_assert(std::is_same_v<decltype(SimOptions::recovery), RecoveryOptions>);
+static_assert(std::is_same_v<decltype(SimOptions::obs), ObsSink*>);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_SIM_OPTIONS_H_

@@ -1,0 +1,176 @@
+#include "src/platform/simulate.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/platform/cluster_simulation.h"
+#include "src/platform/fleet_simulation.h"
+#include "src/platform/report_io.h"
+#include "src/platform/sim_environment.h"
+
+namespace pronghorn {
+
+namespace {
+
+// Folds one function's report into the merged view. Callers visit functions
+// in canonical (name) order, so the merged latency summary and counters are
+// schedule-independent — the same contract FleetSimulation::Run keeps.
+void FoldFunction(SimReport& out, std::string name, SimulationReport report) {
+  for (const RequestRecord& record : report.records) {
+    out.latency.Add(static_cast<double>(record.latency.ToMicros()));
+  }
+  out.worker_lifetimes += report.worker_lifetimes;
+  out.checkpoints += report.checkpoints;
+  out.restores += report.restores;
+  out.cold_starts += report.cold_starts;
+  out.per_function.push_back(SimFunctionResult{std::move(name), std::move(report)});
+}
+
+Status ValidateSpecs(SimTopology topology,
+                     std::span<const SimFunctionSpec> functions) {
+  if (functions.empty()) {
+    return InvalidArgumentError("Simulate() needs at least one function");
+  }
+  if (topology == SimTopology::kSingle && functions.size() != 1) {
+    return InvalidArgumentError("kSingle topology takes exactly one function");
+  }
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const SimFunctionSpec& spec = functions[i];
+    if (spec.name.empty()) {
+      return InvalidArgumentError("function name must be non-empty");
+    }
+    if (spec.profile == nullptr || spec.policy == nullptr) {
+      return InvalidArgumentError("function '" + spec.name +
+                                  "' needs a profile and a policy");
+    }
+    if (spec.requests == 0) {
+      return InvalidArgumentError("function '" + spec.name +
+                                  "' needs a positive request count");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (functions[j].name == spec.name) {
+        return AlreadyExistsError("duplicate function '" + spec.name + "'");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Result<SimReport> SimulateSingle(const WorkloadRegistry& registry,
+                                 const SimFunctionSpec& spec,
+                                 const SimOptions& options) {
+  PRONGHORN_ASSIGN_OR_RETURN(std::unique_ptr<EvictionModel> eviction,
+                             options.eviction.Instantiate(options.seed));
+  // ClusterSimulation with options.worker_slots == 1 IS the historical
+  // FunctionSimulation (same sub-seed, same slot-0 substream).
+  ClusterSimulation cluster(*spec.profile, registry, *spec.policy, *eviction,
+                            options);
+  PRONGHORN_ASSIGN_OR_RETURN(SimulationReport flat,
+                             cluster.RunClosedLoop(spec.requests));
+  SimReport out;
+  static_cast<ReportCore&>(out) = static_cast<const ReportCore&>(flat);
+  FoldFunction(out, spec.name, std::move(flat));
+  return out;
+}
+
+Result<SimReport> SimulatePlatform(const WorkloadRegistry& registry,
+                                   std::span<const SimFunctionSpec> functions,
+                                   const SimOptions& options) {
+  PRONGHORN_ASSIGN_OR_RETURN(std::unique_ptr<EvictionModel> eviction,
+                             options.eviction.Instantiate(options.seed));
+  SimEnvironment env(registry, options);
+  uint64_t total_requests = 0;
+  for (const SimFunctionSpec& spec : functions) {
+    // One slot per function, like PlatformSimulation::DeployFunction.
+    PRONGHORN_RETURN_IF_ERROR(env.AddDeployment(
+        spec.name, *spec.profile, *spec.policy, *eviction, /*worker_slots=*/1,
+        /*exploring_slots=*/1,
+        SimEnvironment::DeploymentSeed(options.seed, spec.name)));
+    total_requests += spec.requests;
+  }
+  PRONGHORN_RETURN_IF_ERROR(env.RunClosedLoop(total_requests));
+  env.RetireAllWorkers();
+  EnvironmentReport harvested = env.TakeReport();
+  SimReport out;
+  static_cast<ReportCore&>(out) = static_cast<const ReportCore&>(harvested);
+  // std::map iteration is already canonical (name) order.
+  for (auto& [name, report] : harvested.per_function) {
+    FoldFunction(out, name, std::move(report));
+  }
+  return out;
+}
+
+Result<SimReport> SimulateFleet(const WorkloadRegistry& registry,
+                                std::span<const SimFunctionSpec> functions,
+                                const SimOptions& options) {
+  FleetSimulation fleet(registry, options);
+  for (const SimFunctionSpec& spec : functions) {
+    FleetFunctionSpec shard;
+    shard.name = spec.name;
+    shard.profile = spec.profile;
+    shard.policy = spec.policy;
+    shard.requests = spec.requests;
+    shard.worker_slots = options.worker_slots;
+    shard.exploring_slots = options.exploring_slots;
+    PRONGHORN_RETURN_IF_ERROR(fleet.AddFunction(std::move(shard)));
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(FleetReport merged, fleet.Run());
+  SimReport out;
+  static_cast<ReportCore&>(out) = static_cast<const ReportCore&>(merged);
+  for (FleetFunctionResult& result : merged.per_function) {
+    FoldFunction(out, std::move(result.function), std::move(result.report));
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t SimReport::Digest() const {
+  std::vector<NamedReportRef> rows;
+  rows.reserve(per_function.size());
+  for (const SimFunctionResult& result : per_function) {
+    rows.push_back(NamedReportRef{result.function, &result.report});
+  }
+  return ReportDigest(rows, *this);
+}
+
+const SimulationReport* SimReport::Find(std::string_view name) const {
+  for (const SimFunctionResult& result : per_function) {
+    if (result.function == name) {
+      return &result.report;
+    }
+  }
+  return nullptr;
+}
+
+Result<SimReport> Simulate(const WorkloadRegistry& registry, SimTopology topology,
+                           std::span<const SimFunctionSpec> functions,
+                           const SimOptions& options, ObsSink* obs) {
+  PRONGHORN_RETURN_IF_ERROR(ValidateSpecs(topology, functions));
+  SimOptions effective = options;
+  if (obs != nullptr) {
+    effective.obs = obs;
+  }
+
+  Result<SimReport> report = [&]() -> Result<SimReport> {
+    switch (topology) {
+      case SimTopology::kSingle:
+        return SimulateSingle(registry, functions.front(), effective);
+      case SimTopology::kPlatform:
+        return SimulatePlatform(registry, functions, effective);
+      case SimTopology::kFleet:
+        return SimulateFleet(registry, functions, effective);
+    }
+    return InvalidArgumentError("unknown topology");
+  }();
+  if (!report.ok()) {
+    return report;
+  }
+  if (effective.obs != nullptr) {
+    report->metrics = effective.obs->SnapshotMetrics();
+    report->trace = effective.obs->trace_recorder();
+  }
+  return report;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,114 @@
+// The unified simulation entry point: one call shape for every driver.
+//
+// The four driver classes (FunctionSimulation / ClusterSimulation /
+// PlatformSimulation / FleetSimulation) grew four different Run* signatures
+// for what is one operation: configure deployments, run the closed loop,
+// harvest a report. Simulate() is that operation as a free function — pick a
+// topology, list the functions, pass one SimOptions (optionally with an
+// ObsSink), get one SimReport. The driver classes remain as thin wrappers
+// for callers that need incremental control (repeated runs on persistent
+// state, trace replay); Simulate() is the preferred surface for one-shot
+// experiments and is what pronghorn_sim / pronghorn_eval call.
+//
+// Equivalence contract (covered by tests/driver_equivalence_test.cc): for
+// the same options and functions, Simulate() produces byte-identical digests
+// to the corresponding driver class — kSingle matches
+// Function/ClusterSimulation (sub-seed = options.seed), kPlatform matches
+// PlatformSimulation, kFleet matches FleetSimulation — with or without an
+// observability sink attached.
+
+#ifndef PRONGHORN_SRC_PLATFORM_SIMULATE_H_
+#define PRONGHORN_SRC_PLATFORM_SIMULATE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/sink.h"
+#include "src/platform/metrics.h"
+#include "src/platform/sim_options.h"
+#include "src/workloads/workload_profile.h"
+
+namespace pronghorn {
+
+// How the deployments share infrastructure.
+enum class SimTopology {
+  // One deployment, one control plane, options.worker_slots slots. The RNG
+  // sub-seed is options.seed itself, so a kSingle run replays the historical
+  // FunctionSimulation (one slot) / ClusterSimulation (many) bit-for-bit.
+  kSingle,
+  // Many deployments on ONE shared control plane (global Database + Object
+  // Store), one worker slot each, closed loop across all of them; request
+  // counts sum into the environment-wide total. Matches PlatformSimulation.
+  kPlatform,
+  // Many deployments, each its own isolated environment, sharded across
+  // options.threads workers and merged canonically. Per-deployment request
+  // counts. Matches FleetSimulation.
+  kFleet,
+};
+
+// One function deployment in a Simulate() run. `profile` and `policy` are
+// borrowed and must outlive the call.
+struct SimFunctionSpec {
+  std::string name;  // Unique; keys the RNG substream in multi-function runs.
+  const WorkloadProfile* profile = nullptr;
+  const OrchestrationPolicy* policy = nullptr;
+  uint64_t requests = 500;
+};
+
+struct SimFunctionResult {
+  std::string function;
+  SimulationReport report;
+};
+
+// The one report every topology produces: per-function reports in canonical
+// (name) order, merged latency and lifecycle counters, the environment-wide
+// store/fault accounting (ReportCore), and — when a sink was attached — the
+// harvested metrics snapshot and a borrowed trace handle.
+struct SimReport : ReportCore {
+  std::vector<SimFunctionResult> per_function;  // Sorted by function name.
+
+  // Every request latency across all functions, merged in canonical order.
+  DistributionSummary latency;
+
+  uint64_t worker_lifetimes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t restores = 0;
+  uint64_t cold_starts = 0;
+
+  // Counters / gauges / histograms harvested from the sink at the end of the
+  // run; empty when no sink was attached (or the sink keeps no metrics).
+  MetricsSnapshot metrics;
+  // The sink's trace recorder, borrowed — valid while the sink outlives the
+  // report; nullptr when tracing was off. Never feeds Digest().
+  const TraceRecorder* trace = nullptr;
+
+  // CRC32 over the canonical serialization (report_io::ReportDigest): the
+  // same layout as PlatformReport::Digest() and FleetReport::Digest(), so
+  // old- and new-surface runs of one experiment hash identically.
+  // Observability data (metrics, trace) is excluded by construction.
+  uint32_t Digest() const;
+
+  // Per-function lookup; nullptr when `name` is not in the run.
+  const SimulationReport* Find(std::string_view name) const;
+
+  // Single-function flattened view (kSingle parity with TakeFlatReport).
+  // Requires at least one function.
+  const SimulationReport& flat() const { return per_function.front().report; }
+};
+
+// Runs one closed-loop experiment: instantiates the eviction model from
+// options.eviction, deploys `functions` under `topology`, drives the closed
+// loop, and harvests one SimReport. `obs`, when non-null, overrides
+// options.obs for this run (the `Simulate(options, sink)` call shape);
+// passing nullptr uses options.obs, which may itself be null (observability
+// fully disabled — the zero-cost path).
+Result<SimReport> Simulate(const WorkloadRegistry& registry, SimTopology topology,
+                           std::span<const SimFunctionSpec> functions,
+                           const SimOptions& options, ObsSink* obs = nullptr);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_PLATFORM_SIMULATE_H_

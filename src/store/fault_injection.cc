@@ -39,14 +39,27 @@ bool FaultPlan::Active() const {
 
 // --- FaultyObjectStore -------------------------------------------------------
 
+void FaultyObjectStore::NoteFault(const char* counter, const char* event) const {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->Counter(counter, 1);
+  if (event != nullptr) {
+    obs_->Instant(obs_track_, event, "fault",
+                  clock_ != nullptr ? clock_->now() : TimePoint());
+  }
+}
+
 bool FaultyObjectStore::ShouldFail(double rate) const {
   if (InOutage(plan_, clock_, FaultDomain::kObjectStore, stats_)) {
     stats_.faults_injected += 1;
     stats_.outage_faults += 1;
+    NoteFault("faults.store.injected", "fault:store_outage");
     return true;
   }
   if (rng_.Bernoulli(rate)) {
     stats_.faults_injected += 1;
+    NoteFault("faults.store.injected", "fault:store");
     return true;
   }
   return false;
@@ -66,6 +79,7 @@ Status FaultyObjectStore::Put(std::string_view key, ObjectBlob blob) {
     torn.logical_size = blob.logical_size / 2;
     stats_.torn_puts += 1;
     stats_.faults_injected += 1;
+    NoteFault("faults.store.torn_puts", "fault:torn_put");
     (void)inner_.Put(key, std::move(torn));
     return UnavailableError("injected torn object-store put");
   }
@@ -75,6 +89,7 @@ Status FaultyObjectStore::Put(std::string_view key, ObjectBlob blob) {
     const uint64_t bit = rng_.UniformUint64(blob.bytes.size() * 8);
     blob.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
     stats_.corrupted_puts += 1;
+    NoteFault("faults.store.corrupted_puts", "fault:corrupted_put");
   }
   return inner_.Put(key, std::move(blob));
 }
@@ -111,14 +126,27 @@ std::vector<std::string> FaultyObjectStore::ListKeys(std::string_view prefix) co
 
 // --- FaultyKvDatabase --------------------------------------------------------
 
+void FaultyKvDatabase::NoteFault(const char* counter, const char* event) const {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->Counter(counter, 1);
+  if (event != nullptr) {
+    obs_->Instant(obs_track_, event, "fault",
+                  clock_ != nullptr ? clock_->now() : TimePoint());
+  }
+}
+
 bool FaultyKvDatabase::ShouldFail(double rate) const {
   if (InOutage(plan_, clock_, FaultDomain::kDatabase, stats_)) {
     stats_.faults_injected += 1;
     stats_.outage_faults += 1;
+    NoteFault("faults.db.injected", "fault:db_outage");
     return true;
   }
   if (rng_.Bernoulli(rate)) {
     stats_.faults_injected += 1;
+    NoteFault("faults.db.injected", "fault:db");
     return true;
   }
   return false;

@@ -30,6 +30,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/rng.h"
+#include "src/obs/sink.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
 
@@ -119,15 +120,27 @@ class FaultyObjectStore : public ObjectStore {
   const FaultInjectionStats& stats() const { return stats_; }
   uint64_t faults_injected() const { return stats_.faults_injected; }
 
+  // Borrowed observability sink; injected faults become counters plus 'i'
+  // instants on `track` at the simulated fault time.
+  void set_obs(ObsSink* obs, ObsTrack track) {
+    obs_ = obs;
+    obs_track_ = track;
+  }
+
  private:
   // Applies windows and the per-op rate; true means the op must fail.
   bool ShouldFail(double rate) const;
+  // Emits the counter (and instant, when `event` is non-null) for one
+  // injected fault.
+  void NoteFault(const char* counter, const char* event) const;
 
   ObjectStore& inner_;
   FaultPlan plan_;
   SimClock* clock_;
   mutable Rng rng_;
   mutable FaultInjectionStats stats_;
+  ObsSink* obs_ = nullptr;
+  ObsTrack obs_track_;
 };
 
 // KvDatabase decorator. Reads and writes fail independently per the plan
@@ -153,15 +166,24 @@ class FaultyKvDatabase : public KvDatabase {
   const FaultInjectionStats& stats() const { return stats_; }
   uint64_t faults_injected() const { return stats_.faults_injected; }
 
+  // Borrowed observability sink; see FaultyObjectStore::set_obs.
+  void set_obs(ObsSink* obs, ObsTrack track) {
+    obs_ = obs;
+    obs_track_ = track;
+  }
+
  private:
   bool ShouldFail(double rate) const;
   Status MaybeFail(double rate, const char* operation);
+  void NoteFault(const char* counter, const char* event) const;
 
   KvDatabase& inner_;
   FaultPlan plan_;
   SimClock* clock_;
   mutable Rng rng_;
   mutable FaultInjectionStats stats_;
+  ObsSink* obs_ = nullptr;
+  ObsTrack obs_track_;
 };
 
 }  // namespace pronghorn

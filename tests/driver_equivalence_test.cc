@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include "src/core/request_centric_policy.h"
+#include "src/obs/sink.h"
 #include "src/platform/cluster_simulation.h"
 #include "src/platform/fleet_simulation.h"
 #include "src/platform/function_simulation.h"
 #include "src/platform/platform_simulation.h"
 #include "src/platform/report_io.h"
+#include "src/platform/simulate.h"
 
 namespace pronghorn {
 namespace {
@@ -162,6 +164,130 @@ TEST(DriverEquivalenceTest, OneShardFleetMatchesOneFunctionPlatform) {
   EXPECT_EQ(platform_function.records.size(), kRequests);
   EXPECT_EQ(fleet_function->records.size(), kRequests);
   EXPECT_EQ(fleet_report->Digest(), platform_report->Digest());
+}
+
+// --- The unified Simulate() surface ------------------------------------
+//
+// Simulate() is a veneer over the same kernel, so each topology must replay
+// its historical driver bit-for-bit on the PR 3 golden seeds.
+
+constexpr uint64_t kGoldenSeed = 21;
+constexpr uint64_t kGoldenRequests = 300;
+
+SimOptions GoldenOptions() {
+  SimOptions options;
+  options.seed = kGoldenSeed;
+  options.worker_slots = 1;
+  options.exploring_slots = 1;
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = 4;
+  return options;
+}
+
+SimFunctionSpec GoldenSpec(const WorkloadProfile& profile,
+                           const OrchestrationPolicy& policy) {
+  SimFunctionSpec spec;
+  spec.name = profile.name;
+  spec.profile = &profile;
+  spec.policy = &policy;
+  spec.requests = kGoldenRequests;
+  return spec;
+}
+
+TEST(SimulateEquivalenceTest, SingleTopologyReplaysFunctionSimulation) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile& profile = Profile("DynamicHTML");
+
+  auto eviction = EveryKRequestsEviction::Create(4);
+  ASSERT_TRUE(eviction.ok());
+  SimulationOptions old_options;
+  old_options.seed = kGoldenSeed;
+  FunctionSimulation function(profile, WorkloadRegistry::Default(), *policy,
+                              **eviction, old_options);
+  auto old_report = function.RunClosedLoop(kGoldenRequests);
+  ASSERT_TRUE(old_report.ok()) << old_report.status().ToString();
+
+  const SimOptions options = GoldenOptions();
+  const SimFunctionSpec spec = GoldenSpec(profile, *policy);
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ExpectIdenticalRecords(report->flat(), *old_report);
+  EXPECT_EQ(ClusterReportCrc32(report->flat()), ClusterReportCrc32(*old_report));
+}
+
+TEST(SimulateEquivalenceTest, PlatformAndFleetTopologiesShareTheGoldenDigest) {
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile& profile = Profile("DynamicHTML");
+
+  // The historical driver's digest for the golden configuration.
+  FleetOptions fleet_options;
+  fleet_options.seed = kGoldenSeed;
+  fleet_options.threads = 1;
+  fleet_options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  fleet_options.eviction.k = 4;
+  FleetSimulation fleet(WorkloadRegistry::Default(), fleet_options);
+  FleetFunctionSpec old_spec;
+  old_spec.name = profile.name;
+  old_spec.profile = &profile;
+  old_spec.policy = &*policy;
+  old_spec.requests = kGoldenRequests;
+  old_spec.worker_slots = 1;
+  old_spec.exploring_slots = 1;
+  ASSERT_TRUE(fleet.AddFunction(old_spec).ok());
+  auto old_report = fleet.Run();
+  ASSERT_TRUE(old_report.ok()) << old_report.status().ToString();
+
+  const SimOptions options = GoldenOptions();
+  const SimFunctionSpec spec = GoldenSpec(profile, *policy);
+  auto platform_report =
+      Simulate(WorkloadRegistry::Default(), SimTopology::kPlatform,
+               std::span<const SimFunctionSpec>(&spec, 1), options);
+  ASSERT_TRUE(platform_report.ok()) << platform_report.status().ToString();
+  auto fleet_report =
+      Simulate(WorkloadRegistry::Default(), SimTopology::kFleet,
+               std::span<const SimFunctionSpec>(&spec, 1), options);
+  ASSERT_TRUE(fleet_report.ok()) << fleet_report.status().ToString();
+
+  EXPECT_EQ(platform_report->Digest(), old_report->Digest());
+  EXPECT_EQ(fleet_report->Digest(), old_report->Digest());
+}
+
+TEST(SimulateEquivalenceTest, ObservabilityAndThreadCountNeverPerturbDigests) {
+  // The acceptance bar for the obs layer: fleet digests are bit-identical at
+  // every thread count, with the sink attached and detached alike.
+  const auto policy = RequestCentricPolicy::Create(TestConfig());
+  ASSERT_TRUE(policy.ok());
+  const WorkloadProfile* profiles[] = {&Profile("DynamicHTML"), &Profile("BFS"),
+                                       &Profile("MST")};
+
+  std::vector<SimFunctionSpec> specs;
+  for (const WorkloadProfile* profile : profiles) {
+    specs.push_back(GoldenSpec(*profile, *policy));
+  }
+
+  std::vector<uint32_t> digests;
+  for (const uint32_t threads : {1u, 2u, 8u}) {
+    for (const bool with_obs : {false, true}) {
+      SimOptions options = GoldenOptions();
+      options.threads = threads;
+      StandardObs obs;
+      auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kFleet,
+                             specs, options, with_obs ? &obs : nullptr);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      digests.push_back(report->Digest());
+      if (with_obs) {
+        EXPECT_GT(obs.trace().recorded(), 0u);
+        EXPECT_FALSE(report->metrics.empty());
+      }
+    }
+  }
+  for (const uint32_t digest : digests) {
+    EXPECT_EQ(digest, digests.front());
+  }
 }
 
 }  // namespace

@@ -163,7 +163,7 @@ TEST(FunctionSimulationTest, StartupOnCriticalPathInflatesFirstRequests) {
   off_path.seed = 9;
   off_path.input_noise = false;
   SimulationOptions on_path = off_path;
-  on_path.startup_on_critical_path = true;
+  on_path.lifecycle.startup_on_critical_path = true;
 
   FunctionSimulation sim_off(Profile("Hash"), WorkloadRegistry::Default(), policy,
                              **eviction, off_path);
@@ -278,7 +278,7 @@ TEST(FunctionSimulationTest, CheckpointBlockingDelaysQueuedArrival) {
     SimulationOptions options;
     options.seed = 99;
     options.input_noise = false;
-    options.checkpoint_blocks_requests = blocks;
+    options.lifecycle.checkpoint_blocks_requests = blocks;
     FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(),
                            *policy, **eviction, options);
     auto report = sim.RunTrace(arrivals);
@@ -299,7 +299,7 @@ TEST(FunctionSimulationTest, WorkerOccupancyAccounting) {
   IdleTimeoutEviction eviction(Duration::Seconds(60));
   SimulationOptions options;
   options.input_noise = false;
-  options.idle_resource_hold = eviction.timeout();
+  options.lifecycle.idle_resource_hold = eviction.timeout();
   FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
                          eviction, options);
   // Two bursts of 3 back-to-back requests separated by a 10-minute gap: the
@@ -335,7 +335,7 @@ TEST(FunctionSimulationTest, OccupancyScalesWithIdleHold) {
   for (int64_t hold_s : {0, 300}) {
     SimulationOptions options;
     options.input_noise = false;
-    options.idle_resource_hold = Duration::Seconds(static_cast<double>(hold_s));
+    options.lifecycle.idle_resource_hold = Duration::Seconds(static_cast<double>(hold_s));
     FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
                            eviction, options);
     auto report = sim.RunTrace(arrivals);

@@ -1,0 +1,312 @@
+// Observability layer tests: the exact-merge histogram algebra, the bounded
+// trace ring, the Chrome JSON round trip, quantile-convention agreement with
+// src/common/stats.h, and the end-to-end guarantee that an instrumented
+// simulation emits every lifecycle phase without perturbing its digest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/request_centric_policy.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sink.h"
+#include "src/obs/trace.h"
+#include "src/platform/simulate.h"
+
+namespace pronghorn {
+namespace {
+
+// Deterministic 64-bit value stream for property tests (SplitMix64).
+class ValueStream {
+ public:
+  explicit ValueStream(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // Latency-shaped values: heavy mass in the microsecond-to-second range
+  // plus occasional huge outliers that land in high octaves.
+  uint64_t NextLatency() {
+    const uint64_t raw = Next();
+    const int shift = static_cast<int>(raw % 44);
+    return (raw >> 20) >> (43 - shift);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+TEST(LatencyHistogramTest, BucketBoundsBracketTheirValues) {
+  ValueStream stream(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t value = stream.NextLatency();
+    const size_t index = LatencyHistogram::BucketIndex(value);
+    ASSERT_LT(index, LatencyHistogram::kBucketCount);
+    EXPECT_LE(LatencyHistogram::BucketLowerBound(index), value) << value;
+    EXPECT_LT(value, LatencyHistogram::BucketUpperBound(index)) << value;
+  }
+  // Unit range is exact.
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsExactCommutativeAndAssociative) {
+  // The fleet determinism guarantee rests on merges being order-insensitive:
+  // shards complete in arbitrary order, yet the merged histogram must be
+  // bit-identical to the single-threaded accumulation.
+  LatencyHistogram a, b, c, all;
+  ValueStream stream(42);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t value = stream.NextLatency();
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(value);
+    all.Add(value);
+  }
+
+  LatencyHistogram ab_c = a;  // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  LatencyHistogram bc = b;  // a + (b + c)
+  bc.Merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.Merge(bc);
+  LatencyHistogram ba = b;  // b + a
+  ba.Merge(a);
+  LatencyHistogram ab = a;  // a + b
+  ab.Merge(b);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab_c, all);
+  EXPECT_EQ(ab_c.count(), 3000u);
+  EXPECT_EQ(ab_c.min(), all.min());
+  EXPECT_EQ(ab_c.max(), all.max());
+  EXPECT_DOUBLE_EQ(ab_c.mean(), all.mean());
+}
+
+TEST(LatencyHistogramTest, QuantileFollowsTheRepoConvention) {
+  // Histogram quantiles must agree with Percentile() (Hyndman & Fan type 7)
+  // up to bucket resolution: the histogram's answer may not leave the bucket
+  // span that brackets the exact sample answer.
+  LatencyHistogram histogram;
+  std::vector<double> samples;
+  ValueStream stream(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t value = stream.NextLatency();
+    histogram.Add(value);
+    samples.push_back(static_cast<double>(value));
+  }
+  for (double q : {0.0, 1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double exact = Percentile(samples, q);
+    const size_t bucket =
+        LatencyHistogram::BucketIndex(static_cast<uint64_t>(exact));
+    const double lo = static_cast<double>(
+        LatencyHistogram::BucketLowerBound(bucket > 0 ? bucket - 1 : 0));
+    const double hi =
+        static_cast<double>(LatencyHistogram::BucketUpperBound(
+            std::min(bucket + 1, LatencyHistogram::kBucketCount - 1)));
+    EXPECT_GE(histogram.Quantile(q), lo) << "q=" << q;
+    EXPECT_LE(histogram.Quantile(q), hi) << "q=" << q;
+  }
+  // In the unit range every bucket holds one value, so the histogram answer
+  // is within one bucket (one unit) of the rank-interpolated sample answer
+  // and exact whenever the rank is integral.
+  LatencyHistogram units;
+  std::vector<double> unit_samples;
+  for (uint64_t v = 0; v < 12; ++v) {
+    units.Add(v);
+    unit_samples.push_back(static_cast<double>(v));
+  }
+  for (double q : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    EXPECT_NEAR(units.Quantile(q), Percentile(unit_samples, q), 1.0) << q;
+  }
+  EXPECT_DOUBLE_EQ(units.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(units.Quantile(100.0), 11.0);
+}
+
+TEST(LogHistogramTest, QuantileTracksPercentile) {
+  // Satellite of the same convention fix: LogHistogram::Quantile and
+  // Percentile() must agree to within one (log-spaced) bucket.
+  LogHistogram histogram(0.0, 6.0, 120);
+  std::vector<double> samples;
+  ValueStream stream(23);
+  for (int i = 0; i < 4000; ++i) {
+    const double value = static_cast<double>(stream.NextLatency() % 900000 + 1);
+    histogram.Add(value);
+    samples.push_back(value);
+  }
+  const double bucket_ratio = std::pow(10.0, 6.0 / 120.0);
+  for (double q : {5.0, 25.0, 50.0, 75.0, 95.0, 99.0}) {
+    const double exact = Percentile(samples, q);
+    const double approx = histogram.Quantile(q);
+    EXPECT_GE(approx, exact / (bucket_ratio * bucket_ratio)) << "q=" << q;
+    EXPECT_LE(approx, exact * bucket_ratio * bucket_ratio) << "q=" << q;
+  }
+}
+
+TEST(MetricsSnapshotTest, MergeSumsCountersAndHistograms) {
+  MetricsRegistry left, right;
+  left.IncrementCounter("requests", 3);
+  right.IncrementCounter("requests", 5);
+  right.IncrementCounter("evictions", 1);
+  left.SetGauge("pool", 4.0);
+  right.SetGauge("pool", 7.0);
+  left.ObserveLatency("latency_us", 100);
+  right.ObserveLatency("latency_us", 200);
+
+  MetricsSnapshot merged = left.Snapshot();
+  merged.Merge(right.Snapshot());
+  EXPECT_EQ(merged.counters.at("requests"), 8u);
+  EXPECT_EQ(merged.counters.at("evictions"), 1u);
+  EXPECT_EQ(merged.gauges.at("pool"), 7.0);
+  EXPECT_EQ(merged.histograms.at("latency_us").count(), 2u);
+  EXPECT_EQ(merged.histograms.at("latency_us").min(), 100u);
+  EXPECT_EQ(merged.histograms.at("latency_us").max(), 200u);
+
+  const std::string json = merged.ToJson();
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, RingBufferDropsOldestAndCounts) {
+  TraceRecorder recorder(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    event.category = "test";
+    event.ts_us = i;
+    recorder.Record(std::move(event));
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.dropped(), 12u);
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first, and only the newest 8 survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].name, "e" + std::to_string(12 + i));
+  }
+}
+
+TEST(TraceRecorderTest, ChromeJsonRoundTrips) {
+  TraceRecorder recorder;
+  recorder.RegisterProcess(1, "DynamicHTML");
+  recorder.RegisterThread(1, 0, "slot 0 serve");
+  recorder.RegisterThread(1, 1, "slot 0 lifecycle");
+
+  TraceEvent span;
+  span.name = "serve";
+  span.category = "lifecycle";
+  span.phase = 'X';
+  span.pid = 1;
+  span.tid = 0;
+  span.ts_us = 1500;
+  span.dur_us = 250;
+  recorder.Record(span);
+
+  TraceEvent instant;
+  instant.name = "retry";
+  instant.category = "recovery";
+  instant.phase = 'i';
+  instant.pid = 1;
+  instant.tid = 1;
+  instant.ts_us = 1600;
+  recorder.Record(instant);
+
+  const std::string json = recorder.ToChromeJson();
+  auto parsed = ParseChromeTrace(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->process_names.at(1), "DynamicHTML");
+  EXPECT_EQ(parsed->thread_names.at({1, 0}), "slot 0 serve");
+  EXPECT_EQ(parsed->thread_names.at({1, 1}), "slot 0 lifecycle");
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->events[0].name, "serve");
+  EXPECT_EQ(parsed->events[0].phase, 'X');
+  EXPECT_EQ(parsed->events[0].ts_us, 1500);
+  EXPECT_EQ(parsed->events[0].dur_us, 250);
+  EXPECT_EQ(parsed->events[1].name, "retry");
+  EXPECT_EQ(parsed->events[1].phase, 'i');
+  EXPECT_EQ(parsed->events[1].category, "recovery");
+}
+
+// End-to-end: an instrumented single-function run emits spans for every
+// lifecycle phase and instants for the recovery machinery, and the metrics
+// counters line up with the report's own accounting.
+TEST(ObsIntegrationTest, InstrumentedRunEmitsAllLifecyclePhases) {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 12;
+  config.max_checkpoint_request = 100;
+  const auto policy = RequestCentricPolicy::Create(config);
+  ASSERT_TRUE(policy.ok());
+  auto profile = WorkloadRegistry::Default().Find("DynamicHTML");
+  ASSERT_TRUE(profile.ok());
+
+  SimOptions options;
+  options.seed = 42;
+  options.worker_slots = 1;
+  options.exploring_slots = 1;
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = 4;
+  // Fault pressure high enough that restores fail over to older snapshots
+  // (the retry/backoff instants), plus a Database outage window long enough
+  // that a worker launching inside it degrades to a planless cold start.
+  options.faults.get_failure_rate = 0.25;
+  options.faults.put_failure_rate = 0.15;
+  options.faults.corruption_rate = 0.05;
+  options.faults.seed = 5;
+  FaultWindow outage;
+  outage.kind = FaultWindow::Kind::kOutage;
+  outage.domain = FaultDomain::kDatabase;
+  outage.start = TimePoint() + Duration::Seconds(1);
+  outage.end = TimePoint() + Duration::Seconds(3);
+  options.faults.windows.push_back(outage);
+
+  SimFunctionSpec spec;
+  spec.name = (*profile)->name;
+  spec.profile = *profile;
+  spec.policy = &*policy;
+  spec.requests = 400;
+
+  StandardObs obs;
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options,
+                         &obs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::map<std::string, size_t> by_name;
+  for (const TraceEvent& event : obs.trace().Events()) {
+    ++by_name[event.name];
+  }
+  for (const char* phase : {"provision", "restore", "cold_start",
+                            "degraded_start", "serve", "checkpoint", "evict"}) {
+    EXPECT_GT(by_name[phase], 0u) << phase;
+  }
+  EXPECT_GT(by_name["retry"] + by_name["backoff"], 0u);
+
+  // Metrics mirror the report's own counters.
+  ASSERT_FALSE(report->metrics.empty());
+  const SimulationReport& flat = report->flat();
+  EXPECT_EQ(report->metrics.counters.at("lifecycle.requests"),
+            flat.records.size());
+  EXPECT_EQ(report->metrics.counters.at("lifecycle.checkpoints"),
+            flat.checkpoints);
+  EXPECT_EQ(by_name["serve"], flat.records.size());
+  EXPECT_EQ(by_name["checkpoint"], flat.checkpoints);
+  EXPECT_EQ(report->metrics.histograms.at("lifecycle.serve_latency_us").count(),
+            flat.records.size());
+  // The harvested trace handle is the sink's recorder.
+  EXPECT_EQ(report->trace, &obs.trace());
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -18,8 +18,8 @@
 #include "src/common/mathutil.h"
 #include "src/core/baseline_policies.h"
 #include "src/core/request_centric_policy.h"
-#include "src/platform/function_simulation.h"
 #include "src/platform/report_io.h"
+#include "src/platform/simulate.h"
 
 using namespace pronghorn;
 
@@ -88,27 +88,34 @@ int main(int argc, char** argv) {
                {"cold", &cold},
                {"after-first", &after_first},
                {"request-centric", &*request_centric}}) {
-        auto eviction = EveryKRequestsEviction::Create(k);
-        if (!eviction.ok()) {
-          return Fail(eviction.status());
-        }
-        SimulationOptions options;
+        // The unified entry point in its single-function configuration (one
+        // worker slot, sub-seed = options.seed) replays the historical
+        // FunctionSimulation bit-for-bit.
+        SimOptions options;
         options.seed = seed_base + k;
-        FunctionSimulation sim(*profile, WorkloadRegistry::Default(), *policy,
-                               **eviction, options);
-        auto report = sim.RunClosedLoop(requests);
+        options.worker_slots = 1;
+        options.exploring_slots = 1;
+        options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+        options.eviction.k = k;
+        SimFunctionSpec spec;
+        spec.name = profile->name;
+        spec.profile = profile;
+        spec.policy = policy;
+        spec.requests = requests;
+        auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                               std::span<const SimFunctionSpec>(&spec, 1), options);
         if (!report.ok()) {
           return Fail(report.status());
         }
 
         const std::string file = out_dir + "/" + profile->name + "_" + label +
                                  "_evict" + std::to_string(k) + ".csv";
-        if (Status s = WriteRecordsCsv(*report, file); !s.ok()) {
+        if (Status s = WriteRecordsCsv(report->flat(), file); !s.ok()) {
           return Fail(s);
         }
-        const DistributionSummary summary = report->LatencySummary();
+        const DistributionSummary summary = report->flat().LatencySummary();
         combos.push_back(Combo{profile->name, label, k, summary.Median(),
-                               summary.Quantile(90), report->checkpoints});
+                               summary.Quantile(90), report->flat().checkpoints});
       }
       std::printf(".");
       std::fflush(stdout);

@@ -1,5 +1,9 @@
 // pronghorn_sim: command-line driver for the simulator.
 //
+// Every mode routes through the unified Simulate() entry point
+// (src/platform/simulate.h); the mode flags only choose the topology and how
+// the function list is built.
+//
 // Single-function mode runs one benchmark under one policy and eviction
 // regime, prints a summary, and optionally exports the per-request records as
 // CSV (the artifact's results/ format) for external plotting.
@@ -22,6 +26,12 @@
 //
 //   pronghorn_sim --platform 4 --requests 200 --seed 42
 //
+// Observability (any mode): --trace-out FILE records worker-lifecycle spans
+// as Chrome trace JSON (open in chrome://tracing or https://ui.perfetto.dev),
+// --metrics-out FILE dumps the counters/gauges/histograms as JSON, and
+// --histogram prints latency histograms to stdout. None of these change the
+// simulation: digests are bit-identical with observability on or off.
+//
 // The --seed/--engine/--no-noise/--fault-* flags mean the same thing in all
 // three modes and are parsed once (ParseCommonSimOptions).
 //
@@ -30,6 +40,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,10 +50,9 @@
 #include "src/core/baseline_policies.h"
 #include "src/core/request_centric_policy.h"
 #include "src/core/stop_condition_policy.h"
-#include "src/platform/fleet_simulation.h"
-#include "src/platform/function_simulation.h"
-#include "src/platform/platform_simulation.h"
+#include "src/obs/sink.h"
 #include "src/platform/report_io.h"
+#include "src/platform/simulate.h"
 
 using namespace pronghorn;
 
@@ -53,29 +63,9 @@ int Fail(const Status& status) {
   return 1;
 }
 
-Result<std::unique_ptr<EvictionModel>> MakeEviction(const std::string& spec,
-                                                    uint64_t seed) {
-  if (spec.rfind("geometric:", 0) == 0) {
-    const double mean = std::strtod(spec.c_str() + 10, nullptr);
-    PRONGHORN_ASSIGN_OR_RETURN(auto model, GeometricEviction::Create(mean, seed));
-    return std::unique_ptr<EvictionModel>(std::move(model));
-  }
-  if (spec.rfind("idle:", 0) == 0) {
-    const double seconds = std::strtod(spec.c_str() + 5, nullptr);
-    if (seconds <= 0) {
-      return InvalidArgumentError("idle timeout must be positive");
-    }
-    return std::unique_ptr<EvictionModel>(
-        std::make_unique<IdleTimeoutEviction>(Duration::Seconds(seconds)));
-  }
-  const uint64_t k = std::strtoull(spec.c_str(), nullptr, 10);
-  PRONGHORN_ASSIGN_OR_RETURN(auto model, EveryKRequestsEviction::Create(k));
-  return std::unique_ptr<EvictionModel>(std::move(model));
-}
-
-// The same spec grammar for fleet mode, where each deployment instantiates
-// its own model from its function seed.
-Result<FleetEvictionSpec> ParseFleetEviction(const std::string& spec) {
+// One eviction-spec grammar for every mode; each deployment instantiates its
+// own model from its sub-seed inside Simulate().
+Result<FleetEvictionSpec> ParseEvictionSpec(const std::string& spec) {
   FleetEvictionSpec parsed;
   if (spec.rfind("geometric:", 0) == 0) {
     parsed.kind = FleetEvictionSpec::Kind::kGeometric;
@@ -261,6 +251,63 @@ Result<uint32_t> ParseThreads(const FlagParser& flags) {
   return static_cast<uint32_t>(threads);
 }
 
+// Builds the observability sink when any of --trace-out / --metrics-out /
+// --histogram asks for one; returns nullptr (observability fully disabled,
+// the zero-cost path) otherwise.
+std::unique_ptr<StandardObs> MakeObsSink(const FlagParser& flags) {
+  const bool want_trace = !flags.GetString("trace-out")->empty();
+  const bool want_metrics =
+      !flags.GetString("metrics-out")->empty() ||
+      flags.GetBool("histogram").value_or(false);
+  if (!want_trace && !want_metrics) {
+    return nullptr;
+  }
+  StandardObs::Options options;
+  options.trace = want_trace;
+  options.metrics = true;  // Counters are cheap; keep them for either output.
+  return std::make_unique<StandardObs>(options);
+}
+
+// Writes the artifacts the observability flags asked for.
+Status ExportObs(const FlagParser& flags, const SimReport& report) {
+  const std::string trace_path = *flags.GetString("trace-out");
+  if (!trace_path.empty()) {
+    if (report.trace == nullptr) {
+      return InternalError("trace requested but no recorder attached");
+    }
+    PRONGHORN_RETURN_IF_ERROR(report.trace->WriteChromeJson(trace_path));
+    std::printf("wrote trace (%llu events, %llu dropped) to %s\n",
+                static_cast<unsigned long long>(report.trace->recorded() -
+                                                report.trace->dropped()),
+                static_cast<unsigned long long>(report.trace->dropped()),
+                trace_path.c_str());
+  }
+  const std::string metrics_path = *flags.GetString("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary);
+    out << report.metrics.ToJson();
+    if (!out.good()) {
+      return InternalError("failed to write metrics JSON to " + metrics_path);
+    }
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  if (flags.GetBool("histogram").value_or(false)) {
+    if (report.metrics.histograms.empty()) {
+      std::printf("histograms: (none recorded)\n");
+    }
+    for (const auto& [name, histogram] : report.metrics.histograms) {
+      std::printf("histogram %s: count=%llu p50=%.0f p90=%.0f p99=%.0f max=%llu\n"
+                  "  |%s|\n",
+                  name.c_str(), static_cast<unsigned long long>(histogram.count()),
+                  histogram.Quantile(50), histogram.Quantile(90),
+                  histogram.Quantile(99),
+                  static_cast<unsigned long long>(histogram.max()),
+                  histogram.ToAsciiArt().c_str());
+    }
+  }
+  return OkStatus();
+}
+
 void PrintFaultLine(const FaultRecoveryStats& faults) {
   std::printf("faults: store=%llu db=%llu corrupted=%llu torn=%llu "
               "fallbacks=%llu quarantined=%llu degraded=%llu replayed=%llu "
@@ -308,6 +355,44 @@ Result<OwnedPolicy> BuildPolicy(const std::string& name, const PolicyConfig& con
   return owned;
 }
 
+// Builds specs cycling through the evaluation set (fleet and platform modes).
+Result<std::vector<SimFunctionSpec>> BuildEvaluationSpecs(
+    const FlagParser& flags, int64_t count, uint64_t requests,
+    uint64_t eviction_k, bool unique_names,
+    std::vector<OwnedPolicy>& policies) {
+  const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
+  const std::string policy_name = *flags.GetString("policy");
+  std::vector<SimFunctionSpec> specs;
+  specs.reserve(static_cast<size_t>(count));
+  policies.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const WorkloadProfile& profile =
+        *evaluation[static_cast<size_t>(i) % evaluation.size()];
+    PRONGHORN_ASSIGN_OR_RETURN(PolicyConfig config,
+                               MakeConfig(profile, flags, eviction_k));
+    PRONGHORN_ASSIGN_OR_RETURN(
+        OwnedPolicy policy,
+        BuildPolicy(policy_name, config,
+                    static_cast<uint64_t>(*flags.GetInt("explore-budget"))));
+    policies.push_back(std::move(policy));
+
+    SimFunctionSpec spec;
+    if (unique_names) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "f%04lld-%s", static_cast<long long>(i),
+                    profile.name.c_str());
+      spec.name = name;
+    } else {
+      spec.name = profile.name;
+    }
+    spec.profile = &profile;
+    spec.policy = policies.back().policy.get();
+    spec.requests = requests;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
              uint64_t requests) {
   const int64_t fleet_size = *flags.GetInt("fleet");
@@ -321,68 +406,46 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
     return Fail(InvalidArgumentError("--slots must be > 0 and --exploring >= 0"));
   }
   const std::string eviction_spec = *flags.GetString("eviction");
-  auto eviction = ParseFleetEviction(eviction_spec);
+  auto eviction = ParseEvictionSpec(eviction_spec);
   if (!eviction.ok()) {
     return Fail(eviction.status());
   }
   const uint64_t eviction_k =
       eviction->kind == FleetEvictionSpec::Kind::kEveryK ? eviction->k : 0;
 
-  FleetOptions options;
+  SimOptions options;
   options.seed = common.seed;
   options.threads = *threads;
   options.engine_kind = common.engine_kind;
   options.input_noise = common.input_noise;
   options.eviction = *eviction;
   options.faults = common.faults;
+  options.worker_slots = static_cast<uint32_t>(slots);
+  options.exploring_slots = static_cast<uint32_t>(exploring);
 
-  const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
-  FleetSimulation fleet(WorkloadRegistry::Default(), options);
   std::vector<OwnedPolicy> policies;
-  policies.reserve(static_cast<size_t>(fleet_size));
-  const std::string policy_name = *flags.GetString("policy");
-  for (int64_t i = 0; i < fleet_size; ++i) {
-    const WorkloadProfile& profile =
-        *evaluation[static_cast<size_t>(i) % evaluation.size()];
-    auto config = MakeConfig(profile, flags, eviction_k);
-    if (!config.ok()) {
-      return Fail(config.status());
-    }
-    auto policy = BuildPolicy(policy_name, *config,
-                              static_cast<uint64_t>(*flags.GetInt("explore-budget")));
-    if (!policy.ok()) {
-      return Fail(policy.status());
-    }
-    policies.push_back(std::move(*policy));
-
-    char name[64];
-    std::snprintf(name, sizeof(name), "f%04lld-%s", static_cast<long long>(i),
-                  profile.name.c_str());
-    FleetFunctionSpec spec;
-    spec.name = name;
-    spec.profile = &profile;
-    spec.policy = policies.back().policy.get();
-    spec.requests = requests;
-    spec.worker_slots = static_cast<uint32_t>(slots);
-    spec.exploring_slots = static_cast<uint32_t>(exploring);
-    if (Status s = fleet.AddFunction(std::move(spec)); !s.ok()) {
-      return Fail(s);
-    }
+  auto specs = BuildEvaluationSpecs(flags, fleet_size, requests, eviction_k,
+                                    /*unique_names=*/true, policies);
+  if (!specs.ok()) {
+    return Fail(specs.status());
   }
 
-  auto report = fleet.Run();
+  const std::unique_ptr<StandardObs> obs = MakeObsSink(flags);
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kFleet, *specs,
+                         options, obs.get());
   if (!report.ok()) {
     return Fail(report.status());
   }
   const uint32_t effective_threads =
       options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads;
+  const std::string policy_name = *flags.GetString("policy");
   std::printf("fleet=%lld policy=%s eviction=%s threads=%u\n",
               static_cast<long long>(fleet_size), policy_name.c_str(),
               eviction_spec.c_str(), effective_threads);
   std::printf("requests=%zu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%llu "
               "cold=%llu restores=%llu checkpoints=%llu digest=%08x\n",
-              report->fleet_latency.count(), report->fleet_latency.Quantile(50),
-              report->fleet_latency.Quantile(90), report->fleet_latency.Quantile(99),
+              report->latency.count(), report->latency.Quantile(50),
+              report->latency.Quantile(90), report->latency.Quantile(99),
               static_cast<unsigned long long>(report->worker_lifetimes),
               static_cast<unsigned long long>(report->cold_starts),
               static_cast<unsigned long long>(report->restores),
@@ -408,7 +471,7 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   if (!csv_path.empty()) {
     // Merged records in canonical (name) order, renumbered globally.
     std::vector<RequestRecord> merged;
-    merged.reserve(report->fleet_latency.count());
+    merged.reserve(report->latency.count());
     for (const auto& [function, cluster] : report->per_function) {
       for (RequestRecord record : cluster.records) {
         record.global_index = merged.size();
@@ -423,6 +486,9 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
     std::printf("wrote %zu records to %s\n", csv_report.records.size(),
                 csv_path.c_str());
   }
+  if (Status s = ExportObs(flags, *report); !s.ok()) {
+    return Fail(s);
+  }
   return 0;
 }
 
@@ -430,7 +496,7 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
                 uint64_t requests) {
   const int64_t platform_size = *flags.GetInt("platform");
   const std::string eviction_spec = *flags.GetString("eviction");
-  auto eviction = MakeEviction(eviction_spec, common.seed);
+  auto eviction = ParseEvictionSpec(eviction_spec);
   if (!eviction.ok()) {
     return Fail(eviction.status());
   }
@@ -442,51 +508,39 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
         "--platform must be <= " + std::to_string(evaluation.size()) +
         " (the evaluation set; deployments are keyed by function name)"));
   }
+  const uint64_t eviction_k =
+      eviction->kind == FleetEvictionSpec::Kind::kEveryK ? eviction->k : 0;
 
-  PlatformOptions options;
+  SimOptions options;
   options.seed = common.seed;
   options.engine_kind = common.engine_kind;
   options.input_noise = common.input_noise;
+  options.eviction = *eviction;
   options.faults = common.faults;
-  PlatformSimulation platform(WorkloadRegistry::Default(), **eviction, options);
 
-  const uint64_t eviction_k = std::strtoull(eviction_spec.c_str(), nullptr, 10);
-  const std::string policy_name = *flags.GetString("policy");
   std::vector<OwnedPolicy> policies;
-  policies.reserve(static_cast<size_t>(platform_size));
-  for (int64_t i = 0; i < platform_size; ++i) {
-    const WorkloadProfile& profile = *evaluation[static_cast<size_t>(i)];
-    auto config = MakeConfig(profile, flags, eviction_k);
-    if (!config.ok()) {
-      return Fail(config.status());
-    }
-    auto policy = BuildPolicy(policy_name, *config,
-                              static_cast<uint64_t>(*flags.GetInt("explore-budget")));
-    if (!policy.ok()) {
-      return Fail(policy.status());
-    }
-    policies.push_back(std::move(*policy));
-    if (Status s = platform.DeployFunction(profile, *policies.back().policy);
-        !s.ok()) {
-      return Fail(s);
-    }
+  auto specs = BuildEvaluationSpecs(flags, platform_size, requests, eviction_k,
+                                    /*unique_names=*/false, policies);
+  if (!specs.ok()) {
+    return Fail(specs.status());
   }
 
-  auto report =
-      platform.RunClosedLoop(requests * static_cast<uint64_t>(platform_size));
+  const std::unique_ptr<StandardObs> obs = MakeObsSink(flags);
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kPlatform,
+                         *specs, options, obs.get());
   if (!report.ok()) {
     return Fail(report.status());
   }
-  const DistributionSummary summary = report->GlobalLatencySummary();
+  const std::string policy_name = *flags.GetString("policy");
   std::printf("platform=%lld policy=%s eviction=%s\n",
               static_cast<long long>(platform_size), policy_name.c_str(),
               eviction_spec.c_str());
   std::printf("requests=%zu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%llu "
               "checkpoints=%llu digest=%08x\n",
-              summary.count(), summary.Quantile(50), summary.Quantile(90),
-              summary.Quantile(99),
-              static_cast<unsigned long long>(report->TotalLifetimes()),
-              static_cast<unsigned long long>(report->TotalCheckpoints()),
+              report->latency.count(), report->latency.Quantile(50),
+              report->latency.Quantile(90), report->latency.Quantile(99),
+              static_cast<unsigned long long>(report->worker_lifetimes),
+              static_cast<unsigned long long>(report->checkpoints),
               report->Digest());
   if (common.faults.Active()) {
     PrintFaultLine(report->faults);
@@ -496,6 +550,85 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
                 function.c_str(), function_report.LatencySummary().Median(),
                 static_cast<unsigned long long>(function_report.checkpoints),
                 static_cast<unsigned long long>(function_report.restores));
+  }
+  if (Status s = ExportObs(flags, *report); !s.ok()) {
+    return Fail(s);
+  }
+  return 0;
+}
+
+int RunSingle(const FlagParser& flags, const CommonSimOptions& common,
+              uint64_t requests) {
+  const std::string benchmark = *flags.GetString("benchmark");
+  auto profile = WorkloadRegistry::Default().Find(benchmark);
+  if (!profile.ok()) {
+    return Fail(profile.status());
+  }
+
+  const std::string eviction_spec = *flags.GetString("eviction");
+  auto eviction = ParseEvictionSpec(eviction_spec);
+  if (!eviction.ok()) {
+    return Fail(eviction.status());
+  }
+  const uint64_t eviction_k =
+      eviction->kind == FleetEvictionSpec::Kind::kEveryK ? eviction->k : 0;
+  auto config = MakeConfig(**profile, flags, eviction_k);
+  if (!config.ok()) {
+    return Fail(config.status());
+  }
+
+  const std::string policy_name = *flags.GetString("policy");
+  auto owned_policy =
+      BuildPolicy(policy_name, *config,
+                  static_cast<uint64_t>(*flags.GetInt("explore-budget")));
+  if (!owned_policy.ok()) {
+    return Fail(owned_policy.status());
+  }
+
+  SimOptions options;
+  options.seed = common.seed;
+  options.engine_kind = common.engine_kind;
+  options.input_noise = common.input_noise;
+  options.faults = common.faults;
+  // Historical FunctionSimulation topology: one worker slot.
+  options.worker_slots = 1;
+  options.exploring_slots = 1;
+  options.eviction = *eviction;
+
+  SimFunctionSpec spec;
+  spec.name = benchmark;
+  spec.profile = *profile;
+  spec.policy = owned_policy->policy.get();
+  spec.requests = requests;
+
+  const std::unique_ptr<StandardObs> obs = MakeObsSink(flags);
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kSingle,
+                         std::span<const SimFunctionSpec>(&spec, 1), options,
+                         obs.get());
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+
+  std::printf("%s policy=%s eviction=%s\n%s\n", benchmark.c_str(), policy_name.c_str(),
+              eviction_spec.c_str(), SummarizeReport(report->flat()).c_str());
+
+  const std::string csv_path = *flags.GetString("csv");
+  if (!csv_path.empty()) {
+    if (Status s = WriteRecordsCsv(report->flat(), csv_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %zu records to %s\n", report->flat().records.size(),
+                csv_path.c_str());
+  }
+  const std::string summary_path = *flags.GetString("summary-csv");
+  if (!summary_path.empty()) {
+    if (Status s = WriteSummaryCsv(report->flat(), summary_path); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote summary to %s\n", summary_path.c_str());
+  }
+  if (Status s = ExportObs(flags, *report); !s.ok()) {
+    return Fail(s);
   }
   return 0;
 }
@@ -531,6 +664,11 @@ int main(int argc, char** argv) {
   flags.AddFlag("summary-csv", "",
                 "single mode: write key,value summary (incl. fault/recovery "
                 "counters) to this CSV file");
+  flags.AddFlag("trace-out", "",
+                "write worker-lifecycle spans as Chrome trace JSON to this file "
+                "(open in chrome://tracing)");
+  flags.AddFlag("metrics-out", "",
+                "write counters/gauges/histograms as JSON to this file");
   flags.AddFlag("fault-rate", "0",
                 "transient failure probability per store/db op, in [0,1]");
   flags.AddFlag("fault-corrupt", "0",
@@ -542,6 +680,7 @@ int main(int argc, char** argv) {
   flags.AddFlag("fault-latency", "",
                 "latency spikes 'start:end:ms' (seconds, extra ms), comma-separated");
   flags.AddFlag("fault-seed", "0", "extra seed folded into the fault streams");
+  flags.AddSwitch("histogram", "print latency histograms to stdout");
   flags.AddSwitch("no-noise", "disable client input-size noise");
   flags.AddSwitch("list", "list benchmarks and exit");
   flags.AddSwitch("help", "show usage");
@@ -590,61 +729,5 @@ int main(int argc, char** argv) {
   if (*platform_size > 0) {
     return RunPlatform(flags, *common, static_cast<uint64_t>(*requests));
   }
-
-  const std::string benchmark = *flags.GetString("benchmark");
-  auto profile = WorkloadRegistry::Default().Find(benchmark);
-  if (!profile.ok()) {
-    return Fail(profile.status());
-  }
-
-  const std::string eviction_spec = *flags.GetString("eviction");
-  auto eviction = MakeEviction(eviction_spec, static_cast<uint64_t>(*seed));
-  if (!eviction.ok()) {
-    return Fail(eviction.status());
-  }
-
-  const uint64_t eviction_k = std::strtoull(eviction_spec.c_str(), nullptr, 10);
-  auto config = MakeConfig(**profile, flags, eviction_k);
-  if (!config.ok()) {
-    return Fail(config.status());
-  }
-
-  const std::string policy_name = *flags.GetString("policy");
-  auto owned_policy =
-      BuildPolicy(policy_name, *config,
-                  static_cast<uint64_t>(*flags.GetInt("explore-budget")));
-  if (!owned_policy.ok()) {
-    return Fail(owned_policy.status());
-  }
-
-  SimulationOptions options;
-  options.seed = common->seed;
-  options.engine_kind = common->engine_kind;
-  options.input_noise = common->input_noise;
-  options.faults = common->faults;
-  FunctionSimulation sim(**profile, WorkloadRegistry::Default(),
-                         *owned_policy->policy, **eviction, options);
-  auto report = sim.RunClosedLoop(static_cast<uint64_t>(*requests));
-  if (!report.ok()) {
-    return Fail(report.status());
-  }
-
-  std::printf("%s policy=%s eviction=%s\n%s\n", benchmark.c_str(), policy_name.c_str(),
-              eviction_spec.c_str(), SummarizeReport(*report).c_str());
-
-  const std::string csv_path = *flags.GetString("csv");
-  if (!csv_path.empty()) {
-    if (Status s = WriteRecordsCsv(*report, csv_path); !s.ok()) {
-      return Fail(s);
-    }
-    std::printf("wrote %zu records to %s\n", report->records.size(), csv_path.c_str());
-  }
-  const std::string summary_path = *flags.GetString("summary-csv");
-  if (!summary_path.empty()) {
-    if (Status s = WriteSummaryCsv(*report, summary_path); !s.ok()) {
-      return Fail(s);
-    }
-    std::printf("wrote summary to %s\n", summary_path.c_str());
-  }
-  return 0;
+  return RunSingle(flags, *common, static_cast<uint64_t>(*requests));
 }

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate pronghorn_sim --trace-out output against tools/trace_schema.json.
+
+Python 3 standard library only (no jsonschema dependency): this implements
+exactly the subset of JSON Schema the checked-in schema uses — type checks,
+enums, minimums, required keys, and the per-phase conditional requirements —
+plus the x-required-span-names / x-required-instant-names extensions that
+encode the observability acceptance bar (all seven worker-lifecycle phases
+and the recovery instants must be present).
+
+Usage: validate_trace.py [--schema-only] <trace.json> [<schema.json>]
+Exits 0 when the trace validates, 1 with a report on stderr otherwise.
+--schema-only skips the x-required-* presence checks: a healthy run has no
+degraded_start spans or retry instants to require (CI validates a faulty
+run, where all of them must appear).
+"""
+
+import json
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; reject it explicitly.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+}
+
+
+def check(value, schema, path, errors):
+    """Validates `value` against the schema subset; appends to `errors`."""
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: {value!r} != {schema['const']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+        for clause in schema.get("allOf", []):
+            condition = clause.get("if", {})
+            if matches(value, condition):
+                check(value, clause.get("then", {}), path, errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def matches(value, condition):
+    """True when `value` satisfies an `if` condition (silent trial check)."""
+    trial = []
+    check(value, condition, "", trial)
+    return not trial
+
+
+def main(argv):
+    schema_only = "--schema-only" in argv[1:]
+    paths = [a for a in argv[1:] if a != "--schema-only"]
+    if len(paths) not in (1, 2):
+        print(__doc__, file=sys.stderr)
+        return 2
+    trace_path = paths[0]
+    schema_path = (
+        paths[1]
+        if len(paths) == 2
+        else os.path.join(os.path.dirname(os.path.abspath(argv[0])), "trace_schema.json")
+    )
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(trace_path) as f:
+        trace = json.load(f)
+
+    errors = []
+    check(trace, schema, "$", errors)
+
+    events = trace.get("traceEvents", [])
+    spans = {e.get("name") for e in events if e.get("ph") == "X"}
+    instants = {e.get("name") for e in events if e.get("ph") == "i"}
+    if not schema_only:
+        for name in schema.get("x-required-span-names", []):
+            if name not in spans:
+                errors.append(f"$.traceEvents: no 'X' span named '{name}'")
+        for name in schema.get("x-required-instant-names", []):
+            if name not in instants:
+                errors.append(f"$.traceEvents: no 'i' instant named '{name}'")
+
+    if errors:
+        for error in errors[:40]:
+            print(f"FAIL {error}", file=sys.stderr)
+        if len(errors) > 40:
+            print(f"... and {len(errors) - 40} more", file=sys.stderr)
+        return 1
+    counts = {"X": 0, "i": 0, "M": 0}
+    for event in events:
+        counts[event["ph"]] += 1
+    print(
+        f"OK {trace_path}: {counts['X']} spans, {counts['i']} instants, "
+        f"{counts['M']} metadata events, {trace['droppedEvents']} dropped; "
+        f"lifecycle phases {sorted(spans & set(schema['x-required-span-names']))}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

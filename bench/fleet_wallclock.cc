@@ -1,0 +1,148 @@
+// Fleet wall-clock trend exhibit: end-to-end simulator throughput
+// (requests/sec and ns per simulated request) for a fixed synthetic fleet at
+// 1, 4, and 8 threads, written to BENCH_fleet_wallclock.json so CI archives
+// the perf trajectory across PRs. Also re-checks the determinism contract —
+// the merged digest must be identical at every thread count — and exits
+// non-zero on a mismatch so the CI run doubles as a regression gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/exhibit_common.h"
+#include "src/common/thread_pool.h"
+
+namespace pronghorn::bench {
+namespace {
+
+constexpr size_t kFleetSize = 48;
+constexpr uint64_t kRequestsPerFunction = 220;
+constexpr uint32_t kWorkerSlots = 4;
+constexpr uint32_t kEvictionK = 4;
+constexpr uint64_t kSeed = 42;
+constexpr const char* kJsonPath = "BENCH_fleet_wallclock.json";
+
+struct WallclockRun {
+  uint32_t threads = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double ns_per_request = 0.0;
+  uint32_t digest = 0;
+};
+
+WallclockRun RunOnce(uint32_t threads,
+                     const std::vector<const WorkloadProfile*>& profiles,
+                     const std::vector<std::unique_ptr<OrchestrationPolicy>>& policies) {
+  SimOptions options;
+  options.seed = kSeed;
+  options.threads = threads;
+  options.worker_slots = kWorkerSlots;
+  options.exploring_slots = 1;
+  options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
+  options.eviction.k = kEvictionK;
+  std::vector<SimFunctionSpec> specs;
+  specs.reserve(kFleetSize);
+  for (size_t i = 0; i < kFleetSize; ++i) {
+    SimFunctionSpec spec;
+    char name[48];
+    std::snprintf(name, sizeof(name), "f%03zu-%s", i, profiles[i]->name.c_str());
+    spec.name = name;
+    spec.profile = profiles[i];
+    spec.policy = policies[i].get();
+    spec.requests = kRequestsPerFunction;
+    specs.push_back(std::move(spec));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto report =
+      Simulate(WorkloadRegistry::Default(), SimTopology::kFleet, specs, options);
+  const auto end = std::chrono::steady_clock::now();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    std::exit(1);
+  }
+  WallclockRun run;
+  run.threads = threads;
+  run.wall_seconds = std::chrono::duration<double>(end - start).count();
+  const double total_requests =
+      static_cast<double>(kFleetSize) * static_cast<double>(kRequestsPerFunction);
+  run.requests_per_sec = total_requests / run.wall_seconds;
+  run.ns_per_request = run.wall_seconds * 1e9 / total_requests;
+  run.digest = report->Digest();
+  return run;
+}
+
+bool WriteJson(const std::vector<WallclockRun>& runs) {
+  std::FILE* out = std::fopen(kJsonPath, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", kJsonPath);
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"fleet_wallclock\",\n");
+  std::fprintf(out, "  \"functions\": %zu,\n", kFleetSize);
+  std::fprintf(out, "  \"requests_per_function\": %llu,\n",
+               static_cast<unsigned long long>(kRequestsPerFunction));
+  std::fprintf(out, "  \"worker_slots\": %u,\n", kWorkerSlots);
+  std::fprintf(out, "  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const WallclockRun& run = runs[i];
+    std::fprintf(out,
+                 "    {\"threads\": %u, \"wall_seconds\": %.6f, "
+                 "\"requests_per_sec\": %.1f, \"ns_per_request\": %.1f, "
+                 "\"digest\": \"%08x\"}%s\n",
+                 run.threads, run.wall_seconds, run.requests_per_sec,
+                 run.ns_per_request, run.digest, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+int main() {
+  using namespace pronghorn::bench;
+  std::printf("=== Exhibit: fleet wall-clock throughput ===\n");
+  std::printf("%zu functions, %llu requests each, %u worker slots, seed %llu; "
+              "host has %u hardware thread(s)\n\n",
+              kFleetSize, static_cast<unsigned long long>(kRequestsPerFunction),
+              kWorkerSlots, static_cast<unsigned long long>(kSeed),
+              pronghorn::ThreadPool::DefaultThreadCount());
+
+  const auto evaluation = pronghorn::WorkloadRegistry::Default().EvaluationSet();
+  std::vector<const pronghorn::WorkloadProfile*> profiles;
+  std::vector<std::unique_ptr<pronghorn::OrchestrationPolicy>> policies;
+  profiles.reserve(kFleetSize);
+  policies.reserve(kFleetSize);
+  for (size_t i = 0; i < kFleetSize; ++i) {
+    const auto* profile = evaluation[i % evaluation.size()];
+    profiles.push_back(profile);
+    policies.push_back(
+        MakePolicy(PolicyKind::kRequestCentric, PaperConfig(*profile, kEvictionK)));
+  }
+
+  std::vector<WallclockRun> runs;
+  for (const uint32_t threads : {1u, 4u, 8u}) {
+    runs.push_back(RunOnce(threads, profiles, policies));
+  }
+
+  std::printf("  threads   wall (s)   requests/s   ns/request   digest\n");
+  for (const WallclockRun& run : runs) {
+    std::printf("  %7u   %8.3f   %10.0f   %10.0f   %08x\n", run.threads,
+                run.wall_seconds, run.requests_per_sec, run.ns_per_request,
+                run.digest);
+  }
+
+  bool deterministic = true;
+  for (const WallclockRun& run : runs) {
+    deterministic = deterministic && run.digest == runs.front().digest;
+  }
+  const bool wrote = WriteJson(runs);
+  std::printf("\nwrote %s; digests %s across thread counts\n", kJsonPath,
+              deterministic ? "BIT-IDENTICAL" : "DIVERGED (BUG)");
+  return deterministic && wrote ? 0 : 1;
+}

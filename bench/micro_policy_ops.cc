@@ -8,7 +8,9 @@
 
 #include "bench/exhibit_common.h"
 #include "src/checkpoint/criu_like_engine.h"
+#include "src/core/policy_state_store.h"
 #include "src/platform/function_simulation.h"
+#include "src/store/kv_database.h"
 
 namespace pronghorn::bench {
 namespace {
@@ -45,7 +47,44 @@ void BM_PolicyOnWorkerStart(benchmark::State& bench_state) {
 }
 BENCHMARK(BM_PolicyOnWorkerStart)->Arg(1)->Arg(6)->Arg(12);
 
+// The real per-request cost (paper §3.2 step 3, Figure 7's dominant
+// overhead): the latency observation is written through the Database-backed
+// PolicyStateStore — Get, decode (skipped on a cache hit), EWMA update,
+// re-encode, CAS. Arg 0/1 toggles the decoded-state cache, so the pair
+// quantifies exactly what the cache buys on the knowledge-write path.
+void KnowledgeWriteLoop(benchmark::State& bench_state, bool cache) {
+  const WorkloadProfile& profile = MustFind("DynamicHTML");
+  const PolicyConfig config = PaperConfig(profile, 20);
+  auto policy = RequestCentricPolicy::Create(config);
+  InMemoryKvDatabase db;
+  PolicyStateStore store(db, "bench", config, nullptr, StateStoreRetryPolicy{}, cache);
+  const PolicyState populated = PopulatedState(config, 12);
+  if (!store.Update([&](PolicyState& s) { s = populated; }).ok()) {
+    std::abort();
+  }
+  uint64_t request = 1;
+  for (auto _ : bench_state) {
+    const Status status = store.Update([&](PolicyState& s) {
+      policy->OnRequestComplete(s, request, Duration::Millis(10));
+    });
+    benchmark::DoNotOptimize(status);
+    request = request % 100 + 1;
+  }
+}
+
 void BM_PolicyOnRequestComplete(benchmark::State& bench_state) {
+  KnowledgeWriteLoop(bench_state, /*cache=*/true);
+}
+BENCHMARK(BM_PolicyOnRequestComplete);
+
+void BM_PolicyOnRequestCompleteNoCache(benchmark::State& bench_state) {
+  KnowledgeWriteLoop(bench_state, /*cache=*/false);
+}
+BENCHMARK(BM_PolicyOnRequestCompleteNoCache);
+
+// The raw in-memory EWMA blend alone (the pre-store cost the old
+// BM_PolicyOnRequestComplete measured); already O(1).
+void BM_ThetaUpdate(benchmark::State& bench_state) {
   const WorkloadProfile& profile = MustFind("DynamicHTML");
   const PolicyConfig config = PaperConfig(profile, 20);
   auto policy = RequestCentricPolicy::Create(config);
@@ -56,7 +95,7 @@ void BM_PolicyOnRequestComplete(benchmark::State& bench_state) {
     request = request % 100 + 1;
   }
 }
-BENCHMARK(BM_PolicyOnRequestComplete);
+BENCHMARK(BM_ThetaUpdate);
 
 void BM_PoolPrune(benchmark::State& bench_state) {
   const WorkloadProfile& profile = MustFind("DynamicHTML");

@@ -115,9 +115,7 @@ int main(int argc, char** argv) {
   if (!store.ok()) {
     return Fail(store.status());
   }
-  ObjectBlob blob;
-  blob.bytes = {0xca, 0xfe};
-  blob.logical_size = 2;
+  ObjectBlob blob({0xca, 0xfe}, 2);
   if (Status s = (*store)->Put("examples/marker", std::move(blob)); !s.ok()) {
     return Fail(s);
   }

@@ -26,7 +26,9 @@ Result<CheckpointOutcome> CriuLikeEngine::Checkpoint(const RuntimeProcess& proce
     return InvalidArgumentError("snapshot id 0 is reserved");
   }
   ByteWriter writer;
+  writer.Reserve(last_payload_bytes_);
   process.Serialize(writer);
+  last_payload_bytes_ = writer.size();
 
   SnapshotMetadata metadata;
   metadata.id = id;

@@ -28,6 +28,10 @@ class CriuLikeEngine : public CheckpointEngine {
   Duration DrawCost(Duration mean, Duration stddev);
 
   Rng rng_;
+  // Size of the last serialized payload: successive checkpoints of a worker
+  // are near-identical in size, so pre-reserving it makes the encode a
+  // single allocation instead of a geometric growth sequence.
+  size_t last_payload_bytes_ = 0;
 };
 
 }  // namespace pronghorn

@@ -26,7 +26,9 @@ Result<CheckpointOutcome> DeltaCheckpointEngine::Checkpoint(
     return InvalidArgumentError("snapshot id 0 is reserved");
   }
   ByteWriter writer;
+  writer.Reserve(last_payload_bytes_);
   process.Serialize(writer);
+  last_payload_bytes_ = writer.size();
 
   const WorkloadProfile& profile = process.profile();
   const bool is_base = !base_taken_.contains(profile.name);

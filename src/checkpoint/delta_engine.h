@@ -54,6 +54,9 @@ class DeltaCheckpointEngine : public CheckpointEngine {
   DeltaEngineOptions options_;
   // Functions whose base snapshot has been taken.
   std::map<std::string, bool> base_taken_;
+  // Size of the last serialized payload, pre-reserved for the next encode
+  // (successive checkpoints are near-identical in size).
+  size_t last_payload_bytes_ = 0;
 };
 
 }  // namespace pronghorn

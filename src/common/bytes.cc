@@ -7,14 +7,21 @@ namespace pronghorn {
 void ByteWriter::WriteUint8(uint8_t value) { data_.push_back(value); }
 
 void ByteWriter::WriteUint32(uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    data_.push_back(static_cast<uint8_t>((value >> shift) & 0xff));
+  // One resize + unrolled byte stores instead of per-byte push_back: the
+  // fixed-width writers dominate the policy-state and snapshot encode paths,
+  // and the explicit shifts keep the wire format endian-independent.
+  const size_t offset = data_.size();
+  data_.resize(offset + 4);
+  for (size_t i = 0; i < 4; ++i) {
+    data_[offset + i] = static_cast<uint8_t>(value >> (8 * i));
   }
 }
 
 void ByteWriter::WriteUint64(uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    data_.push_back(static_cast<uint8_t>((value >> shift) & 0xff));
+  const size_t offset = data_.size();
+  data_.resize(offset + 8);
+  for (size_t i = 0; i < 8; ++i) {
+    data_[offset + i] = static_cast<uint8_t>(value >> (8 * i));
   }
 }
 

@@ -44,6 +44,11 @@ class ByteWriter {
   // Reserves capacity up front when the final size is roughly known.
   void Reserve(size_t bytes) { data_.reserve(bytes); }
 
+  // Drops the contents but keeps the capacity, so a long-lived writer can
+  // re-encode repeatedly without re-growing its buffer (the policy-state
+  // store's per-request encode path).
+  void Clear() { data_.clear(); }
+
  private:
   std::vector<uint8_t> data_;
 };

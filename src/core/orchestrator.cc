@@ -67,7 +67,9 @@ Result<ObjectBlob> Orchestrator::GetWithRetry(const std::string& key) {
 
 Status Orchestrator::PutWithRetry(const std::string& key, ObjectBlob blob) {
   for (int attempt = 0;; ++attempt) {
-    ObjectBlob copy = blob;  // Put consumes its argument; keep one for retries.
+    // Put consumes its argument; keeping one for retries is cheap now that
+    // the payload is a shared immutable buffer (refcount bump, no deep copy).
+    ObjectBlob copy = blob;
     const Status status = object_store_.Put(key, std::move(copy));
     if (status.ok() || status.code() != StatusCode::kUnavailable ||
         attempt >= recovery_options_.max_transient_retries) {
@@ -193,7 +195,7 @@ Result<WorkerSession> Orchestrator::StartWorker() {
       }
       continue;
     }
-    auto image = SnapshotImage::Decode(blob->bytes);
+    auto image = SnapshotImage::Decode(blob->bytes());
     if (!image.ok()) {
       PRONGHORN_LOG_WARNING("snapshot %llu image corrupt: %s",
                             static_cast<unsigned long long>(id.value),
@@ -324,9 +326,9 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
   // object store.
   const std::string key = "snapshots/" + state_store_.function() + "/" +
                           std::to_string(image.metadata().id.value);
-  ObjectBlob blob;
-  blob.bytes = image.Encode();
-  blob.logical_size = image.metadata().logical_size_bytes;
+  // The encoded image moves straight into the blob's shared buffer; every
+  // downstream hand-off (retries, store, readers) shares it without copying.
+  ObjectBlob blob(image.Encode(), image.metadata().logical_size_bytes);
   PRONGHORN_RETURN_IF_ERROR(PutWithRetry(key, std::move(blob)));
 
   // Record the snapshot and apply the capacity rule atomically. External

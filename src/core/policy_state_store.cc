@@ -26,8 +26,7 @@ uint64_t StableNameHash(std::string_view name) {
 
 }  // namespace
 
-std::vector<uint8_t> EncodePolicyState(const PolicyState& state) {
-  ByteWriter writer;
+void EncodePolicyStateInto(const PolicyState& state, ByteWriter& writer) {
   writer.WriteUint32(kStateFormatVersion);
   state.theta.Serialize(writer);
   state.pool.Serialize(writer);
@@ -36,6 +35,11 @@ std::vector<uint8_t> EncodePolicyState(const PolicyState& state) {
     writer.WriteVarint(id);
     writer.WriteVarint(count);
   }
+}
+
+std::vector<uint8_t> EncodePolicyState(const PolicyState& state) {
+  ByteWriter writer;
+  EncodePolicyStateInto(state, writer);
   return writer.TakeData();
 }
 
@@ -62,13 +66,37 @@ Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes) {
 
 PolicyStateStore::PolicyStateStore(KvDatabase& db, std::string function,
                                    const PolicyConfig& config, SimClock* clock,
-                                   StateStoreRetryPolicy retry)
+                                   StateStoreRetryPolicy retry, bool enable_cache)
     : db_(db),
       function_(std::move(function)),
+      state_key_("policy/" + function_ + "/state"),
+      sequence_key_("policy/" + function_ + "/next-snapshot-id"),
       config_(config),
       clock_(clock),
       retry_(retry),
+      cache_enabled_(enable_cache),
       jitter_rng_(HashCombine(0xbac0ffULL, StableNameHash(function_))) {}
+
+void PolicyStateStore::InvalidateCache() const {
+  if (cached_state_.has_value()) {
+    cache_stats_.invalidations += 1;
+    cached_state_.reset();
+  }
+}
+
+void PolicyStateStore::RememberState(const PolicyState& state, uint64_t version) const {
+  if (!cache_enabled_) {
+    return;
+  }
+  cached_state_ = state;
+  cached_version_ = version;
+}
+
+std::vector<uint8_t> PolicyStateStore::EncodeForCas(const PolicyState& state) const {
+  encode_buffer_.Clear();
+  EncodePolicyStateInto(state, encode_buffer_);
+  return encode_buffer_.data();
+}
 
 void PolicyStateStore::Backoff(int retry_index) const {
   const double scale =
@@ -85,24 +113,45 @@ void PolicyStateStore::Backoff(int retry_index) const {
 }
 
 Result<PolicyState> PolicyStateStore::Load() const {
+  // GetVersioned instead of Get so the blob's version can key the decoded
+  // cache; the two read paths share one fault draw and one accounting bump,
+  // so this is trajectory-neutral.
   stats_.loads += 1;
   for (int attempt = 0;; ++attempt) {
-    auto blob = db_.Get(StateKey());
-    if (blob.ok()) {
-      return DecodePolicyState(*blob);
+    auto versioned = db_.GetVersioned(StateKey());
+    if (versioned.ok()) {
+      if (cache_enabled_ && cached_state_.has_value() &&
+          cached_version_ == versioned->version) {
+        cache_stats_.hits += 1;
+        return *cached_state_;
+      }
+      auto decoded = DecodePolicyState(versioned->value);
+      if (!decoded.ok()) {
+        InvalidateCache();
+        return decoded.status();
+      }
+      if (cache_enabled_) {
+        cache_stats_.misses += 1;
+        RememberState(*decoded, versioned->version);
+      }
+      return decoded;
     }
-    if (blob.status().code() == StatusCode::kNotFound) {
+    if (versioned.status().code() == StatusCode::kNotFound) {
+      // A fresh function has no blob; a (hypothetical) deleted-and-recreated
+      // key would restart its version sequence, so drop any stale cache.
+      InvalidateCache();
       return PolicyState(config_);
     }
-    if (blob.status().code() != StatusCode::kUnavailable ||
+    if (versioned.status().code() != StatusCode::kUnavailable ||
         attempt >= retry_.max_transient_retries) {
-      return blob.status();
+      return versioned.status();
     }
     stats_.transient_retries += 1;
+    InvalidateCache();  // Injected fault: distrust everything held locally.
     Backoff(attempt);
     PRONGHORN_LOG_DEBUG("transient load failure for '%s' (attempt %d): %s",
                         function_.c_str(), attempt + 1,
-                        blob.status().ToString().c_str());
+                        versioned.status().ToString().c_str());
   }
 }
 
@@ -116,25 +165,53 @@ Status PolicyStateStore::Update(const std::function<void(PolicyState&)>& mutate)
     auto versioned = db_.GetVersioned(StateKey());
     if (versioned.ok()) {
       version = versioned->version;
-      PRONGHORN_ASSIGN_OR_RETURN(state, DecodePolicyState(versioned->value));
+      if (cache_enabled_ && cached_state_.has_value() && cached_version_ == version) {
+        // Cache hit: the blob at this version is the one we decoded (or
+        // wrote) last time, so skip DecodePolicyState. Move the state out —
+        // the CAS below either re-installs the mutated successor or
+        // invalidates, so the pristine copy is never needed again.
+        cache_stats_.hits += 1;
+        state = *std::move(cached_state_);
+        cached_state_.reset();
+      } else {
+        auto decoded = DecodePolicyState(versioned->value);
+        if (!decoded.ok()) {
+          InvalidateCache();
+          return decoded.status();
+        }
+        if (cache_enabled_) {
+          cache_stats_.misses += 1;
+        }
+        state = *std::move(decoded);
+      }
     } else if (versioned.status().code() == StatusCode::kUnavailable) {
       if (++transient_failures > retry_.max_transient_retries) {
         return versioned.status();
       }
       stats_.transient_retries += 1;
+      InvalidateCache();
       Backoff(transient_failures - 1);
       continue;
     } else if (versioned.status().code() != StatusCode::kNotFound) {
       return versioned.status();
+    } else {
+      InvalidateCache();  // Fresh key: any cached version tag is meaningless.
     }
 
     mutate(state);
 
     stats_.cas_attempts += 1;
-    Status cas = db_.CompareAndSwap(StateKey(), version, EncodePolicyState(state));
+    Status cas = db_.CompareAndSwap(StateKey(), version, EncodeForCas(state));
     if (cas.ok()) {
+      if (cache_enabled_) {
+        // A successful CAS at `version` installs the blob at version + 1;
+        // the mutated state is exactly what that blob decodes to.
+        cached_state_ = std::move(state);
+        cached_version_ = version + 1;
+      }
       return OkStatus();
     }
+    InvalidateCache();
     if (cas.code() == StatusCode::kUnavailable) {
       if (++transient_failures > retry_.max_transient_retries) {
         return cas;

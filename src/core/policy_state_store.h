@@ -16,8 +16,10 @@
 #define PRONGHORN_SRC_CORE_POLICY_STATE_STORE_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 
+#include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
 #include "src/core/policy.h"
@@ -28,6 +30,9 @@ namespace pronghorn {
 // Serializes a PolicyState to the Database blob format (versioned, CRC-free:
 // the Database is trusted storage, unlike snapshot images in flight).
 std::vector<uint8_t> EncodePolicyState(const PolicyState& state);
+// Appends the same encoding to a caller-owned writer, so a long-lived buffer
+// can be reused across encodes without re-growing (call writer.Clear() first).
+void EncodePolicyStateInto(const PolicyState& state, ByteWriter& writer);
 Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes);
 
 // Bounds and shape of the store's retry loops.
@@ -56,13 +61,28 @@ struct StateStoreStats {
   Duration total_backoff;
 };
 
+// Decoded-state cache accounting. Kept separate from StateStoreStats on
+// purpose: those counters fold into digest-covered fault reports, and cache
+// effectiveness must never influence a digest (the cache is a pure
+// optimization — trajectories are identical with it on or off).
+struct StateCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+};
+
 class PolicyStateStore {
  public:
   // `function` scopes all keys; `config` sizes fresh weight vectors. `clock`
   // (borrowed, may be null) receives backoff delays in simulated time.
+  // `enable_cache` keeps the last decoded state plus its DB version so the
+  // common CAS-success path skips DecodePolicyState; disabling it is
+  // digest-neutral (the knob exists for the equivalence tests and the
+  // --no-state-cache flag).
   PolicyStateStore(KvDatabase& db, std::string function, const PolicyConfig& config,
                    SimClock* clock = nullptr,
-                   StateStoreRetryPolicy retry = StateStoreRetryPolicy{});
+                   StateStoreRetryPolicy retry = StateStoreRetryPolicy{},
+                   bool enable_cache = true);
 
   // Loads the current state; a function never seen before gets a fresh
   // zero-initialized state.
@@ -78,22 +98,47 @@ class PolicyStateStore {
 
   const std::string& function() const { return function_; }
   const StateStoreStats& stats() const { return stats_; }
+  const StateCacheStats& cache_stats() const { return cache_stats_; }
+  bool cache_enabled() const { return cache_enabled_; }
 
  private:
-  std::string StateKey() const { return "policy/" + function_ + "/state"; }
-  std::string SequenceKey() const { return "policy/" + function_ + "/next-snapshot-id"; }
+  // Both keys are fixed at construction; materializing them once keeps the
+  // per-request Get/CAS pair free of string concatenation.
+  const std::string& StateKey() const { return state_key_; }
+  const std::string& SequenceKey() const { return sequence_key_; }
 
   // Sleeps the simulated clock for the nth backoff of one operation and
   // accounts it. Safe without a clock (still counts, no time passes).
   void Backoff(int retry_index) const;
 
+  // Cache maintenance. Invalidate drops the cached state (CAS failure,
+  // injected fault, decode error); Remember installs a fresh (state,
+  // version) pair. Both are no-ops with the cache disabled.
+  void InvalidateCache() const;
+  void RememberState(const PolicyState& state, uint64_t version) const;
+
+  // Encodes through the reusable buffer: no buffer growth after warm-up,
+  // one exact-size allocation for the CAS-owned copy.
+  std::vector<uint8_t> EncodeForCas(const PolicyState& state) const;
+
   KvDatabase& db_;
   std::string function_;
+  std::string state_key_;
+  std::string sequence_key_;
   PolicyConfig config_;
   SimClock* clock_;
   StateStoreRetryPolicy retry_;
+  bool cache_enabled_;
   mutable Rng jitter_rng_;
   mutable StateStoreStats stats_;
+
+  // Last decoded state and the DB version it decodes from. Decode(Encode(s))
+  // reproduces s exactly (doubles travel as bit patterns), so serving the
+  // cached copy is indistinguishable from re-decoding the stored blob.
+  mutable std::optional<PolicyState> cached_state_;
+  mutable uint64_t cached_version_ = 0;
+  mutable StateCacheStats cache_stats_;
+  mutable ByteWriter encode_buffer_;
 };
 
 }  // namespace pronghorn

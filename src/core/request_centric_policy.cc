@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "src/common/mathutil.h"
 
@@ -38,7 +39,8 @@ std::optional<uint64_t> RequestCentricPolicy::DrawCheckpointRequest(
   if (lo > hi) {
     return std::nullopt;
   }
-  const std::vector<double> weights = state.theta.InverseWeights(lo, hi, config_.mu);
+  const std::span<const double> weights =
+      state.theta.InverseWeightsSpan(lo, hi, config_.mu);
   if (weights.empty()) {
     return std::nullopt;
   }
@@ -64,12 +66,18 @@ StartDecision RequestCentricPolicy::OnWorkerStart(const PolicyState& state,
         Softmax(weights, config_.softmax_temperature);
     const size_t first_index = rng.WeightedIndex(probabilities);
     const auto entries = state.pool.entries();
-    std::vector<size_t> order(entries.size());
+    // Scratch index buffer: thread_local because a single policy instance is
+    // shared across fleet shard threads (it holds no per-call state).
+    thread_local std::vector<size_t> order;
+    order.resize(entries.size());
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (a == first_index || b == first_index) {
-        return a == first_index;
-      }
+    // The drawn snapshot always ranks first; the rest sort by probability
+    // (descending, ties by recency). Swapping it to the front and sorting
+    // only the tail yields the same order as the old comparator that
+    // special-cased first_index — (probability, id) is a strict total order
+    // because pool ids are unique — without the per-element branch.
+    std::swap(order[0], order[first_index]);
+    std::sort(order.begin() + 1, order.end(), [&](size_t a, size_t b) {
       if (probabilities[a] != probabilities[b]) {
         return probabilities[a] > probabilities[b];
       }

@@ -1,6 +1,7 @@
 #include "src/core/weight_vector.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "src/common/mathutil.h"
 
@@ -13,8 +14,24 @@ void WeightVector::Update(uint64_t request_number, double latency_seconds, doubl
   double& entry = values_[request_number];
   if (entry == 0.0) {
     entry = latency_seconds;  // First observation initializes (line 26).
+    // First observations are positive and EWMA blends of positives stay
+    // positive, so "explored" is monotone: the count only ever grows.
+    explored_count_ += 1;
   } else {
     entry = EwmaUpdate(entry, latency_seconds, alpha);  // Line 28.
+  }
+  if (inv_valid_) {
+    inv_[request_number] = InverseWeight(entry, inv_mu_);
+  }
+  if (lw_valid_) {
+    // Lifetime windows [start, start+beta] containing request_number are now
+    // stale; everything else keeps its memoized fold.
+    const uint64_t first =
+        request_number > lw_beta_ ? request_number - lw_beta_ : 0;
+    const uint64_t last = std::min<uint64_t>(request_number, lw_fresh_.size() - 1);
+    for (uint64_t s = first; s <= last; ++s) {
+      lw_fresh_[s] = 0;
+    }
   }
 }
 
@@ -25,7 +42,7 @@ double WeightVector::At(uint64_t request_number) const {
   return values_[request_number];
 }
 
-uint32_t WeightVector::ExploredCount() const {
+uint32_t WeightVector::ScanExploredCount() const {
   uint32_t count = 0;
   for (double v : values_) {
     if (v > 0.0) {
@@ -35,24 +52,44 @@ uint32_t WeightVector::ExploredCount() const {
   return count;
 }
 
-std::vector<double> WeightVector::InverseWeights(uint64_t lo, uint64_t hi,
-                                                 double mu) const {
-  std::vector<double> weights;
-  if (lo > hi) {
-    return weights;
+uint32_t WeightVector::ExploredCount() const {
+  assert(explored_count_ == ScanExploredCount());
+  return explored_count_;
+}
+
+void WeightVector::EnsureInverseCache(double mu) const {
+  if (inv_valid_ && inv_mu_ == mu) {
+    return;
+  }
+  inv_.resize(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    inv_[i] = InverseWeight(values_[i], mu);
+  }
+  inv_mu_ = mu;
+  inv_valid_ = true;
+}
+
+std::span<const double> WeightVector::InverseWeightsSpan(uint64_t lo, uint64_t hi,
+                                                         double mu) const {
+  if (lo > hi || values_.empty()) {
+    return {};
   }
   const uint64_t clamped_hi = std::min<uint64_t>(hi, values_.size() - 1);
   if (lo > clamped_hi) {
-    return weights;
+    return {};
   }
-  weights.reserve(clamped_hi - lo + 1);
-  for (uint64_t i = lo; i <= clamped_hi; ++i) {
-    weights.push_back(InverseWeight(values_[i], mu));
-  }
-  return weights;
+  EnsureInverseCache(mu);
+  return std::span<const double>(inv_.data() + lo, clamped_hi - lo + 1);
 }
 
-double WeightVector::LifetimeWeight(uint64_t start, uint32_t beta, double mu) const {
+std::vector<double> WeightVector::InverseWeights(uint64_t lo, uint64_t hi,
+                                                 double mu) const {
+  const std::span<const double> view = InverseWeightsSpan(lo, hi, mu);
+  return std::vector<double>(view.begin(), view.end());
+}
+
+double WeightVector::NaiveLifetimeWeight(uint64_t start, uint32_t beta,
+                                         double mu) const {
   // Entries beyond the learned window contribute as unexplored (theta = 0),
   // keeping the exploration bonus for snapshots near the window's edge.
   double sum = 0.0;
@@ -60,6 +97,31 @@ double WeightVector::LifetimeWeight(uint64_t start, uint32_t beta, double mu) co
     sum += InverseWeight(At(i), mu);
   }
   return sum / static_cast<double>(beta);
+}
+
+void WeightVector::EnsureLifetimeCache(uint32_t beta, double mu) const {
+  if (lw_valid_ && lw_beta_ == beta && lw_mu_ == mu) {
+    return;
+  }
+  lw_memo_.assign(values_.size(), 0.0);
+  lw_fresh_.assign(values_.size(), 0);
+  lw_beta_ = beta;
+  lw_mu_ = mu;
+  lw_valid_ = true;
+}
+
+double WeightVector::LifetimeWeight(uint64_t start, uint32_t beta, double mu) const {
+  if (beta == 0 || start >= values_.size()) {
+    // Degenerate or off-the-end windows are rare and constant-cost; keep
+    // them out of the memo.
+    return NaiveLifetimeWeight(start, beta, mu);
+  }
+  EnsureLifetimeCache(beta, mu);
+  if (lw_fresh_[start] == 0) {
+    lw_memo_[start] = NaiveLifetimeWeight(start, beta, mu);
+    lw_fresh_[start] = 1;
+  }
+  return lw_memo_[start];
 }
 
 double WeightVector::LifetimeLatencySum(uint64_t start, uint32_t beta) const {
@@ -90,6 +152,7 @@ Result<WeightVector> WeightVector::Deserialize(ByteReader& reader) {
     }
     vector.values_[i] = v;
   }
+  vector.explored_count_ = vector.ScanExploredCount();
   return vector;
 }
 

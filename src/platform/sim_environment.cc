@@ -112,7 +112,8 @@ Status SimEnvironment::AddDeployment(std::string name, const WorkloadProfile& pr
       std::make_unique<StopConditionPolicy>(policy, /*explore_requests=*/0);
   deployment.engine = MakeEngine(options_.engine_kind, HashCombine(sub_seed, 0xe1ULL));
   deployment.state_store = std::make_unique<PolicyStateStore>(
-      active_database(), deployment.name, policy.config(), &clock_);
+      active_database(), deployment.name, policy.config(), &clock_,
+      StateStoreRetryPolicy{}, options_.state_cache);
   deployment.input_model = std::make_unique<InputModel>(profile, options_.input_noise);
   deployment.client_rng = Rng(HashCombine(sub_seed, 0xc1ULL));
 

@@ -98,6 +98,12 @@ struct SimOptions {
   LifecycleOptions lifecycle;
   OrchestratorCostModel costs;
 
+  // Decoded-policy-state cache in the per-deployment PolicyStateStore. Pure
+  // CPU optimization: digests are bit-identical with the cache on or off
+  // (pinned by tests/hot_path_equivalence_test.cc); the knob exists for that
+  // comparison and for --no-state-cache.
+  bool state_cache = true;
+
   // Chaos layer: when the plan is active, the stores are wrapped in fault
   // decorators driven by the simulated clock. The plan's seed is combined
   // with the experiment seed, so distinct experiments draw distinct faults.

@@ -69,25 +69,30 @@ Status FaultyObjectStore::Put(std::string_view key, ObjectBlob blob) {
   if (ShouldFail(plan_.put_failure_rate)) {
     return UnavailableError("injected object-store put failure");
   }
-  if (rng_.Bernoulli(plan_.torn_write_rate) && !blob.bytes.empty()) {
+  if (rng_.Bernoulli(plan_.torn_write_rate) && !blob.bytes().empty()) {
     // Partial upload: half the payload lands, the call still fails. The
     // stored garbage is an orphan until GC (or a successful rewrite) reaps it.
-    ObjectBlob torn;
-    torn.bytes.assign(blob.bytes.begin(),
-                      blob.bytes.begin() +
-                          static_cast<std::ptrdiff_t>(blob.bytes.size() / 2));
-    torn.logical_size = blob.logical_size / 2;
+    // The half-payload copy is the fault's own private buffer — the caller's
+    // shared bytes are never mutated.
+    const std::vector<uint8_t>& payload = blob.bytes();
+    std::vector<uint8_t> half(
+        payload.begin(),
+        payload.begin() + static_cast<std::ptrdiff_t>(payload.size() / 2));
     stats_.torn_puts += 1;
     stats_.faults_injected += 1;
     NoteFault("faults.store.torn_puts", "fault:torn_put");
-    (void)inner_.Put(key, std::move(torn));
+    (void)inner_.Put(key, ObjectBlob(std::move(half), blob.logical_size / 2));
     return UnavailableError("injected torn object-store put");
   }
-  if (rng_.Bernoulli(plan_.corruption_rate) && !blob.bytes.empty()) {
+  if (rng_.Bernoulli(plan_.corruption_rate) && !blob.bytes().empty()) {
     // Silent bit rot: flip one bit and report success. Only the snapshot
-    // image CRC can catch this, at restore time.
-    const uint64_t bit = rng_.UniformUint64(blob.bytes.size() * 8);
-    blob.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    // image CRC can catch this, at restore time. Copy-on-corrupt: the
+    // payload is deep-copied only when this fault actually fires, so the
+    // zero-copy fast path stays intact for healthy puts.
+    const uint64_t bit = rng_.UniformUint64(blob.bytes().size() * 8);
+    std::vector<uint8_t> corrupted = blob.bytes();
+    corrupted[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    blob = ObjectBlob(std::move(corrupted), blob.logical_size);
     stats_.corrupted_puts += 1;
     NoteFault("faults.store.corrupted_puts", "fault:corrupted_put");
   }

@@ -9,6 +9,11 @@
 
 namespace pronghorn {
 
+const std::vector<uint8_t>& ObjectBlob::bytes() const {
+  static const std::vector<uint8_t> kEmpty;
+  return data == nullptr ? kEmpty : *data;
+}
+
 namespace {
 
 void AccountPut(StoreAccounting& acc, uint64_t old_logical, uint64_t new_logical) {
@@ -41,7 +46,7 @@ Result<ObjectBlob> InMemoryObjectStore::Get(std::string_view key) {
   }
   accounting_.network_bytes_downloaded += it->second.logical_size;
   accounting_.get_count += 1;
-  return it->second;
+  return it->second;  // Shares the stored buffer; no payload copy.
 }
 
 Status InMemoryObjectStore::Delete(std::string_view key) {
@@ -162,8 +167,8 @@ Status FileBackedObjectStore::Put(std::string_view key, ObjectBlob blob) {
   }
   const uint64_t logical = blob.logical_size;
   out.write(reinterpret_cast<const char*>(&logical), sizeof(logical));
-  out.write(reinterpret_cast<const char*>(blob.bytes.data()),
-            static_cast<std::streamsize>(blob.bytes.size()));
+  out.write(reinterpret_cast<const char*>(blob.bytes().data()),
+            static_cast<std::streamsize>(blob.bytes().size()));
   out.flush();
   if (!out) {
     return InternalError("short write to '" + path + "'");
@@ -179,15 +184,16 @@ Result<ObjectBlob> FileBackedObjectStore::Get(std::string_view key) {
   if (!in) {
     return NotFoundError("no object with key '" + std::string(key) + "'");
   }
-  ObjectBlob blob;
-  in.read(reinterpret_cast<char*>(&blob.logical_size), sizeof(blob.logical_size));
+  uint64_t logical_size = 0;
+  in.read(reinterpret_cast<char*>(&logical_size), sizeof(logical_size));
   if (!in) {
     return DataLossError("corrupt object header at '" + path + "'");
   }
-  blob.bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
-  accounting_.network_bytes_downloaded += blob.logical_size;
+  std::vector<uint8_t> payload{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+  accounting_.network_bytes_downloaded += logical_size;
   accounting_.get_count += 1;
-  return blob;
+  return ObjectBlob(std::move(payload), logical_size);
 }
 
 Status FileBackedObjectStore::Delete(std::string_view key) {

@@ -20,9 +20,21 @@
 
 namespace pronghorn {
 
-// A stored blob plus its modeled size.
+// A stored blob plus its modeled size. The payload is held behind a shared
+// immutable buffer so stores, retries, and readers pass multi-MB snapshot
+// images around by reference count instead of deep copy; anyone needing to
+// mutate the bytes (the fault-injection corruption decorator) builds a fresh
+// private buffer first.
 struct ObjectBlob {
-  std::vector<uint8_t> bytes;
+  ObjectBlob() = default;
+  ObjectBlob(std::vector<uint8_t> payload, uint64_t logical)
+      : data(std::make_shared<const std::vector<uint8_t>>(std::move(payload))),
+        logical_size(logical) {}
+
+  // The payload; an empty buffer when default-constructed.
+  const std::vector<uint8_t>& bytes() const;
+
+  std::shared_ptr<const std::vector<uint8_t>> data;
   uint64_t logical_size = 0;
 };
 

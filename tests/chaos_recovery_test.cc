@@ -77,8 +77,10 @@ struct ChaosHarness {
   void CorruptBlob(const std::string& key) {
     auto blob = object_store.Get(key);
     ASSERT_TRUE(blob.ok());
-    blob->bytes[blob->bytes.size() / 2] ^= 0xff;
-    ASSERT_TRUE(object_store.Put(key, *std::move(blob)).ok());
+    std::vector<uint8_t> bytes = blob->bytes();  // Private copy: the stored
+    bytes[bytes.size() / 2] ^= 0xff;             // buffer is immutable.
+    ASSERT_TRUE(
+        object_store.Put(key, ObjectBlob(std::move(bytes), blob->logical_size)).ok());
   }
 };
 
@@ -262,9 +264,7 @@ TEST(ChaosRecoveryTest, CollectOrphanedObjectsReapsOnlyUnreferencedBlobs) {
   ASSERT_EQ(entries.size(), 1u);
 
   const std::string orphan_key = "snapshots/" + h.profile.name + "/999999";
-  ObjectBlob orphan;
-  orphan.bytes = {0xde, 0xad, 0xbe, 0xef};
-  orphan.logical_size = 4;
+  ObjectBlob orphan({0xde, 0xad, 0xbe, 0xef}, 4);
   ASSERT_TRUE(h.object_store.Put(orphan_key, std::move(orphan)).ok());
 
   auto collected = h.orchestrator.CollectOrphanedObjects();

@@ -10,10 +10,7 @@ namespace pronghorn {
 namespace {
 
 ObjectBlob Blob(std::string_view text) {
-  ObjectBlob blob;
-  blob.bytes.assign(text.begin(), text.end());
-  blob.logical_size = text.size();
-  return blob;
+  return ObjectBlob(std::vector<uint8_t>(text.begin(), text.end()), text.size());
 }
 
 TEST(FaultyObjectStoreTest, ZeroRateIsTransparent) {
@@ -76,7 +73,7 @@ TEST(FaultyObjectStoreTest, TornWriteStoresTruncatedPrefixAndFails) {
   // Half the payload landed anyway — the partial-upload garbage GC must clean.
   auto stored = inner.Get("k");
   ASSERT_TRUE(stored.ok());
-  EXPECT_EQ(stored->bytes.size(), 5u);
+  EXPECT_EQ(stored->bytes().size(), 5u);
   EXPECT_EQ(store.stats().torn_puts, 1u);
 }
 
@@ -90,10 +87,10 @@ TEST(FaultyObjectStoreTest, CorruptionFlipsOneBitAndReportsSuccess) {
   ASSERT_TRUE(store.Put("k", original).ok());  // The write "succeeds".
   auto stored = inner.Get("k");
   ASSERT_TRUE(stored.ok());
-  ASSERT_EQ(stored->bytes.size(), original.bytes.size());
+  ASSERT_EQ(stored->bytes().size(), original.bytes().size());
   size_t flipped_bits = 0;
-  for (size_t i = 0; i < stored->bytes.size(); ++i) {
-    uint8_t diff = static_cast<uint8_t>(stored->bytes[i] ^ original.bytes[i]);
+  for (size_t i = 0; i < stored->bytes().size(); ++i) {
+    uint8_t diff = static_cast<uint8_t>(stored->bytes()[i] ^ original.bytes()[i]);
     while (diff != 0) {
       flipped_bits += diff & 1u;
       diff = static_cast<uint8_t>(diff >> 1);

@@ -9,10 +9,7 @@ namespace pronghorn {
 namespace {
 
 ObjectBlob Blob(std::string_view text, uint64_t logical_size) {
-  ObjectBlob blob;
-  blob.bytes.assign(text.begin(), text.end());
-  blob.logical_size = logical_size;
-  return blob;
+  return ObjectBlob(std::vector<uint8_t>(text.begin(), text.end()), logical_size);
 }
 
 // Shared conformance suite run against both implementations.
@@ -46,7 +43,7 @@ TEST_P(ObjectStoreConformance, PutGetRoundTrip) {
   ASSERT_TRUE(store_->Put("a/b", Blob("payload", 100)).ok());
   auto got = store_->Get("a/b");
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(std::string(got->bytes.begin(), got->bytes.end()), "payload");
+  EXPECT_EQ(std::string(got->bytes().begin(), got->bytes().end()), "payload");
   EXPECT_EQ(got->logical_size, 100u);
 }
 
@@ -63,7 +60,7 @@ TEST_P(ObjectStoreConformance, OverwriteReplacesValue) {
   ASSERT_TRUE(store_->Put("k", Blob("two", 20)).ok());
   auto got = store_->Get("k");
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(std::string(got->bytes.begin(), got->bytes.end()), "two");
+  EXPECT_EQ(std::string(got->bytes().begin(), got->bytes().end()), "two");
   EXPECT_EQ(store_->accounting().logical_bytes_stored, 20u);
 }
 
@@ -118,13 +115,11 @@ TEST_P(ObjectStoreConformance, BinaryPayloadSafe) {
   for (int i = 0; i < 256; ++i) {
     raw.push_back(static_cast<uint8_t>(i));
   }
-  ObjectBlob blob;
-  blob.bytes = raw;
-  blob.logical_size = raw.size();
+  ObjectBlob blob(raw, raw.size());
   ASSERT_TRUE(store_->Put("bin", std::move(blob)).ok());
   auto got = store_->Get("bin");
   ASSERT_TRUE(got.ok());
-  EXPECT_EQ(got->bytes, raw);
+  EXPECT_EQ(got->bytes(), raw);
 }
 
 INSTANTIATE_TEST_SUITE_P(Implementations, ObjectStoreConformance,
@@ -143,7 +138,7 @@ TEST(FileBackedObjectStoreTest, PersistsAcrossReopen) {
     ASSERT_TRUE(store.ok());
     auto got = (*store)->Get("snapshots/f/9");
     ASSERT_TRUE(got.ok());
-    EXPECT_EQ(std::string(got->bytes.begin(), got->bytes.end()), "persisted");
+    EXPECT_EQ(std::string(got->bytes().begin(), got->bytes().end()), "persisted");
     EXPECT_EQ(got->logical_size, 42u);
     const auto keys = (*store)->ListKeys("");
     ASSERT_EQ(keys.size(), 1u);

@@ -181,8 +181,10 @@ TEST(OrchestratorTest, FallsBackToColdWhenImageCorrupt) {
   for (const std::string& key : h.object_store.ListKeys("snapshots/")) {
     auto blob = h.object_store.Get(key);
     ASSERT_TRUE(blob.ok());
-    blob->bytes[blob->bytes.size() / 2] ^= 0xff;
-    ASSERT_TRUE(h.object_store.Put(key, *std::move(blob)).ok());
+    std::vector<uint8_t> bytes = blob->bytes();
+    bytes[bytes.size() / 2] ^= 0xff;
+    ASSERT_TRUE(
+        h.object_store.Put(key, ObjectBlob(std::move(bytes), blob->logical_size)).ok());
   }
   auto session = h.orchestrator.StartWorker();
   ASSERT_TRUE(session.ok());

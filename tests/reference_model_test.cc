@@ -153,9 +153,7 @@ TEST_P(ObjectStoreDifferential, MatchesReferenceStoreAndAccounting) {
     const std::string& key = keys[rng.UniformUint64(keys.size())];
     switch (rng.UniformUint64(3)) {
       case 0: {  // Put.
-        ObjectBlob blob;
-        blob.logical_size = 1 + rng.UniformUint64(1000);
-        blob.bytes = {1, 2, 3};
+        ObjectBlob blob({1, 2, 3}, 1 + rng.UniformUint64(1000));
         const uint64_t logical = blob.logical_size;
         ASSERT_TRUE(store.Put(key, std::move(blob)).ok());
         auto it = reference.find(key);

@@ -224,6 +224,7 @@ struct CommonSimOptions {
   uint64_t seed = 1;
   EngineKind engine_kind = EngineKind::kCriuLike;
   bool input_noise = true;
+  bool state_cache = true;
   FaultPlan faults;
 };
 
@@ -238,6 +239,7 @@ Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
     return InvalidArgumentError("unknown engine '" + engine_name + "'");
   }
   common.input_noise = !flags.GetBool("no-noise").value_or(false);
+  common.state_cache = !flags.GetBool("no-state-cache").value_or(false);
   PRONGHORN_ASSIGN_OR_RETURN(common.faults, ParseFaultPlan(flags));
   return common;
 }
@@ -418,6 +420,7 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   options.threads = *threads;
   options.engine_kind = common.engine_kind;
   options.input_noise = common.input_noise;
+  options.state_cache = common.state_cache;
   options.eviction = *eviction;
   options.faults = common.faults;
   options.worker_slots = static_cast<uint32_t>(slots);
@@ -515,6 +518,7 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
   options.seed = common.seed;
   options.engine_kind = common.engine_kind;
   options.input_noise = common.input_noise;
+  options.state_cache = common.state_cache;
   options.eviction = *eviction;
   options.faults = common.faults;
 
@@ -589,6 +593,7 @@ int RunSingle(const FlagParser& flags, const CommonSimOptions& common,
   options.seed = common.seed;
   options.engine_kind = common.engine_kind;
   options.input_noise = common.input_noise;
+  options.state_cache = common.state_cache;
   options.faults = common.faults;
   // Historical FunctionSimulation topology: one worker slot.
   options.worker_slots = 1;
@@ -682,6 +687,8 @@ int main(int argc, char** argv) {
   flags.AddFlag("fault-seed", "0", "extra seed folded into the fault streams");
   flags.AddSwitch("histogram", "print latency histograms to stdout");
   flags.AddSwitch("no-noise", "disable client input-size noise");
+  flags.AddSwitch("no-state-cache",
+                  "disable the decoded policy-state cache (digest-neutral)");
   flags.AddSwitch("list", "list benchmarks and exit");
   flags.AddSwitch("help", "show usage");
 

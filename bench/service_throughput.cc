@@ -1,0 +1,220 @@
+// Service throughput exhibit: decisions/sec through the live orchestrator
+// service as a function of shard count and group-commit batch size, written
+// to BENCH_service_throughput.json so CI archives the trend across PRs.
+//
+// Eight client threads drive start -> observe xN -> retire cycles in deferred
+// (group-commit) mode against eight functions, so the shard threads — not the
+// clients — are the bottleneck and the shard sweep measures real control-plane
+// parallelism. On a single-core host the sweep degenerates to ~1x; the JSON
+// records the host's hardware thread count so CI can interpret the scaling
+// factor. The run doubles as a correctness gate: after the final drain every
+// observation must have its knowledge write committed, or the binary exits
+// non-zero.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/checkpoint/criu_like_engine.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/request_centric_policy.h"
+#include "src/service/orchestrator_service.h"
+#include "src/store/kv_database.h"
+#include "src/store/object_store.h"
+
+namespace pronghorn::bench {
+namespace {
+
+constexpr uint32_t kFunctions = 8;
+constexpr uint32_t kClientThreads = 8;
+constexpr uint32_t kCyclesPerThread = 40;
+constexpr uint32_t kObservationsPerCycle = 6;
+constexpr const char* kJsonPath = "BENCH_service_throughput.json";
+
+PolicyConfig BenchPolicyConfig() {
+  PolicyConfig config;
+  config.beta = 4;
+  config.pool_capacity = 3;
+  config.max_checkpoint_request = 30;
+  return config;
+}
+
+// The per-function stack the service fronts (one shard owns all of it).
+struct FunctionStack {
+  FunctionStack(const OrchestrationPolicy& policy, const std::string& name_in,
+                uint64_t seed)
+      : name(name_in),
+        profile(**WorkloadRegistry::Default().Find("DynamicHTML")),
+        engine(HashCombine(seed, 0xe1)),
+        state_store(db, name_in, policy.config()),
+        orchestrator(profile, WorkloadRegistry::Default(), policy, engine,
+                     object_store, state_store, clock, seed) {}
+
+  std::string name;
+  const WorkloadProfile& profile;
+  SimClock clock;
+  InMemoryKvDatabase db;
+  InMemoryObjectStore object_store;
+  CriuLikeEngine engine;
+  PolicyStateStore state_store;
+  Orchestrator orchestrator;
+};
+
+struct ThroughputRun {
+  uint32_t shards = 0;
+  uint32_t max_batch = 0;
+  uint64_t requests = 0;
+  double wall_seconds = 0.0;
+  double decisions_per_sec = 0.0;
+  bool books_balanced = false;
+};
+
+ThroughputRun RunOnce(const OrchestrationPolicy& policy, uint32_t shards,
+                      uint32_t max_batch) {
+  ServiceConfig config;
+  config.shards = shards;
+  config.max_batch = max_batch;
+  config.queue_capacity = 128;
+  OrchestratorService service(config);
+
+  std::vector<std::unique_ptr<FunctionStack>> stacks;
+  for (uint32_t f = 0; f < kFunctions; ++f) {
+    stacks.push_back(std::make_unique<FunctionStack>(
+        policy, "bench-fn-" + std::to_string(f), 100 + f));
+    const Status bound =
+        service.Bind(stacks.back()->name, 0, &stacks.back()->orchestrator,
+                     &stacks.back()->clock);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (uint32_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&service, &stacks, t] {
+      FunctionStack& stack = *stacks[t % kFunctions];
+      ServiceClient client(&service, stack.name, 0, /*defer_commit=*/true);
+      for (uint32_t cycle = 0; cycle < kCyclesPerThread; ++cycle) {
+        const auto view = client.StartWorker();
+        if (!view.ok()) {
+          // Another thread on the same function still holds the slot's
+          // session; skip the cycle rather than serialize the clients.
+          continue;
+        }
+        for (uint64_t i = 0; i < kObservationsPerCycle; ++i) {
+          if (!client.ServeRequest({i, 1.0}).ok()) {
+            break;
+          }
+        }
+        (void)client.EndSession();
+      }
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  const Status drained = service.Drain();
+  const auto end = std::chrono::steady_clock::now();
+
+  const ServiceStatsSnapshot stats = service.stats();
+  ThroughputRun run;
+  run.shards = shards;
+  run.max_batch = max_batch;
+  run.requests = stats.requests;
+  run.wall_seconds = std::chrono::duration<double>(end - start).count();
+  run.decisions_per_sec = static_cast<double>(stats.requests) / run.wall_seconds;
+  run.books_balanced = drained.ok() &&
+                       stats.observations_committed == stats.observations &&
+                       stats.flush_errors == 0 && stats.decode_errors == 0;
+  service.Shutdown();
+  return run;
+}
+
+bool WriteJson(const std::vector<ThroughputRun>& runs, double scaling_1_to_4) {
+  std::FILE* out = std::fopen(kJsonPath, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", kJsonPath);
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"service_throughput\",\n");
+  std::fprintf(out, "  \"client_threads\": %u,\n", kClientThreads);
+  std::fprintf(out, "  \"functions\": %u,\n", kFunctions);
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               pronghorn::ThreadPool::DefaultThreadCount());
+  std::fprintf(out, "  \"scaling_1_to_4_shards\": %.2f,\n", scaling_1_to_4);
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const ThroughputRun& run = runs[i];
+    std::fprintf(out,
+                 "    {\"shards\": %u, \"max_batch\": %u, \"requests\": %llu, "
+                 "\"wall_seconds\": %.6f, \"decisions_per_sec\": %.1f, "
+                 "\"books_balanced\": %s}%s\n",
+                 run.shards, run.max_batch,
+                 static_cast<unsigned long long>(run.requests), run.wall_seconds,
+                 run.decisions_per_sec, run.books_balanced ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+int main() {
+  using namespace pronghorn::bench;
+  std::printf("=== Exhibit: orchestrator service throughput ===\n");
+  std::printf("%u client threads over %u functions, deferred commits; host has "
+              "%u hardware thread(s)\n\n",
+              kClientThreads, kFunctions,
+              pronghorn::ThreadPool::DefaultThreadCount());
+
+  const auto policy =
+      pronghorn::RequestCentricPolicy::Create(BenchPolicyConfig());
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ThroughputRun> runs;
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (const uint32_t batch : {1u, 16u}) {
+      runs.push_back(RunOnce(*policy, shards, batch));
+    }
+  }
+
+  std::printf("  shards   batch   requests   wall (s)   decisions/s   books\n");
+  bool balanced = true;
+  for (const ThroughputRun& run : runs) {
+    std::printf("  %6u   %5u   %8llu   %8.3f   %11.0f   %s\n", run.shards,
+                run.max_batch, static_cast<unsigned long long>(run.requests),
+                run.wall_seconds, run.decisions_per_sec,
+                run.books_balanced ? "ok" : "IMBALANCED");
+    balanced = balanced && run.books_balanced;
+  }
+
+  // Shard scaling at the default batch size (16): 1 shard vs 4 shards.
+  double at_1 = 0.0, at_4 = 0.0;
+  for (const ThroughputRun& run : runs) {
+    if (run.max_batch == 16 && run.shards == 1) {
+      at_1 = run.decisions_per_sec;
+    }
+    if (run.max_batch == 16 && run.shards == 4) {
+      at_4 = run.decisions_per_sec;
+    }
+  }
+  const double scaling = at_1 > 0.0 ? at_4 / at_1 : 0.0;
+  const bool wrote = WriteJson(runs, scaling);
+  std::printf("\nwrote %s; 1->4 shard scaling %.2fx; accounting %s\n", kJsonPath,
+              scaling, balanced ? "BALANCED" : "IMBALANCED (BUG)");
+  return balanced && wrote ? 0 : 1;
+}

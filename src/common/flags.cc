@@ -26,6 +26,15 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.size() < 2 || arg.substr(0, 2) != "--") {
+      // A dash followed by a non-digit is a misspelled flag (`-seed 7`,
+      // `-fault-rate`), not a positional; silently collecting it would make
+      // the flag a no-op. Lone dashes and negative numbers stay positional.
+      if (arg.size() >= 2 && arg[0] == '-' &&
+          (arg[1] < '0' || arg[1] > '9') && arg[1] != '.') {
+        return InvalidArgumentError("unrecognized argument '" + std::string(arg) +
+                                    "' (flags are spelled --" +
+                                    std::string(arg.substr(1)) + ")");
+      }
       positional_.emplace_back(arg);
       continue;
     }

@@ -1,8 +1,10 @@
 // Minimal command-line flag parsing for the CLI tools.
 //
 // Supports `--name value` and `--name=value` forms plus boolean switches
-// (`--verbose`). Unknown flags are an error (catches typos); positional
-// arguments are collected in order.
+// (`--verbose`). Unknown flags are an error (catches typos), and so are
+// single-dash flag spellings like `-seed 7` — silently treating those as
+// positionals would turn the flag into a no-op. Other positional arguments
+// (including negative numbers) are collected in order.
 
 #ifndef PRONGHORN_SRC_COMMON_FLAGS_H_
 #define PRONGHORN_SRC_COMMON_FLAGS_H_

@@ -254,24 +254,31 @@ Result<WorkerSession> Orchestrator::StartWorker() {
   return *std::move(session);
 }
 
-Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
-                                                  const FunctionRequest& request) {
+RequestOutcome Orchestrator::ExecuteBuffered(WorkerSession& session,
+                                             const FunctionRequest& request) {
   RequestOutcome outcome;
-
   const ExecutionResult execution = session.process.Execute(request);
   outcome.latency = execution.latency;
   outcome.request_number = session.process.requests_executed();
 
-  // Workflow step 3: pass the end-to-end latency to the policy, which
-  // updates the Database (one knowledge write per request). Writes that hit
-  // a Database outage are buffered locally and replayed with a later
-  // request; the mutator flushes the whole buffer, which is safe to re-run
-  // because a failed Update never commits.
   pending_observations_.push_back({outcome.request_number, outcome.latency});
   if (pending_observations_.size() > recovery_options_.max_buffered_observations) {
     pending_observations_.pop_front();
     recovery_.observations_dropped += 1;
   }
+  overheads_.requests_served += 1;
+  return outcome;
+}
+
+Status Orchestrator::CommitObservations(RequestOutcome& outcome) {
+  if (pending_observations_.empty()) {
+    return OkStatus();
+  }
+  // Workflow step 3: pass the end-to-end latency to the policy, which
+  // updates the Database (one knowledge write per batch). Writes that hit
+  // a Database outage are buffered locally and replayed with a later
+  // commit; the mutator flushes the whole buffer, which is safe to re-run
+  // because a failed Update never commits.
   const uint64_t backlog = pending_observations_.size() - 1;
   const Status update = state_store_.Update([&](PolicyState& state) {
     for (const PendingObservation& observation : pending_observations_) {
@@ -279,7 +286,6 @@ Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
                                 observation.latency);
     }
   });
-  overheads_.requests_served += 1;
   if (update.ok()) {
     recovery_.observations_replayed += backlog;
     pending_observations_.clear();
@@ -290,26 +296,38 @@ Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
   } else {
     return update;
   }
+  return OkStatus();
+}
 
+Status Orchestrator::MaybeCheckpoint(WorkerSession& session, RequestOutcome& outcome) {
   // Workflow steps 5-8: checkpoint when this lifetime's plan fires. A plan
   // that hits a transient fault is consumed (counted, not retried): the next
   // lifetime will draw a fresh plan.
-  if (session.checkpoint_at.has_value() &&
-      session.process.requests_executed() >= *session.checkpoint_at) {
-    session.checkpoint_at.reset();  // One checkpoint per lifetime plan.
-    auto downtime = TakeCheckpoint(session, outcome);
-    if (downtime.ok()) {
-      outcome.checkpoint_taken = true;
-      outcome.checkpoint_downtime = *downtime;
-    } else if (downtime.status().code() == StatusCode::kUnavailable) {
-      recovery_.checkpoints_skipped += 1;
-      PRONGHORN_LOG_DEBUG("checkpoint skipped for '%s': %s",
-                          state_store_.function().c_str(),
-                          downtime.status().ToString().c_str());
-    } else {
-      return downtime.status();
-    }
+  if (!session.checkpoint_at.has_value() ||
+      session.process.requests_executed() < *session.checkpoint_at) {
+    return OkStatus();
   }
+  session.checkpoint_at.reset();  // One checkpoint per lifetime plan.
+  auto downtime = TakeCheckpoint(session, outcome);
+  if (downtime.ok()) {
+    outcome.checkpoint_taken = true;
+    outcome.checkpoint_downtime = *downtime;
+  } else if (downtime.status().code() == StatusCode::kUnavailable) {
+    recovery_.checkpoints_skipped += 1;
+    PRONGHORN_LOG_DEBUG("checkpoint skipped for '%s': %s",
+                        state_store_.function().c_str(),
+                        downtime.status().ToString().c_str());
+  } else {
+    return downtime.status();
+  }
+  return OkStatus();
+}
+
+Result<RequestOutcome> Orchestrator::ServeRequest(WorkerSession& session,
+                                                  const FunctionRequest& request) {
+  RequestOutcome outcome = ExecuteBuffered(session, request);
+  PRONGHORN_RETURN_IF_ERROR(CommitObservations(outcome));
+  PRONGHORN_RETURN_IF_ERROR(MaybeCheckpoint(session, outcome));
   return outcome;
 }
 

@@ -159,6 +159,27 @@ class Orchestrator {
   Result<RequestOutcome> ServeRequest(WorkerSession& session,
                                       const FunctionRequest& request);
 
+  // The three phases of ServeRequest, exposed separately so the service front
+  // end (src/service) can group-commit knowledge writes: ServeRequest is
+  // exactly ExecuteBuffered + CommitObservations + MaybeCheckpoint.
+  //
+  // Executes the request and appends its latency observation to the local
+  // buffer (dropping the oldest past max_buffered_observations) without
+  // touching the Database.
+  RequestOutcome ExecuteBuffered(WorkerSession& session, const FunctionRequest& request);
+  // Commits every buffered observation in one Database write (steps 2-4). A
+  // write that hits an outage leaves the buffer intact for a later attempt
+  // (kUnavailable is absorbed, not returned); only hard faults surface. No-op
+  // when nothing is buffered.
+  Status CommitObservations(RequestOutcome& outcome);
+  // Checkpoints when this lifetime's plan has fired (steps 5-8); plans
+  // consumed by transient faults are counted, not surfaced.
+  Status MaybeCheckpoint(WorkerSession& session, RequestOutcome& outcome);
+
+  // Observations executed but not yet committed (outage-buffered or held for
+  // a service-side group commit).
+  size_t pending_observation_count() const { return pending_observations_.size(); }
+
   // Garbage-collects object-store blobs under this deployment's snapshot
   // prefix that no pool entry references (left by torn writes, failed
   // metadata commits, or deferred eviction deletes). Returns how many blobs

@@ -7,6 +7,7 @@
 #include "src/common/crc32.h"
 #include "src/common/thread_pool.h"
 #include "src/platform/report_io.h"
+#include "src/service/orchestrator_service.h"
 
 namespace pronghorn {
 
@@ -56,7 +57,8 @@ Status FleetSimulation::AddFunction(FleetFunctionSpec spec) {
   return OkStatus();
 }
 
-Result<ClusterReport> FleetSimulation::RunShard(const FleetFunctionSpec& spec) const {
+Result<ClusterReport> FleetSimulation::RunShard(
+    const FleetFunctionSpec& spec, const ClusterOptions& base_options) const {
   // All shard randomness keys off (fleet seed, deployment name) — never off
   // the thread or shard index — so results are schedule-independent.
   const uint64_t function_seed = FunctionSeed(options_.seed, spec.name);
@@ -64,7 +66,7 @@ Result<ClusterReport> FleetSimulation::RunShard(const FleetFunctionSpec& spec) c
                              options_.eviction.Instantiate(function_seed));
   // The shard inherits the fleet's options wholesale (including the obs sink,
   // which is thread-safe) and overrides only its own identity and topology.
-  ClusterOptions cluster_options = options_;
+  ClusterOptions cluster_options = base_options;
   cluster_options.seed = function_seed;
   cluster_options.worker_slots = spec.worker_slots;
   cluster_options.exploring_slots = spec.exploring_slots;
@@ -78,6 +80,23 @@ Result<FleetReport> FleetSimulation::Run() const {
     return FailedPreconditionError("fleet has no deployments");
   }
 
+  // Service mode: all shard environments are clients of one shared live
+  // service for the whole run (each deployment still evolves independently —
+  // its requests are serialized on its service shard and issued from one
+  // client task, so the canonical merge stays schedule-independent).
+  ClusterOptions base_options = options_;
+  std::unique_ptr<OrchestratorService> shared_service;
+  if (options_.service.enabled && options_.service.instance == nullptr) {
+    ServiceConfig config;
+    config.shards = options_.service.shards;
+    config.queue_capacity = options_.service.queue_capacity;
+    config.max_batch = options_.service.max_batch;
+    config.flush_interval = options_.service.flush_interval;
+    config.obs = options_.obs;
+    shared_service = std::make_unique<OrchestratorService>(config);
+    base_options.service.instance = shared_service.get();
+  }
+
   // Phase 1 — sharded execution. One task per deployment; the pool's
   // work-stealing balances wildly uneven shard runtimes. Each slot is written
   // by exactly one task, so the vector needs no lock.
@@ -86,12 +105,12 @@ Result<FleetReport> FleetSimulation::Run() const {
       options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
   if (threads <= 1 || functions_.size() == 1) {
     for (size_t i = 0; i < functions_.size(); ++i) {
-      shard_results[i].emplace(RunShard(functions_[i]));
+      shard_results[i].emplace(RunShard(functions_[i], base_options));
     }
   } else {
     ThreadPool pool(threads);
-    pool.ParallelFor(functions_.size(), [this, &shard_results](size_t i) {
-      shard_results[i].emplace(RunShard(functions_[i]));
+    pool.ParallelFor(functions_.size(), [this, &shard_results, &base_options](size_t i) {
+      shard_results[i].emplace(RunShard(functions_[i], base_options));
     });
   }
 

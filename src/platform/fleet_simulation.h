@@ -100,7 +100,10 @@ class FleetSimulation {
   static uint64_t FunctionSeed(uint64_t fleet_seed, std::string_view name);
 
  private:
-  Result<ClusterReport> RunShard(const FleetFunctionSpec& spec) const;
+  // `base_options` is the fleet options with run-scoped overrides applied
+  // (Run() points service.instance at the run's shared service).
+  Result<ClusterReport> RunShard(const FleetFunctionSpec& spec,
+                                 const ClusterOptions& base_options) const;
 
   const WorkloadRegistry& registry_;
   FleetOptions options_;

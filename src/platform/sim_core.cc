@@ -9,6 +9,8 @@ SimCore::SimCore(std::unique_ptr<Orchestrator> orchestrator,
                  const EvictionModel* eviction, SimClock* clock,
                  LifecycleOptions lifecycle, bool exploring)
     : orchestrator_(std::move(orchestrator)),
+      local_backend_(std::make_unique<LocalWorkerBackend>(orchestrator_.get())),
+      backend_(local_backend_.get()),
       eviction_(eviction),
       clock_(clock),
       lifecycle_(lifecycle),
@@ -28,44 +30,43 @@ Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
   // Provision a worker if none is warm (happens off the critical path by
   // default: the platform restarted it right after the last eviction).
   bool fresh_worker = false;
-  if (!session_.has_value()) {
-    PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started, orchestrator_->StartWorker());
-    session_.emplace(std::move(started));
+  if (!view_.has_value()) {
+    PRONGHORN_ASSIGN_OR_RETURN(SessionView started, backend_->StartWorker());
+    view_.emplace(started);
     fresh_worker = true;
     requests_in_lifetime_ = 0;
     worker_started_at_ = arrival;
     report.worker_lifetimes += 1;
-    if (session_->restored) {
+    if (view_->restored) {
       report.restores += 1;
     } else {
       report.cold_starts += 1;
     }
-    report.total_startup_latency += session_->startup_latency;
+    report.total_startup_latency += view_->startup_latency;
     if (obs_ != nullptr) {
       // The provision span covers making the worker ready (download + restore
       // or cold init); the nested span names which path the Orchestrator
       // chose. Both sit on the lifecycle lane so they never overlap serving.
       obs_->Span(lifecycle_track_, "provision", "lifecycle", arrival,
-                 session_->startup_latency);
-      const char* path = session_->degraded  ? "degraded_start"
-                         : session_->restored ? "restore"
-                                              : "cold_start";
+                 view_->startup_latency);
+      const char* path = view_->degraded  ? "degraded_start"
+                         : view_->restored ? "restore"
+                                           : "cold_start";
       obs_->Span(lifecycle_track_, path, "lifecycle", arrival,
-                 session_->startup_latency);
+                 view_->startup_latency);
       obs_->Counter("lifecycle.provisions", 1);
-      obs_->Observe("lifecycle.startup_us", session_->startup_latency);
+      obs_->Observe("lifecycle.startup_us", view_->startup_latency);
     }
   }
 
-  PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome,
-                             orchestrator_->ServeRequest(*session_, request));
+  PRONGHORN_ASSIGN_OR_RETURN(RequestOutcome outcome, backend_->ServeRequest(request));
   requests_in_lifetime_ += 1;
 
   // User-visible latency: queueing (busy worker) + optional startup +
   // execution.
   Duration latency = outcome.latency;
   if (lifecycle_.startup_on_critical_path && fresh_worker) {
-    latency += session_->startup_latency;
+    latency += view_->startup_latency;
   }
   if (free_at_ > arrival) {
     latency += free_at_ - arrival;
@@ -95,7 +96,7 @@ Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
   record.request_number = outcome.request_number;
   record.latency = latency;
   record.first_of_lifetime = fresh_worker;
-  record.cold_start = fresh_worker && !session_->restored;
+  record.cold_start = fresh_worker && !view_->restored;
   record.checkpoint_after = outcome.checkpoint_taken;
   report.records.push_back(record);
   if (exploring_) {
@@ -116,7 +117,7 @@ Status SimCore::Serve(const FunctionRequest& request, TimePoint arrival,
 
 void SimCore::MaybeEvict(bool has_next, TimePoint next_arrival,
                          SimulationReport& report) {
-  if (!has_next || !session_.has_value()) {
+  if (!has_next || !view_.has_value()) {
     return;
   }
   if (!eviction_->ShouldEvict(requests_in_lifetime_, worker_started_at_,
@@ -131,24 +132,27 @@ void SimCore::MaybeEvict(bool has_next, TimePoint next_arrival,
         std::min(next_arrival - last_completion_, lifecycle_.idle_resource_hold);
     evicted_at = last_completion_ + idle_held;
   }
-  const Duration alive = evicted_at - worker_started_at_;
-  report.total_worker_alive_time += alive;
-  report.worker_memory_time_mb_s +=
-      alive.ToSeconds() * session_->process.MemoryFootprintMb();
+  AccountWorkerEnd(evicted_at, report);
   ObserveWorkerEnd("evict", last_completion_, evicted_at);
-  session_.reset();
+  view_.reset();
 }
 
 void SimCore::RetireWorker(TimePoint end, SimulationReport& report) {
-  if (!session_.has_value()) {
+  if (!view_.has_value()) {
     return;
   }
+  AccountWorkerEnd(end, report);
+  ObserveWorkerEnd("evict", end, end);
+  view_.reset();
+}
+
+void SimCore::AccountWorkerEnd(TimePoint end, SimulationReport& report) {
+  // The backend samples the footprint at session end — a worker's memory
+  // grows over its lifetime, so sampling earlier would undercount.
+  const SessionEnd session_end = backend_->EndSession();
   const Duration alive = end - worker_started_at_;
   report.total_worker_alive_time += alive;
-  report.worker_memory_time_mb_s +=
-      alive.ToSeconds() * session_->process.MemoryFootprintMb();
-  ObserveWorkerEnd("evict", end, end);
-  session_.reset();
+  report.worker_memory_time_mb_s += alive.ToSeconds() * session_end.memory_mb;
 }
 
 void SimCore::ObserveWorkerEnd(const char* name, TimePoint begin, TimePoint end) {

@@ -20,6 +20,7 @@
 #include "src/platform/eviction.h"
 #include "src/platform/metrics.h"
 #include "src/platform/sim_options.h"
+#include "src/service/backend.h"
 
 namespace pronghorn {
 
@@ -67,10 +68,16 @@ class SimCore {
   TimePoint dispatch_at() const { return last_completion_; }
   TimePoint last_completion() const { return last_completion_; }
 
-  bool has_session() const { return session_.has_value(); }
+  bool has_session() const { return view_.has_value(); }
   bool exploring() const { return exploring_; }
   Orchestrator& orchestrator() { return *orchestrator_; }
   const Orchestrator& orchestrator() const { return *orchestrator_; }
+
+  // Routes all worker-lifecycle operations through `backend` (borrowed; must
+  // outlive the core) instead of the default in-process backend — this is how
+  // service mode turns the core into an OrchestratorService client. Must be
+  // called while no session is live.
+  void set_backend(WorkerBackend* backend) { backend_ = backend; }
 
   // Borrowed observability sink; null disables all emission. Serve spans land
   // on `serve_track`, provision/checkpoint/evict spans (and the
@@ -79,6 +86,10 @@ class SimCore {
 
  private:
   std::unique_ptr<Orchestrator> orchestrator_;
+  // Default backend: direct in-process Orchestrator calls. Heap-allocated so
+  // `backend_` stays valid across SimCore moves.
+  std::unique_ptr<LocalWorkerBackend> local_backend_;
+  WorkerBackend* backend_;
   const EvictionModel* eviction_;
   SimClock* clock_;
   LifecycleOptions lifecycle_;
@@ -88,7 +99,13 @@ class SimCore {
   // the trace) plus the occupancy metrics.
   void ObserveWorkerEnd(const char* name, TimePoint begin, TimePoint end);
 
-  std::optional<WorkerSession> session_;
+  // Ends the live session through the backend and folds its occupancy
+  // [worker_started_at_, end) into `report`.
+  void AccountWorkerEnd(TimePoint end, SimulationReport& report);
+
+  // Client-visible view of the live session; the session itself lives behind
+  // backend_ (in-process or service-side).
+  std::optional<SessionView> view_;
   uint64_t requests_in_lifetime_ = 0;
   TimePoint worker_started_at_;
   TimePoint free_at_;

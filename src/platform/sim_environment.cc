@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/logging.h"
+
 namespace pronghorn {
 
 namespace {
@@ -71,9 +73,35 @@ SimEnvironment::SimEnvironment(const WorkloadRegistry& registry,
       faulty_db_->set_obs(options_.obs, track);
     }
   }
+  if (options_.service.enabled) {
+    if (options_.service.instance != nullptr) {
+      service_ = options_.service.instance;
+    } else {
+      ServiceConfig config;
+      config.shards = options_.service.shards;
+      config.queue_capacity = options_.service.queue_capacity;
+      config.max_batch = options_.service.max_batch;
+      config.flush_interval = options_.service.flush_interval;
+      config.obs = options_.obs;
+      owned_service_ = std::make_unique<OrchestratorService>(config);
+      service_ = owned_service_.get();
+    }
+  }
 }
 
-SimEnvironment::~SimEnvironment() = default;
+SimEnvironment::~SimEnvironment() {
+  // Release this environment's bindings: a shared service (fleet runs)
+  // outlives us and must not keep pointers into the deployments.
+  if (service_ != nullptr && service_->running()) {
+    for (const Deployment& deployment : deployments_) {
+      const Status unbound = service_->Unbind(deployment.name);
+      if (!unbound.ok()) {
+        PRONGHORN_LOG_WARNING("unbind of '%s' failed: %s", deployment.name.c_str(),
+                              unbound.ToString().c_str());
+      }
+    }
+  }
+}
 
 uint64_t SimEnvironment::DeploymentSeed(uint64_t seed, std::string_view name) {
   return HashCombine(seed, HashCombine(0xf1ee7ULL, StableNameHash(name)));
@@ -134,6 +162,28 @@ Status SimEnvironment::AddDeployment(std::string name, const WorkloadProfile& pr
         options_.recovery);
     deployment.slots.emplace_back(std::move(orchestrator), &eviction, &clock_,
                                   options_.lifecycle, exploring);
+  }
+  if (service_ != nullptr) {
+    // Service mode: bind every slot's orchestrator into the service, then
+    // point the slot at a wire client. Orchestrators are heap-owned by their
+    // SimCore and the clients are heap-owned below, so both pointer sets
+    // survive the deployment's move into deployments_.
+    for (uint32_t i = 0; i < worker_slots; ++i) {
+      const Status bound = service_->Bind(deployment.name, i,
+                                          &deployment.slots[i].orchestrator(),
+                                          &clock_);
+      if (!bound.ok()) {
+        const Status unbound = service_->Unbind(deployment.name);
+        (void)unbound;  // Best-effort rollback of earlier slots.
+        return bound;
+      }
+    }
+    deployment.clients.reserve(worker_slots);
+    for (uint32_t i = 0; i < worker_slots; ++i) {
+      deployment.clients.push_back(
+          std::make_unique<ServiceClient>(service_, deployment.name, i));
+      deployment.slots[i].set_backend(deployment.clients.back().get());
+    }
   }
   if (options_.obs != nullptr) {
     // One trace process per deployment; each slot gets a serve lane (even

@@ -42,6 +42,7 @@
 #include "src/platform/metrics.h"
 #include "src/platform/sim_core.h"
 #include "src/platform/sim_options.h"
+#include "src/service/orchestrator_service.h"
 #include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
@@ -143,6 +144,9 @@ class SimEnvironment {
     return deployments_[deployment].state_store->Load();
   }
 
+  // The live service every slot talks to in service mode; null otherwise.
+  OrchestratorService* service() { return service_; }
+
  private:
   struct Deployment {
     std::string name;
@@ -153,6 +157,9 @@ class SimEnvironment {
     std::unique_ptr<InputModel> input_model;
     Rng client_rng{0};
     std::vector<SimCore> slots;
+    // Service mode only: one wire client per slot, installed as the slot's
+    // backend (heap-allocated so the backend pointers survive vector moves).
+    std::vector<std::unique_ptr<ServiceClient>> clients;
     SimulationReport report;
   };
 
@@ -175,6 +182,13 @@ class SimEnvironment {
   std::optional<FaultyObjectStore> faulty_object_store_;
   std::vector<Deployment> deployments_;
   uint64_t next_request_id_ = 1;
+
+  // Service mode: `service_` is what the slots' clients call — either the
+  // borrowed shared instance (fleet runs) or `owned_service_`. Declared last
+  // so a private service shuts its shard threads down before anything it
+  // borrows (orchestrators, clock, stores) is destroyed.
+  OrchestratorService* service_ = nullptr;
+  std::unique_ptr<OrchestratorService> owned_service_;
 };
 
 }  // namespace pronghorn

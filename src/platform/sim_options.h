@@ -37,6 +37,7 @@
 namespace pronghorn {
 
 class ObsSink;  // src/obs/sink.h; forward-declared to keep this header light.
+class OrchestratorService;  // src/service/orchestrator_service.h.
 
 // Which checkpoint engine implementation each deployment instantiates.
 enum class EngineKind {
@@ -79,6 +80,23 @@ struct FleetEvictionSpec {
   Result<std::unique_ptr<EvictionModel>> Instantiate(uint64_t function_seed) const;
 };
 
+// Service mode: route every worker-lifecycle operation through a live
+// OrchestratorService over its wire format instead of direct in-process
+// Orchestrator calls. Digest-neutral by construction: simulation clients are
+// synchronous, so the service executes the identical operation sequence and
+// reports are bit-identical with the mode on or off, at any shard count or
+// batch setting (pinned by tests/service_equivalence_test.cc).
+struct ServiceModeOptions {
+  bool enabled = false;
+  uint32_t shards = 4;
+  uint32_t max_batch = 16;
+  Duration flush_interval = Duration::Millis(5);
+  size_t queue_capacity = 256;
+  // Borrowed shared service; when null each environment owns a private one.
+  // The fleet driver sets this so all shards talk to a single service.
+  OrchestratorService* instance = nullptr;
+};
+
 struct SimOptions {
   // Deterministic experiment seed; multi-deployment drivers derive
   // per-deployment sub-seeds from it via SimEnvironment::DeploymentSeed.
@@ -111,6 +129,9 @@ struct SimOptions {
   // Bounds for the orchestrators' retry/fallback/quarantine machinery.
   RecoveryOptions recovery;
 
+  // Live service mode (see ServiceModeOptions above).
+  ServiceModeOptions service;
+
   // Borrowed observability sink; null (the default) disables all
   // instrumentation at zero cost. Never owned, never read by digest-covered
   // code paths.
@@ -139,6 +160,7 @@ static_assert(std::is_same_v<decltype(SimOptions::lifecycle), LifecycleOptions>)
 static_assert(std::is_same_v<decltype(SimOptions::costs), OrchestratorCostModel>);
 static_assert(std::is_same_v<decltype(SimOptions::faults), FaultPlan>);
 static_assert(std::is_same_v<decltype(SimOptions::recovery), RecoveryOptions>);
+static_assert(std::is_same_v<decltype(SimOptions::service), ServiceModeOptions>);
 static_assert(std::is_same_v<decltype(SimOptions::obs), ObsSink*>);
 
 }  // namespace pronghorn

@@ -1,0 +1,108 @@
+// The worker-lifecycle seam between the simulation kernel and the
+// orchestrator.
+//
+// SimCore drives every worker session through this interface, so the same
+// kernel state machine runs either in-process (LocalWorkerBackend, the
+// default: direct Orchestrator calls, session owned here) or as a client of
+// the live OrchestratorService (ServiceClient in orchestrator_service.h:
+// requests serialized over the wire, session owned service-side). Both
+// backends issue the identical Orchestrator call sequence, which is what
+// makes service-mode report digests bit-identical to in-process runs.
+
+#ifndef PRONGHORN_SRC_SERVICE_BACKEND_H_
+#define PRONGHORN_SRC_SERVICE_BACKEND_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/core/orchestrator.h"
+
+namespace pronghorn {
+
+// The client-visible slice of a WorkerSession: everything SimCore reads about
+// a live worker. The session itself (the RuntimeProcess and checkpoint plan)
+// stays behind the backend.
+struct SessionView {
+  uint64_t worker_id = 0;
+  bool restored = false;
+  bool degraded = false;
+  uint64_t restored_from = 0;  // SnapshotId value; 0 when cold.
+  Duration startup_latency;
+  Duration startup_overhead;
+};
+
+// End-of-lifetime accounting, sampled when the worker is evicted or retired.
+// memory_mb must be the footprint at session end: a worker's code cache grows
+// over its lifetime, so sampling any earlier undercounts memory-time.
+struct SessionEnd {
+  double memory_mb = 0.0;
+  uint64_t requests_executed = 0;
+  bool retired = false;
+};
+
+class WorkerBackend {
+ public:
+  virtual ~WorkerBackend() = default;
+
+  // Provisions a worker for this backend's slot (restore / cold start /
+  // degraded start — the Orchestrator decides).
+  virtual Result<SessionView> StartWorker() = 0;
+  // Serves one request on the live session.
+  virtual Result<RequestOutcome> ServeRequest(const FunctionRequest& request) = 0;
+  // Ends the live session and returns its final accounting. Infallible by
+  // design: eviction cannot be refused, so backends resolve internal errors
+  // themselves (the service client logs and returns a zeroed accounting).
+  virtual SessionEnd EndSession() = 0;
+};
+
+inline SessionView MakeSessionView(const WorkerSession& session) {
+  SessionView view;
+  view.worker_id = session.worker_id;
+  view.restored = session.restored;
+  view.degraded = session.degraded;
+  view.restored_from = session.restored_from.value;
+  view.startup_latency = session.startup_latency;
+  view.startup_overhead = session.startup_overhead;
+  return view;
+}
+
+// In-process backend: the pre-service behavior, one direct Orchestrator call
+// per operation. The Orchestrator is borrowed and must outlive the backend.
+class LocalWorkerBackend final : public WorkerBackend {
+ public:
+  explicit LocalWorkerBackend(Orchestrator* orchestrator) : orchestrator_(orchestrator) {}
+
+  Result<SessionView> StartWorker() override {
+    PRONGHORN_ASSIGN_OR_RETURN(WorkerSession started, orchestrator_->StartWorker());
+    session_.emplace(std::move(started));
+    return MakeSessionView(*session_);
+  }
+
+  Result<RequestOutcome> ServeRequest(const FunctionRequest& request) override {
+    if (!session_.has_value()) {
+      return FailedPreconditionError("no live worker session");
+    }
+    return orchestrator_->ServeRequest(*session_, request);
+  }
+
+  SessionEnd EndSession() override {
+    SessionEnd end;
+    if (session_.has_value()) {
+      end.memory_mb = session_->process.MemoryFootprintMb();
+      end.requests_executed = session_->process.requests_executed();
+      end.retired = true;
+      session_.reset();
+    }
+    return end;
+  }
+
+ private:
+  Orchestrator* orchestrator_;
+  std::optional<WorkerSession> session_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_SERVICE_BACKEND_H_

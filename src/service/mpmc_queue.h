@@ -1,0 +1,107 @@
+// Bounded multi-producer multi-consumer queue for the orchestrator service.
+//
+// Producers (service clients) block in Push when the queue is full — the
+// service's backpressure — and consumers (shard threads) block in Pop until
+// work arrives or the queue is closed. Close() is the shutdown handshake:
+// pushes fail immediately, pops drain whatever is already queued and then
+// return false, so every accepted request is still answered before a shard
+// thread exits. Plain mutex + condition variables: the round-trip through the
+// queue is also the happens-before edge that lets service mode stay
+// data-race-free while shard threads drive simulation state.
+
+#ifndef PRONGHORN_SRC_SERVICE_MPMC_QUEUE_H_
+#define PRONGHORN_SRC_SERVICE_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace pronghorn {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Blocks while the queue is full; false when the queue was closed (the item
+  // is dropped). `depth_after` (optional) receives the queue depth right
+  // after the push — the service's queue-depth gauge.
+  bool Push(T item, size_t* depth_after = nullptr) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      if (depth_after != nullptr) {
+        *depth_after = items_.size();
+      }
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available; false once the queue is closed AND
+  // drained (consumers see every item accepted before the close).
+  bool Pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return false;
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; false when the queue is currently empty.
+  bool TryPop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (items_.empty()) {
+        return false;
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t depth() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_SERVICE_MPMC_QUEUE_H_

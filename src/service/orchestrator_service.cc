@@ -1,0 +1,605 @@
+#include "src/service/orchestrator_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/obs/sink.h"
+
+namespace pronghorn {
+
+namespace {
+
+// FNV-1a over the function name: the stable shard-routing hash (std::hash is
+// not portable across standard libraries; the same function must land on the
+// same shard everywhere).
+uint64_t StableNameHash(std::string_view name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+ServiceResponse ErrorResponse(const Status& status) {
+  ServiceResponse response;
+  response.type = WireType::kError;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+void NoteMax(std::atomic<uint64_t>& slot, uint64_t candidate) {
+  uint64_t prev = slot.load(std::memory_order_relaxed);
+  while (candidate > prev &&
+         !slot.compare_exchange_weak(prev, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+OrchestratorService::OrchestratorService(ServiceConfig config) : config_(config) {
+  config_.shards = std::max<uint32_t>(config_.shards, 1);
+  config_.max_batch = std::max<uint32_t>(config_.max_batch, 1);
+  config_.max_burst = std::max<uint32_t>(config_.max_burst, 1);
+  std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+  Start();
+}
+
+OrchestratorService::~OrchestratorService() { Shutdown(); }
+
+void OrchestratorService::Start() {
+  queues_.clear();
+  shard_threads_.clear();
+  for (uint32_t i = 0; i < config_.shards; ++i) {
+    queues_.push_back(std::make_unique<MpmcQueue<Envelope>>(config_.queue_capacity));
+  }
+  running_.store(true, std::memory_order_release);
+  shard_threads_.reserve(config_.shards);
+  for (uint32_t i = 0; i < config_.shards; ++i) {
+    shard_threads_.emplace_back(&OrchestratorService::ShardLoop, this, i);
+  }
+}
+
+void OrchestratorService::Stop() {
+  running_.store(false, std::memory_order_release);
+  for (const auto& queue : queues_) {
+    queue->Close();
+  }
+  for (std::thread& thread : shard_threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  shard_threads_.clear();
+}
+
+uint32_t OrchestratorService::ShardOf(uint64_t name_hash) const {
+  return static_cast<uint32_t>(name_hash % config_.shards);
+}
+
+uint32_t OrchestratorService::shard_count() const {
+  std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+  return config_.shards;
+}
+
+ServiceStatsSnapshot OrchestratorService::stats() const {
+  ServiceStatsSnapshot out;
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.start_decisions = stats_.start_decisions.load(std::memory_order_relaxed);
+  out.observations = stats_.observations.load(std::memory_order_relaxed);
+  out.plan_requests = stats_.plan_requests.load(std::memory_order_relaxed);
+  out.observations_deferred =
+      stats_.observations_deferred.load(std::memory_order_relaxed);
+  out.observations_committed =
+      stats_.observations_committed.load(std::memory_order_relaxed);
+  out.batches_committed = stats_.batches_committed.load(std::memory_order_relaxed);
+  out.max_batch_committed = stats_.max_batch_committed.load(std::memory_order_relaxed);
+  out.decode_errors = stats_.decode_errors.load(std::memory_order_relaxed);
+  out.rejected_requests = stats_.rejected_requests.load(std::memory_order_relaxed);
+  out.flush_errors = stats_.flush_errors.load(std::memory_order_relaxed);
+  out.drains = stats_.drains.load(std::memory_order_relaxed);
+  out.reconfigures = stats_.reconfigures.load(std::memory_order_relaxed);
+  return out;
+}
+
+Status OrchestratorService::Bind(const std::string& function, uint32_t slot,
+                                 Orchestrator* orchestrator, SimClock* clock) {
+  if (function.empty()) {
+    return InvalidArgumentError("function name must be non-empty");
+  }
+  if (orchestrator == nullptr || clock == nullptr) {
+    return InvalidArgumentError("binding needs an orchestrator and a clock");
+  }
+  std::unique_lock<std::shared_mutex> lock(endpoints_mutex_);
+  Endpoint& endpoint = endpoints_[function];
+  endpoint.name_hash = StableNameHash(function);
+  endpoint.clock = clock;
+  if (slot >= endpoint.slots.size()) {
+    endpoint.slots.resize(slot + 1);
+  }
+  if (endpoint.slots[slot].orchestrator != nullptr) {
+    return AlreadyExistsError("slot " + std::to_string(slot) + " of '" + function +
+                              "' is already bound");
+  }
+  endpoint.slots[slot].orchestrator = orchestrator;
+  return OkStatus();
+}
+
+Status OrchestratorService::Unbind(const std::string& function) {
+  std::unique_lock<std::shared_mutex> lock(endpoints_mutex_);
+  auto it = endpoints_.find(function);
+  if (it == endpoints_.end()) {
+    return NotFoundError("function '" + function + "' is not bound");
+  }
+  const Status flushed = FlushEndpoint(it->second);
+  endpoints_.erase(it);
+  return flushed;
+}
+
+std::vector<uint8_t> OrchestratorService::Call(
+    const std::vector<uint8_t>& request_bytes) {
+  auto decoded = DecodeServiceRequest(request_bytes);
+  if (!decoded.ok()) {
+    stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+    return EncodeServiceResponse(ErrorResponse(decoded.status()));
+  }
+  Envelope envelope;
+  envelope.request = *std::move(decoded);
+  PendingReply reply;
+  envelope.reply = &reply;
+
+  {
+    std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      stats_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+      return EncodeServiceResponse(
+          ErrorResponse(FailedPreconditionError("service is shut down")));
+    }
+    const uint32_t shard = ShardOf(StableNameHash(envelope.request.function));
+    size_t depth = 0;
+    if (!queues_[shard]->Push(std::move(envelope), &depth)) {
+      stats_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+      return EncodeServiceResponse(
+          ErrorResponse(FailedPreconditionError("service queue is closed")));
+    }
+    if (config_.obs != nullptr) {
+      config_.obs->Gauge("service.queue_depth", static_cast<double>(depth));
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(reply.mutex);
+  reply.ready_cv.wait(lock, [&] { return reply.ready; });
+  return std::move(reply.bytes);
+}
+
+void OrchestratorService::DrainLocked() {
+  // Threads are alive (shared lifecycle lock held by the caller): one token
+  // per shard, processed after everything enqueued before it; each token
+  // flushes its shard's deferred batches before acking.
+  DrainGate gate;
+  gate.remaining = static_cast<uint32_t>(queues_.size());
+  for (const auto& queue : queues_) {
+    Envelope token;
+    token.gate = &gate;
+    if (!queue->Push(std::move(token))) {
+      std::unique_lock<std::mutex> lock(gate.mutex);
+      gate.remaining -= 1;
+    }
+  }
+  std::unique_lock<std::mutex> lock(gate.mutex);
+  gate.cv.wait(lock, [&] { return gate.remaining == 0; });
+}
+
+Status OrchestratorService::Drain() {
+  std::unique_lock<std::mutex> control(control_mutex_);
+  {
+    std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      return OkStatus();  // Stopped service: shutdown already drained.
+    }
+    DrainLocked();
+  }
+  stats_.drains.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.drains", 1);
+  }
+  return OkStatus();
+}
+
+Status OrchestratorService::Reconfigure(uint32_t shards, uint32_t max_batch,
+                                        Duration flush_interval) {
+  if (shards == 0 || max_batch == 0) {
+    return InvalidArgumentError("shards and max_batch must be positive");
+  }
+  if (flush_interval < Duration::Zero()) {
+    return InvalidArgumentError("flush_interval must be non-negative");
+  }
+  std::unique_lock<std::mutex> control(control_mutex_);
+  {
+    std::shared_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("service is shut down");
+    }
+    // Drain first while threads still run, so in-flight pushers finish and
+    // release their shared lifecycle lock before we take it exclusively.
+    DrainLocked();
+  }
+  std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+  Stop();
+  config_.shards = shards;
+  config_.max_batch = max_batch;
+  config_.flush_interval = flush_interval;
+  Start();
+  stats_.reconfigures.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.reconfigures", 1);
+  }
+  return OkStatus();
+}
+
+void OrchestratorService::Shutdown() {
+  std::unique_lock<std::mutex> control(control_mutex_);
+  std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Close() lets shard threads drain everything already accepted (each
+  // envelope still gets its reply) and then flush leftover batches on exit.
+  Stop();
+}
+
+void OrchestratorService::ShardLoop(uint32_t shard) {
+  MpmcQueue<Envelope>& queue = *queues_[shard];
+  Envelope envelope;
+  while (queue.Pop(envelope)) {
+    // One shared-lock scope per burst: Bind/Unbind wait for burst boundaries,
+    // and the endpoint vector cannot move underneath the handlers.
+    std::shared_lock<std::shared_mutex> endpoints_lock(endpoints_mutex_);
+    uint32_t burst = 0;
+    while (true) {
+      ProcessEnvelope(shard, envelope);
+      burst += 1;
+      if (burst >= config_.max_burst || !queue.TryPop(envelope)) {
+        break;
+      }
+    }
+    FlushAged(shard);
+  }
+  // Queue closed and drained: commit whatever is still deferred.
+  std::shared_lock<std::shared_mutex> endpoints_lock(endpoints_mutex_);
+  FlushShard(shard);
+}
+
+void OrchestratorService::ProcessEnvelope(uint32_t shard, Envelope& envelope) {
+  if (envelope.gate != nullptr) {
+    FlushShard(shard);
+    std::unique_lock<std::mutex> lock(envelope.gate->mutex);
+    envelope.gate->remaining -= 1;
+    if (envelope.gate->remaining == 0) {
+      envelope.gate->cv.notify_all();
+    }
+    return;
+  }
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.requests", 1);
+  }
+  const ServiceResponse response = HandleRequest(envelope.request);
+  Reply(envelope, response);
+}
+
+ServiceResponse OrchestratorService::HandleRequest(const ServiceRequest& request) {
+  auto it = endpoints_.find(request.function);
+  if (it == endpoints_.end()) {
+    return ErrorResponse(
+        NotFoundError("function '" + request.function + "' is not bound"));
+  }
+  Endpoint& endpoint = it->second;
+  if (request.slot >= endpoint.slots.size() ||
+      endpoint.slots[request.slot].orchestrator == nullptr) {
+    return ErrorResponse(NotFoundError("slot " + std::to_string(request.slot) +
+                                       " of '" + request.function +
+                                       "' is not bound"));
+  }
+  SlotState& slot = endpoint.slots[request.slot];
+  switch (request.type) {
+    case WireType::kStartDecision:
+      return HandleStartDecision(endpoint, slot);
+    case WireType::kObservation:
+      return HandleObservation(endpoint, slot, request);
+    case WireType::kCheckpointPlan:
+      return HandlePlan(slot, request);
+    default:
+      return ErrorResponse(InvalidArgumentError("response type in a request frame"));
+  }
+}
+
+ServiceResponse OrchestratorService::HandleStartDecision(Endpoint& endpoint,
+                                                         SlotState& slot) {
+  stats_.start_decisions.fetch_add(1, std::memory_order_relaxed);
+  // Barrier: the new lifetime's Database read must see every deferred
+  // observation of this function. No-op in synchronous mode (nothing is ever
+  // deferred), so the in-process Update sequence is preserved exactly.
+  const Status flushed = FlushEndpoint(endpoint);
+  if (!flushed.ok()) {
+    return ErrorResponse(flushed);
+  }
+  if (slot.session.has_value()) {
+    return ErrorResponse(
+        FailedPreconditionError("slot already has a live worker session"));
+  }
+  auto started = slot.orchestrator->StartWorker();
+  if (!started.ok()) {
+    return ErrorResponse(started.status());
+  }
+  slot.session.emplace(*std::move(started));
+  ServiceResponse response;
+  response.type = WireType::kStartAck;
+  response.view = MakeSessionView(*slot.session);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.start_decisions", 1);
+    // Decision latency in simulated time: the Database read + policy
+    // decision cost this start charged to orchestrator overhead.
+    config_.obs->Observe("service.decision_latency_us", response.view.startup_overhead);
+  }
+  return response;
+}
+
+ServiceResponse OrchestratorService::HandleObservation(Endpoint& endpoint,
+                                                       SlotState& slot,
+                                                       const ServiceRequest& request) {
+  stats_.observations.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.observations", 1);
+  }
+  if (!slot.session.has_value()) {
+    return ErrorResponse(FailedPreconditionError("slot has no live worker session"));
+  }
+  ServiceResponse response;
+  response.type = WireType::kObservationAck;
+  if (!request.defer_commit) {
+    // Synchronous mode: commit before replying — the exact in-process
+    // ServeRequest sequence. This also group-commits any deferred backlog
+    // the slot accumulated earlier (the orchestrator buffer holds it).
+    auto outcome = slot.orchestrator->ServeRequest(*slot.session, request.request);
+    if (!outcome.ok()) {
+      return ErrorResponse(outcome.status());
+    }
+    if (slot.deferred > 0 && slot.orchestrator->pending_observation_count() == 0) {
+      stats_.observations_committed.fetch_add(slot.deferred,
+                                              std::memory_order_relaxed);
+    }
+    slot.deferred = slot.orchestrator->pending_observation_count();
+    stats_.observations_committed.fetch_add(slot.deferred == 0 ? 1 : 0,
+                                            std::memory_order_relaxed);
+    response.outcome = *outcome;
+    response.committed = slot.deferred == 0;
+    return response;
+  }
+
+  // Pipelined mode: execute and acknowledge now; the knowledge write rides a
+  // later group commit.
+  response.outcome = slot.orchestrator->ExecuteBuffered(*slot.session, request.request);
+  if (slot.deferred == 0) {
+    slot.oldest_deferred = endpoint.clock->now();
+  }
+  slot.deferred = slot.orchestrator->pending_observation_count();
+  stats_.observations_deferred.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.observations_deferred", 1);
+  }
+  const bool plan_due =
+      slot.session->checkpoint_at.has_value() &&
+      slot.session->process.requests_executed() >= *slot.session->checkpoint_at;
+  if (slot.deferred >= config_.max_batch || plan_due) {
+    const Status flushed = FlushSlot(slot);
+    if (!flushed.ok()) {
+      return ErrorResponse(flushed);
+    }
+    if (plan_due) {
+      const Status checkpointed =
+          slot.orchestrator->MaybeCheckpoint(*slot.session, response.outcome);
+      if (!checkpointed.ok()) {
+        return ErrorResponse(checkpointed);
+      }
+    }
+  }
+  response.committed = slot.deferred == 0;
+  return response;
+}
+
+ServiceResponse OrchestratorService::HandlePlan(SlotState& slot,
+                                                const ServiceRequest& request) {
+  stats_.plan_requests.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.plan_requests", 1);
+  }
+  ServiceResponse response;
+  response.type = WireType::kPlanAck;
+  if (!slot.session.has_value()) {
+    return response;  // Idempotent: retiring an empty slot reports live=false.
+  }
+  // A retiring worker's deferred knowledge must not die with it.
+  const Status flushed = FlushSlot(slot);
+  if (!flushed.ok()) {
+    return ErrorResponse(flushed);
+  }
+  response.plan.live = true;
+  response.plan.has_plan = slot.session->checkpoint_at.has_value();
+  if (response.plan.has_plan) {
+    response.plan.checkpoint_at = *slot.session->checkpoint_at;
+  }
+  response.plan.requests_executed = slot.session->process.requests_executed();
+  response.plan.memory_mb = slot.session->process.MemoryFootprintMb();
+  if (request.retire) {
+    slot.session.reset();
+    response.plan.retired = true;
+  }
+  return response;
+}
+
+Status OrchestratorService::FlushSlot(SlotState& slot) {
+  if (slot.deferred == 0) {
+    return OkStatus();
+  }
+  const uint64_t batch = slot.orchestrator->pending_observation_count();
+  RequestOutcome scratch;
+  PRONGHORN_RETURN_IF_ERROR(slot.orchestrator->CommitObservations(scratch));
+  const uint64_t remaining = slot.orchestrator->pending_observation_count();
+  if (remaining == 0) {
+    stats_.batches_committed.fetch_add(1, std::memory_order_relaxed);
+    stats_.observations_committed.fetch_add(batch, std::memory_order_relaxed);
+    NoteMax(stats_.max_batch_committed, batch);
+    if (config_.obs != nullptr) {
+      config_.obs->Counter("service.batches_committed", 1);
+    }
+    slot.oldest_deferred = TimePoint();
+  }
+  // A commit that hit an outage keeps the batch buffered (kUnavailable was
+  // absorbed); it rides the next flush trigger.
+  slot.deferred = remaining;
+  return OkStatus();
+}
+
+Status OrchestratorService::FlushEndpoint(Endpoint& endpoint) {
+  Status first = OkStatus();
+  for (SlotState& slot : endpoint.slots) {
+    if (slot.orchestrator == nullptr) {
+      continue;
+    }
+    const Status status = FlushSlot(slot);
+    if (!status.ok() && first.ok()) {
+      first = status;
+    }
+  }
+  return first;
+}
+
+void OrchestratorService::FlushShard(uint32_t shard) {
+  for (auto& [name, endpoint] : endpoints_) {
+    if (ShardOf(endpoint.name_hash) != shard) {
+      continue;
+    }
+    const Status status = FlushEndpoint(endpoint);
+    if (!status.ok()) {
+      stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+      PRONGHORN_LOG_WARNING("group-commit flush failed for '%s': %s", name.c_str(),
+                            status.ToString().c_str());
+    }
+  }
+}
+
+void OrchestratorService::FlushAged(uint32_t shard) {
+  for (auto& [name, endpoint] : endpoints_) {
+    if (ShardOf(endpoint.name_hash) != shard) {
+      continue;
+    }
+    for (SlotState& slot : endpoint.slots) {
+      if (slot.deferred == 0 ||
+          endpoint.clock->now() - slot.oldest_deferred < config_.flush_interval) {
+        continue;
+      }
+      const Status status = FlushSlot(slot);
+      if (!status.ok()) {
+        stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+        PRONGHORN_LOG_WARNING("aged flush failed for '%s': %s", name.c_str(),
+                              status.ToString().c_str());
+      }
+    }
+  }
+}
+
+void OrchestratorService::Reply(Envelope& envelope, const ServiceResponse& response) {
+  if (envelope.reply == nullptr) {
+    return;
+  }
+  std::vector<uint8_t> bytes = EncodeServiceResponse(response);
+  // Notify while holding the mutex: the instant `ready` is observable the
+  // waiter may return from Call() and destroy the stack-allocated mailbox, so
+  // the condition variable must not be touched after the unlock.
+  std::unique_lock<std::mutex> lock(envelope.reply->mutex);
+  envelope.reply->bytes = std::move(bytes);
+  envelope.reply->ready = true;
+  envelope.reply->ready_cv.notify_one();
+}
+
+// --- ServiceClient -----------------------------------------------------------
+
+ServiceClient::ServiceClient(OrchestratorService* service, std::string function,
+                             uint32_t slot, bool defer_commit)
+    : service_(service),
+      function_(std::move(function)),
+      slot_(slot),
+      defer_commit_(defer_commit) {}
+
+Result<ServiceResponse> ServiceClient::Roundtrip(const ServiceRequest& request,
+                                                 WireType expected) {
+  const std::vector<uint8_t> reply = service_->Call(EncodeServiceRequest(request));
+  PRONGHORN_ASSIGN_OR_RETURN(ServiceResponse response, DecodeServiceResponse(reply));
+  if (response.type == WireType::kError) {
+    return Status(response.code, response.message);
+  }
+  if (response.type != expected) {
+    return InternalError("unexpected service response type");
+  }
+  return response;
+}
+
+Result<SessionView> ServiceClient::StartWorker() {
+  ServiceRequest request;
+  request.type = WireType::kStartDecision;
+  request.function = function_;
+  request.slot = slot_;
+  PRONGHORN_ASSIGN_OR_RETURN(ServiceResponse response,
+                             Roundtrip(request, WireType::kStartAck));
+  return response.view;
+}
+
+Result<RequestOutcome> ServiceClient::ServeRequest(const FunctionRequest& request) {
+  ServiceRequest wire_request;
+  wire_request.type = WireType::kObservation;
+  wire_request.function = function_;
+  wire_request.slot = slot_;
+  wire_request.request = request;
+  wire_request.defer_commit = defer_commit_;
+  PRONGHORN_ASSIGN_OR_RETURN(ServiceResponse response,
+                             Roundtrip(wire_request, WireType::kObservationAck));
+  return response.outcome;
+}
+
+Result<WirePlan> ServiceClient::QueryPlan() {
+  ServiceRequest request;
+  request.type = WireType::kCheckpointPlan;
+  request.function = function_;
+  request.slot = slot_;
+  request.retire = false;
+  PRONGHORN_ASSIGN_OR_RETURN(ServiceResponse response,
+                             Roundtrip(request, WireType::kPlanAck));
+  return response.plan;
+}
+
+SessionEnd ServiceClient::EndSession() {
+  ServiceRequest request;
+  request.type = WireType::kCheckpointPlan;
+  request.function = function_;
+  request.slot = slot_;
+  request.retire = true;
+  auto response = Roundtrip(request, WireType::kPlanAck);
+  SessionEnd end;
+  if (!response.ok()) {
+    // Eviction cannot be refused; a transport-level failure here means the
+    // session is gone anyway. Zeroed accounting, loudly.
+    PRONGHORN_LOG_WARNING("service retire failed for '%s' slot %u: %s",
+                          function_.c_str(), slot_,
+                          response.status().ToString().c_str());
+    return end;
+  }
+  end.memory_mb = response->plan.memory_mb;
+  end.requests_executed = response->plan.requests_executed;
+  end.retired = response->plan.retired;
+  return end;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,257 @@
+// Live orchestrator service: a long-running, request-driven front end over
+// per-function Orchestrators (the paper's always-on control plane, ROADMAP
+// item 1).
+//
+// Architecture (DESIGN.md §11):
+//   - Clients encode StartDecision / Observation / CheckpointPlan frames
+//     (wire.h) and block in Call(); the service routes each request to a
+//     shard by a stable hash of the function name and replies through a
+//     per-request mailbox.
+//   - N shards, each a bounded MPMC queue drained by one thread. All slots of
+//     one function land on one shard, so the per-deployment shared state
+//     (PolicyStateStore scope, SimClock, engine) is only ever touched by that
+//     shard's thread plus control operations under an exclusive lock.
+//   - Group commit: observations sent with defer_commit are executed and
+//     acknowledged immediately, while their knowledge writes accumulate in
+//     the slot's Orchestrator buffer. A batch flushes when it reaches
+//     max_batch, when its oldest observation ages past flush_interval in
+//     simulated time, at barriers (StartDecision, CheckpointPlan, Unbind,
+//     Drain, shutdown), or when this lifetime's checkpoint plan fires.
+//     Group commit is work-conserving: a commit a synchronous client waits
+//     on (defer_commit off) is never delayed, which is why service-mode
+//     simulation digests are bit-identical to in-process runs.
+//   - Lifecycle: Drain() processes everything enqueued before it and flushes
+//     every batch; Reconfigure() drains, then atomically swaps shard count
+//     and flush policy with bindings and live sessions preserved; Shutdown()
+//     drains and joins (also run by the destructor).
+
+#ifndef PRONGHORN_SRC_SERVICE_ORCHESTRATOR_SERVICE_H_
+#define PRONGHORN_SRC_SERVICE_ORCHESTRATOR_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/orchestrator.h"
+#include "src/service/backend.h"
+#include "src/service/mpmc_queue.h"
+#include "src/service/wire.h"
+
+namespace pronghorn {
+
+class ObsSink;
+
+struct ServiceConfig {
+  uint32_t shards = 4;
+  size_t queue_capacity = 256;  // Per-shard; full queues backpressure Push.
+  // Deferred observations per slot that force a group-commit flush.
+  uint32_t max_batch = 16;
+  // Maximum simulated-time age of a deferred observation before the shard
+  // flushes its slot at the end of a burst.
+  Duration flush_interval = Duration::Millis(5);
+  // Envelopes one shard drains per wakeup before checking aged batches.
+  uint32_t max_burst = 32;
+  // Borrowed observability sink; null disables all service instrumentation.
+  ObsSink* obs = nullptr;
+};
+
+// Monotonic service counters (plain snapshot of the internal atomics).
+// `observations_committed` counts knowledge writes that landed in the
+// Database; after a successful Drain with no injected faults it equals
+// `observations` — the no-lost-observations invariant the concurrency test
+// asserts.
+struct ServiceStatsSnapshot {
+  uint64_t requests = 0;
+  uint64_t start_decisions = 0;
+  uint64_t observations = 0;
+  uint64_t plan_requests = 0;
+  uint64_t observations_deferred = 0;
+  uint64_t observations_committed = 0;
+  uint64_t batches_committed = 0;
+  uint64_t max_batch_committed = 0;
+  uint64_t decode_errors = 0;
+  uint64_t rejected_requests = 0;
+  uint64_t flush_errors = 0;
+  uint64_t drains = 0;
+  uint64_t reconfigures = 0;
+};
+
+class OrchestratorService {
+ public:
+  explicit OrchestratorService(ServiceConfig config);
+  ~OrchestratorService();
+
+  OrchestratorService(const OrchestratorService&) = delete;
+  OrchestratorService& operator=(const OrchestratorService&) = delete;
+
+  // Binds slot `slot` of `function` to an Orchestrator and the deployment's
+  // simulated clock (both borrowed; must outlive the binding). kAlreadyExists
+  // when the slot is already bound.
+  Status Bind(const std::string& function, uint32_t slot, Orchestrator* orchestrator,
+              SimClock* clock);
+  // Flushes the function's pending batches and removes every slot binding.
+  Status Unbind(const std::string& function);
+
+  // Submits one encoded request frame and blocks until its response frame is
+  // ready. Never fails at the transport level: malformed frames and
+  // shut-down services yield an encoded kError response.
+  std::vector<uint8_t> Call(const std::vector<uint8_t>& request_bytes);
+
+  // Processes everything enqueued before the call and flushes every deferred
+  // batch. Safe on an already-stopped service.
+  Status Drain();
+  // Drains, then swaps shard count / batch cap / flush interval without
+  // dropping bindings or live sessions.
+  Status Reconfigure(uint32_t shards, uint32_t max_batch, Duration flush_interval);
+  // Drain + stop shard threads; idempotent. Calls after shutdown get kError
+  // responses.
+  void Shutdown();
+
+  ServiceStatsSnapshot stats() const;
+  uint32_t shard_count() const;
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  // One live (function, slot) binding. `deferred` mirrors the orchestrator's
+  // pending-observation count so barriers know whether a flush would touch
+  // the Database at all (it must not in synchronous mode, where commits
+  // happen in-line and an extra Update would break digest equivalence).
+  struct SlotState {
+    Orchestrator* orchestrator = nullptr;
+    std::optional<WorkerSession> session;
+    uint64_t deferred = 0;
+    TimePoint oldest_deferred;
+  };
+
+  struct Endpoint {
+    uint64_t name_hash = 0;  // Stable routing hash of the function name.
+    SimClock* clock = nullptr;
+    std::vector<SlotState> slots;
+  };
+
+  // Per-request reply mailbox, stack-allocated by Call().
+  struct PendingReply {
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    bool ready = false;
+    std::vector<uint8_t> bytes;
+  };
+
+  // Countdown gate a Drain() waits on; one token lands on every shard queue.
+  struct DrainGate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    uint32_t remaining = 0;
+  };
+
+  struct Envelope {
+    ServiceRequest request;
+    PendingReply* reply = nullptr;
+    DrainGate* gate = nullptr;  // Non-null marks a drain token.
+  };
+
+  struct Stats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> start_decisions{0};
+    std::atomic<uint64_t> observations{0};
+    std::atomic<uint64_t> plan_requests{0};
+    std::atomic<uint64_t> observations_deferred{0};
+    std::atomic<uint64_t> observations_committed{0};
+    std::atomic<uint64_t> batches_committed{0};
+    std::atomic<uint64_t> max_batch_committed{0};
+    std::atomic<uint64_t> decode_errors{0};
+    std::atomic<uint64_t> rejected_requests{0};
+    std::atomic<uint64_t> flush_errors{0};
+    std::atomic<uint64_t> drains{0};
+    std::atomic<uint64_t> reconfigures{0};
+  };
+
+  // Starts queues and shard threads per config_ (lifecycle lock held).
+  void Start();
+  // Closes queues and joins shard threads (lifecycle lock held).
+  void Stop();
+  // Pushes one drain token per shard and waits for all of them.
+  void DrainLocked();
+
+  void ShardLoop(uint32_t shard);
+  void ProcessEnvelope(uint32_t shard, Envelope& envelope);
+  ServiceResponse HandleRequest(const ServiceRequest& request);
+  ServiceResponse HandleStartDecision(Endpoint& endpoint, SlotState& slot);
+  ServiceResponse HandleObservation(Endpoint& endpoint, SlotState& slot,
+                                    const ServiceRequest& request);
+  ServiceResponse HandlePlan(SlotState& slot, const ServiceRequest& request);
+
+  // Commits a slot's deferred batch (no-op when empty). kUnavailable inside
+  // the commit leaves the batch buffered and still returns OK; only hard
+  // faults surface.
+  Status FlushSlot(SlotState& slot);
+  Status FlushEndpoint(Endpoint& endpoint);
+  // Flushes every endpoint owned by `shard`; hard faults are counted and
+  // logged (no requester is waiting on them).
+  void FlushShard(uint32_t shard);
+  // End-of-burst sweep: flushes slots whose oldest deferred observation aged
+  // past flush_interval on their deployment's simulated clock.
+  void FlushAged(uint32_t shard);
+
+  uint32_t ShardOf(uint64_t name_hash) const;
+  void Reply(Envelope& envelope, const ServiceResponse& response);
+
+  ServiceConfig config_;
+
+  // Serializes control operations (Drain / Reconfigure / Shutdown).
+  std::mutex control_mutex_;
+  // Guards the queue/thread topology: Call() holds it shared while pushing,
+  // Reconfigure/Shutdown hold it exclusively while swapping.
+  mutable std::shared_mutex lifecycle_mutex_;
+  std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<MpmcQueue<Envelope>>> queues_;
+  std::vector<std::thread> shard_threads_;
+
+  // Guards the endpoint registry: shard threads hold it shared for a whole
+  // burst, Bind/Unbind hold it exclusively.
+  std::shared_mutex endpoints_mutex_;
+  std::unordered_map<std::string, Endpoint> endpoints_;
+
+  mutable Stats stats_;
+};
+
+// A WorkerBackend that drives one (function, slot) pair through the service's
+// wire boundary: each operation encodes a frame, blocks in Call(), and
+// decodes the reply. With `defer_commit` the client runs in pipelined mode
+// (observations acknowledged after execution, knowledge group-committed
+// later); simulation clients leave it off, which keeps service-mode digests
+// bit-identical to in-process runs.
+class ServiceClient final : public WorkerBackend {
+ public:
+  ServiceClient(OrchestratorService* service, std::string function, uint32_t slot,
+                bool defer_commit = false);
+
+  Result<SessionView> StartWorker() override;
+  Result<RequestOutcome> ServeRequest(const FunctionRequest& request) override;
+  SessionEnd EndSession() override;
+
+  // Non-retiring plan probe (tests sample live-session progress with it).
+  Result<WirePlan> QueryPlan();
+
+ private:
+  Result<ServiceResponse> Roundtrip(const ServiceRequest& request, WireType expected);
+
+  OrchestratorService* service_;
+  std::string function_;
+  uint32_t slot_;
+  bool defer_commit_;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_SERVICE_ORCHESTRATOR_SERVICE_H_

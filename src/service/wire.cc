@@ -1,0 +1,230 @@
+#include "src/service/wire.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32.h"
+
+namespace pronghorn {
+
+namespace {
+
+// Starts a frame: magic, version, type.
+ByteWriter BeginFrame(WireType type) {
+  ByteWriter writer;
+  writer.WriteUint32(kWireMagic);
+  writer.WriteUint8(kWireVersion);
+  writer.WriteUint8(static_cast<uint8_t>(type));
+  return writer;
+}
+
+// Seals a frame: appends the CRC32 of everything written so far.
+std::vector<uint8_t> SealFrame(ByteWriter writer) {
+  const uint32_t crc = Crc32(writer.data());
+  writer.WriteUint32(crc);
+  return writer.TakeData();
+}
+
+// Frame envelope: 4 magic + 1 version + 1 type + 4 trailing CRC.
+constexpr size_t kFrameOverhead = 10;
+
+// Validates the envelope and returns (type, body span).
+Result<std::pair<WireType, std::span<const uint8_t>>> OpenFrame(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() < kFrameOverhead) {
+    return DataLossError("service frame truncated below minimum size");
+  }
+  const std::span<const uint8_t> covered = bytes.subspan(0, bytes.size() - 4);
+  ByteReader trailer(bytes.subspan(bytes.size() - 4));
+  PRONGHORN_ASSIGN_OR_RETURN(const uint32_t crc, trailer.ReadUint32());
+  if (crc != Crc32(covered)) {
+    return DataLossError("service frame checksum mismatch");
+  }
+  ByteReader header(covered);
+  PRONGHORN_ASSIGN_OR_RETURN(const uint32_t magic, header.ReadUint32());
+  if (magic != kWireMagic) {
+    return DataLossError("service frame has wrong magic");
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(const uint8_t version, header.ReadUint8());
+  if (version != kWireVersion) {
+    return InvalidArgumentError("unsupported service wire version " +
+                                std::to_string(version));
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(const uint8_t type, header.ReadUint8());
+  if (type < static_cast<uint8_t>(WireType::kStartDecision) ||
+      type > static_cast<uint8_t>(WireType::kError)) {
+    return InvalidArgumentError("unknown service message type " +
+                                std::to_string(type));
+  }
+  return std::make_pair(static_cast<WireType>(type), covered.subspan(6));
+}
+
+Result<bool> ReadBool(ByteReader& reader) {
+  PRONGHORN_ASSIGN_OR_RETURN(const uint8_t value, reader.ReadUint8());
+  if (value > 1) {
+    return DataLossError("boolean field out of range");
+  }
+  return value == 1;
+}
+
+void WriteDuration(ByteWriter& writer, Duration value) {
+  writer.WriteInt64(value.ToMicros());
+}
+
+Result<Duration> ReadDuration(ByteReader& reader) {
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t micros, reader.ReadInt64());
+  return Duration::Micros(micros);
+}
+
+Status RequireEnd(const ByteReader& reader) {
+  if (!reader.AtEnd()) {
+    return DataLossError("service frame has trailing bytes");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeServiceRequest(const ServiceRequest& request) {
+  ByteWriter writer = BeginFrame(request.type);
+  writer.WriteString(request.function);
+  writer.WriteVarint(request.slot);
+  switch (request.type) {
+    case WireType::kObservation:
+      writer.WriteVarint(request.request.id);
+      writer.WriteDouble(request.request.input_scale);
+      writer.WriteVarint(request.request.input_class);
+      writer.WriteUint8(request.defer_commit ? 1 : 0);
+      break;
+    case WireType::kCheckpointPlan:
+      writer.WriteUint8(request.retire ? 1 : 0);
+      break;
+    default:
+      break;  // kStartDecision carries only the routing fields.
+  }
+  return SealFrame(std::move(writer));
+}
+
+Result<ServiceRequest> DecodeServiceRequest(std::span<const uint8_t> bytes) {
+  PRONGHORN_ASSIGN_OR_RETURN(const auto frame, OpenFrame(bytes));
+  ServiceRequest request;
+  request.type = frame.first;
+  if (request.type != WireType::kStartDecision &&
+      request.type != WireType::kObservation &&
+      request.type != WireType::kCheckpointPlan) {
+    return InvalidArgumentError("response type in a request frame");
+  }
+  ByteReader reader(frame.second);
+  PRONGHORN_ASSIGN_OR_RETURN(request.function, reader.ReadString());
+  PRONGHORN_ASSIGN_OR_RETURN(const uint64_t slot, reader.ReadVarint());
+  if (slot > UINT32_MAX) {
+    return DataLossError("slot index out of range");
+  }
+  request.slot = static_cast<uint32_t>(slot);
+  if (request.type == WireType::kObservation) {
+    PRONGHORN_ASSIGN_OR_RETURN(request.request.id, reader.ReadVarint());
+    PRONGHORN_ASSIGN_OR_RETURN(request.request.input_scale, reader.ReadDouble());
+    PRONGHORN_ASSIGN_OR_RETURN(const uint64_t input_class, reader.ReadVarint());
+    if (input_class > UINT32_MAX) {
+      return DataLossError("input class out of range");
+    }
+    request.request.input_class = static_cast<uint32_t>(input_class);
+    PRONGHORN_ASSIGN_OR_RETURN(request.defer_commit, ReadBool(reader));
+  } else if (request.type == WireType::kCheckpointPlan) {
+    PRONGHORN_ASSIGN_OR_RETURN(request.retire, ReadBool(reader));
+  }
+  PRONGHORN_RETURN_IF_ERROR(RequireEnd(reader));
+  return request;
+}
+
+std::vector<uint8_t> EncodeServiceResponse(const ServiceResponse& response) {
+  ByteWriter writer = BeginFrame(response.type);
+  switch (response.type) {
+    case WireType::kStartAck:
+      writer.WriteVarint(response.view.worker_id);
+      writer.WriteUint8(response.view.restored ? 1 : 0);
+      writer.WriteUint8(response.view.degraded ? 1 : 0);
+      writer.WriteVarint(response.view.restored_from);
+      WriteDuration(writer, response.view.startup_latency);
+      WriteDuration(writer, response.view.startup_overhead);
+      break;
+    case WireType::kObservationAck:
+      WriteDuration(writer, response.outcome.latency);
+      writer.WriteVarint(response.outcome.request_number);
+      writer.WriteUint8(response.outcome.checkpoint_taken ? 1 : 0);
+      WriteDuration(writer, response.outcome.checkpoint_downtime);
+      WriteDuration(writer, response.outcome.request_overhead);
+      WriteDuration(writer, response.outcome.checkpoint_overhead);
+      writer.WriteUint8(response.committed ? 1 : 0);
+      break;
+    case WireType::kPlanAck:
+      writer.WriteUint8(response.plan.live ? 1 : 0);
+      writer.WriteUint8(response.plan.has_plan ? 1 : 0);
+      writer.WriteVarint(response.plan.checkpoint_at);
+      writer.WriteVarint(response.plan.requests_executed);
+      writer.WriteDouble(response.plan.memory_mb);
+      writer.WriteUint8(response.plan.retired ? 1 : 0);
+      break;
+    default:  // kError
+      writer.WriteUint8(static_cast<uint8_t>(response.code));
+      writer.WriteString(response.message);
+      break;
+  }
+  return SealFrame(std::move(writer));
+}
+
+Result<ServiceResponse> DecodeServiceResponse(std::span<const uint8_t> bytes) {
+  PRONGHORN_ASSIGN_OR_RETURN(const auto frame, OpenFrame(bytes));
+  ServiceResponse response;
+  response.type = frame.first;
+  ByteReader reader(frame.second);
+  switch (response.type) {
+    case WireType::kStartAck: {
+      PRONGHORN_ASSIGN_OR_RETURN(response.view.worker_id, reader.ReadVarint());
+      PRONGHORN_ASSIGN_OR_RETURN(response.view.restored, ReadBool(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.view.degraded, ReadBool(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.view.restored_from, reader.ReadVarint());
+      PRONGHORN_ASSIGN_OR_RETURN(response.view.startup_latency, ReadDuration(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.view.startup_overhead, ReadDuration(reader));
+      break;
+    }
+    case WireType::kObservationAck: {
+      PRONGHORN_ASSIGN_OR_RETURN(response.outcome.latency, ReadDuration(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.outcome.request_number, reader.ReadVarint());
+      PRONGHORN_ASSIGN_OR_RETURN(response.outcome.checkpoint_taken, ReadBool(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.outcome.checkpoint_downtime,
+                                 ReadDuration(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.outcome.request_overhead,
+                                 ReadDuration(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.outcome.checkpoint_overhead,
+                                 ReadDuration(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.committed, ReadBool(reader));
+      break;
+    }
+    case WireType::kPlanAck: {
+      PRONGHORN_ASSIGN_OR_RETURN(response.plan.live, ReadBool(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.plan.has_plan, ReadBool(reader));
+      PRONGHORN_ASSIGN_OR_RETURN(response.plan.checkpoint_at, reader.ReadVarint());
+      PRONGHORN_ASSIGN_OR_RETURN(response.plan.requests_executed, reader.ReadVarint());
+      PRONGHORN_ASSIGN_OR_RETURN(response.plan.memory_mb, reader.ReadDouble());
+      PRONGHORN_ASSIGN_OR_RETURN(response.plan.retired, ReadBool(reader));
+      break;
+    }
+    case WireType::kError: {
+      PRONGHORN_ASSIGN_OR_RETURN(const uint8_t code, reader.ReadUint8());
+      if (code > static_cast<uint8_t>(StatusCode::kUnavailable) ||
+          code == static_cast<uint8_t>(StatusCode::kOk)) {
+        return DataLossError("error code out of range");
+      }
+      response.code = static_cast<StatusCode>(code);
+      PRONGHORN_ASSIGN_OR_RETURN(response.message, reader.ReadString());
+      break;
+    }
+    default:
+      return InvalidArgumentError("request type in a response frame");
+  }
+  PRONGHORN_RETURN_IF_ERROR(RequireEnd(reader));
+  return response;
+}
+
+}  // namespace pronghorn

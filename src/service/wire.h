@@ -1,0 +1,94 @@
+// Wire format of the orchestrator service.
+//
+// Every message is a self-delimiting little-endian frame so a socket
+// transport can be layered under the in-process queue later without touching
+// the service core:
+//
+//   u32  magic ("Phrn")
+//   u8   version (1)
+//   u8   type (WireType)
+//   ...  type-specific body (ByteWriter primitives)
+//   u32  CRC32 over every preceding byte
+//
+// Decoding validates everything: wrong magic or a failed CRC is kDataLoss
+// (any single-bit flip is caught — pinned by tests/service_protocol_test.cc),
+// an unsupported version or type is kInvalidArgument, and a frame with
+// trailing bytes after its body is kDataLoss. Request bodies all lead with
+// the function name, which is the service's shard-routing key.
+
+#ifndef PRONGHORN_SRC_SERVICE_WIRE_H_
+#define PRONGHORN_SRC_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/orchestrator.h"
+#include "src/service/backend.h"
+
+namespace pronghorn {
+
+inline constexpr uint32_t kWireMagic = 0x5068726e;  // "Phrn"
+inline constexpr uint8_t kWireVersion = 1;
+
+enum class WireType : uint8_t {
+  // Requests.
+  kStartDecision = 1,   // Provision a worker for (function, slot).
+  kObservation = 2,     // Serve one request and record its latency knowledge.
+  kCheckpointPlan = 3,  // Report the slot's plan/accounting; optionally retire.
+  // Responses.
+  kStartAck = 4,        // SessionView.
+  kObservationAck = 5,  // RequestOutcome + whether the knowledge is committed.
+  kPlanAck = 6,         // WirePlan.
+  kError = 7,           // StatusCode + message.
+};
+
+struct ServiceRequest {
+  WireType type = WireType::kStartDecision;
+  std::string function;  // Routing key; always first on the wire.
+  uint32_t slot = 0;
+  // kObservation only.
+  FunctionRequest request;
+  // kObservation: reply after execution and let the service group-commit the
+  // knowledge write later, instead of committing before the reply.
+  bool defer_commit = false;
+  // kCheckpointPlan only: end the session after reporting.
+  bool retire = false;
+};
+
+// kPlanAck body: this lifetime's plan plus the session accounting SimCore
+// needs at evict/retire time.
+struct WirePlan {
+  bool live = false;  // False when the slot had no session (idempotent retire).
+  bool has_plan = false;
+  uint64_t checkpoint_at = 0;  // Valid when has_plan.
+  uint64_t requests_executed = 0;
+  double memory_mb = 0.0;
+  bool retired = false;
+};
+
+struct ServiceResponse {
+  WireType type = WireType::kError;
+  // kError only.
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  // kStartAck only.
+  SessionView view;
+  // kObservationAck only.
+  RequestOutcome outcome;
+  bool committed = false;
+  // kPlanAck only.
+  WirePlan plan;
+};
+
+std::vector<uint8_t> EncodeServiceRequest(const ServiceRequest& request);
+Result<ServiceRequest> DecodeServiceRequest(std::span<const uint8_t> bytes);
+
+std::vector<uint8_t> EncodeServiceResponse(const ServiceResponse& response);
+Result<ServiceResponse> DecodeServiceResponse(std::span<const uint8_t> bytes);
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_SERVICE_WIRE_H_

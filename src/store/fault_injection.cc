@@ -31,6 +31,14 @@ bool InOutage(const FaultPlan& plan, SimClock* clock, FaultDomain domain,
 
 }  // namespace
 
+void FlipRandomBit(std::vector<uint8_t>& bytes, Rng& rng) {
+  if (bytes.empty()) {
+    return;
+  }
+  const uint64_t bit = rng.UniformUint64(bytes.size() * 8);
+  bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
 bool FaultPlan::Active() const {
   return get_failure_rate > 0.0 || put_failure_rate > 0.0 ||
          delete_failure_rate > 0.0 || metadata_failure_rate > 0.0 ||
@@ -89,9 +97,8 @@ Status FaultyObjectStore::Put(std::string_view key, ObjectBlob blob) {
     // image CRC can catch this, at restore time. Copy-on-corrupt: the
     // payload is deep-copied only when this fault actually fires, so the
     // zero-copy fast path stays intact for healthy puts.
-    const uint64_t bit = rng_.UniformUint64(blob.bytes().size() * 8);
     std::vector<uint8_t> corrupted = blob.bytes();
-    corrupted[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    FlipRandomBit(corrupted, rng_);
     blob = ObjectBlob(std::move(corrupted), blob.logical_size);
     stats_.corrupted_puts += 1;
     NoteFault("faults.store.corrupted_puts", "fault:corrupted_put");

@@ -36,6 +36,12 @@
 
 namespace pronghorn {
 
+// Flips one uniformly-drawn bit of `bytes` in place; no-op when empty. The
+// single-bit-rot primitive behind corruption_rate, shared with the service
+// wire-format tests (which reuse it to prove the frame CRC catches every
+// one-bit flip).
+void FlipRandomBit(std::vector<uint8_t>& bytes, Rng& rng);
+
 // Which storage service a scheduled fault window hits.
 enum class FaultDomain {
   kObjectStore = 0,

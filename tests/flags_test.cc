@@ -115,5 +115,31 @@ TEST(FlagParserTest, NegativeAndBooleanNumericValues) {
   EXPECT_TRUE(*parser2.GetBool("flagged"));
 }
 
+TEST(FlagParserTest, SingleDashFlagSpellingRejected) {
+  // `-seed 7` silently becoming a positional would turn the flag into a
+  // no-op; it must hard-error and point at the `--` spelling instead.
+  FlagParser parser = MakeParser();
+  const Status status = ParseArgs(parser, {"-name", "widget"});
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unrecognized argument '-name'"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("--name"), std::string::npos);
+}
+
+TEST(FlagParserTest, SingleDashRejectionDoesNotEatNumbersOrStdin) {
+  // Negative numbers and the conventional `-` (stdin) remain positionals;
+  // only dash-plus-letter spellings are treated as misspelled flags.
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"-5", "-.25", "-", "--count", "3"}).ok());
+  ASSERT_EQ(parser.positional().size(), 3u);
+  EXPECT_EQ(parser.positional()[0], "-5");
+  EXPECT_EQ(parser.positional()[1], "-.25");
+  EXPECT_EQ(parser.positional()[2], "-");
+  EXPECT_EQ(*parser.GetInt("count"), 3);
+
+  FlagParser parser2 = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser2, {"alpha", "-v"}).ok());
+}
+
 }  // namespace
 }  // namespace pronghorn

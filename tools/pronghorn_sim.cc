@@ -226,6 +226,7 @@ struct CommonSimOptions {
   bool input_noise = true;
   bool state_cache = true;
   FaultPlan faults;
+  ServiceModeOptions service;
 };
 
 Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
@@ -241,6 +242,18 @@ Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
   common.input_noise = !flags.GetBool("no-noise").value_or(false);
   common.state_cache = !flags.GetBool("no-state-cache").value_or(false);
   PRONGHORN_ASSIGN_OR_RETURN(common.faults, ParseFaultPlan(flags));
+  common.service.enabled = flags.GetBool("service").value_or(false);
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t shards, flags.GetInt("service-shards"));
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t batch, flags.GetInt("service-batch"));
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t flush_ms, flags.GetInt("flush-interval"));
+  if (shards <= 0 || batch <= 0 || flush_ms < 0) {
+    return InvalidArgumentError(
+        "--service-shards and --service-batch must be positive, "
+        "--flush-interval non-negative");
+  }
+  common.service.shards = static_cast<uint32_t>(shards);
+  common.service.max_batch = static_cast<uint32_t>(batch);
+  common.service.flush_interval = Duration::Millis(flush_ms);
   return common;
 }
 
@@ -423,6 +436,7 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   options.state_cache = common.state_cache;
   options.eviction = *eviction;
   options.faults = common.faults;
+  options.service = common.service;
   options.worker_slots = static_cast<uint32_t>(slots);
   options.exploring_slots = static_cast<uint32_t>(exploring);
 
@@ -521,6 +535,7 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
   options.state_cache = common.state_cache;
   options.eviction = *eviction;
   options.faults = common.faults;
+  options.service = common.service;
 
   std::vector<OwnedPolicy> policies;
   auto specs = BuildEvaluationSpecs(flags, platform_size, requests, eviction_k,
@@ -595,6 +610,7 @@ int RunSingle(const FlagParser& flags, const CommonSimOptions& common,
   options.input_noise = common.input_noise;
   options.state_cache = common.state_cache;
   options.faults = common.faults;
+  options.service = common.service;
   // Historical FunctionSimulation topology: one worker slot.
   options.worker_slots = 1;
   options.exploring_slots = 1;
@@ -685,6 +701,15 @@ int main(int argc, char** argv) {
   flags.AddFlag("fault-latency", "",
                 "latency spikes 'start:end:ms' (seconds, extra ms), comma-separated");
   flags.AddFlag("fault-seed", "0", "extra seed folded into the fault streams");
+  flags.AddSwitch("service",
+                  "run the live orchestrator service: all worker-lifecycle "
+                  "operations go over its wire format (digest-neutral)");
+  flags.AddFlag("service-shards", "4", "service mode: shard threads");
+  flags.AddFlag("service-batch", "16",
+                "service mode: deferred observations per group-commit batch");
+  flags.AddFlag("flush-interval", "5",
+                "service mode: max simulated-time age (ms) of a deferred "
+                "observation before its batch flushes");
   flags.AddSwitch("histogram", "print latency histograms to stdout");
   flags.AddSwitch("no-noise", "disable client input-size noise");
   flags.AddSwitch("no-state-cache",
@@ -694,6 +719,14 @@ int main(int argc, char** argv) {
 
   if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.UsageText("pronghorn_sim").c_str());
+    return 2;
+  }
+  if (!flags.positional().empty()) {
+    // Everything pronghorn_sim understands is a flag; a stray positional is a
+    // typo (e.g. a value that lost its `--name`) and must not be ignored.
+    std::fprintf(stderr, "error: unexpected argument '%s'\n%s",
+                 flags.positional().front().c_str(),
                  flags.UsageText("pronghorn_sim").c_str());
     return 2;
   }

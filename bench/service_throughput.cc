@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -68,18 +69,32 @@ struct FunctionStack {
 struct ThroughputRun {
   uint32_t shards = 0;
   uint32_t max_batch = 0;
+  bool journal = false;
   uint64_t requests = 0;
+  uint64_t journal_appends = 0;
   double wall_seconds = 0.0;
   double decisions_per_sec = 0.0;
   bool books_balanced = false;
 };
 
 ThroughputRun RunOnce(const OrchestrationPolicy& policy, uint32_t shards,
-                      uint32_t max_batch) {
+                      uint32_t max_batch, bool journal) {
   ServiceConfig config;
   config.shards = shards;
   config.max_batch = max_batch;
   config.queue_capacity = 128;
+  if (journal) {
+    // Write-ahead journaling on: every deferred observation pays an append +
+    // flush before its ack. The row quantifies that durability tax against
+    // the journal-off rows at the same shard/batch point.
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("pronghorn_bench_journal_" + std::to_string(shards) + "_" +
+         std::to_string(max_batch));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    config.journal_dir = dir.string();
+  }
   OrchestratorService service(config);
 
   std::vector<std::unique_ptr<FunctionStack>> stacks;
@@ -127,6 +142,8 @@ ThroughputRun RunOnce(const OrchestrationPolicy& policy, uint32_t shards,
   ThroughputRun run;
   run.shards = shards;
   run.max_batch = max_batch;
+  run.journal = journal;
+  run.journal_appends = stats.journal_appends;
   run.requests = stats.requests;
   run.wall_seconds = std::chrono::duration<double>(end - start).count();
   run.decisions_per_sec = static_cast<double>(stats.requests) / run.wall_seconds;
@@ -137,7 +154,8 @@ ThroughputRun RunOnce(const OrchestrationPolicy& policy, uint32_t shards,
   return run;
 }
 
-bool WriteJson(const std::vector<ThroughputRun>& runs, double scaling_1_to_4) {
+bool WriteJson(const std::vector<ThroughputRun>& runs, double scaling_1_to_4,
+               double journal_overhead) {
   std::FILE* out = std::fopen(kJsonPath, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", kJsonPath);
@@ -150,16 +168,20 @@ bool WriteJson(const std::vector<ThroughputRun>& runs, double scaling_1_to_4) {
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
                pronghorn::ThreadPool::DefaultThreadCount());
   std::fprintf(out, "  \"scaling_1_to_4_shards\": %.2f,\n", scaling_1_to_4);
+  std::fprintf(out, "  \"journal_overhead_4_shards\": %.2f,\n", journal_overhead);
   std::fprintf(out, "  \"runs\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const ThroughputRun& run = runs[i];
     std::fprintf(out,
-                 "    {\"shards\": %u, \"max_batch\": %u, \"requests\": %llu, "
+                 "    {\"shards\": %u, \"max_batch\": %u, \"journal\": %s, "
+                 "\"requests\": %llu, \"journal_appends\": %llu, "
                  "\"wall_seconds\": %.6f, \"decisions_per_sec\": %.1f, "
                  "\"books_balanced\": %s}%s\n",
-                 run.shards, run.max_batch,
-                 static_cast<unsigned long long>(run.requests), run.wall_seconds,
-                 run.decisions_per_sec, run.books_balanced ? "true" : "false",
+                 run.shards, run.max_batch, run.journal ? "true" : "false",
+                 static_cast<unsigned long long>(run.requests),
+                 static_cast<unsigned long long>(run.journal_appends),
+                 run.wall_seconds, run.decisions_per_sec,
+                 run.books_balanced ? "true" : "false",
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -188,33 +210,46 @@ int main() {
   std::vector<ThroughputRun> runs;
   for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
     for (const uint32_t batch : {1u, 16u}) {
-      runs.push_back(RunOnce(*policy, shards, batch));
+      runs.push_back(RunOnce(*policy, shards, batch, /*journal=*/false));
     }
   }
+  // Durability tax: the same workload with the write-ahead observation
+  // journal on, at the single-shard and default-shard points.
+  for (const uint32_t shards : {1u, 4u}) {
+    runs.push_back(RunOnce(*policy, shards, /*max_batch=*/16, /*journal=*/true));
+  }
 
-  std::printf("  shards   batch   requests   wall (s)   decisions/s   books\n");
+  std::printf("  shards   batch   journal   requests   wall (s)   decisions/s   books\n");
   bool balanced = true;
   for (const ThroughputRun& run : runs) {
-    std::printf("  %6u   %5u   %8llu   %8.3f   %11.0f   %s\n", run.shards,
-                run.max_batch, static_cast<unsigned long long>(run.requests),
+    std::printf("  %6u   %5u   %7s   %8llu   %8.3f   %11.0f   %s\n", run.shards,
+                run.max_batch, run.journal ? "on" : "off",
+                static_cast<unsigned long long>(run.requests),
                 run.wall_seconds, run.decisions_per_sec,
                 run.books_balanced ? "ok" : "IMBALANCED");
     balanced = balanced && run.books_balanced;
   }
 
-  // Shard scaling at the default batch size (16): 1 shard vs 4 shards.
-  double at_1 = 0.0, at_4 = 0.0;
+  // Shard scaling at the default batch size (16), journal off: 1 vs 4 shards.
+  // Journal overhead at 4 shards: journal-on vs journal-off throughput.
+  double at_1 = 0.0, at_4 = 0.0, at_4_journal = 0.0;
   for (const ThroughputRun& run : runs) {
-    if (run.max_batch == 16 && run.shards == 1) {
+    if (run.max_batch == 16 && run.shards == 1 && !run.journal) {
       at_1 = run.decisions_per_sec;
     }
-    if (run.max_batch == 16 && run.shards == 4) {
+    if (run.max_batch == 16 && run.shards == 4 && !run.journal) {
       at_4 = run.decisions_per_sec;
+    }
+    if (run.max_batch == 16 && run.shards == 4 && run.journal) {
+      at_4_journal = run.decisions_per_sec;
     }
   }
   const double scaling = at_1 > 0.0 ? at_4 / at_1 : 0.0;
-  const bool wrote = WriteJson(runs, scaling);
-  std::printf("\nwrote %s; 1->4 shard scaling %.2fx; accounting %s\n", kJsonPath,
-              scaling, balanced ? "BALANCED" : "IMBALANCED (BUG)");
+  const double journal_overhead = at_4 > 0.0 ? at_4_journal / at_4 : 0.0;
+  const bool wrote = WriteJson(runs, scaling, journal_overhead);
+  std::printf("\nwrote %s; 1->4 shard scaling %.2fx; journal throughput ratio "
+              "%.2fx; accounting %s\n",
+              kJsonPath, scaling, journal_overhead,
+              balanced ? "BALANCED" : "IMBALANCED (BUG)");
   return balanced && wrote ? 0 : 1;
 }

@@ -98,4 +98,18 @@ double NormalQuantile(double p) {
          ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
 }
 
+Duration CappedExponentialBackoff(Duration base, double multiplier, int attempt,
+                                  Duration cap) {
+  const double scaled =
+      static_cast<double>(base.ToMicros()) *
+      std::pow(multiplier, static_cast<double>(std::max(attempt, 0)));
+  // `scaled` may be inf (huge attempt) or nan (pathological inputs); the
+  // negated comparison routes both to the cap, so the int64 conversion below
+  // only ever sees values strictly inside the cap.
+  if (!(scaled < static_cast<double>(cap.ToMicros()))) {
+    return cap;
+  }
+  return Duration::Micros(static_cast<int64_t>(scaled));
+}
+
 }  // namespace pronghorn

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/clock.h"
+
 namespace pronghorn {
 
 // Numerically stable softmax: subtracts the max before exponentiating, so
@@ -37,6 +39,17 @@ double Clamp(double value, double lo, double hi);
 // Inverse CDF of the standard normal distribution (Acklam's rational
 // approximation, |relative error| < 1.15e-9). `p` must be in (0, 1).
 double NormalQuantile(double p);
+
+// Capped exponential backoff: base * multiplier^attempt, saturating at `cap`.
+// The product is formed and compared against the cap entirely in doubles, so
+// large attempt counts (a CAS livelock, a retry storm) saturate cleanly at
+// `cap` instead of overflowing Duration's int64 microseconds — with
+// multiplier 2.0 the naive Duration multiply is already undefined behavior
+// near attempt 50. Below the cap the result is bit-identical to
+// `base * multiplier^attempt` computed through Duration::operator*(double).
+// Negative attempts are treated as 0.
+Duration CappedExponentialBackoff(Duration base, double multiplier, int attempt,
+                                  Duration cap);
 
 }  // namespace pronghorn
 

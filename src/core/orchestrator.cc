@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/mathutil.h"
 
 namespace pronghorn {
 
@@ -33,10 +34,9 @@ Duration Orchestrator::TransferTime(uint64_t logical_bytes) const {
 }
 
 void Orchestrator::Backoff(int retry_index) {
-  const double scale =
-      std::pow(recovery_options_.backoff_multiplier, static_cast<double>(retry_index));
-  Duration delay = recovery_options_.backoff_base * scale;
-  delay = std::min(delay, recovery_options_.backoff_cap);
+  Duration delay = CappedExponentialBackoff(
+      recovery_options_.backoff_base, recovery_options_.backoff_multiplier,
+      retry_index, recovery_options_.backoff_cap);
   // Deterministic jitter in [50%, 100%]. The draw only happens on a fault, so
   // fault-free trajectories consume exactly the same RNG stream as before.
   delay = delay * (0.5 + 0.5 * rng_.UniformDouble());
@@ -255,13 +255,14 @@ Result<WorkerSession> Orchestrator::StartWorker() {
 }
 
 RequestOutcome Orchestrator::ExecuteBuffered(WorkerSession& session,
-                                             const FunctionRequest& request) {
+                                             const FunctionRequest& request,
+                                             uint64_t sequence) {
   RequestOutcome outcome;
   const ExecutionResult execution = session.process.Execute(request);
   outcome.latency = execution.latency;
   outcome.request_number = session.process.requests_executed();
 
-  pending_observations_.push_back({outcome.request_number, outcome.latency});
+  pending_observations_.push_back({outcome.request_number, outcome.latency, sequence});
   if (pending_observations_.size() > recovery_options_.max_buffered_observations) {
     pending_observations_.pop_front();
     recovery_.observations_dropped += 1;
@@ -274,14 +275,53 @@ Status Orchestrator::CommitObservations(RequestOutcome& outcome) {
   if (pending_observations_.empty()) {
     return OkStatus();
   }
+  // Journal-replay dedup, stage 1 of 2: when the buffer holds sequenced
+  // observations (only ever true in journaled service mode — sim paths pass
+  // sequence 0 and skip this Load entirely), drop the ones the blob's
+  // high-water mark already covers so a pure-duplicate replay performs no
+  // write at all. The mutator below re-checks under the CAS, which is the
+  // authoritative exactly-once guarantee; this pass is the fast path.
+  bool sequenced = false;
+  for (const PendingObservation& observation : pending_observations_) {
+    sequenced = sequenced || observation.sequence != 0;
+  }
+  if (sequenced) {
+    const auto current = state_store_.Load();
+    if (current.ok()) {
+      uint64_t mark = 0;
+      if (const auto it = current->commit_marks.find(commit_scope_);
+          it != current->commit_marks.end()) {
+        mark = it->second;
+      }
+      const size_t before = pending_observations_.size();
+      std::erase_if(pending_observations_,
+                    [&](const PendingObservation& observation) {
+                      return observation.sequence != 0 && observation.sequence <= mark;
+                    });
+      observations_deduped_ += before - pending_observations_.size();
+      if (pending_observations_.empty()) {
+        return OkStatus();
+      }
+    }
+    // A Load failure falls through: the mutator dedups under the CAS anyway.
+  }
   // Workflow step 3: pass the end-to-end latency to the policy, which
   // updates the Database (one knowledge write per batch). Writes that hit
   // a Database outage are buffered locally and replayed with a later
   // commit; the mutator flushes the whole buffer, which is safe to re-run
-  // because a failed Update never commits.
+  // because a failed Update never commits — and sequenced observations are
+  // additionally guarded by the high-water mark, which advances in the same
+  // CAS as the knowledge writes it covers.
   const uint64_t backlog = pending_observations_.size() - 1;
   const Status update = state_store_.Update([&](PolicyState& state) {
     for (const PendingObservation& observation : pending_observations_) {
+      if (observation.sequence != 0) {
+        uint64_t& mark = state.commit_marks[commit_scope_];
+        if (observation.sequence <= mark) {
+          continue;  // Already applied by a commit that beat the crash.
+        }
+        mark = observation.sequence;
+      }
       policy_.OnRequestComplete(state, observation.request_number,
                                 observation.latency);
     }
@@ -297,6 +337,28 @@ Status Orchestrator::CommitObservations(RequestOutcome& outcome) {
     return update;
   }
   return OkStatus();
+}
+
+Status Orchestrator::ReplayJournaled(std::span<const JournaledObservation> records) {
+  for (const JournaledObservation& record : records) {
+    pending_observations_.push_back(
+        {record.request_number, record.latency, record.sequence});
+    if (pending_observations_.size() > recovery_options_.max_buffered_observations) {
+      pending_observations_.pop_front();
+      recovery_.observations_dropped += 1;
+    }
+  }
+  if (pending_observations_.empty()) {
+    return OkStatus();
+  }
+  RequestOutcome scratch;
+  return CommitObservations(scratch);
+}
+
+Result<uint64_t> Orchestrator::CommittedHighWater() const {
+  PRONGHORN_ASSIGN_OR_RETURN(const PolicyState state, state_store_.Load());
+  const auto it = state.commit_marks.find(commit_scope_);
+  return it == state.commit_marks.end() ? 0 : it->second;
 }
 
 Status Orchestrator::MaybeCheckpoint(WorkerSession& session, RequestOutcome& outcome) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "src/checkpoint/engine.h"
@@ -159,19 +160,60 @@ class Orchestrator {
   Result<RequestOutcome> ServeRequest(WorkerSession& session,
                                       const FunctionRequest& request);
 
+  // One observation handed back by the service's write-ahead journal during
+  // crash recovery. `sequence` is the slot's monotonic journal sequence
+  // (1-based); it keys the exactly-once dedup against the policy-state
+  // blob's commit high-water mark.
+  struct JournaledObservation {
+    uint64_t sequence = 0;
+    uint64_t request_number = 0;
+    Duration latency;
+  };
+
   // The three phases of ServeRequest, exposed separately so the service front
   // end (src/service) can group-commit knowledge writes: ServeRequest is
   // exactly ExecuteBuffered + CommitObservations + MaybeCheckpoint.
   //
   // Executes the request and appends its latency observation to the local
   // buffer (dropping the oldest past max_buffered_observations) without
-  // touching the Database.
-  RequestOutcome ExecuteBuffered(WorkerSession& session, const FunctionRequest& request);
+  // touching the Database. A nonzero `sequence` tags the observation with the
+  // service's journal sequence number, enabling exactly-once dedup at commit;
+  // 0 (the default, and the only value sim-mode paths ever pass) means
+  // unsequenced — committed unconditionally, bit-identical to the pre-journal
+  // behavior.
+  RequestOutcome ExecuteBuffered(WorkerSession& session, const FunctionRequest& request,
+                                 uint64_t sequence = 0);
   // Commits every buffered observation in one Database write (steps 2-4). A
   // write that hits an outage leaves the buffer intact for a later attempt
   // (kUnavailable is absorbed, not returned); only hard faults surface. No-op
-  // when nothing is buffered.
+  // when nothing is buffered. Sequenced observations at or below the commit
+  // scope's high-water mark are duplicates from a journal replay: they are
+  // skipped, and the mark advances in the same CAS as the writes it covers.
   Status CommitObservations(RequestOutcome& outcome);
+
+  // Rebuffers journal records recovered after a crash (oldest first) and
+  // commits them through the deduping path above. Safe to call with records
+  // that were already committed — the high-water mark filters them. When the
+  // Database is unavailable the records stay buffered for a later flush and
+  // the call still succeeds, mirroring CommitObservations.
+  Status ReplayJournaled(std::span<const JournaledObservation> records);
+
+  // Simulates the memory loss of a shard crash: discards every buffered
+  // observation. The write-ahead journal is the only copy afterwards.
+  void DropPendingObservations() { pending_observations_.clear(); }
+
+  // The slot index this orchestrator commits under; keys the per-slot commit
+  // high-water mark in the policy-state blob. Set once at service bind time.
+  void set_commit_scope(uint32_t scope) { commit_scope_ = scope; }
+
+  // Sequenced observations skipped as journal-replay duplicates (cumulative).
+  // Service-level accounting only; never serialized into report digests.
+  uint64_t observations_deduped() const { return observations_deduped_; }
+
+  // Reads the commit scope's high-water mark from the Database (0 when the
+  // scope has never committed a sequenced observation). The floor for
+  // sequence assignment after a restart whose journal was already truncated.
+  Result<uint64_t> CommittedHighWater() const;
   // Checkpoints when this lifetime's plan has fired (steps 5-8); plans
   // consumed by transient faults are counted, not surfaced.
   Status MaybeCheckpoint(WorkerSession& session, RequestOutcome& outcome);
@@ -201,6 +243,8 @@ class Orchestrator {
   struct PendingObservation {
     uint64_t request_number = 0;
     Duration latency;
+    // Journal sequence, 0 when unsequenced (sim mode, degraded-start buffer).
+    uint64_t sequence = 0;
   };
 
   // Takes a snapshot of the session's process, uploads it, and records it in
@@ -237,6 +281,8 @@ class Orchestrator {
   OrchestratorOverheads overheads_;
   RecoveryStats recovery_;
   std::deque<PendingObservation> pending_observations_;
+  uint32_t commit_scope_ = 0;
+  uint64_t observations_deduped_ = 0;
   uint64_t next_worker_id_ = 1;
   ObsSink* obs_ = nullptr;
   ObsTrack obs_track_;

@@ -38,6 +38,13 @@ struct PolicyState {
   // later success; a snapshot reaching the orchestrator's quarantine
   // threshold is evicted from the pool and its blob deleted.
   std::map<uint64_t, uint32_t> restore_failures;
+  // Exactly-once ledger for journaled group commits: the highest journal
+  // sequence number committed per commit scope (a service slot index). The
+  // mark advances atomically with the knowledge writes it covers — in the
+  // same CAS — so a crash-recovery replay of the write-ahead journal can
+  // dedup records already applied (sequence <= mark) without double-counting
+  // a single observation. Empty for functions never served in journaled mode.
+  std::map<uint32_t, uint64_t> commit_marks;
 
   bool operator==(const PolicyState&) const = default;
 };

@@ -5,13 +5,16 @@
 
 #include "src/common/bytes.h"
 #include "src/common/logging.h"
+#include "src/common/mathutil.h"
 
 namespace pronghorn {
 
 namespace {
 
-// Version 2 appends the restore-failure ledger to the v1 theta+pool layout.
-constexpr uint32_t kStateFormatVersion = 2;
+// Version 2 appended the restore-failure ledger to the v1 theta+pool layout;
+// version 3 appends the per-slot commit high-water marks that make journaled
+// group commits exactly-once across service crashes.
+constexpr uint32_t kStateFormatVersion = 3;
 
 // FNV-1a over the function name: a stable seed for the per-store jitter
 // stream (std::hash is not portable across standard libraries).
@@ -35,6 +38,11 @@ void EncodePolicyStateInto(const PolicyState& state, ByteWriter& writer) {
     writer.WriteVarint(id);
     writer.WriteVarint(count);
   }
+  writer.WriteVarint(state.commit_marks.size());
+  for (const auto& [scope, mark] : state.commit_marks) {
+    writer.WriteVarint(scope);
+    writer.WriteVarint(mark);
+  }
 }
 
 std::vector<uint8_t> EncodePolicyState(const PolicyState& state) {
@@ -57,6 +65,12 @@ Result<PolicyState> DecodePolicyState(std::span<const uint8_t> bytes) {
     PRONGHORN_ASSIGN_OR_RETURN(uint64_t id, reader.ReadVarint());
     PRONGHORN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
     state.restore_failures[id] = static_cast<uint32_t>(count);
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t marks, reader.ReadVarint());
+  for (uint64_t i = 0; i < marks; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(uint64_t scope, reader.ReadVarint());
+    PRONGHORN_ASSIGN_OR_RETURN(uint64_t mark, reader.ReadVarint());
+    state.commit_marks[static_cast<uint32_t>(scope)] = mark;
   }
   if (!reader.AtEnd()) {
     return DataLossError("trailing bytes after policy state");
@@ -99,10 +113,9 @@ std::vector<uint8_t> PolicyStateStore::EncodeForCas(const PolicyState& state) co
 }
 
 void PolicyStateStore::Backoff(int retry_index) const {
-  const double scale =
-      std::pow(retry_.backoff_multiplier, static_cast<double>(retry_index));
-  Duration delay = retry_.backoff_base * scale;
-  delay = std::min(delay, retry_.backoff_cap);
+  Duration delay = CappedExponentialBackoff(retry_.backoff_base,
+                                            retry_.backoff_multiplier,
+                                            retry_index, retry_.backoff_cap);
   // Deterministic jitter in [50%, 100%] de-synchronizes contending workers
   // without sacrificing reproducibility.
   delay = delay * (0.5 + 0.5 * jitter_rng_.UniformDouble());

@@ -92,6 +92,9 @@ Result<FleetReport> FleetSimulation::Run() const {
     config.queue_capacity = options_.service.queue_capacity;
     config.max_batch = options_.service.max_batch;
     config.flush_interval = options_.service.flush_interval;
+    config.journal_dir = options_.service.journal_dir;
+    config.shed_deadline_ms = options_.service.shed_deadline_ms;
+    config.faults = options_.faults.service;
     config.obs = options_.obs;
     shared_service = std::make_unique<OrchestratorService>(config);
     base_options.service.instance = shared_service.get();

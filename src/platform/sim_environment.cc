@@ -82,6 +82,9 @@ SimEnvironment::SimEnvironment(const WorkloadRegistry& registry,
       config.queue_capacity = options_.service.queue_capacity;
       config.max_batch = options_.service.max_batch;
       config.flush_interval = options_.service.flush_interval;
+      config.journal_dir = options_.service.journal_dir;
+      config.shed_deadline_ms = options_.service.shed_deadline_ms;
+      config.faults = options_.faults.service;
       config.obs = options_.obs;
       owned_service_ = std::make_unique<OrchestratorService>(config);
       service_ = owned_service_.get();

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <type_traits>
 
 #include "src/common/clock.h"
@@ -92,6 +93,15 @@ struct ServiceModeOptions {
   uint32_t max_batch = 16;
   Duration flush_interval = Duration::Millis(5);
   size_t queue_capacity = 256;
+  // Per-slot write-ahead observation journals live here; empty disables
+  // journaling (the default — and the digest-gated zero-cost path).
+  // Simulation clients are synchronous, so even with a directory set no
+  // sequences are assigned and crash injection stays digest-neutral.
+  std::string journal_dir;
+  // Host-time enqueue budget for start decisions; 0 = block forever.
+  // Closed-loop simulation clients never saturate a queue long enough to
+  // shed, so this too is digest-neutral in sim mode.
+  uint32_t shed_deadline_ms = 0;
   // Borrowed shared service; when null each environment owns a private one.
   // The fleet driver sets this so all shards talk to a single service.
   OrchestratorService* instance = nullptr;

@@ -1,0 +1,160 @@
+#include "src/service/journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/service/wire.h"
+
+namespace pronghorn {
+
+namespace {
+
+// Little-endian u32 length prefix in front of every framed record.
+constexpr size_t kLengthPrefix = 4;
+
+std::vector<uint8_t> EncodeRecord(const ObservationJournal::Record& record) {
+  ByteWriter body = BeginWireFrame(WireType::kJournalRecord);
+  body.WriteVarint(record.sequence);
+  body.WriteVarint(record.request_number);
+  body.WriteInt64(record.latency.ToMicros());
+  const std::vector<uint8_t> frame = SealWireFrame(std::move(body));
+
+  ByteWriter prefix;
+  prefix.WriteUint32(static_cast<uint32_t>(frame.size()));
+  std::vector<uint8_t> framed = prefix.TakeData();
+  framed.insert(framed.end(), frame.begin(), frame.end());
+  return framed;
+}
+
+Result<ObservationJournal::Record> DecodeRecord(std::span<const uint8_t> frame) {
+  PRONGHORN_ASSIGN_OR_RETURN(const auto opened, OpenWireFrame(frame));
+  if (opened.first != WireType::kJournalRecord) {
+    return DataLossError("journal frame has non-journal type");
+  }
+  ByteReader reader(opened.second);
+  ObservationJournal::Record record;
+  PRONGHORN_ASSIGN_OR_RETURN(record.sequence, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(record.request_number, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t micros, reader.ReadInt64());
+  record.latency = Duration::Micros(micros);
+  if (!reader.AtEnd()) {
+    return DataLossError("journal record has trailing bytes");
+  }
+  return record;
+}
+
+}  // namespace
+
+std::string ObservationJournal::FilePath(const std::string& dir,
+                                         const std::string& function,
+                                         uint32_t slot) {
+  std::string name = function;
+  for (char& c : name) {
+    if (c == '/') {
+      c = '_';
+    }
+  }
+  return dir + "/" + name + "." + std::to_string(slot) + ".journal";
+}
+
+Result<std::unique_ptr<ObservationJournal>> ObservationJournal::Open(
+    const std::string& dir, const std::string& function, uint32_t slot) {
+  std::string path = FilePath(dir, function, slot);
+  // "ab" creates the file when missing and preserves an existing journal for
+  // recovery; every write lands at the end regardless of interleaved reads.
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return UnavailableError("cannot open journal " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<ObservationJournal>(
+      new ObservationJournal(std::move(path), file));
+}
+
+ObservationJournal::ObservationJournal(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+ObservationJournal::~ObservationJournal() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status ObservationJournal::Append(const Record& record) {
+  const std::vector<uint8_t> bytes = EncodeRecord(record);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    return UnavailableError("journal append failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status ObservationJournal::Truncate() {
+  // Reopen-for-write is the portable truncate; the handle stays usable for
+  // subsequent appends.
+  std::FILE* reopened = std::freopen(path_.c_str(), "wb", file_);
+  if (reopened == nullptr) {
+    file_ = nullptr;  // freopen failure closes the original stream.
+    return UnavailableError("journal truncate failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  file_ = reopened;
+  return OkStatus();
+}
+
+Result<ObservationJournal::RecoveredLog> ObservationJournal::Recover() const {
+  std::FILE* in = std::fopen(path_.c_str(), "rb");
+  if (in == nullptr) {
+    return UnavailableError("cannot read journal " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[4096];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(in);
+
+  RecoveredLog log;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const size_t remaining = bytes.size() - offset;
+    if (remaining < kLengthPrefix) {
+      break;  // Torn mid-length-prefix.
+    }
+    ByteReader prefix(std::span<const uint8_t>(bytes).subspan(offset, kLengthPrefix));
+    const auto length = prefix.ReadUint32();
+    if (!length.ok() || *length == 0 ||
+        remaining - kLengthPrefix < static_cast<size_t>(*length)) {
+      break;  // Torn mid-record: the append died before the frame completed.
+    }
+    const auto record = DecodeRecord(
+        std::span<const uint8_t>(bytes).subspan(offset + kLengthPrefix, *length));
+    if (!record.ok()) {
+      break;  // Corrupt tail (bad CRC / magic): drop it and everything after.
+    }
+    log.records.push_back(*record);
+    offset += kLengthPrefix + *length;
+  }
+  log.torn_tail_bytes = bytes.size() - offset;
+  return log;
+}
+
+uint64_t ObservationJournal::MaxRecordedSequence() const {
+  const auto log = Recover();
+  if (!log.ok()) {
+    return 0;
+  }
+  uint64_t max_sequence = 0;
+  for (const Record& record : log->records) {
+    max_sequence = std::max(max_sequence, record.sequence);
+  }
+  return max_sequence;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,103 @@
+// Write-ahead observation journal for the orchestrator service.
+//
+// In deferred (group-commit) mode a shard buffers knowledge writes in memory
+// until the batch flushes, so a shard crash would silently lose every
+// observation since the last flush — exactly the lost-update corruption the
+// off-policy learning literature warns about. The journal closes that window:
+// each deferred observation is appended here, durably, before its reply is
+// sent, and the file is truncated only after the group commit that covers it
+// lands in the Database. Crash recovery replays the journal through the
+// orchestrator's sequence-checked commit path, which dedups against the
+// policy-state blob's per-slot high-water mark, giving exactly-once delivery.
+//
+// On-disk format — one file per bound (function, slot), named
+// `<function>.<slot>.journal` under the configured directory. Each record is
+// a length-prefixed wire frame (src/service/wire.h):
+//
+//   u32  payload length (bytes of the frame that follows)
+//   ...  frame: magic "Phrn" | version | kJournalRecord | body | CRC32
+//
+// with a body of varint sequence, varint request_number, i64 latency_us.
+// Records are self-delimiting, so recovery parses the file front to back and
+// stops at the first torn or corrupt record: a crash mid-append leaves a
+// partial tail that fails the length or CRC check and is dropped, never
+// misparsed (torn-tail bytes are reported, not silently ignored).
+
+#ifndef PRONGHORN_SRC_SERVICE_JOURNAL_H_
+#define PRONGHORN_SRC_SERVICE_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+
+namespace pronghorn {
+
+class ObservationJournal {
+ public:
+  struct Record {
+    uint64_t sequence = 0;  // Per-slot monotonic journal sequence, 1-based.
+    uint64_t request_number = 0;
+    Duration latency;
+
+    bool operator==(const Record&) const = default;
+  };
+
+  // What Recover() found: every intact record plus the size of the torn or
+  // corrupt tail that was dropped (0 for a cleanly closed journal).
+  struct RecoveredLog {
+    std::vector<Record> records;
+    uint64_t torn_tail_bytes = 0;
+  };
+
+  // Opens (creating if missing) the journal for one bound (function, slot).
+  // Existing content is preserved — recovery reads it before the slot
+  // resumes. The directory must already exist.
+  static Result<std::unique_ptr<ObservationJournal>> Open(
+      const std::string& dir, const std::string& function, uint32_t slot);
+
+  ~ObservationJournal();
+
+  ObservationJournal(const ObservationJournal&) = delete;
+  ObservationJournal& operator=(const ObservationJournal&) = delete;
+
+  // Appends one record and flushes it to the operating system before
+  // returning, so a crashed shard thread cannot take buffered records with
+  // it. Called before the observation's reply is sent.
+  Status Append(const Record& record);
+
+  // Drops every record: the group commit covering the journal's whole
+  // content has landed in the Database (the flush path always commits the
+  // slot's entire pending buffer, so truncate-to-zero never strands an
+  // uncommitted record).
+  Status Truncate();
+
+  // Parses the file front to back, returning every intact record in append
+  // order and dropping (but counting) a torn or corrupt tail.
+  Result<RecoveredLog> Recover() const;
+
+  // Highest sequence currently recorded (0 when empty / unreadable): the
+  // floor for the slot's next sequence assignment after a restart.
+  uint64_t MaxRecordedSequence() const;
+
+  const std::string& path() const { return path_; }
+
+  // `<dir>/<function>.<slot>.journal`, with '/' in the function name mapped
+  // to '_' so the name cannot escape the journal directory.
+  static std::string FilePath(const std::string& dir, const std::string& function,
+                              uint32_t slot);
+
+ private:
+  ObservationJournal(std::string path, std::FILE* file);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;  // Open in append mode for the journal's life.
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_SERVICE_JOURNAL_H_

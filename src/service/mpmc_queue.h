@@ -12,6 +12,7 @@
 #ifndef PRONGHORN_SRC_SERVICE_MPMC_QUEUE_H_
 #define PRONGHORN_SRC_SERVICE_MPMC_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -19,6 +20,13 @@
 #include <utility>
 
 namespace pronghorn {
+
+// Outcome of a deadline-bounded push.
+enum class PushOutcome {
+  kAccepted = 0,  // Item enqueued.
+  kClosed = 1,    // Queue closed; item dropped.
+  kShed = 2,      // Still full at the deadline; item dropped (backpressure).
+};
 
 template <typename T>
 class MpmcQueue {
@@ -42,6 +50,55 @@ class MpmcQueue {
       if (depth_after != nullptr) {
         *depth_after = items_.size();
       }
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Push that gives up when the queue is still full after `deadline` of host
+  // time — the service's load-shedding decision point. A zero deadline means
+  // wait forever (identical to Push). On kShed, `depth_after` receives the
+  // depth observed at the deadline so the shed reply can cite the pressure.
+  PushOutcome PushWithDeadline(T item, std::chrono::milliseconds deadline,
+                               size_t* depth_after = nullptr) {
+    if (deadline.count() <= 0) {
+      return Push(std::move(item), depth_after) ? PushOutcome::kAccepted
+                                                : PushOutcome::kClosed;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const bool ready = not_full_.wait_for(
+          lock, deadline, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return PushOutcome::kClosed;
+      }
+      if (!ready) {
+        if (depth_after != nullptr) {
+          *depth_after = items_.size();
+        }
+        return PushOutcome::kShed;
+      }
+      items_.push_back(std::move(item));
+      if (depth_after != nullptr) {
+        *depth_after = items_.size();
+      }
+    }
+    not_empty_.notify_one();
+    return PushOutcome::kAccepted;
+  }
+
+  // Re-queues an item at the FRONT, bypassing the capacity bound (the queue
+  // may briefly hold capacity+1 items). Recovery only: a crashed shard's
+  // parked envelope must re-enter ahead of everything behind it so the
+  // arrival order — and with it the simulation trajectory — is preserved.
+  // False when the queue is closed.
+  bool PushFront(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (closed_) {
+        return false;
+      }
+      items_.push_front(std::move(item));
     }
     not_empty_.notify_one();
     return true;

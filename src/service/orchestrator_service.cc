@@ -1,6 +1,7 @@
 #include "src/service/orchestrator_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -9,6 +10,13 @@
 namespace pronghorn {
 
 namespace {
+
+// Set by ShardLoop around the envelope a kPreTruncate crash targets: the
+// group commit runs, but the truncate that should follow it is suppressed, so
+// recovery replays records that already landed — the high-water-mark dedup's
+// torture test. Thread-local because FlushSlot is reached from deep call
+// chains that do not know which shard (if any) is executing them.
+thread_local bool t_suppress_truncate = false;
 
 // FNV-1a over the function name: the stable shard-routing hash (std::hash is
 // not portable across standard libraries; the same function must land on the
@@ -39,10 +47,13 @@ void NoteMax(std::atomic<uint64_t>& slot, uint64_t candidate) {
 
 }  // namespace
 
-OrchestratorService::OrchestratorService(ServiceConfig config) : config_(config) {
+OrchestratorService::OrchestratorService(ServiceConfig config)
+    : config_(std::move(config)) {
   config_.shards = std::max<uint32_t>(config_.shards, 1);
   config_.max_batch = std::max<uint32_t>(config_.max_batch, 1);
   config_.max_burst = std::max<uint32_t>(config_.max_burst, 1);
+  crash_fired_.assign(config_.faults.crashes.size(), 0);
+  stall_fired_.assign(config_.faults.stalls.size(), 0);
   std::unique_lock<std::shared_mutex> lifecycle(lifecycle_mutex_);
   Start();
 }
@@ -55,14 +66,37 @@ void OrchestratorService::Start() {
   for (uint32_t i = 0; i < config_.shards; ++i) {
     queues_.push_back(std::make_unique<MpmcQueue<Envelope>>(config_.queue_capacity));
   }
+  // Op counters persist across Reconfigure (at_op counts a shard's whole
+  // history); parked slots are per-shard scratch.
+  if (shard_ops_.size() < config_.shards) {
+    shard_ops_.resize(config_.shards, 0);
+  }
+  parked_.resize(std::max<size_t>(parked_.size(), config_.shards));
+  dead_shards_.clear();
   running_.store(true, std::memory_order_release);
   shard_threads_.reserve(config_.shards);
   for (uint32_t i = 0; i < config_.shards; ++i) {
     shard_threads_.emplace_back(&OrchestratorService::ShardLoop, this, i);
   }
+  if (!config_.faults.crashes.empty()) {
+    supervisor_stop_ = false;
+    supervisor_thread_ = std::thread(&OrchestratorService::SupervisorLoop, this);
+  }
 }
 
 void OrchestratorService::Stop() {
+  // Stop the supervisor first: it may be mid-recovery (joining a dead shard,
+  // replaying its journals, restarting its thread). Letting it finish before
+  // the queues close keeps every parked envelope answerable, and joining it
+  // before touching shard_threads_ below means thread-slot writes never race.
+  {
+    std::unique_lock<std::mutex> lock(supervisor_mutex_);
+    supervisor_stop_ = true;
+  }
+  supervisor_cv_.notify_all();
+  if (supervisor_thread_.joinable()) {
+    supervisor_thread_.join();
+  }
   running_.store(false, std::memory_order_release);
   for (const auto& queue : queues_) {
     queue->Close();
@@ -73,6 +107,31 @@ void OrchestratorService::Stop() {
     }
   }
   shard_threads_.clear();
+  // A shard that crashed after the supervisor stopped leaves parked or queued
+  // envelopes no thread will ever answer: fail them instead of stranding
+  // their callers. (Its journal keeps the unflushed records; the next Bind
+  // against the same directory replays them.)
+  for (uint32_t shard = 0; shard < queues_.size(); ++shard) {
+    if (shard < parked_.size() && parked_[shard].has_value()) {
+      Reply(*parked_[shard],
+            ErrorResponse(UnavailableError("service shut down during crash recovery")));
+      parked_[shard].reset();
+      stats_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    Envelope leftover;
+    while (queues_[shard]->TryPop(leftover)) {
+      if (leftover.gate != nullptr) {
+        std::unique_lock<std::mutex> lock(leftover.gate->mutex);
+        leftover.gate->remaining -= 1;
+        if (leftover.gate->remaining == 0) {
+          leftover.gate->cv.notify_all();
+        }
+        continue;
+      }
+      Reply(leftover, ErrorResponse(UnavailableError("service shut down with a dead shard")));
+      stats_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 uint32_t OrchestratorService::ShardOf(uint64_t name_hash) const {
@@ -101,6 +160,17 @@ ServiceStatsSnapshot OrchestratorService::stats() const {
   out.flush_errors = stats_.flush_errors.load(std::memory_order_relaxed);
   out.drains = stats_.drains.load(std::memory_order_relaxed);
   out.reconfigures = stats_.reconfigures.load(std::memory_order_relaxed);
+  out.crashes_injected = stats_.crashes_injected.load(std::memory_order_relaxed);
+  out.stalls_injected = stats_.stalls_injected.load(std::memory_order_relaxed);
+  out.shards_recovered = stats_.shards_recovered.load(std::memory_order_relaxed);
+  out.sheds = stats_.sheds.load(std::memory_order_relaxed);
+  out.journal_appends = stats_.journal_appends.load(std::memory_order_relaxed);
+  out.journal_truncations =
+      stats_.journal_truncations.load(std::memory_order_relaxed);
+  out.journal_replayed = stats_.journal_replayed.load(std::memory_order_relaxed);
+  out.journal_deduped = stats_.journal_deduped.load(std::memory_order_relaxed);
+  out.journal_torn_tails =
+      stats_.journal_torn_tails.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -123,7 +193,34 @@ Status OrchestratorService::Bind(const std::string& function, uint32_t slot,
     return AlreadyExistsError("slot " + std::to_string(slot) + " of '" + function +
                               "' is already bound");
   }
-  endpoint.slots[slot].orchestrator = orchestrator;
+  SlotState& state = endpoint.slots[slot];
+  state.orchestrator = orchestrator;
+  // The slot index keys the per-slot commit high-water mark in the
+  // policy-state blob; harmless (and unread) when journaling is off.
+  orchestrator->set_commit_scope(slot);
+  if (!config_.journal_dir.empty()) {
+    auto journal = ObservationJournal::Open(config_.journal_dir, function, slot);
+    if (!journal.ok()) {
+      state.orchestrator = nullptr;
+      return journal.status();
+    }
+    state.journal = *std::move(journal);
+    // Leftover records from a previous service incarnation that died before
+    // truncating: replay them through the deduping commit path now, before
+    // any new traffic touches the slot. A fresh journal is empty and this is
+    // a no-op (no extra Database traffic beyond the high-water Load below).
+    RecoverSlotJournal(function, state);
+    // Sequences must resume above both what the journal recorded and what
+    // the blob already committed — a truncated journal says nothing about
+    // committed sequences, and re-using one would be swallowed by the dedup.
+    const auto mark = orchestrator->CommittedHighWater();
+    if (!mark.ok()) {
+      state.journal.reset();
+      state.orchestrator = nullptr;
+      return mark.status();
+    }
+    state.last_sequence = std::max(state.last_sequence, *mark);
+  }
   return OkStatus();
 }
 
@@ -159,7 +256,37 @@ std::vector<uint8_t> OrchestratorService::Call(
     }
     const uint32_t shard = ShardOf(StableNameHash(envelope.request.function));
     size_t depth = 0;
-    if (!queues_[shard]->Push(std::move(envelope), &depth)) {
+    // Backpressure policy: a start decision is latency-sensitive and carries
+    // no knowledge, so past the shed deadline the service refuses it with an
+    // explicit kShed instead of blocking the caller on a saturated shard.
+    // Observations and checkpoint plans always block — shedding them would
+    // lose knowledge the books must account for.
+    const bool sheddable = config_.shed_deadline_ms > 0 &&
+                           envelope.request.type == WireType::kStartDecision;
+    if (sheddable) {
+      const PushOutcome outcome = queues_[shard]->PushWithDeadline(
+          std::move(envelope), std::chrono::milliseconds(config_.shed_deadline_ms),
+          &depth);
+      if (outcome == PushOutcome::kClosed) {
+        stats_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+        return EncodeServiceResponse(
+            ErrorResponse(FailedPreconditionError("service queue is closed")));
+      }
+      if (outcome == PushOutcome::kShed) {
+        stats_.sheds.fetch_add(1, std::memory_order_relaxed);
+        if (config_.obs != nullptr) {
+          config_.obs->Counter("service.sheds", 1);
+        }
+        ServiceResponse shed;
+        shed.type = WireType::kShed;
+        shed.code = StatusCode::kResourceExhausted;
+        shed.queue_depth = depth;
+        shed.message = "start decision shed: shard " + std::to_string(shard) +
+                       " still full after " +
+                       std::to_string(config_.shed_deadline_ms) + "ms";
+        return EncodeServiceResponse(shed);
+      }
+    } else if (!queues_[shard]->Push(std::move(envelope), &depth)) {
       stats_.rejected_requests.fetch_add(1, std::memory_order_relaxed);
       return EncodeServiceResponse(
           ErrorResponse(FailedPreconditionError("service queue is closed")));
@@ -252,6 +379,7 @@ void OrchestratorService::Shutdown() {
 
 void OrchestratorService::ShardLoop(uint32_t shard) {
   MpmcQueue<Envelope>& queue = *queues_[shard];
+  const bool chaos = config_.faults.Active();
   Envelope envelope;
   while (queue.Pop(envelope)) {
     // One shared-lock scope per burst: Bind/Unbind wait for burst boundaries,
@@ -259,7 +387,34 @@ void OrchestratorService::ShardLoop(uint32_t shard) {
     std::shared_lock<std::shared_mutex> endpoints_lock(endpoints_mutex_);
     uint32_t burst = 0;
     while (true) {
+      std::optional<ServiceCrashStage> crash;
+      if (chaos && envelope.gate == nullptr) {
+        // Gate tokens are control flow, not ops: crashing on one would
+        // deadlock the Drain it belongs to.
+        const uint64_t op = ++shard_ops_[shard];
+        MaybeStall(shard, op);
+        crash = TakeCrash(shard, op);
+      }
+      if (crash == ServiceCrashStage::kEnqueue) {
+        // Die before touching any state: park the unprocessed envelope for
+        // the supervisor, which re-queues it at the front after recovery.
+        // The caller just sees a slow reply.
+        parked_[shard].emplace(std::move(envelope));
+        CrashShard(shard, *crash);
+        return;  // No trailing FlushShard: a crash takes no farewell commit.
+      }
+      t_suppress_truncate = crash == ServiceCrashStage::kPreTruncate;
       ProcessEnvelope(shard, envelope);
+      t_suppress_truncate = false;
+      if (crash.has_value()) {
+        if (*crash == ServiceCrashStage::kMidBatch) {
+          // The reply is out but the batch is not: the crash takes the
+          // in-memory buffers with it. Only the journal can restore them.
+          DropShardBuffers(shard);
+        }
+        CrashShard(shard, *crash);
+        return;
+      }
       burst += 1;
       if (burst >= config_.max_burst || !queue.TryPop(envelope)) {
         break;
@@ -270,6 +425,203 @@ void OrchestratorService::ShardLoop(uint32_t shard) {
   // Queue closed and drained: commit whatever is still deferred.
   std::shared_lock<std::shared_mutex> endpoints_lock(endpoints_mutex_);
   FlushShard(shard);
+}
+
+std::optional<ServiceCrashStage> OrchestratorService::TakeCrash(uint32_t shard,
+                                                                uint64_t op) {
+  const auto& crashes = config_.faults.crashes;
+  for (size_t i = 0; i < crashes.size(); ++i) {
+    if (crash_fired_[i] == 0 && crashes[i].shard == shard && crashes[i].at_op == op) {
+      crash_fired_[i] = 1;
+      return crashes[i].stage;
+    }
+  }
+  return std::nullopt;
+}
+
+void OrchestratorService::MaybeStall(uint32_t shard, uint64_t op) {
+  const auto& stalls = config_.faults.stalls;
+  for (size_t i = 0; i < stalls.size(); ++i) {
+    if (stall_fired_[i] == 0 && stalls[i].shard == shard && stalls[i].at_op == op) {
+      stall_fired_[i] = 1;
+      stats_.stalls_injected.fetch_add(1, std::memory_order_relaxed);
+      if (config_.obs != nullptr) {
+        config_.obs->Counter("service.stalls_injected", 1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(stalls[i].wall_millis));
+    }
+  }
+}
+
+void OrchestratorService::CrashShard(uint32_t shard, ServiceCrashStage stage) {
+  stats_.crashes_injected.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.crashes_injected", 1);
+  }
+  PRONGHORN_LOG_WARNING("injected crash: shard %u dies at op %llu (stage %d)",
+                        shard, static_cast<unsigned long long>(shard_ops_[shard]),
+                        static_cast<int>(stage));
+  {
+    std::unique_lock<std::mutex> lock(supervisor_mutex_);
+    dead_shards_.push_back(shard);
+  }
+  supervisor_cv_.notify_all();
+}
+
+void OrchestratorService::DropShardBuffers(uint32_t shard) {
+  for (auto& [name, endpoint] : endpoints_) {
+    if (ShardOf(endpoint.name_hash) != shard) {
+      continue;
+    }
+    for (SlotState& slot : endpoint.slots) {
+      if (slot.orchestrator != nullptr) {
+        slot.orchestrator->DropPendingObservations();
+      }
+    }
+  }
+}
+
+void OrchestratorService::SupervisorLoop() {
+  while (true) {
+    uint32_t shard = 0;
+    {
+      std::unique_lock<std::mutex> lock(supervisor_mutex_);
+      supervisor_cv_.wait(lock,
+                          [&] { return supervisor_stop_ || !dead_shards_.empty(); });
+      if (dead_shards_.empty()) {
+        return;  // Stop requested and every pending recovery is done.
+      }
+      shard = dead_shards_.front();
+      dead_shards_.pop_front();
+    }
+    RecoverShard(shard);
+  }
+}
+
+void OrchestratorService::RecoverShard(uint32_t shard) {
+  if (shard >= shard_threads_.size()) {
+    return;  // Topology changed underneath a stale death notice.
+  }
+  // Joining the corpse is the happens-before edge: everything the dead
+  // thread wrote (op counters, dropped buffers, the parked envelope) is
+  // visible from here on.
+  if (shard_threads_[shard].joinable()) {
+    shard_threads_[shard].join();
+  }
+  {
+    // Shared is enough: only this shard's thread — dead — and control
+    // operations touch this shard's endpoints, and Bind/Unbind (exclusive)
+    // are correctly excluded.
+    std::shared_lock<std::shared_mutex> endpoints_lock(endpoints_mutex_);
+    ReplayShardJournals(shard);
+  }
+  if (parked_[shard].has_value()) {
+    Envelope parked = std::move(*parked_[shard]);
+    parked_[shard].reset();
+    PendingReply* reply = parked.reply;
+    // Front of the queue: the parked envelope was accepted before everything
+    // now waiting behind it, and replaying in arrival order is what keeps
+    // the simulation trajectory — and the report digest — intact.
+    if (!queues_[shard]->PushFront(std::move(parked))) {
+      // Only possible when the queue closed mid-recovery: answer the caller
+      // rather than strand it (the push consumed the envelope body).
+      Envelope failed;
+      failed.reply = reply;
+      Reply(failed,
+            ErrorResponse(UnavailableError("service closed during crash recovery")));
+    }
+  }
+  shard_threads_[shard] = std::thread(&OrchestratorService::ShardLoop, this, shard);
+  stats_.shards_recovered.fetch_add(1, std::memory_order_relaxed);
+  if (config_.obs != nullptr) {
+    config_.obs->Counter("service.shards_recovered", 1);
+  }
+  PRONGHORN_LOG_INFO("shard %u recovered and restarted", shard);
+}
+
+void OrchestratorService::ReplayShardJournals(uint32_t shard) {
+  for (auto& [name, endpoint] : endpoints_) {
+    if (ShardOf(endpoint.name_hash) != shard) {
+      continue;
+    }
+    for (SlotState& slot : endpoint.slots) {
+      if (slot.orchestrator != nullptr && slot.journal != nullptr) {
+        RecoverSlotJournal(name, slot);
+      }
+    }
+  }
+}
+
+void OrchestratorService::RecoverSlotJournal(const std::string& function,
+                                             SlotState& slot) {
+  const auto log = slot.journal->Recover();
+  if (!log.ok()) {
+    stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+    PRONGHORN_LOG_WARNING("journal recovery failed for '%s': %s", function.c_str(),
+                          log.status().ToString().c_str());
+    return;
+  }
+  if (log->torn_tail_bytes > 0) {
+    stats_.journal_torn_tails.fetch_add(1, std::memory_order_relaxed);
+    if (config_.obs != nullptr) {
+      config_.obs->Counter("service.journal_torn_tails", 1);
+    }
+    PRONGHORN_LOG_WARNING("journal for '%s' dropped a torn tail of %llu bytes",
+                          function.c_str(),
+                          static_cast<unsigned long long>(log->torn_tail_bytes));
+  }
+  if (log->records.empty() && log->torn_tail_bytes == 0 && slot.deferred == 0) {
+    return;  // Clean, empty journal (the common fresh-Bind case): nothing owed.
+  }
+  std::vector<Orchestrator::JournaledObservation> records;
+  records.reserve(log->records.size());
+  for (const ObservationJournal::Record& record : log->records) {
+    records.push_back({record.sequence, record.request_number, record.latency});
+    slot.last_sequence = std::max(slot.last_sequence, record.sequence);
+  }
+  const uint64_t deduped_before = slot.orchestrator->observations_deduped();
+  const Status replayed = slot.orchestrator->ReplayJournaled(records);
+  const uint64_t deduped =
+      slot.orchestrator->observations_deduped() - deduped_before;
+  stats_.journal_deduped.fetch_add(deduped, std::memory_order_relaxed);
+  stats_.journal_replayed.fetch_add(records.size() - deduped,
+                                    std::memory_order_relaxed);
+  if (config_.obs != nullptr && !records.empty()) {
+    config_.obs->Counter("service.journal_replayed", records.size() - deduped);
+    config_.obs->Counter("service.journal_deduped", deduped);
+  }
+  if (!replayed.ok()) {
+    stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+    PRONGHORN_LOG_WARNING("journal replay failed for '%s': %s", function.c_str(),
+                          replayed.ToString().c_str());
+    slot.deferred = slot.orchestrator->pending_observation_count();
+    return;
+  }
+  if (slot.orchestrator->pending_observation_count() == 0) {
+    // Everything this slot owed — replayed records plus any surviving
+    // in-memory batch — is in the Database. slot.deferred is the count of
+    // acked-but-uncommitted observations, i.e. exactly what just landed.
+    if (slot.deferred > 0) {
+      stats_.observations_committed.fetch_add(slot.deferred,
+                                              std::memory_order_relaxed);
+      stats_.batches_committed.fetch_add(1, std::memory_order_relaxed);
+      NoteMax(stats_.max_batch_committed, slot.deferred);
+    }
+    slot.deferred = 0;
+    slot.oldest_deferred = TimePoint();
+    const Status truncated = slot.journal->Truncate();
+    if (truncated.ok()) {
+      stats_.journal_truncations.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+      PRONGHORN_LOG_WARNING("journal truncate failed for '%s': %s",
+                            function.c_str(), truncated.ToString().c_str());
+    }
+  } else {
+    // A Database outage absorbed the commit: the records stay buffered (and
+    // journaled) and ride the next flush trigger.
+    slot.deferred = slot.orchestrator->pending_observation_count();
+  }
 }
 
 void OrchestratorService::ProcessEnvelope(uint32_t shard, Envelope& envelope) {
@@ -380,8 +732,31 @@ ServiceResponse OrchestratorService::HandleObservation(Endpoint& endpoint,
   }
 
   // Pipelined mode: execute and acknowledge now; the knowledge write rides a
-  // later group commit.
-  response.outcome = slot.orchestrator->ExecuteBuffered(*slot.session, request.request);
+  // later group commit. With journaling on, the observation is sequenced and
+  // made durable *before* the ack leaves, so the ack is a promise a shard
+  // crash cannot break.
+  uint64_t sequence = 0;
+  if (slot.journal != nullptr) {
+    sequence = slot.last_sequence + 1;
+  }
+  response.outcome =
+      slot.orchestrator->ExecuteBuffered(*slot.session, request.request, sequence);
+  if (slot.journal != nullptr) {
+    slot.last_sequence = sequence;
+    const Status appended = slot.journal->Append(
+        {sequence, response.outcome.request_number, response.outcome.latency});
+    if (appended.ok()) {
+      stats_.journal_appends.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The observation is still buffered in memory; only its crash
+      // durability is degraded. Count it loudly instead of failing the
+      // request.
+      stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+      PRONGHORN_LOG_WARNING("journal append failed for '%s': %s",
+                            request.function.c_str(),
+                            appended.ToString().c_str());
+    }
+  }
   if (slot.deferred == 0) {
     slot.oldest_deferred = endpoint.clock->now();
   }
@@ -456,6 +831,22 @@ Status OrchestratorService::FlushSlot(SlotState& slot) {
       config_.obs->Counter("service.batches_committed", 1);
     }
     slot.oldest_deferred = TimePoint();
+    // The commit covered the journal's entire content (the flush always
+    // commits the whole pending buffer), so the journal can drop it — unless
+    // an injected kPreTruncate crash is about to prove that a truncate which
+    // never happens is merely redundant, not harmful.
+    if (slot.journal != nullptr && !t_suppress_truncate) {
+      const Status truncated = slot.journal->Truncate();
+      if (truncated.ok()) {
+        stats_.journal_truncations.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Stale records will be deduped by the high-water mark if ever
+        // replayed; durability is unaffected.
+        stats_.flush_errors.fetch_add(1, std::memory_order_relaxed);
+        PRONGHORN_LOG_WARNING("journal truncate failed: %s",
+                              truncated.ToString().c_str());
+      }
+    }
   }
   // A commit that hit an outage keeps the batch buffered (kUnavailable was
   // absorbed); it rides the next flush trigger.
@@ -538,7 +929,7 @@ Result<ServiceResponse> ServiceClient::Roundtrip(const ServiceRequest& request,
                                                  WireType expected) {
   const std::vector<uint8_t> reply = service_->Call(EncodeServiceRequest(request));
   PRONGHORN_ASSIGN_OR_RETURN(ServiceResponse response, DecodeServiceResponse(reply));
-  if (response.type == WireType::kError) {
+  if (response.type == WireType::kError || response.type == WireType::kShed) {
     return Status(response.code, response.message);
   }
   if (response.type != expected) {
@@ -552,12 +943,36 @@ Result<SessionView> ServiceClient::StartWorker() {
   request.type = WireType::kStartDecision;
   request.function = function_;
   request.slot = slot_;
-  PRONGHORN_ASSIGN_OR_RETURN(ServiceResponse response,
-                             Roundtrip(request, WireType::kStartAck));
-  return response.view;
+  auto response = Roundtrip(request, WireType::kStartAck);
+  if (!response.ok()) {
+    if (response.status().code() == StatusCode::kResourceExhausted &&
+        fallback_profile_ != nullptr) {
+      // The service shed the start decision (control plane saturated past
+      // the deadline). Degrade to a local, unorchestrated cold session: no
+      // restore, no checkpoint plan, no knowledge writes — the explicit
+      // trade the shed response exists to make possible.
+      shed_process_.emplace(RuntimeProcess::ColdStart(
+          *fallback_profile_, HashCombine(fallback_seed_, sheds_degraded_)));
+      sheds_degraded_ += 1;
+      SessionView view;
+      view.degraded = true;
+      view.startup_latency = fallback_profile_->cold_init;
+      return view;
+    }
+    return response.status();
+  }
+  return (*response).view;
 }
 
 Result<RequestOutcome> ServiceClient::ServeRequest(const FunctionRequest& request) {
+  if (shed_process_.has_value()) {
+    // Degraded session: execute locally, off the orchestrator's books.
+    RequestOutcome outcome;
+    const ExecutionResult execution = shed_process_->Execute(request);
+    outcome.latency = execution.latency;
+    outcome.request_number = shed_process_->requests_executed();
+    return outcome;
+  }
   ServiceRequest wire_request;
   wire_request.type = WireType::kObservation;
   wire_request.function = function_;
@@ -581,6 +996,14 @@ Result<WirePlan> ServiceClient::QueryPlan() {
 }
 
 SessionEnd ServiceClient::EndSession() {
+  if (shed_process_.has_value()) {
+    SessionEnd end;
+    end.memory_mb = shed_process_->MemoryFootprintMb();
+    end.requests_executed = shed_process_->requests_executed();
+    end.retired = true;
+    shed_process_.reset();
+    return end;
+  }
   ServiceRequest request;
   request.type = WireType::kCheckpointPlan;
   request.function = function_;

@@ -24,6 +24,20 @@
 //     every batch; Reconfigure() drains, then atomically swaps shard count
 //     and flush policy with bindings and live sessions preserved; Shutdown()
 //     drains and joins (also run by the destructor).
+//   - Crash tolerance (DESIGN.md §12): with `journal_dir` set, every deferred
+//     observation is appended to a per-slot write-ahead journal before its
+//     ack, and the journal truncates only after the group commit covering it
+//     lands. Scheduled shard crashes (config.faults.service) kill a shard
+//     thread at a chosen envelope; a supervisor thread joins the corpse,
+//     replays its journals through the orchestrator's sequence-checked commit
+//     (deduped against the policy-state blob's per-slot high-water mark, so
+//     delivery is exactly-once), re-queues any parked envelope at the front,
+//     and restarts the shard with sessions and bindings intact.
+//   - Backpressure (shed_deadline_ms > 0): a start decision that cannot
+//     enqueue before the deadline gets an explicit kShed reply instead of
+//     blocking; observations and plans — the knowledge-carrying messages —
+//     always block. ServiceClient can degrade a shed start to a local,
+//     unorchestrated cold session instead of failing the request.
 
 #ifndef PRONGHORN_SRC_SERVICE_ORCHESTRATOR_SERVICE_H_
 #define PRONGHORN_SRC_SERVICE_ORCHESTRATOR_SERVICE_H_
@@ -31,6 +45,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -43,9 +58,12 @@
 
 #include "src/common/clock.h"
 #include "src/core/orchestrator.h"
+#include "src/jit/runtime_process.h"
 #include "src/service/backend.h"
+#include "src/service/journal.h"
 #include "src/service/mpmc_queue.h"
 #include "src/service/wire.h"
+#include "src/store/fault_injection.h"
 
 namespace pronghorn {
 
@@ -61,6 +79,20 @@ struct ServiceConfig {
   Duration flush_interval = Duration::Millis(5);
   // Envelopes one shard drains per wakeup before checking aged batches.
   uint32_t max_burst = 32;
+  // Directory for per-slot write-ahead observation journals; empty disables
+  // journaling entirely (no sequences assigned, no extra Database reads —
+  // the disabled path is bit-identical to the pre-journal service).
+  std::string journal_dir;
+  // Host-time budget for enqueueing a start decision; 0 blocks forever.
+  // Past the deadline the caller gets an explicit kShed response instead of
+  // waiting on a saturated shard. Start decisions only: observations and
+  // checkpoint plans carry knowledge and always block.
+  uint32_t shed_deadline_ms = 0;
+  // Scheduled shard crashes and stalls (deterministic chaos; see
+  // src/store/fault_injection.h). Crashes require journaling for lossless
+  // recovery of deferred batches; without it mid-batch crashes lose their
+  // buffered observations — visibly, in the books.
+  ServiceFaultPlan faults;
   // Borrowed observability sink; null disables all service instrumentation.
   ObsSink* obs = nullptr;
 };
@@ -84,6 +116,18 @@ struct ServiceStatsSnapshot {
   uint64_t flush_errors = 0;
   uint64_t drains = 0;
   uint64_t reconfigures = 0;
+  // Crash-tolerance counters (all zero when chaos and journaling are off).
+  uint64_t crashes_injected = 0;
+  uint64_t stalls_injected = 0;
+  uint64_t shards_recovered = 0;
+  uint64_t sheds = 0;  // Start decisions refused past the shed deadline.
+  uint64_t journal_appends = 0;
+  uint64_t journal_truncations = 0;
+  // Journal records recovery pushed back through the commit path vs. skipped
+  // as already covered by the high-water mark.
+  uint64_t journal_replayed = 0;
+  uint64_t journal_deduped = 0;
+  uint64_t journal_torn_tails = 0;  // Recoveries that dropped a torn tail.
 };
 
 class OrchestratorService {
@@ -131,6 +175,13 @@ class OrchestratorService {
     std::optional<WorkerSession> session;
     uint64_t deferred = 0;
     TimePoint oldest_deferred;
+    // Write-ahead journal for this slot's deferred observations (null when
+    // journaling is disabled).
+    std::unique_ptr<ObservationJournal> journal;
+    // Last journal sequence assigned; seeded at bind time from the recovered
+    // journal and the blob's committed high-water mark so sequences never
+    // restart below a value the dedup would swallow.
+    uint64_t last_sequence = 0;
   };
 
   struct Endpoint {
@@ -174,6 +225,15 @@ class OrchestratorService {
     std::atomic<uint64_t> flush_errors{0};
     std::atomic<uint64_t> drains{0};
     std::atomic<uint64_t> reconfigures{0};
+    std::atomic<uint64_t> crashes_injected{0};
+    std::atomic<uint64_t> stalls_injected{0};
+    std::atomic<uint64_t> shards_recovered{0};
+    std::atomic<uint64_t> sheds{0};
+    std::atomic<uint64_t> journal_appends{0};
+    std::atomic<uint64_t> journal_truncations{0};
+    std::atomic<uint64_t> journal_replayed{0};
+    std::atomic<uint64_t> journal_deduped{0};
+    std::atomic<uint64_t> journal_torn_tails{0};
   };
 
   // Starts queues and shard threads per config_ (lifecycle lock held).
@@ -206,6 +266,32 @@ class OrchestratorService {
   uint32_t ShardOf(uint64_t name_hash) const;
   void Reply(Envelope& envelope, const ServiceResponse& response);
 
+  // --- Crash tolerance ---
+  // Returns the stage of a crash scheduled for this (shard, op), arming the
+  // plan entry so it fires exactly once; nullopt when nothing is scheduled.
+  std::optional<ServiceCrashStage> TakeCrash(uint32_t shard, uint64_t op);
+  // Sleeps out any stall scheduled for this (shard, op); fires once each.
+  void MaybeStall(uint32_t shard, uint64_t op);
+  // Simulated crash exit: counts the crash and hands the shard to the
+  // supervisor. The calling shard thread must return immediately after.
+  void CrashShard(uint32_t shard, ServiceCrashStage stage);
+  // The memory loss of a mid-batch crash: discards every orchestrator-side
+  // pending observation owned by `shard`. slot.deferred is intentionally
+  // kept — it is the supervisor's ledger of what recovery still owes.
+  void DropShardBuffers(uint32_t shard);
+  // Joins the dead shard thread, replays its journals, re-queues any parked
+  // envelope at the front, and restarts the thread (supervisor only).
+  void RecoverShard(uint32_t shard);
+  // Replays every journal owned by `shard` through the deduping commit path.
+  void ReplayShardJournals(uint32_t shard);
+  // Recovers one slot's journal: replay, bookkeeping, truncate-on-success.
+  // Used both by crash recovery and by Bind (leftover journal from a
+  // previous service incarnation).
+  void RecoverSlotJournal(const std::string& function, SlotState& slot);
+  // Waits for dead shards and recovers them until told to stop; drains every
+  // pending recovery before exiting.
+  void SupervisorLoop();
+
   ServiceConfig config_;
 
   // Serializes control operations (Drain / Reconfigure / Shutdown).
@@ -221,6 +307,29 @@ class OrchestratorService {
   // burst, Bind/Unbind hold it exclusively.
   std::shared_mutex endpoints_mutex_;
   std::unordered_map<std::string, Endpoint> endpoints_;
+
+  // --- Crash-injection state ---
+  // Per-shard processed-envelope counters (gate tokens excluded), monotonic
+  // across recoveries — `at_op` in the fault plan indexes into this count.
+  // Each entry is written only by its shard's thread; Start() resizes it
+  // while no shard threads run.
+  std::vector<uint64_t> shard_ops_;
+  // One armed-flag per plan entry, parallel to config_.faults.service; an
+  // entry is only ever touched by the thread of the shard it names.
+  std::vector<char> crash_fired_;
+  std::vector<char> stall_fired_;
+  // Envelope a kEnqueue crash parked, per shard; handed from the dying
+  // thread to the supervisor across the join.
+  std::vector<std::optional<Envelope>> parked_;
+
+  // Supervisor: one thread (spawned only when crashes are scheduled) that
+  // recovers dead shards. Stop() joins it before touching shard threads, so
+  // thread-slot writes never race.
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  std::deque<uint32_t> dead_shards_;
+  bool supervisor_stop_ = false;
+  std::thread supervisor_thread_;
 
   mutable Stats stats_;
 };
@@ -243,6 +352,20 @@ class ServiceClient final : public WorkerBackend {
   // Non-retiring plan probe (tests sample live-session progress with it).
   Result<WirePlan> QueryPlan();
 
+  // Arms the shed fallback: when the service sheds this client's start
+  // decision (kResourceExhausted past the shed deadline), StartWorker
+  // degrades to a local, unorchestrated cold session instead of failing —
+  // no restore, no checkpoint plan, no knowledge writes, requests executed
+  // in-process until EndSession. The profile is borrowed and must outlive
+  // the client. Without a fallback a shed surfaces as kResourceExhausted.
+  void set_shed_fallback(const WorkloadProfile* profile, uint64_t seed) {
+    fallback_profile_ = profile;
+    fallback_seed_ = seed;
+  }
+
+  // Sessions this client served locally because their start was shed.
+  uint64_t sheds_degraded() const { return sheds_degraded_; }
+
  private:
   Result<ServiceResponse> Roundtrip(const ServiceRequest& request, WireType expected);
 
@@ -250,6 +373,11 @@ class ServiceClient final : public WorkerBackend {
   std::string function_;
   uint32_t slot_;
   bool defer_commit_;
+  const WorkloadProfile* fallback_profile_ = nullptr;
+  uint64_t fallback_seed_ = 0;
+  uint64_t sheds_degraded_ = 0;
+  // Live degraded session (set only after a shed with an armed fallback).
+  std::optional<RuntimeProcess> shed_process_;
 };
 
 }  // namespace pronghorn

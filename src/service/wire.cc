@@ -7,10 +7,7 @@
 
 namespace pronghorn {
 
-namespace {
-
-// Starts a frame: magic, version, type.
-ByteWriter BeginFrame(WireType type) {
+ByteWriter BeginWireFrame(WireType type) {
   ByteWriter writer;
   writer.WriteUint32(kWireMagic);
   writer.WriteUint8(kWireVersion);
@@ -18,19 +15,16 @@ ByteWriter BeginFrame(WireType type) {
   return writer;
 }
 
-// Seals a frame: appends the CRC32 of everything written so far.
-std::vector<uint8_t> SealFrame(ByteWriter writer) {
+std::vector<uint8_t> SealWireFrame(ByteWriter writer) {
   const uint32_t crc = Crc32(writer.data());
   writer.WriteUint32(crc);
   return writer.TakeData();
 }
 
-// Frame envelope: 4 magic + 1 version + 1 type + 4 trailing CRC.
-constexpr size_t kFrameOverhead = 10;
-
-// Validates the envelope and returns (type, body span).
-Result<std::pair<WireType, std::span<const uint8_t>>> OpenFrame(
+Result<std::pair<WireType, std::span<const uint8_t>>> OpenWireFrame(
     std::span<const uint8_t> bytes) {
+  // Frame envelope: 4 magic + 1 version + 1 type + 4 trailing CRC.
+  constexpr size_t kFrameOverhead = 10;
   if (bytes.size() < kFrameOverhead) {
     return DataLossError("service frame truncated below minimum size");
   }
@@ -52,12 +46,14 @@ Result<std::pair<WireType, std::span<const uint8_t>>> OpenFrame(
   }
   PRONGHORN_ASSIGN_OR_RETURN(const uint8_t type, header.ReadUint8());
   if (type < static_cast<uint8_t>(WireType::kStartDecision) ||
-      type > static_cast<uint8_t>(WireType::kError)) {
+      type > static_cast<uint8_t>(WireType::kJournalRecord)) {
     return InvalidArgumentError("unknown service message type " +
                                 std::to_string(type));
   }
   return std::make_pair(static_cast<WireType>(type), covered.subspan(6));
 }
+
+namespace {
 
 Result<bool> ReadBool(ByteReader& reader) {
   PRONGHORN_ASSIGN_OR_RETURN(const uint8_t value, reader.ReadUint8());
@@ -86,7 +82,7 @@ Status RequireEnd(const ByteReader& reader) {
 }  // namespace
 
 std::vector<uint8_t> EncodeServiceRequest(const ServiceRequest& request) {
-  ByteWriter writer = BeginFrame(request.type);
+  ByteWriter writer = BeginWireFrame(request.type);
   writer.WriteString(request.function);
   writer.WriteVarint(request.slot);
   switch (request.type) {
@@ -102,11 +98,11 @@ std::vector<uint8_t> EncodeServiceRequest(const ServiceRequest& request) {
     default:
       break;  // kStartDecision carries only the routing fields.
   }
-  return SealFrame(std::move(writer));
+  return SealWireFrame(std::move(writer));
 }
 
 Result<ServiceRequest> DecodeServiceRequest(std::span<const uint8_t> bytes) {
-  PRONGHORN_ASSIGN_OR_RETURN(const auto frame, OpenFrame(bytes));
+  PRONGHORN_ASSIGN_OR_RETURN(const auto frame, OpenWireFrame(bytes));
   ServiceRequest request;
   request.type = frame.first;
   if (request.type != WireType::kStartDecision &&
@@ -138,7 +134,7 @@ Result<ServiceRequest> DecodeServiceRequest(std::span<const uint8_t> bytes) {
 }
 
 std::vector<uint8_t> EncodeServiceResponse(const ServiceResponse& response) {
-  ByteWriter writer = BeginFrame(response.type);
+  ByteWriter writer = BeginWireFrame(response.type);
   switch (response.type) {
     case WireType::kStartAck:
       writer.WriteVarint(response.view.worker_id);
@@ -165,16 +161,20 @@ std::vector<uint8_t> EncodeServiceResponse(const ServiceResponse& response) {
       writer.WriteDouble(response.plan.memory_mb);
       writer.WriteUint8(response.plan.retired ? 1 : 0);
       break;
+    case WireType::kShed:
+      writer.WriteVarint(response.queue_depth);
+      writer.WriteString(response.message);
+      break;
     default:  // kError
       writer.WriteUint8(static_cast<uint8_t>(response.code));
       writer.WriteString(response.message);
       break;
   }
-  return SealFrame(std::move(writer));
+  return SealWireFrame(std::move(writer));
 }
 
 Result<ServiceResponse> DecodeServiceResponse(std::span<const uint8_t> bytes) {
-  PRONGHORN_ASSIGN_OR_RETURN(const auto frame, OpenFrame(bytes));
+  PRONGHORN_ASSIGN_OR_RETURN(const auto frame, OpenWireFrame(bytes));
   ServiceResponse response;
   response.type = frame.first;
   ByteReader reader(frame.second);
@@ -217,6 +217,12 @@ Result<ServiceResponse> DecodeServiceResponse(std::span<const uint8_t> bytes) {
         return DataLossError("error code out of range");
       }
       response.code = static_cast<StatusCode>(code);
+      PRONGHORN_ASSIGN_OR_RETURN(response.message, reader.ReadString());
+      break;
+    }
+    case WireType::kShed: {
+      response.code = StatusCode::kResourceExhausted;
+      PRONGHORN_ASSIGN_OR_RETURN(response.queue_depth, reader.ReadVarint());
       PRONGHORN_ASSIGN_OR_RETURN(response.message, reader.ReadString());
       break;
     }

@@ -22,8 +22,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/core/orchestrator.h"
 #include "src/service/backend.h"
@@ -43,6 +45,9 @@ enum class WireType : uint8_t {
   kObservationAck = 5,  // RequestOutcome + whether the knowledge is committed.
   kPlanAck = 6,         // WirePlan.
   kError = 7,           // StatusCode + message.
+  kShed = 8,            // Backpressure: start decision shed past the deadline.
+  // Durable records (never travels the request/response path).
+  kJournalRecord = 9,   // One write-ahead journal entry (src/service/journal).
 };
 
 struct ServiceRequest {
@@ -71,9 +76,12 @@ struct WirePlan {
 
 struct ServiceResponse {
   WireType type = WireType::kError;
-  // kError only.
+  // kError and kShed.
   StatusCode code = StatusCode::kInternal;
   std::string message;
+  // kShed only: queue depth observed when the deadline expired, so the
+  // client's degrade decision (and its logs) can cite the pressure.
+  uint64_t queue_depth = 0;
   // kStartAck only.
   SessionView view;
   // kObservationAck only.
@@ -88,6 +96,17 @@ Result<ServiceRequest> DecodeServiceRequest(std::span<const uint8_t> bytes);
 
 std::vector<uint8_t> EncodeServiceResponse(const ServiceResponse& response);
 Result<ServiceResponse> DecodeServiceResponse(std::span<const uint8_t> bytes);
+
+// Framing building blocks, shared with the write-ahead journal
+// (src/service/journal.cc) so its on-disk records carry the same
+// magic/version/CRC envelope as every other service message. BeginWireFrame
+// starts an envelope (magic, version, type); SealWireFrame appends the CRC32
+// over everything written; OpenWireFrame validates magic, version, type
+// range, and checksum, returning the type and the body span.
+ByteWriter BeginWireFrame(WireType type);
+std::vector<uint8_t> SealWireFrame(ByteWriter writer);
+Result<std::pair<WireType, std::span<const uint8_t>>> OpenWireFrame(
+    std::span<const uint8_t> bytes);
 
 }  // namespace pronghorn
 

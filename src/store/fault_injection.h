@@ -26,6 +26,8 @@
 #ifndef PRONGHORN_SRC_STORE_FAULT_INJECTION_H_
 #define PRONGHORN_SRC_STORE_FAULT_INJECTION_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -68,6 +70,64 @@ struct FaultWindow {
   }
 };
 
+// Where in a shard's processing loop an injected crash fires, relative to
+// the shard's Nth processed envelope.
+enum class ServiceCrashStage {
+  // Before the envelope is processed: the request is parked, the shard dies,
+  // and the supervisor re-queues the envelope at the front after recovery —
+  // the client just sees a slow reply.
+  kEnqueue = 0,
+  // After the envelope is processed (reply already sent) but before its
+  // deferred batch flushes: the shard dies taking its in-memory buffers with
+  // it, so only the write-ahead journal can save the observations.
+  kMidBatch = 1,
+  // After a group commit lands in the Database but before the journal
+  // truncates: recovery replays records that were already committed,
+  // exercising the high-water-mark dedup.
+  kPreTruncate = 2,
+};
+
+// One scheduled shard crash. Fires exactly once, when shard `shard`
+// processes its `at_op`-th envelope (1-based, counted across recoveries).
+struct ServiceCrash {
+  uint32_t shard = 0;
+  uint64_t at_op = 0;
+  ServiceCrashStage stage = ServiceCrashStage::kEnqueue;
+};
+
+// One scheduled shard stall: the shard sleeps `wall_millis` of host time
+// before processing its `at_op`-th envelope. Combined with a small queue and
+// a shed deadline this creates deterministic queue-overflow pressure.
+struct ServiceStall {
+  uint32_t shard = 0;
+  uint64_t at_op = 0;
+  uint32_t wall_millis = 0;
+};
+
+// Service-level faults: scheduled, deterministic by construction (no rates,
+// no RNG — a crash either is in the plan or is not), so a crash-injected run
+// is reproducible record for record. Carried inside FaultPlan so one chaos
+// knob configures the whole stack, but consumed by OrchestratorService, not
+// by the storage decorators below.
+struct ServiceFaultPlan {
+  std::vector<ServiceCrash> crashes;
+  std::vector<ServiceStall> stalls;
+
+  bool Active() const { return !crashes.empty() || !stalls.empty(); }
+  // Highest shard index any entry names; validation material for drivers
+  // that know the service's shard count.
+  uint32_t MaxShardNamed() const {
+    uint32_t max_shard = 0;
+    for (const ServiceCrash& crash : crashes) {
+      max_shard = std::max(max_shard, crash.shard);
+    }
+    for (const ServiceStall& stall : stalls) {
+      max_shard = std::max(max_shard, stall.shard);
+    }
+    return max_shard;
+  }
+};
+
 struct FaultPlan {
   // Probability that each operation kind fails with kUnavailable.
   double get_failure_rate = 0.0;
@@ -88,10 +148,17 @@ struct FaultPlan {
   // Scheduled outage/latency windows (simulated time; need a clock).
   std::vector<FaultWindow> windows;
 
+  // Service-level faults (shard crashes, stalls). Consumed by
+  // OrchestratorService; the storage decorators ignore them, and they do not
+  // count toward Active() — a plan that only crashes shards must not wrap
+  // the stores in fault decorators.
+  ServiceFaultPlan service;
+
   uint64_t seed = 0;
 
-  // True when any fault can ever fire (a zero plan lets simulations skip the
-  // decorators entirely, preserving byte-identical no-fault baselines).
+  // True when any *storage* fault can ever fire (a zero plan lets
+  // simulations skip the decorators entirely, preserving byte-identical
+  // no-fault baselines). Service faults are reported by service.Active().
   bool Active() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <cmath>
 #include <vector>
 
@@ -144,6 +145,63 @@ TEST(NormalQuantileTest, ExtremesAreFinite) {
   EXPECT_TRUE(std::isfinite(NormalQuantile(1.0)));
   EXPECT_LT(NormalQuantile(1e-10), -6.0);
   EXPECT_GT(NormalQuantile(1.0 - 1e-10), 6.0);
+}
+
+TEST(CappedExponentialBackoffTest, MatchesUncappedBelowCap) {
+  const Duration base = Duration::Millis(10);
+  const Duration cap = Duration::Seconds(60);
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const Duration expected = base * std::pow(2.0, attempt);
+    EXPECT_EQ(CappedExponentialBackoff(base, 2.0, attempt, cap).ToMicros(),
+              expected.ToMicros())
+        << "attempt " << attempt;
+  }
+}
+
+TEST(CappedExponentialBackoffTest, SaturatesAtCapForHighAttempts) {
+  const Duration base = Duration::Millis(10);
+  const Duration cap = Duration::Seconds(60);
+  // With multiplier 2.0 the naive Duration multiply overflows int64
+  // microseconds near attempt 50; every attempt from there to INT_MAX must
+  // return the cap exactly — never a negative or wrapped duration.
+  for (const int attempt : {64, 100, 1000, 100000, INT_MAX}) {
+    EXPECT_EQ(CappedExponentialBackoff(base, 2.0, attempt, cap).ToMicros(),
+              cap.ToMicros())
+        << "attempt " << attempt;
+  }
+}
+
+TEST(CappedExponentialBackoffTest, MonotoneNonDecreasingAndNeverNegative) {
+  const Duration base = Duration::Micros(500);
+  const Duration cap = Duration::Seconds(30);
+  Duration prev = Duration::Zero();
+  for (int attempt = 0; attempt <= 128; ++attempt) {
+    const Duration backoff = CappedExponentialBackoff(base, 2.0, attempt, cap);
+    EXPECT_GE(backoff.ToMicros(), 0) << "attempt " << attempt;
+    EXPECT_GE(backoff.ToMicros(), prev.ToMicros()) << "attempt " << attempt;
+    EXPECT_LE(backoff.ToMicros(), cap.ToMicros()) << "attempt " << attempt;
+    prev = backoff;
+  }
+}
+
+TEST(CappedExponentialBackoffTest, NegativeAttemptTreatedAsZero) {
+  const Duration base = Duration::Millis(25);
+  const Duration cap = Duration::Seconds(10);
+  EXPECT_EQ(CappedExponentialBackoff(base, 2.0, -1, cap).ToMicros(),
+            base.ToMicros());
+  EXPECT_EQ(CappedExponentialBackoff(base, 2.0, -1000, cap).ToMicros(),
+            base.ToMicros());
+}
+
+TEST(CappedExponentialBackoffTest, NonFiniteProductsSaturateAtCap) {
+  const Duration base = Duration::Millis(1);
+  const Duration cap = Duration::Seconds(5);
+  // An overflow all the way to +inf (huge multiplier) must route to the cap,
+  // not through a Duration-from-inf conversion.
+  EXPECT_EQ(CappedExponentialBackoff(base, 1e308, 10, cap).ToMicros(),
+            cap.ToMicros());
+  EXPECT_EQ(CappedExponentialBackoff(base, 2.0, INT_MAX, cap).ToMicros(),
+            cap.ToMicros());
 }
 
 }  // namespace

@@ -40,9 +40,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "src/common/flags.h"
@@ -192,6 +194,83 @@ Result<std::vector<FaultWindow>> ParseLatencyWindows(const std::string& spec) {
   return windows;
 }
 
+// Grammar: "shard:op:stage", comma-separated; stage is one of enqueue,
+// mid-batch, pre-truncate. Example: --crash-plan 0:25:mid-batch,2:40:enqueue
+Result<std::vector<ServiceCrash>> ParseCrashPlan(const std::string& spec) {
+  std::vector<ServiceCrash> crashes;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const size_t first = item.find(':');
+    const size_t second = first == std::string::npos ? std::string::npos
+                                                     : item.find(':', first + 1);
+    if (second == std::string::npos) {
+      return InvalidArgumentError("crash needs shard:op:stage, got '" + item + "'");
+    }
+    ServiceCrash crash;
+    crash.shard = static_cast<uint32_t>(std::strtoul(item.c_str(), nullptr, 10));
+    crash.at_op = std::strtoull(item.c_str() + first + 1, nullptr, 10);
+    const std::string stage = item.substr(second + 1);
+    if (stage == "enqueue") {
+      crash.stage = ServiceCrashStage::kEnqueue;
+    } else if (stage == "mid-batch") {
+      crash.stage = ServiceCrashStage::kMidBatch;
+    } else if (stage == "pre-truncate") {
+      crash.stage = ServiceCrashStage::kPreTruncate;
+    } else {
+      return InvalidArgumentError(
+          "crash stage must be enqueue, mid-batch, or pre-truncate; got '" +
+          stage + "'");
+    }
+    if (crash.at_op == 0) {
+      return InvalidArgumentError("crash op index is 1-based; got 0");
+    }
+    crashes.push_back(crash);
+  }
+  return crashes;
+}
+
+// Grammar: "shard:op:wall_ms", comma-separated. Example: --stall-plan 1:10:50
+Result<std::vector<ServiceStall>> ParseStallPlan(const std::string& spec) {
+  std::vector<ServiceStall> stalls;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const size_t first = item.find(':');
+    const size_t second = first == std::string::npos ? std::string::npos
+                                                     : item.find(':', first + 1);
+    if (second == std::string::npos) {
+      return InvalidArgumentError("stall needs shard:op:ms, got '" + item + "'");
+    }
+    ServiceStall stall;
+    stall.shard = static_cast<uint32_t>(std::strtoul(item.c_str(), nullptr, 10));
+    stall.at_op = std::strtoull(item.c_str() + first + 1, nullptr, 10);
+    stall.wall_millis =
+        static_cast<uint32_t>(std::strtoul(item.c_str() + second + 1, nullptr, 10));
+    if (stall.at_op == 0 || stall.wall_millis == 0) {
+      return InvalidArgumentError("stall needs a 1-based op and ms > 0");
+    }
+    stalls.push_back(stall);
+  }
+  return stalls;
+}
+
 Result<FaultPlan> ParseFaultPlan(const FlagParser& flags) {
   FaultPlan plan;
   PRONGHORN_ASSIGN_OR_RETURN(const double rate, flags.GetDouble("fault-rate"));
@@ -254,6 +333,44 @@ Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
   common.service.shards = static_cast<uint32_t>(shards);
   common.service.max_batch = static_cast<uint32_t>(batch);
   common.service.flush_interval = Duration::Millis(flush_ms);
+
+  // Crash-tolerance knobs: all three require --service (they configure the
+  // live service, which otherwise does not exist), and a crash/stall plan
+  // naming a shard the topology does not have is a hard configuration error —
+  // a fault that can never fire is a typo, not chaos.
+  common.service.journal_dir = *flags.GetString("journal-dir");
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t shed_ms, flags.GetInt("shed-deadline"));
+  if (shed_ms < 0) {
+    return InvalidArgumentError("--shed-deadline must be non-negative");
+  }
+  common.service.shed_deadline_ms = static_cast<uint32_t>(shed_ms);
+  PRONGHORN_ASSIGN_OR_RETURN(common.faults.service.crashes,
+                             ParseCrashPlan(*flags.GetString("crash-plan")));
+  PRONGHORN_ASSIGN_OR_RETURN(common.faults.service.stalls,
+                             ParseStallPlan(*flags.GetString("stall-plan")));
+  if (!common.service.enabled &&
+      (!common.service.journal_dir.empty() || common.service.shed_deadline_ms > 0 ||
+       common.faults.service.Active())) {
+    return InvalidArgumentError(
+        "--journal-dir, --shed-deadline, --crash-plan, and --stall-plan "
+        "require --service");
+  }
+  if (common.faults.service.Active() &&
+      common.faults.service.MaxShardNamed() >= common.service.shards) {
+    return InvalidArgumentError(
+        "crash/stall plan names shard " +
+        std::to_string(common.faults.service.MaxShardNamed()) +
+        " but the service only has " + std::to_string(common.service.shards) +
+        " shards (0-" + std::to_string(common.service.shards - 1) + ")");
+  }
+  if (!common.service.journal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(common.service.journal_dir, ec);
+    if (ec) {
+      return InvalidArgumentError("cannot create --journal-dir '" +
+                                  common.service.journal_dir + "': " + ec.message());
+    }
+  }
   return common;
 }
 
@@ -710,6 +827,19 @@ int main(int argc, char** argv) {
   flags.AddFlag("flush-interval", "5",
                 "service mode: max simulated-time age (ms) of a deferred "
                 "observation before its batch flushes");
+  flags.AddFlag("journal-dir", "",
+                "service mode: directory for per-slot write-ahead observation "
+                "journals (created if missing; empty disables journaling)");
+  flags.AddFlag("shed-deadline", "0",
+                "service mode: host-time budget (ms) for enqueueing a start "
+                "decision before it is shed with kResourceExhausted; 0 blocks");
+  flags.AddFlag("crash-plan", "",
+                "service mode: scheduled shard crashes 'shard:op:stage', "
+                "comma-separated; stage is enqueue, mid-batch, or pre-truncate "
+                "(errors if a named shard does not exist)");
+  flags.AddFlag("stall-plan", "",
+                "service mode: scheduled shard stalls 'shard:op:wall_ms', "
+                "comma-separated");
   flags.AddSwitch("histogram", "print latency histograms to stdout");
   flags.AddSwitch("no-noise", "disable client input-size noise");
   flags.AddSwitch("no-state-cache",

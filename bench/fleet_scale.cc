@@ -1,0 +1,342 @@
+// Fleet-scale replay exhibit: what the streaming accounting paths buy at
+// 10k/50k-function scale, written to BENCH_fleet_scale.json so CI archives
+// the trajectory across PRs. Four panels:
+//
+//   1. Streaming trace generation: FleetArrivalStream arrivals/sec per
+//      arrival-mix preset at 10k and 50k functions — O(functions) state,
+//      the full invocation list is never materialized.
+//   2. Replay throughput: decisions/sec (one policy decision per simulated
+//      request) for bounded-retention fleet replays at both scales.
+//   3. Memory: peak RSS after the bounded runs vs after a keep-all run of
+//      the same 10k-function fleet. Bounded runs go FIRST — VmHWM is
+//      monotone, so the ordering makes the contrast measurable in one
+//      process.
+//   4. Checkpoint cost: wall-clock overhead of periodic sim checkpoints and
+//      the cost of resuming from a complete final frame.
+//
+// Digest gates: the bounded 10k run, the keep-all 10k run, the checkpointed
+// run, and the resumed run must all agree bit-for-bit; the binary exits
+// non-zero on any mismatch, so a CI execution doubles as a regression gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/exhibit_common.h"
+#include "src/trace/trace_generator.h"
+
+namespace pronghorn::bench {
+namespace {
+
+constexpr uint64_t kSeed = 42;
+constexpr uint64_t kRequestsPerFunction = 12;
+constexpr uint64_t kRetainedK = 64;
+constexpr uint64_t kCheckpointEvery = 1000;
+constexpr const char* kJsonPath = "BENCH_fleet_scale.json";
+
+constexpr ArrivalMix kMixes[] = {ArrivalMix::kSteady, ArrivalMix::kDiurnal,
+                                 ArrivalMix::kBursty, ArrivalMix::kMultiTenant};
+
+// Current and high-water RSS in KiB from /proc/self/status (0 off-Linux).
+struct RssSample {
+  uint64_t current_kib = 0;
+  uint64_t peak_kib = 0;
+};
+
+RssSample ReadRss() {
+  RssSample sample;
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) {
+    return sample;
+  }
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &value) == 1) {
+      sample.current_kib = value;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+      sample.peak_kib = value;
+    }
+  }
+  std::fclose(status);
+  return sample;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// --- Panel 1: streaming trace generation ------------------------------------
+
+struct TraceGenRun {
+  ArrivalMix mix = ArrivalMix::kSteady;
+  uint64_t functions = 0;
+  uint64_t arrivals = 0;
+  double wall_seconds = 0.0;
+  double arrivals_per_sec = 0.0;
+};
+
+TraceGenRun RunTraceGeneration(ArrivalMix mix, uint64_t functions) {
+  const AzureTraceModel model;
+  std::vector<FunctionArrivalSpec> specs;
+  specs.reserve(functions);
+  for (uint64_t i = 0; i < functions; ++i) {
+    specs.push_back(ArrivalSpecFor(mix, kSeed, i, functions));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  FleetArrivalStream stream(model, specs, kSeed, Duration::Seconds(900));
+  while (stream.Next()) {
+  }
+  TraceGenRun run;
+  run.mix = mix;
+  run.functions = functions;
+  run.arrivals = stream.emitted();
+  run.wall_seconds = Seconds(start);
+  run.arrivals_per_sec =
+      run.wall_seconds > 0 ? static_cast<double>(run.arrivals) / run.wall_seconds : 0;
+  return run;
+}
+
+// --- Panels 2-4: fleet replay ------------------------------------------------
+
+struct ReplayRun {
+  std::string label;
+  uint64_t functions = 0;
+  uint64_t invocations = 0;
+  double wall_seconds = 0.0;
+  double decisions_per_sec = 0.0;
+  uint64_t peak_rss_kib = 0;
+  uint32_t digest = 0;
+};
+
+struct Fixture {
+  std::vector<const WorkloadProfile*> profiles;
+  std::vector<std::unique_ptr<OrchestrationPolicy>> policies;  // One per profile.
+  std::vector<SimFunctionSpec> specs;
+};
+
+// One policy per *profile* (policies are stateless per call), so fixture
+// memory stays O(evaluation set), not O(fleet).
+Fixture MakeFixture(uint64_t functions, ArrivalMix mix) {
+  Fixture fixture;
+  const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
+  for (const WorkloadProfile* profile : evaluation) {
+    fixture.profiles.push_back(profile);
+    fixture.policies.push_back(
+        MakePolicy(PolicyKind::kRequestCentric, PaperConfig(*profile, 4)));
+  }
+  const AzureTraceModel model;
+  const double median = *model.DailyInvocationsAtPercentile(50.0);
+  fixture.specs.reserve(functions);
+  for (uint64_t i = 0; i < functions; ++i) {
+    const size_t which = i % evaluation.size();
+    SimFunctionSpec spec;
+    char name[64];
+    std::snprintf(name, sizeof(name), "f%06llu-%s",
+                  static_cast<unsigned long long>(i),
+                  evaluation[which]->name.c_str());
+    spec.name = name;
+    spec.profile = fixture.profiles[which];
+    spec.policy = fixture.policies[which].get();
+    spec.requests = kRequestsPerFunction;
+    if (mix != ArrivalMix::kSteady) {
+      // The same busier/quieter scaling pronghorn_sim --arrival-mix applies.
+      const FunctionArrivalSpec arrival = ArrivalSpecFor(mix, kSeed, i, functions);
+      const auto daily = model.DailyInvocationsAtPercentile(arrival.percentile);
+      if (daily.ok() && median > 0) {
+        const double scale = std::clamp(*daily / median, 0.125, 8.0);
+        spec.requests = std::max<uint64_t>(
+            1, static_cast<uint64_t>(static_cast<double>(kRequestsPerFunction) * scale));
+      }
+    }
+    fixture.specs.push_back(std::move(spec));
+  }
+  return fixture;
+}
+
+ReplayRun RunReplay(const std::string& label, const Fixture& fixture,
+                    const SimOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  auto report = Simulate(WorkloadRegistry::Default(), SimTopology::kFleet,
+                         fixture.specs, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  ReplayRun run;
+  run.label = label;
+  run.functions = report->functions_total;
+  run.invocations = report->invocations_total;
+  run.wall_seconds = Seconds(start);
+  run.decisions_per_sec =
+      static_cast<double>(run.invocations) / run.wall_seconds;
+  run.peak_rss_kib = ReadRss().peak_kib;
+  run.digest = report->Digest();
+  return run;
+}
+
+SimOptions BoundedOptions() {
+  SimOptions options;
+  options.seed = kSeed;
+  options.threads = 0;  // One shard worker per hardware thread.
+  options.worker_slots = 2;
+  options.exploring_slots = 1;
+  options.retention.mode = ReportRetention::kTopLatency;
+  options.retention.k = kRetainedK;
+  return options;
+}
+
+bool WriteJson(const std::vector<TraceGenRun>& tracegen,
+               const std::vector<ReplayRun>& replays) {
+  std::FILE* out = std::fopen(kJsonPath, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", kJsonPath);
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"fleet_scale\",\n");
+  std::fprintf(out, "  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
+  std::fprintf(out, "  \"requests_per_function\": %llu,\n",
+               static_cast<unsigned long long>(kRequestsPerFunction));
+  std::fprintf(out, "  \"retained_k\": %llu,\n",
+               static_cast<unsigned long long>(kRetainedK));
+  std::fprintf(out, "  \"trace_generation\": [\n");
+  for (size_t i = 0; i < tracegen.size(); ++i) {
+    const TraceGenRun& run = tracegen[i];
+    std::fprintf(out,
+                 "    {\"mix\": \"%.*s\", \"functions\": %llu, \"arrivals\": "
+                 "%llu, \"wall_seconds\": %.4f, \"arrivals_per_sec\": %.0f}%s\n",
+                 static_cast<int>(ArrivalMixName(run.mix).size()),
+                 ArrivalMixName(run.mix).data(),
+                 static_cast<unsigned long long>(run.functions),
+                 static_cast<unsigned long long>(run.arrivals), run.wall_seconds,
+                 run.arrivals_per_sec, i + 1 < tracegen.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"replays\": [\n");
+  for (size_t i = 0; i < replays.size(); ++i) {
+    const ReplayRun& run = replays[i];
+    std::fprintf(out,
+                 "    {\"label\": \"%s\", \"functions\": %llu, \"invocations\": "
+                 "%llu, \"wall_seconds\": %.3f, \"decisions_per_sec\": %.0f, "
+                 "\"peak_rss_kib\": %llu, \"digest\": \"%08x\"}%s\n",
+                 run.label.c_str(), static_cast<unsigned long long>(run.functions),
+                 static_cast<unsigned long long>(run.invocations),
+                 run.wall_seconds, run.decisions_per_sec,
+                 static_cast<unsigned long long>(run.peak_rss_kib), run.digest,
+                 i + 1 < replays.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
+}  // namespace pronghorn::bench
+
+int main(int argc, char** argv) {
+  using namespace pronghorn;
+  using namespace pronghorn::bench;
+  // --smoke: the CI-sized variant (10k functions only, no 50k panels).
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::vector<uint64_t> scales =
+      smoke ? std::vector<uint64_t>{10'000} : std::vector<uint64_t>{10'000, 50'000};
+
+  std::printf("=== Exhibit: fleet-scale streaming replay ===\n\n");
+
+  // Panel 1: streaming trace generation.
+  std::printf("  streaming trace generation (15-minute window)\n");
+  std::printf("  %-12s %9s %12s %10s %14s\n", "mix", "functions", "arrivals",
+              "wall (s)", "arrivals/s");
+  std::vector<TraceGenRun> tracegen;
+  for (const uint64_t functions : scales) {
+    for (const ArrivalMix mix : kMixes) {
+      tracegen.push_back(RunTraceGeneration(mix, functions));
+      const TraceGenRun& run = tracegen.back();
+      std::printf("  %-12.*s %9llu %12llu %10.3f %14.0f\n",
+                  static_cast<int>(ArrivalMixName(mix).size()),
+                  ArrivalMixName(mix).data(),
+                  static_cast<unsigned long long>(run.functions),
+                  static_cast<unsigned long long>(run.arrivals),
+                  run.wall_seconds, run.arrivals_per_sec);
+    }
+  }
+  PrintRule();
+
+  // Panels 2-3: bounded replays first (VmHWM is monotone), keep-all last.
+  std::vector<ReplayRun> replays;
+  for (const uint64_t functions : scales) {
+    for (const ArrivalMix mix : kMixes) {
+      const Fixture fixture = MakeFixture(functions, mix);
+      char label[64];
+      std::snprintf(label, sizeof(label), "bounded-%lluk-%.*s",
+                    static_cast<unsigned long long>(functions / 1000),
+                    static_cast<int>(ArrivalMixName(mix).size()),
+                    ArrivalMixName(mix).data());
+      replays.push_back(RunReplay(label, fixture, BoundedOptions()));
+    }
+  }
+
+  // Panel 4: checkpoint overhead + resume, at the smallest scale.
+  const Fixture checkpoint_fixture = MakeFixture(scales.front(), ArrivalMix::kSteady);
+  const std::string ckpt_dir =
+      (std::filesystem::temp_directory_path() / "pronghorn_fleet_scale_ckpt").string();
+  std::filesystem::remove_all(ckpt_dir);
+  std::filesystem::create_directories(ckpt_dir);
+  SimOptions ckpt_options = BoundedOptions();
+  ckpt_options.sim_checkpoint.dir = ckpt_dir;
+  ckpt_options.sim_checkpoint.every = kCheckpointEvery;
+  replays.push_back(RunReplay("checkpointed-10k", checkpoint_fixture, ckpt_options));
+  ckpt_options.sim_checkpoint.resume = true;
+  replays.push_back(RunReplay("resumed-10k", checkpoint_fixture, ckpt_options));
+  std::filesystem::remove_all(ckpt_dir);
+
+  // Keep-all contrast LAST so its peak cannot pollute the bounded numbers.
+  const Fixture keep_all_fixture = MakeFixture(scales.front(), ArrivalMix::kSteady);
+  SimOptions keep_all_options = BoundedOptions();
+  keep_all_options.retention = RetentionOptions{};
+  replays.push_back(RunReplay("keep-all-10k", keep_all_fixture, keep_all_options));
+
+  std::printf("  fleet replays (per-function requests ~%llu, retained K=%llu)\n",
+              static_cast<unsigned long long>(kRequestsPerFunction),
+              static_cast<unsigned long long>(kRetainedK));
+  std::printf("  %-24s %9s %12s %10s %14s %14s\n", "run", "functions",
+              "invocations", "wall (s)", "decisions/s", "peak RSS KiB");
+  for (const ReplayRun& run : replays) {
+    std::printf("  %-24s %9llu %12llu %10.3f %14.0f %14llu\n", run.label.c_str(),
+                static_cast<unsigned long long>(run.functions),
+                static_cast<unsigned long long>(run.invocations),
+                run.wall_seconds, run.decisions_per_sec,
+                static_cast<unsigned long long>(run.peak_rss_kib));
+  }
+
+  // Digest gates: every 10k steady run (bounded, checkpointed, resumed,
+  // keep-all) replays the same experiment, so all four must agree.
+  uint32_t expected = 0;
+  bool agree = true;
+  for (const ReplayRun& run : replays) {
+    const bool steady_10k = run.label == "bounded-10k-steady" ||
+                            run.label == "checkpointed-10k" ||
+                            run.label == "resumed-10k" ||
+                            run.label == "keep-all-10k";
+    if (!steady_10k) {
+      continue;
+    }
+    if (expected == 0) {
+      expected = run.digest;
+    }
+    agree = agree && run.digest == expected;
+  }
+
+  const bool wrote = WriteJson(tracegen, replays);
+  std::printf("\nwrote %s; 10k-function digests %s across bounded / "
+              "checkpointed / resumed / keep-all\n",
+              kJsonPath, agree ? "BIT-IDENTICAL" : "DIVERGED (BUG)");
+  return agree && wrote ? 0 : 1;
+}

@@ -7,7 +7,11 @@ namespace pronghorn {
 namespace {
 
 constexpr uint32_t kMagic = 0x50534e50;  // "PSNP"
-constexpr uint8_t kVersion = 1;
+// v2: event counters embedded in engine payloads (MethodState::deopt_count,
+// compile_remaining) are 64-bit. The wire encoding was already varint, so v1
+// images decode unchanged; the bump marks the widened value range.
+constexpr uint8_t kVersion = 2;
+constexpr uint8_t kMinVersion = 1;
 
 }  // namespace
 
@@ -45,7 +49,7 @@ Result<SnapshotImage> SnapshotImage::Decode(std::span<const uint8_t> bytes) {
     return DataLossError("bad snapshot magic");
   }
   PRONGHORN_ASSIGN_OR_RETURN(uint8_t version, reader.ReadUint8());
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return DataLossError("unsupported snapshot version");
   }
   SnapshotMetadata metadata;

@@ -37,4 +37,64 @@ uint32_t Crc32(std::span<const uint8_t> data) {
   return Crc32Finalize(Crc32Update(kCrc32Init, data));
 }
 
+namespace {
+
+// Multiplies the GF(2) 32x32 matrix `mat` (one column per bit) by the bit
+// vector `vec`.
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if ((vec & 1u) != 0) {
+      sum ^= *mat;
+    }
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) {
+    square[n] = Gf2MatrixTimes(mat, mat[n]);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32Combine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b) {
+  if (len_b == 0) {
+    return crc_a;
+  }
+  // odd = the operator for one zero bit appended (the reflected polynomial),
+  // even = its square; repeated squaring walks the bits of len_b, applying
+  // the "append 8*len_b zero bits" operator to crc_a.
+  uint32_t even[32];
+  uint32_t odd[32];
+  odd[0] = 0xedb88320u;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);  // Two zero bits.
+  Gf2MatrixSquare(odd, even);  // Four zero bits.
+  uint64_t len = len_b;
+  do {
+    Gf2MatrixSquare(even, odd);  // Doubles the zero-bit count each round.
+    if ((len & 1u) != 0) {
+      crc_a = Gf2MatrixTimes(even, crc_a);
+    }
+    len >>= 1;
+    if (len == 0) {
+      break;
+    }
+    Gf2MatrixSquare(odd, even);
+    if ((len & 1u) != 0) {
+      crc_a = Gf2MatrixTimes(odd, crc_a);
+    }
+    len >>= 1;
+  } while (len != 0);
+  return crc_a ^ crc_b;
+}
+
 }  // namespace pronghorn

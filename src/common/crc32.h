@@ -16,6 +16,15 @@ inline constexpr uint32_t kCrc32Init = 0xffffffffu;
 uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data);
 inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xffffffffu; }
 
+// Combines two finalized CRCs: given crc_a = Crc32(A) and crc_b = Crc32(B),
+// returns Crc32(A || B) where `len_b` is B's length in bytes. O(log len_b)
+// via GF(2) matrix exponentiation (the zlib crc32_combine construction).
+// This is what lets a streaming accumulator keep only (crc, length) per
+// fragment and still reproduce the digest of the full concatenation exactly,
+// in any fold order — Crc32Combine(Crc32({}), c, n) == c, and the operation
+// is associative over ordered fragment sequences.
+uint32_t Crc32Combine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b);
+
 }  // namespace pronghorn
 
 #endif  // PRONGHORN_SRC_COMMON_CRC32_H_

@@ -34,12 +34,10 @@ Result<MethodState> MethodState::Deserialize(ByteReader& reader) {
   }
   m.tier = static_cast<CompilationTier>(tier_raw);
   PRONGHORN_ASSIGN_OR_RETURN(m.invocations, reader.ReadVarint());
-  PRONGHORN_ASSIGN_OR_RETURN(uint64_t deopts, reader.ReadVarint());
-  m.deopt_count = static_cast<uint32_t>(deopts);
+  PRONGHORN_ASSIGN_OR_RETURN(m.deopt_count, reader.ReadVarint());
   PRONGHORN_ASSIGN_OR_RETURN(m.baseline_threshold, reader.ReadVarint());
   PRONGHORN_ASSIGN_OR_RETURN(m.optimize_threshold, reader.ReadVarint());
-  PRONGHORN_ASSIGN_OR_RETURN(uint64_t remaining, reader.ReadVarint());
-  m.compile_remaining = static_cast<uint32_t>(remaining);
+  PRONGHORN_ASSIGN_OR_RETURN(m.compile_remaining, reader.ReadVarint());
   PRONGHORN_ASSIGN_OR_RETURN(uint8_t target_raw, reader.ReadUint8());
   if (target_raw > static_cast<uint8_t>(CompilationTier::kOptimized)) {
     return DataLossError("invalid compile target tier");

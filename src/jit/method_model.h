@@ -23,13 +23,16 @@ struct MethodState {
   double weight = 0.0;
   CompilationTier tier = CompilationTier::kInterpreter;
   uint64_t invocations = 0;
-  uint32_t deopt_count = 0;
+  // 64-bit like every other event counter: week-long replays of a
+  // class-churning workload can deopt a method past 2^32. The wire format is
+  // unchanged (always a varint); snapshot kVersion 2 marks the widened range.
+  uint64_t deopt_count = 0;
   // Invocation-count thresholds that enqueue tier-up compilations.
   uint64_t baseline_threshold = 0;
   uint64_t optimize_threshold = 0;
   // Remaining requests until the in-flight compilation (if any) finishes;
   // 0 means no compilation in flight.
-  uint32_t compile_remaining = 0;
+  uint64_t compile_remaining = 0;
   CompilationTier compile_target = CompilationTier::kInterpreter;
   // False for methods whose bytecode size exceeds the compiler's inlining /
   // compilation threshold: they are capped at the baseline tier forever

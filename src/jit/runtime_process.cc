@@ -82,12 +82,12 @@ void RuntimeProcess::TickCompilationPipeline(ExecutionResult& result) {
     if (method.tier == CompilationTier::kInterpreter &&
         method.invocations >= method.baseline_threshold) {
       method.compile_target = CompilationTier::kBaseline;
-      method.compile_remaining = static_cast<uint32_t>(
+      method.compile_remaining = static_cast<uint64_t>(
           rng_.UniformInt(kBaselineCompileMinRequests, kBaselineCompileMaxRequests));
     } else if (method.tier == CompilationTier::kBaseline && method.optimizable &&
                method.invocations >= method.optimize_threshold) {
       method.compile_target = CompilationTier::kOptimized;
-      method.compile_remaining = static_cast<uint32_t>(
+      method.compile_remaining = static_cast<uint64_t>(
           rng_.UniformInt(kOptimizedCompileMinRequests, kOptimizedCompileMaxRequests));
     }
   }

@@ -50,9 +50,10 @@ struct FunctionRequest {
 struct ExecutionResult {
   Duration latency;
   // Number of methods whose compilation completed during this request.
-  uint32_t compilations_finished = 0;
+  // 64-bit so downstream accumulations never narrow an event count.
+  uint64_t compilations_finished = 0;
   // Number of deoptimization events triggered by this request.
-  uint32_t deopts = 0;
+  uint64_t deopts = 0;
 };
 
 class RuntimeProcess {

@@ -55,6 +55,44 @@ void LatencyHistogram::AddCount(uint64_t value, uint64_t count) {
   sum_ += value * count;
 }
 
+void LatencyHistogram::Serialize(ByteWriter& writer) const {
+  writer.WriteVarint(total_);
+  writer.WriteVarint(sum_);
+  writer.WriteVarint(min_);
+  writer.WriteVarint(max_);
+  // Sparse encoding: fleet histograms populate a tiny fraction of the
+  // ~1200-bucket layout.
+  uint64_t nonzero = 0;
+  for (const uint64_t count : buckets_) {
+    nonzero += count != 0 ? 1 : 0;
+  }
+  writer.WriteVarint(nonzero);
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] != 0) {
+      writer.WriteVarint(i);
+      writer.WriteVarint(buckets_[i]);
+    }
+  }
+}
+
+Result<LatencyHistogram> LatencyHistogram::Deserialize(ByteReader& reader) {
+  LatencyHistogram out;
+  PRONGHORN_ASSIGN_OR_RETURN(out.total_, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(out.sum_, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(out.min_, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(out.max_, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t nonzero, reader.ReadVarint());
+  for (uint64_t n = 0; n < nonzero; ++n) {
+    PRONGHORN_ASSIGN_OR_RETURN(uint64_t index, reader.ReadVarint());
+    PRONGHORN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+    if (index >= kBucketCount) {
+      return DataLossError("latency histogram bucket index out of range");
+    }
+    out.buckets_[index] = count;
+  }
+  return out;
+}
+
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   if (other.total_ == 0) {
     return;

@@ -27,6 +27,9 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
 namespace pronghorn {
 
 // Fixed-layout log-linear histogram of non-negative integer values
@@ -69,6 +72,12 @@ class LatencyHistogram {
   double Quantile(double q) const;
 
   const std::array<uint64_t, kBucketCount>& buckets() const { return buckets_; }
+
+  // Exact binary round trip (sparse bucket encoding plus the scalar state),
+  // for simulation checkpoints that must restore a histogram bit-for-bit —
+  // Deserialize(Serialize(h)) == h under operator==.
+  void Serialize(ByteWriter& writer) const;
+  static Result<LatencyHistogram> Deserialize(ByteReader& reader);
 
   // Compact ASCII sparkline between min and max for logs.
   std::string ToAsciiArt(size_t width = 60) const;

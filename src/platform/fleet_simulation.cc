@@ -1,12 +1,15 @@
 #include "src/platform/fleet_simulation.h"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 #include <optional>
+#include <utility>
 
 #include "src/common/crc32.h"
 #include "src/common/thread_pool.h"
 #include "src/platform/report_io.h"
+#include "src/platform/sim_checkpoint.h"
 #include "src/service/orchestrator_service.h"
 
 namespace pronghorn {
@@ -16,6 +19,11 @@ uint64_t FleetSimulation::FunctionSeed(uint64_t fleet_seed, std::string_view nam
 }
 
 uint32_t FleetReport::Digest() const {
+  if (retention != ReportRetention::kAll) {
+    // per_function is decimated; the accumulator's CRC-combined digest is
+    // the canonical one (identical to what a keep-all run computes).
+    return streaming_digest;
+  }
   std::vector<NamedReportRef> rows;
   rows.reserve(per_function.size());
   for (const FleetFunctionResult& result : per_function) {
@@ -75,6 +83,18 @@ Result<ClusterReport> FleetSimulation::RunShard(
   return cluster.RunClosedLoop(spec.requests);
 }
 
+uint64_t FleetSimulation::Fingerprint() const {
+  SimFingerprint fingerprint;
+  fingerprint.seed = options_.seed;
+  fingerprint.topology = 2;  // SimTopology::kFleet.
+  for (const FleetFunctionSpec& spec : functions_) {
+    fingerprint.AddFunction(spec.name, spec.requests, spec.worker_slots,
+                            spec.exploring_slots);
+  }
+  fingerprint.AddOptions(options_);
+  return fingerprint.value();
+}
+
 Result<FleetReport> FleetSimulation::Run() const {
   if (functions_.empty()) {
     return FailedPreconditionError("fleet has no deployments");
@@ -100,50 +120,111 @@ Result<FleetReport> FleetSimulation::Run() const {
     base_options.service.instance = shared_service.get();
   }
 
-  // Phase 1 — sharded execution. One task per deployment; the pool's
-  // work-stealing balances wildly uneven shard runtimes. Each slot is written
-  // by exactly one task, so the vector needs no lock.
-  std::vector<std::optional<Result<ClusterReport>>> shard_results(functions_.size());
+  // The streaming fold: shards merge into the accumulator the moment they
+  // complete, in completion order — the digest and every aggregate are
+  // order-insensitive by construction, so nothing here depends on the
+  // schedule. Peak memory is O(shards in flight + retained-K), never
+  // O(functions x requests).
+  StreamingAccumulator accumulator(options_.retention);
+
+  // Resume: load the newest valid checkpoint and skip what it covers.
+  const SimCheckpointOptions& ckpt_options = options_.sim_checkpoint;
+  if (ckpt_options.enabled() && ckpt_options.resume) {
+    auto payload = ReadSimCheckpointFile(FleetCheckpointer::FilePath(ckpt_options.dir),
+                                         Fingerprint());
+    if (payload.ok()) {
+      ByteReader reader(*payload);
+      PRONGHORN_RETURN_IF_ERROR(accumulator.RestoreState(reader));
+      if (!reader.AtEnd()) {
+        return DataLossError("trailing bytes after checkpointed accumulator state");
+      }
+    } else if (payload.status().code() != StatusCode::kNotFound) {
+      // A corrupt or mismatched checkpoint must fail loudly, not silently
+      // restart the experiment from scratch.
+      return payload.status();
+    }
+  }
+  std::optional<FleetCheckpointer> checkpointer;
+  if (ckpt_options.enabled()) {
+    checkpointer.emplace(ckpt_options, Fingerprint(), accumulator);
+  }
+
+  // Sharded execution. One task per deployment; the pool's work-stealing
+  // balances wildly uneven shard runtimes. Failures are recorded per slot
+  // (tiny — one optional Status per deployment) and reported canonically.
+  std::vector<std::optional<Status>> failures(functions_.size());
+  const auto run_one = [&](size_t i) {
+    const FleetFunctionSpec& spec = functions_[i];
+    if (accumulator.Contains(spec.name)) {
+      return;  // Covered by the resumed checkpoint.
+    }
+    Result<ClusterReport> shard = RunShard(spec, base_options);
+    if (!shard.ok()) {
+      failures[i] = shard.status();
+      return;
+    }
+    accumulator.Fold(spec.name, *std::move(shard));
+    if (checkpointer.has_value()) {
+      checkpointer->OnFold();
+    }
+  };
   const uint32_t threads =
       options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
   if (threads <= 1 || functions_.size() == 1) {
     for (size_t i = 0; i < functions_.size(); ++i) {
-      shard_results[i].emplace(RunShard(functions_[i], base_options));
+      run_one(i);
     }
   } else {
     ThreadPool pool(threads);
-    pool.ParallelFor(functions_.size(), [this, &shard_results, &base_options](size_t i) {
-      shard_results[i].emplace(RunShard(functions_[i], base_options));
-    });
+    pool.ParallelFor(functions_.size(), run_one);
   }
 
-  // Phase 2 — canonical merge: results are visited in deployment-name order,
-  // whatever order the shards finished in.
+  // Canonical error report: the first failure in deployment-name order,
+  // whatever order the shards actually failed in.
   std::vector<size_t> order(functions_.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
     return functions_[a].name < functions_[b].name;
   });
-
-  FleetReport fleet;
-  fleet.per_function.reserve(functions_.size());
   for (const size_t index : order) {
-    Result<ClusterReport>& shard = *shard_results[index];
-    if (!shard.ok()) {
-      return Status(shard.status().code(), "deployment '" + functions_[index].name +
-                                               "': " + shard.status().message());
+    if (failures[index].has_value()) {
+      // Persist progress first: the failed deployment can be retried with
+      // --resume without re-running its finished peers.
+      if (checkpointer.has_value()) {
+        (void)checkpointer->Finish();
+      }
+      return Status(failures[index]->code(), "deployment '" + functions_[index].name +
+                                                 "': " + failures[index]->message());
     }
-    ClusterReport& report = *shard;
-    for (const RequestRecord& record : report.records) {
-      fleet.fleet_latency.Add(static_cast<double>(record.latency.ToMicros()));
+  }
+
+  if (checkpointer.has_value()) {
+    PRONGHORN_RETURN_IF_ERROR(checkpointer->Finish());
+  }
+
+  // Final assembly from the accumulator, in canonical (name) order. Under
+  // keep-all retention this reproduces the historical collect-then-merge
+  // FleetReport bit-for-bit.
+  StreamingAccumulator::Merged merged = accumulator.Take();
+  FleetReport fleet;
+  static_cast<ReportCore&>(fleet) = merged.core;
+  fleet.worker_lifetimes = merged.worker_lifetimes;
+  fleet.checkpoints = merged.checkpoints;
+  fleet.restores = merged.restores;
+  fleet.cold_starts = merged.cold_starts;
+  fleet.retention = merged.retention;
+  fleet.functions_total = merged.functions_total;
+  fleet.invocations_total = merged.invocations_total;
+  fleet.latency_hist = merged.latency_hist;
+  fleet.streaming_digest = merged.digest;
+  fleet.per_function.reserve(merged.retained.size());
+  for (auto& [name, report] : merged.retained) {
+    if (merged.retention == ReportRetention::kAll) {
+      for (const RequestRecord& record : report.records) {
+        fleet.fleet_latency.Add(static_cast<double>(record.latency.ToMicros()));
+      }
     }
-    fleet.worker_lifetimes += report.worker_lifetimes;
-    fleet.checkpoints += report.checkpoints;
-    fleet.restores += report.restores;
-    fleet.cold_starts += report.cold_starts;
-    MergeReportCore(fleet, report);
-    fleet.per_function.push_back(
-        FleetFunctionResult{functions_[index].name, std::move(report)});
+    fleet.per_function.push_back(FleetFunctionResult{name, std::move(report)});
   }
   return fleet;
 }

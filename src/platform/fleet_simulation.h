@@ -27,7 +27,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/platform/cluster_simulation.h"
+#include "src/platform/sim_options.h"
 
 namespace pronghorn {
 
@@ -57,9 +59,15 @@ struct FleetFunctionResult {
 // time: the fleet's footprint bound is the sum of each store's high-water
 // mark.
 struct FleetReport : ReportCore {
+  // Per-function detail, bounded by the run's retention policy: every folded
+  // function under ReportRetention::kAll, at most retention.k otherwise
+  // (always in canonical name order either way).
   std::vector<FleetFunctionResult> per_function;
 
   // All functions' per-request latencies, merged in canonical order.
+  // Populated only under kAll retention — the bounded modes report latency
+  // through `latency_hist`, which is exact at bucket granularity and O(1)
+  // in the invocation count.
   DistributionSummary fleet_latency;
 
   uint64_t worker_lifetimes = 0;
@@ -67,11 +75,30 @@ struct FleetReport : ReportCore {
   uint64_t restores = 0;
   uint64_t cold_starts = 0;
 
+  // How much per-function detail this report retains, and the totals over
+  // ALL folded functions (which per_function.size() understates in the
+  // bounded modes).
+  ReportRetention retention = ReportRetention::kAll;
+  uint64_t functions_total = 0;
+  uint64_t invocations_total = 0;
+
+  // Exact-merge latency histogram over every request of every function,
+  // complete in all retention modes.
+  LatencyHistogram latency_hist;
+
+  // The canonical digest as computed by the streaming accumulator via
+  // CRC32-combination — equal to ReportDigest over ALL folded functions even
+  // when per_function was decimated.
+  uint32_t streaming_digest = 0;
+
   // CRC32 over the canonical serialization: every per-function report
   // (report_io's SerializeFunctionReport) in name order, followed by the
   // merged store accountings and fault stats. Equal digests mean
   // bit-identical fleet results. The layout matches PlatformReport::Digest(),
   // so a one-shard fleet and a one-function platform hash identically.
+  // Under bounded retention the materialized rows are incomplete, so this
+  // returns `streaming_digest` (same value a keep-all run of the same
+  // experiment computes).
   uint32_t Digest() const;
 
   // Per-function lookup; nullptr when `name` is not in the fleet.
@@ -88,10 +115,21 @@ class FleetSimulation {
 
   size_t function_count() const { return functions_.size(); }
 
-  // Runs every deployment's closed loop across the shard pool and merges the
-  // results. Each call is an independent experiment: shards are constructed
-  // fresh, so learned state does not persist across calls.
+  // Runs every deployment's closed loop across the shard pool, folding each
+  // shard's report through a StreamingAccumulator the moment it completes —
+  // peak memory is O(shards + retained-K), not O(functions x requests).
+  // Each call is an independent experiment: shards are constructed fresh, so
+  // learned state does not persist across calls.
+  //
+  // When options.sim_checkpoint is enabled the run writes crash-consistent
+  // checkpoints at completed-deployment granularity and, with resume set,
+  // skips deployments a loaded checkpoint already covers — reproducing the
+  // uninterrupted run's digest bit-for-bit (src/platform/sim_checkpoint.h).
   Result<FleetReport> Run() const;
+
+  // The experiment fingerprint checkpoints are keyed by (seed, options, and
+  // the registered function mix).
+  uint64_t Fingerprint() const;
 
   // The RNG substream seed for a deployment (SimEnvironment::DeploymentSeed):
   // HashCombine of the fleet seed with a stable hash of the deployment name.

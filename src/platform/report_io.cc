@@ -1,12 +1,15 @@
 #include "src/platform/report_io.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "src/common/crc32.h"
+#include "src/common/rng.h"
 
 namespace pronghorn {
 
@@ -328,6 +331,356 @@ Status WriteSummaryCsv(const SimulationReport& report, const std::string& path) 
   out.flush();
   if (!out) {
     return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+namespace {
+
+Result<DistributionSummary> DeserializeSummary(ByteReader& reader) {
+  DistributionSummary out;
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  if (count > reader.remaining() / sizeof(double)) {
+    return DataLossError("summary sample count exceeds remaining bytes");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(double sample, reader.ReadDouble());
+    out.Add(sample);
+  }
+  return out;
+}
+
+Result<Duration> ReadDuration(ByteReader& reader) {
+  PRONGHORN_ASSIGN_OR_RETURN(int64_t micros, reader.ReadInt64());
+  return Duration::Micros(micros);
+}
+
+}  // namespace
+
+Status DeserializeStoreAccounting(ByteReader& reader, StoreAccounting& out) {
+  PRONGHORN_ASSIGN_OR_RETURN(out.logical_bytes_stored, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.peak_logical_bytes, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.network_bytes_uploaded, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.network_bytes_downloaded, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.put_count, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.get_count, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.delete_count, reader.ReadUint64());
+  return OkStatus();
+}
+
+Status DeserializeKvAccounting(ByteReader& reader, KvAccounting& out) {
+  PRONGHORN_ASSIGN_OR_RETURN(out.reads, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.writes, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.cas_attempts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.cas_conflicts, reader.ReadUint64());
+  return OkStatus();
+}
+
+Status DeserializeFaultRecoveryStats(ByteReader& reader, FaultRecoveryStats& out) {
+  PRONGHORN_ASSIGN_OR_RETURN(out.store_faults, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.db_faults, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.corrupted_puts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.torn_puts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.latency_injections, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.restore_retries, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.restore_failures, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.restore_fallbacks, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.snapshots_quarantined, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.stale_entries_pruned, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.degraded_starts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.observations_buffered, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.observations_replayed, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.observations_dropped, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.checkpoints_skipped, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.eviction_deletes_deferred, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.orphans_collected, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.cas_attempts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.cas_conflicts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.db_transient_retries, reader.ReadUint64());
+  return OkStatus();
+}
+
+Status DeserializeReportCore(ByteReader& reader, ReportCore& out) {
+  PRONGHORN_RETURN_IF_ERROR(DeserializeStoreAccounting(reader, out.object_store));
+  PRONGHORN_RETURN_IF_ERROR(DeserializeKvAccounting(reader, out.database));
+  return DeserializeFaultRecoveryStats(reader, out.faults);
+}
+
+Result<SimulationReport> DeserializeFunctionReport(ByteReader& reader) {
+  SimulationReport out;
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t record_count, reader.ReadVarint());
+  // Each record takes at least 4 bytes on the wire (two varints, an int64...
+  // actually >= 2+8+1); a loose floor guards against hostile counts.
+  if (record_count > reader.remaining()) {
+    return DataLossError("record count exceeds remaining bytes");
+  }
+  out.records.reserve(record_count);
+  for (uint64_t i = 0; i < record_count; ++i) {
+    RequestRecord record;
+    PRONGHORN_ASSIGN_OR_RETURN(record.global_index, reader.ReadVarint());
+    PRONGHORN_ASSIGN_OR_RETURN(record.request_number, reader.ReadVarint());
+    PRONGHORN_ASSIGN_OR_RETURN(record.latency, ReadDuration(reader));
+    PRONGHORN_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadUint8());
+    record.first_of_lifetime = (flags & 1) != 0;
+    record.cold_start = (flags & 2) != 0;
+    record.checkpoint_after = (flags & 4) != 0;
+    out.records.push_back(record);
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(out.exploring_latency, DeserializeSummary(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.exploiting_latency, DeserializeSummary(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.worker_lifetimes, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.checkpoints, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.restores, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.cold_starts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.total_checkpoint_downtime, ReadDuration(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.total_startup_latency, ReadDuration(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.total_worker_alive_time, ReadDuration(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.worker_memory_time_mb_s, reader.ReadDouble());
+  PRONGHORN_ASSIGN_OR_RETURN(int64_t end_us, reader.ReadInt64());
+  out.end_time = TimePoint::FromMicros(end_us);
+  PRONGHORN_ASSIGN_OR_RETURN(out.overheads.worker_starts, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.overheads.requests_served, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.overheads.checkpoints_taken, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(out.overheads.total_startup_overhead, ReadDuration(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.overheads.total_request_overhead, ReadDuration(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(out.overheads.total_checkpoint_overhead,
+                             ReadDuration(reader));
+  PRONGHORN_RETURN_IF_ERROR(DeserializeFaultRecoveryStats(reader, out.faults));
+  return out;
+}
+
+Result<ClusterReport> DeserializeClusterReport(ByteReader& reader) {
+  PRONGHORN_ASSIGN_OR_RETURN(ClusterReport out, DeserializeFunctionReport(reader));
+  PRONGHORN_RETURN_IF_ERROR(DeserializeStoreAccounting(reader, out.object_store));
+  PRONGHORN_RETURN_IF_ERROR(DeserializeKvAccounting(reader, out.database));
+  return out;
+}
+
+namespace {
+
+// FNV-1a, the same stable name hash SimEnvironment::DeploymentSeed keys RNG
+// substreams with; here it keys the reservoir retention sample.
+uint64_t StableNameHash(std::string_view name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+StreamingAccumulator::StreamingAccumulator(RetentionOptions retention)
+    : retention_(retention) {}
+
+void StreamingAccumulator::Fold(std::string name, ClusterReport report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FoldLocked(std::move(name), std::move(report));
+}
+
+void StreamingAccumulator::FoldLocked(std::string name, ClusterReport report) {
+  // Digest row first: the CRC covers exactly the bytes ReportDigest would
+  // hash for this function (length-prefixed name + canonical report bytes).
+  ByteWriter writer;
+  writer.Reserve(report.records.size() * 12 + name.size() + 64);
+  writer.WriteString(name);
+  SerializeFunctionReport(report, writer);
+  DigestRow row;
+  row.name = name;
+  row.crc = Crc32(writer.data());
+  row.length = writer.data().size();
+  rows_.push_back(std::move(row));
+
+  // Order-insensitive aggregates.
+  for (const RequestRecord& record : report.records) {
+    latency_hist_.Add(static_cast<uint64_t>(record.latency.ToMicros()));
+  }
+  invocations_total_ += report.records.size();
+  worker_lifetimes_ += report.worker_lifetimes;
+  checkpoints_ += report.checkpoints;
+  restores_ += report.restores;
+  cold_starts_ += report.cold_starts;
+  MergeReportCore(core_, report);
+
+  // Retained detail, bounded by the retention policy.
+  switch (retention_.mode) {
+    case ReportRetention::kAll:
+      break;
+    case ReportRetention::kTopLatency:
+      latency_rank_.emplace(report.MedianLatencyUs(), name);
+      break;
+    case ReportRetention::kReservoir:
+      hash_rank_.emplace(HashCombine(retention_.seed, StableNameHash(name)), name);
+      break;
+  }
+  folded_names_.insert(name);
+  retained_.emplace(std::move(name), std::move(report));
+  EnforceRetentionLocked();
+}
+
+void StreamingAccumulator::EnforceRetentionLocked() {
+  if (retention_.mode == ReportRetention::kAll || retention_.k == 0) {
+    return;
+  }
+  while (retained_.size() > retention_.k) {
+    // kTopLatency keeps the k largest ranks (evict the smallest); kReservoir
+    // keeps the k smallest hashes (evict the largest). Both evict a pure
+    // function of the folded set, so the survivors are order-insensitive.
+    std::string victim;
+    if (retention_.mode == ReportRetention::kTopLatency) {
+      victim = latency_rank_.begin()->second;
+      latency_rank_.erase(latency_rank_.begin());
+    } else {
+      victim = std::prev(hash_rank_.end())->second;
+      hash_rank_.erase(std::prev(hash_rank_.end()));
+    }
+    retained_.erase(victim);
+  }
+}
+
+bool StreamingAccumulator::Contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return folded_names_.find(name) != folded_names_.end();
+}
+
+uint64_t StreamingAccumulator::folded_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+uint64_t StreamingAccumulator::invocations_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invocations_total_;
+}
+
+uint32_t StreamingAccumulator::Digest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const DigestRow*> sorted;
+  sorted.reserve(rows_.size());
+  for (const DigestRow& row : rows_) {
+    sorted.push_back(&row);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DigestRow* a, const DigestRow* b) { return a->name < b->name; });
+  // Stitch the per-function CRCs (in canonical name order) and the merged
+  // core into the CRC of the concatenated serialization: exactly what
+  // ReportDigest computes over the materialized reports.
+  uint32_t digest = 0;  // CRC32 of the empty prefix.
+  for (const DigestRow* row : sorted) {
+    digest = Crc32Combine(digest, row->crc, row->length);
+  }
+  ByteWriter core_writer;
+  SerializeReportCore(core_, core_writer);
+  return Crc32Combine(digest, Crc32(core_writer.data()), core_writer.data().size());
+}
+
+StreamingAccumulator::Merged StreamingAccumulator::Take() {
+  const uint32_t digest = Digest();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Merged out;
+  out.retention = retention_.mode;
+  out.core = core_;
+  out.worker_lifetimes = worker_lifetimes_;
+  out.checkpoints = checkpoints_;
+  out.restores = restores_;
+  out.cold_starts = cold_starts_;
+  out.functions_total = rows_.size();
+  out.invocations_total = invocations_total_;
+  out.latency_hist = latency_hist_;
+  out.retained = std::move(retained_);
+  out.digest = digest;
+  core_ = ReportCore{};
+  worker_lifetimes_ = checkpoints_ = restores_ = cold_starts_ = 0;
+  invocations_total_ = 0;
+  latency_hist_ = LatencyHistogram{};
+  rows_.clear();
+  folded_names_.clear();
+  retained_.clear();
+  latency_rank_.clear();
+  hash_rank_.clear();
+  return out;
+}
+
+void StreamingAccumulator::SerializeState(ByteWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.WriteUint8(static_cast<uint8_t>(retention_.mode));
+  writer.WriteVarint(retention_.k);
+  writer.WriteUint64(retention_.seed);
+  writer.WriteUint64(worker_lifetimes_);
+  writer.WriteUint64(checkpoints_);
+  writer.WriteUint64(restores_);
+  writer.WriteUint64(cold_starts_);
+  writer.WriteVarint(invocations_total_);
+  SerializeReportCore(core_, writer);
+  latency_hist_.Serialize(writer);
+  writer.WriteVarint(rows_.size());
+  for (const DigestRow& row : rows_) {
+    writer.WriteString(row.name);
+    writer.WriteUint32(row.crc);
+    writer.WriteVarint(row.length);
+  }
+  writer.WriteVarint(retained_.size());
+  for (const auto& [name, report] : retained_) {
+    writer.WriteString(name);
+    ByteWriter body;
+    body.Reserve(report.records.size() * 12 + 128);
+    SerializeClusterReport(report, body);
+    writer.WriteBytes(body.data());
+  }
+}
+
+Status StreamingAccumulator::RestoreState(ByteReader& reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!rows_.empty()) {
+    return FailedPreconditionError("RestoreState needs an empty accumulator");
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(uint8_t mode, reader.ReadUint8());
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t k, reader.ReadVarint());
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t seed, reader.ReadUint64());
+  if (mode != static_cast<uint8_t>(retention_.mode) || k != retention_.k ||
+      seed != retention_.seed) {
+    return FailedPreconditionError(
+        "checkpointed retention options do not match this run (checkpoint: mode=" +
+        std::to_string(mode) + " k=" + std::to_string(k) + ")");
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(worker_lifetimes_, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(checkpoints_, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(restores_, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(cold_starts_, reader.ReadUint64());
+  PRONGHORN_ASSIGN_OR_RETURN(invocations_total_, reader.ReadVarint());
+  PRONGHORN_RETURN_IF_ERROR(DeserializeReportCore(reader, core_));
+  PRONGHORN_ASSIGN_OR_RETURN(latency_hist_, LatencyHistogram::Deserialize(reader));
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t row_count, reader.ReadVarint());
+  for (uint64_t i = 0; i < row_count; ++i) {
+    DigestRow row;
+    PRONGHORN_ASSIGN_OR_RETURN(row.name, reader.ReadString());
+    PRONGHORN_ASSIGN_OR_RETURN(row.crc, reader.ReadUint32());
+    PRONGHORN_ASSIGN_OR_RETURN(row.length, reader.ReadVarint());
+    folded_names_.insert(row.name);
+    rows_.push_back(std::move(row));
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(uint64_t retained_count, reader.ReadVarint());
+  for (uint64_t i = 0; i < retained_count; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    PRONGHORN_ASSIGN_OR_RETURN(std::vector<uint8_t> body, reader.ReadBytes());
+    ByteReader body_reader(body);
+    PRONGHORN_ASSIGN_OR_RETURN(ClusterReport report,
+                               DeserializeClusterReport(body_reader));
+    if (!body_reader.AtEnd()) {
+      return DataLossError("trailing bytes after retained report '" + name + "'");
+    }
+    switch (retention_.mode) {
+      case ReportRetention::kAll:
+        break;
+      case ReportRetention::kTopLatency:
+        latency_rank_.emplace(report.MedianLatencyUs(), name);
+        break;
+      case ReportRetention::kReservoir:
+        hash_rank_.emplace(HashCombine(retention_.seed, StableNameHash(name)), name);
+        break;
+    }
+    retained_.emplace(std::move(name), std::move(report));
   }
   return OkStatus();
 }

@@ -5,13 +5,21 @@
 #ifndef PRONGHORN_SRC_PLATFORM_REPORT_IO_H_
 #define PRONGHORN_SRC_PLATFORM_REPORT_IO_H_
 
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/common/bytes.h"
+#include "src/obs/metrics.h"
 #include "src/platform/cluster_simulation.h"
 #include "src/platform/metrics.h"
+#include "src/platform/sim_options.h"
 
 namespace pronghorn {
 
@@ -80,6 +88,116 @@ void SerializeClusterReport(const ClusterReport& report, ByteWriter& writer);
 
 // CRC32 over SerializeClusterReport's bytes.
 uint32_t ClusterReportCrc32(const ClusterReport& report);
+
+// Exact inverses of the canonical serializers above, used by the simulation
+// checkpoint (src/platform/sim_checkpoint.h) to restore folded reports after
+// a crash. Round-trip contract: re-serializing a deserialized report yields
+// byte-identical output (doubles travel as raw bits, samples in recorded
+// order).
+Status DeserializeStoreAccounting(ByteReader& reader, StoreAccounting& out);
+Status DeserializeKvAccounting(ByteReader& reader, KvAccounting& out);
+Status DeserializeFaultRecoveryStats(ByteReader& reader, FaultRecoveryStats& out);
+Status DeserializeReportCore(ByteReader& reader, ReportCore& out);
+Result<SimulationReport> DeserializeFunctionReport(ByteReader& reader);
+Result<ClusterReport> DeserializeClusterReport(ByteReader& reader);
+
+// Streaming, memory-bounded fold of per-function reports — the fleet-scale
+// replacement for collect-then-merge. Shards call Fold() the moment their
+// deployment finishes, in any order and from any thread; the accumulator
+// keeps:
+//   - the merged ReportCore + lifecycle counters (order-insensitive sums),
+//   - an exact-merge LatencyHistogram over every request latency,
+//   - one small digest row (name, CRC32, length) per folded function, and
+//   - per-function report bodies only as the retention policy allows.
+//
+// Digest contract: Digest() equals ReportDigest() over ALL folded functions
+// in canonical name order — in every retention mode — because each row's
+// CRC covers exactly the bytes ReportDigest would have hashed for that
+// function, and Crc32Combine stitches the rows (sorted by name) and the
+// merged core back into the one-shot CRC without the bytes ever coexisting
+// in memory. Keep-all mode additionally retains every report body, making
+// the assembled FleetReport bit-identical to the historical path.
+//
+// Both bounded modes pick the retained subset as a pure function of the
+// folded SET (never of fold order), so retained output is bit-stable across
+// thread counts and shard completion orders.
+class StreamingAccumulator {
+ public:
+  // One folded function's contribution to the canonical digest: the CRC32
+  // and byte length of (WriteString(name) + SerializeFunctionReport(report)).
+  struct DigestRow {
+    std::string name;
+    uint32_t crc = 0;
+    uint64_t length = 0;
+  };
+
+  // Everything Take() hands back to the driver assembling the final report.
+  struct Merged {
+    ReportRetention retention = ReportRetention::kAll;
+    ReportCore core;
+    uint64_t worker_lifetimes = 0;
+    uint64_t checkpoints = 0;
+    uint64_t restores = 0;
+    uint64_t cold_starts = 0;
+    uint64_t functions_total = 0;
+    uint64_t invocations_total = 0;
+    LatencyHistogram latency_hist;
+    // Retained report bodies in canonical (name) order; every folded
+    // function under kAll, at most `k` under the bounded modes.
+    std::map<std::string, ClusterReport> retained;
+    // The canonical digest over all folded functions (see class comment).
+    uint32_t digest = 0;
+  };
+
+  explicit StreamingAccumulator(RetentionOptions retention = RetentionOptions{});
+
+  // Folds one finished deployment. Thread-safe; names must be unique.
+  void Fold(std::string name, ClusterReport report);
+
+  // True when `name` was already folded (the resume skip set).
+  bool Contains(std::string_view name) const;
+
+  uint64_t folded_count() const;
+  uint64_t invocations_total() const;
+
+  // The canonical digest over everything folded so far.
+  uint32_t Digest() const;
+
+  // Finalizes and moves the merged state out; the accumulator is empty after.
+  Merged Take();
+
+  // Checkpoint support: the full accumulator state as bytes, and its exact
+  // restoration into a freshly constructed accumulator. Serialized state
+  // embeds the retention options; RestoreState fails if they disagree with
+  // this accumulator's (a resumed run must not silently change what the
+  // report means), or if anything was already folded.
+  void SerializeState(ByteWriter& writer) const;
+  Status RestoreState(ByteReader& reader);
+
+ private:
+  void FoldLocked(std::string name, ClusterReport report);
+  // Applies the retention bound after an insert (evicts the worst-ranked
+  // retained entry when over budget).
+  void EnforceRetentionLocked();
+
+  RetentionOptions retention_;
+
+  mutable std::mutex mutex_;
+  ReportCore core_;
+  uint64_t worker_lifetimes_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t restores_ = 0;
+  uint64_t cold_starts_ = 0;
+  uint64_t invocations_total_ = 0;
+  LatencyHistogram latency_hist_;
+  std::vector<DigestRow> rows_;
+  std::set<std::string, std::less<>> folded_names_;
+  std::map<std::string, ClusterReport> retained_;
+  // Eviction ranks for the bounded modes: kTopLatency evicts the smallest
+  // (median latency, name); kReservoir evicts the largest (hash, name).
+  std::set<std::pair<double, std::string>> latency_rank_;
+  std::set<std::pair<uint64_t, std::string>> hash_rank_;
+};
 
 }  // namespace pronghorn
 

@@ -1,0 +1,185 @@
+#include "src/platform/sim_checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "src/checkpoint/snapshot.h"
+#include "src/common/rng.h"
+
+namespace pronghorn {
+
+namespace {
+
+uint64_t HashString(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t HashDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// Flushes the directory entry so the rename itself survives a power cut.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void SimFingerprint::AddFunction(std::string_view name, uint64_t requests,
+                                 uint32_t worker_slots, uint32_t exploring_slots) {
+  uint64_t entry = HashString(name);
+  entry = HashCombine(entry, requests);
+  entry = HashCombine(entry, worker_slots);
+  entry = HashCombine(entry, exploring_slots);
+  // XOR-fold so registration order is irrelevant (names are unique, so no
+  // two entries can cancel).
+  value_ ^= HashCombine(0x5fb7ULL, entry);
+}
+
+void SimFingerprint::AddOptions(const SimOptions& options) {
+  uint64_t h = HashCombine(value_, options.seed);
+  h = HashCombine(h, static_cast<uint64_t>(options.engine_kind));
+  h = HashCombine(h, options.input_noise ? 1 : 0);
+  h = HashCombine(h, static_cast<uint64_t>(options.eviction.kind));
+  h = HashCombine(h, options.eviction.k);
+  h = HashCombine(h, HashDouble(options.eviction.mean_requests));
+  h = HashCombine(h, static_cast<uint64_t>(options.eviction.idle_timeout.ToMicros()));
+  h = HashCombine(h, static_cast<uint64_t>(options.retention.mode));
+  h = HashCombine(h, options.retention.k);
+  h = HashCombine(h, options.retention.seed);
+  // The chaos plan changes every digest, so it must pin the fingerprint too.
+  h = HashCombine(h, HashDouble(options.faults.get_failure_rate));
+  h = HashCombine(h, HashDouble(options.faults.put_failure_rate));
+  h = HashCombine(h, HashDouble(options.faults.delete_failure_rate));
+  h = HashCombine(h, HashDouble(options.faults.metadata_failure_rate));
+  h = HashCombine(h, HashDouble(options.faults.corruption_rate));
+  h = HashCombine(h, HashDouble(options.faults.torn_write_rate));
+  h = HashCombine(h, options.faults.seed);
+  h = HashCombine(h, seed);
+  h = HashCombine(h, topology);
+  value_ = h;
+}
+
+Status WriteSimCheckpointFile(const std::string& path, uint64_t fingerprint,
+                              uint64_t progress, std::span<const uint8_t> payload) {
+  // Frame the state exactly the way engine snapshots are framed: the
+  // SnapshotImage wire format already carries magic, version, and a CRC32
+  // trailer, and its Decode() is the corruption oracle the recovery paths
+  // trust.
+  SnapshotMetadata metadata;
+  metadata.id.value = fingerprint;
+  metadata.function = "sim-checkpoint";
+  metadata.request_number = progress;
+  metadata.logical_size_bytes = payload.size();
+  metadata.created_at = TimePoint::FromMicros(0);  // Simulated time only.
+  const SnapshotImage image(std::move(metadata),
+                            std::vector<uint8_t>(payload.begin(), payload.end()));
+  const std::vector<uint8_t> frame = image.Encode();
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot open checkpoint temp file '" + tmp + "'");
+  }
+  const size_t written = std::fwrite(frame.data(), 1, frame.size(), file);
+  if (written != frame.size() || std::fflush(file) != 0 ||
+      ::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return InternalError("short write to checkpoint temp file '" + tmp + "'");
+  }
+  std::fclose(file);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rename checkpoint into place at '" + path + "'");
+  }
+  SyncParentDir(path);
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> ReadSimCheckpointFile(const std::string& path,
+                                                   uint64_t fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("no checkpoint at '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  PRONGHORN_ASSIGN_OR_RETURN(
+      SnapshotImage image,
+      SnapshotImage::Decode(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size())));
+  if (image.metadata().function != "sim-checkpoint") {
+    return DataLossError("'" + path + "' is not a simulation checkpoint");
+  }
+  if (image.metadata().id.value != fingerprint) {
+    return FailedPreconditionError(
+        "checkpoint at '" + path +
+        "' belongs to a different experiment (fingerprint mismatch); refusing "
+        "to resume");
+  }
+  return image.payload();
+}
+
+std::string WholeRunCheckpointPath(const std::string& dir) {
+  return dir + "/sim.ckpt";
+}
+
+FleetCheckpointer::FleetCheckpointer(const SimCheckpointOptions& options,
+                                     uint64_t fingerprint,
+                                     const StreamingAccumulator& accumulator)
+    : options_(options), fingerprint_(fingerprint), accumulator_(accumulator) {}
+
+std::string FleetCheckpointer::FilePath(const std::string& dir) {
+  return dir + "/fleet.ckpt";
+}
+
+void FleetCheckpointer::OnFold() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++folds_since_write_;
+  if (folds_since_write_ < std::max<uint64_t>(options_.every, 1)) {
+    return;
+  }
+  folds_since_write_ = 0;
+  if (const Status status = WriteFrame(); !status.ok() && first_error_.ok()) {
+    first_error_ = status;
+  }
+}
+
+Status FleetCheckpointer::Finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const Status status = WriteFrame(); !status.ok() && first_error_.ok()) {
+    first_error_ = status;
+  }
+  return first_error_;
+}
+
+Status FleetCheckpointer::WriteFrame() {
+  ByteWriter writer;
+  accumulator_.SerializeState(writer);
+  return WriteSimCheckpointFile(FilePath(options_.dir), fingerprint_,
+                                accumulator_.folded_count(), writer.data());
+}
+
+}  // namespace pronghorn

@@ -294,6 +294,57 @@ Status SimEnvironment::RunArrivals(std::span<const Arrival> arrivals) {
   return OkStatus();
 }
 
+Status SimEnvironment::RunArrivalStream(ArrivalSource& source) {
+  // The slot whose idle-eviction decision is still waiting on its
+  // deployment's next arrival (one per deployment, O(deployments) state).
+  std::vector<SimCore*> pending_evict(deployments_.size(), nullptr);
+  bool first = true;
+  TimePoint prev;
+  while (true) {
+    std::optional<Arrival> next = source.Next();
+    if (!next.has_value()) {
+      break;
+    }
+    const Arrival arrival = *next;
+    if (arrival.deployment >= deployments_.size()) {
+      return InvalidArgumentError("arrival references an unknown deployment");
+    }
+    Deployment& deployment = deployments_[arrival.deployment];
+    if (deployment.slots.empty()) {
+      return FailedPreconditionError("deployment '" + deployment.name +
+                                     "' has no worker slots");
+    }
+    if (!first && arrival.arrival < prev) {
+      return InvalidArgumentError("trace arrivals must be non-decreasing");
+    }
+    first = false;
+    prev = arrival.arrival;
+    // The deployment's successor arrival is now known: resolve the deferred
+    // eviction check exactly as RunArrivals' lookahead would have.
+    if (SimCore* held = pending_evict[arrival.deployment]; held != nullptr) {
+      held->MaybeEvict(/*has_next=*/true, arrival.arrival, deployment.report);
+    }
+    // Least-loaded slot within the deployment (same tie-break as
+    // RunArrivals); with every slot busy the request queues behind the
+    // earliest-free one.
+    SimCore* slot = &deployment.slots[0];
+    for (SimCore& candidate : deployment.slots) {
+      if (candidate.free_at() < slot->free_at()) {
+        slot = &candidate;
+      }
+    }
+    PRONGHORN_RETURN_IF_ERROR(Dispatch(deployment, *slot, arrival.arrival));
+    pending_evict[arrival.deployment] = slot;
+  }
+  for (size_t d = 0; d < deployments_.size(); ++d) {
+    if (pending_evict[d] != nullptr) {
+      pending_evict[d]->MaybeEvict(/*has_next=*/false, TimePoint{},
+                                   deployments_[d].report);
+    }
+  }
+  return OkStatus();
+}
+
 void SimEnvironment::RetireAllWorkers() {
   for (Deployment& deployment : deployments_) {
     for (SimCore& slot : deployment.slots) {

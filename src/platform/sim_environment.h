@@ -68,6 +68,34 @@ class SimEnvironment {
     TimePoint arrival;
   };
 
+  // Pull-based arrival feed for RunArrivalStream: yields arrivals in
+  // non-decreasing time order, nullopt at end-of-stream. Implementations
+  // (e.g. an adapter over trace/FleetArrivalStream) hold O(1)–O(functions)
+  // state, never the materialized invocation list.
+  class ArrivalSource {
+   public:
+    virtual ~ArrivalSource() = default;
+    virtual std::optional<Arrival> Next() = 0;
+  };
+
+  // Adapter replaying a materialized arrival list as a stream (tests and
+  // callers that already hold a trace).
+  class SpanArrivalSource final : public ArrivalSource {
+   public:
+    explicit SpanArrivalSource(std::span<const Arrival> arrivals)
+        : arrivals_(arrivals) {}
+    std::optional<Arrival> Next() override {
+      if (next_ >= arrivals_.size()) {
+        return std::nullopt;
+      }
+      return arrivals_[next_++];
+    }
+
+   private:
+    std::span<const Arrival> arrivals_;
+    size_t next_ = 0;
+  };
+
   SimEnvironment(const WorkloadRegistry& registry, EnvironmentOptions options);
   ~SimEnvironment();
 
@@ -100,6 +128,19 @@ class SimEnvironment {
   // on the least-loaded slot of its deployment; a request arriving while
   // every slot is busy queues behind the earliest-free one.
   Status RunArrivals(std::span<const Arrival> arrivals);
+
+  // Trace-driven from a pull source, for replays whose invocation list is
+  // too large to materialize (fleet-scale streaming traces). Dispatch order
+  // and slot choice match RunArrivals exactly; the one divergence is idle
+  // eviction, which RunArrivals resolves via a whole-trace lookahead and a
+  // stream cannot — here a deployment's eviction check is deferred until its
+  // successor arrival is pulled (or end-of-stream). The deferral reorders a
+  // slot's store deletes relative to OTHER deployments' traffic, so replays
+  // are bit-equivalent to RunArrivals for single-deployment environments and
+  // for runs whose eviction model never fires mid-trace; multi-deployment
+  // runs with mid-trace eviction may differ in store-accounting peaks and
+  // fault-RNG draw order while serving the identical request sequence.
+  Status RunArrivalStream(ArrivalSource& source);
 
   // Retires every still-warm worker at the current simulated time, folding
   // occupancy accounting into the per-deployment reports. Closed-loop drivers

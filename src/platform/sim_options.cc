@@ -2,6 +2,32 @@
 
 namespace pronghorn {
 
+std::string_view RetentionLabel(ReportRetention retention) {
+  switch (retention) {
+    case ReportRetention::kAll:
+      return "all";
+    case ReportRetention::kTopLatency:
+      return "top-latency";
+    case ReportRetention::kReservoir:
+      return "reservoir";
+  }
+  return "unknown";
+}
+
+Result<ReportRetention> ParseRetention(std::string_view label) {
+  if (label == "all") {
+    return ReportRetention::kAll;
+  }
+  if (label == "top-latency" || label == "topk" || label == "top-k") {
+    return ReportRetention::kTopLatency;
+  }
+  if (label == "reservoir") {
+    return ReportRetention::kReservoir;
+  }
+  return InvalidArgumentError("unknown retention mode '" + std::string(label) +
+                              "' (want all | top-latency | reservoir)");
+}
+
 Result<std::unique_ptr<EvictionModel>> FleetEvictionSpec::Instantiate(
     uint64_t function_seed) const {
   switch (kind) {

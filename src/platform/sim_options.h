@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <type_traits>
 
 #include "src/common/clock.h"
@@ -79,6 +80,55 @@ struct FleetEvictionSpec {
   Duration idle_timeout = Duration::Seconds(600);  // kIdleTimeout
 
   Result<std::unique_ptr<EvictionModel>> Instantiate(uint64_t function_seed) const;
+};
+
+// How much per-function detail a fleet-scale run retains in its merged
+// report. Aggregates (store accountings, fault counters, lifecycle totals,
+// the exact-merge latency histogram, and the canonical digest) are ALWAYS
+// complete in every mode — retention only bounds the per-function record
+// detail, which is what makes peak RSS O(shards + retained-K) instead of
+// O(functions x requests) at fleet scale.
+enum class ReportRetention : uint8_t {
+  // Retain every per-function report. The compatibility mode: the merged
+  // report is bit-identical to the historical collect-then-merge path.
+  kAll = 0,
+  // Retain the K functions with the highest median latency (ties broken by
+  // name). A pure function of the folded set, so schedule-independent.
+  kTopLatency = 1,
+  // Retain a deterministic uniform sample of K functions: the K smallest
+  // values of HashCombine(seed, name-hash). Order-insensitive by
+  // construction, unlike a classic streaming reservoir.
+  kReservoir = 2,
+};
+
+// Stable labels for serialized reports ("all", "top-latency", "reservoir"),
+// so decimated outputs are always distinguishable from complete ones.
+std::string_view RetentionLabel(ReportRetention retention);
+Result<ReportRetention> ParseRetention(std::string_view label);
+
+struct RetentionOptions {
+  ReportRetention mode = ReportRetention::kAll;
+  // Retained-function budget for the bounded modes; ignored by kAll.
+  uint64_t k = 64;
+  // Substream for kReservoir's hash sample; combined with the name hash only,
+  // never with shard or thread identity.
+  uint64_t seed = 1;
+};
+
+// Periodic crash-consistent simulation checkpoints (src/platform/
+// sim_checkpoint.h). Fleet runs checkpoint at completed-deployment
+// granularity; single/platform runs checkpoint the finished report. Resuming
+// a killed run reproduces the uninterrupted run's digest bit-for-bit.
+struct SimCheckpointOptions {
+  // Directory for checkpoint files; empty disables checkpointing.
+  std::string dir;
+  // Write a checkpoint every N completed deployments (fleet topology).
+  uint64_t every = 1;
+  // Load the newest valid checkpoint from `dir` before running, skipping
+  // work it already covers.
+  bool resume = false;
+
+  bool enabled() const { return !dir.empty(); }
 };
 
 // Service mode: route every worker-lifecycle operation through a live
@@ -142,6 +192,13 @@ struct SimOptions {
   // Live service mode (see ServiceModeOptions above).
   ServiceModeOptions service;
 
+  // Fleet-scale report retention (see ReportRetention above). kAll keeps the
+  // historical collect-then-merge output bit-for-bit.
+  RetentionOptions retention;
+
+  // Periodic resumable simulation checkpoints (see SimCheckpointOptions).
+  SimCheckpointOptions sim_checkpoint;
+
   // Borrowed observability sink; null (the default) disables all
   // instrumentation at zero cost. Never owned, never read by digest-covered
   // code paths.
@@ -171,6 +228,8 @@ static_assert(std::is_same_v<decltype(SimOptions::costs), OrchestratorCostModel>
 static_assert(std::is_same_v<decltype(SimOptions::faults), FaultPlan>);
 static_assert(std::is_same_v<decltype(SimOptions::recovery), RecoveryOptions>);
 static_assert(std::is_same_v<decltype(SimOptions::service), ServiceModeOptions>);
+static_assert(std::is_same_v<decltype(SimOptions::retention), RetentionOptions>);
+static_assert(std::is_same_v<decltype(SimOptions::sim_checkpoint), SimCheckpointOptions>);
 static_assert(std::is_same_v<decltype(SimOptions::obs), ObsSink*>);
 
 }  // namespace pronghorn

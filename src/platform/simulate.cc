@@ -6,6 +6,7 @@
 #include "src/platform/cluster_simulation.h"
 #include "src/platform/fleet_simulation.h"
 #include "src/platform/report_io.h"
+#include "src/platform/sim_checkpoint.h"
 #include "src/platform/sim_environment.h"
 
 namespace pronghorn {
@@ -18,11 +19,14 @@ namespace {
 void FoldFunction(SimReport& out, std::string name, SimulationReport report) {
   for (const RequestRecord& record : report.records) {
     out.latency.Add(static_cast<double>(record.latency.ToMicros()));
+    out.latency_hist.Add(static_cast<uint64_t>(record.latency.ToMicros()));
   }
   out.worker_lifetimes += report.worker_lifetimes;
   out.checkpoints += report.checkpoints;
   out.restores += report.restores;
   out.cold_starts += report.cold_starts;
+  out.functions_total += 1;
+  out.invocations_total += report.records.size();
   out.per_function.push_back(SimFunctionResult{std::move(name), std::move(report)});
 }
 
@@ -117,15 +121,86 @@ Result<SimReport> SimulateFleet(const WorkloadRegistry& registry,
   PRONGHORN_ASSIGN_OR_RETURN(FleetReport merged, fleet.Run());
   SimReport out;
   static_cast<ReportCore&>(out) = static_cast<const ReportCore&>(merged);
+  // Aggregates come from the streaming fold, which saw every function even
+  // when per_function was decimated; FoldFunction's re-summation would
+  // undercount under the bounded modes.
+  out.worker_lifetimes = merged.worker_lifetimes;
+  out.checkpoints = merged.checkpoints;
+  out.restores = merged.restores;
+  out.cold_starts = merged.cold_starts;
+  out.retention = merged.retention;
+  out.functions_total = merged.functions_total;
+  out.invocations_total = merged.invocations_total;
+  out.latency_hist = merged.latency_hist;
+  out.streaming_digest = merged.streaming_digest;
+  out.per_function.reserve(merged.per_function.size());
   for (FleetFunctionResult& result : merged.per_function) {
-    FoldFunction(out, std::move(result.function), std::move(result.report));
+    if (merged.retention == ReportRetention::kAll) {
+      for (const RequestRecord& record : result.report.records) {
+        out.latency.Add(static_cast<double>(record.latency.ToMicros()));
+      }
+    }
+    out.per_function.push_back(
+        SimFunctionResult{std::move(result.function), std::move(result.report)});
   }
   return out;
+}
+
+// Whole-run checkpoint payload for kSingle/kPlatform: the retained
+// per-function reports (name order) followed by the shared core. The merged
+// latency views and counters are rebuilt through FoldFunction on restore, so
+// they never need a serialization of their own.
+std::vector<uint8_t> EncodeWholeRunPayload(const SimReport& report) {
+  ByteWriter writer;
+  writer.WriteVarint(report.per_function.size());
+  for (const SimFunctionResult& result : report.per_function) {
+    writer.WriteString(result.function);
+    SerializeClusterReport(result.report, writer);
+  }
+  SerializeReportCore(report, writer);
+  return writer.data();
+}
+
+Result<SimReport> DecodeWholeRunPayload(std::span<const uint8_t> payload) {
+  ByteReader reader(payload);
+  PRONGHORN_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
+  SimReport out;
+  for (uint64_t i = 0; i < count; ++i) {
+    PRONGHORN_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    PRONGHORN_ASSIGN_OR_RETURN(ClusterReport report,
+                               DeserializeClusterReport(reader));
+    FoldFunction(out, std::move(name), std::move(report));
+  }
+  PRONGHORN_RETURN_IF_ERROR(DeserializeReportCore(reader, out));
+  if (!reader.AtEnd()) {
+    return DataLossError("trailing bytes after checkpointed simulation report");
+  }
+  out.streaming_digest = out.Digest();
+  return out;
+}
+
+uint64_t WholeRunFingerprint(SimTopology topology,
+                             std::span<const SimFunctionSpec> functions,
+                             const SimOptions& options) {
+  SimFingerprint fingerprint;
+  fingerprint.seed = options.seed;
+  fingerprint.topology = static_cast<uint32_t>(topology);
+  for (const SimFunctionSpec& spec : functions) {
+    fingerprint.AddFunction(spec.name, spec.requests, options.worker_slots,
+                            options.exploring_slots);
+  }
+  fingerprint.AddOptions(options);
+  return fingerprint.value();
 }
 
 }  // namespace
 
 uint32_t SimReport::Digest() const {
+  if (retention != ReportRetention::kAll) {
+    // per_function is decimated; the streaming fold's CRC-combined digest is
+    // the canonical one (identical to what a keep-all run computes).
+    return streaming_digest;
+  }
   std::vector<NamedReportRef> rows;
   rows.reserve(per_function.size());
   for (const SimFunctionResult& result : per_function) {
@@ -152,6 +227,27 @@ Result<SimReport> Simulate(const WorkloadRegistry& registry, SimTopology topolog
     effective.obs = obs;
   }
 
+  // Whole-run checkpointing for the single-environment topologies (kFleet
+  // checkpoints incrementally inside FleetSimulation::Run).
+  const SimCheckpointOptions& ckpt = effective.sim_checkpoint;
+  const bool whole_run_ckpt = ckpt.enabled() && topology != SimTopology::kFleet;
+  uint64_t fingerprint = 0;
+  if (whole_run_ckpt) {
+    fingerprint = WholeRunFingerprint(topology, functions, effective);
+    if (ckpt.resume) {
+      auto payload =
+          ReadSimCheckpointFile(WholeRunCheckpointPath(ckpt.dir), fingerprint);
+      if (payload.ok()) {
+        return DecodeWholeRunPayload(*payload);
+      }
+      if (payload.status().code() != StatusCode::kNotFound) {
+        // A corrupt or mismatched checkpoint must fail loudly, not silently
+        // restart the experiment from scratch.
+        return payload.status();
+      }
+    }
+  }
+
   Result<SimReport> report = [&]() -> Result<SimReport> {
     switch (topology) {
       case SimTopology::kSingle:
@@ -165,6 +261,15 @@ Result<SimReport> Simulate(const WorkloadRegistry& registry, SimTopology topolog
   }();
   if (!report.ok()) {
     return report;
+  }
+  if (report->retention == ReportRetention::kAll) {
+    report->streaming_digest = report->Digest();
+  }
+  if (whole_run_ckpt) {
+    PRONGHORN_RETURN_IF_ERROR(
+        WriteSimCheckpointFile(WholeRunCheckpointPath(ckpt.dir), fingerprint,
+                               /*progress=*/report->functions_total,
+                               EncodeWholeRunPayload(*report)));
   }
   if (effective.obs != nullptr) {
     report->metrics = effective.obs->SnapshotMetrics();

@@ -78,6 +78,24 @@ struct SimReport : ReportCore {
   uint64_t restores = 0;
   uint64_t cold_starts = 0;
 
+  // How much per-function detail this report retains (always kAll for
+  // kSingle/kPlatform; the fleet topology honors options.retention), and the
+  // totals over ALL simulated functions — which per_function.size() and
+  // `latency` understate under the bounded fleet modes.
+  ReportRetention retention = ReportRetention::kAll;
+  uint64_t functions_total = 0;
+  uint64_t invocations_total = 0;
+
+  // Exact-merge latency histogram over every request of every function,
+  // complete in all retention modes (unlike `latency`, which needs the full
+  // per-function record bodies).
+  LatencyHistogram latency_hist;
+
+  // The canonical digest as maintained by the streaming fold — equal to
+  // ReportDigest over ALL simulated functions even when per_function was
+  // decimated by a bounded retention mode.
+  uint32_t streaming_digest = 0;
+
   // Counters / gauges / histograms harvested from the sink at the end of the
   // run; empty when no sink was attached (or the sink keeps no metrics).
   MetricsSnapshot metrics;
@@ -105,6 +123,17 @@ struct SimReport : ReportCore {
 // options.obs for this run (the `Simulate(options, sink)` call shape);
 // passing nullptr uses options.obs, which may itself be null (observability
 // fully disabled — the zero-cost path).
+//
+// When options.sim_checkpoint is enabled, the run writes crash-consistent
+// checkpoints keyed by the experiment fingerprint and, with resume set,
+// continues from them, reproducing the uninterrupted digest bit-for-bit.
+// kFleet checkpoints at completed-deployment granularity (only unfinished
+// deployments re-run); kSingle/kPlatform checkpoint at whole-run granularity
+// — every deployment's trajectory is a pure function of (seed, name), so a
+// mid-run kill deterministically re-runs to the same report, and a finished
+// run is served straight from the stored frame. Observability state
+// (metrics/trace) is not checkpointed; a resumed-from-file run reports an
+// empty metrics snapshot.
 Result<SimReport> Simulate(const WorkloadRegistry& registry, SimTopology topology,
                            std::span<const SimFunctionSpec> functions,
                            const SimOptions& options, ObsSink* obs = nullptr);

@@ -22,4 +22,75 @@ Result<double> AzureTraceModel::ExpectedArrivalsInWindow(double percentile,
   return daily * window.ToSeconds() / 86400.0;
 }
 
+std::string_view ArrivalMixName(ArrivalMix mix) {
+  switch (mix) {
+    case ArrivalMix::kSteady:
+      return "steady";
+    case ArrivalMix::kDiurnal:
+      return "diurnal";
+    case ArrivalMix::kBursty:
+      return "bursty";
+    case ArrivalMix::kMultiTenant:
+      return "multi-tenant";
+  }
+  return "steady";
+}
+
+Result<ArrivalMix> ParseArrivalMix(std::string_view text) {
+  if (text == "steady") {
+    return ArrivalMix::kSteady;
+  }
+  if (text == "diurnal") {
+    return ArrivalMix::kDiurnal;
+  }
+  if (text == "bursty") {
+    return ArrivalMix::kBursty;
+  }
+  if (text == "multi-tenant" || text == "multitenant") {
+    return ArrivalMix::kMultiTenant;
+  }
+  return InvalidArgumentError("unknown arrival mix '" + std::string(text) +
+                              "' (want steady|diurnal|bursty|multi-tenant)");
+}
+
+FunctionArrivalSpec ArrivalSpecFor(ArrivalMix mix, uint64_t seed, uint64_t index,
+                                   uint64_t n) {
+  // Everything below is a pure function of (mix, seed, index, n): the
+  // stratified popularity rank comes from the index, the per-function jitter
+  // from an index-keyed substream.
+  Rng rng(HashCombine(HashCombine(seed, 0x6d78ULL), index));
+  const double rank =
+      n <= 1 ? 0.5 : (static_cast<double>(index) + 0.5) / static_cast<double>(n);
+  FunctionArrivalSpec spec;
+  switch (mix) {
+    case ArrivalMix::kSteady:
+      spec.percentile = 20.0 + 60.0 * rank;
+      spec.burstiness = 0.4;
+      break;
+    case ArrivalMix::kDiurnal:
+      spec.percentile = 20.0 + 60.0 * rank;
+      spec.burstiness = 0.4;
+      spec.diurnal_amplitude = rng.UniformDouble(0.5, 0.9);
+      spec.diurnal_phase_s = rng.UniformDouble(0.0, 86400.0);
+      break;
+    case ArrivalMix::kBursty:
+      spec.percentile = 20.0 + 60.0 * rank;
+      spec.burstiness = rng.UniformDouble(1.2, 1.8);
+      break;
+    case ArrivalMix::kMultiTenant:
+      // One function in ten is a heavy tenant near the top of the popularity
+      // distribution; the rest form the long quiet tail, half of it diurnal.
+      if (index % 10 == 0) {
+        spec.percentile = rng.UniformDouble(90.0, 99.0);
+      } else {
+        spec.percentile = rng.UniformDouble(5.0, 50.0);
+      }
+      spec.burstiness = rng.UniformDouble(0.3, 0.8);
+      spec.diurnal_amplitude = rng.Bernoulli(0.5) ? 0.4 : 0.0;
+      spec.diurnal_phase_s = rng.UniformDouble(0.0, 86400.0);
+      break;
+  }
+  return spec;
+}
+
 }  // namespace pronghorn

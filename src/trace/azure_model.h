@@ -13,6 +13,7 @@
 #define PRONGHORN_SRC_TRACE_AZURE_MODEL_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "src/common/clock.h"
 #include "src/common/result.h"
@@ -47,6 +48,36 @@ class AzureTraceModel {
  private:
   AzureTraceModelParams params_;
 };
+
+// Fleet arrival-mix presets: how a generated fleet's functions modulate
+// their Poisson arrival processes. The Azure characterization reports all
+// four regimes coexisting in production; a preset picks which one a
+// synthetic fleet leans into.
+enum class ArrivalMix : uint8_t {
+  kSteady = 0,       // Homogeneous bursty-Poisson (the historical default).
+  kDiurnal = 1,      // Sinusoidal day/night rate swing, phase-staggered.
+  kBursty = 2,       // Heavy lognormal gap modulation: clustered arrivals.
+  kMultiTenant = 3,  // Popularity spread wide open: a few heavy tenants
+                     // dominate a long quiet tail, with mixed diurnality.
+};
+
+// "steady" / "diurnal" / "bursty" / "multi-tenant".
+std::string_view ArrivalMixName(ArrivalMix mix);
+Result<ArrivalMix> ParseArrivalMix(std::string_view text);
+
+// Per-function arrival-process parameters drawn from a mix preset.
+struct FunctionArrivalSpec {
+  double percentile = 50.0;        // Popularity percentile in (0, 100).
+  double burstiness = 0.4;         // Lognormal gap-modulation sigma.
+  double diurnal_amplitude = 0.0;  // Relative rate swing, in [0, 1).
+  double diurnal_phase_s = 0.0;    // Offset of the rate peak, seconds.
+};
+
+// The spec for function `index` of a fleet of `n` under `mix` — a pure
+// function of its arguments (no RNG state), so any subset of a fleet can be
+// generated independently and deterministically.
+FunctionArrivalSpec ArrivalSpecFor(ArrivalMix mix, uint64_t seed, uint64_t index,
+                                   uint64_t n);
 
 }  // namespace pronghorn
 

@@ -1,6 +1,7 @@
 #include "src/trace/trace_generator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace pronghorn {
@@ -56,6 +57,87 @@ Result<InvocationTrace> TraceGenerator::GenerateTrace(
     PRONGHORN_RETURN_IF_ERROR(trace.Append(std::move(record)));
   }
   return trace;
+}
+
+ArrivalStream::ArrivalStream(const AzureTraceModel& model,
+                             const FunctionArrivalSpec& spec, uint64_t seed,
+                             Duration window)
+    : spec_(spec),
+      burstiness_(spec.burstiness),
+      horizon_seconds_(window.ToSeconds()),
+      rng_(HashCombine(seed, 0x7353ULL)) {
+  Result<double> daily = model.DailyInvocationsAtPercentile(spec.percentile);
+  if (!daily.ok() || *daily <= 0.0) {
+    exhausted_ = true;
+    return;
+  }
+  base_rate_per_second_ = *daily / 86400.0;
+  // Clamp the amplitude below 1 so the modulated rate never goes negative
+  // and the thinning envelope stays finite.
+  const double amplitude =
+      std::min(std::max(spec.diurnal_amplitude, 0.0), 0.999);
+  spec_.diurnal_amplitude = amplitude;
+  peak_rate_per_second_ = base_rate_per_second_ * (1.0 + amplitude);
+}
+
+std::optional<TimePoint> ArrivalStream::Next() {
+  if (exhausted_) {
+    return std::nullopt;
+  }
+  while (true) {
+    // Exponential gap at the PEAK rate, modulated by the lognormal
+    // burstiness factor — same draw order as GenerateWindow, so a flat
+    // (amplitude-0) stream is the classic bursty-Poisson process.
+    const double modulation =
+        burstiness_ > 0.0 ? rng_.LogNormal(0.0, burstiness_) : 1.0;
+    t_seconds_ += rng_.Exponential(peak_rate_per_second_) * modulation;
+    if (t_seconds_ >= horizon_seconds_) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    if (spec_.diurnal_amplitude > 0.0) {
+      // Lewis–Shedler: keep this candidate with probability
+      // rate(t)/peak_rate, where rate(t) swings sinusoidally over a day.
+      const double phase = 2.0 * 3.14159265358979323846 *
+                           (t_seconds_ + spec_.diurnal_phase_s) / 86400.0;
+      const double rate = base_rate_per_second_ *
+                          (1.0 + spec_.diurnal_amplitude * std::sin(phase));
+      if (!rng_.Bernoulli(std::max(rate, 0.0) / peak_rate_per_second_)) {
+        continue;  // Thinned out; advance from the candidate's time.
+      }
+    }
+    ++emitted_;
+    return TimePoint::FromMicros(static_cast<int64_t>(t_seconds_ * 1e6));
+  }
+}
+
+FleetArrivalStream::FleetArrivalStream(const AzureTraceModel& model,
+                                       std::span<const FunctionArrivalSpec> specs,
+                                       uint64_t seed, Duration window) {
+  streams_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    streams_.emplace_back(model, specs[i],
+                          HashCombine(HashCombine(seed, 0x666cULL), i), window);
+    if (std::optional<TimePoint> first = streams_.back().Next();
+        first.has_value()) {
+      heap_.push(Pending{first->ToMicros(), static_cast<uint32_t>(i)});
+    }
+  }
+}
+
+std::optional<FleetArrival> FleetArrivalStream::Next() {
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  const Pending head = heap_.top();
+  heap_.pop();
+  if (std::optional<TimePoint> next = streams_[head.function_index].Next();
+      next.has_value()) {
+    heap_.push(Pending{next->ToMicros(), head.function_index});
+  }
+  ++emitted_;
+  return FleetArrival{head.function_index,
+                      TimePoint::FromMicros(head.arrival_micros)};
 }
 
 }  // namespace pronghorn

@@ -3,6 +3,10 @@
 #ifndef PRONGHORN_SRC_TRACE_TRACE_GENERATOR_H_
 #define PRONGHORN_SRC_TRACE_TRACE_GENERATOR_H_
 
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +34,83 @@ class TraceGenerator {
  private:
   const AzureTraceModel& model_;
   Rng rng_;
+};
+
+// Pull-based arrival generator for ONE function: the same bursty-Poisson
+// process GenerateWindow draws, produced one arrival at a time with O(1)
+// state, plus optional diurnal rate modulation via Lewis–Shedler thinning
+// (a non-homogeneous Poisson process sampled at the peak rate, with each
+// candidate kept with probability rate(t)/peak — exact, not approximate).
+//
+// Each stream owns an independent Rng keyed by (seed, its own identity), so
+// any subset of a fleet's streams can be generated without generating the
+// rest; this is what makes the fleet generator below truly streaming. (The
+// substreams differ from TraceGenerator's single shared-Rng sequence, so
+// streamed windows are statistically — not byte — equivalent to
+// GenerateWindow's.)
+class ArrivalStream {
+ public:
+  // `seed` should already be function-unique (e.g. HashCombine of a fleet
+  // seed and the function index).
+  ArrivalStream(const AzureTraceModel& model, const FunctionArrivalSpec& spec,
+                uint64_t seed, Duration window);
+
+  // The next arrival time in [0, window), or nullopt once exhausted. Invalid
+  // percentiles surface as an immediately exhausted stream.
+  std::optional<TimePoint> Next();
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  FunctionArrivalSpec spec_;
+  double burstiness_ = 0.0;
+  double peak_rate_per_second_ = 0.0;  // Thinning envelope (= base when flat).
+  double base_rate_per_second_ = 0.0;
+  double horizon_seconds_ = 0.0;
+  double t_seconds_ = 0.0;
+  bool exhausted_ = false;
+  uint64_t emitted_ = 0;
+  Rng rng_;
+};
+
+// One fleet arrival: which function (by index into the spec list) and when.
+struct FleetArrival {
+  uint32_t function_index = 0;
+  TimePoint arrival;
+};
+
+// Streaming k-way merge of one ArrivalStream per function: emits the whole
+// fleet's invocations in global arrival order while holding O(functions)
+// state — one pending arrival per stream, never the full invocation list
+// (a 50k-function day is tens of millions of arrivals; this never
+// materializes them). Ties break by function index, so the sequence is a
+// pure function of (specs, seed, window).
+class FleetArrivalStream {
+ public:
+  FleetArrivalStream(const AzureTraceModel& model,
+                     std::span<const FunctionArrivalSpec> specs, uint64_t seed,
+                     Duration window);
+
+  // The next fleet-wide arrival in time order, or nullopt once every
+  // function's window is exhausted.
+  std::optional<FleetArrival> Next();
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct Pending {
+    int64_t arrival_micros = 0;
+    uint32_t function_index = 0;
+    bool operator>(const Pending& other) const {
+      return arrival_micros != other.arrival_micros
+                 ? arrival_micros > other.arrival_micros
+                 : function_index > other.function_index;
+    }
+  };
+
+  std::vector<ArrivalStream> streams_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> heap_;
+  uint64_t emitted_ = 0;
 };
 
 }  // namespace pronghorn

@@ -49,5 +49,46 @@ TEST(Crc32Test, DifferentLengthsDiffer) {
   EXPECT_NE(Crc32(Bytes("aa")), Crc32(Bytes("aaa")));
 }
 
+TEST(Crc32Test, CombineMatchesConcatenation) {
+  const std::vector<uint8_t> a = Bytes("streaming fleet ");
+  const std::vector<uint8_t> b = Bytes("accumulator rows");
+  std::vector<uint8_t> ab = a;
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(Crc32Combine(Crc32(a), Crc32(b), b.size()), Crc32(ab));
+}
+
+TEST(Crc32Test, CombineIsAssociativeOverManyChunks) {
+  // Stitching per-chunk CRCs left-to-right must equal the one-shot CRC of
+  // the concatenation — the identity the streaming report digest relies on.
+  const std::vector<std::vector<uint8_t>> chunks = {
+      Bytes("alpha"), Bytes(""), Bytes("b"), Bytes("gamma-gamma-gamma"),
+      std::vector<uint8_t>{0x00, 0xff, 0x7f, 0x20, 0x00}};
+  std::vector<uint8_t> whole;
+  uint32_t stitched = 0;  // CRC32 of the empty string.
+  for (const auto& chunk : chunks) {
+    whole.insert(whole.end(), chunk.begin(), chunk.end());
+    stitched = Crc32Combine(stitched, Crc32(chunk), chunk.size());
+  }
+  EXPECT_EQ(stitched, Crc32(whole));
+}
+
+TEST(Crc32Test, CombineWithEmptySuffixIsIdentity) {
+  const uint32_t crc = Crc32(Bytes("payload"));
+  EXPECT_EQ(Crc32Combine(crc, Crc32(Bytes("")), 0), crc);
+}
+
+TEST(Crc32Test, CombineHandlesLongLengths) {
+  // The GF(2) matrix walk must be correct across many length bits, not just
+  // short strings: build a 1 MiB pattern and split it unevenly.
+  std::vector<uint8_t> big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>((i * 131) ^ (i >> 7));
+  }
+  const size_t split = 12345;
+  const std::span<const uint8_t> head(big.data(), split);
+  const std::span<const uint8_t> tail(big.data() + split, big.size() - split);
+  EXPECT_EQ(Crc32Combine(Crc32(head), Crc32(tail), tail.size()), Crc32(big));
+}
+
 }  // namespace
 }  // namespace pronghorn

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/crc32.h"
 #include "src/common/rng.h"
 
 namespace pronghorn {
@@ -25,6 +26,36 @@ TEST(SnapshotImageTest, EncodeDecodeRoundTrip) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->metadata(), image.metadata());
   EXPECT_EQ(decoded->payload(), image.payload());
+}
+
+TEST(SnapshotImageTest, DecodeAcceptsVersion1Frames) {
+  // kVersion 2 widened embedded counters to 64-bit without changing the wire
+  // layout; v1 images (pre-widening) must keep decoding. Rewrite the version
+  // byte of a fresh frame to 1 and fix up the CRC trailer.
+  std::vector<uint8_t> frame = MakeImage().Encode();
+  ASSERT_GT(frame.size(), 9u);
+  frame[4] = 1;  // Version byte sits right after the 4-byte magic.
+  const std::span<const uint8_t> body(frame.data(), frame.size() - 4);
+  const uint32_t crc = Crc32(body);
+  frame[frame.size() - 4] = static_cast<uint8_t>(crc & 0xff);
+  frame[frame.size() - 3] = static_cast<uint8_t>((crc >> 8) & 0xff);
+  frame[frame.size() - 2] = static_cast<uint8_t>((crc >> 16) & 0xff);
+  frame[frame.size() - 1] = static_cast<uint8_t>((crc >> 24) & 0xff);
+  auto decoded = SnapshotImage::Decode(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->metadata(), MakeImage().metadata());
+}
+
+TEST(SnapshotImageTest, DecodeRejectsFutureVersions) {
+  std::vector<uint8_t> frame = MakeImage().Encode();
+  frame[4] = 99;
+  const std::span<const uint8_t> body(frame.data(), frame.size() - 4);
+  const uint32_t crc = Crc32(body);
+  frame[frame.size() - 4] = static_cast<uint8_t>(crc & 0xff);
+  frame[frame.size() - 3] = static_cast<uint8_t>((crc >> 8) & 0xff);
+  frame[frame.size() - 2] = static_cast<uint8_t>((crc >> 16) & 0xff);
+  frame[frame.size() - 1] = static_cast<uint8_t>((crc >> 24) & 0xff);
+  EXPECT_FALSE(SnapshotImage::Decode(frame).ok());
 }
 
 TEST(SnapshotImageTest, EmptyPayloadRoundTrip) {

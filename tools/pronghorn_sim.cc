@@ -55,6 +55,7 @@
 #include "src/obs/sink.h"
 #include "src/platform/report_io.h"
 #include "src/platform/simulate.h"
+#include "src/trace/azure_model.h"
 
 using namespace pronghorn;
 
@@ -306,6 +307,8 @@ struct CommonSimOptions {
   bool state_cache = true;
   FaultPlan faults;
   ServiceModeOptions service;
+  RetentionOptions retention;
+  SimCheckpointOptions sim_checkpoint;
 };
 
 Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
@@ -369,6 +372,36 @@ Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
     if (ec) {
       return InvalidArgumentError("cannot create --journal-dir '" +
                                   common.service.journal_dir + "': " + ec.message());
+    }
+  }
+
+  // Streaming retention + resumable-checkpoint knobs.
+  PRONGHORN_ASSIGN_OR_RETURN(common.retention.mode,
+                             ParseRetention(*flags.GetString("retention")));
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t retention_k,
+                             flags.GetInt("retention-k"));
+  if (retention_k <= 0) {
+    return InvalidArgumentError("--retention-k must be positive");
+  }
+  common.retention.k = static_cast<uint64_t>(retention_k);
+  common.retention.seed = common.seed;
+  common.sim_checkpoint.dir = *flags.GetString("sim-checkpoint-dir");
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t ckpt_every,
+                             flags.GetInt("sim-checkpoint-every"));
+  if (ckpt_every <= 0) {
+    return InvalidArgumentError("--sim-checkpoint-every must be positive");
+  }
+  common.sim_checkpoint.every = static_cast<uint64_t>(ckpt_every);
+  common.sim_checkpoint.resume = flags.GetBool("resume").value_or(false);
+  if (common.sim_checkpoint.resume && common.sim_checkpoint.dir.empty()) {
+    return InvalidArgumentError("--resume requires --sim-checkpoint-dir");
+  }
+  if (!common.sim_checkpoint.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(common.sim_checkpoint.dir, ec);
+    if (ec) {
+      return InvalidArgumentError("cannot create --sim-checkpoint-dir '" +
+                                  common.sim_checkpoint.dir + "': " + ec.message());
     }
   }
   return common;
@@ -487,13 +520,37 @@ Result<OwnedPolicy> BuildPolicy(const std::string& name, const PolicyConfig& con
   return owned;
 }
 
+// Fleet mode: scales one deployment's closed-loop request count by how much
+// busier or quieter the arrival mix says it is than the model's median
+// function. Deterministic in (mix, seed, index, count); the scale is clamped
+// to [1/8, 8]x so a 99th-percentile tenant cannot swamp the run.
+uint64_t MixScaledRequests(uint64_t requests, ArrivalMix mix, uint64_t seed,
+                           uint64_t index, uint64_t count) {
+  if (mix == ArrivalMix::kSteady) {
+    return requests;  // Homogeneous: the historical default, digest-stable.
+  }
+  const AzureTraceModel model;
+  const FunctionArrivalSpec arrival = ArrivalSpecFor(mix, seed, index, count);
+  const Result<double> daily = model.DailyInvocationsAtPercentile(arrival.percentile);
+  const Result<double> median = model.DailyInvocationsAtPercentile(50.0);
+  if (!daily.ok() || !median.ok() || *median <= 0.0) {
+    return requests;
+  }
+  const double scale = std::clamp(*daily / *median, 0.125, 8.0);
+  const double scaled = static_cast<double>(requests) * scale;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(scaled));
+}
+
 // Builds specs cycling through the evaluation set (fleet and platform modes).
+// `mix`, when non-null (fleet mode), makes the fleet heterogeneous: each
+// deployment's request count follows its popularity under the arrival mix.
 Result<std::vector<SimFunctionSpec>> BuildEvaluationSpecs(
     const FlagParser& flags, int64_t count, uint64_t requests,
     uint64_t eviction_k, bool unique_names,
-    std::vector<OwnedPolicy>& policies) {
+    std::vector<OwnedPolicy>& policies, const ArrivalMix* mix = nullptr) {
   const auto evaluation = WorkloadRegistry::Default().EvaluationSet();
   const std::string policy_name = *flags.GetString("policy");
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed"));
   std::vector<SimFunctionSpec> specs;
   specs.reserve(static_cast<size_t>(count));
   policies.reserve(static_cast<size_t>(count));
@@ -519,7 +576,12 @@ Result<std::vector<SimFunctionSpec>> BuildEvaluationSpecs(
     }
     spec.profile = &profile;
     spec.policy = policies.back().policy.get();
-    spec.requests = requests;
+    spec.requests =
+        mix == nullptr
+            ? requests
+            : MixScaledRequests(requests, *mix, static_cast<uint64_t>(seed),
+                                static_cast<uint64_t>(i),
+                                static_cast<uint64_t>(count));
     specs.push_back(std::move(spec));
   }
   return specs;
@@ -554,12 +616,18 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   options.eviction = *eviction;
   options.faults = common.faults;
   options.service = common.service;
+  options.retention = common.retention;
+  options.sim_checkpoint = common.sim_checkpoint;
   options.worker_slots = static_cast<uint32_t>(slots);
   options.exploring_slots = static_cast<uint32_t>(exploring);
 
+  auto mix = ParseArrivalMix(*flags.GetString("arrival-mix"));
+  if (!mix.ok()) {
+    return Fail(mix.status());
+  }
   std::vector<OwnedPolicy> policies;
   auto specs = BuildEvaluationSpecs(flags, fleet_size, requests, eviction_k,
-                                    /*unique_names=*/true, policies);
+                                    /*unique_names=*/true, policies, &*mix);
   if (!specs.ok()) {
     return Fail(specs.status());
   }
@@ -573,13 +641,31 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   const uint32_t effective_threads =
       options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads;
   const std::string policy_name = *flags.GetString("policy");
-  std::printf("fleet=%lld policy=%s eviction=%s threads=%u\n",
+  std::printf("fleet=%lld policy=%s eviction=%s threads=%u mix=%s\n",
               static_cast<long long>(fleet_size), policy_name.c_str(),
-              eviction_spec.c_str(), effective_threads);
-  std::printf("requests=%zu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%llu "
+              eviction_spec.c_str(), effective_threads,
+              std::string(ArrivalMixName(*mix)).c_str());
+  if (report->retention != ReportRetention::kAll) {
+    std::printf("retention=%s k=%llu functions=%llu invocations=%llu "
+                "(per-function detail decimated; digest covers all)\n",
+                std::string(RetentionLabel(report->retention)).c_str(),
+                static_cast<unsigned long long>(common.retention.k),
+                static_cast<unsigned long long>(report->functions_total),
+                static_cast<unsigned long long>(report->invocations_total));
+  }
+  // Under bounded retention the sample-exact summary is empty; the bucket-
+  // exact histogram covers every invocation in all modes.
+  const bool bounded = report->retention != ReportRetention::kAll;
+  std::printf("requests=%llu p50_us=%.0f p90_us=%.0f p99_us=%.0f lifetimes=%llu "
               "cold=%llu restores=%llu checkpoints=%llu digest=%08x\n",
-              report->latency.count(), report->latency.Quantile(50),
-              report->latency.Quantile(90), report->latency.Quantile(99),
+              static_cast<unsigned long long>(
+                  bounded ? report->invocations_total : report->latency.count()),
+              bounded ? report->latency_hist.Quantile(50)
+                      : report->latency.Quantile(50),
+              bounded ? report->latency_hist.Quantile(90)
+                      : report->latency.Quantile(90),
+              bounded ? report->latency_hist.Quantile(99)
+                      : report->latency.Quantile(99),
               static_cast<unsigned long long>(report->worker_lifetimes),
               static_cast<unsigned long long>(report->cold_starts),
               static_cast<unsigned long long>(report->restores),
@@ -653,6 +739,7 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
   options.eviction = *eviction;
   options.faults = common.faults;
   options.service = common.service;
+  options.sim_checkpoint = common.sim_checkpoint;
 
   std::vector<OwnedPolicy> policies;
   auto specs = BuildEvaluationSpecs(flags, platform_size, requests, eviction_k,
@@ -728,6 +815,7 @@ int RunSingle(const FlagParser& flags, const CommonSimOptions& common,
   options.state_cache = common.state_cache;
   options.faults = common.faults;
   options.service = common.service;
+  options.sim_checkpoint = common.sim_checkpoint;
   // Historical FunctionSimulation topology: one worker slot.
   options.worker_slots = 1;
   options.exploring_slots = 1;
@@ -840,6 +928,25 @@ int main(int argc, char** argv) {
   flags.AddFlag("stall-plan", "",
                 "service mode: scheduled shard stalls 'shard:op:wall_ms', "
                 "comma-separated");
+  flags.AddFlag("retention", "all",
+                "fleet mode: per-function detail kept in the merged report — "
+                "all (bit-identical to collect-then-merge) | top-latency "
+                "(K slowest by median) | reservoir (deterministic K-sample); "
+                "digests cover ALL functions in every mode");
+  flags.AddFlag("retention-k", "64",
+                "fleet mode: per-function reports kept under a bounded "
+                "--retention mode");
+  flags.AddFlag("arrival-mix", "steady",
+                "fleet mode: request-volume mix across deployments — steady "
+                "(homogeneous) | diurnal | bursty | multi-tenant");
+  flags.AddFlag("sim-checkpoint-dir", "",
+                "write crash-consistent simulation checkpoints to this "
+                "directory (created if missing; empty disables)");
+  flags.AddFlag("sim-checkpoint-every", "1",
+                "fleet mode: completed deployments between checkpoint frames");
+  flags.AddSwitch("resume",
+                  "resume from the checkpoint in --sim-checkpoint-dir (same "
+                  "experiment only; digest matches an uninterrupted run)");
   flags.AddSwitch("histogram", "print latency histograms to stdout");
   flags.AddSwitch("no-noise", "disable client input-size noise");
   flags.AddSwitch("no-state-cache",
@@ -892,6 +999,10 @@ int main(int argc, char** argv) {
   }
   if (*fleet_size > 0 && *platform_size > 0) {
     return Fail(InvalidArgumentError("--fleet and --platform are mutually exclusive"));
+  }
+  if (common->retention.mode != ReportRetention::kAll && *fleet_size == 0) {
+    return Fail(InvalidArgumentError(
+        "--retention modes other than 'all' apply to --fleet runs"));
   }
   if (*fleet_size > 0) {
     return RunFleet(flags, *common, static_cast<uint64_t>(*requests));

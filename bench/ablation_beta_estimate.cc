@@ -41,7 +41,7 @@ void Row(const WorkloadProfile& profile, uint32_t assumed_beta, bool geometric) 
     eviction = *std::move(model);
   }
 
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 77;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, *eviction,
                          options);

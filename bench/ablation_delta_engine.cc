@@ -18,7 +18,7 @@ void Row(const char* benchmark, EngineKind engine_kind) {
   const PolicyConfig config = PaperConfig(profile, kEvictionK);
   const auto policy = MakePolicy(PolicyKind::kRequestCentric, config);
   auto eviction = EveryKRequestsEviction::Create(kEvictionK);
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 77;
   options.engine_kind = engine_kind;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,

@@ -33,7 +33,7 @@ void Row(const WorkloadProfile& profile, PolicyKind kind, int64_t idle_timeout_s
   const PolicyConfig config = PaperConfig(profile, /*eviction_k=*/1);
   const auto policy = MakePolicy(kind, config);
   IdleTimeoutEviction eviction(Duration::Seconds(static_cast<double>(idle_timeout_s)));
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 42;
   options.lifecycle.idle_resource_hold = eviction.timeout();
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, eviction,

@@ -62,7 +62,7 @@ void RunScenario(const char* benchmark, double percentile) {
     IdleTimeoutEviction idle(Duration::Seconds(600));
     MaxLifetimeEviction lifetime(Duration::Seconds(1200));
     AnyOfEviction eviction({&idle, &lifetime});
-    SimulationOptions options;
+    SimOptions options;
     options.seed = 7;
     FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, eviction,
                            options);

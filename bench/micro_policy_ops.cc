@@ -171,7 +171,7 @@ void BM_SimulatedRequestEndToEnd(benchmark::State& bench_state) {
   const PolicyConfig config = PaperConfig(profile, 20);
   auto policy = RequestCentricPolicy::Create(config);
   auto eviction = EveryKRequestsEviction::Create(20);
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 9;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
                          options);

@@ -27,6 +27,7 @@
 #include "src/service/orchestrator_service.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn::bench {
 namespace {
@@ -53,8 +54,9 @@ struct FunctionStack {
         profile(**WorkloadRegistry::Default().Find("DynamicHTML")),
         engine(HashCombine(seed, 0xe1)),
         state_store(db, name_in, policy.config()),
+        snapshot_store(object_store),
         orchestrator(profile, WorkloadRegistry::Default(), policy, engine,
-                     object_store, state_store, clock, seed) {}
+                     snapshot_store, state_store, clock, seed) {}
 
   std::string name;
   const WorkloadProfile& profile;
@@ -63,6 +65,7 @@ struct FunctionStack {
   InMemoryObjectStore object_store;
   CriuLikeEngine engine;
   PolicyStateStore state_store;
+  FlatSnapshotStore snapshot_store;
   Orchestrator orchestrator;
 };
 

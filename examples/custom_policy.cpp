@@ -102,7 +102,7 @@ double RunAndReportMedian(const WorkloadProfile& profile,
   if (!eviction.ok()) {
     std::exit(1);
   }
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 404;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), policy, **eviction,
                          options);

@@ -53,7 +53,7 @@ int main() {
     return 1;
   }
 
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 7;
   FunctionSimulation sim(**profile, WorkloadRegistry::Default(), *policy, **eviction,
                          options);

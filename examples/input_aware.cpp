@@ -18,6 +18,7 @@
 #include "src/core/request_centric_policy.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 using namespace pronghorn;
 
@@ -55,8 +56,9 @@ class Deployment {
              CheckpointEngine& engine, SimClock& clock, std::string scope,
              uint64_t seed)
       : state_store_(db, std::move(scope), policy.config()),
-        orchestrator_(profile, registry, policy, engine, store, state_store_, clock,
-                      seed) {}
+        snapshot_store_(store),
+        orchestrator_(profile, registry, policy, engine, snapshot_store_,
+                      state_store_, clock, seed) {}
 
   Result<Duration> Serve(const FunctionRequest& request) {
     if (!session_.has_value()) {
@@ -76,6 +78,7 @@ class Deployment {
 
  private:
   PolicyStateStore state_store_;
+  FlatSnapshotStore snapshot_store_;
   Orchestrator orchestrator_;
   std::optional<WorkerSession> session_;
   uint64_t served_in_lifetime_ = 0;

@@ -27,7 +27,7 @@ SimulationReport RunPolicy(const WorkloadProfile& profile,
                  eviction.status().ToString().c_str());
     std::exit(1);
   }
-  SimulationOptions options;
+  SimOptions options;
   options.seed = seed;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), policy, **eviction,
                          options);

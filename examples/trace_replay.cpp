@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     IdleTimeoutEviction idle(Duration::Seconds(600));
     MaxLifetimeEviction lifetime(Duration::Seconds(1200));
     AnyOfEviction eviction({&idle, &lifetime});
-    PlatformOptions options;
+    SimOptions options;
     options.seed = 31;
     PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
     for (const std::string& function : loaded->Functions()) {

@@ -42,8 +42,9 @@ Result<CheckpointOutcome> CriuLikeEngine::Checkpoint(const RuntimeProcess& proce
   const Duration downtime = DrawCost(profile.checkpoint_mean, profile.checkpoint_stddev);
 
   RecordCheckpoint(downtime);
-  return CheckpointOutcome{SnapshotImage(std::move(metadata), writer.TakeData()),
-                           downtime};
+  SnapshotImage image(std::move(metadata), writer.TakeData());
+  ObjectBlob blob(image.Encode(), image.metadata().logical_size_bytes);
+  return CheckpointOutcome{std::move(image), downtime, std::move(blob)};
 }
 
 Result<RestoreOutcome> CriuLikeEngine::Restore(const SnapshotImage& image,

@@ -48,8 +48,9 @@ Result<CheckpointOutcome> DeltaCheckpointEngine::Checkpoint(
                profile.checkpoint_stddev * time_fraction);
   base_taken_[profile.name] = true;
   RecordCheckpoint(downtime);
-  return CheckpointOutcome{SnapshotImage(std::move(metadata), writer.TakeData()),
-                           downtime};
+  SnapshotImage image(std::move(metadata), writer.TakeData());
+  ObjectBlob blob(image.Encode(), image.metadata().logical_size_bytes);
+  return CheckpointOutcome{std::move(image), downtime, std::move(blob)};
 }
 
 Result<RestoreOutcome> DeltaCheckpointEngine::Restore(const SnapshotImage& image,

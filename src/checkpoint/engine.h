@@ -12,14 +12,19 @@
 #include "src/common/result.h"
 #include "src/jit/runtime_process.h"
 #include "src/obs/sink.h"
+#include "src/store/object_store.h"
 
 namespace pronghorn {
 
 // Result of checkpointing a live process: the image plus the worker downtime
-// the operation caused (the process is frozen while pages are dumped).
+// the operation caused (the process is frozen while pages are dumped), plus
+// the sealed store-ready encoding of the image. Sealing at checkpoint time
+// (rather than at upload time) gives the snapshot store one immutable buffer
+// to chunk, retry, and share without re-encoding.
 struct CheckpointOutcome {
   SnapshotImage image;
   Duration downtime;
+  ObjectBlob blob;  // image.Encode() + logical size, ready for PutSnapshot.
 };
 
 // Result of restoring: an equivalent live process plus the time the restore

@@ -14,14 +14,14 @@ namespace pronghorn {
 Orchestrator::Orchestrator(const WorkloadProfile& profile,
                            const WorkloadRegistry& registry,
                            const OrchestrationPolicy& policy, CheckpointEngine& engine,
-                           ObjectStore& object_store, PolicyStateStore& state_store,
+                           SnapshotStore& snapshot_store, PolicyStateStore& state_store,
                            SimClock& clock, uint64_t seed, OrchestratorCostModel costs,
                            RecoveryOptions recovery)
     : profile_(profile),
       registry_(registry),
       policy_(policy),
       engine_(engine),
-      object_store_(object_store),
+      snapshot_store_(snapshot_store),
       state_store_(state_store),
       clock_(clock),
       rng_(HashCombine(seed, 0x0c4e57ULL)),
@@ -49,12 +49,17 @@ void Orchestrator::Backoff(int retry_index) {
   clock_.Advance(delay);
 }
 
-Result<ObjectBlob> Orchestrator::GetWithRetry(const std::string& key) {
+Result<ObjectBlob> Orchestrator::FetchWithRetry(const std::string& key) {
   for (int attempt = 0;; ++attempt) {
-    auto blob = object_store_.Get(key);
-    if (blob.ok() || blob.status().code() != StatusCode::kUnavailable ||
+    auto reader = snapshot_store_.OpenSnapshot(key);
+    if (reader.ok()) {
+      // Materialize through the (possibly lazy) reader. Any error here is a
+      // hard integrity failure, never transient, so it is not retried.
+      return (*reader)->ReadAll();
+    }
+    if (reader.status().code() != StatusCode::kUnavailable ||
         attempt >= recovery_options_.max_transient_retries) {
-      return blob;
+      return reader.status();
     }
     recovery_.restore_transient_retries += 1;
     if (obs_ != nullptr) {
@@ -70,7 +75,8 @@ Status Orchestrator::PutWithRetry(const std::string& key, ObjectBlob blob) {
     // Put consumes its argument; keeping one for retries is cheap now that
     // the payload is a shared immutable buffer (refcount bump, no deep copy).
     ObjectBlob copy = blob;
-    const Status status = object_store_.Put(key, std::move(copy));
+    const auto put = snapshot_store_.PutSnapshot(key, std::move(copy));
+    const Status status = put.ok() ? OkStatus() : put.status();
     if (status.ok() || status.code() != StatusCode::kUnavailable ||
         attempt >= recovery_options_.max_transient_retries) {
       return status;
@@ -111,7 +117,7 @@ void Orchestrator::RecordRestoreFailure(SnapshotId id, const std::string& object
     }
     PRONGHORN_LOG_WARNING("snapshot %llu quarantined after repeated restore failures",
                           static_cast<unsigned long long>(id.value));
-    const Status deleted = object_store_.Delete(object_key);
+    const Status deleted = snapshot_store_.DeleteSnapshot(object_key);
     if (!deleted.ok() && deleted.code() != StatusCode::kNotFound) {
       recovery_.eviction_deletes_deferred += 1;
     }
@@ -181,15 +187,25 @@ Result<WorkerSession> Orchestrator::StartWorker() {
       continue;
     }
     const std::string key = (*entry)->object_key;
-    auto blob = GetWithRetry(key);
+    auto blob = FetchWithRetry(key);
     if (!blob.ok()) {
       if (blob.status().code() == StatusCode::kNotFound) {
-        // Concurrent eviction between our Load and the Get: the pool entry
+        // Concurrent eviction between our Load and the fetch: the pool entry
         // points at a blob that no longer exists. Drop it so later lifetimes
         // stop drawing it.
         PRONGHORN_LOG_DEBUG("snapshot object missing for id %llu; pruning entry",
                             static_cast<unsigned long long>(id.value));
         PruneStaleEntry(id);
+      } else if (blob.status().code() == StatusCode::kDataLoss) {
+        // The store itself detected at-rest damage (corrupt chunk manifest
+        // or a chunk missing from the index) before an image ever decoded.
+        // Flat stores never return kDataLoss here — their corruption is only
+        // caught by the image CRC below — so flat trajectories are unchanged.
+        PRONGHORN_LOG_WARNING("snapshot %llu store-level data loss: %s",
+                              static_cast<unsigned long long>(id.value),
+                              blob.status().ToString().c_str());
+        recovery_.restore_attempt_failures += 1;
+        RecordRestoreFailure(id, key);
       } else {
         recovery_.restore_attempt_failures += 1;
       }
@@ -406,10 +422,9 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
   // object store.
   const std::string key = "snapshots/" + state_store_.function() + "/" +
                           std::to_string(image.metadata().id.value);
-  // The encoded image moves straight into the blob's shared buffer; every
-  // downstream hand-off (retries, store, readers) shares it without copying.
-  ObjectBlob blob(image.Encode(), image.metadata().logical_size_bytes);
-  PRONGHORN_RETURN_IF_ERROR(PutWithRetry(key, std::move(blob)));
+  // The engine sealed the encoding at checkpoint time; every downstream
+  // hand-off (retries, store, readers) shares that one immutable buffer.
+  PRONGHORN_RETURN_IF_ERROR(PutWithRetry(key, std::move(checkpoint.blob)));
 
   // Record the snapshot and apply the capacity rule atomically. External
   // deletions happen only after the state update commits; `evicted` is
@@ -428,11 +443,11 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
   if (!update.ok()) {
     // The blob landed but its metadata never committed: delete it so it does
     // not linger as an orphan (best effort; GC sweeps whatever remains).
-    (void)object_store_.Delete(key);
+    (void)snapshot_store_.DeleteSnapshot(key);
     return update;
   }
   for (const PoolEntry& entry : evicted) {
-    const Status status = object_store_.Delete(entry.object_key);
+    const Status status = snapshot_store_.DeleteSnapshot(entry.object_key);
     if (status.ok() || status.code() == StatusCode::kNotFound) {
       continue;
     }
@@ -462,7 +477,7 @@ Result<Duration> Orchestrator::TakeCheckpoint(WorkerSession& session,
 Result<uint64_t> Orchestrator::CollectOrphanedObjects() {
   PRONGHORN_ASSIGN_OR_RETURN(PolicyState state, state_store_.Load());
   const std::string prefix = "snapshots/" + state_store_.function() + "/";
-  const std::vector<std::string> keys = object_store_.ListKeys(prefix);
+  const std::vector<std::string> keys = snapshot_store_.ListSnapshots(prefix);
   uint64_t collected = 0;
   for (const std::string& key : keys) {
     bool referenced = false;
@@ -475,12 +490,15 @@ Result<uint64_t> Orchestrator::CollectOrphanedObjects() {
     if (referenced) {
       continue;
     }
-    const Status status = object_store_.Delete(key);
+    const Status status = snapshot_store_.DeleteSnapshot(key);
     if (status.ok() || status.code() == StatusCode::kNotFound) {
       collected += 1;
     }
   }
   recovery_.orphans_collected += collected;
+  // Dropped manifests release chunk references; reclaim the unreferenced
+  // chunks in the same sweep (no-op, returning 0, on flat stores).
+  (void)snapshot_store_.CollectGarbage();
   return collected;
 }
 

@@ -30,7 +30,7 @@
 #include "src/core/policy.h"
 #include "src/core/policy_state_store.h"
 #include "src/obs/sink.h"
-#include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 
@@ -140,7 +140,7 @@ class Orchestrator {
   // drives policy randomness and process seeds.
   Orchestrator(const WorkloadProfile& profile, const WorkloadRegistry& registry,
                const OrchestrationPolicy& policy, CheckpointEngine& engine,
-               ObjectStore& object_store, PolicyStateStore& state_store,
+               SnapshotStore& snapshot_store, PolicyStateStore& state_store,
                SimClock& clock, uint64_t seed,
                OrchestratorCostModel costs = OrchestratorCostModel{},
                RecoveryOptions recovery = RecoveryOptions{});
@@ -251,8 +251,10 @@ class Orchestrator {
   // the policy state; returns the worker downtime.
   Result<Duration> TakeCheckpoint(WorkerSession& session, RequestOutcome& outcome);
 
-  // Object-store ops with bounded retry + backoff for transient failures.
-  Result<ObjectBlob> GetWithRetry(const std::string& key);
+  // Snapshot-store ops with bounded retry + backoff for transient failures.
+  // Fetch opens the snapshot and materializes it through the store's (eager
+  // or lazy) reader; the result is byte-identical either way.
+  Result<ObjectBlob> FetchWithRetry(const std::string& key);
   Status PutWithRetry(const std::string& key, ObjectBlob blob);
 
   // Advances simulated time for the nth backoff of one operation.
@@ -272,7 +274,7 @@ class Orchestrator {
   const WorkloadRegistry& registry_;
   const OrchestrationPolicy& policy_;
   CheckpointEngine& engine_;
-  ObjectStore& object_store_;
+  SnapshotStore& snapshot_store_;
   PolicyStateStore& state_store_;
   SimClock& clock_;
   Rng rng_;

@@ -6,7 +6,7 @@ ClusterSimulation::ClusterSimulation(const WorkloadProfile& profile,
                                      const WorkloadRegistry& registry,
                                      const OrchestrationPolicy& policy,
                                      const EvictionModel& eviction,
-                                     ClusterOptions options)
+                                     SimOptions options)
     : env_(registry, options),
       init_(env_.AddDeployment(profile.name, profile, policy, eviction,
                                options.worker_slots, options.exploring_slots,

@@ -34,7 +34,7 @@ class ClusterSimulation {
   // per worker. Both are borrowed.
   ClusterSimulation(const WorkloadProfile& profile, const WorkloadRegistry& registry,
                     const OrchestrationPolicy& policy, const EvictionModel& eviction,
-                    ClusterOptions options);
+                    SimOptions options);
   ~ClusterSimulation();
 
   ClusterSimulation(const ClusterSimulation&) = delete;

@@ -41,7 +41,7 @@ const ClusterReport* FleetReport::Find(std::string_view name) const {
   return nullptr;
 }
 
-FleetSimulation::FleetSimulation(const WorkloadRegistry& registry, FleetOptions options)
+FleetSimulation::FleetSimulation(const WorkloadRegistry& registry, SimOptions options)
     : registry_(registry), options_(options) {}
 
 Status FleetSimulation::AddFunction(FleetFunctionSpec spec) {
@@ -66,7 +66,7 @@ Status FleetSimulation::AddFunction(FleetFunctionSpec spec) {
 }
 
 Result<ClusterReport> FleetSimulation::RunShard(
-    const FleetFunctionSpec& spec, const ClusterOptions& base_options) const {
+    const FleetFunctionSpec& spec, const SimOptions& base_options) const {
   // All shard randomness keys off (fleet seed, deployment name) — never off
   // the thread or shard index — so results are schedule-independent.
   const uint64_t function_seed = FunctionSeed(options_.seed, spec.name);
@@ -74,7 +74,7 @@ Result<ClusterReport> FleetSimulation::RunShard(
                              options_.eviction.Instantiate(function_seed));
   // The shard inherits the fleet's options wholesale (including the obs sink,
   // which is thread-safe) and overrides only its own identity and topology.
-  ClusterOptions cluster_options = base_options;
+  SimOptions cluster_options = base_options;
   cluster_options.seed = function_seed;
   cluster_options.worker_slots = spec.worker_slots;
   cluster_options.exploring_slots = spec.exploring_slots;
@@ -104,7 +104,7 @@ Result<FleetReport> FleetSimulation::Run() const {
   // service for the whole run (each deployment still evolves independently —
   // its requests are serialized on its service shard and issued from one
   // client task, so the canonical merge stays schedule-independent).
-  ClusterOptions base_options = options_;
+  SimOptions base_options = options_;
   std::unique_ptr<OrchestratorService> shared_service;
   if (options_.service.enabled && options_.service.instance == nullptr) {
     ServiceConfig config;

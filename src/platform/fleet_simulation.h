@@ -107,7 +107,7 @@ struct FleetReport : ReportCore {
 
 class FleetSimulation {
  public:
-  FleetSimulation(const WorkloadRegistry& registry, FleetOptions options);
+  FleetSimulation(const WorkloadRegistry& registry, SimOptions options);
 
   // Registers one deployment. Fails on a duplicate or empty name, or a null
   // profile/policy.
@@ -141,10 +141,10 @@ class FleetSimulation {
   // `base_options` is the fleet options with run-scoped overrides applied
   // (Run() points service.instance at the run's shared service).
   Result<ClusterReport> RunShard(const FleetFunctionSpec& spec,
-                                 const ClusterOptions& base_options) const;
+                                 const SimOptions& base_options) const;
 
   const WorkloadRegistry& registry_;
-  FleetOptions options_;
+  SimOptions options_;
   std::vector<FleetFunctionSpec> functions_;
 };
 

@@ -8,7 +8,7 @@ FunctionSimulation::FunctionSimulation(const WorkloadProfile& profile,
                                        const WorkloadRegistry& registry,
                                        const OrchestrationPolicy& policy,
                                        const EvictionModel& eviction,
-                                       SimulationOptions options)
+                                       SimOptions options)
     : env_(registry, options),
       init_(env_.AddDeployment(profile.name, profile, policy, eviction,
                                /*worker_slots=*/1, /*exploring_slots=*/1,

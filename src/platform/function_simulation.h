@@ -35,7 +35,7 @@ class FunctionSimulation {
   // `policy` and `eviction` are borrowed and must outlive the simulation.
   FunctionSimulation(const WorkloadProfile& profile, const WorkloadRegistry& registry,
                      const OrchestrationPolicy& policy, const EvictionModel& eviction,
-                     SimulationOptions options);
+                     SimOptions options);
   ~FunctionSimulation();
 
   FunctionSimulation(const FunctionSimulation&) = delete;

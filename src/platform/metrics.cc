@@ -31,6 +31,24 @@ void MergeAccounting(StoreAccounting& into, const StoreAccounting& from) {
   into.put_count += from.put_count;
   into.get_count += from.get_count;
   into.delete_count += from.delete_count;
+  // Digest-excluded physical view: sums like the logical fields above (peaks
+  // sum because shard-local stores coexist in time).
+  into.physical.bytes_stored += from.physical.bytes_stored;
+  into.physical.peak_bytes += from.physical.peak_bytes;
+  into.physical.flat_bytes_stored += from.physical.flat_bytes_stored;
+  into.physical.peak_flat_bytes += from.physical.peak_flat_bytes;
+  into.physical.chunks_stored += from.physical.chunks_stored;
+  into.physical.chunk_refs += from.physical.chunk_refs;
+  into.physical.dedup_hits += from.physical.dedup_hits;
+  into.physical.dedup_bytes_saved += from.physical.dedup_bytes_saved;
+  into.physical.delta_bytes_shared += from.physical.delta_bytes_shared;
+  into.physical.chunks_fetched += from.physical.chunks_fetched;
+  into.physical.bytes_fetched += from.physical.bytes_fetched;
+  into.physical.chunks_prefetched += from.physical.chunks_prefetched;
+  into.physical.demand_faults += from.physical.demand_faults;
+  into.physical.cache_hits += from.physical.cache_hits;
+  into.physical.chunks_collected += from.physical.chunks_collected;
+  into.physical.bytes_collected += from.physical.bytes_collected;
 }
 
 void MergeAccounting(KvAccounting& into, const KvAccounting& from) {

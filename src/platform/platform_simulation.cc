@@ -58,7 +58,7 @@ uint32_t PlatformReport::Digest() const {
 
 PlatformSimulation::PlatformSimulation(const WorkloadRegistry& registry,
                                        const EvictionModel& eviction,
-                                       PlatformOptions options)
+                                       SimOptions options)
     : eviction_(eviction),
       seed_(options.seed),
       env_(registry, options) {}

@@ -46,7 +46,7 @@ class PlatformSimulation {
  public:
   // `eviction` applies to every function's worker; borrowed.
   PlatformSimulation(const WorkloadRegistry& registry, const EvictionModel& eviction,
-                     PlatformOptions options);
+                     SimOptions options);
   ~PlatformSimulation();
 
   PlatformSimulation(const PlatformSimulation&) = delete;

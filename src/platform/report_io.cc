@@ -296,6 +296,26 @@ std::string SummaryToCsv(const SimulationReport& report) {
   add_u64("object_store_peak_bytes", report.object_store.peak_logical_bytes);
   add_u64("object_store_puts", report.object_store.put_count);
   add_u64("object_store_gets", report.object_store.get_count);
+  // Digest-excluded physical (chunk-granular) storage view. For flat stores
+  // physical mirrors logical and the dedup counters stay zero.
+  const PhysicalAccounting& phys = report.object_store.physical;
+  add_u64("store_logical_bytes", report.object_store.logical_bytes_stored);
+  add_u64("store_physical_bytes", phys.bytes_stored);
+  add_u64("store_physical_peak_bytes", phys.peak_bytes);
+  add_u64("store_flat_bytes", phys.flat_bytes_stored);
+  add_f64("store_dedup_ratio", phys.DedupRatio());
+  add_u64("store_chunks_stored", phys.chunks_stored);
+  add_u64("store_chunk_refs", phys.chunk_refs);
+  add_u64("store_dedup_hits", phys.dedup_hits);
+  add_u64("store_dedup_bytes_saved", phys.dedup_bytes_saved);
+  add_u64("store_delta_bytes_shared", phys.delta_bytes_shared);
+  add_u64("store_chunks_fetched", phys.chunks_fetched);
+  add_u64("store_bytes_fetched", phys.bytes_fetched);
+  add_u64("store_chunks_prefetched", phys.chunks_prefetched);
+  add_u64("store_demand_faults", phys.demand_faults);
+  add_u64("store_cache_hits", phys.cache_hits);
+  add_u64("store_chunks_collected", phys.chunks_collected);
+  add_u64("store_bytes_collected", phys.bytes_collected);
   add_u64("database_reads", report.database.reads);
   add_u64("database_writes", report.database.writes);
   const FaultRecoveryStats& faults = report.faults;

@@ -74,7 +74,18 @@ void SimFingerprint::AddOptions(const SimOptions& options) {
   h = HashCombine(h, HashDouble(options.faults.metadata_failure_rate));
   h = HashCombine(h, HashDouble(options.faults.corruption_rate));
   h = HashCombine(h, HashDouble(options.faults.torn_write_rate));
+  h = HashCombine(h, HashDouble(options.faults.chunk_corruption_rate));
+  h = HashCombine(h, HashDouble(options.faults.manifest_corruption_rate));
   h = HashCombine(h, options.faults.seed);
+  // The store build changes chaos RNG routing (and, for dedup + chunk
+  // faults, outcomes), so it pins the fingerprint like the chaos plan does.
+  h = HashCombine(h, static_cast<uint64_t>(options.store.kind));
+  h = HashCombine(h, options.store.chunker.chunk_size);
+  h = HashCombine(h, options.store.chunker.min_size);
+  h = HashCombine(h, options.store.chunker.max_size);
+  h = HashCombine(h, options.store.chunker.cdc ? 1 : 0);
+  h = HashCombine(h, options.store.lazy_restore ? 1 : 0);
+  h = HashCombine(h, options.store.chunk_cache_bytes);
   h = HashCombine(h, seed);
   h = HashCombine(h, topology);
   value_ = h;

@@ -40,8 +40,7 @@ std::unique_ptr<CheckpointEngine> MakeEngine(EngineKind kind, uint64_t seed) {
 
 }  // namespace
 
-SimEnvironment::SimEnvironment(const WorkloadRegistry& registry,
-                               EnvironmentOptions options)
+SimEnvironment::SimEnvironment(const WorkloadRegistry& registry, SimOptions options)
     : registry_(registry),
       options_(options),
       faulty_db_(options.faults.Active()
@@ -49,23 +48,49 @@ SimEnvironment::SimEnvironment(const WorkloadRegistry& registry,
                            std::in_place, db_,
                            ScopePlan(options.faults, options.seed, 0xdbULL), &clock_)
                      : std::nullopt),
-      faulty_object_store_(options.faults.Active()
-                               ? std::optional<FaultyObjectStore>(
-                                     std::in_place, object_store_,
-                                     ScopePlan(options.faults, options.seed, 0x0bULL),
-                                     &clock_)
-                               : std::nullopt) {
+      faulty_object_store_(
+          options.faults.Active() &&
+                  options.store.kind == SnapshotStoreOptions::Kind::kFlat
+              ? std::optional<FaultyObjectStore>(
+                    std::in_place, object_store_,
+                    ScopePlan(options.faults, options.seed, 0x0bULL), &clock_)
+              : std::nullopt) {
+  // The snapshot store every orchestrator talks to. Flat builds layer the
+  // compatibility adapter over the (possibly fault-decorated) ObjectStore —
+  // bit-identical to the historical wiring by construction. Dedup builds are
+  // self-contained; under chaos they wrap in FaultySnapshotStore, which is
+  // seeded with the SAME scoped plan (salt 0x0b) as the flat decorator so
+  // the fault trajectories coincide draw for draw.
+  if (options_.store.kind == SnapshotStoreOptions::Kind::kDedup) {
+    base_snapshot_store_ = std::make_unique<DedupSnapshotStore>(options_.store, &clock_);
+    if (options_.faults.Active()) {
+      faulty_snapshot_store_.emplace(*base_snapshot_store_,
+                                     ScopePlan(options_.faults, options_.seed, 0x0bULL),
+                                     &clock_);
+    }
+  } else {
+    base_snapshot_store_ = std::make_unique<FlatSnapshotStore>(active_object_store());
+  }
   // Fault events from the shared stores cannot be attributed to one
   // deployment, so the decorators get their own trace process with a lane
   // per store. Obs data is write-only for the kernel: nothing here feeds
   // back into simulation state or digests.
+  const bool dedup_obs =
+      options_.store.kind == SnapshotStoreOptions::Kind::kDedup;
   if (options_.obs != nullptr &&
-      (faulty_db_.has_value() || faulty_object_store_.has_value())) {
+      (faulty_db_.has_value() || faulty_object_store_.has_value() || dedup_obs)) {
     const uint32_t pid = options_.obs->RegisterProcess("stores");
-    if (faulty_object_store_.has_value()) {
+    if (faulty_object_store_.has_value() || dedup_obs) {
       const ObsTrack track{pid, 0};
       options_.obs->RegisterThread(track, "object store");
-      faulty_object_store_->set_obs(options_.obs, track);
+      if (faulty_object_store_.has_value()) {
+        faulty_object_store_->set_obs(options_.obs, track);
+      }
+      if (dedup_obs) {
+        // Reaches the inner dedup store too (chunk_fetch spans), through the
+        // decorator's forwarding set_obs when chaos is on.
+        active_snapshot_store().set_obs(options_.obs, track);
+      }
     }
     if (faulty_db_.has_value()) {
       const ObsTrack track{pid, 1};
@@ -121,6 +146,12 @@ ObjectStore& SimEnvironment::active_object_store() {
              : static_cast<ObjectStore&>(object_store_);
 }
 
+SnapshotStore& SimEnvironment::active_snapshot_store() {
+  return faulty_snapshot_store_.has_value()
+             ? static_cast<SnapshotStore&>(*faulty_snapshot_store_)
+             : *base_snapshot_store_;
+}
+
 Status SimEnvironment::AddDeployment(std::string name, const WorkloadProfile& profile,
                                      const OrchestrationPolicy& policy,
                                      const EvictionModel& eviction,
@@ -160,9 +191,9 @@ Status SimEnvironment::AddDeployment(std::string name, const WorkloadProfile& pr
         i == 0 ? HashCombine(sub_seed, 0x0eULL)
                : HashCombine(sub_seed, HashCombine(0x0eULL, i));
     auto orchestrator = std::make_unique<Orchestrator>(
-        profile, registry_, slot_policy, *deployment.engine, active_object_store(),
-        *deployment.state_store, clock_, slot_seed, options_.costs,
-        options_.recovery);
+        profile, registry_, slot_policy, *deployment.engine,
+        active_snapshot_store(), *deployment.state_store, clock_, slot_seed,
+        options_.costs, options_.recovery);
     deployment.slots.emplace_back(std::move(orchestrator), &eviction, &clock_,
                                   options_.lifecycle, exploring);
   }
@@ -372,10 +403,16 @@ EnvironmentReport SimEnvironment::TakeReport() {
     MergeFaultRecoveryStats(out.faults, report.faults);
     out.per_function.emplace(deployment.name, std::move(report));
   }
-  out.object_store = object_store_.accounting();
+  // The base snapshot store's accounting: for a flat build this is exactly
+  // object_store_.accounting(); for a dedup build it carries the chunk-level
+  // physical view alongside the identical digest-covered logical fields.
+  out.object_store = base_snapshot_store_->accounting();
   out.database = db_.accounting();
   if (faulty_object_store_.has_value()) {
     AccumulateStoreFaults(out.faults, faulty_object_store_->stats());
+  }
+  if (faulty_snapshot_store_.has_value()) {
+    AccumulateStoreFaults(out.faults, faulty_snapshot_store_->stats());
   }
   if (faulty_db_.has_value()) {
     AccumulateDatabaseFaults(out.faults, faulty_db_->stats());
@@ -388,10 +425,13 @@ SimulationReport SimEnvironment::TakeFlatReport() {
   SimulationReport report = std::move(deployment.report);
   deployment.report = SimulationReport{};
   FinishReport(deployment, report);
-  report.object_store = object_store_.accounting();
+  report.object_store = base_snapshot_store_->accounting();
   report.database = db_.accounting();
   if (faulty_object_store_.has_value()) {
     AccumulateStoreFaults(report.faults, faulty_object_store_->stats());
+  }
+  if (faulty_snapshot_store_.has_value()) {
+    AccumulateStoreFaults(report.faults, faulty_snapshot_store_->stats());
   }
   if (faulty_db_.has_value()) {
     AccumulateDatabaseFaults(report.faults, faulty_db_->stats());

@@ -46,6 +46,7 @@
 #include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 #include "src/workloads/input_model.h"
 #include "src/workloads/workload_profile.h"
 
@@ -96,7 +97,7 @@ class SimEnvironment {
     size_t next_ = 0;
   };
 
-  SimEnvironment(const WorkloadRegistry& registry, EnvironmentOptions options);
+  SimEnvironment(const WorkloadRegistry& registry, SimOptions options);
   ~SimEnvironment();
 
   SimEnvironment(const SimEnvironment&) = delete;
@@ -169,6 +170,9 @@ class SimEnvironment {
   // not the fault decorators).
   const KvDatabase& raw_database() const { return db_; }
   const ObjectStore& raw_object_store() const { return object_store_; }
+  // The snapshot store the deployments actually talk to (fault decorator
+  // included when chaos is on).
+  SnapshotStore& snapshot_store() { return active_snapshot_store(); }
   SimClock& clock() { return clock_; }
 
   // Per-deployment handles.
@@ -206,21 +210,30 @@ class SimEnvironment {
 
   KvDatabase& active_database();
   ObjectStore& active_object_store();
+  SnapshotStore& active_snapshot_store();
   // Builds the request, draws its input scale, and serves it on `slot`.
   Status Dispatch(Deployment& deployment, SimCore& slot, TimePoint arrival);
   // Folds cumulative orchestrator/state-store stats into an epoch report.
   void FinishReport(Deployment& deployment, SimulationReport& report);
 
   const WorkloadRegistry& registry_;
-  EnvironmentOptions options_;
+  SimOptions options_;
 
   SimClock clock_;
   InMemoryKvDatabase db_;
   InMemoryObjectStore object_store_;
   // Engaged only when options.faults is active; deployments then talk to the
-  // stores through these decorators.
+  // stores through these decorators. The object-store decorator exists only
+  // for flat store builds — a dedup build routes chaos through
+  // faulty_snapshot_store_ instead (same salt, same draw order).
   std::optional<FaultyKvDatabase> faulty_db_;
   std::optional<FaultyObjectStore> faulty_object_store_;
+  // The snapshot store behind every orchestrator: the flat compatibility
+  // adapter over active_object_store(), or a DedupSnapshotStore, per
+  // options.store.kind.
+  std::unique_ptr<SnapshotStore> base_snapshot_store_;
+  // Chaos decorator for dedup builds (flat builds inject below the adapter).
+  std::optional<FaultySnapshotStore> faulty_snapshot_store_;
   std::vector<Deployment> deployments_;
   uint64_t next_request_id_ = 1;
 

@@ -1,12 +1,10 @@
 // SimOptions: the one options surface shared by every simulation driver.
 //
 // Before this header the four drivers and the shared environment each carried
-// a near-duplicate options struct (SimulationOptions / ClusterOptions /
-// PlatformOptions / FleetOptions / EnvironmentOptions) whose fields drifted
-// independently. They are now thin aliases of one composite: drivers read
-// the fields they understand and ignore the rest (FunctionSimulation and
-// PlatformSimulation always run one slot per deployment; only FleetSimulation
-// reads `threads` and `eviction`).
+// a near-duplicate options struct whose fields drifted independently; they
+// now share this one composite. Drivers read the fields they understand and
+// ignore the rest (FunctionSimulation and PlatformSimulation always run one
+// slot per deployment; only FleetSimulation reads `threads` and `eviction`).
 //
 // The composite groups the knobs the way the kernel consumes them:
 //   - experiment identity:   seed, engine_kind, input_noise
@@ -28,13 +26,13 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <type_traits>
 
 #include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/core/orchestrator.h"
 #include "src/platform/eviction.h"
 #include "src/store/fault_injection.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 
@@ -182,6 +180,13 @@ struct SimOptions {
   // comparison and for --no-state-cache.
   bool state_cache = true;
 
+  // How each deployment's snapshot store is built: the flat compatibility
+  // adapter (default; bit-identical to the historical ObjectStore path) or
+  // the content-addressed DedupSnapshotStore with optional CDC chunking and
+  // REAP-style lazy restore. Digest-neutral: only the digest-excluded
+  // physical accounting differs between kinds.
+  SnapshotStoreOptions store;
+
   // Chaos layer: when the plan is active, the stores are wrapped in fault
   // decorators driven by the simulated clock. The plan's seed is combined
   // with the experiment seed, so distinct experiments draw distinct faults.
@@ -204,33 +209,6 @@ struct SimOptions {
   // code paths.
   ObsSink* obs = nullptr;
 };
-
-// The legacy per-driver names are aliases of the composite for one release;
-// new code should say SimOptions. Field parity with the structs they replace
-// is pinned by the static_asserts below: if a field a legacy caller relies on
-// changes type or disappears, the build breaks here instead of at the call
-// site.
-using SimulationOptions = SimOptions;   // FunctionSimulation
-using ClusterOptions = SimOptions;      // ClusterSimulation
-using PlatformOptions = SimOptions;     // PlatformSimulation
-using FleetOptions = SimOptions;        // FleetSimulation
-using EnvironmentOptions = SimOptions;  // SimEnvironment
-
-static_assert(std::is_same_v<decltype(SimOptions::seed), uint64_t>);
-static_assert(std::is_same_v<decltype(SimOptions::engine_kind), EngineKind>);
-static_assert(std::is_same_v<decltype(SimOptions::input_noise), bool>);
-static_assert(std::is_same_v<decltype(SimOptions::worker_slots), uint32_t>);
-static_assert(std::is_same_v<decltype(SimOptions::exploring_slots), uint32_t>);
-static_assert(std::is_same_v<decltype(SimOptions::threads), uint32_t>);
-static_assert(std::is_same_v<decltype(SimOptions::eviction), FleetEvictionSpec>);
-static_assert(std::is_same_v<decltype(SimOptions::lifecycle), LifecycleOptions>);
-static_assert(std::is_same_v<decltype(SimOptions::costs), OrchestratorCostModel>);
-static_assert(std::is_same_v<decltype(SimOptions::faults), FaultPlan>);
-static_assert(std::is_same_v<decltype(SimOptions::recovery), RecoveryOptions>);
-static_assert(std::is_same_v<decltype(SimOptions::service), ServiceModeOptions>);
-static_assert(std::is_same_v<decltype(SimOptions::retention), RetentionOptions>);
-static_assert(std::is_same_v<decltype(SimOptions::sim_checkpoint), SimCheckpointOptions>);
-static_assert(std::is_same_v<decltype(SimOptions::obs), ObsSink*>);
 
 }  // namespace pronghorn
 

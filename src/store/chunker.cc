@@ -1,0 +1,104 @@
+#include "src/store/chunker.h"
+
+#include <algorithm>
+#include <array>
+
+namespace pronghorn {
+
+namespace {
+
+// SplitMix64: seeds the Gear table deterministically at namespace scope so
+// chunk boundaries are identical across builds and platforms.
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::array<uint64_t, 256> MakeGearTable() {
+  std::array<uint64_t, 256> table{};
+  uint64_t state = 0x9747b28c9747b28cULL;
+  for (uint64_t& entry : table) {
+    entry = SplitMix64(state);
+  }
+  return table;
+}
+
+constexpr std::array<uint64_t, 256> kGearTable = MakeGearTable();
+
+// Largest power-of-two mask below `target`, so the expected CDC chunk size
+// tracks the configured average.
+uint64_t CdcMask(uint32_t target) {
+  uint64_t mask = 1;
+  while ((mask << 1) < target) {
+    mask <<= 1;
+  }
+  return mask - 1;
+}
+
+}  // namespace
+
+ChunkKey HashChunk(std::span<const uint8_t> bytes) {
+  // Two independent mixes of the same stream: FNV-1a 64 and an xor-rotate
+  // accumulator over SplitMix64-style finalization. 128 bits of address
+  // space makes accidental collisions irrelevant at simulation scale.
+  uint64_t fnv = 0xcbf29ce484222325ULL;
+  uint64_t acc = 0x2545f4914f6cdd1dULL ^ (static_cast<uint64_t>(bytes.size()) << 1);
+  for (const uint8_t b : bytes) {
+    fnv = (fnv ^ b) * 0x100000001b3ULL;
+    acc = (acc + b + 1) * 0xd6e8feb86659fd93ULL;
+    acc ^= acc >> 32;
+  }
+  acc ^= static_cast<uint64_t>(bytes.size());
+  acc *= 0xd6e8feb86659fd93ULL;
+  acc ^= acc >> 32;
+  return ChunkKey{fnv, acc};
+}
+
+std::vector<ChunkSpan> SplitChunks(std::span<const uint8_t> bytes,
+                                   const ChunkerOptions& options) {
+  std::vector<ChunkSpan> chunks;
+  if (bytes.empty()) {
+    return chunks;
+  }
+  const uint32_t target = std::max<uint32_t>(1, options.chunk_size);
+  if (!options.cdc) {
+    chunks.reserve(bytes.size() / target + 1);
+    for (uint64_t offset = 0; offset < bytes.size(); offset += target) {
+      const uint32_t size = static_cast<uint32_t>(
+          std::min<uint64_t>(target, bytes.size() - offset));
+      chunks.push_back(
+          ChunkSpan{offset, size, HashChunk(bytes.subspan(offset, size))});
+    }
+    return chunks;
+  }
+
+  const uint32_t min_size = std::max<uint32_t>(1, std::min(options.min_size, target));
+  const uint32_t max_size = std::max(options.max_size, target);
+  const uint64_t mask = CdcMask(target);
+  uint64_t start = 0;
+  uint64_t hash = 0;
+  uint32_t length = 0;
+  for (uint64_t i = 0; i < bytes.size(); ++i) {
+    hash = (hash << 1) + kGearTable[bytes[i]];
+    length += 1;
+    const bool boundary =
+        (length >= min_size && (hash & mask) == mask) || length >= max_size;
+    if (boundary) {
+      chunks.push_back(ChunkSpan{start, length,
+                                 HashChunk(bytes.subspan(start, length))});
+      start = i + 1;
+      hash = 0;
+      length = 0;
+    }
+  }
+  if (length > 0) {
+    chunks.push_back(
+        ChunkSpan{start, length, HashChunk(bytes.subspan(start, length))});
+  }
+  return chunks;
+}
+
+}  // namespace pronghorn

@@ -42,7 +42,9 @@ void FlipRandomBit(std::vector<uint8_t>& bytes, Rng& rng) {
 bool FaultPlan::Active() const {
   return get_failure_rate > 0.0 || put_failure_rate > 0.0 ||
          delete_failure_rate > 0.0 || metadata_failure_rate > 0.0 ||
-         corruption_rate > 0.0 || torn_write_rate > 0.0 || !windows.empty();
+         corruption_rate > 0.0 || torn_write_rate > 0.0 ||
+         chunk_corruption_rate > 0.0 || manifest_corruption_rate > 0.0 ||
+         !windows.empty();
 }
 
 // --- FaultyObjectStore -------------------------------------------------------
@@ -134,6 +136,113 @@ std::vector<std::string> FaultyObjectStore::ListKeys(std::string_view prefix) co
     return {};
   }
   return inner_.ListKeys(prefix);
+}
+
+// --- FaultySnapshotStore -----------------------------------------------------
+
+void FaultySnapshotStore::NoteFault(const char* counter, const char* event) const {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->Counter(counter, 1);
+  if (event != nullptr) {
+    obs_->Instant(obs_track_, event, "fault",
+                  clock_ != nullptr ? clock_->now() : TimePoint());
+  }
+}
+
+bool FaultySnapshotStore::ShouldFail(double rate) const {
+  if (InOutage(plan_, clock_, FaultDomain::kObjectStore, stats_)) {
+    stats_.faults_injected += 1;
+    stats_.outage_faults += 1;
+    NoteFault("faults.store.injected", "fault:store_outage");
+    return true;
+  }
+  if (rng_.Bernoulli(rate)) {
+    stats_.faults_injected += 1;
+    NoteFault("faults.store.injected", "fault:store");
+    return true;
+  }
+  return false;
+}
+
+Result<SnapshotRef> FaultySnapshotStore::PutSnapshot(std::string_view key,
+                                                     ObjectBlob blob) {
+  // Draw-for-draw the FaultyObjectStore::Put sequence: fail check, torn
+  // check, corruption check (+ one bit draw when it fires).
+  if (ShouldFail(plan_.put_failure_rate)) {
+    return UnavailableError("injected object-store put failure");
+  }
+  if (rng_.Bernoulli(plan_.torn_write_rate) && !blob.bytes().empty()) {
+    const std::vector<uint8_t>& payload = blob.bytes();
+    std::vector<uint8_t> half(
+        payload.begin(),
+        payload.begin() + static_cast<std::ptrdiff_t>(payload.size() / 2));
+    stats_.torn_puts += 1;
+    stats_.faults_injected += 1;
+    NoteFault("faults.store.torn_puts", "fault:torn_put");
+    (void)inner_.PutSnapshot(key, ObjectBlob(std::move(half), blob.logical_size / 2));
+    return UnavailableError("injected torn object-store put");
+  }
+  if (rng_.Bernoulli(plan_.corruption_rate) && !blob.bytes().empty()) {
+    // Whole-image bit rot *before* chunking: the damaged region lands in a
+    // chunk with a new content address (copy-on-write by construction), so
+    // siblings sharing the healthy chunk are untouched and the flat-path
+    // "image CRC catches it at restore" semantics carry over unchanged.
+    std::vector<uint8_t> corrupted = blob.bytes();
+    FlipRandomBit(corrupted, rng_);
+    blob = ObjectBlob(std::move(corrupted), blob.logical_size);
+    stats_.corrupted_puts += 1;
+    NoteFault("faults.store.corrupted_puts", "fault:corrupted_put");
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(SnapshotRef ref, inner_.PutSnapshot(key, std::move(blob)));
+  // Chunk-granular at-rest faults fire after a successful put, on their own
+  // RNG stream — the shared trajectory above never sees these draws.
+  if (chunk_rng_.Bernoulli(plan_.chunk_corruption_rate)) {
+    if (inner_.CorruptChunk(key, chunk_rng_).ok()) {
+      stats_.corrupted_chunks += 1;
+      NoteFault("faults.store.corrupted_chunks", "fault:corrupted_chunk");
+    }
+  }
+  if (chunk_rng_.Bernoulli(plan_.manifest_corruption_rate)) {
+    if (inner_.CorruptManifest(key, chunk_rng_).ok()) {
+      stats_.corrupted_manifests += 1;
+      NoteFault("faults.store.corrupted_manifests", "fault:corrupted_manifest");
+    }
+  }
+  return ref;
+}
+
+Result<std::unique_ptr<SnapshotReader>> FaultySnapshotStore::OpenSnapshot(
+    std::string_view key) {
+  if (ShouldFail(plan_.get_failure_rate)) {
+    return UnavailableError("injected object-store get failure");
+  }
+  return inner_.OpenSnapshot(key);
+}
+
+Status FaultySnapshotStore::DeleteSnapshot(std::string_view key) {
+  if (ShouldFail(plan_.delete_failure_rate)) {
+    return UnavailableError("injected object-store delete failure");
+  }
+  return inner_.DeleteSnapshot(key);
+}
+
+bool FaultySnapshotStore::ContainsSnapshot(std::string_view key) const {
+  if (ShouldFail(plan_.metadata_failure_rate)) {
+    stats_.metadata_faults += 1;
+    return false;
+  }
+  return inner_.ContainsSnapshot(key);
+}
+
+std::vector<std::string> FaultySnapshotStore::ListSnapshots(
+    std::string_view prefix) const {
+  if (ShouldFail(plan_.metadata_failure_rate)) {
+    stats_.metadata_faults += 1;
+    return {};
+  }
+  return inner_.ListSnapshots(prefix);
 }
 
 // --- FaultyKvDatabase --------------------------------------------------------

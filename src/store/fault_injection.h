@@ -35,6 +35,7 @@
 #include "src/obs/sink.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 
@@ -144,6 +145,19 @@ struct FaultPlan {
   // Object-store Put torn write (truncated blob stored, write reports
   // kUnavailable).
   double torn_write_rate = 0.0;
+  // Chunk-granular at-rest faults (DedupSnapshotStore only; flat stores have
+  // no chunks, so these rates are ignored for them). Both fire *after* a
+  // successful put, from an independent RNG stream, so enabling them never
+  // perturbs the flat-store fault trajectory.
+  //   chunk_corruption_rate: one chunk of the stored snapshot is rewritten
+  //     through copy-on-write with a flipped bit — snapshots sharing the
+  //     original chunk stay healthy; the damaged snapshot fails its image
+  //     CRC at restore.
+  //   manifest_corruption_rate: one bit of the serialized chunk manifest is
+  //     flipped — the next OpenSnapshot fails the manifest CRC (kDataLoss)
+  //     and feeds the quarantine ledger.
+  double chunk_corruption_rate = 0.0;
+  double manifest_corruption_rate = 0.0;
 
   // Scheduled outage/latency windows (simulated time; need a clock).
   std::vector<FaultWindow> windows;
@@ -170,6 +184,8 @@ struct FaultInjectionStats {
   uint64_t corrupted_puts = 0;
   uint64_t torn_puts = 0;
   uint64_t latency_injections = 0;
+  uint64_t corrupted_chunks = 0;     // Chunk-granular at-rest bit rot.
+  uint64_t corrupted_manifests = 0;  // Manifest-frame bit rot.
 };
 
 // ObjectStore decorator. The inner store is borrowed and must outlive this.
@@ -211,6 +227,64 @@ class FaultyObjectStore : public ObjectStore {
   FaultPlan plan_;
   SimClock* clock_;
   mutable Rng rng_;
+  mutable FaultInjectionStats stats_;
+  ObsSink* obs_ = nullptr;
+  ObsTrack obs_track_;
+};
+
+// SnapshotStore decorator: the chunk-granular sibling of FaultyObjectStore.
+// Seeded with the SAME salt and drawing in the SAME order per logical
+// operation, so a dedup deployment under chaos replays the exact fault
+// trajectory of a flat deployment whose decorator wraps the ObjectStore —
+// that equivalence is what keeps simulation digests bit-identical with the
+// store swapped. Chunk/manifest faults draw from an independent stream
+// (salt 0xc417) after a put succeeds, so enabling them cannot shift the
+// shared trajectory either. The inner store is borrowed.
+class FaultySnapshotStore : public SnapshotStore {
+ public:
+  FaultySnapshotStore(SnapshotStore& inner, FaultPlan plan, SimClock* clock = nullptr)
+      : inner_(inner),
+        plan_(std::move(plan)),
+        clock_(clock),
+        rng_(HashCombine(plan_.seed, 0xfa17ULL)),
+        chunk_rng_(HashCombine(plan_.seed, 0xc417ULL)) {}
+
+  Result<SnapshotRef> PutSnapshot(std::string_view key, ObjectBlob blob) override;
+  Result<std::unique_ptr<SnapshotReader>> OpenSnapshot(std::string_view key) override;
+  Status DeleteSnapshot(std::string_view key) override;
+  bool ContainsSnapshot(std::string_view key) const override;
+  std::vector<std::string> ListSnapshots(std::string_view prefix) const override;
+  Status Pin(std::string_view key) override { return inner_.Pin(key); }
+  Status Unpin(std::string_view key) override { return inner_.Unpin(key); }
+  uint64_t CollectGarbage() override { return inner_.CollectGarbage(); }
+  StoreAccounting accounting() const override { return inner_.accounting(); }
+  Status CorruptChunk(std::string_view key, Rng& rng) override {
+    return inner_.CorruptChunk(key, rng);
+  }
+  Status CorruptManifest(std::string_view key, Rng& rng) override {
+    return inner_.CorruptManifest(key, rng);
+  }
+
+  const FaultInjectionStats& stats() const { return stats_; }
+  uint64_t faults_injected() const { return stats_.faults_injected; }
+
+  // Borrowed observability sink; also forwarded to the inner store so its
+  // chunk_fetch spans land on the same track.
+  void set_obs(ObsSink* obs, ObsTrack track) override {
+    obs_ = obs;
+    obs_track_ = track;
+    inner_.set_obs(obs, track);
+  }
+
+ private:
+  bool ShouldFail(double rate) const;
+  void NoteFault(const char* counter, const char* event) const;
+
+  SnapshotStore& inner_;
+  FaultPlan plan_;
+  SimClock* clock_;
+  mutable Rng rng_;        // Shared-trajectory stream (salt 0xfa17).
+  mutable Rng chunk_rng_;  // Chunk/manifest fault stream (salt 0xc417).
   mutable FaultInjectionStats stats_;
   ObsSink* obs_ = nullptr;
   ObsTrack obs_track_;

@@ -24,6 +24,17 @@ void AccountPut(StoreAccounting& acc, uint64_t old_logical, uint64_t new_logical
   acc.put_count += 1;
 }
 
+// A flat store's physical footprint is exactly the encoded payload it holds:
+// no chunk sharing, so the flat and physical views coincide.
+void AccountPhysicalPut(PhysicalAccounting& phys, uint64_t old_encoded,
+                        uint64_t new_encoded) {
+  phys.bytes_stored -= old_encoded;
+  phys.bytes_stored += new_encoded;
+  phys.peak_bytes = std::max(phys.peak_bytes, phys.bytes_stored);
+  phys.flat_bytes_stored = phys.bytes_stored;
+  phys.peak_flat_bytes = phys.peak_bytes;
+}
+
 }  // namespace
 
 Status InMemoryObjectStore::Put(std::string_view key, ObjectBlob blob) {
@@ -33,7 +44,9 @@ Status InMemoryObjectStore::Put(std::string_view key, ObjectBlob blob) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = objects_.find(key);
   const uint64_t old_logical = it == objects_.end() ? 0 : it->second.logical_size;
+  const uint64_t old_encoded = it == objects_.end() ? 0 : it->second.bytes().size();
   AccountPut(accounting_, old_logical, blob.logical_size);
+  AccountPhysicalPut(accounting_.physical, old_encoded, blob.bytes().size());
   objects_.insert_or_assign(std::string(key), std::move(blob));
   return OkStatus();
 }
@@ -46,6 +59,8 @@ Result<ObjectBlob> InMemoryObjectStore::Get(std::string_view key) {
   }
   accounting_.network_bytes_downloaded += it->second.logical_size;
   accounting_.get_count += 1;
+  accounting_.physical.chunks_fetched += 1;
+  accounting_.physical.bytes_fetched += it->second.bytes().size();
   return it->second;  // Shares the stored buffer; no payload copy.
 }
 
@@ -57,6 +72,8 @@ Status InMemoryObjectStore::Delete(std::string_view key) {
   }
   accounting_.logical_bytes_stored -= it->second.logical_size;
   accounting_.delete_count += 1;
+  accounting_.physical.bytes_stored -= it->second.bytes().size();
+  accounting_.physical.flat_bytes_stored = accounting_.physical.bytes_stored;
   objects_.erase(it);
   return OkStatus();
 }
@@ -150,6 +167,7 @@ Status FileBackedObjectStore::Put(std::string_view key, ObjectBlob blob) {
   std::lock_guard<std::mutex> lock(mutex_);
 
   uint64_t old_logical = 0;
+  uint64_t old_encoded = 0;
   const std::string path = PathForKey(key);
   if (std::filesystem::exists(path)) {
     // Read the previous logical size for accounting.
@@ -158,6 +176,11 @@ Status FileBackedObjectStore::Put(std::string_view key, ObjectBlob blob) {
     in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
     if (in) {
       old_logical = stored;
+    }
+    std::error_code size_ec;
+    const auto file_bytes = std::filesystem::file_size(path, size_ec);
+    if (!size_ec && file_bytes >= sizeof(uint64_t)) {
+      old_encoded = file_bytes - sizeof(uint64_t);
     }
   }
 
@@ -174,6 +197,7 @@ Status FileBackedObjectStore::Put(std::string_view key, ObjectBlob blob) {
     return InternalError("short write to '" + path + "'");
   }
   AccountPut(accounting_, old_logical, logical);
+  AccountPhysicalPut(accounting_.physical, old_encoded, blob.bytes().size());
   return OkStatus();
 }
 
@@ -193,6 +217,8 @@ Result<ObjectBlob> FileBackedObjectStore::Get(std::string_view key) {
                                std::istreambuf_iterator<char>()};
   accounting_.network_bytes_downloaded += logical_size;
   accounting_.get_count += 1;
+  accounting_.physical.chunks_fetched += 1;
+  accounting_.physical.bytes_fetched += payload.size();
   return ObjectBlob(std::move(payload), logical_size);
 }
 
@@ -207,12 +233,20 @@ Status FileBackedObjectStore::Delete(std::string_view key) {
     }
     in.read(reinterpret_cast<char*>(&old_logical), sizeof(old_logical));
   }
+  uint64_t old_encoded = 0;
+  std::error_code size_ec;
+  const auto file_bytes = std::filesystem::file_size(path, size_ec);
+  if (!size_ec && file_bytes >= sizeof(uint64_t)) {
+    old_encoded = file_bytes - sizeof(uint64_t);
+  }
   std::error_code ec;
   if (!std::filesystem::remove(path, ec) || ec) {
     return InternalError("cannot remove '" + path + "'");
   }
   accounting_.logical_bytes_stored -= old_logical;
   accounting_.delete_count += 1;
+  accounting_.physical.bytes_stored -= old_encoded;
+  accounting_.physical.flat_bytes_stored = accounting_.physical.bytes_stored;
   return OkStatus();
 }
 

@@ -38,6 +38,40 @@ struct ObjectBlob {
   uint64_t logical_size = 0;
 };
 
+// Chunk-granular physical accounting (SnapshotStore layer). Tracks the bytes
+// a store actually holds and moves, as opposed to the modeled logical (CRIU
+// image) bytes of StoreAccounting proper. Deliberately EXCLUDED from report
+// digests: SerializeStoreAccounting writes only the seven logical fields, so
+// flat and dedup stores produce bit-identical digests while differing here.
+struct PhysicalAccounting {
+  uint64_t bytes_stored = 0;        // Resident unique chunk + manifest bytes.
+  uint64_t peak_bytes = 0;
+  uint64_t flat_bytes_stored = 0;   // What a non-deduplicating store would hold.
+  uint64_t peak_flat_bytes = 0;
+  uint64_t chunks_stored = 0;       // Resident unique chunks.
+  uint64_t chunk_refs = 0;          // Live manifest->chunk references.
+  uint64_t dedup_hits = 0;          // Put chunks that were already resident.
+  uint64_t dedup_bytes_saved = 0;   // Bytes not stored thanks to dedup.
+  uint64_t delta_bytes_shared = 0;  // Saved bytes shared with the immediately
+                                    // preceding snapshot of the same prefix.
+  uint64_t chunks_fetched = 0;      // Physical chunk transfers to restores.
+  uint64_t bytes_fetched = 0;
+  uint64_t chunks_prefetched = 0;   // Lazy restore: recorded-working-set fetches.
+  uint64_t demand_faults = 0;       // Lazy restore: chunks outside the set.
+  uint64_t cache_hits = 0;          // Lazy restore: host-cache hits (no fetch).
+  uint64_t chunks_collected = 0;    // GC-reclaimed chunks.
+  uint64_t bytes_collected = 0;
+
+  // Flat-vs-physical footprint ratio at the high-water mark; 1.0 for a store
+  // that never deduplicated anything (or stored nothing).
+  double DedupRatio() const {
+    if (peak_bytes == 0) {
+      return 1.0;
+    }
+    return static_cast<double>(peak_flat_bytes) / static_cast<double>(peak_bytes);
+  }
+};
+
 // Cumulative transfer/storage accounting.
 struct StoreAccounting {
   uint64_t logical_bytes_stored = 0;    // Current logical footprint.
@@ -47,6 +81,8 @@ struct StoreAccounting {
   uint64_t put_count = 0;
   uint64_t get_count = 0;
   uint64_t delete_count = 0;
+  // Digest-excluded physical view (see PhysicalAccounting above).
+  PhysicalAccounting physical;
 };
 
 class ObjectStore {

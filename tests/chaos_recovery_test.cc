@@ -19,6 +19,7 @@
 #include "src/store/fault_injection.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 namespace {
@@ -40,8 +41,10 @@ struct ChaosHarness {
         policy(policy_in),
         engine(1),
         state_store(db, profile.name, policy.config()),
-        orchestrator(profile, WorkloadRegistry::Default(), policy, engine, object_store,
-                     state_store, clock, /*seed=*/7, OrchestratorCostModel{}, recovery) {}
+        snapshot_store(object_store),
+        orchestrator(profile, WorkloadRegistry::Default(), policy, engine,
+                     snapshot_store, state_store, clock, /*seed=*/7,
+                     OrchestratorCostModel{}, recovery) {}
 
   const WorkloadProfile& profile;
   const OrchestrationPolicy& policy;
@@ -50,6 +53,7 @@ struct ChaosHarness {
   InMemoryObjectStore object_store;
   CriuLikeEngine engine;
   PolicyStateStore state_store;
+  FlatSnapshotStore snapshot_store;
   Orchestrator orchestrator;
 
   // Runs `count` full lifetimes of 4 requests each; with beta = 4 every
@@ -221,8 +225,9 @@ TEST(ChaosRecoveryTest, DatabaseOutageDegradesStartAndReplaysBufferedObservation
   InMemoryObjectStore object_store;
   CriuLikeEngine engine(1);
   PolicyStateStore state_store(db, profile.name, policy->config(), &clock);
+  FlatSnapshotStore snapshot_store(object_store);
   Orchestrator orchestrator(profile, WorkloadRegistry::Default(), *policy, engine,
-                            object_store, state_store, clock, /*seed=*/7);
+                            snapshot_store, state_store, clock, /*seed=*/7);
 
   auto session = orchestrator.StartWorker();
   ASSERT_TRUE(session.ok());
@@ -291,7 +296,7 @@ TEST(ChaosRecoveryTest, PolicyConvergesUnderTenPercentFaultRate) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
 
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 42;
   options.faults.get_failure_rate = 0.10;
   options.faults.put_failure_rate = 0.10;

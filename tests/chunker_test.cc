@@ -1,0 +1,146 @@
+#include "src/store/chunker.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace pronghorn {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> bytes(n);
+  for (uint8_t& b : bytes) {
+    b = static_cast<uint8_t>(rng.NextUint64());
+  }
+  return bytes;
+}
+
+// Concatenating the spans in order must reproduce the input byte-for-byte,
+// and every span's key must be the content hash of its slice.
+void ExpectTilesExactly(const std::vector<uint8_t>& input,
+                        const std::vector<ChunkSpan>& spans) {
+  uint64_t offset = 0;
+  for (const ChunkSpan& span : spans) {
+    ASSERT_EQ(span.offset, offset);
+    ASSERT_LE(span.offset + span.size, input.size());
+    const std::span<const uint8_t> slice(input.data() + span.offset, span.size);
+    EXPECT_EQ(span.key, HashChunk(slice));
+    offset += span.size;
+  }
+  EXPECT_EQ(offset, input.size());
+}
+
+TEST(ChunkerTest, FixedTilesInputExactly) {
+  const auto input = RandomBytes(100000, 1);
+  ChunkerOptions options;
+  options.chunk_size = 4096;
+  const auto spans = SplitChunks(input, options);
+  ExpectTilesExactly(input, spans);
+  // Every chunk but the last is exactly chunk_size.
+  for (size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].size, options.chunk_size);
+  }
+  EXPECT_EQ(spans.size(), (input.size() + 4095) / 4096);
+}
+
+TEST(ChunkerTest, EmptyInputYieldsNoChunks) {
+  ChunkerOptions options;
+  EXPECT_TRUE(SplitChunks({}, options).empty());
+  options.cdc = true;
+  EXPECT_TRUE(SplitChunks({}, options).empty());
+}
+
+TEST(ChunkerTest, HashIsPureAndCollisionResistantInPractice) {
+  const auto a = RandomBytes(4096, 7);
+  auto b = a;
+  EXPECT_EQ(HashChunk(a), HashChunk(b));
+  b[1000] ^= 1;
+  EXPECT_NE(HashChunk(a), HashChunk(b));
+  // Distinct random pages never collide at this scale.
+  std::set<ChunkKey> keys;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    keys.insert(HashChunk(RandomBytes(4096, seed)));
+  }
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+TEST(ChunkerTest, CdcTilesInputAndRespectsBounds) {
+  const auto input = RandomBytes(300000, 3);
+  ChunkerOptions options;
+  options.cdc = true;
+  options.chunk_size = 4096;
+  options.min_size = 1024;
+  options.max_size = 16384;
+  const auto spans = SplitChunks(input, options);
+  ExpectTilesExactly(input, spans);
+  for (size_t i = 0; i + 1 < spans.size(); ++i) {
+    EXPECT_GE(spans[i].size, options.min_size);
+    EXPECT_LE(spans[i].size, options.max_size);
+  }
+  // The average should land in the window the geometry allows.
+  const double avg =
+      static_cast<double>(input.size()) / static_cast<double>(spans.size());
+  EXPECT_GT(avg, 1024.0);
+  EXPECT_LT(avg, 16384.0);
+}
+
+TEST(ChunkerTest, CdcBoundariesSurviveInsertion) {
+  const auto base = RandomBytes(200000, 5);
+  // Insert 100 bytes at the front: every fixed-size boundary after the
+  // insertion shifts, but content-defined cuts resynchronize.
+  std::vector<uint8_t> shifted = RandomBytes(100, 6);
+  shifted.insert(shifted.end(), base.begin(), base.end());
+
+  ChunkerOptions options;
+  options.cdc = true;
+  const auto base_spans = SplitChunks(base, options);
+  const auto shifted_spans = SplitChunks(shifted, options);
+
+  std::set<ChunkKey> base_keys;
+  for (const ChunkSpan& span : base_spans) {
+    base_keys.insert(span.key);
+  }
+  size_t shared = 0;
+  for (const ChunkSpan& span : shifted_spans) {
+    shared += base_keys.count(span.key);
+  }
+  // Most of the shifted file's chunks are bit-identical to base chunks.
+  EXPECT_GT(shared * 2, shifted_spans.size());
+
+  // Fixed-size chunking shares (essentially) nothing after the shift —
+  // the contrast that motivates CDC delta encoding.
+  options.cdc = false;
+  const auto fixed_base = SplitChunks(base, options);
+  const auto fixed_shifted = SplitChunks(shifted, options);
+  std::set<ChunkKey> fixed_keys;
+  for (const ChunkSpan& span : fixed_base) {
+    fixed_keys.insert(span.key);
+  }
+  size_t fixed_shared = 0;
+  for (const ChunkSpan& span : fixed_shifted) {
+    fixed_shared += fixed_keys.count(span.key);
+  }
+  EXPECT_LT(fixed_shared * 10, fixed_shifted.size());
+}
+
+TEST(ChunkerTest, DeterministicAcrossCalls) {
+  const auto input = RandomBytes(50000, 9);
+  ChunkerOptions options;
+  options.cdc = true;
+  const auto a = SplitChunks(input, options);
+  const auto b = SplitChunks(input, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+}  // namespace
+}  // namespace pronghorn

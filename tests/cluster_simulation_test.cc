@@ -26,7 +26,7 @@ TEST(ClusterSimulationTest, ServesAllRequestsAcrossSlots) {
   ASSERT_TRUE(policy.ok());
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  ClusterOptions options;
+  SimOptions options;
   options.worker_slots = 4;
   options.exploring_slots = 1;
   options.seed = 2;
@@ -48,7 +48,7 @@ TEST(ClusterSimulationTest, OnlyExploringSlotsCheckpoint) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
 
-  ClusterOptions options;
+  SimOptions options;
   options.worker_slots = 4;
   options.exploring_slots = 0;  // Nobody explores: no snapshots ever.
   options.seed = 3;
@@ -68,7 +68,7 @@ TEST(ClusterSimulationTest, ExploitersBenefitFromSharedPool) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
 
-  ClusterOptions options;
+  SimOptions options;
   options.worker_slots = 4;
   options.exploring_slots = 1;
   options.seed = 4;
@@ -105,7 +105,7 @@ TEST(ClusterSimulationTest, AmortizationReducesCheckpointCount) {
   uint64_t checkpoints_all_exploring = 0;
   uint64_t checkpoints_one_exploring = 0;
   for (uint32_t exploring : {4u, 1u}) {
-    ClusterOptions options;
+    SimOptions options;
     options.worker_slots = 4;
     options.exploring_slots = exploring;
     options.seed = 5;
@@ -128,7 +128,7 @@ TEST(ClusterSimulationTest, DeterministicForSeed) {
   ASSERT_TRUE(policy.ok());
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  ClusterOptions options;
+  SimOptions options;
   options.worker_slots = 3;
   options.exploring_slots = 2;
   options.seed = 6;
@@ -157,7 +157,7 @@ TEST(ClusterSimulationTest, ExploringSlotsClampedToWorkerSlots) {
   ASSERT_TRUE(policy.ok());
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  ClusterOptions options;
+  SimOptions options;
   options.worker_slots = 2;
   options.exploring_slots = 99;
   options.seed = 7;

@@ -7,6 +7,7 @@
 #include "src/core/request_centric_policy.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 namespace {
@@ -128,8 +129,9 @@ TEST(DeltaCheckpointEngineTest, WorksAsDropInForOrchestration) {
   InMemoryObjectStore object_store;
   DeltaCheckpointEngine engine(9);
   PolicyStateStore state_store(db, profile.name, config);
+  FlatSnapshotStore snapshot_store(object_store);
   Orchestrator orchestrator(profile, WorkloadRegistry::Default(), *policy, engine,
-                            object_store, state_store, clock, /*seed=*/10);
+                            snapshot_store, state_store, clock, /*seed=*/10);
 
   for (int lifetime = 0; lifetime < 10; ++lifetime) {
     auto session = orchestrator.StartWorker();

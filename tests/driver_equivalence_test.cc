@@ -57,7 +57,7 @@ void CheckFunctionVsSingleSlotCluster(EngineKind engine_kind,
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
 
-  SimulationOptions function_options;
+  SimOptions function_options;
   function_options.seed = 11;
   function_options.engine_kind = engine_kind;
   function_options.faults = faults;
@@ -66,7 +66,7 @@ void CheckFunctionVsSingleSlotCluster(EngineKind engine_kind,
   auto function_report = function.RunClosedLoop(200);
   ASSERT_TRUE(function_report.ok()) << function_report.status().ToString();
 
-  ClusterOptions cluster_options;
+  SimOptions cluster_options;
   cluster_options.worker_slots = 1;
   cluster_options.exploring_slots = 1;
   cluster_options.seed = 11;
@@ -107,7 +107,7 @@ TEST(DriverEquivalenceTest, EngineKindChangesTheOutcome) {
 
   uint32_t digests[2] = {0, 0};
   for (const EngineKind kind : {EngineKind::kCriuLike, EngineKind::kDelta}) {
-    SimulationOptions options;
+    SimOptions options;
     options.seed = 12;
     options.engine_kind = kind;
     FunctionSimulation simulation(Profile("MST"), WorkloadRegistry::Default(),
@@ -129,7 +129,7 @@ TEST(DriverEquivalenceTest, OneShardFleetMatchesOneFunctionPlatform) {
   constexpr uint64_t kSeed = 21;
   constexpr uint64_t kRequests = 300;
 
-  FleetOptions fleet_options;
+  SimOptions fleet_options;
   fleet_options.seed = kSeed;
   fleet_options.threads = 1;
   fleet_options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;
@@ -148,7 +148,7 @@ TEST(DriverEquivalenceTest, OneShardFleetMatchesOneFunctionPlatform) {
 
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  PlatformOptions platform_options;
+  SimOptions platform_options;
   platform_options.seed = kSeed;
   PlatformSimulation platform(WorkloadRegistry::Default(), **eviction,
                               platform_options);
@@ -201,7 +201,7 @@ TEST(SimulateEquivalenceTest, SingleTopologyReplaysFunctionSimulation) {
 
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions old_options;
+  SimOptions old_options;
   old_options.seed = kGoldenSeed;
   FunctionSimulation function(profile, WorkloadRegistry::Default(), *policy,
                               **eviction, old_options);
@@ -224,7 +224,7 @@ TEST(SimulateEquivalenceTest, PlatformAndFleetTopologiesShareTheGoldenDigest) {
   const WorkloadProfile& profile = Profile("DynamicHTML");
 
   // The historical driver's digest for the golden configuration.
-  FleetOptions fleet_options;
+  SimOptions fleet_options;
   fleet_options.seed = kGoldenSeed;
   fleet_options.threads = 1;
   fleet_options.eviction.kind = FleetEvictionSpec::Kind::kEveryK;

@@ -1,4 +1,5 @@
 #include "src/store/fault_injection.h"
+#include "src/store/snapshot_store.h"
 
 #include <gtest/gtest.h>
 
@@ -277,8 +278,9 @@ TEST(OrchestratorResilienceTest, RestoreFaultsFallBackToColdStart) {
   FaultyObjectStore object_store(inner_store, plan);
   CriuLikeEngine engine(3);
   PolicyStateStore state_store(db, (*profile)->name, config);
+  FlatSnapshotStore snapshot_store(object_store);
   Orchestrator orchestrator(**profile, WorkloadRegistry::Default(), *policy, engine,
-                            object_store, state_store, clock, /*seed=*/9);
+                            snapshot_store, state_store, clock, /*seed=*/9);
 
   for (int lifetime = 0; lifetime < 5; ++lifetime) {
     auto session = orchestrator.StartWorker();

@@ -49,7 +49,7 @@ FleetReport MustRun(const OrchestrationPolicy& policy, uint32_t threads,
                     bool reverse_registration = false,
                     FleetEvictionSpec eviction = FleetEvictionSpec{},
                     FaultPlan faults = FaultPlan{}) {
-  FleetOptions options;
+  SimOptions options;
   options.seed = kSeed;
   options.threads = threads;
   options.eviction = eviction;
@@ -206,7 +206,7 @@ TEST(FleetSimulationTest, FunctionSeedDependsOnSeedAndNameOnly) {
 TEST(FleetSimulationTest, RejectsInvalidDeployments) {
   const RequestCentricPolicy policy = MakePolicy();
   const auto profiles = TestProfiles();
-  FleetSimulation fleet(WorkloadRegistry::Default(), FleetOptions{});
+  FleetSimulation fleet(WorkloadRegistry::Default(), SimOptions{});
 
   FleetFunctionSpec good;
   good.name = "fn";
@@ -231,18 +231,18 @@ TEST(FleetSimulationTest, RejectsInvalidDeployments) {
 }
 
 TEST(FleetSimulationTest, EmptyFleetFailsToRun) {
-  FleetSimulation fleet(WorkloadRegistry::Default(), FleetOptions{});
+  FleetSimulation fleet(WorkloadRegistry::Default(), SimOptions{});
   EXPECT_EQ(fleet.Run().status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(FleetSimulationTest, DistinctSeedsProduceDistinctFleets) {
   const RequestCentricPolicy policy = MakePolicy();
-  FleetOptions options_a;
+  SimOptions options_a;
   options_a.seed = 7;
-  FleetOptions options_b;
+  SimOptions options_b;
   options_b.seed = 8;
   std::set<uint32_t> digests;
-  for (const FleetOptions& options : {options_a, options_b}) {
+  for (const SimOptions& options : {options_a, options_b}) {
     FleetSimulation fleet(WorkloadRegistry::Default(), options);
     FleetFunctionSpec spec;
     spec.name = "fn";

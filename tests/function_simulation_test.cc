@@ -27,7 +27,7 @@ TEST(FunctionSimulationTest, ClosedLoopProducesOneRecordPerRequest) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
-                         **eviction, SimulationOptions{});
+                         **eviction, SimOptions{});
   auto report = sim.RunClosedLoop(100);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->records.size(), 100u);
@@ -42,7 +42,7 @@ TEST(FunctionSimulationTest, EvictionEveryKBoundsLifetimes) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
-                         **eviction, SimulationOptions{});
+                         **eviction, SimOptions{});
   auto report = sim.RunClosedLoop(100);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->worker_lifetimes, 25u);
@@ -59,7 +59,7 @@ TEST(FunctionSimulationTest, ColdPolicyMaturityResetsPerLifetime) {
   auto eviction = EveryKRequestsEviction::Create(3);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(Profile("Hash"), WorkloadRegistry::Default(), policy,
-                         **eviction, SimulationOptions{});
+                         **eviction, SimOptions{});
   auto report = sim.RunClosedLoop(30);
   ASSERT_TRUE(report.ok());
   for (size_t i = 0; i < report->records.size(); ++i) {
@@ -72,7 +72,7 @@ TEST(FunctionSimulationTest, AfterFirstPolicyPinsMaturity) {
   auto eviction = EveryKRequestsEviction::Create(1);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(Profile("Hash"), WorkloadRegistry::Default(), policy,
-                         **eviction, SimulationOptions{});
+                         **eviction, SimOptions{});
   auto report = sim.RunClosedLoop(50);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->checkpoints, 1u);
@@ -90,7 +90,7 @@ TEST(FunctionSimulationTest, RequestCentricMaturityGrowsOverTime) {
   auto eviction = EveryKRequestsEviction::Create(1);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), *policy,
-                         **eviction, SimulationOptions{});
+                         **eviction, SimOptions{});
   auto report = sim.RunClosedLoop(400);
   ASSERT_TRUE(report.ok());
   // The request-number chain must reach the W boundary through exploration.
@@ -112,7 +112,7 @@ TEST(FunctionSimulationTest, DeterministicAcrossRuns) {
   ASSERT_TRUE(policy.ok());
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 1234;
 
   FunctionSimulation sim_a(Profile("MST"), WorkloadRegistry::Default(), *policy,
@@ -135,9 +135,9 @@ TEST(FunctionSimulationTest, SeedsChangeOutcomes) {
   ASSERT_TRUE(policy.ok());
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions a;
+  SimOptions a;
   a.seed = 1;
-  SimulationOptions b;
+  SimOptions b;
   b.seed = 2;
   FunctionSimulation sim_a(Profile("MST"), WorkloadRegistry::Default(), *policy,
                            **eviction, a);
@@ -159,10 +159,10 @@ TEST(FunctionSimulationTest, StartupOnCriticalPathInflatesFirstRequests) {
   auto eviction = EveryKRequestsEviction::Create(5);
   ASSERT_TRUE(eviction.ok());
 
-  SimulationOptions off_path;
+  SimOptions off_path;
   off_path.seed = 9;
   off_path.input_noise = false;
-  SimulationOptions on_path = off_path;
+  SimOptions on_path = off_path;
   on_path.lifecycle.startup_on_critical_path = true;
 
   FunctionSimulation sim_off(Profile("Hash"), WorkloadRegistry::Default(), policy,
@@ -191,7 +191,7 @@ TEST(FunctionSimulationTest, TraceRejectsUnsortedArrivals) {
   const ColdStartPolicy policy;
   IdleTimeoutEviction eviction(Duration::Seconds(600));
   FunctionSimulation sim(Profile("MST"), WorkloadRegistry::Default(), policy, eviction,
-                         SimulationOptions{});
+                         SimOptions{});
   const std::vector<TimePoint> arrivals = {TimePoint::FromMicros(100),
                                            TimePoint::FromMicros(50)};
   EXPECT_EQ(sim.RunTrace(arrivals).status().code(), StatusCode::kInvalidArgument);
@@ -200,7 +200,7 @@ TEST(FunctionSimulationTest, TraceRejectsUnsortedArrivals) {
 TEST(FunctionSimulationTest, TraceIdleTimeoutEvicts) {
   const ColdStartPolicy policy;
   IdleTimeoutEviction eviction(Duration::Seconds(60));
-  SimulationOptions options;
+  SimOptions options;
   options.input_noise = false;
   FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
                          eviction, options);
@@ -221,7 +221,7 @@ TEST(FunctionSimulationTest, TraceIdleTimeoutEvicts) {
 TEST(FunctionSimulationTest, TraceQueueingDelaysBackToBackArrivals) {
   const ColdStartPolicy policy;
   IdleTimeoutEviction eviction(Duration::Seconds(600));
-  SimulationOptions options;
+  SimOptions options;
   options.input_noise = false;
   FunctionSimulation sim(Profile("Video"), WorkloadRegistry::Default(), policy,
                          eviction, options);
@@ -241,7 +241,7 @@ TEST(FunctionSimulationTest, ReportAccountingIsConsistent) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(Profile("BFS"), WorkloadRegistry::Default(), *policy,
-                         **eviction, SimulationOptions{});
+                         **eviction, SimOptions{});
   auto report = sim.RunClosedLoop(200);
   ASSERT_TRUE(report.ok());
 
@@ -275,7 +275,7 @@ TEST(FunctionSimulationTest, CheckpointBlockingDelaysQueuedArrival) {
   Duration latency_no_block;
   Duration latency_block;
   for (bool blocks : {false, true}) {
-    SimulationOptions options;
+    SimOptions options;
     options.seed = 99;
     options.input_noise = false;
     options.lifecycle.checkpoint_blocks_requests = blocks;
@@ -297,7 +297,7 @@ TEST(FunctionSimulationTest, CheckpointBlockingDelaysQueuedArrival) {
 TEST(FunctionSimulationTest, WorkerOccupancyAccounting) {
   const ColdStartPolicy policy;
   IdleTimeoutEviction eviction(Duration::Seconds(60));
-  SimulationOptions options;
+  SimOptions options;
   options.input_noise = false;
   options.lifecycle.idle_resource_hold = eviction.timeout();
   FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
@@ -333,7 +333,7 @@ TEST(FunctionSimulationTest, OccupancyScalesWithIdleHold) {
   double memory_time[2];
   int idx = 0;
   for (int64_t hold_s : {0, 300}) {
-    SimulationOptions options;
+    SimOptions options;
     options.input_noise = false;
     options.lifecycle.idle_resource_hold = Duration::Seconds(static_cast<double>(hold_s));
     FunctionSimulation sim(Profile("DynamicHTML"), WorkloadRegistry::Default(), policy,
@@ -349,9 +349,9 @@ TEST(FunctionSimulationTest, InputNoiseWidensDistribution) {
   const ColdStartPolicy policy;
   auto eviction = EveryKRequestsEviction::Create(20);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions noisy;
+  SimOptions noisy;
   noisy.seed = 5;
-  SimulationOptions quiet = noisy;
+  SimOptions quiet = noisy;
   quiet.input_noise = false;
 
   FunctionSimulation sim_noisy(Profile("PageRank"), WorkloadRegistry::Default(), policy,

@@ -31,7 +31,7 @@ SimulationReport RunExperiment(const WorkloadProfile& profile, const Orchestrati
                      uint64_t eviction_k, uint64_t requests, uint64_t seed) {
   auto eviction = EveryKRequestsEviction::Create(eviction_k);
   EXPECT_TRUE(eviction.ok());
-  SimulationOptions options;
+  SimOptions options;
   options.seed = seed;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), policy, **eviction,
                          options);
@@ -131,7 +131,7 @@ TEST(IntegrationTest, SnapshotPoolStaysBounded) {
 
   auto eviction = EveryKRequestsEviction::Create(1);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 5;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
                          options);
@@ -176,7 +176,7 @@ TEST(IntegrationTest, ContinuousLearningSurvivesInputShift) {
   auto run_with_shift = [&](const OrchestrationPolicy& p) {
     auto eviction = EveryKRequestsEviction::Create(1);
     EXPECT_TRUE(eviction.ok());
-    SimulationOptions options;
+    SimOptions options;
     options.seed = 17;
     FunctionSimulation sim(profile, WorkloadRegistry::Default(), p, **eviction, options);
     // Phase 1: 300 requests of normal traffic.
@@ -204,7 +204,7 @@ TEST(IntegrationTest, ExplorationSaturatesAtW) {
 
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 23;
   FunctionSimulation sim(profile, WorkloadRegistry::Default(), *policy, **eviction,
                          options);

@@ -7,6 +7,7 @@
 #include "src/core/request_centric_policy.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 namespace {
@@ -27,8 +28,9 @@ struct Harness {
         policy(policy_in),
         engine(1),
         state_store(db, profile.name, policy.config()),
-        orchestrator(profile, WorkloadRegistry::Default(), policy, engine, object_store,
-                     state_store, clock, /*seed=*/7) {}
+        snapshot_store(object_store),
+        orchestrator(profile, WorkloadRegistry::Default(), policy, engine,
+                     snapshot_store, state_store, clock, /*seed=*/7) {}
 
   const WorkloadProfile& profile;
   const OrchestrationPolicy& policy;
@@ -37,6 +39,7 @@ struct Harness {
   InMemoryObjectStore object_store;
   CriuLikeEngine engine;
   PolicyStateStore state_store;
+  FlatSnapshotStore snapshot_store;
   Orchestrator orchestrator;
 
   // Serves `count` requests on one session, returning the last outcome.
@@ -253,8 +256,9 @@ TEST(OrchestratorTest, CostModelDrivesOverheadAccounting) {
   InMemoryObjectStore object_store;
   CriuLikeEngine engine(8);
   PolicyStateStore state_store(db, profile.name, policy->config());
+  FlatSnapshotStore snapshot_store(object_store);
   Orchestrator orchestrator(profile, WorkloadRegistry::Default(), *policy, engine,
-                            object_store, state_store, clock, /*seed=*/4, costs);
+                            snapshot_store, state_store, clock, /*seed=*/4, costs);
 
   auto session = orchestrator.StartWorker();
   ASSERT_TRUE(session.ok());
@@ -284,8 +288,9 @@ TEST(OrchestratorTest, FasterObjectStoreBandwidthShrinksRestoreLatency) {
     InMemoryObjectStore object_store;
     CriuLikeEngine engine(9);
     PolicyStateStore state_store(db, profile.name, policy->config());
+    FlatSnapshotStore snapshot_store(object_store);
     Orchestrator orchestrator(profile, WorkloadRegistry::Default(), *policy, engine,
-                              object_store, state_store, clock, /*seed=*/4, costs);
+                              snapshot_store, state_store, clock, /*seed=*/4, costs);
     {
       auto session = orchestrator.StartWorker();
       ASSERT_TRUE(session.ok());
@@ -316,10 +321,11 @@ TEST(OrchestratorTest, DeploymentsOfOneWorkloadDoNotCollideInSharedStore) {
   CriuLikeEngine engine(5);
   PolicyStateStore store_a(db, "fn#classA", policy->config());
   PolicyStateStore store_b(db, "fn#classB", policy->config());
+  FlatSnapshotStore snapshot_store(object_store);
   Orchestrator orch_a(profile, WorkloadRegistry::Default(), *policy, engine,
-                      object_store, store_a, clock, 1);
+                      snapshot_store, store_a, clock, 1);
   Orchestrator orch_b(profile, WorkloadRegistry::Default(), *policy, engine,
-                      object_store, store_b, clock, 2);
+                      snapshot_store, store_b, clock, 2);
 
   for (Orchestrator* orch : {&orch_a, &orch_b}) {
     auto session = orch->StartWorker();

@@ -43,7 +43,7 @@ InvocationTrace MakeTrace() {
 TEST(PlatformSimulationTest, RejectsDuplicateDeployments) {
   IdleTimeoutEviction eviction(Duration::Seconds(60));
   PlatformSimulation platform(WorkloadRegistry::Default(), eviction,
-                              PlatformOptions{});
+                              SimOptions{});
   const ColdStartPolicy policy;
   ASSERT_TRUE(platform.DeployFunction(Profile("MST"), policy).ok());
   EXPECT_EQ(platform.DeployFunction(Profile("MST"), policy).code(),
@@ -53,7 +53,7 @@ TEST(PlatformSimulationTest, RejectsDuplicateDeployments) {
 TEST(PlatformSimulationTest, RejectsUndeployedFunctionInTrace) {
   IdleTimeoutEviction eviction(Duration::Seconds(60));
   PlatformSimulation platform(WorkloadRegistry::Default(), eviction,
-                              PlatformOptions{});
+                              SimOptions{});
   const ColdStartPolicy policy;
   ASSERT_TRUE(platform.DeployFunction(Profile("MST"), policy).ok());
   const InvocationTrace trace = MakeTrace();  // Also invokes DynamicHTML.
@@ -62,7 +62,7 @@ TEST(PlatformSimulationTest, RejectsUndeployedFunctionInTrace) {
 
 TEST(PlatformSimulationTest, ReplaysMultiFunctionTrace) {
   IdleTimeoutEviction eviction(Duration::Seconds(60));
-  PlatformOptions options;
+  SimOptions options;
   options.seed = 3;
   PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
   const auto policy = RequestCentricPolicy::Create(TestConfig());
@@ -84,7 +84,7 @@ TEST(PlatformSimulationTest, ReplaysMultiFunctionTrace) {
 
 TEST(PlatformSimulationTest, FunctionsShareStoresButNotState) {
   IdleTimeoutEviction eviction(Duration::Seconds(60));
-  PlatformOptions options;
+  SimOptions options;
   options.seed = 4;
   PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
   const auto policy = RequestCentricPolicy::Create(TestConfig());
@@ -112,7 +112,7 @@ TEST(PlatformSimulationTest, FunctionsShareStoresButNotState) {
 
 TEST(PlatformSimulationTest, StatePersistsAcrossReplays) {
   IdleTimeoutEviction eviction(Duration::Seconds(60));
-  PlatformOptions options;
+  SimOptions options;
   options.seed = 5;
   PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
   const auto policy = RequestCentricPolicy::Create(TestConfig());
@@ -136,7 +136,7 @@ TEST(PlatformSimulationTest, FaultPlanProducesRecoveryStats) {
   // shared stores and surface FaultRecoveryStats in the report, like the
   // single-function and fleet drivers do.
   IdleTimeoutEviction eviction(Duration::Seconds(60));
-  PlatformOptions options;
+  SimOptions options;
   options.seed = 9;
   options.faults.get_failure_rate = 0.15;
   options.faults.put_failure_rate = 0.15;
@@ -155,7 +155,7 @@ TEST(PlatformSimulationTest, FaultPlanProducesRecoveryStats) {
   EXPECT_GT(report->faults.store_faults + report->faults.db_faults, 0u);
 
   // A fault-free run of the same platform reports zero injected faults.
-  PlatformOptions clean_options;
+  SimOptions clean_options;
   clean_options.seed = 9;
   PlatformSimulation clean(WorkloadRegistry::Default(), eviction, clean_options);
   ASSERT_TRUE(clean.DeployFunction(Profile("MST"), *policy).ok());
@@ -177,7 +177,7 @@ TEST(PlatformSimulationTest, GeneratedTraceEndToEnd) {
   IdleTimeoutEviction idle(Duration::Seconds(600));
   MaxLifetimeEviction lifetime(Duration::Seconds(1200));
   AnyOfEviction eviction({&idle, &lifetime});
-  PlatformOptions options;
+  SimOptions options;
   options.seed = 7;
   PlatformSimulation platform(WorkloadRegistry::Default(), eviction, options);
   const auto policy = RequestCentricPolicy::Create(TestConfig());

@@ -62,7 +62,7 @@ TEST(ReportIoTest, FileRoundTripFromSimulation) {
   auto eviction = EveryKRequestsEviction::Create(4);
   ASSERT_TRUE(eviction.ok());
   FunctionSimulation sim(**profile, WorkloadRegistry::Default(), policy, **eviction,
-                         SimulationOptions{});
+                         SimOptions{});
   auto report = sim.RunClosedLoop(40);
   ASSERT_TRUE(report.ok());
 

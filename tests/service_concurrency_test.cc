@@ -28,6 +28,7 @@
 #include "src/service/wire.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 namespace {
@@ -55,10 +56,11 @@ struct FunctionStack {
       : name(name_in),
         profile(**WorkloadRegistry::Default().Find("DynamicHTML")),
         engine(HashCombine(seed, 0xe1)),
-        state_store(db, name_in, policy.config()) {
+        state_store(db, name_in, policy.config()),
+        snapshot_store(object_store) {
     for (uint32_t slot = 0; slot < kSlotsPerFunction; ++slot) {
       orchestrators.push_back(std::make_unique<Orchestrator>(
-          profile, WorkloadRegistry::Default(), policy, engine, object_store,
+          profile, WorkloadRegistry::Default(), policy, engine, snapshot_store,
           state_store, clock, HashCombine(seed, slot)));
     }
   }
@@ -70,6 +72,7 @@ struct FunctionStack {
   InMemoryObjectStore object_store;
   CriuLikeEngine engine;
   PolicyStateStore state_store;
+  FlatSnapshotStore snapshot_store;
   std::vector<std::unique_ptr<Orchestrator>> orchestrators;
 };
 

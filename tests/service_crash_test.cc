@@ -41,6 +41,7 @@
 #include "src/service/journal.h"
 #include "src/store/kv_database.h"
 #include "src/store/object_store.h"
+#include "src/store/snapshot_store.h"
 
 namespace pronghorn {
 namespace {
@@ -69,9 +70,10 @@ struct FunctionStack {
       : name(name_in),
         profile(**WorkloadRegistry::Default().Find("DynamicHTML")),
         engine(HashCombine(seed, 0xe1)),
-        state_store(db, name_in, policy.config()) {
+        state_store(db, name_in, policy.config()),
+        snapshot_store(object_store) {
     orchestrator = std::make_unique<Orchestrator>(
-        profile, WorkloadRegistry::Default(), policy, engine, object_store,
+        profile, WorkloadRegistry::Default(), policy, engine, snapshot_store,
         state_store, clock, HashCombine(seed, 0));
   }
 
@@ -82,6 +84,7 @@ struct FunctionStack {
   InMemoryObjectStore object_store;
   CriuLikeEngine engine;
   PolicyStateStore state_store;
+  FlatSnapshotStore snapshot_store;
   std::unique_ptr<Orchestrator> orchestrator;
 };
 

@@ -78,7 +78,7 @@ FleetRunConfig WithThreads(uint32_t threads) {
 
 FleetSimulation MakeFleet(const OrchestrationPolicy& policy,
                           const FleetRunConfig& config) {
-  FleetOptions options;
+  SimOptions options;
   options.seed = kSeed;
   options.threads = config.threads;
   options.retention = config.retention;

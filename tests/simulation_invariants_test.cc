@@ -35,7 +35,7 @@ TEST_P(SimulationInvariants, HoldAcrossTheRun) {
 
   auto eviction = EveryKRequestsEviction::Create(scenario.eviction_k);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions options;
+  SimOptions options;
   options.seed = scenario.seed;
   FunctionSimulation sim(**profile, WorkloadRegistry::Default(), *policy, **eviction,
                          options);

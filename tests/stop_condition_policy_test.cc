@@ -113,7 +113,7 @@ TEST(StopConditionPolicyTest, EndToEndCheckpointingCeases) {
 
   auto eviction = EveryKRequestsEviction::Create(1);
   ASSERT_TRUE(eviction.ok());
-  SimulationOptions options;
+  SimOptions options;
   options.seed = 12;
   FunctionSimulation sim(**profile, WorkloadRegistry::Default(), policy, **eviction,
                          options);

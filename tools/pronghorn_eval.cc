@@ -37,6 +37,11 @@ struct Combo {
   double median_us = 0.0;
   double p90_us = 0.0;
   uint64_t checkpoints = 0;
+  // Storage accounting (digest-excluded physical view; flat runs mirror
+  // logical and leave the dedup ratio at 1).
+  uint64_t store_logical_bytes = 0;
+  uint64_t store_physical_bytes = 0;
+  double store_dedup_ratio = 1.0;
 };
 
 }  // namespace
@@ -114,8 +119,12 @@ int main(int argc, char** argv) {
           return Fail(s);
         }
         const DistributionSummary summary = report->flat().LatencySummary();
+        const StoreAccounting& store = report->flat().object_store;
         combos.push_back(Combo{profile->name, label, k, summary.Median(),
-                               summary.Quantile(90), report->flat().checkpoints});
+                               summary.Quantile(90), report->flat().checkpoints,
+                               store.logical_bytes_stored,
+                               store.physical.bytes_stored,
+                               store.physical.DedupRatio()});
       }
       std::printf(".");
       std::fflush(stdout);
@@ -130,6 +139,7 @@ int main(int argc, char** argv) {
     return Fail(InternalError("cannot open " + summary_path));
   }
   summary << "benchmark,policy,eviction_k,median_us,p90_us,checkpoints,"
+             "store_logical_bytes,store_physical_bytes,store_dedup_ratio,"
              "improvement_vs_after_first_pct\n";
   std::map<std::pair<std::string, uint32_t>, double> baseline_medians;
   for (const Combo& combo : combos) {
@@ -149,7 +159,8 @@ int main(int argc, char** argv) {
     }
     summary << combo.benchmark << ',' << combo.policy << ',' << combo.eviction_k << ','
             << combo.median_us << ',' << combo.p90_us << ',' << combo.checkpoints << ','
-            << improvement << '\n';
+            << combo.store_logical_bytes << ',' << combo.store_physical_bytes << ','
+            << combo.store_dedup_ratio << ',' << improvement << '\n';
   }
   summary.flush();
 

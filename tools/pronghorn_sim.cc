@@ -286,6 +286,16 @@ Result<FaultPlan> ParseFaultPlan(const FlagParser& flags) {
   plan.metadata_failure_rate = rate;
   plan.corruption_rate = corrupt;
   plan.torn_write_rate = torn;
+  PRONGHORN_ASSIGN_OR_RETURN(const double chunk_corrupt,
+                             flags.GetDouble("fault-chunk-corrupt"));
+  PRONGHORN_ASSIGN_OR_RETURN(const double manifest_corrupt,
+                             flags.GetDouble("fault-manifest-corrupt"));
+  if (chunk_corrupt < 0 || chunk_corrupt > 1 || manifest_corrupt < 0 ||
+      manifest_corrupt > 1) {
+    return InvalidArgumentError("fault rates must be in [0, 1]");
+  }
+  plan.chunk_corruption_rate = chunk_corrupt;
+  plan.manifest_corruption_rate = manifest_corrupt;
   PRONGHORN_ASSIGN_OR_RETURN(const int64_t fault_seed, flags.GetInt("fault-seed"));
   plan.seed = static_cast<uint64_t>(fault_seed);
   PRONGHORN_ASSIGN_OR_RETURN(auto outages,
@@ -306,10 +316,41 @@ struct CommonSimOptions {
   bool input_noise = true;
   bool state_cache = true;
   FaultPlan faults;
+  SnapshotStoreOptions store;
   ServiceModeOptions service;
   RetentionOptions retention;
   SimCheckpointOptions sim_checkpoint;
 };
+
+// --store / --chunk-size / --cdc / --lazy-restore → SnapshotStoreOptions.
+// Chunk-granular knobs require --store=dedup: on a flat build they would
+// silently do nothing, which reads as a measurement when it is a typo.
+Result<SnapshotStoreOptions> ParseStoreOptions(const FlagParser& flags) {
+  SnapshotStoreOptions store;
+  const std::string kind = *flags.GetString("store");
+  if (kind == "dedup") {
+    store.kind = SnapshotStoreOptions::Kind::kDedup;
+  } else if (kind != "flat") {
+    return InvalidArgumentError("unknown --store '" + kind +
+                                "' (expected flat or dedup)");
+  }
+  PRONGHORN_ASSIGN_OR_RETURN(const int64_t chunk_size, flags.GetInt("chunk-size"));
+  if (chunk_size < 64 || chunk_size > (64 << 20)) {
+    return InvalidArgumentError("--chunk-size must be in [64, 64Mi]");
+  }
+  store.chunker.chunk_size = static_cast<uint32_t>(chunk_size);
+  store.chunker.min_size = static_cast<uint32_t>(std::max<int64_t>(64, chunk_size / 4));
+  store.chunker.max_size = static_cast<uint32_t>(chunk_size * 4);
+  store.chunker.cdc = flags.GetBool("cdc").value_or(false);
+  store.lazy_restore = flags.GetBool("lazy-restore").value_or(false);
+  if (store.kind == SnapshotStoreOptions::Kind::kFlat &&
+      (store.chunker.cdc || store.lazy_restore ||
+       store.chunker.chunk_size != 4096)) {
+    return InvalidArgumentError(
+        "--chunk-size, --cdc, and --lazy-restore require --store=dedup");
+  }
+  return store;
+}
 
 Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
   CommonSimOptions common;
@@ -324,6 +365,14 @@ Result<CommonSimOptions> ParseCommonSimOptions(const FlagParser& flags) {
   common.input_noise = !flags.GetBool("no-noise").value_or(false);
   common.state_cache = !flags.GetBool("no-state-cache").value_or(false);
   PRONGHORN_ASSIGN_OR_RETURN(common.faults, ParseFaultPlan(flags));
+  PRONGHORN_ASSIGN_OR_RETURN(common.store, ParseStoreOptions(flags));
+  if ((common.faults.chunk_corruption_rate > 0 ||
+       common.faults.manifest_corruption_rate > 0) &&
+      common.store.kind != SnapshotStoreOptions::Kind::kDedup) {
+    return InvalidArgumentError(
+        "--fault-chunk-corrupt and --fault-manifest-corrupt require "
+        "--store=dedup");
+  }
   common.service.enabled = flags.GetBool("service").value_or(false);
   PRONGHORN_ASSIGN_OR_RETURN(const int64_t shards, flags.GetInt("service-shards"));
   PRONGHORN_ASSIGN_OR_RETURN(const int64_t batch, flags.GetInt("service-batch"));
@@ -615,6 +664,7 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   options.state_cache = common.state_cache;
   options.eviction = *eviction;
   options.faults = common.faults;
+  options.store = common.store;
   options.service = common.service;
   options.retention = common.retention;
   options.sim_checkpoint = common.sim_checkpoint;
@@ -738,6 +788,7 @@ int RunPlatform(const FlagParser& flags, const CommonSimOptions& common,
   options.state_cache = common.state_cache;
   options.eviction = *eviction;
   options.faults = common.faults;
+  options.store = common.store;
   options.service = common.service;
   options.sim_checkpoint = common.sim_checkpoint;
 
@@ -814,6 +865,7 @@ int RunSingle(const FlagParser& flags, const CommonSimOptions& common,
   options.input_noise = common.input_noise;
   options.state_cache = common.state_cache;
   options.faults = common.faults;
+  options.store = common.store;
   options.service = common.service;
   options.sim_checkpoint = common.sim_checkpoint;
   // Historical FunctionSimulation topology: one worker slot.
@@ -906,6 +958,24 @@ int main(int argc, char** argv) {
   flags.AddFlag("fault-latency", "",
                 "latency spikes 'start:end:ms' (seconds, extra ms), comma-separated");
   flags.AddFlag("fault-seed", "0", "extra seed folded into the fault streams");
+  flags.AddFlag("fault-chunk-corrupt", "0",
+                "dedup store: probability a stored chunk gets one bit flipped "
+                "after a successful put, in [0,1]");
+  flags.AddFlag("fault-manifest-corrupt", "0",
+                "dedup store: probability a snapshot manifest gets one bit "
+                "flipped after a successful put, in [0,1]");
+  flags.AddFlag("store", "flat",
+                "snapshot store build: flat (compatibility adapter over the "
+                "object store) | dedup (content-addressed chunks; digests are "
+                "bit-identical either way)");
+  flags.AddFlag("chunk-size", "4096",
+                "dedup store: fixed cut size / CDC target average, in bytes");
+  flags.AddSwitch("cdc",
+                  "dedup store: content-defined chunk boundaries (Gear rolling "
+                  "hash) instead of fixed-size cuts");
+  flags.AddSwitch("lazy-restore",
+                  "dedup store: record-then-prefetch restores (REAP-style); "
+                  "digest-neutral, changes only physical fetch counters");
   flags.AddSwitch("service",
                   "run the live orchestrator service: all worker-lifecycle "
                   "operations go over its wire format (digest-neutral)");

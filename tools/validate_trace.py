@@ -8,11 +8,14 @@ plus the x-required-span-names / x-required-instant-names extensions that
 encode the observability acceptance bar (all seven worker-lifecycle phases
 and the recovery instants must be present).
 
-Usage: validate_trace.py [--schema-only] <trace.json> [<schema.json>]
+Usage: validate_trace.py [--schema-only] [--require-span NAME]...
+       <trace.json> [<schema.json>]
 Exits 0 when the trace validates, 1 with a report on stderr otherwise.
 --schema-only skips the x-required-* presence checks: a healthy run has no
 degraded_start spans or retry instants to require (CI validates a faulty
-run, where all of them must appear).
+run, where all of them must appear). --require-span adds an extra span name
+that must be present (repeatable) — CI uses it to assert dedup-store runs
+emit "chunk_fetch" spans without requiring them of flat-store traces.
 """
 
 import json
@@ -67,7 +70,20 @@ def matches(value, condition):
 
 def main(argv):
     schema_only = "--schema-only" in argv[1:]
-    paths = [a for a in argv[1:] if a != "--schema-only"]
+    required_spans = []
+    paths = []
+    args = [a for a in argv[1:] if a != "--schema-only"]
+    i = 0
+    while i < len(args):
+        if args[i] == "--require-span":
+            if i + 1 >= len(args):
+                print(__doc__, file=sys.stderr)
+                return 2
+            required_spans.append(args[i + 1])
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
     if len(paths) not in (1, 2):
         print(__doc__, file=sys.stderr)
         return 2
@@ -95,6 +111,9 @@ def main(argv):
         for name in schema.get("x-required-instant-names", []):
             if name not in instants:
                 errors.append(f"$.traceEvents: no 'i' instant named '{name}'")
+    for name in required_spans:
+        if name not in spans:
+            errors.append(f"$.traceEvents: no 'X' span named '{name}'")
 
     if errors:
         for error in errors[:40]:

@@ -201,6 +201,8 @@ bool WriteJson(const std::vector<TraceGenRun>& tracegen,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"fleet_scale\",\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
+  EmitMachineJson(out, "  ");
   std::fprintf(out, "  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
   std::fprintf(out, "  \"requests_per_function\": %llu,\n",
                static_cast<unsigned long long>(kRequestsPerFunction));

@@ -1,11 +1,13 @@
 // Fleet wall-clock trend exhibit: end-to-end simulator throughput
-// (requests/sec and ns per simulated request) for a fixed synthetic fleet at
-// 1, 4, and 8 threads, written to BENCH_fleet_wallclock.json so CI archives
-// the perf trajectory across PRs. Also re-checks the determinism contract —
-// the merged digest must be identical at every thread count — and exits
-// non-zero on a mismatch so the CI run doubles as a regression gate.
+// (requests/sec and ns per simulated request) across thread counts, written
+// to BENCH_fleet_wallclock.json so CI archives the perf trajectory across
+// PRs. Each configuration is timed warmup + median-of-N (see
+// exhibit_common.h) and the JSON carries machine metadata, so a committed
+// baseline from one host is visibly incomparable to a rerun on another.
+// Also re-checks the determinism contract — the merged digest must be
+// identical at every thread count — and exits non-zero on a mismatch so the
+// CI run doubles as a regression gate.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -21,19 +23,23 @@ constexpr uint64_t kRequestsPerFunction = 220;
 constexpr uint32_t kWorkerSlots = 4;
 constexpr uint32_t kEvictionK = 4;
 constexpr uint64_t kSeed = 42;
+constexpr int kWarmupReps = 1;
+constexpr int kTimedReps = 5;
 constexpr const char* kJsonPath = "BENCH_fleet_wallclock.json";
 
 struct WallclockRun {
-  uint32_t threads = 0;
-  double wall_seconds = 0.0;
+  uint32_t threads = 0;         // Requested --threads value.
+  uint32_t effective_workers = 0;  // After the hardware-concurrency clamp.
+  TimingSample timing;
   double requests_per_sec = 0.0;
   double ns_per_request = 0.0;
+  double scaling_vs_1_thread = 0.0;
   uint32_t digest = 0;
 };
 
-WallclockRun RunOnce(uint32_t threads,
-                     const std::vector<const WorkloadProfile*>& profiles,
-                     const std::vector<std::unique_ptr<OrchestrationPolicy>>& policies) {
+WallclockRun RunConfig(uint32_t threads,
+                       const std::vector<const WorkloadProfile*>& profiles,
+                       const std::vector<std::unique_ptr<OrchestrationPolicy>>& policies) {
   SimOptions options;
   options.seed = kSeed;
   options.threads = threads;
@@ -54,22 +60,22 @@ WallclockRun RunOnce(uint32_t threads,
     specs.push_back(std::move(spec));
   }
 
-  const auto start = std::chrono::steady_clock::now();
-  auto report =
-      Simulate(WorkloadRegistry::Default(), SimTopology::kFleet, specs, options);
-  const auto end = std::chrono::steady_clock::now();
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    std::exit(1);
-  }
   WallclockRun run;
   run.threads = threads;
-  run.wall_seconds = std::chrono::duration<double>(end - start).count();
+  run.effective_workers = ThreadPool::EffectiveParallelism(threads);
+  run.timing = MeasureMedianSeconds(kWarmupReps, kTimedReps, [&]() {
+    auto report =
+        Simulate(WorkloadRegistry::Default(), SimTopology::kFleet, specs, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      std::exit(1);
+    }
+    run.digest = report->Digest();
+  });
   const double total_requests =
       static_cast<double>(kFleetSize) * static_cast<double>(kRequestsPerFunction);
-  run.requests_per_sec = total_requests / run.wall_seconds;
-  run.ns_per_request = run.wall_seconds * 1e9 / total_requests;
-  run.digest = report->Digest();
+  run.requests_per_sec = total_requests / run.timing.median_seconds;
+  run.ns_per_request = run.timing.median_seconds * 1e9 / total_requests;
   return run;
 }
 
@@ -81,20 +87,29 @@ bool WriteJson(const std::vector<WallclockRun>& runs) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"fleet_wallclock\",\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
+  EmitMachineJson(out, "  ");
   std::fprintf(out, "  \"functions\": %zu,\n", kFleetSize);
   std::fprintf(out, "  \"requests_per_function\": %llu,\n",
                static_cast<unsigned long long>(kRequestsPerFunction));
   std::fprintf(out, "  \"worker_slots\": %u,\n", kWorkerSlots);
   std::fprintf(out, "  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
+  std::fprintf(out, "  \"warmup_reps\": %d,\n", kWarmupReps);
+  std::fprintf(out, "  \"timed_reps\": %d,\n", kTimedReps);
   std::fprintf(out, "  \"runs\": [\n");
   for (size_t i = 0; i < runs.size(); ++i) {
     const WallclockRun& run = runs[i];
     std::fprintf(out,
-                 "    {\"threads\": %u, \"wall_seconds\": %.6f, "
-                 "\"requests_per_sec\": %.1f, \"ns_per_request\": %.1f, "
+                 "    {\"threads\": %u, \"effective_workers\": %u, "
+                 "\"wall_seconds\": %.6f, \"wall_seconds_min\": %.6f, "
+                 "\"wall_seconds_max\": %.6f, \"requests_per_sec\": %.1f, "
+                 "\"ns_per_request\": %.1f, \"scaling_vs_1_thread\": %.3f, "
                  "\"digest\": \"%08x\"}%s\n",
-                 run.threads, run.wall_seconds, run.requests_per_sec,
-                 run.ns_per_request, run.digest, i + 1 < runs.size() ? "," : "");
+                 run.threads, run.effective_workers, run.timing.median_seconds,
+                 run.timing.min_seconds, run.timing.max_seconds,
+                 run.requests_per_sec, run.ns_per_request,
+                 run.scaling_vs_1_thread, run.digest,
+                 i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -108,10 +123,10 @@ int main() {
   using namespace pronghorn::bench;
   std::printf("=== Exhibit: fleet wall-clock throughput ===\n");
   std::printf("%zu functions, %llu requests each, %u worker slots, seed %llu; "
-              "host has %u hardware thread(s)\n\n",
+              "host has %u hardware thread(s); median of %d reps after %d warmup\n\n",
               kFleetSize, static_cast<unsigned long long>(kRequestsPerFunction),
               kWorkerSlots, static_cast<unsigned long long>(kSeed),
-              pronghorn::ThreadPool::DefaultThreadCount());
+              pronghorn::ThreadPool::DefaultThreadCount(), kTimedReps, kWarmupReps);
 
   const auto evaluation = pronghorn::WorkloadRegistry::Default().EvaluationSet();
   std::vector<const pronghorn::WorkloadProfile*> profiles;
@@ -126,15 +141,23 @@ int main() {
   }
 
   std::vector<WallclockRun> runs;
-  for (const uint32_t threads : {1u, 4u, 8u}) {
-    runs.push_back(RunOnce(threads, profiles, policies));
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    runs.push_back(RunConfig(threads, profiles, policies));
+  }
+  for (WallclockRun& run : runs) {
+    run.scaling_vs_1_thread =
+        runs.front().requests_per_sec > 0.0
+            ? run.requests_per_sec / runs.front().requests_per_sec
+            : 0.0;
   }
 
-  std::printf("  threads   wall (s)   requests/s   ns/request   digest\n");
+  std::printf("  threads   workers   wall (s)   min..max (s)        requests/s"
+              "   scaling   digest\n");
   for (const WallclockRun& run : runs) {
-    std::printf("  %7u   %8.3f   %10.0f   %10.0f   %08x\n", run.threads,
-                run.wall_seconds, run.requests_per_sec, run.ns_per_request,
-                run.digest);
+    std::printf("  %7u   %7u   %8.3f   %.3f..%.3f   %10.0f   %6.2fx   %08x\n",
+                run.threads, run.effective_workers, run.timing.median_seconds,
+                run.timing.min_seconds, run.timing.max_seconds,
+                run.requests_per_sec, run.scaling_vs_1_thread, run.digest);
   }
 
   bool deterministic = true;

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/exhibit_common.h"
 #include "src/checkpoint/criu_like_engine.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
@@ -166,6 +167,8 @@ bool WriteJson(const std::vector<ThroughputRun>& runs, double scaling_1_to_4,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"service_throughput\",\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
+  EmitMachineJson(out, "  ");
   std::fprintf(out, "  \"client_threads\": %u,\n", kClientThreads);
   std::fprintf(out, "  \"functions\": %u,\n", kFunctions);
   std::fprintf(out, "  \"hardware_threads\": %u,\n",

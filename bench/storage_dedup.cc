@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/exhibit_common.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
 #include "src/store/snapshot_store.h"
@@ -152,6 +153,8 @@ bool WriteJson(uint64_t logical, const PhysicalAccounting& phys,
   const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"storage_dedup\",\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
+  EmitMachineJson(out, "  ");
   std::fprintf(out, "  \"functions\": %zu,\n", kFunctions);
   std::fprintf(out, "  \"workers_per_function\": %zu,\n", kWorkersPerFunction);
   std::fprintf(out, "  \"generations\": %zu,\n", kGenerations);

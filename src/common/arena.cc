@@ -1,0 +1,63 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+
+namespace pronghorn {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(std::max<size_t>(block_bytes, 64)) {}
+
+void Arena::AddBlock(size_t min_bytes) {
+  Block block;
+  block.size = std::max(block_bytes_, min_bytes);
+  block.data = std::make_unique<std::byte[]>(block.size);
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  cursor_ = 0;
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  if (bytes == 0) {
+    bytes = 1;  // Distinct non-null pointers for zero-byte requests.
+  }
+  while (true) {
+    if (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+      const size_t misalign = (base + cursor_) & (alignment - 1);
+      const size_t pad = misalign == 0 ? 0 : alignment - misalign;
+      if (cursor_ + pad + bytes <= block.size) {
+        void* out = block.data.get() + cursor_ + pad;
+        cursor_ += pad + bytes;
+        bytes_allocated_ += pad + bytes;
+        high_water_ = std::max(high_water_, bytes_allocated_);
+        return out;
+      }
+      // Current block exhausted: move on (a later block may already exist
+      // after growth within one cycle).
+      if (current_ + 1 < blocks_.size()) {
+        ++current_;
+        cursor_ = 0;
+        continue;
+      }
+    }
+    AddBlock(bytes + alignment);
+  }
+}
+
+void Arena::Reset() {
+  high_water_ = std::max(high_water_, bytes_allocated_);
+  if (blocks_.size() > 1) {
+    // Coalesce: retain a single block big enough for the whole observed
+    // working set, so the next cycle bumps through one block and the
+    // steady state never allocates again.
+    const size_t want = std::max(high_water_, block_bytes_);
+    blocks_.clear();
+    AddBlock(want);
+  }
+  current_ = 0;
+  cursor_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace pronghorn

@@ -1,0 +1,91 @@
+// Bump-pointer arena for per-slot simulation scratch.
+//
+// The steady-state decision path (policy scoring, softmax scratch, candidate
+// ranking) used to allocate short-lived vectors on every worker start. The
+// arena replaces those with pointer bumps into a retained block: allocation
+// is an add + bounds check, Reset() rewinds the cursor without returning
+// memory to the heap, and after one warm cycle the steady state performs
+// zero heap allocations (tests/alloc_hook_test.cc pins this).
+//
+// Only trivially-destructible payloads belong here — Reset() never runs
+// destructors. The arena is NOT thread-safe; each shard thread / worker slot
+// owns its own instance (DESIGN.md §15 has the lifetime map).
+
+#ifndef PRONGHORN_SRC_COMMON_ARENA_H_
+#define PRONGHORN_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace pronghorn {
+
+class Arena {
+ public:
+  // `block_bytes` sizes the first block; allocations larger than a block get
+  // a dedicated oversized block (the large-allocation fallback).
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Returns `bytes` of storage aligned to `alignment` (a power of two,
+  // at most alignof(std::max_align_t) unless the caller knows the block
+  // allocator provides more — blocks are new[]-aligned). Never returns null;
+  // grows by appending blocks when the current block runs dry.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  // Typed span of `count` default-initialized (i.e. uninitialized for
+  // arithmetic types) elements. T must be trivially destructible — Reset()
+  // runs no destructors.
+  template <typename T>
+  std::span<T> AllocateSpan(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (count == 0) {
+      return {};
+    }
+    void* raw = Allocate(count * sizeof(T), alignof(T));
+    return std::span<T>(static_cast<T*>(raw), count);
+  }
+
+  // Rewinds the arena to empty. Keeps one retained block sized to the
+  // high-water mark of the previous cycles, so a steady-state
+  // allocate/Reset loop settles into a single block and never touches the
+  // heap again.
+  void Reset();
+
+  // Bytes handed out since the last Reset (including alignment padding).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  // Largest bytes_allocated() observed across all cycles.
+  size_t high_water_bytes() const { return high_water_; }
+  // Blocks currently owned (1 in the steady state).
+  size_t block_count() const { return blocks_.size(); }
+
+  static constexpr size_t kDefaultBlockBytes = 16 * 1024;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  // Appends a block of at least `min_bytes` and makes it current.
+  void AddBlock(size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;       // Index of the block being bumped.
+  size_t cursor_ = 0;        // Offset of the next free byte in blocks_[current_].
+  size_t block_bytes_;       // Nominal block size.
+  size_t bytes_allocated_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_ARENA_H_

@@ -1,0 +1,208 @@
+// A vector with inline storage for its first N elements.
+//
+// Decision-path containers (restore-candidate lists, snapshot-weight
+// scratch) are bounded in practice by the snapshot pool capacity (12 + 1
+// in-flight), so a vector that keeps its first N elements inline never
+// touches the heap on the steady state — the remaining std::vector-shaped
+// API spills transparently for the rare oversized case. Only the operations
+// the hot paths need are provided; this is deliberately not a full
+// std::vector replacement.
+
+#ifndef PRONGHORN_SRC_COMMON_SMALL_VECTOR_H_
+#define PRONGHORN_SRC_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pronghorn {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  static_assert(N > 0, "inline capacity must be positive");
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) {
+      push_back(v);
+    }
+  }
+
+  template <typename InputIt>
+  SmallVector(InputIt first, InputIt last) {
+    assign(first, last);
+  }
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      assign(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Destroy(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  // True while elements live in the inline buffer (test introspection).
+  bool is_inline() const { return data_ == InlineData(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t want) {
+    if (want > capacity_) {
+      Grow(want);
+    }
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+    size_ = 0;
+  }
+
+  // Shrinks or value-initializes up to `count` (the decision scratch uses
+  // resize + index writes for SoA fills).
+  void resize(size_t count) {
+    if (count < size_) {
+      for (size_t i = count; i < size_; ++i) {
+        data_[i].~T();
+      }
+      size_ = count;
+      return;
+    }
+    reserve(count);
+    while (size_ < count) {
+      ::new (static_cast<void*>(data_ + size_)) T();
+      ++size_;
+    }
+  }
+
+  template <typename InputIt>
+  void assign(InputIt first, InputIt last) {
+    clear();
+    reserve(static_cast<size_t>(std::distance(first, last)));
+    for (; first != last; ++first) {
+      push_back(*first);
+    }
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_storage_); }
+
+  void Grow(size_t want) {
+    const size_t new_capacity = std::max(want, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T),
+                                              std::align_val_t(alignof(T))));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != InlineData()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void Destroy() {
+    clear();
+    if (data_ != InlineData()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = InlineData();
+      capacity_ = N;
+    }
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.data_ != other.InlineData()) {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+      return;
+    }
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = other.size_;
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      other.data_[i].~T();
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace pronghorn
+
+#endif  // PRONGHORN_SRC_COMMON_SMALL_VECTOR_H_

@@ -1,7 +1,13 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace pronghorn {
 
@@ -9,12 +15,17 @@ uint32_t ThreadPool::DefaultThreadCount() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-ThreadPool::ThreadPool(uint32_t threads) {
+uint32_t ThreadPool::EffectiveParallelism(uint32_t requested) {
+  const uint32_t hardware = DefaultThreadCount();
+  return std::min(requested == 0 ? hardware : requested, hardware);
+}
+
+ThreadPool::ThreadPool(ThreadPoolOptions options) {
   // Cap at kMaxThreads: beyond any plausible core count, more OS threads only
   // add scheduling overhead, and an accidental huge request (e.g. a negative
   // flag value cast to unsigned) must not try to spawn billions of threads.
-  const uint32_t count =
-      std::min(threads == 0 ? DefaultThreadCount() : threads, kMaxThreads);
+  const uint32_t count = std::min(
+      options.threads == 0 ? DefaultThreadCount() : options.threads, kMaxThreads);
   queues_.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -23,6 +34,21 @@ ThreadPool::ThreadPool(uint32_t threads) {
   for (uint32_t i = 0; i < count; ++i) {
     workers_.emplace_back([this, i]() { WorkerLoop(i); });
   }
+#if defined(__linux__)
+  if (options.pin_threads) {
+    const uint32_t hardware = DefaultThreadCount();
+    for (uint32_t i = 0; i < count; ++i) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(i % hardware, &set);
+      // Best effort: a restricted affinity mask (cgroup, taskset) can refuse
+      // some CPUs; the pool still works unpinned.
+      (void)pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set), &set);
+    }
+  }
+#else
+  (void)options.pin_threads;
+#endif
 }
 
 ThreadPool::~ThreadPool() {
@@ -101,6 +127,24 @@ void ThreadPool::WorkerLoop(size_t self) {
   }
 }
 
+bool ThreadPool::TryRunOnePending() {
+  std::function<void()> task;
+  for (size_t i = 0; i < queues_.size() && !task; ++i) {
+    WorkerQueue& queue = *queues_[i];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+  }
+  if (!task) {
+    return false;
+  }
+  queued_.fetch_sub(1, std::memory_order_release);
+  task();
+  return true;
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(n);
@@ -109,6 +153,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   std::exception_ptr first_error;
   for (std::future<void>& future : futures) {
+    // Caller assist: the calling thread is an idle core while it waits, so
+    // drain queued tasks instead of blocking — only sleep on the future once
+    // every queue is empty (the remaining tasks are in flight on workers).
+    while (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready &&
+           TryRunOnePending()) {
+    }
     try {
       future.get();
     } catch (...) {

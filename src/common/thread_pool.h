@@ -26,6 +26,25 @@
 
 namespace pronghorn {
 
+// Cache-line size assumed for alignment of per-thread slots. x86-64 and most
+// AArch64 parts use 64-byte lines; over-aligning on a platform with smaller
+// lines is harmless. (std::hardware_destructive_interference_size exists but
+// triggers -Winterference-size ABI warnings on GCC, so the constant is
+// pinned here.)
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Construction knobs beyond the worker count.
+struct ThreadPoolOptions {
+  // Worker count; 0 means DefaultThreadCount().
+  uint32_t threads = 0;
+  // Pins worker i to hardware CPU (i mod hardware threads) on platforms
+  // that support thread affinity (Linux). Keeps a shard's working set on
+  // one core's private caches instead of migrating between cores; a no-op
+  // elsewhere. (NUMA-aware placement — spreading shards across sockets
+  // before hyperthread siblings — is the open ROADMAP follow-up.)
+  bool pin_threads = false;
+};
+
 class ThreadPool {
  public:
   // Hard ceiling on the worker count, applied to any requested size.
@@ -33,7 +52,9 @@ class ThreadPool {
 
   // Spawns `threads` workers; 0 means DefaultThreadCount(). Requests above
   // kMaxThreads are clamped.
-  explicit ThreadPool(uint32_t threads = 0);
+  explicit ThreadPool(uint32_t threads = 0) : ThreadPool(ThreadPoolOptions{threads}) {}
+
+  explicit ThreadPool(ThreadPoolOptions options);
 
   // Drains every queued task, then joins the workers. Submitting from a task
   // that outlives the destructor call is a programming error.
@@ -48,6 +69,15 @@ class ThreadPool {
   // legally report 0).
   static uint32_t DefaultThreadCount();
 
+  // The worker count that actually helps for CPU-bound work: `requested`
+  // (0 = default) clamped to the hardware thread count. Oversubscribing
+  // CPU-bound shards past the core count only adds context-switch and
+  // cache-thrash overhead — the committed BENCH_fleet_wallclock baseline
+  // measured 4 threads running ~25% *slower* than 1 on a single-core host.
+  // Callers treat a --threads request as a parallelism cap, not a demand;
+  // results never depend on it (determinism is schedule-independent).
+  static uint32_t EffectiveParallelism(uint32_t requested);
+
   // Enqueues `fn` and returns a future for its result. Exceptions thrown by
   // `fn` are captured and rethrown from future::get().
   template <typename F>
@@ -61,8 +91,15 @@ class ThreadPool {
 
   // Runs fn(i) for every i in [0, n), blocking until all complete. The first
   // exception (in index order) is rethrown after every task has finished.
-  // Must be called from outside the pool's worker threads.
+  // Must be called from outside the pool's worker threads. The calling
+  // thread participates: while waiting it drains queued tasks instead of
+  // sleeping, so a pool of W workers delivers W+1 execution streams.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Runs one queued task on the calling thread if any is immediately
+  // available; returns false when every queue is empty. Safe from any
+  // thread; this is the caller-assist primitive behind ParallelFor.
+  bool TryRunOnePending();
 
  private:
   // One deque per worker; submissions are distributed round-robin and idle

@@ -171,7 +171,7 @@ Result<WorkerSession> Orchestrator::StartWorker() {
       costs_.decision_per_snapshot_cost * static_cast<double>(state.pool.size());
 
   // Walk the policy's ranked candidates (best first) until one restores.
-  std::vector<SnapshotId> candidates = decision.restore_candidates;
+  StartDecision::CandidateList candidates = decision.restore_candidates;
   if (candidates.empty() && decision.restore_from.has_value()) {
     candidates.push_back(*decision.restore_from);
   }

@@ -17,6 +17,7 @@
 #include "src/checkpoint/snapshot.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
+#include "src/common/small_vector.h"
 #include "src/core/policy_config.h"
 #include "src/core/snapshot_pool.h"
 #include "src/core/weight_vector.h"
@@ -51,12 +52,16 @@ struct PolicyState {
 
 // Decisions made when a new worker launches (Algorithm 1, parts 1 and 2).
 struct StartDecision {
+  // Inline capacity covering the paper's pool (C = 12, plus one in-flight):
+  // decisions in the steady state never touch the heap.
+  using CandidateList = SmallVector<SnapshotId, 16>;
+
   // Snapshot to restore from; nullopt means cold start.
   std::optional<SnapshotId> restore_from;
   // Ranked fallback candidates, best first; when non-empty the front entry
   // equals restore_from. The orchestrator walks this list when a restore
   // attempt fails (missing object, corrupt image) before cold-starting.
-  std::vector<SnapshotId> restore_candidates;
+  CandidateList restore_candidates;
   // Absolute request number (JIT maturity) at which to checkpoint this
   // worker; nullopt means never.
   std::optional<uint64_t> checkpoint_at_request;

@@ -4,9 +4,25 @@
 #include <numeric>
 #include <span>
 
+#include "src/common/arena.h"
 #include "src/common/mathutil.h"
 
 namespace pronghorn {
+
+namespace {
+
+// Per-thread decision scratch. One policy instance is shared across every
+// shard thread (it holds no per-call state), and each worker slot's decision
+// runs on exactly one thread, so a thread-local bump arena gives every slot
+// private scratch without locks. Reset() at the top of each decision rewinds
+// the cursor; after the first decision warms the retained block, the steady
+// state performs zero heap allocations (tests/alloc_hook_test.cc).
+Arena& DecisionArena() {
+  thread_local Arena arena(4 * 1024);
+  return arena;
+}
+
+}  // namespace
 
 Result<RequestCentricPolicy> RequestCentricPolicy::Create(const PolicyConfig& config) {
   PRONGHORN_RETURN_IF_ERROR(config.Validate());
@@ -61,16 +77,28 @@ StartDecision RequestCentricPolicy::OnWorkerStart(const PolicyState& state,
     // fallback order when a restore attempt fails (missing or corrupt
     // image). Ranking consumes no randomness, so fault-free trajectories are
     // identical to a policy without fallback candidates.
-    const std::vector<double> weights = SnapshotWeights(state);
-    const std::vector<double> probabilities =
-        Softmax(weights, config_.softmax_temperature);
-    const size_t first_index = rng.WeightedIndex(probabilities);
+    //
+    // All scratch lives in the per-thread arena as parallel (SoA) arrays —
+    // weights, probabilities, ids, sort order — so the whole decision is
+    // allocation-free and the scoring scans run over contiguous doubles.
+    Arena& arena = DecisionArena();
+    arena.Reset();
     const auto entries = state.pool.entries();
-    // Scratch index buffer: thread_local because a single policy instance is
-    // shared across fleet shard threads (it holds no per-call state).
-    thread_local std::vector<size_t> order;
-    order.resize(entries.size());
-    std::iota(order.begin(), order.end(), 0);
+    const size_t count = entries.size();
+    const std::span<double> weights = arena.AllocateSpan<double>(count);
+    for (size_t i = 0; i < count; ++i) {
+      weights[i] = state.theta.LifetimeWeight(entries[i].metadata.request_number,
+                                              config_.beta, config_.mu);
+    }
+    const std::span<double> probabilities = arena.AllocateSpan<double>(count);
+    SoftmaxInto(weights, config_.softmax_temperature, probabilities);
+    const size_t first_index = rng.WeightedIndex(probabilities);
+    const std::span<uint64_t> ids = arena.AllocateSpan<uint64_t>(count);
+    for (size_t i = 0; i < count; ++i) {
+      ids[i] = entries[i].metadata.id.value;
+    }
+    const std::span<size_t> order = arena.AllocateSpan<size_t>(count);
+    std::iota(order.begin(), order.end(), size_t{0});
     // The drawn snapshot always ranks first; the rest sort by probability
     // (descending, ties by recency). Swapping it to the front and sorting
     // only the tail yields the same order as the old comparator that
@@ -81,9 +109,9 @@ StartDecision RequestCentricPolicy::OnWorkerStart(const PolicyState& state,
       if (probabilities[a] != probabilities[b]) {
         return probabilities[a] > probabilities[b];
       }
-      return entries[a].metadata.id.value > entries[b].metadata.id.value;
+      return ids[a] > ids[b];
     });
-    decision.restore_candidates.reserve(order.size());
+    decision.restore_candidates.reserve(count);
     for (const size_t index : order) {
       decision.restore_candidates.push_back(entries[index].metadata.id);
     }

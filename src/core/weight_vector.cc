@@ -62,9 +62,9 @@ void WeightVector::EnsureInverseCache(double mu) const {
     return;
   }
   inv_.resize(values_.size());
-  for (size_t i = 0; i < values_.size(); ++i) {
-    inv_[i] = InverseWeight(values_[i], mu);
-  }
+  // Bulk element-wise rebuild (SIMD where available; bit-identical to the
+  // scalar InverseWeight loop — see mathutil.h).
+  InverseWeightsInto(values_, mu, inv_);
   inv_mu_ = mu;
   inv_valid_ = true;
 }
@@ -92,9 +92,33 @@ double WeightVector::NaiveLifetimeWeight(uint64_t start, uint32_t beta,
                                          double mu) const {
   // Entries beyond the learned window contribute as unexplored (theta = 0),
   // keeping the exploration bonus for snapshots near the window's edge.
+  //
+  // The fold is restructured for the vector units without changing a bit:
+  // the divisions 1/(theta[i]+mu) are independent element-wise operations
+  // (computed in SIMD chunks through a stack buffer), while the additions
+  // stay scalar in the original left-to-right order — so the result is
+  // bit-for-bit the naive loop's (tests/vector_math_test.cc pins this).
+  constexpr size_t kChunk = 128;
+  double buffer[kChunk];
+  const uint64_t end = start + beta;  // Inclusive.
   double sum = 0.0;
-  for (uint64_t i = start; i <= start + beta; ++i) {
-    sum += InverseWeight(At(i), mu);
+  uint64_t i = start;
+  if (start < values_.size()) {
+    const uint64_t in_range_hi = std::min<uint64_t>(end, values_.size() - 1);
+    while (i <= in_range_hi) {
+      const size_t n = static_cast<size_t>(
+          std::min<uint64_t>(in_range_hi - i + 1, kChunk));
+      InverseWeightsInto(std::span<const double>(values_.data() + i, n), mu,
+                         std::span<double>(buffer, n));
+      for (size_t j = 0; j < n; ++j) {
+        sum += buffer[j];
+      }
+      i += n;
+    }
+  }
+  const double unexplored = InverseWeight(0.0, mu);
+  for (; i <= end; ++i) {
+    sum += unexplored;
   }
   return sum / static_cast<double>(beta);
 }

@@ -169,6 +169,10 @@ struct SimOptions {
   uint32_t worker_slots = 4;
   uint32_t exploring_slots = 1;
   uint32_t threads = 0;
+  // Pin fleet shard threads to cores (Linux only; see ThreadPoolOptions).
+  // Like `threads`, a pure scheduling knob: never fingerprinted, never
+  // affects results.
+  bool pin_threads = false;
   FleetEvictionSpec eviction;
 
   LifecycleOptions lifecycle;

@@ -1,18 +1,25 @@
 #include "src/store/kv_database.h"
 
+#include <algorithm>
+
 #include "src/common/bytes.h"
 
 namespace pronghorn {
+
+// Counter updates mirror the historical single-mutex version exactly,
+// including its quirks: reads/writes count even when the operation then
+// fails with kNotFound, and cas_attempts counts conflicted attempts.
 
 Status InMemoryKvDatabase::Put(std::string_view key, std::vector<uint8_t> value) {
   if (key.empty()) {
     return InvalidArgumentError("database key must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  accounting_.writes += 1;
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    entries_.emplace(std::string(key), VersionedValue{std::move(value), 1});
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[StripeIndexForKey(key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
+    stripe.entries.emplace(std::string(key), VersionedValue{std::move(value), 1});
   } else {
     it->second.value = std::move(value);
     it->second.version += 1;
@@ -26,10 +33,11 @@ Result<std::vector<uint8_t>> InMemoryKvDatabase::Get(std::string_view key) {
 }
 
 Result<VersionedValue> InMemoryKvDatabase::GetVersioned(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  accounting_.reads += 1;
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[StripeIndexForKey(key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
     return NotFoundError("no database entry for '" + std::string(key) + "'");
   }
   return it->second;
@@ -41,18 +49,19 @@ Status InMemoryKvDatabase::CompareAndSwap(std::string_view key,
   if (key.empty()) {
     return InvalidArgumentError("database key must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  accounting_.cas_attempts += 1;
-  auto it = entries_.find(key);
-  const uint64_t current_version = it == entries_.end() ? 0 : it->second.version;
+  cas_attempts_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[StripeIndexForKey(key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  const uint64_t current_version = it == stripe.entries.end() ? 0 : it->second.version;
   if (current_version != expected_version) {
-    accounting_.cas_conflicts += 1;
+    cas_conflicts_.fetch_add(1, std::memory_order_relaxed);
     return AbortedError("version mismatch for '" + std::string(key) + "': expected " +
                         std::to_string(expected_version) + ", found " +
                         std::to_string(current_version));
   }
-  if (it == entries_.end()) {
-    entries_.emplace(std::string(key), VersionedValue{std::move(value), 1});
+  if (it == stripe.entries.end()) {
+    stripe.entries.emplace(std::string(key), VersionedValue{std::move(value), 1});
   } else {
     it->second.value = std::move(value);
     it->second.version += 1;
@@ -61,13 +70,14 @@ Status InMemoryKvDatabase::CompareAndSwap(std::string_view key,
 }
 
 Status InMemoryKvDatabase::Delete(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  accounting_.writes += 1;
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[StripeIndexForKey(key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
     return NotFoundError("no database entry for '" + std::string(key) + "'");
   }
-  entries_.erase(it);
+  stripe.entries.erase(it);
   return OkStatus();
 }
 
@@ -75,19 +85,20 @@ Result<int64_t> InMemoryKvDatabase::Increment(std::string_view key) {
   if (key.empty()) {
     return InvalidArgumentError("database key must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  accounting_.writes += 1;
-  auto it = entries_.find(key);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[StripeIndexForKey(key)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
   int64_t current = 0;
-  if (it != entries_.end()) {
+  if (it != stripe.entries.end()) {
     ByteReader reader(it->second.value);
     PRONGHORN_ASSIGN_OR_RETURN(current, reader.ReadInt64());
   }
   const int64_t next = current + 1;
   ByteWriter writer;
   writer.WriteInt64(next);
-  if (it == entries_.end()) {
-    entries_.emplace(std::string(key), VersionedValue{writer.TakeData(), 1});
+  if (it == stripe.entries.end()) {
+    stripe.entries.emplace(std::string(key), VersionedValue{writer.TakeData(), 1});
   } else {
     it->second.value = writer.TakeData();
     it->second.version += 1;
@@ -96,19 +107,29 @@ Result<int64_t> InMemoryKvDatabase::Increment(std::string_view key) {
 }
 
 std::vector<std::string> InMemoryKvDatabase::ListKeys(std::string_view prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Gather per stripe, then sort once: the old std::map returned keys in
+  // lexicographic order and recovery scans rely on it.
   std::vector<std::string> keys;
-  for (const auto& [key, value] : entries_) {
-    if (key.size() >= prefix.size() && key.compare(0, prefix.size(), prefix) == 0) {
-      keys.push_back(key);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [key, value] : stripe.entries) {
+      if (key.size() >= prefix.size() &&
+          key.compare(0, prefix.size(), prefix) == 0) {
+        keys.push_back(key);
+      }
     }
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 KvAccounting InMemoryKvDatabase::accounting() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return accounting_;
+  KvAccounting out;
+  out.reads = reads_.load(std::memory_order_relaxed);
+  out.writes = writes_.load(std::memory_order_relaxed);
+  out.cas_attempts = cas_attempts_.load(std::memory_order_relaxed);
+  out.cas_conflicts = cas_conflicts_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace pronghorn

@@ -11,14 +11,17 @@
 #ifndef PRONGHORN_SRC_STORE_KV_DATABASE_H_
 #define PRONGHORN_SRC_STORE_KV_DATABASE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/store/striping.h"
 
 namespace pronghorn {
 
@@ -58,7 +61,11 @@ class KvDatabase {
   virtual KvAccounting accounting() const = 0;
 };
 
-// Thread-safe in-memory implementation (the reference Database).
+// Thread-safe in-memory implementation (the reference Database). Keys are
+// lock-striped across kStoreStripes hash maps (see src/store/striping.h);
+// per-key atomicity — including versioned CompareAndSwap and Increment — is
+// provided by the key's stripe lock, and the operation counters are
+// serial-exact atomics. ListKeys still returns lexicographic order.
 class InMemoryKvDatabase : public KvDatabase {
  public:
   InMemoryKvDatabase() = default;
@@ -74,9 +81,18 @@ class InMemoryKvDatabase : public KvDatabase {
   KvAccounting accounting() const override;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, VersionedValue, std::less<>> entries_;
-  KvAccounting accounting_;
+  struct alignas(kCacheLineBytes) Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, VersionedValue, TransparentStringHash,
+                       std::equal_to<>>
+        entries;
+  };
+
+  std::array<Stripe, kStoreStripes> stripes_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> cas_attempts_{0};
+  std::atomic<uint64_t> cas_conflicts_{0};
 };
 
 }  // namespace pronghorn

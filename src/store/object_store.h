@@ -8,15 +8,18 @@
 #ifndef PRONGHORN_SRC_STORE_OBJECT_STORE_H_
 #define PRONGHORN_SRC_STORE_OBJECT_STORE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/store/striping.h"
 
 namespace pronghorn {
 
@@ -101,7 +104,13 @@ class ObjectStore {
   virtual StoreAccounting accounting() const = 0;
 };
 
-// Thread-safe in-memory implementation.
+// Thread-safe in-memory implementation. Keys are lock-striped across
+// kStoreStripes independently-locked hash maps and accounting is kept in
+// serial-exact atomics (see src/store/striping.h), so concurrent operations
+// on different keys never contend on a mutex or a cache line. Observable
+// behavior is identical to the historical single-mutex std::map version:
+// ListKeys still returns lexicographic order, and any serial operation
+// sequence yields a bit-identical StoreAccounting.
 class InMemoryObjectStore : public ObjectStore {
  public:
   InMemoryObjectStore() = default;
@@ -114,9 +123,31 @@ class InMemoryObjectStore : public ObjectStore {
   StoreAccounting accounting() const override;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, ObjectBlob, std::less<>> objects_;
-  StoreAccounting accounting_;
+  struct alignas(kCacheLineBytes) Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, ObjectBlob, TransparentStringHash,
+                       std::equal_to<>>
+        objects;
+  };
+
+  // Serial-exact atomic mirror of StoreAccounting (flat store: the physical
+  // view coincides with the encoded payload, so flat == physical here).
+  struct AtomicAccounting {
+    std::atomic<uint64_t> logical_bytes_stored{0};
+    std::atomic<uint64_t> peak_logical_bytes{0};
+    std::atomic<uint64_t> network_bytes_uploaded{0};
+    std::atomic<uint64_t> network_bytes_downloaded{0};
+    std::atomic<uint64_t> put_count{0};
+    std::atomic<uint64_t> get_count{0};
+    std::atomic<uint64_t> delete_count{0};
+    std::atomic<uint64_t> physical_bytes_stored{0};
+    std::atomic<uint64_t> physical_peak_bytes{0};
+    std::atomic<uint64_t> chunks_fetched{0};
+    std::atomic<uint64_t> bytes_fetched{0};
+  };
+
+  std::array<Stripe, kStoreStripes> stripes_;
+  AtomicAccounting accounting_;
 };
 
 // Durable implementation that persists each object as a file under a root

@@ -40,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -219,16 +220,30 @@ class DedupSnapshotStore : public SnapshotStore {
                                    const std::vector<uint32_t>& sizes,
                                    const std::string& key);
 
+  // ChunkKey is itself a 128-bit content digest, so its high word is already
+  // a high-quality hash — no re-mixing needed. The chunk index is the hottest
+  // map in the store (every put/restore touches it once per chunk); hashed
+  // lookup replaces the old std::map's pointer-chasing tree descent. Every
+  // iteration over the index computes order-independent totals, so the
+  // unordered iteration order is unobservable.
+  struct ChunkKeyHash {
+    size_t operator()(const ChunkKey& key) const noexcept {
+      return static_cast<size_t>(key.hi);
+    }
+  };
+
   mutable std::mutex mutex_;
   SnapshotStoreOptions options_;
   SimClock* clock_;
-  std::map<ChunkKey, ChunkEntry> chunks_;
+  std::unordered_map<ChunkKey, ChunkEntry, ChunkKeyHash> chunks_;
   std::map<std::string, std::shared_ptr<ManifestEntry>, std::less<>> manifests_;
   // Deleted-while-pinned manifests awaiting their last unpin.
   std::vector<std::shared_ptr<ManifestEntry>> zombies_;
   // Host restore cache (lazy mode): LRU by chunk key, bounded by bytes.
   std::list<ChunkKey> cache_lru_;
-  std::map<ChunkKey, std::pair<std::list<ChunkKey>::iterator, uint32_t>> cache_;
+  std::unordered_map<ChunkKey, std::pair<std::list<ChunkKey>::iterator, uint32_t>,
+                     ChunkKeyHash>
+      cache_;
   uint64_t cache_bytes_ = 0;
   // Refcount-0 resident chunks (GC backlog); auto-collected past a bound.
   uint64_t garbage_bytes_ = 0;

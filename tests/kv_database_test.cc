@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 namespace pronghorn {
 namespace {
@@ -143,6 +148,98 @@ TEST(KvDatabaseTest, ValuesAreIndependentCopies) {
   ASSERT_TRUE(got.ok());
   (*got)[0] = 'X';  // Mutating the returned copy must not affect the store.
   EXPECT_EQ(AsString(*db.Get("k")), "abc");
+}
+
+// --- Striped-lock concurrency stress --------------------------------------
+//
+// InMemoryKvDatabase stripes its map; CAS and Increment must stay atomic per
+// key (the stripe lock covers read-modify-write), and the op counters must
+// not lose updates. Run under TSan in CI.
+
+TEST(KvDatabaseStressTest, ConcurrentIncrementsAreExact) {
+  InMemoryKvDatabase db;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsEach = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db]() {
+      for (int i = 0; i < kIncrementsEach; ++i) {
+        auto value = db.Increment("counter");
+        ASSERT_TRUE(value.ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  auto final_value = db.Increment("counter");
+  ASSERT_TRUE(final_value.ok());
+  EXPECT_EQ(*final_value, kThreads * kIncrementsEach + 1);
+}
+
+TEST(KvDatabaseStressTest, ContendedCasAdmitsExactlyOneWinnerPerRound) {
+  InMemoryKvDatabase db;
+  ASSERT_TRUE(db.Put("slot", Value("v0")).ok());
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 100;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &wins]() {
+      for (int round = 0; round < kRounds; ++round) {
+        auto versioned = db.GetVersioned("slot");
+        ASSERT_TRUE(versioned.ok());
+        const Status cas =
+            db.CompareAndSwap("slot", versioned->version, Value("vN"));
+        if (cas.ok()) {
+          wins.fetch_add(1);
+        } else {
+          ASSERT_EQ(cas.code(), StatusCode::kAborted);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Version increments exactly once per successful CAS: the final version is
+  // the win count plus the initial Put's version.
+  auto versioned = db.GetVersioned("slot");
+  ASSERT_TRUE(versioned.ok());
+  EXPECT_EQ(versioned->version, static_cast<uint64_t>(wins.load()) + 1u);
+  const KvAccounting acc = db.accounting();
+  EXPECT_EQ(acc.cas_attempts, static_cast<uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(acc.cas_conflicts,
+            acc.cas_attempts - static_cast<uint64_t>(wins.load()));
+}
+
+TEST(KvDatabaseStressTest, DisjointWritersKeepCountersAndKeysExact) {
+  InMemoryKvDatabase db;
+  constexpr int kThreads = 8;
+  constexpr int kKeysEach = 150;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, t]() {
+      for (int i = 0; i < kKeysEach; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "/" + std::to_string(i);
+        ASSERT_TRUE(db.Put(key, Value("payload")).ok());
+        ASSERT_TRUE(db.Get(key).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const auto keys = db.ListKeys("");
+  EXPECT_EQ(keys.size(), static_cast<size_t>(kThreads * kKeysEach));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const KvAccounting acc = db.accounting();
+  EXPECT_EQ(acc.writes, static_cast<uint64_t>(kThreads * kKeysEach));
+  EXPECT_EQ(acc.reads, static_cast<uint64_t>(kThreads * kKeysEach));
 }
 
 }  // namespace

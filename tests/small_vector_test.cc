@@ -1,0 +1,131 @@
+#include "src/common/small_vector.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pronghorn {
+namespace {
+
+TEST(SmallVectorTest, StaysInlineUpToCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVectorTest, SpillsToHeapPastCapacityAndKeepsValues) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 20; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVectorTest, ClearKeepsCapacityForReuse) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 20; ++i) {
+    v.push_back(i);
+  }
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVectorTest, ResizeShrinksAndValueInitializes) {
+  SmallVector<int, 8> v;
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(i + 1);
+  }
+  v.resize(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.back(), 3);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[3], 0);
+  EXPECT_EQ(v[4], 0);
+}
+
+TEST(SmallVectorTest, NonTrivialElementsDestructAndCopy) {
+  auto counter = std::make_shared<int>(0);
+  {
+    SmallVector<std::shared_ptr<int>, 2> v;
+    for (int i = 0; i < 10; ++i) {
+      v.push_back(counter);
+    }
+    EXPECT_EQ(counter.use_count(), 11);
+    SmallVector<std::shared_ptr<int>, 2> copy(v);
+    EXPECT_EQ(counter.use_count(), 21);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SmallVectorTest, MoveStealsHeapBuffer) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 8; ++i) {
+    v.push_back("value-" + std::to_string(i));
+  }
+  const std::string* heap_data = v.data();
+  ASSERT_FALSE(v.is_inline());
+
+  SmallVector<std::string, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), heap_data);
+  EXPECT_EQ(moved.size(), 8u);
+  EXPECT_EQ(moved[7], "value-7");
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): specified state.
+  EXPECT_TRUE(v.is_inline());
+}
+
+TEST(SmallVectorTest, MoveOfInlineElementsMovesEach) {
+  SmallVector<std::string, 4> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  SmallVector<std::string, 4> moved(std::move(v));
+  EXPECT_TRUE(moved.is_inline());
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "alpha");
+  EXPECT_EQ(moved[1], "beta");
+}
+
+TEST(SmallVectorTest, AssignFromIteratorRange) {
+  std::vector<int> src = {5, 6, 7, 8, 9};
+  SmallVector<int, 3> v;
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.front(), 5);
+  EXPECT_EQ(v.back(), 9);
+}
+
+TEST(SmallVectorTest, EqualityComparesElementwise) {
+  SmallVector<int, 4> a = {1, 2, 3};
+  SmallVector<int, 4> b = {1, 2, 3};
+  SmallVector<int, 4> c = {1, 2, 4};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVectorTest, AlignmentHonoredForOveralignedTypes) {
+  struct alignas(32) Wide {
+    double lanes[4];
+  };
+  SmallVector<Wide, 2> v;
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(Wide{{1.0, 2.0, 3.0, 4.0}});
+  }
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % alignof(Wide), 0u);
+}
+
+}  // namespace
+}  // namespace pronghorn

@@ -154,5 +154,101 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletesEverything) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+TEST(ThreadPoolTest, EffectiveParallelismClampsToHardware) {
+  const uint32_t hardware = ThreadPool::DefaultThreadCount();
+  // 0 means "use everything available".
+  EXPECT_EQ(ThreadPool::EffectiveParallelism(0), hardware);
+  // Requests at or below hardware are honored as-is.
+  EXPECT_EQ(ThreadPool::EffectiveParallelism(1), 1u);
+  if (hardware > 1) {
+    EXPECT_EQ(ThreadPool::EffectiveParallelism(hardware - 1), hardware - 1);
+  }
+  // Oversubscription requests are capped: --threads is a parallelism cap,
+  // not a demand (this is the negative-scaling fix).
+  EXPECT_EQ(ThreadPool::EffectiveParallelism(hardware), hardware);
+  EXPECT_EQ(ThreadPool::EffectiveParallelism(hardware + 1), hardware);
+  EXPECT_EQ(ThreadPool::EffectiveParallelism(1000), hardware);
+}
+
+TEST(ThreadPoolTest, TryRunOnePendingDrainsQueuedTasks) {
+  // A zero-worker scenario is unbuildable (min 1 worker), so instead park
+  // the single worker on a slow task and verify the caller can drain the
+  // backlog behind it.
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::future<void> slow = pool.Submit([&started, &release]() {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Wait until the worker owns the parked task, so the backlog below is
+  // drainable purely by the calling thread.
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<int> drained{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&drained]() { drained.fetch_add(1); }));
+  }
+  // The worker is blocked; the calling thread runs the backlog itself.
+  while (drained.load() < 16) {
+    if (!pool.TryRunOnePending()) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_EQ(drained.load(), 16);
+  EXPECT_FALSE(pool.TryRunOnePending());  // nothing left but the parked task
+  release.store(true);
+  slow.get();
+  for (auto& future : futures) {
+    future.get();
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCallerAssistsWhileWorkersBlocked) {
+  // Park the only worker; ParallelFor must still finish because the calling
+  // thread drains the queued iterations while waiting.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::future<void> slow = pool.Submit([&release]() {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::atomic<int> counter{0};
+  std::thread unblocker([&release]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    release.store(true);
+  });
+  pool.ParallelFor(64, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
+  release.store(true);
+  unblocker.join();
+  slow.get();
+}
+
+TEST(ThreadPoolTest, OptionsConstructorHonorsThreadCount) {
+  ThreadPoolOptions options;
+  options.threads = 2;
+  ThreadPool pool(options);
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPoolTest, PinnedPoolRunsWorkNormally) {
+  // Pinning is a scheduling hint; on any platform (supported or not) the
+  // pool must behave identically from the caller's perspective.
+  ThreadPoolOptions options;
+  options.threads = 2;
+  options.pin_threads = true;
+  ThreadPool pool(options);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(200, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(pool.Submit([]() { return 5; }).get(), 5);
+}
+
 }  // namespace
 }  // namespace pronghorn

@@ -659,6 +659,7 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   SimOptions options;
   options.seed = common.seed;
   options.threads = *threads;
+  options.pin_threads = *flags.GetBool("pin-threads");
   options.engine_kind = common.engine_kind;
   options.input_noise = common.input_noise;
   options.state_cache = common.state_cache;
@@ -688,8 +689,7 @@ int RunFleet(const FlagParser& flags, const CommonSimOptions& common,
   if (!report.ok()) {
     return Fail(report.status());
   }
-  const uint32_t effective_threads =
-      options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads;
+  const uint32_t effective_threads = ThreadPool::EffectiveParallelism(options.threads);
   const std::string policy_name = *flags.GetString("policy");
   std::printf("fleet=%lld policy=%s eviction=%s threads=%u mix=%s\n",
               static_cast<long long>(fleet_size), policy_name.c_str(),
@@ -936,6 +936,9 @@ int main(int argc, char** argv) {
   flags.AddFlag("threads", "0",
                 "fleet shard threads (0 = hardware concurrency); results are "
                 "bit-identical for any value");
+  flags.AddSwitch("pin-threads",
+                  "pin fleet shard threads to cores (Linux; scheduling-only, "
+                  "results are bit-identical with or without)");
   flags.AddFlag("slots", "4", "fleet: worker slots per function");
   flags.AddFlag("exploring", "1", "fleet: exploring slots per function");
   flags.AddFlag("csv", "", "write per-request records to this CSV file");
